@@ -1,0 +1,73 @@
+//===- bench/BenchCommon.h - Shared bench harness helpers -------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table/per-figure bench binaries: one-line
+/// compilation of a Table I benchmark under a strategy, result caching
+/// (google-benchmark re-enters the timing loop), and geometric means —
+/// the paper reports the geomean as the last bar of Figures 10 and 11.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_BENCH_BENCHCOMMON_H
+#define SGPU_BENCH_BENCHCOMMON_H
+
+#include "benchmarks/Registry.h"
+#include "core/Compiler.h"
+
+#include <cmath>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace sgpu {
+namespace bench {
+
+/// Default bench-wide compile options: 16 SMs like the paper's grid, the
+/// documented reduced ILP budget (DESIGN.md "Known deviations").
+inline CompileOptions benchOptions(Strategy S, int Coarsening) {
+  CompileOptions O;
+  O.Strat = S;
+  O.Coarsening = Coarsening;
+  O.Sched.Pmax = 16;
+  O.Sched.TimeBudgetSeconds = 2.0;
+  return O;
+}
+
+/// Compiles (and memoizes) one Table I benchmark under a strategy and
+/// coarsening factor.
+inline const std::optional<CompileReport> &
+compiledReport(const std::string &Name, Strategy S, int Coarsening) {
+  static std::map<std::string, std::optional<CompileReport>> Cache;
+  std::string Key = Name + "/" + strategyName(S) + "/" +
+                    std::to_string(Coarsening);
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+  const BenchmarkSpec *Spec = findBenchmark(Name);
+  std::optional<CompileReport> R;
+  if (Spec) {
+    StreamGraph G = flatten(*Spec->Build());
+    R = compileForGpu(G, benchOptions(S, Coarsening));
+  }
+  return Cache.emplace(Key, std::move(R)).first->second;
+}
+
+/// Geometric mean of a list of positive values.
+inline double geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+} // namespace bench
+} // namespace sgpu
+
+#endif // SGPU_BENCH_BENCHCOMMON_H

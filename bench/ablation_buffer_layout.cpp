@@ -1,0 +1,62 @@
+//===- bench/ablation_buffer_layout.cpp - Figures 8/9 ablation ----------------===//
+//
+// Quantifies the buffer-layout contribution (paper Section IV-D, Figures
+// 8 and 9): device-memory transactions per element access for the
+// Sequential (natural FIFO) layout vs the 128-thread cluster Shuffled
+// layout, sweeping pop rate and thread count. Sequential degrades to one
+// transaction per lane as soon as the rate exceeds 1; Shuffled stays at
+// 1/16 regardless — "oblivious to the push and pop rates".
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/AccessAnalyzer.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace sgpu;
+
+static void BM_LayoutTxns(benchmark::State &State) {
+  auto Kind = static_cast<LayoutKind>(State.range(0));
+  int64_t Threads = State.range(1);
+  int64_t Rate = State.range(2);
+  AccessSummary S;
+  for (auto _ : State) {
+    S = analyzeStridedAccess(Kind, Threads, Rate, Rate);
+    benchmark::DoNotOptimize(S.Transactions);
+  }
+  State.counters["txns_per_access"] = S.transactionsPerAccess();
+  State.counters["transactions"] = static_cast<double>(S.Transactions);
+}
+
+int main(int argc, char **argv) {
+  std::printf("Buffer layout ablation: transactions per element access\n");
+  std::printf("%8s %6s %12s %12s %8s\n", "threads", "rate", "sequential",
+              "shuffled", "ratio");
+  for (int64_t Threads : {128, 256, 512}) {
+    for (int64_t Rate : {1, 2, 4, 8, 64}) {
+      double Seq = analyzeStridedAccess(LayoutKind::Sequential, Threads,
+                                        Rate, Rate)
+                       .transactionsPerAccess();
+      double Shuf = analyzeStridedAccess(LayoutKind::Shuffled, Threads,
+                                         Rate, Rate)
+                        .transactionsPerAccess();
+      std::printf("%8lld %6lld %12.4f %12.4f %8.1fx\n",
+                  static_cast<long long>(Threads),
+                  static_cast<long long>(Rate), Seq, Shuf, Seq / Shuf);
+    }
+  }
+  std::printf("\n");
+
+  for (int64_t Kind : {0, 1})
+    for (int64_t Threads : {128, 512})
+      for (int64_t Rate : {1, 4, 64})
+        benchmark::RegisterBenchmark(
+            Kind == 0 ? "Layout/Sequential" : "Layout/Shuffled",
+            BM_LayoutTxns)
+            ->Args({Kind, Threads, Rate});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

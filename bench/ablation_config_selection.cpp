@@ -1,0 +1,88 @@
+//===- bench/ablation_config_selection.cpp - Algorithm 7 ablation -------------===//
+//
+// Measures what the profile-driven execution-configuration selection
+// (paper Fig. 6 + Alg. 7) buys over fixing every filter at one
+// configuration: per benchmark, the work-scaled resource II of the
+// Alg. 7 winner against the fixed (regs=32, threads=256) and
+// (regs=16, threads=512) configurations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "profile/Profiler.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+const GpuArch Arch = GpuArch::geForce8800GTS512();
+
+/// Work-scaled resource II of a configuration (lower is better).
+double scaledIIOf(const SteadyState &SS, const ExecutionConfig &C) {
+  GpuSteadyState GSS = computeGpuSteadyState(SS.repetitions(), C.Threads);
+  double II = 0.0;
+  for (size_t V = 0; V < C.Delay.size(); ++V)
+    II += C.Delay[V] * static_cast<double>(GSS.Instances[V]);
+  double Work = static_cast<double>(
+      std::max<int64_t>(1, SS.outputTokensPerIteration()) *
+      GSS.Multiplier);
+  return II / Work;
+}
+
+struct Row {
+  double Alg7 = 0.0, Fixed256 = 0.0, Fixed512 = 0.0;
+};
+
+Row evaluate(const BenchmarkSpec &Spec) {
+  Row R;
+  StreamGraph G = flatten(*Spec.Build());
+  auto SS = SteadyState::compute(G);
+  if (!SS)
+    return R;
+  ProfileTable PT = profileGraph(Arch, G, LayoutKind::Shuffled);
+  if (auto C = selectExecutionConfig(*SS, PT))
+    R.Alg7 = scaledIIOf(*SS, *C);
+  if (auto C = makeFixedConfig(*SS, PT, 32, 256))
+    R.Fixed256 = scaledIIOf(*SS, *C);
+  if (auto C = makeFixedConfig(*SS, PT, 16, 512))
+    R.Fixed512 = scaledIIOf(*SS, *C);
+  return R;
+}
+
+void BM_ConfigSelection(benchmark::State &State,
+                        const BenchmarkSpec *Spec) {
+  Row R;
+  for (auto _ : State) {
+    R = evaluate(*Spec);
+    benchmark::DoNotOptimize(R.Alg7);
+  }
+  State.counters["alg7_II"] = R.Alg7;
+  State.counters["fixed256_II"] = R.Fixed256;
+  State.counters["fixed512_II"] = R.Fixed512;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("Execution-configuration selection ablation "
+              "(work-scaled II, lower is better)\n");
+  std::printf("%-12s %12s %14s %14s\n", "Benchmark", "Alg7",
+              "Fixed(32,256)", "Fixed(16,512)");
+  for (const BenchmarkSpec &Spec : allBenchmarks()) {
+    Row R = evaluate(Spec);
+    std::printf("%-12s %12.4f %14.4f %14.4f\n", Spec.Name.c_str(), R.Alg7,
+                R.Fixed256, R.Fixed512);
+    benchmark::RegisterBenchmark(("ConfigSel/" + Spec.Name).c_str(),
+                                 BM_ConfigSelection, &Spec)
+        ->Iterations(1);
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- bench/ablation_sm_scaling.cpp - SM-count sensitivity --------------------===//
+//
+// Beyond the paper's figures: how the SWP8 speedup scales with the number
+// of SMs targeted (the paper fixes 16 blocks for its 16 SMs). Pipeline
+// parallelism should scale until either the benchmark runs out of
+// schedulable instances per II or the memory bus saturates — the same
+// ceilings that make SWPNC collapse.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+double speedupAtSms(const BenchmarkSpec &Spec, int Sms) {
+  StreamGraph G = flatten(*Spec.Build());
+  CompileOptions Options = benchOptions(Strategy::Swp, 8);
+  Options.Sched.Pmax = Sms;
+  std::optional<CompileReport> R = compileForGpu(G, Options);
+  return R ? R->Speedup : 0.0;
+}
+
+void BM_SmScaling(benchmark::State &State, const BenchmarkSpec *Spec,
+                  int Sms) {
+  double S = 0.0;
+  for (auto _ : State) {
+    S = speedupAtSms(*Spec, Sms);
+    benchmark::DoNotOptimize(S);
+  }
+  State.counters["speedup"] = S;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("SM scaling ablation: SWP8 speedup vs SMs targeted\n");
+  std::printf("%-12s %8s %8s %8s %8s\n", "Benchmark", "2", "4", "8",
+              "16");
+  const int SmCounts[] = {2, 4, 8, 16};
+  for (const BenchmarkSpec &Spec : allBenchmarks()) {
+    std::printf("%-12s", Spec.Name.c_str());
+    for (int Sms : SmCounts) {
+      std::printf(" %8.2f", speedupAtSms(Spec, Sms));
+      benchmark::RegisterBenchmark(
+          ("SmScaling/" + Spec.Name + "/" + std::to_string(Sms)).c_str(),
+          BM_SmScaling, &Spec, Sms)
+          ->Iterations(1);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

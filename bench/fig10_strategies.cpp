@@ -1,0 +1,68 @@
+//===- bench/fig10_strategies.cpp - Paper Figure 10 ---------------------------===//
+//
+// Regenerates Figure 10: speedup over the single-threaded CPU baseline
+// for SWPNC (software pipelining without coalescing), Serial (fully data
+// parallel SAS, one kernel per filter) and SWP8 (the optimized scheme),
+// per benchmark, with the geometric mean as the last row — the paper's
+// last bar.
+//
+// Expected shapes (Section V-B): SWP8 wins everywhere except MatrixMult
+// and DCT where Serial is slightly ahead; SWPNC collapses except where
+// the working set fits shared memory (Filterbank, FMRadio).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+double speedupOf(const std::string &Name, Strategy S) {
+  const std::optional<CompileReport> &R = compiledReport(Name, S, 8);
+  return R ? R->Speedup : 0.0;
+}
+
+void BM_Fig10(benchmark::State &State, const BenchmarkSpec *Spec,
+              Strategy S) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(speedupOf(Spec->Name, S));
+  State.counters["speedup"] = speedupOf(Spec->Name, S);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("Figure 10: Speedup over single-threaded CPU "
+              "(SWPNC / Serial / SWP8)\n");
+  std::printf("%-12s %10s %10s %10s\n", "Benchmark", "SWPNC", "Serial",
+              "SWP8");
+  std::vector<double> Nc, Ser, Swp;
+  for (const BenchmarkSpec &Spec : allBenchmarks()) {
+    double A = speedupOf(Spec.Name, Strategy::SwpNoCoalesce);
+    double B = speedupOf(Spec.Name, Strategy::Serial);
+    double C = speedupOf(Spec.Name, Strategy::Swp);
+    Nc.push_back(A);
+    Ser.push_back(B);
+    Swp.push_back(C);
+    std::printf("%-12s %10.2f %10.2f %10.2f\n", Spec.Name.c_str(), A, B,
+                C);
+    for (Strategy S : {Strategy::SwpNoCoalesce, Strategy::Serial,
+                       Strategy::Swp})
+      benchmark::RegisterBenchmark(
+          ("Fig10/" + Spec.Name + "/" + strategyName(S)).c_str(),
+          BM_Fig10, &Spec, S)
+          ->Iterations(1);
+  }
+  std::printf("%-12s %10.2f %10.2f %10.2f\n", "GeoMean", geomean(Nc),
+              geomean(Ser), geomean(Swp));
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

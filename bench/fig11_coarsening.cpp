@@ -1,0 +1,64 @@
+//===- bench/fig11_coarsening.cpp - Paper Figure 11 ----------------------------===//
+//
+// Regenerates Figure 11: the effect of coarsening the granularity of the
+// software-pipelined schedule — SWP1/SWP4/SWP8/SWP16 speedups over the
+// CPU baseline per benchmark, geometric mean last. The paper's shape:
+// gains plateau between SWP4 and SWP8 (launch overhead amortized).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+constexpr int Factors[] = {1, 4, 8, 16};
+
+double speedupOf(const std::string &Name, int Coarsen) {
+  const std::optional<CompileReport> &R =
+      compiledReport(Name, Strategy::Swp, Coarsen);
+  return R ? R->Speedup : 0.0;
+}
+
+void BM_Fig11(benchmark::State &State, const BenchmarkSpec *Spec,
+              int Coarsen) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(speedupOf(Spec->Name, Coarsen));
+  State.counters["speedup"] = speedupOf(Spec->Name, Coarsen);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("Figure 11: SWP coarsening sweep (speedup over CPU)\n");
+  std::printf("%-12s %9s %9s %9s %9s\n", "Benchmark", "SWP1", "SWP4",
+              "SWP8", "SWP16");
+  std::vector<std::vector<double>> Columns(4);
+  for (const BenchmarkSpec &Spec : allBenchmarks()) {
+    std::printf("%-12s", Spec.Name.c_str());
+    for (int I = 0; I < 4; ++I) {
+      double S = speedupOf(Spec.Name, Factors[I]);
+      Columns[I].push_back(S);
+      std::printf(" %9.2f", S);
+      benchmark::RegisterBenchmark(
+          ("Fig11/" + Spec.Name + "/SWP" + std::to_string(Factors[I]))
+              .c_str(),
+          BM_Fig11, &Spec, Factors[I])
+          ->Iterations(1);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-12s", "GeoMean");
+  for (int I = 0; I < 4; ++I)
+    std::printf(" %9.2f", geomean(Columns[I]));
+  std::printf("\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

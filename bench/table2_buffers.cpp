@@ -1,0 +1,58 @@
+//===- bench/table2_buffers.cpp - Paper Table II ------------------------------===//
+//
+// Regenerates Table II: the channel-buffer requirement in bytes of the
+// optimized software-pipelined schedule coarsened 8 times (SWP8), per
+// benchmark. Absolute bytes differ from the paper (our simulator's
+// execution configurations and schedules are our own); the magnitudes
+// and the per-benchmark ordering are the comparable shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+const int64_t PaperBytes[] = {5308416,  4472832, 29360128, 59768832,
+                              25165824, 7471104, 1671168,  92602368};
+
+void BM_Table2(benchmark::State &State, const BenchmarkSpec *Spec) {
+  for (auto _ : State) {
+    const std::optional<CompileReport> &R =
+        compiledReport(Spec->Name, Strategy::Swp, 8);
+    benchmark::DoNotOptimize(R);
+  }
+  const std::optional<CompileReport> &R =
+      compiledReport(Spec->Name, Strategy::Swp, 8);
+  if (R)
+    State.counters["buffer_bytes"] = static_cast<double>(R->BufferBytes);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("Table II: Buffer requirements of the SWP8 schedule "
+              "(bytes)\n");
+  std::printf("%-12s %16s %16s\n", "Benchmark", "Measured", "Paper");
+  const auto &Specs = allBenchmarks();
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    const std::optional<CompileReport> &R =
+        compiledReport(Specs[I].Name, Strategy::Swp, 8);
+    std::printf("%-12s %16lld %16lld\n", Specs[I].Name.c_str(),
+                R ? static_cast<long long>(R->BufferBytes) : -1LL,
+                static_cast<long long>(PaperBytes[I]));
+    benchmark::RegisterBenchmark(("Table2/" + Specs[I].Name).c_str(),
+                                 BM_Table2, &Specs[I])
+        ->Iterations(1);
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- examples/des_encrypt.cpp - Bit-stream DES on the GPU model --------------===//
+//
+// Streams plaintext blocks (as bit tokens) through the DES benchmark
+// graph, executes the software-pipelined schedule on the functional GPU
+// simulator, and cross-checks every output bit against the sequential
+// reference — demonstrating that a 16-round Feistel pipeline survives
+// the out-of-order, cross-SM software-pipelined execution bit-exactly.
+//
+// Run:  ./des_encrypt
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Registry.h"
+#include "core/Compiler.h"
+#include "gpusim/FunctionalSim.h"
+#include "support/Rng.h"
+
+#include <cstdio>
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+int main() {
+  StreamGraph G = flatten(*buildDes());
+  std::printf("DES graph: %d nodes in a 16-round Feistel pipeline\n",
+              G.numNodes());
+
+  CompileOptions Options;
+  Options.Coarsening = 4;
+  Options.Sched.Pmax = 16;
+  std::optional<CompileReport> R = compileForGpu(G, Options);
+  if (!R) {
+    std::fprintf(stderr, "compilation failed\n");
+    return 1;
+  }
+  std::printf("SWP schedule: II=%.1f cycles, %zu instances, speedup "
+              "%.2fx\n",
+              R->SchedStats.FinalII, R->Schedule.Instances.size(),
+              R->Speedup);
+
+  auto SS = SteadyState::compute(G);
+  SwpFunctionalSim Sim(G, *SS, R->Config, R->GSS, R->Schedule);
+  int64_t Iterations = 1;
+  int64_t Need = Sim.inputTokensNeeded(Iterations);
+  std::printf("Encrypting %lld plaintext bits (%lld 64-bit blocks)...\n",
+              static_cast<long long>(Need),
+              static_cast<long long>(Need / 64));
+
+  Rng Rand(99);
+  std::vector<Scalar> Input;
+  for (int64_t I = 0; I < Need; ++I)
+    Input.push_back(Scalar::makeInt(Rand.nextInt(2)));
+
+  if (auto Err = checkScheduleAgainstReference(G, *SS, R->Config, R->GSS,
+                                               R->Schedule, Input,
+                                               Iterations)) {
+    std::fprintf(stderr, "mismatch: %s\n", Err->c_str());
+    return 1;
+  }
+  FunctionalRunResult Run = Sim.run(Input, Iterations);
+  std::printf("All %zu ciphertext bits match the sequential reference.\n",
+              Run.Output.size());
+  std::printf("First 64 ciphertext bits: ");
+  for (int I = 0; I < 64 && I < static_cast<int>(Run.Output.size()); ++I)
+    std::printf("%lld", static_cast<long long>(Run.Output[I].asInt()));
+  std::printf("\n");
+  return 0;
+}

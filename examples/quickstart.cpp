@@ -1,0 +1,109 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library -------------===//
+//
+// Builds a tiny StreamIt program with the builder DSL, flattens it,
+// compiles it for the simulated GeForce 8800 with the full paper pipeline
+// (profile -> Alg. 7 -> ILP software pipelining -> buffer layout), runs
+// it functionally against the sequential reference, and prints the
+// generated CUDA kernel.
+//
+// Run:  ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CudaEmitter.h"
+#include "core/Compiler.h"
+#include "ir/FilterBuilder.h"
+#include "gpusim/FunctionalSim.h"
+#include "support/Rng.h"
+
+#include <cstdio>
+
+using namespace sgpu;
+
+/// A moving-average low-pass filter: peeks an 8-token window, pops one,
+/// pushes the window mean — the classic StreamIt intro example.
+static FilterPtr makeMovingAverage(int Window) {
+  FilterBuilder B("MovingAverage", TokenType::Float, TokenType::Float);
+  B.setRates(/*Pop=*/1, /*Push=*/1, /*Peek=*/Window);
+  const VarDecl *Sum = B.declVar("sum", B.litF(0.0));
+  const VarDecl *I = B.beginFor("i", B.litI(0), B.litI(Window));
+  B.assign(Sum, B.add(B.ref(Sum), B.peek(B.ref(I))));
+  B.endFor();
+  B.push(B.div(B.ref(Sum), B.litF(Window)));
+  B.popDiscard();
+  return B.build();
+}
+
+/// Amplifier: pop 1, push 1, scale by a constant field.
+static FilterPtr makeAmplifier(double Gain) {
+  FilterBuilder B("Amplifier", TokenType::Float, TokenType::Float);
+  B.setRates(1, 1);
+  const VarDecl *G = B.fieldScalarF("gain", Gain);
+  B.push(B.mul(B.pop(), B.ref(G)));
+  return B.build();
+}
+
+int main() {
+  // 1. Compose the program: input -> moving average -> amplifier.
+  std::vector<StreamPtr> Stages;
+  Stages.push_back(filterStream(makeMovingAverage(8)));
+  Stages.push_back(filterStream(makeAmplifier(2.0)));
+  StreamPtr Program = pipelineStream(std::move(Stages));
+
+  // 2. Flatten to the multirate stream graph the compiler consumes.
+  StreamGraph G = flatten(*Program);
+  std::printf("Flattened graph: %d nodes, %d edges, %d peeking filter\n",
+              G.numNodes(), G.numEdges(), G.numPeekingFilters());
+
+  // 3. Compile: profiling, Algorithm 7 configuration selection, the
+  //    Section III ILP, and the shuffled buffer layout.
+  CompileOptions Options;
+  Options.Sched.Pmax = 4;
+  Options.Coarsening = 8;
+  std::optional<CompileReport> Report = compileForGpu(G, Options);
+  if (!Report) {
+    std::fprintf(stderr, "compilation failed\n");
+    return 1;
+  }
+  std::printf("Execution config: regs<=%d, %d-thread blocks\n",
+              Report->Config.RegLimit, Report->Config.NumThreads);
+  std::printf("Schedule: II=%.1f cycles (MII %.1f, relaxed %.2f%%), "
+              "%zu instances on %d SMs\n",
+              Report->SchedStats.FinalII, Report->SchedStats.MII,
+              Report->SchedStats.RelaxationPercent,
+              Report->Schedule.Instances.size(), Report->Schedule.Pmax);
+  std::printf("Estimated speedup over 1-thread CPU: %.2fx\n",
+              Report->Speedup);
+
+  // 4. Validate the schedule functionally against the sequential
+  //    reference interpreter (bit-exact).
+  auto SS = SteadyState::compute(G);
+  SwpFunctionalSim Sim(G, *SS, Report->Config, Report->GSS,
+                       Report->Schedule);
+  Rng R(2026);
+  std::vector<Scalar> Input;
+  for (int64_t I = 0, E = Sim.inputTokensNeeded(2); I < E; ++I)
+    Input.push_back(Scalar::makeFloat(R.nextFloat(1.0f)));
+  if (auto Err = checkScheduleAgainstReference(
+          G, *SS, Report->Config, Report->GSS, Report->Schedule, Input,
+          2)) {
+    std::fprintf(stderr, "functional check failed: %s\n", Err->c_str());
+    return 1;
+  }
+  std::printf("Functional check: GPU-scheduled output == reference\n\n");
+
+  // 5. Show the generated CUDA kernel (first lines).
+  CudaEmitOptions EmitOpts;
+  EmitOpts.Coarsening = Options.Coarsening;
+  std::string Cuda = emitCudaSource(G, *SS, Report->Config, Report->GSS,
+                                    Report->Schedule, EmitOpts);
+  std::printf("Generated CUDA (%zu bytes), excerpt:\n", Cuda.size());
+  size_t Shown = 0;
+  for (size_t I = 0; I < Cuda.size() && Shown < 30; ++I) {
+    std::putchar(Cuda[I]);
+    if (Cuda[I] == '\n')
+      ++Shown;
+  }
+  std::printf("...\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- benchmarks/Bitonic.cpp - Iterative bitonic sorting network -----------===//
+//
+// Batcher's bitonic network for 8 keys. Every stage pairs elements at a
+// fixed distance: a permutation brings each pair adjacent, a round-robin
+// split-join runs the four compare-exchange filters in parallel, and the
+// inverse permutation restores element order — the flattened shape the
+// StreamIt Bitonic benchmark produces.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Common.h"
+#include "benchmarks/Registry.h"
+
+#include <cassert>
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+constexpr int SortN = 8;
+
+/// One network stage: compare-exchange all pairs (i, i^Dist) with the
+/// direction decided by bit K of the lower index.
+StreamPtr makeStage(int Stage, int K, int Dist) {
+  // Enumerate pairs in lower-index order.
+  std::vector<std::pair<int, int>> Pairs;
+  std::vector<bool> Ascending;
+  for (int I = 0; I < SortN; ++I) {
+    int L = I ^ Dist;
+    if (L > I) {
+      Pairs.push_back({I, L});
+      Ascending.push_back((I & K) == 0);
+    }
+  }
+  assert(Pairs.size() == SortN / 2 && "stage must cover all elements");
+
+  // Forward permutation: out[2m] = in[Pairs[m].first], out[2m+1] = second.
+  // After it, position p holds original element Fwd[p]; the restoring
+  // permutation therefore reads position i's element from Restore[i],
+  // the index of i within Fwd.
+  std::vector<int64_t> Fwd(SortN);
+  for (size_t M = 0; M < Pairs.size(); ++M) {
+    Fwd[2 * M] = Pairs[M].first;
+    Fwd[2 * M + 1] = Pairs[M].second;
+  }
+  std::vector<int64_t> Restore(SortN);
+  for (int P = 0; P < SortN; ++P)
+    Restore[Fwd[P]] = P;
+
+  std::string Tag = "s" + std::to_string(Stage);
+  std::vector<StreamPtr> Branches;
+  std::vector<int64_t> W2(Pairs.size(), 2);
+  for (size_t M = 0; M < Pairs.size(); ++M)
+    Branches.push_back(filterStream(makeCompareExchange(
+        "CmpEx_" + Tag + "_" + std::to_string(M), Ascending[M])));
+
+  std::vector<StreamPtr> Stage3;
+  Stage3.push_back(
+      filterStream(makePermute("Pair_" + Tag, TokenType::Int, Fwd)));
+  Stage3.push_back(roundRobinSplitJoin(W2, std::move(Branches), W2));
+  Stage3.push_back(
+      filterStream(makePermute("Unpair_" + Tag, TokenType::Int, Restore)));
+  return pipelineStream(std::move(Stage3));
+}
+
+} // namespace
+
+StreamPtr sgpu::bench::buildBitonic() {
+  std::vector<StreamPtr> Stages;
+  int Stage = 0;
+  for (int K = 2; K <= SortN; K <<= 1)
+    for (int J = K >> 1; J > 0; J >>= 1)
+      Stages.push_back(makeStage(Stage++, K, J));
+  return pipelineStream(std::move(Stages));
+}

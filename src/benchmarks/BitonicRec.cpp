@@ -1,0 +1,88 @@
+//===- benchmarks/BitonicRec.cpp - Recursive bitonic sorter -----------------===//
+//
+// The recursive formulation of the StreamIt BitonicRec benchmark:
+// sort(n) splits into an ascending and a descending half-sort feeding a
+// bitonic merger; the merger compare-exchanges elements n/2 apart and
+// recurses into the two halves. The flattened graph differs from the
+// iterative network (more, smaller split-joins), which is exactly why
+// the paper evaluates both variants.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Common.h"
+#include "benchmarks/Registry.h"
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+constexpr int SortN = 8;
+
+int NameCounter = 0;
+
+std::string uniq(const std::string &Base) {
+  return Base + "_" + std::to_string(NameCounter++);
+}
+
+/// Compare-exchange of elements (i, i + n/2) for all i < n/2: the
+/// round-robin split de-interleaves halves pairwise.
+StreamPtr makeMergeStage(int N, bool Ascending) {
+  // Pairing permutation: out[2m] = in[m], out[2m+1] = in[m + N/2].
+  std::vector<int64_t> Fwd(N), Restore(N);
+  for (int M = 0; M < N / 2; ++M) {
+    Fwd[2 * M] = M;
+    Fwd[2 * M + 1] = M + N / 2;
+  }
+  for (int P = 0; P < N; ++P)
+    Restore[Fwd[P]] = P;
+
+  std::vector<StreamPtr> Branches;
+  std::vector<int64_t> W2(N / 2, 2);
+  for (int M = 0; M < N / 2; ++M)
+    Branches.push_back(
+        filterStream(makeCompareExchange(uniq("RCmpEx"), Ascending)));
+
+  std::vector<StreamPtr> Parts;
+  Parts.push_back(
+      filterStream(makePermute(uniq("RPair"), TokenType::Int, Fwd)));
+  Parts.push_back(roundRobinSplitJoin(W2, std::move(Branches), W2));
+  Parts.push_back(
+      filterStream(makePermute(uniq("RUnpair"), TokenType::Int, Restore)));
+  return pipelineStream(std::move(Parts));
+}
+
+/// Bitonic merge: one compare-exchange stage, then merge both halves.
+StreamPtr makeMerge(int N, bool Ascending) {
+  if (N == 2)
+    return filterStream(makeCompareExchange(uniq("RCmpEx"), Ascending));
+  std::vector<StreamPtr> Parts;
+  Parts.push_back(makeMergeStage(N, Ascending));
+  std::vector<StreamPtr> Halves;
+  Halves.push_back(makeMerge(N / 2, Ascending));
+  Halves.push_back(makeMerge(N / 2, Ascending));
+  std::vector<int64_t> WH = {N / 2, N / 2};
+  Parts.push_back(roundRobinSplitJoin(WH, std::move(Halves), WH));
+  return pipelineStream(std::move(Parts));
+}
+
+/// Bitonic sort: sort halves in opposite directions, then merge.
+StreamPtr makeSort(int N, bool Ascending) {
+  if (N == 2)
+    return filterStream(makeCompareExchange(uniq("RCmpEx"), Ascending));
+  std::vector<StreamPtr> Halves;
+  Halves.push_back(makeSort(N / 2, true));
+  Halves.push_back(makeSort(N / 2, false));
+  std::vector<int64_t> WH = {N / 2, N / 2};
+  std::vector<StreamPtr> Parts;
+  Parts.push_back(roundRobinSplitJoin(WH, std::move(Halves), WH));
+  Parts.push_back(makeMerge(N, Ascending));
+  return pipelineStream(std::move(Parts));
+}
+
+} // namespace
+
+StreamPtr sgpu::bench::buildBitonicRec() {
+  NameCounter = 0;
+  return makeSort(SortN, /*Ascending=*/true);
+}

@@ -1,0 +1,121 @@
+//===- benchmarks/Common.cpp - Shared benchmark building blocks -------------===//
+
+#include "benchmarks/Common.h"
+
+#include <cmath>
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+FilterPtr sgpu::bench::makeIdentity(const std::string &Name, TokenType Ty) {
+  FilterBuilder B(Name, Ty, Ty);
+  B.setRates(1, 1);
+  B.push(B.pop());
+  return B.build();
+}
+
+FilterPtr sgpu::bench::makePermute(const std::string &Name, TokenType Ty,
+                                   const std::vector<int64_t> &Perm) {
+  int64_t N = static_cast<int64_t>(Perm.size());
+  FilterBuilder B(Name, Ty, Ty);
+  B.setRates(N, N, N);
+  const VarDecl *P = B.fieldArrayI("perm", Perm);
+  const VarDecl *I = B.beginFor("i", B.litI(0), B.litI(N));
+  B.push(B.peek(B.index(P, B.ref(I))));
+  B.endFor();
+  B.popDiscard(N);
+  return B.build();
+}
+
+FilterPtr sgpu::bench::makeCompareExchange(const std::string &Name,
+                                           bool Ascending) {
+  FilterBuilder B(Name, TokenType::Int, TokenType::Int);
+  B.setRates(2, 2);
+  const VarDecl *A = B.declVar("a", B.pop());
+  const VarDecl *C = B.declVar("b", B.pop());
+  if (Ascending) {
+    B.push(B.callMin(B.ref(A), B.ref(C)));
+    B.push(B.callMax(B.ref(A), B.ref(C)));
+  } else {
+    B.push(B.callMax(B.ref(A), B.ref(C)));
+    B.push(B.callMin(B.ref(A), B.ref(C)));
+  }
+  return B.build();
+}
+
+FilterPtr sgpu::bench::makeFir(const std::string &Name,
+                               const std::vector<double> &Coef,
+                               int64_t Decimation) {
+  int64_t Taps = static_cast<int64_t>(Coef.size());
+  FilterBuilder B(Name, TokenType::Float, TokenType::Float);
+  B.setRates(Decimation, 1, Taps);
+  const VarDecl *H = B.fieldArrayF("h", Coef);
+  const VarDecl *Sum = B.declVar("sum", B.litF(0.0));
+  const VarDecl *I = B.beginFor("i", B.litI(0), B.litI(Taps));
+  B.assign(Sum, B.add(B.ref(Sum),
+                      B.mul(B.index(H, B.ref(I)), B.peek(B.ref(I)))));
+  B.endFor();
+  B.push(B.ref(Sum));
+  B.popDiscard(Decimation);
+  return B.build();
+}
+
+std::vector<double> sgpu::bench::lowPassCoefficients(double Rate,
+                                                     double Cutoff,
+                                                     int Taps,
+                                                     int Decimation) {
+  // Windowed-sinc, as in the StreamIt FMRadio/Filterbank sources.
+  std::vector<double> Coef(Taps);
+  double M = Taps - 1;
+  double W = 2.0 * 3.14159265358979323846 * Cutoff / Rate;
+  for (int I = 0; I < Taps; ++I) {
+    double H = I - M / 2.0 == 0.0
+                   ? W / 3.14159265358979323846
+                   : std::sin(W * (I - M / 2.0)) /
+                         (3.14159265358979323846 * (I - M / 2.0));
+    // Hamming window.
+    Coef[I] = H * (0.54 - 0.46 * std::cos(2.0 * 3.14159265358979323846 *
+                                          I / M));
+    Coef[I] /= Decimation + 1;
+  }
+  return Coef;
+}
+
+FilterPtr sgpu::bench::makeWindowAdder(const std::string &Name,
+                                       int64_t Window) {
+  FilterBuilder B(Name, TokenType::Float, TokenType::Float);
+  B.setRates(Window, 1);
+  const VarDecl *Sum = B.declVar("sum", B.litF(0.0));
+  const VarDecl *I = B.beginFor("i", B.litI(0), B.litI(Window));
+  (void)I;
+  B.assign(Sum, B.add(B.ref(Sum), B.pop()));
+  B.endFor();
+  B.push(B.ref(Sum));
+  return B.build();
+}
+
+FilterPtr sgpu::bench::makeDownSampler(const std::string &Name, TokenType Ty,
+                                       int64_t N) {
+  FilterBuilder B(Name, Ty, Ty);
+  B.setRates(N, 1);
+  B.push(B.pop());
+  B.popDiscard(N - 1);
+  return B.build();
+}
+
+FilterPtr sgpu::bench::makeUpSampler(const std::string &Name, TokenType Ty,
+                                     int64_t N) {
+  FilterBuilder B(Name, Ty, Ty);
+  B.setRates(1, N);
+  B.push(B.pop());
+  for (int64_t I = 1; I < N; ++I)
+    B.push(Ty == TokenType::Int ? B.litI(0) : B.litF(0.0));
+  return B.build();
+}
+
+FilterPtr sgpu::bench::makeGain(const std::string &Name, double Gain) {
+  FilterBuilder B(Name, TokenType::Float, TokenType::Float);
+  B.setRates(1, 1);
+  B.push(B.mul(B.pop(), B.litF(Gain)));
+  return B.build();
+}

@@ -1,0 +1,62 @@
+//===- benchmarks/Common.h - Shared benchmark building blocks ---*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Filter constructors shared by the StreamIt 2.1.1 benchmark ports of
+/// Table I: identity, permutation (peek-reorder-pop), FIR low-pass,
+/// compare-exchange, adders and samplers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_BENCHMARKS_COMMON_H
+#define SGPU_BENCHMARKS_COMMON_H
+
+#include "ir/FilterBuilder.h"
+#include "ir/Stream.h"
+
+#include <string>
+#include <vector>
+
+namespace sgpu {
+namespace bench {
+
+/// pop 1 / push 1 pass-through.
+FilterPtr makeIdentity(const std::string &Name, TokenType Ty);
+
+/// pop N / push N window permutation: out[i] = in[Perm[i]].
+FilterPtr makePermute(const std::string &Name, TokenType Ty,
+                      const std::vector<int64_t> &Perm);
+
+/// Bitonic compare-exchange: pop 2, push (min, max) when Ascending else
+/// (max, min).
+FilterPtr makeCompareExchange(const std::string &Name, bool Ascending);
+
+/// FIR filter: peek Taps, pop Decimation, push 1; output = sum of
+/// Coef[i] * peek(i).
+FilterPtr makeFir(const std::string &Name, const std::vector<double> &Coef,
+                  int64_t Decimation = 1);
+
+/// Standard low-pass FIR coefficient window (used by Filterbank/FMRadio).
+std::vector<double> lowPassCoefficients(double Rate, double Cutoff,
+                                        int Taps, int Decimation = 0);
+
+/// pop Window, push 1: sum of a window (joiner-side combiner).
+FilterPtr makeWindowAdder(const std::string &Name, int64_t Window);
+
+/// pop N, push 1 (keep the first of every N tokens).
+FilterPtr makeDownSampler(const std::string &Name, TokenType Ty, int64_t N);
+
+/// pop 1, push N (the value followed by N-1 zeros).
+FilterPtr makeUpSampler(const std::string &Name, TokenType Ty, int64_t N);
+
+/// pop 1, push 1 scale-by-constant.
+FilterPtr makeGain(const std::string &Name, double Gain);
+
+} // namespace bench
+} // namespace sgpu
+
+#endif // SGPU_BENCHMARKS_COMMON_H

@@ -1,0 +1,82 @@
+//===- benchmarks/Dct.cpp - 8x8 two-dimensional DCT -------------------------===//
+//
+// The separable 2D DCT of the StreamIt DCT benchmark: a round-robin
+// split-join applies the 1D 8-point DCT to the eight rows of each 8x8
+// block in parallel, a transpose permutation swaps rows and columns, a
+// second split-join transforms the columns, and a final transpose
+// restores block order. The splitters/joiners move whole rows and do
+// little work — the "phased" bandwidth-hungry structure the paper calls
+// out when discussing why Serial edges out SWP here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Common.h"
+#include "benchmarks/Registry.h"
+
+#include <cmath>
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+constexpr int Dim = 8;
+
+/// 1D 8-point DCT-II as a matrix multiply against a coefficient field.
+FilterPtr makeDct1D(const std::string &Name) {
+  std::vector<double> C(Dim * Dim);
+  for (int K = 0; K < Dim; ++K)
+    for (int J = 0; J < Dim; ++J) {
+      double Scale = K == 0 ? std::sqrt(1.0 / Dim) : std::sqrt(2.0 / Dim);
+      C[K * Dim + J] =
+          Scale * std::cos((2.0 * J + 1.0) * K * 3.14159265358979323846 /
+                           (2.0 * Dim));
+    }
+
+  FilterBuilder B(Name, TokenType::Float, TokenType::Float);
+  B.setRates(Dim, Dim, Dim);
+  const VarDecl *Coef = B.fieldArrayF("c", C);
+  const VarDecl *K = B.beginFor("k", B.litI(0), B.litI(Dim));
+  const VarDecl *Sum = B.declVar("sum", B.litF(0.0));
+  const VarDecl *J = B.beginFor("j", B.litI(0), B.litI(Dim));
+  B.assign(Sum,
+           B.add(B.ref(Sum),
+                 B.mul(B.index(Coef, B.add(B.mul(B.ref(K), B.litI(Dim)),
+                                           B.ref(J))),
+                       B.peek(B.ref(J)))));
+  B.endFor();
+  B.push(B.ref(Sum));
+  B.endFor();
+  B.popDiscard(Dim);
+  return B.build();
+}
+
+/// Block transpose as a 64-element permutation.
+FilterPtr makeTranspose(const std::string &Name) {
+  std::vector<int64_t> Perm(Dim * Dim);
+  for (int R = 0; R < Dim; ++R)
+    for (int C = 0; C < Dim; ++C)
+      Perm[C * Dim + R] = R * Dim + C;
+  return makePermute(Name, TokenType::Float, Perm);
+}
+
+/// One transform pass: rows through eight parallel 1D DCTs.
+StreamPtr makePass(const std::string &Tag) {
+  std::vector<StreamPtr> Rows;
+  std::vector<int64_t> W(Dim, Dim);
+  for (int R = 0; R < Dim; ++R)
+    Rows.push_back(filterStream(
+        makeDct1D("DCT1D_" + Tag + "_" + std::to_string(R))));
+  return roundRobinSplitJoin(W, std::move(Rows), W);
+}
+
+} // namespace
+
+StreamPtr sgpu::bench::buildDct() {
+  std::vector<StreamPtr> Parts;
+  Parts.push_back(makePass("rows"));
+  Parts.push_back(filterStream(makeTranspose("Transpose_a")));
+  Parts.push_back(makePass("cols"));
+  Parts.push_back(filterStream(makeTranspose("Transpose_b")));
+  return pipelineStream(std::move(Parts));
+}

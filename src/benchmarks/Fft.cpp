@@ -1,0 +1,110 @@
+//===- benchmarks/Fft.cpp - Radix-2 decimation-in-time FFT ------------------===//
+//
+// A 16-point complex FFT over interleaved (re, im) float tokens, in the
+// recursive split-join shape of the StreamIt FFT benchmark: bit-reversal
+// reordering, round-robin split-joins peeling even/odd sub-transforms,
+// and butterfly combine filters with twiddle-factor fields.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Common.h"
+#include "benchmarks/Registry.h"
+
+#include <cmath>
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+constexpr int Points = 16; ///< Complex points per frame.
+constexpr double Pi = 3.14159265358979323846;
+
+/// Butterfly combine for an M-point transform: input is the two M/2
+/// sub-transforms back to back (interleaved complex floats), output the
+/// combined spectrum X[j] = E[j] + w^j O[j], X[j+M/2] = E[j] - w^j O[j].
+FilterPtr makeCombine(const std::string &Name, int M) {
+  int Half = M / 2;
+  std::vector<double> Wr(Half), Wi(Half);
+  for (int J = 0; J < Half; ++J) {
+    Wr[J] = std::cos(-2.0 * Pi * J / M);
+    Wi[J] = std::sin(-2.0 * Pi * J / M);
+  }
+
+  FilterBuilder B(Name, TokenType::Float, TokenType::Float);
+  B.setRates(2 * M, 2 * M, 2 * M);
+  const VarDecl *CosT = B.fieldArrayF("wr", Wr);
+  const VarDecl *SinT = B.fieldArrayF("wi", Wi);
+  const VarDecl *OutRe = B.declArray("outre", TokenType::Float, M);
+  const VarDecl *OutIm = B.declArray("outim", TokenType::Float, M);
+
+  const VarDecl *J = B.beginFor("j", B.litI(0), B.litI(Half));
+  // E[j] at tokens (2j, 2j+1); O[j] at tokens (M + 2j, M + 2j + 1).
+  const VarDecl *Er =
+      B.declVar("er", B.peek(B.mul(B.ref(J), B.litI(2))));
+  const VarDecl *Ei = B.declVar(
+      "ei", B.peek(B.add(B.mul(B.ref(J), B.litI(2)), B.litI(1))));
+  const VarDecl *Or = B.declVar(
+      "orr", B.peek(B.add(B.mul(B.ref(J), B.litI(2)), B.litI(M))));
+  const VarDecl *Oi = B.declVar(
+      "oi", B.peek(B.add(B.mul(B.ref(J), B.litI(2)), B.litI(M + 1))));
+  const VarDecl *Tr = B.declVar(
+      "tr", B.sub(B.mul(B.index(CosT, B.ref(J)), B.ref(Or)),
+                  B.mul(B.index(SinT, B.ref(J)), B.ref(Oi))));
+  const VarDecl *Ti = B.declVar(
+      "ti", B.add(B.mul(B.index(CosT, B.ref(J)), B.ref(Oi)),
+                  B.mul(B.index(SinT, B.ref(J)), B.ref(Or))));
+  B.assignIndex(OutRe, B.ref(J), B.add(B.ref(Er), B.ref(Tr)));
+  B.assignIndex(OutIm, B.ref(J), B.add(B.ref(Ei), B.ref(Ti)));
+  B.assignIndex(OutRe, B.add(B.ref(J), B.litI(Half)),
+                B.sub(B.ref(Er), B.ref(Tr)));
+  B.assignIndex(OutIm, B.add(B.ref(J), B.litI(Half)),
+                B.sub(B.ref(Ei), B.ref(Ti)));
+  B.endFor();
+
+  const VarDecl *K = B.beginFor("k", B.litI(0), B.litI(M));
+  B.push(B.index(OutRe, B.ref(K)));
+  B.push(B.index(OutIm, B.ref(K)));
+  B.endFor();
+  B.popDiscard(2 * M);
+  return B.build();
+}
+
+/// Recursive DIT decomposition; the frame arrives bit-reversed, so each
+/// level's halves are contiguous.
+StreamPtr makeFft(int M, int &Counter) {
+  std::string Tag = std::to_string(M) + "_" + std::to_string(Counter++);
+  if (M == 2)
+    return filterStream(makeCombine("Butterfly2_" + Tag, 2));
+  std::vector<StreamPtr> Halves;
+  Halves.push_back(makeFft(M / 2, Counter));
+  Halves.push_back(makeFft(M / 2, Counter));
+  std::vector<int64_t> W = {M, M}; // M floats = M/2 complex per half.
+  std::vector<StreamPtr> Parts;
+  Parts.push_back(roundRobinSplitJoin(W, std::move(Halves), W));
+  Parts.push_back(filterStream(makeCombine("Combine" + Tag, M)));
+  return pipelineStream(std::move(Parts));
+}
+
+} // namespace
+
+StreamPtr sgpu::bench::buildFft() {
+  // Bit-reversal permutation over interleaved complex tokens.
+  std::vector<int64_t> Perm(2 * Points);
+  int Bits = 4;
+  for (int I = 0; I < Points; ++I) {
+    int R = 0;
+    for (int Bit = 0; Bit < Bits; ++Bit)
+      if (I & (1 << Bit))
+        R |= 1 << (Bits - 1 - Bit);
+    Perm[2 * I] = 2 * R;
+    Perm[2 * I + 1] = 2 * R + 1;
+  }
+
+  int Counter = 0;
+  std::vector<StreamPtr> Parts;
+  Parts.push_back(
+      filterStream(makePermute("BitReverse", TokenType::Float, Perm)));
+  Parts.push_back(makeFft(Points, Counter));
+  return pipelineStream(std::move(Parts));
+}

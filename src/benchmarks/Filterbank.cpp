@@ -1,0 +1,53 @@
+//===- benchmarks/Filterbank.cpp - Multirate analysis filter bank -----------===//
+//
+// The StreamIt Filterbank benchmark: a duplicate splitter fans the input
+// into eight band channels; each channel band-passes with a peeking FIR,
+// decimates by 8, interpolates by 8, and reconstructs with a second
+// peeking FIR; a round-robin joiner interleaves the channels and an
+// adder recombines them. The two FIRs per channel are the paper's
+// Table I "16 peeking filters".
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Common.h"
+#include "benchmarks/Registry.h"
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+constexpr int Channels = 8;
+constexpr int Taps = 24;
+
+} // namespace
+
+StreamPtr sgpu::bench::buildFilterbank() {
+  std::vector<StreamPtr> Branches;
+  for (int C = 0; C < Channels; ++C) {
+    std::string Tag = std::to_string(C);
+    // Band-pass analysis window: shift the low-pass prototype per band.
+    std::vector<double> Analysis =
+        lowPassCoefficients(250.0, 10.0 + 12.0 * C, Taps);
+    std::vector<double> Synthesis =
+        lowPassCoefficients(250.0, 12.0 + 12.0 * C, Taps);
+
+    std::vector<StreamPtr> Chain;
+    Chain.push_back(filterStream(makeFir("Analysis_" + Tag, Analysis)));
+    Chain.push_back(
+        filterStream(makeDownSampler("Down_" + Tag, TokenType::Float,
+                                     Channels)));
+    Chain.push_back(
+        filterStream(makeUpSampler("Up_" + Tag, TokenType::Float,
+                                   Channels)));
+    Chain.push_back(filterStream(makeFir("Synthesis_" + Tag, Synthesis)));
+    Branches.push_back(pipelineStream(std::move(Chain)));
+  }
+
+  std::vector<int64_t> JoinW(Channels, 1);
+  std::vector<StreamPtr> Parts;
+  Parts.push_back(
+      duplicateSplitJoin(std::move(Branches), std::move(JoinW)));
+  Parts.push_back(filterStream(makeWindowAdder("Combine", Channels)));
+  return pipelineStream(std::move(Parts));
+}

@@ -1,0 +1,80 @@
+//===- benchmarks/FmRadio.cpp - Software FM radio with equalizer ------------===//
+//
+// The StreamIt FMRadio benchmark: a decimating low-pass front end
+// (peeking FIR), an FM demodulator that peeks at adjacent samples, and a
+// ten-band equalizer — each band subtracts two peeking low-pass filters
+// fed by a duplicate splitter and applies a gain; the bands are summed.
+// The 1 + 1 + 2*10 = 22 peeking filters match the paper's Table I.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Common.h"
+#include "benchmarks/Registry.h"
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+constexpr int Bands = 10;
+constexpr int Taps = 24;
+constexpr int EqTaps = 24;
+
+/// FM demodulation: combines adjacent samples through a nonlinearity
+/// (the StreamIt original uses atan; a sine stands in with the same
+/// peek-1-ahead structure and one transcendental per sample).
+FilterPtr makeDemodulator() {
+  FilterBuilder B("FMDemodulator", TokenType::Float, TokenType::Float);
+  B.setRates(1, 1, 2);
+  const VarDecl *X = B.declVar(
+      "x", B.mul(B.peek(B.litI(0)), B.peek(B.litI(1))));
+  B.push(B.mul(B.callSin(B.ref(X)), B.litF(0.5)));
+  B.popDiscard();
+  return B.build();
+}
+
+/// a - b over a round-robin interleaved pair.
+FilterPtr makeSubtract(const std::string &Name) {
+  FilterBuilder B(Name, TokenType::Float, TokenType::Float);
+  B.setRates(2, 1);
+  const VarDecl *A = B.declVar("a", B.pop());
+  const VarDecl *C = B.declVar("b", B.pop());
+  B.push(B.sub(B.ref(C), B.ref(A)));
+  return B.build();
+}
+
+} // namespace
+
+StreamPtr sgpu::bench::buildFmRadio() {
+  std::vector<StreamPtr> Parts;
+  Parts.push_back(filterStream(
+      makeFir("LowPassFront",
+              lowPassCoefficients(250.0, 108.0, Taps, /*Decimation=*/3),
+              /*Decimation=*/4)));
+  Parts.push_back(filterStream(makeDemodulator()));
+
+  // Equalizer: band i passes [cutoff(i), cutoff(i+1)) as the difference
+  // of two low-pass filters.
+  std::vector<StreamPtr> BandStreams;
+  for (int I = 0; I < Bands; ++I) {
+    std::string Tag = std::to_string(I);
+    double Lo = 55.0 + 10.0 * I;
+    double Hi = 65.0 + 10.0 * I;
+    std::vector<StreamPtr> Pair;
+    Pair.push_back(filterStream(
+        makeFir("BandLow_" + Tag, lowPassCoefficients(250.0, Lo, EqTaps))));
+    Pair.push_back(filterStream(
+        makeFir("BandHigh_" + Tag, lowPassCoefficients(250.0, Hi, EqTaps))));
+    std::vector<StreamPtr> Band;
+    Band.push_back(duplicateSplitJoin(std::move(Pair), {1, 1}));
+    Band.push_back(filterStream(makeSubtract("BandDiff_" + Tag)));
+    Band.push_back(
+        filterStream(makeGain("BandGain_" + Tag, 0.5 + 0.1 * I)));
+    BandStreams.push_back(pipelineStream(std::move(Band)));
+  }
+  std::vector<int64_t> JoinW(Bands, 1);
+  Parts.push_back(
+      duplicateSplitJoin(std::move(BandStreams), std::move(JoinW)));
+  Parts.push_back(filterStream(makeWindowAdder("EqCombine", Bands)));
+  return pipelineStream(std::move(Parts));
+}

@@ -1,0 +1,105 @@
+//===- benchmarks/MatrixMult.cpp - Blocked matrix multiply ------------------===//
+//
+// The StreamIt MatrixMult benchmark: operand blocks A and B arrive
+// interleaved on one stream; a round-robin splitter separates them, B is
+// transposed, both are replicated so that every (row, column) pairing
+// streams past a bank of dot-product filters, and the products emerge in
+// row-major order. The replication filters push N times what they pop —
+// the splitter/joiner-heavy "phased" structure the paper highlights for
+// this benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Common.h"
+#include "benchmarks/Registry.h"
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+constexpr int Dim = 4;
+constexpr int Block = Dim * Dim;
+
+/// Repeats each row of the block once per output column:
+/// pop N*N, push N*N*N (row r emitted Dim times in sequence).
+FilterPtr makeDuplicateRows() {
+  FilterBuilder B("DuplicateRows", TokenType::Float, TokenType::Float);
+  B.setRates(Block, Block * Dim, Block);
+  const VarDecl *R = B.beginFor("r", B.litI(0), B.litI(Dim));
+  const VarDecl *C = B.beginFor("c", B.litI(0), B.litI(Dim));
+  (void)C;
+  const VarDecl *I = B.beginFor("i", B.litI(0), B.litI(Dim));
+  B.push(B.peek(B.add(B.mul(B.ref(R), B.litI(Dim)), B.ref(I))));
+  B.endFor();
+  B.endFor();
+  B.endFor();
+  B.popDiscard(Block);
+  return B.build();
+}
+
+/// Repeats the whole (transposed) block once per output row:
+/// pop N*N, push N*N*N.
+FilterPtr makeDuplicateBlock() {
+  FilterBuilder B("DuplicateBlock", TokenType::Float, TokenType::Float);
+  B.setRates(Block, Block * Dim, Block);
+  const VarDecl *R = B.beginFor("r", B.litI(0), B.litI(Dim));
+  (void)R;
+  const VarDecl *I = B.beginFor("i", B.litI(0), B.litI(Block));
+  B.push(B.peek(B.ref(I)));
+  B.endFor();
+  B.endFor();
+  B.popDiscard(Block);
+  return B.build();
+}
+
+/// Dot product of a row/column pair delivered as Dim + Dim tokens.
+FilterPtr makeDotProduct(const std::string &Name) {
+  FilterBuilder B(Name, TokenType::Float, TokenType::Float);
+  B.setRates(2 * Dim, 1, 2 * Dim);
+  const VarDecl *Sum = B.declVar("sum", B.litF(0.0));
+  const VarDecl *I = B.beginFor("i", B.litI(0), B.litI(Dim));
+  B.assign(Sum, B.add(B.ref(Sum),
+                      B.mul(B.peek(B.ref(I)),
+                            B.peek(B.add(B.ref(I), B.litI(Dim))))));
+  B.endFor();
+  B.push(B.ref(Sum));
+  B.popDiscard(2 * Dim);
+  return B.build();
+}
+
+/// B-block transpose.
+FilterPtr makeTransposeB() {
+  std::vector<int64_t> Perm(Block);
+  for (int R = 0; R < Dim; ++R)
+    for (int C = 0; C < Dim; ++C)
+      Perm[C * Dim + R] = R * Dim + C;
+  return makePermute("TransposeB", TokenType::Float, Perm);
+}
+
+} // namespace
+
+StreamPtr sgpu::bench::buildMatrixMult() {
+  // Operand separation and replication.
+  std::vector<StreamPtr> Operands;
+  Operands.push_back(filterStream(makeDuplicateRows()));
+  {
+    std::vector<StreamPtr> BPath;
+    BPath.push_back(filterStream(makeTransposeB()));
+    BPath.push_back(filterStream(makeDuplicateBlock()));
+    Operands.push_back(pipelineStream(std::move(BPath)));
+  }
+  std::vector<StreamPtr> Parts;
+  Parts.push_back(roundRobinSplitJoin({Block, Block}, std::move(Operands),
+                                      {Dim, Dim}));
+
+  // A bank of parallel dot-product filters.
+  std::vector<StreamPtr> Dots;
+  for (int D = 0; D < Dim; ++D)
+    Dots.push_back(
+        filterStream(makeDotProduct("Dot_" + std::to_string(D))));
+  std::vector<int64_t> SplitW(Dim, 2 * Dim), JoinW(Dim, 1);
+  Parts.push_back(
+      roundRobinSplitJoin(SplitW, std::move(Dots), JoinW));
+  return pipelineStream(std::move(Parts));
+}

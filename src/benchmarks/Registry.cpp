@@ -1,0 +1,55 @@
+//===- benchmarks/Registry.cpp - Table I benchmark suite --------------------===//
+
+#include "benchmarks/Registry.h"
+
+#include "support/Rng.h"
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+const std::vector<BenchmarkSpec> &sgpu::bench::allBenchmarks() {
+  static const std::vector<BenchmarkSpec> Specs = {
+      {"Bitonic", "Bitonic sorting network for sorting 8 integers",
+       &buildBitonic, TokenType::Int, 58, 0},
+      {"BitonicRec",
+       "Recursive implementation of the bitonic sorting network",
+       &buildBitonicRec, TokenType::Int, 61, 0},
+      {"DCT", "8x8 Discrete Cosine Transform", &buildDct, TokenType::Float,
+       40, 0},
+      {"DES", "Implementation of the DES encryption algorithm", &buildDes,
+       TokenType::Int, 55, 0},
+      {"FFT", "Fast Fourier Transform", &buildFft, TokenType::Float, 26, 0},
+      {"Filterbank", "Filter bank to perform multirate signal processing",
+       &buildFilterbank, TokenType::Float, 53, 16},
+      {"FMRadio", "Software FM Radio with equalizer", &buildFmRadio,
+       TokenType::Float, 67, 22},
+      {"MatrixMult", "Blocked matrix multiply", &buildMatrixMult,
+       TokenType::Float, 43, 0},
+  };
+  return Specs;
+}
+
+const BenchmarkSpec *sgpu::bench::findBenchmark(const std::string &Name) {
+  for (const BenchmarkSpec &S : allBenchmarks())
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+std::vector<Scalar> sgpu::bench::makeBenchmarkInput(const BenchmarkSpec &Spec,
+                                                    int64_t Tokens,
+                                                    uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<Scalar> Input;
+  Input.reserve(Tokens);
+  for (int64_t I = 0; I < Tokens; ++I) {
+    if (Spec.InputType == TokenType::Int) {
+      // DES consumes bit tokens; sorting benchmarks take small ints.
+      int64_t V = Spec.Name == "DES" ? R.nextInt(2) : R.nextInt(1000);
+      Input.push_back(Scalar::makeInt(V));
+    } else {
+      Input.push_back(Scalar::makeFloat(R.nextFloat(4.0f)));
+    }
+  }
+  return Input;
+}

@@ -1,0 +1,228 @@
+//===- core/Compiler.cpp - End-to-end compilation driver --------------------===//
+
+#include "core/Compiler.h"
+
+#include "gpusim/Occupancy.h"
+#include "profile/Profiler.h"
+#include "sdf/Schedules.h"
+#include "support/Check.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace sgpu;
+
+LayoutKind sgpu::layoutFor(Strategy S) {
+  return S == Strategy::SwpNoCoalesce ? LayoutKind::Sequential
+                                      : LayoutKind::Shuffled;
+}
+
+const char *sgpu::strategyName(Strategy S) {
+  switch (S) {
+  case Strategy::Swp:
+    return "SWP";
+  case Strategy::SwpNoCoalesce:
+    return "SWPNC";
+  case Strategy::Serial:
+    return "Serial";
+  }
+  SGPU_UNREACHABLE("unknown strategy");
+}
+
+namespace {
+
+/// Per-instance simulator cost for every node under a given config.
+std::vector<InstanceCost> buildNodeCosts(const GpuArch &Arch,
+                                         const StreamGraph &G,
+                                         const ExecutionConfig &Config,
+                                         LayoutKind Layout) {
+  std::vector<InstanceCost> Costs;
+  Costs.reserve(G.numNodes());
+  for (const GraphNode &N : G.nodes())
+    Costs.push_back(buildInstanceCost(Arch, N, nodeWorkEstimate(N),
+                                      Config.Threads[N.Id], Config.RegLimit,
+                                      Layout));
+  return Costs;
+}
+
+/// Channel-buffer bytes of a software-pipelined schedule: each edge holds
+/// (stage span + 2) coarsened iterations of tokens in flight plus its
+/// initial tokens and peek slack; program I/O buffers hold one kernel
+/// batch each.
+int64_t swpBufferBytes(const StreamGraph &G, const SteadyState &SS,
+                       const ExecutionConfig &Config,
+                       const GpuSteadyState &GSS, const SwpSchedule &Sched,
+                       int Coarsening) {
+  int64_t SlotsInFlight = Sched.stageSpan() + 2;
+  int64_t Bytes = 0;
+  for (const ChannelEdge &E : G.edges()) {
+    int64_t TokensPerGpuIter = GSS.Instances[E.Src] * E.ProdRate *
+                               Config.Threads[E.Src] * Coarsening;
+    int64_t Slack = E.InitTokens + (E.PeekRate - E.ConsRate);
+    Bytes += (TokensPerGpuIter * SlotsInFlight + Slack) *
+             tokenSizeBytes(E.Ty);
+  }
+  int64_t BatchBaseIters = GSS.Multiplier * Coarsening;
+  Bytes += SS.inputTokensPerIteration() * BatchBaseIters * 4;
+  Bytes += SS.outputTokensPerIteration() * BatchBaseIters * 4;
+  return Bytes;
+}
+
+std::optional<CompileReport> compileSwp(const StreamGraph &G,
+                                        const SteadyState &SS,
+                                        const CompileOptions &Options) {
+  LayoutKind Layout = layoutFor(Options.Strat);
+
+  // Fig. 6 profiling under the strategy's layout, then Alg. 7.
+  ProfileTable PT = profileGraph(Options.Arch, G, Layout);
+  std::optional<ExecutionConfig> Config = selectExecutionConfig(SS, PT);
+  if (!Config)
+    return std::nullopt;
+
+  GpuSteadyState GSS = computeGpuSteadyState(SS.repetitions(),
+                                             Config->Threads);
+
+  SchedulerOptions SO = Options.Sched;
+  SO.Pmax = std::min(SO.Pmax, Options.Arch.NumSMs);
+  std::optional<ScheduleResult> SR =
+      scheduleSwp(G, SS, *Config, GSS, SO);
+  if (!SR)
+    return std::nullopt;
+
+  // Time one kernel invocation: each SM executes its instances serially,
+  // each instance iterated `Coarsening` times (the SWPn schemes); the
+  // whole grid shares the memory bus; one launch per invocation.
+  std::vector<InstanceCost> Costs =
+      buildNodeCosts(Options.Arch, G, *Config, Layout);
+  KernelWork Work;
+  for (int P = 0; P < SR->Schedule.Pmax; ++P) {
+    double SmCycles = 0.0;
+    for (const ScheduledInstance *SI : SR->Schedule.smOrder(P)) {
+      SmCycles += instanceCycles(Options.Arch, Costs[SI->Node]) *
+                  static_cast<double>(Options.Coarsening);
+      Work.TotalTxns += instanceTransactions(Costs[SI->Node]) *
+                        static_cast<double>(Options.Coarsening);
+    }
+    Work.MaxSmCycles = std::max(Work.MaxSmCycles, SmCycles);
+  }
+  double Kernel = kernelCycles(Options.Arch, Work);
+  double BatchBaseIters =
+      static_cast<double>(GSS.Multiplier) *
+      static_cast<double>(Options.Coarsening);
+
+  CompileReport R;
+  R.Strat = Options.Strat;
+  R.Coarsening = Options.Coarsening;
+  R.Layout = Layout;
+  R.Config = std::move(*Config);
+  R.GSS = GSS;
+  R.SchedStats = *SR;
+  R.Schedule = std::move(SR->Schedule);
+  R.GpuCyclesPerBaseIteration = Kernel / BatchBaseIters;
+  R.CpuCyclesPerBaseIteration = cpuCyclesPerBaseIteration(SS, Options.Cpu);
+  R.Speedup = speedupOverCpu(R.CpuCyclesPerBaseIteration,
+                             Options.Cpu.ClockGHz,
+                             R.GpuCyclesPerBaseIteration,
+                             Options.Arch.CoreClockGHz);
+  R.BufferBytes = swpBufferBytes(G, SS, R.Config, GSS, R.Schedule,
+                                 Options.Coarsening);
+  R.PipelineLatencyCycles =
+      Kernel * static_cast<double>(R.Schedule.stageSpan() + 1);
+  double OutPerBaseIter =
+      static_cast<double>(SS.outputTokensPerIteration());
+  R.TokensPerKiloCycle =
+      R.GpuCyclesPerBaseIteration > 0
+          ? 1000.0 * OutPerBaseIter / R.GpuCyclesPerBaseIteration
+          : 0.0;
+  return R;
+}
+
+std::optional<CompileReport> compileSerial(const StreamGraph &G,
+                                           const SteadyState &SS,
+                                           const CompileOptions &Options) {
+  // The Serial scheme: every filter runs as its own fully data-parallel
+  // kernel in SAS order, NumSMs blocks, coalesced accesses (Section V).
+  ProfileTable PT = profileGraph(Options.Arch, G, LayoutKind::Shuffled);
+  std::optional<ExecutionConfig> Config;
+  for (int Threads :
+       {Options.SerialThreads, 128, 256, 384, 512}) {
+    for (int Regs : {32, 64, 20, 16}) {
+      Config = makeFixedConfig(SS, PT, Regs, Threads);
+      if (Config)
+        break;
+    }
+    if (Config)
+      break;
+  }
+  if (!Config)
+    return std::nullopt;
+
+  GpuSteadyState GSS = computeGpuSteadyState(SS.repetitions(),
+                                             Config->Threads);
+  std::vector<InstanceCost> Costs =
+      buildNodeCosts(Options.Arch, G, *Config, LayoutKind::Shuffled);
+
+  // One kernel per node per batch; blocks spread across the SMs in
+  // waves. Batch size matches the SWP comparison's coarsening.
+  double Batch = static_cast<double>(Options.Coarsening);
+  double TotalCycles = 0.0;
+  for (const GraphNode &N : G.nodes()) {
+    double GpuFirings = static_cast<double>(GSS.Instances[N.Id]) * Batch;
+    double Waves =
+        std::ceil(GpuFirings / static_cast<double>(Options.Arch.NumSMs));
+    KernelWork Work;
+    Work.MaxSmCycles = Waves * instanceCycles(Options.Arch, Costs[N.Id]);
+    Work.TotalTxns = GpuFirings * instanceTransactions(Costs[N.Id]);
+    TotalCycles += kernelCycles(Options.Arch, Work);
+  }
+  double BatchBaseIters = static_cast<double>(GSS.Multiplier) * Batch;
+
+  CompileReport R;
+  R.Strat = Strategy::Serial;
+  R.Coarsening = Options.Coarsening;
+  R.Layout = LayoutKind::Shuffled;
+  R.Config = std::move(*Config);
+  R.GSS = GSS;
+  R.GpuCyclesPerBaseIteration = TotalCycles / BatchBaseIters;
+  R.CpuCyclesPerBaseIteration = cpuCyclesPerBaseIteration(SS, Options.Cpu);
+  R.Speedup = speedupOverCpu(R.CpuCyclesPerBaseIteration,
+                             Options.Cpu.ClockGHz,
+                             R.GpuCyclesPerBaseIteration,
+                             Options.Arch.CoreClockGHz);
+
+  double OutPerBaseIter =
+      static_cast<double>(SS.outputTokensPerIteration());
+  R.TokensPerKiloCycle =
+      R.GpuCyclesPerBaseIteration > 0
+          ? 1000.0 * OutPerBaseIter / R.GpuCyclesPerBaseIteration
+          : 0.0;
+
+  // SAS buffering (the paper's Table II SWP schedule is the cap; the
+  // serial scheme reports its own SAS occupancy here).
+  if (std::optional<SequentialSchedule> SAS =
+          buildSingleAppearanceSchedule(SS)) {
+    std::vector<int64_t> Occ = computeBufferOccupancy(SS, *SAS);
+    // Scale base-token occupancy to one coarsened batch.
+    R.BufferBytes =
+        totalBufferBytes(G, Occ) * GSS.Multiplier * Options.Coarsening;
+  }
+  return R;
+}
+
+} // namespace
+
+std::optional<CompileReport>
+sgpu::compileForGpu(const StreamGraph &G, const CompileOptions &Options) {
+  if (G.validate())
+    return std::nullopt; // Structural error.
+  if (G.hasStatefulFilter())
+    return std::nullopt; // Paper Section II-B: stateless filters only.
+  if (validateGraphRates(G))
+    return std::nullopt; // Declared rates disagree with the work AST.
+  std::optional<SteadyState> SS = SteadyState::compute(G);
+  if (!SS)
+    return std::nullopt; // Rate-inconsistent.
+  if (Options.Strat == Strategy::Serial)
+    return compileSerial(G, *SS, Options);
+  return compileSwp(G, *SS, Options);
+}

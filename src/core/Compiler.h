@@ -1,0 +1,89 @@
+//===- core/Compiler.h - End-to-end compilation driver ----------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point tying the whole trajectory of the paper's
+/// Figure 5 together: flatten -> steady state -> profile (Fig. 6) ->
+/// configuration selection (Alg. 7) -> ILP software pipelining (Section
+/// III) -> timing on the simulated GeForce 8800 — under one of the
+/// paper's three execution strategies:
+///
+///   Swp           optimized software pipelining, shuffled buffers;
+///   SwpNoCoalesce the same schedule but sequential buffer layout
+///                 (shared-memory staging when the working set fits);
+///   Serial        a Single Appearance Schedule, one kernel per filter,
+///                 fully data parallel, coalesced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_CORE_COMPILER_H
+#define SGPU_CORE_COMPILER_H
+
+#include "core/CpuBaseline.h"
+#include "core/IlpScheduler.h"
+#include "profile/ConfigSelection.h"
+
+#include <optional>
+#include <string>
+
+namespace sgpu {
+
+/// Execution strategies compared in the paper's Figures 10 and 11.
+enum class Strategy : uint8_t { Swp, SwpNoCoalesce, Serial };
+
+/// Compilation knobs.
+struct CompileOptions {
+  GpuArch Arch = GpuArch::geForce8800GTS512();
+  SchedulerOptions Sched;
+  CpuModel Cpu;
+  Strategy Strat = Strategy::Swp;
+  /// The SWPn coarsening factor: each instance iterates n times inside
+  /// the kernel (paper Figure 11; SWP8 is the headline configuration).
+  int Coarsening = 8;
+  /// Threads per block for the Serial scheme (blocks fixed at NumSMs).
+  int SerialThreads = 256;
+};
+
+/// Everything the benches and tests need about one compiled program.
+struct CompileReport {
+  Strategy Strat = Strategy::Swp;
+  int Coarsening = 1;
+  LayoutKind Layout = LayoutKind::Shuffled;
+
+  ExecutionConfig Config;
+  GpuSteadyState GSS;
+  SwpSchedule Schedule;     ///< Meaningful for the SWP strategies.
+  ScheduleResult SchedStats;
+
+  double GpuCyclesPerBaseIteration = 0.0;
+  double CpuCyclesPerBaseIteration = 0.0;
+  double Speedup = 0.0;     ///< Wall-clock, vs. the CPU model.
+  int64_t BufferBytes = 0;  ///< Channel buffer footprint (Table II).
+
+  /// Pipeline latency: cycles from a token entering the pipeline until
+  /// its results emerge, i.e. (stage span + 1) kernel invocations. Zero
+  /// for the Serial scheme (no software pipeline).
+  double PipelineLatencyCycles = 0.0;
+  /// Program throughput: output tokens per thousand GPU cycles.
+  double TokensPerKiloCycle = 0.0;
+};
+
+/// Compiles \p G under \p Options. Returns std::nullopt when the graph is
+/// rate-inconsistent, no execution configuration is feasible, or no
+/// schedule exists within the II relaxation limit.
+std::optional<CompileReport> compileForGpu(const StreamGraph &G,
+                                           const CompileOptions &Options);
+
+/// The layout a strategy uses.
+LayoutKind layoutFor(Strategy S);
+
+/// Human-readable strategy name ("SWP", "SWPNC", "Serial").
+const char *strategyName(Strategy S);
+
+} // namespace sgpu
+
+#endif // SGPU_CORE_COMPILER_H

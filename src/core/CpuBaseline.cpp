@@ -1,0 +1,33 @@
+//===- core/CpuBaseline.cpp - Single-threaded CPU cost model ----------------===//
+
+#include "core/CpuBaseline.h"
+
+#include "core/ExecutionModel.h"
+
+using namespace sgpu;
+
+double sgpu::cpuCyclesPerBaseIteration(const SteadyState &SS,
+                                       const CpuModel &Model) {
+  const StreamGraph &G = SS.graph();
+  double Total = 0.0;
+  for (const GraphNode &N : G.nodes()) {
+    WorkEstimate WE = nodeWorkEstimate(N);
+    double PerFiring =
+        Model.CyclesPerAluOp *
+            static_cast<double>(WE.IntOps + WE.FloatOps +
+                                WE.LocalArrayAccesses) +
+        Model.CyclesPerTransc * static_cast<double>(WE.TranscOps) +
+        Model.CyclesPerChannelOp *
+            static_cast<double>(WE.ChannelReads + WE.ChannelWrites) +
+        Model.CyclesPerFiring;
+    Total += PerFiring * static_cast<double>(SS.repetitionsOf(N.Id));
+  }
+  return Total;
+}
+
+double sgpu::speedupOverCpu(double CpuCycles, double CpuClockGHz,
+                            double GpuCycles, double GpuClockGHz) {
+  double CpuSeconds = CpuCycles / (CpuClockGHz * 1e9);
+  double GpuSeconds = GpuCycles / (GpuClockGHz * 1e9);
+  return GpuSeconds > 0.0 ? CpuSeconds / GpuSeconds : 0.0;
+}

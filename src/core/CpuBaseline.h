@@ -1,0 +1,45 @@
+//===- core/CpuBaseline.h - Single-threaded CPU cost model ------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's baseline is the StreamIt uniprocessor backend compiled
+/// with gcc -O3 on a 2.83 GHz Xeon, single threaded. Our stand-in is a
+/// calibrated scalar cost model over the same filter ASTs: one ALU op
+/// per cycle, cache-resident channel traffic at a small per-op cost,
+/// slow transcendentals, and a per-firing overhead for the scheduler
+/// loop. Speedups divide wall-clock times, i.e. cycles over clock rates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_CORE_CPUBASELINE_H
+#define SGPU_CORE_CPUBASELINE_H
+
+#include "sdf/SteadyState.h"
+
+namespace sgpu {
+
+/// Parameters of the scalar CPU model (defaults: the paper's Xeon).
+struct CpuModel {
+  double ClockGHz = 2.83;
+  double CyclesPerAluOp = 1.0;
+  double CyclesPerTransc = 30.0;
+  double CyclesPerChannelOp = 2.0;
+  double CyclesPerFiring = 12.0; ///< Call/dispatch overhead per firing.
+};
+
+/// CPU cycles to execute one base steady-state iteration of \p SS.
+double cpuCyclesPerBaseIteration(const SteadyState &SS,
+                                 const CpuModel &Model = CpuModel());
+
+/// Wall-clock speedup of a GPU execution over the CPU baseline:
+/// (cpuCycles / cpuClock) / (gpuCycles / gpuClock), per base iteration.
+double speedupOverCpu(double CpuCycles, double CpuClockGHz, double GpuCycles,
+                      double GpuClockGHz);
+
+} // namespace sgpu
+
+#endif // SGPU_CORE_CPUBASELINE_H

@@ -1,0 +1,119 @@
+//===- core/ExecutionModel.h - Schedules and cost mapping -------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared vocabulary of the compilation pipeline: execution
+/// configurations (the profiling phase's product), the coarsened "GPU
+/// steady state" whose firings are the ILP's schedulable instances, the
+/// software-pipelined schedule itself (w/o/f of Section III), and the
+/// translation from filter work estimates to the simulator's cost model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_CORE_EXECUTIONMODEL_H
+#define SGPU_CORE_EXECUTIONMODEL_H
+
+#include "gpusim/GpuArch.h"
+#include "gpusim/KernelTiming.h"
+#include "ir/Analyzer.h"
+#include "ir/StreamGraph.h"
+#include "layout/AccessAnalyzer.h"
+#include "sdf/SteadyState.h"
+
+#include <vector>
+
+namespace sgpu {
+
+/// The register limits the paper profiles with (Fig. 6).
+inline constexpr int ProfileRegLimits[] = {16, 20, 32, 64};
+/// The thread counts the paper profiles with (Fig. 6).
+inline constexpr int ProfileThreadCounts[] = {128, 256, 384, 512};
+
+/// The execution configuration selected by profiling (paper Alg. 7):
+/// one global register limit and block size, plus the per-node active
+/// thread count k <= NumThreads.
+struct ExecutionConfig {
+  int RegLimit = 32;
+  int NumThreads = 256;
+  std::vector<int64_t> Threads; ///< Active threads per graph node.
+  std::vector<double> Delay;    ///< d(v): cycles per GPU instance firing.
+};
+
+/// The coarsened steady state: one GPU firing of node v covers
+/// Threads[v] base firings, so the instance counts shrink accordingly
+/// (Section IV-B: "the firing rates ... are different from the
+/// corresponding firing rates in the original StreamIt program").
+struct GpuSteadyState {
+  /// GPU instances per node: k_v^gpu = k_v * Multiplier / Threads[v].
+  std::vector<int64_t> Instances;
+  /// How many base steady states one GPU steady state covers.
+  int64_t Multiplier = 1;
+
+  int64_t totalInstances() const {
+    int64_t N = 0;
+    for (int64_t I : Instances)
+      N += I;
+    return N;
+  }
+};
+
+/// Computes the GPU steady state from the base repetition vector and the
+/// per-node thread counts: the smallest M with Threads[v] | k_v * M.
+GpuSteadyState computeGpuSteadyState(const std::vector<int64_t> &BaseReps,
+                                     const std::vector<int64_t> &Threads);
+
+/// One scheduled instance: the ILP solution's w (SM), o (slot) and f
+/// (stage) for instance K of node Node.
+struct ScheduledInstance {
+  int Node = -1;
+  int64_t K = 0;
+  int Sm = 0;
+  double O = 0.0;
+  int64_t F = 0;
+};
+
+/// A complete software-pipelined schedule at initiation interval II.
+struct SwpSchedule {
+  double II = 0.0;
+  int Pmax = 0;
+  std::vector<ScheduledInstance> Instances;
+
+  /// sigma = II*F + O, the linear-form start time (paper Eq. 3 at j=0).
+  static double sigma(double II, const ScheduledInstance &SI) {
+    return II * static_cast<double>(SI.F) + SI.O;
+  }
+
+  /// max F - min F: how many iterations the pipeline holds in flight.
+  int64_t stageSpan() const;
+
+  /// Instances of SM \p Sm in execution (o, then node/k) order.
+  std::vector<const ScheduledInstance *> smOrder(int Sm) const;
+
+  const ScheduledInstance &instance(int Node, int64_t K) const;
+};
+
+/// Per-node work summary used to cost instances (filters analyzed
+/// statically; splitters/joiners are pure data movers).
+WorkEstimate nodeWorkEstimate(const GraphNode &N);
+
+/// Channel tokens read + written by one base firing of node \p N.
+int64_t nodeChannelTraffic(const GraphNode &N);
+
+/// Builds the simulator cost of one GPU instance of \p N running
+/// \p Threads base firings under \p Layout with register limit
+/// \p RegLimit. \p TxnsPerAccess comes from the access analyzer; pass a
+/// negative value to derive it from the layout (coalesced for Shuffled,
+/// strided analysis for Sequential, shared-memory staging when the
+/// working set fits, per the paper's SWPNC description).
+InstanceCost buildInstanceCost(const GpuArch &Arch, const GraphNode &N,
+                               const WorkEstimate &WE, int64_t Threads,
+                               int RegLimit, LayoutKind Layout,
+                               double TxnsPerAccess = -1.0);
+
+} // namespace sgpu
+
+#endif // SGPU_CORE_EXECUTIONMODEL_H

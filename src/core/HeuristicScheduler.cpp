@@ -1,0 +1,176 @@
+//===- core/HeuristicScheduler.cpp - LPT + modulo scheduling ----------------===//
+
+#include "core/HeuristicScheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace sgpu;
+
+std::optional<SwpSchedule>
+sgpu::buildHeuristicSchedule(const StreamGraph &G, const SteadyState &SS,
+                             const ExecutionConfig &Config,
+                             const GpuSteadyState &GSS, int Pmax, double T,
+                             int64_t MaxStages) {
+  int N = G.numNodes();
+  std::vector<int64_t> Base(N);
+  int64_t Count = 0;
+  for (int V = 0; V < N; ++V) {
+    Base[V] = Count;
+    Count += GSS.Instances[V];
+  }
+
+  std::vector<int> InstNode(Count);
+  std::vector<int64_t> InstK(Count);
+  std::vector<double> Delay(Count);
+  for (int V = 0; V < N; ++V)
+    for (int64_t K = 0; K < GSS.Instances[V]; ++K) {
+      int64_t I = Base[V] + K;
+      InstNode[I] = V;
+      InstK[I] = K;
+      Delay[I] = Config.Delay[V];
+      if (Delay[I] >= T)
+        return std::nullopt; // No slot can hold this instance.
+    }
+
+  // --- Assignment: longest processing time first onto the least loaded
+  // SM, with a producer-affinity tie-break that keeps communicating
+  // instances together when loads allow (fewer cross-SM iteration
+  // delays).
+  std::vector<int64_t> ByDelay(Count);
+  for (int64_t I = 0; I < Count; ++I)
+    ByDelay[I] = I;
+  std::stable_sort(ByDelay.begin(), ByDelay.end(),
+                   [&](int64_t A, int64_t B) { return Delay[A] > Delay[B]; });
+
+  std::vector<double> Load(Pmax, 0.0);
+  std::vector<int> Sm(Count, -1);
+
+  // Producer lookup for affinity: node -> its producers.
+  std::vector<std::vector<int>> Producers(N);
+  for (const ChannelEdge &E : G.edges())
+    Producers[E.Dst].push_back(E.Src);
+
+  for (int64_t I : ByDelay) {
+    // Least-loaded SM.
+    int BestP = 0;
+    for (int P = 1; P < Pmax; ++P)
+      if (Load[P] < Load[BestP])
+        BestP = P;
+    // Affinity: an SM already hosting one of this node's producers wins
+    // when its load stays within 105% of the least load.
+    for (int V : Producers[InstNode[I]])
+      for (int64_t K = 0; K < GSS.Instances[V]; ++K) {
+        int P = Sm[Base[V] + K];
+        if (P >= 0 && Load[P] + Delay[I] <= T &&
+            Load[P] <= Load[BestP] + 0.05 * T)
+          BestP = P;
+      }
+    Sm[I] = BestP;
+    Load[BestP] += Delay[I];
+  }
+
+  // Local improvement: migrate instances off the most loaded SM while it
+  // shrinks the makespan (LPT alone can be ~30% off the packing optimum,
+  // which the II relaxation loop would otherwise pay for).
+  for (int Round = 0; Round < 4 * Pmax; ++Round) {
+    int Max = 0, Min = 0;
+    for (int P = 1; P < Pmax; ++P) {
+      if (Load[P] > Load[Max])
+        Max = P;
+      if (Load[P] < Load[Min])
+        Min = P;
+    }
+    bool Moved = false;
+    for (int64_t I = 0; I < Count && !Moved; ++I) {
+      if (Sm[I] != Max)
+        continue;
+      if (Load[Min] + Delay[I] < Load[Max] - 1e-9) {
+        Sm[I] = Min;
+        Load[Max] -= Delay[I];
+        Load[Min] += Delay[I];
+        Moved = true;
+      }
+    }
+    if (!Moved)
+      break;
+  }
+  for (int P = 0; P < Pmax; ++P)
+    if (Load[P] > T + 1e-9)
+      return std::nullopt; // Packing failed at this II (constraint 2).
+
+  // --- Start times: monotone fixpoint over (8a)/(8b).
+  struct Dep {
+    int64_t Cons, Prod;
+    int64_t JLag;
+    double ProdDelay;
+  };
+  std::vector<Dep> Deps;
+  for (const CoarsenedEdge &E : coarsenEdges(G, SS, Config)) {
+    int64_t Ku = GSS.Instances[E.Src];
+    int64_t Kv = GSS.Instances[E.Dst];
+    for (int64_t K = 0; K < Kv; ++K)
+      for (const InstanceDep &D :
+           computeInstanceDeps(E.Iuv, E.Peek, E.Ouv, E.Muv, Ku, K))
+        Deps.push_back({Base[E.Dst] + K, Base[E.Src] + D.KProd, D.JLag,
+                        Config.Delay[E.Src]});
+  }
+
+  std::vector<double> Sigma(Count, 0.0);
+  double Horizon = static_cast<double>(MaxStages + 1) * T;
+
+  auto StageOf = [&](int64_t I) {
+    return static_cast<int64_t>(std::floor(Sigma[I] / T + 1e-9));
+  };
+  // Keep o within [0, T - d]: bump to the next stage boundary otherwise.
+  auto Normalize = [&](int64_t I) {
+    int64_t F = StageOf(I);
+    double O = Sigma[I] - static_cast<double>(F) * T;
+    if (O + Delay[I] > T + 1e-9)
+      Sigma[I] = static_cast<double>(F + 1) * T;
+  };
+
+  for (int64_t I = 0; I < Count; ++I)
+    Normalize(I);
+
+  bool Changed = true;
+  int64_t Rounds = 0;
+  while (Changed) {
+    if (++Rounds > Count * (MaxStages + 2) + 16)
+      return std::nullopt; // Cannot settle within the stage budget.
+    Changed = false;
+    for (const Dep &D : Deps) {
+      double Lag = static_cast<double>(D.JLag);
+      double Req = Sigma[D.Prod] + D.ProdDelay + T * Lag; // (8a)
+      if (Sm[D.Cons] != Sm[D.Prod]) {
+        double Req2 =
+            (static_cast<double>(StageOf(D.Prod) + D.JLag + 1)) * T; // (8b)
+        Req = std::max(Req, Req2);
+      }
+      if (Sigma[D.Cons] + 1e-9 < Req) {
+        Sigma[D.Cons] = Req;
+        Normalize(D.Cons);
+        if (Sigma[D.Cons] > Horizon)
+          return std::nullopt;
+        Changed = true;
+      }
+    }
+  }
+
+  SwpSchedule S;
+  S.II = T;
+  S.Pmax = Pmax;
+  S.Instances.reserve(Count);
+  for (int64_t I = 0; I < Count; ++I) {
+    ScheduledInstance SI;
+    SI.Node = InstNode[I];
+    SI.K = InstK[I];
+    SI.Sm = Sm[I];
+    SI.F = StageOf(I);
+    SI.O = Sigma[I] - static_cast<double>(SI.F) * T;
+    if (SI.O < 0)
+      SI.O = 0;
+    S.Instances.push_back(SI);
+  }
+  return S;
+}

@@ -1,0 +1,40 @@
+//===- core/HeuristicScheduler.h - LPT + modulo scheduling ------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fast schedule constructor used two ways: as the incumbent generator
+/// for the branch & bound (our CPLEX stand-in needs a warm start the
+/// paper's solver did not), and as the fallback for graphs whose ILP is
+/// too large for the time budget. Assignment is longest-processing-time
+/// bin packing onto the SMs; start times then follow from a monotone
+/// fixpoint over the paper's dependence constraints (8a)/(8b), bumping an
+/// instance to the next pipeline stage whenever its slot would overrun
+/// the II (constraint 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_CORE_HEURISTICSCHEDULER_H
+#define SGPU_CORE_HEURISTICSCHEDULER_H
+
+#include "core/IlpFormulation.h"
+
+#include <optional>
+
+namespace sgpu {
+
+/// Attempts to build a valid schedule at initiation interval \p T.
+/// Returns std::nullopt when the LPT packing exceeds T on some SM or the
+/// dependence fixpoint needs more than \p MaxStages pipeline stages.
+std::optional<SwpSchedule>
+buildHeuristicSchedule(const StreamGraph &G, const SteadyState &SS,
+                       const ExecutionConfig &Config,
+                       const GpuSteadyState &GSS, int Pmax, double T,
+                       int64_t MaxStages);
+
+} // namespace sgpu
+
+#endif // SGPU_CORE_HEURISTICSCHEDULER_H

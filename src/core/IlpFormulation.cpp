@@ -1,0 +1,322 @@
+//===- core/IlpFormulation.cpp - Paper Section III ILP ----------------------===//
+
+#include "core/IlpFormulation.h"
+
+#include "support/Check.h"
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace sgpu;
+
+std::vector<CoarsenedEdge> sgpu::coarsenEdges(const StreamGraph &G,
+                                              const SteadyState &SS,
+                                              const ExecutionConfig &Config) {
+  std::vector<CoarsenedEdge> Out;
+  Out.reserve(G.numEdges());
+  for (const ChannelEdge &E : G.edges()) {
+    CoarsenedEdge C;
+    C.Src = E.Src;
+    C.Dst = E.Dst;
+    C.Ouv = E.ProdRate * Config.Threads[E.Src];
+    C.Iuv = E.ConsRate * Config.Threads[E.Dst];
+    // A GPU firing's last base firing peeks (Threads-1)*I + peek deep.
+    C.Peek = C.Iuv + (E.PeekRate - E.ConsRate);
+    // Tokens left on the edge after the initialization phase.
+    C.Muv = E.InitTokens + SS.initFirings()[E.Src] * E.ProdRate -
+            SS.initFirings()[E.Dst] * E.ConsRate;
+    assert(C.Muv >= 0 && "init phase left a negative channel balance");
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+double sgpu::computeResMII(const ExecutionConfig &Config,
+                           const GpuSteadyState &GSS, int Pmax) {
+  double Total = 0.0;
+  double MaxDelay = 0.0;
+  for (size_t V = 0; V < Config.Delay.size(); ++V) {
+    Total += Config.Delay[V] * static_cast<double>(GSS.Instances[V]);
+    MaxDelay = std::max(MaxDelay, Config.Delay[V]);
+  }
+  return std::max(Total / static_cast<double>(Pmax), MaxDelay);
+}
+
+double sgpu::computeCoarsenedRecMII(const StreamGraph &G,
+                                    const SteadyState &SS,
+                                    const ExecutionConfig &Config,
+                                    const GpuSteadyState &GSS) {
+  // Build the coarsened instance dependence graph and run the cycle-ratio
+  // search directly (mirrors sdf::computeRecMII but over GPU instances).
+  std::vector<CoarsenedEdge> Edges = coarsenEdges(G, SS, Config);
+
+  std::vector<int64_t> Base(G.numNodes());
+  int64_t NumVerts = 0;
+  for (int V = 0; V < G.numNodes(); ++V) {
+    Base[V] = NumVerts;
+    NumVerts += GSS.Instances[V];
+  }
+  struct Arc {
+    int64_t From, To;
+    double Delay;
+    int64_t Distance;
+  };
+  std::vector<Arc> Arcs;
+  for (const CoarsenedEdge &E : Edges) {
+    int64_t Ku = GSS.Instances[E.Src];
+    int64_t Kv = GSS.Instances[E.Dst];
+    for (int64_t K = 0; K < Kv; ++K)
+      for (const InstanceDep &D :
+           computeInstanceDeps(E.Iuv, E.Peek, E.Ouv, E.Muv, Ku, K))
+        Arcs.push_back({Base[E.Src] + D.KProd, Base[E.Dst] + K,
+                        Config.Delay[E.Src], -D.JLag});
+  }
+
+  auto HasPositiveCycle = [&](double R) {
+    std::vector<double> Dist(NumVerts, 0.0);
+    for (int64_t It = 0; It < NumVerts; ++It) {
+      bool Changed = false;
+      for (const Arc &A : Arcs) {
+        double W = A.Delay - R * static_cast<double>(A.Distance);
+        if (Dist[A.From] + W > Dist[A.To] + 1e-9) {
+          Dist[A.To] = Dist[A.From] + W;
+          Changed = true;
+        }
+      }
+      if (!Changed)
+        return false;
+    }
+    return true;
+  };
+
+  if (!HasPositiveCycle(0.0))
+    return 0.0;
+  double Lo = 0.0, Hi = 1.0;
+  for (const Arc &A : Arcs)
+    Hi += A.Delay;
+  for (int It = 0; It < 60 && Hi - Lo > 1e-6 * std::max(1.0, Hi); ++It) {
+    double Mid = 0.5 * (Lo + Hi);
+    if (HasPositiveCycle(Mid))
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  return Hi;
+}
+
+SwpSchedule IlpModel::decode(const std::vector<double> &X) const {
+  SwpSchedule S;
+  S.II = T;
+  S.Pmax = Pmax;
+  S.Instances.reserve(NumInstances);
+  for (int I = 0; I < NumInstances; ++I) {
+    ScheduledInstance SI;
+    SI.Node = InstNode[I];
+    SI.K = InstK[I];
+    SI.Sm = 0;
+    for (int P = 0; P < Pmax; ++P)
+      if (X[wVar(I, P)] > 0.5) {
+        SI.Sm = P;
+        break;
+      }
+    SI.O = X[OVar[I]];
+    SI.F = static_cast<int64_t>(std::llround(X[FVar[I]]));
+    S.Instances.push_back(SI);
+  }
+  return S;
+}
+
+std::vector<double> IlpModel::encode(const SwpSchedule &S) const {
+  std::vector<double> X(LP.numVars(), 0.0);
+  std::vector<int> SmOf(NumInstances, 0);
+  for (const ScheduledInstance &SI : S.Instances) {
+    int I = instanceId(SI.Node, SI.K);
+    X[wVar(I, SI.Sm)] = 1.0;
+    X[OVar[I]] = SI.O;
+    X[FVar[I]] = static_cast<double>(SI.F);
+    SmOf[I] = SI.Sm;
+  }
+  // g = 1 exactly when the endpoints sit on different SMs: (7) forces
+  // g >= 1 then, and g = 1 only weakens row (8b), so this assignment is
+  // canonical.
+  for (const IlpDep &D : Deps)
+    X[D.GVar] = SmOf[D.ConsInst] == SmOf[D.ProdInst] ? 0.0 : 1.0;
+  // Strict-sequencing extension variables (absent in the paper's model):
+  // s follows co-location; y orders by the schedule's o values.
+  for (const SeqPair &P : SeqPairs) {
+    X[P.SVar] = SmOf[P.InstA] == SmOf[P.InstB] ? 1.0 : 0.0;
+    X[P.YVar] = X[OVar[P.InstA]] <= X[OVar[P.InstB]] ? 1.0 : 0.0;
+  }
+  return X;
+}
+
+std::optional<IlpModel>
+sgpu::buildSwpIlp(const StreamGraph &G, const SteadyState &SS,
+                  const ExecutionConfig &Config, const GpuSteadyState &GSS,
+                  int Pmax, double T, int64_t MaxStages,
+                  bool StrictIntraSm) {
+  assert(Pmax > 0 && T > 0 && "bad scheduling parameters");
+  IlpModel M;
+  M.T = T;
+  M.Pmax = Pmax;
+  M.MaxStages = MaxStages;
+  M.StrictIntraSm = StrictIntraSm;
+
+  int N = G.numNodes();
+  M.InstBase.resize(N);
+  int64_t Count = 0;
+  for (int V = 0; V < N; ++V) {
+    M.InstBase[V] = Count;
+    Count += GSS.Instances[V];
+  }
+  M.NumInstances = static_cast<int>(Count);
+  M.InstNode.resize(Count);
+  M.InstK.resize(Count);
+  M.InstDelay.resize(Count);
+  for (int V = 0; V < N; ++V)
+    for (int64_t K = 0; K < GSS.Instances[V]; ++K) {
+      int I = M.instanceId(V, K);
+      M.InstNode[I] = V;
+      M.InstK[I] = K;
+      M.InstDelay[I] = Config.Delay[V];
+      if (Config.Delay[V] >= T)
+        return std::nullopt; // (4) is unsatisfiable at this II.
+    }
+
+  // Variables.
+  M.WBase.resize(Count);
+  M.OVar.resize(Count);
+  M.FVar.resize(Count);
+  for (int I = 0; I < M.NumInstances; ++I) {
+    std::string Tag =
+        "v" + std::to_string(M.InstNode[I]) + "k" + std::to_string(M.InstK[I]);
+    M.WBase[I] = M.LP.numVars();
+    for (int P = 0; P < Pmax; ++P)
+      M.LP.addBinaryVar("w_" + Tag + "_p" + std::to_string(P));
+    // (4): o + d < T as a bound. A hair below T - d keeps it strict.
+    double OMax = T - M.InstDelay[I];
+    M.OVar[I] = M.LP.addContinuousVar("o_" + Tag, 0.0, OMax);
+    M.FVar[I] = M.LP.addIntVar("f_" + Tag, 0.0,
+                               static_cast<double>(MaxStages));
+  }
+
+  // (1): each instance on exactly one SM.
+  for (int I = 0; I < M.NumInstances; ++I) {
+    std::vector<LinTerm> Terms;
+    for (int P = 0; P < Pmax; ++P)
+      Terms.push_back({M.wVar(I, P), 1.0});
+    M.LP.addConstraint(std::move(Terms), RowSense::EQ, 1.0,
+                       "assign_i" + std::to_string(I));
+  }
+
+  // (2): per-SM work fits within the II.
+  for (int P = 0; P < Pmax; ++P) {
+    std::vector<LinTerm> Terms;
+    for (int I = 0; I < M.NumInstances; ++I)
+      Terms.push_back({M.wVar(I, P), M.InstDelay[I]});
+    M.LP.addConstraint(std::move(Terms), RowSense::LE, T,
+                       "res_p" + std::to_string(P));
+  }
+
+  // Dependences: one g per distinct (consumer inst, producer inst, lag).
+  std::vector<CoarsenedEdge> Edges = coarsenEdges(G, SS, Config);
+  std::map<std::tuple<int, int, int64_t>, int> GIndex;
+  for (const CoarsenedEdge &E : Edges) {
+    int64_t Ku = GSS.Instances[E.Src];
+    int64_t Kv = GSS.Instances[E.Dst];
+    for (int64_t K = 0; K < Kv; ++K) {
+      int Cons = M.instanceId(E.Dst, K);
+      for (const InstanceDep &D :
+           computeInstanceDeps(E.Iuv, E.Peek, E.Ouv, E.Muv, Ku, K)) {
+        int Prod = M.instanceId(E.Src, D.KProd);
+        auto Key = std::make_tuple(Cons, Prod, D.JLag);
+        if (GIndex.count(Key))
+          continue;
+        IlpDep Dep;
+        Dep.ConsInst = Cons;
+        Dep.ProdInst = Prod;
+        Dep.JLag = D.JLag;
+        Dep.ProdDelay = Config.Delay[E.Src];
+        Dep.GVar = M.LP.addBinaryVar(
+            "g_c" + std::to_string(Cons) + "_p" + std::to_string(Prod) +
+            "_l" + std::to_string(D.JLag));
+        GIndex[Key] = static_cast<int>(M.Deps.size());
+        M.Deps.push_back(Dep);
+      }
+    }
+  }
+
+  for (const IlpDep &D : M.Deps) {
+    // (7): g >= w_cons,p - w_prod,p and g >= w_prod,p - w_cons,p.
+    for (int P = 0; P < Pmax; ++P) {
+      M.LP.addConstraint({{D.GVar, 1.0},
+                          {M.wVar(D.ConsInst, P), -1.0},
+                          {M.wVar(D.ProdInst, P), 1.0}},
+                         RowSense::GE, 0.0);
+      M.LP.addConstraint({{D.GVar, 1.0},
+                          {M.wVar(D.ConsInst, P), 1.0},
+                          {M.wVar(D.ProdInst, P), -1.0}},
+                         RowSense::GE, 0.0);
+    }
+    double Lag = static_cast<double>(D.JLag);
+    // (8a): T f_v + o_v - T f_u - o_u >= T jlag + d(u).
+    M.LP.addConstraint({{M.FVar[D.ConsInst], T},
+                        {M.OVar[D.ConsInst], 1.0},
+                        {M.FVar[D.ProdInst], -T},
+                        {M.OVar[D.ProdInst], -1.0}},
+                       RowSense::GE, T * Lag + D.ProdDelay);
+    // (8b): T f_v + o_v - T f_u - T g >= T jlag.
+    M.LP.addConstraint({{M.FVar[D.ConsInst], T},
+                        {M.OVar[D.ConsInst], 1.0},
+                        {M.FVar[D.ProdInst], -T},
+                        {D.GVar, -T}},
+                       RowSense::GE, T * Lag);
+  }
+
+  // Strict-sequencing extension: disjoint o-windows per SM.
+  if (StrictIntraSm) {
+    for (int A = 0; A < M.NumInstances; ++A)
+      for (int B = A + 1; B < M.NumInstances; ++B) {
+        SeqPair P;
+        P.InstA = A;
+        P.InstB = B;
+        P.SVar = M.LP.addBinaryVar("s_" + std::to_string(A) + "_" +
+                                   std::to_string(B));
+        P.YVar = M.LP.addBinaryVar("y_" + std::to_string(A) + "_" +
+                                   std::to_string(B));
+        // Co-location: s >= w_A,p + w_B,p - 1 for every SM p.
+        for (int Q = 0; Q < Pmax; ++Q)
+          M.LP.addConstraint({{P.SVar, 1.0},
+                              {M.wVar(A, Q), -1.0},
+                              {M.wVar(B, Q), -1.0}},
+                             RowSense::GE, -1.0);
+        // Disjunction (big-M = 2T covers any o difference plus a delay):
+        //   o_A + d_A <= o_B + 2T(1 - y) + 2T(1 - s)
+        //   o_B + d_B <= o_A + 2T y     + 2T(1 - s)
+        double BigM = 2.0 * T;
+        M.LP.addConstraint({{M.OVar[A], 1.0},
+                            {M.OVar[B], -1.0},
+                            {P.YVar, BigM},
+                            {P.SVar, BigM}},
+                           RowSense::LE,
+                           2.0 * BigM - M.InstDelay[A]);
+        M.LP.addConstraint({{M.OVar[B], 1.0},
+                            {M.OVar[A], -1.0},
+                            {P.YVar, -BigM},
+                            {P.SVar, BigM}},
+                           RowSense::LE, BigM - M.InstDelay[B]);
+        M.SeqPairs.push_back(P);
+      }
+  }
+
+  // Feasibility problem: a gentle objective pulling stages down keeps the
+  // LP relaxations from drifting and shrinks the pipeline prologue.
+  std::vector<LinTerm> Obj;
+  for (int I = 0; I < M.NumInstances; ++I)
+    Obj.push_back({M.FVar[I], 1.0});
+  M.LP.setObjective(std::move(Obj));
+
+  return M;
+}

@@ -1,0 +1,135 @@
+//===- core/IlpFormulation.h - Paper Section III ILP -------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the paper's scheduling ILP for a candidate initiation
+/// interval T:
+///
+///  (1) sum_p w_{k,v,p} = 1                 -- each instance on one SM
+///  (2) sum_{k,v} w_{k,v,p} d(v) <= T       -- SM work fits the II
+///  (4) o_{k,v} + d(v) < T                  -- encoded as variable bounds
+///  (7) g >= w_{k,v,p} - w_{k',u,p} and the symmetric row, for all p
+///  (8) T f_v + o_v >= T (jlag + f_u) + o_u + d(u)
+///      T f_v + o_v >= T (jlag + f_u + g)
+///
+/// over the *coarsened* instances of the GPU steady state (one GPU firing
+/// = Threads[v] base firings) with post-initialization initial tokens.
+/// w and g are binary, f integer, o continuous within its (4) bounds —
+/// o's integrality never matters for feasibility since all other terms
+/// are integer multiples of cycles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_CORE_ILPFORMULATION_H
+#define SGPU_CORE_ILPFORMULATION_H
+
+#include "core/ExecutionModel.h"
+#include "ilp/LinearProgram.h"
+#include "sdf/Admissibility.h"
+
+#include <optional>
+#include <vector>
+
+namespace sgpu {
+
+/// Edge rates after coarsening to GPU firings and after discounting the
+/// initialization phase.
+struct CoarsenedEdge {
+  int Src = -1, Dst = -1;
+  int64_t Iuv = 0;  ///< Tokens consumed per GPU firing of Dst.
+  int64_t Peek = 0; ///< Peek reach per GPU firing of Dst (>= Iuv).
+  int64_t Ouv = 0;  ///< Tokens produced per GPU firing of Src.
+  int64_t Muv = 0;  ///< Initial tokens after the init phase.
+};
+
+/// Computes the coarsened edges of \p G under \p Config and \p SS's
+/// initialization firings.
+std::vector<CoarsenedEdge> coarsenEdges(const StreamGraph &G,
+                                        const SteadyState &SS,
+                                        const ExecutionConfig &Config);
+
+/// One instance-level dependence with its ILP metadata.
+struct IlpDep {
+  int ConsInst = -1; ///< Dense consumer instance id.
+  int ProdInst = -1; ///< Dense producer instance id.
+  int64_t JLag = 0;  ///< Iteration lag (<= 0).
+  double ProdDelay = 0.0;
+  int GVar = -1; ///< The g_{l,k,u,v} binary (shared per (cons, prod, lag)).
+};
+
+/// One strict-sequencing pair (the extension in buildSwpIlp): when
+/// instances I and J share an SM (SVar = 1), the order binary YVar picks
+/// which one runs first and the big-M rows keep their o-windows disjoint.
+struct SeqPair {
+  int InstA = -1, InstB = -1;
+  int SVar = -1; ///< Co-location indicator.
+  int YVar = -1; ///< 1 when A precedes B.
+};
+
+/// The generated model plus the variable map needed to read solutions
+/// back and to inject incumbents.
+struct IlpModel {
+  LinearProgram LP;
+  double T = 0.0;
+  int Pmax = 0;
+  int64_t MaxStages = 0;
+  bool StrictIntraSm = false;
+
+  /// Dense instance ids: instance (Node, K) is InstBase[Node] + K.
+  std::vector<int64_t> InstBase;
+  int NumInstances = 0;
+  std::vector<int> InstNode;   ///< Node of each dense instance.
+  std::vector<int64_t> InstK;  ///< K of each dense instance.
+  std::vector<double> InstDelay;
+
+  /// Variable indices.
+  std::vector<int> WBase; ///< w_{i,p} = WBase[i] + p.
+  std::vector<int> OVar;  ///< o_i.
+  std::vector<int> FVar;  ///< f_i.
+  std::vector<IlpDep> Deps;
+  std::vector<SeqPair> SeqPairs; ///< Strict-sequencing extension only.
+
+  int wVar(int Inst, int Sm) const { return WBase[Inst] + Sm; }
+  int instanceId(int Node, int64_t K) const {
+    return static_cast<int>(InstBase[Node] + K);
+  }
+
+  /// Decodes an LP solution vector into a schedule.
+  SwpSchedule decode(const std::vector<double> &X) const;
+
+  /// Encodes a schedule as a full variable assignment (for incumbents).
+  std::vector<double> encode(const SwpSchedule &S) const;
+};
+
+/// Builds the ILP at initiation interval \p T. Returns nullopt when some
+/// instance's delay alone exceeds T (no schedule can exist at this II).
+///
+/// \p StrictIntraSm enables an extension beyond the paper: the original
+/// formulation lets two instances on the same SM occupy overlapping
+/// [o, o+d) windows (execution then serializes in o-order at runtime,
+/// stretching past the o the solver assumed). With the flag, disjunctive
+/// big-M rows force co-located windows apart, making o exact at the
+/// cost of O(instances^2) extra binaries.
+std::optional<IlpModel>
+buildSwpIlp(const StreamGraph &G, const SteadyState &SS,
+            const ExecutionConfig &Config, const GpuSteadyState &GSS,
+            int Pmax, double T, int64_t MaxStages,
+            bool StrictIntraSm = false);
+
+/// Resource-constrained minimum II: total instance work spread over the
+/// SMs, and no instance shorter than its own delay.
+double computeResMII(const ExecutionConfig &Config,
+                     const GpuSteadyState &GSS, int Pmax);
+
+/// Recurrence-constrained minimum II over the coarsened instance graph.
+double computeCoarsenedRecMII(const StreamGraph &G, const SteadyState &SS,
+                              const ExecutionConfig &Config,
+                              const GpuSteadyState &GSS);
+
+} // namespace sgpu
+
+#endif // SGPU_CORE_ILPFORMULATION_H

@@ -1,0 +1,77 @@
+//===- core/IlpScheduler.cpp - II search driving the ILP --------------------===//
+
+#include "core/IlpScheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace sgpu;
+
+std::optional<ScheduleResult>
+sgpu::scheduleSwp(const StreamGraph &G, const SteadyState &SS,
+                  const ExecutionConfig &Config, const GpuSteadyState &GSS,
+                  const SchedulerOptions &Options) {
+  ScheduleResult Res;
+  Res.ResMII = computeResMII(Config, GSS, Options.Pmax);
+  Res.RecMII = computeCoarsenedRecMII(G, SS, Config, GSS);
+  Res.MII = std::max(Res.ResMII, Res.RecMII);
+  if (Res.MII <= 0.0)
+    return std::nullopt;
+
+  double T = Res.MII;
+  double Limit = Res.MII * Options.MaxRelaxFactor;
+  int IlpAttempts = 0;
+
+  while (T <= Limit) {
+    ++Res.IIAttempts;
+
+    std::optional<SwpSchedule> Heur = buildHeuristicSchedule(
+        G, SS, Config, GSS, Options.Pmax, T, Options.MaxStages);
+    if (Heur && verifySchedule(G, SS, Config, GSS, *Heur))
+      Heur.reset(); // The verifier rejected it; treat as absent.
+
+    bool WantIlp =
+        Options.UseIlp &&
+        GSS.totalInstances() <= Options.MaxIlpInstances &&
+        IlpAttempts < Options.MaxIlpAttempts &&
+        (!Heur || Options.IlpEvenIfHeuristicSucceeds);
+
+    if (WantIlp) {
+      ++IlpAttempts;
+      if (std::optional<IlpModel> M = buildSwpIlp(
+              G, SS, Config, GSS, Options.Pmax, T, Options.MaxStages)) {
+        MilpOptions MO;
+        MO.TimeBudgetSeconds = Options.TimeBudgetSeconds;
+        std::optional<std::vector<double>> Incumbent;
+        if (Heur)
+          Incumbent = M->encode(*Heur);
+        MilpResult MR = solveMilp(M->LP, MO, Incumbent);
+        Res.SolverSeconds += MR.Seconds;
+        Res.SolverNodes += MR.NodesExplored;
+        if (MR.hasSolution()) {
+          SwpSchedule S = M->decode(MR.X);
+          if (!verifySchedule(G, SS, Config, GSS, S)) {
+            Res.Schedule = std::move(S);
+            Res.UsedIlp = true;
+            Res.FinalII = T;
+            Res.RelaxationPercent = (T / Res.MII - 1.0) * 100.0;
+            return Res;
+          }
+        }
+      }
+    }
+
+    if (Heur) {
+      Res.Schedule = std::move(*Heur);
+      Res.UsedHeuristic = true;
+      Res.FinalII = T;
+      Res.RelaxationPercent = (T / Res.MII - 1.0) * 100.0;
+      return Res;
+    }
+
+    // Paper Section V: "the II is relaxed by 0.5% and the process is
+    // repeated until a feasible solution was found".
+    T = std::max(T * Options.RelaxFactor, T + 1e-6);
+  }
+  return std::nullopt;
+}

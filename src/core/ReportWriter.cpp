@@ -1,0 +1,68 @@
+//===- core/ReportWriter.cpp - Compile report serialization ------------------===//
+
+#include "core/ReportWriter.h"
+
+#include "support/Json.h"
+
+using namespace sgpu;
+
+std::string sgpu::reportToJson(const StreamGraph &G,
+                               const CompileReport &R) {
+  JsonWriter W;
+  W.beginObject();
+  W.writeString("strategy", strategyName(R.Strat));
+  W.writeInt("coarsening", R.Coarsening);
+  W.writeString("layout", R.Layout == LayoutKind::Shuffled ? "shuffled"
+                                                           : "sequential");
+
+  W.beginObject("graph");
+  W.writeInt("nodes", G.numNodes());
+  W.writeInt("edges", G.numEdges());
+  W.writeInt("filters", G.numFilterNodes());
+  W.writeInt("peeking_filters", G.numPeekingFilters());
+  W.endObject();
+
+  W.beginObject("execution_config");
+  W.writeInt("reg_limit", R.Config.RegLimit);
+  W.writeInt("block_threads", R.Config.NumThreads);
+  W.beginArray("per_node_threads");
+  for (int64_t T : R.Config.Threads)
+    W.writeInt(T);
+  W.endArray();
+  W.endObject();
+
+  W.beginObject("scheduling");
+  W.writeDouble("res_mii", R.SchedStats.ResMII);
+  W.writeDouble("rec_mii", R.SchedStats.RecMII);
+  W.writeDouble("final_ii", R.SchedStats.FinalII);
+  W.writeDouble("relaxation_percent", R.SchedStats.RelaxationPercent);
+  W.writeInt("ii_attempts", R.SchedStats.IIAttempts);
+  W.writeInt("bnb_nodes", R.SchedStats.SolverNodes);
+  W.writeBool("used_ilp", R.SchedStats.UsedIlp);
+  W.writeInt("stage_span", R.Schedule.stageSpan());
+  W.endObject();
+
+  W.beginArray("instances");
+  for (const ScheduledInstance &SI : R.Schedule.Instances) {
+    W.beginObject();
+    W.writeString("node", G.node(SI.Node).Name);
+    W.writeInt("k", SI.K);
+    W.writeInt("sm", SI.Sm);
+    W.writeDouble("o", SI.O);
+    W.writeInt("f", SI.F);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.beginObject("metrics");
+  W.writeDouble("gpu_cycles_per_base_iter", R.GpuCyclesPerBaseIteration);
+  W.writeDouble("cpu_cycles_per_base_iter", R.CpuCyclesPerBaseIteration);
+  W.writeDouble("speedup", R.Speedup);
+  W.writeInt("buffer_bytes", R.BufferBytes);
+  W.writeDouble("pipeline_latency_cycles", R.PipelineLatencyCycles);
+  W.writeDouble("tokens_per_kilocycle", R.TokensPerKiloCycle);
+  W.endObject();
+
+  W.endObject();
+  return W.str();
+}

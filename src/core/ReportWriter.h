@@ -1,0 +1,29 @@
+//===- core/ReportWriter.h - Compile report serialization -------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a CompileReport (configuration, II search statistics, the
+/// full per-instance schedule, speedup/latency metrics) to JSON so
+/// external tooling can plot schedules and compare runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_CORE_REPORTWRITER_H
+#define SGPU_CORE_REPORTWRITER_H
+
+#include "core/Compiler.h"
+
+#include <string>
+
+namespace sgpu {
+
+/// Renders \p R (compiled from \p G) as a JSON document.
+std::string reportToJson(const StreamGraph &G, const CompileReport &R);
+
+} // namespace sgpu
+
+#endif // SGPU_CORE_REPORTWRITER_H

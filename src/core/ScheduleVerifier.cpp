@@ -1,0 +1,100 @@
+//===- core/ScheduleVerifier.cpp - Independent schedule checks --------------===//
+
+#include "core/ScheduleVerifier.h"
+
+#include <cmath>
+#include <sstream>
+
+using namespace sgpu;
+
+std::optional<std::string>
+sgpu::verifySchedule(const StreamGraph &G, const SteadyState &SS,
+                     const ExecutionConfig &Config,
+                     const GpuSteadyState &GSS, const SwpSchedule &S) {
+  constexpr double Tol = 1e-6;
+  double T = S.II;
+  int N = G.numNodes();
+
+  // Index instances densely and check completeness / uniqueness.
+  std::vector<int64_t> Base(N);
+  int64_t Count = 0;
+  for (int V = 0; V < N; ++V) {
+    Base[V] = Count;
+    Count += GSS.Instances[V];
+  }
+  std::vector<const ScheduledInstance *> ById(Count, nullptr);
+  for (const ScheduledInstance &SI : S.Instances) {
+    if (SI.Node < 0 || SI.Node >= N)
+      return "instance references an unknown node";
+    if (SI.K < 0 || SI.K >= GSS.Instances[SI.Node])
+      return "instance index out of range for node " +
+             G.node(SI.Node).Name;
+    int64_t Id = Base[SI.Node] + SI.K;
+    if (ById[Id])
+      return "duplicate instance in schedule";
+    ById[Id] = &SI;
+  }
+  for (int64_t I = 0; I < Count; ++I)
+    if (!ById[I])
+      return "schedule is missing instances";
+
+  // (1) SM range, (4) o bounds, f sanity.
+  std::vector<double> SmLoad(S.Pmax, 0.0);
+  for (const ScheduledInstance &SI : S.Instances) {
+    if (SI.Sm < 0 || SI.Sm >= S.Pmax)
+      return "instance assigned outside [0, Pmax)";
+    double D = Config.Delay[SI.Node];
+    if (SI.O < -Tol || SI.O + D > T + Tol) {
+      std::ostringstream OS;
+      OS << "constraint (4) violated: o=" << SI.O << " d=" << D
+         << " II=" << T << " at " << G.node(SI.Node).Name;
+      return OS.str();
+    }
+    if (SI.F < 0)
+      return "negative pipeline stage";
+    SmLoad[SI.Sm] += D;
+  }
+
+  // (2) per-SM resource fit.
+  for (int P = 0; P < S.Pmax; ++P)
+    if (SmLoad[P] > T + Tol) {
+      std::ostringstream OS;
+      OS << "constraint (2) violated: SM " << P << " load " << SmLoad[P]
+         << " > II " << T;
+      return OS.str();
+    }
+
+  // (8) dependence constraints over the coarsened instance graph.
+  for (const CoarsenedEdge &E : coarsenEdges(G, SS, Config)) {
+    int64_t Ku = GSS.Instances[E.Src];
+    int64_t Kv = GSS.Instances[E.Dst];
+    for (int64_t K = 0; K < Kv; ++K) {
+      const ScheduledInstance &Cons = *ById[Base[E.Dst] + K];
+      for (const InstanceDep &D :
+           computeInstanceDeps(E.Iuv, E.Peek, E.Ouv, E.Muv, Ku, K)) {
+        const ScheduledInstance &Prod = *ById[Base[E.Src] + D.KProd];
+        double SigmaC = SwpSchedule::sigma(T, Cons);
+        double SigmaP = SwpSchedule::sigma(T, Prod);
+        double Lag = static_cast<double>(D.JLag);
+        if (SigmaC + Tol <
+            SigmaP + Config.Delay[E.Src] + T * Lag) {
+          std::ostringstream OS;
+          OS << "constraint (8a) violated on edge "
+             << G.node(E.Src).Name << " -> " << G.node(E.Dst).Name
+             << " (k=" << K << ", k'=" << D.KProd << ", jlag=" << D.JLag
+             << ")";
+          return OS.str();
+        }
+        if (Cons.Sm != Prod.Sm &&
+            Cons.F < Prod.F + D.JLag + 1) {
+          std::ostringstream OS;
+          OS << "constraint (8b) violated (cross-SM data used in the "
+                "same iteration) on edge "
+             << G.node(E.Src).Name << " -> " << G.node(E.Dst).Name;
+          return OS.str();
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}

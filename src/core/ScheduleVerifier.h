@@ -1,0 +1,43 @@
+//===- core/ScheduleVerifier.h - Independent schedule checks ----*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks a software-pipelined schedule against the paper's constraint
+/// system directly (without going through the LP), so that ILP solutions,
+/// heuristic schedules and hand-written test schedules are all judged by
+/// one independent arbiter:
+///
+///  - every instance sits on exactly one SM in [0, Pmax);
+///  - per-SM work fits within the II (constraint 2);
+///  - o + d(v) <= T per instance (constraint 4);
+///  - for every instance dependence, sigma_cons >= sigma_prod + d + T*jlag
+///    (8a), and when the endpoints sit on different SMs additionally
+///    f_cons >= f_prod + jlag + 1 (8b with g = 1): cross-SM data is only
+///    reliable in the next steady-state iteration (Section III-C).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_CORE_SCHEDULEVERIFIER_H
+#define SGPU_CORE_SCHEDULEVERIFIER_H
+
+#include "core/IlpFormulation.h"
+
+#include <optional>
+#include <string>
+
+namespace sgpu {
+
+/// Verifies \p S against the coarsened dependence structure. Returns an
+/// error description, or std::nullopt when the schedule is valid.
+std::optional<std::string>
+verifySchedule(const StreamGraph &G, const SteadyState &SS,
+               const ExecutionConfig &Config, const GpuSteadyState &GSS,
+               const SwpSchedule &S);
+
+} // namespace sgpu
+
+#endif // SGPU_CORE_SCHEDULEVERIFIER_H

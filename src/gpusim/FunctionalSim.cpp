@@ -1,0 +1,312 @@
+//===- gpusim/FunctionalSim.cpp - Functional SWP execution ------------------===//
+
+#include "gpusim/FunctionalSim.h"
+
+#include "support/Check.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace sgpu;
+
+namespace {
+
+/// Provenance of one written token.
+struct WriteTag {
+  int64_t Iter = -2; ///< Kernel invocation; -1 = init phase / initial.
+  int Sm = -1;
+  int64_t Seq = -1; ///< Execution order within (Iter, Sm).
+  bool Written = false;
+};
+
+/// One channel edge's materialized token store, absolute FIFO indexing.
+struct EdgeTokens {
+  std::vector<Scalar> Tokens;
+  std::vector<WriteTag> Tags;
+
+  void resizeFor(int64_t Count, TokenType Ty) {
+    Tokens.assign(Count, Ty == TokenType::Int ? Scalar::makeInt(0)
+                                              : Scalar::makeFloat(0.0));
+    Tags.assign(Count, WriteTag());
+  }
+};
+
+/// Reader context used by the visibility rule.
+struct ReadCtx {
+  int64_t Iter;
+  int Sm;
+  int64_t Seq;
+};
+
+bool isVisible(const WriteTag &W, const ReadCtx &R) {
+  if (!W.Written)
+    return false;
+  if (W.Iter < R.Iter)
+    return true;
+  // Same invocation: only earlier work of the same SM is reliable
+  // (Section III-C: cross-SM data is usable only next iteration).
+  return W.Iter == R.Iter && W.Sm == R.Sm && W.Seq < R.Seq;
+}
+
+} // namespace
+
+struct SwpFunctionalSim::EdgeState {};
+
+SwpFunctionalSim::SwpFunctionalSim(const StreamGraph &G,
+                                   const SteadyState &SS,
+                                   const ExecutionConfig &Config,
+                                   const GpuSteadyState &GSS,
+                                   const SwpSchedule &Sched)
+    : G(G), SS(SS), Config(Config), GSS(GSS), Sched(Sched) {}
+
+int64_t SwpFunctionalSim::inputTokensNeeded(int64_t Iterations) const {
+  int Entry = G.entryNode();
+  if (Entry < 0)
+    return 0;
+  const Filter &F = *G.node(Entry).TheFilter;
+  int64_t BaseFirings =
+      SS.initFirings()[Entry] +
+      Iterations * GSS.Instances[Entry] * Config.Threads[Entry];
+  return BaseFirings * F.popRate() + (F.peekRate() - F.popRate());
+}
+
+FunctionalRunResult SwpFunctionalSim::run(const std::vector<Scalar> &Input,
+                                          int64_t Iterations) {
+  FunctionalRunResult Res;
+  int N = G.numNodes();
+
+  if (static_cast<int64_t>(Input.size()) < inputTokensNeeded(Iterations)) {
+    Res.Error = "insufficient program input for the requested iterations";
+    return Res;
+  }
+
+  // Total base firings per node over init + all iterations.
+  std::vector<int64_t> TotalFirings(N);
+  for (int V = 0; V < N; ++V)
+    TotalFirings[V] = SS.initFirings()[V] +
+                      Iterations * GSS.Instances[V] * Config.Threads[V];
+
+  // Materialize every edge's token stream.
+  std::vector<EdgeTokens> Edges(G.numEdges());
+  for (const ChannelEdge &E : G.edges()) {
+    int64_t Count = E.InitTokens + TotalFirings[E.Src] * E.ProdRate;
+    Edges[E.Id].resizeFor(Count, E.Ty);
+    for (int64_t I = 0; I < E.InitTokens; ++I) {
+      Edges[E.Id].Tags[I].Written = true;
+      Edges[E.Id].Tags[I].Iter = -1;
+    }
+  }
+
+  int Exit = G.exitNode();
+  int64_t OutCount =
+      Exit >= 0 ? TotalFirings[Exit] * G.node(Exit).TheFilter->pushRate()
+                : 0;
+  Res.Output.assign(OutCount, Scalar::makeFloat(0.0));
+  std::vector<bool> OutWritten(OutCount, false);
+
+  std::string Error;
+
+  // Fires base firing `B` of node `V` in reader/writer context `Ctx`.
+  auto FireBase = [&](int V, int64_t B, const ReadCtx &Ctx) -> bool {
+    const GraphNode &Node = G.node(V);
+
+    // Gather inputs into per-port scratch FIFOs, checking visibility.
+    std::vector<ChannelBuffer> InBufs;
+    std::vector<ChannelBuffer> OutBufs;
+
+    auto GatherIn = [&](const ChannelEdge &E, int64_t Want) -> bool {
+      InBufs.emplace_back(E.Ty);
+      int64_t Base = B * E.ConsRate;
+      for (int64_t I = 0; I < Want; ++I) {
+        int64_t Idx = Base + I;
+        if (Idx >= static_cast<int64_t>(Edges[E.Id].Tokens.size())) {
+          // Peek slack beyond the materialized range can only occur on
+          // the very last firings; pad with zeros (never consumed).
+          InBufs.back().push(E.Ty == TokenType::Int
+                                 ? Scalar::makeInt(0)
+                                 : Scalar::makeFloat(0.0));
+          continue;
+        }
+        if (!isVisible(Edges[E.Id].Tags[Idx], Ctx)) {
+          std::ostringstream OS;
+          OS << "node '" << Node.Name << "' firing " << B
+             << " reads token " << Idx << " of edge " << E.Id
+             << " before it is reliably visible (invocation " << Ctx.Iter
+             << ", SM " << Ctx.Sm << ")";
+          Error = OS.str();
+          return false;
+        }
+        InBufs.back().push(Edges[E.Id].Tokens[Idx]);
+      }
+      return true;
+    };
+
+    if (Node.isFilter()) {
+      const Filter &F = *Node.TheFilter;
+      ChannelBuffer EntryBuf(F.inputType());
+      ChannelBuffer *In = nullptr;
+      if (F.popRate() > 0) {
+        if (V == G.entryNode()) {
+          int64_t Base = B * F.popRate();
+          for (int64_t I = 0; I < F.peekRate(); ++I) {
+            int64_t Idx = Base + I;
+            EntryBuf.push(Idx < static_cast<int64_t>(Input.size())
+                              ? Input[Idx]
+                              : (F.inputType() == TokenType::Int
+                                     ? Scalar::makeInt(0)
+                                     : Scalar::makeFloat(0.0)));
+          }
+          In = &EntryBuf;
+        } else {
+          const ChannelEdge &E = G.edge(Node.InEdges[0]);
+          if (!GatherIn(E, F.peekRate() + (E.ConsRate - F.popRate())))
+            return false;
+          In = &InBufs.back();
+        }
+      }
+      ChannelBuffer OutBuf(F.outputType());
+      fireFilter(F, In, F.pushRate() > 0 ? &OutBuf : nullptr);
+      // Scatter outputs.
+      if (F.pushRate() > 0) {
+        if (V == G.exitNode()) {
+          int64_t Base = B * F.pushRate();
+          for (int64_t M = 0; !OutBuf.empty(); ++M) {
+            assert(Base + M < OutCount && "output overflow");
+            Res.Output[Base + M] = OutBuf.pop();
+            OutWritten[Base + M] = true;
+          }
+        } else {
+          const ChannelEdge &E = G.edge(Node.OutEdges[0]);
+          int64_t Base = E.InitTokens + B * E.ProdRate;
+          for (int64_t M = 0; !OutBuf.empty(); ++M) {
+            Edges[E.Id].Tokens[Base + M] = OutBuf.pop();
+            WriteTag &Tag = Edges[E.Id].Tags[Base + M];
+            Tag.Written = true;
+            Tag.Iter = Ctx.Iter;
+            Tag.Sm = Ctx.Sm;
+            Tag.Seq = Ctx.Seq;
+          }
+        }
+      }
+      return true;
+    }
+
+    // Splitter / joiner.
+    std::vector<ChannelBuffer *> Ins, Outs;
+    for (int EId : Node.InEdges) {
+      const ChannelEdge &E = G.edge(EId);
+      if (!GatherIn(E, E.ConsRate))
+        return false;
+    }
+    for (ChannelBuffer &CB : InBufs)
+      Ins.push_back(&CB);
+    OutBufs.reserve(Node.OutEdges.size());
+    for (int EId : Node.OutEdges)
+      OutBufs.emplace_back(G.edge(EId).Ty);
+    for (ChannelBuffer &CB : OutBufs)
+      Outs.push_back(&CB);
+    fireSplitterJoiner(Node, Ins, Outs);
+    for (size_t P = 0; P < Node.OutEdges.size(); ++P) {
+      const ChannelEdge &E = G.edge(Node.OutEdges[P]);
+      int64_t Base = E.InitTokens + B * E.ProdRate;
+      for (int64_t M = 0; !OutBufs[P].empty(); ++M) {
+        Edges[E.Id].Tokens[Base + M] = OutBufs[P].pop();
+        WriteTag &Tag = Edges[E.Id].Tags[Base + M];
+        Tag.Written = true;
+        Tag.Iter = Ctx.Iter;
+        Tag.Sm = Ctx.Sm;
+        Tag.Seq = Ctx.Seq;
+      }
+    }
+    return true;
+  };
+
+  // --- Init phase: sequential, always-visible writes.
+  std::optional<std::vector<int>> Order = G.topologicalOrder();
+  if (!Order) {
+    Res.Error = "graph has a token-free cycle";
+    return Res;
+  }
+  // The init phase is sequential: every firing sees all earlier init
+  // writes, so the sequence number advances per firing.
+  int64_t InitSeq = 0;
+  for (int V : *Order)
+    for (int64_t B = 0; B < SS.initFirings()[V]; ++B) {
+      ReadCtx InitCtx{-1, -1, ++InitSeq};
+      if (!FireBase(V, B, InitCtx)) {
+        Res.Error = Error;
+        return Res;
+      }
+    }
+
+  // --- Pipelined invocations. Instance with stage F performs the work of
+  // logical iteration (t - F) during invocation t.
+  int64_t Span = Sched.stageSpan();
+  for (int64_t T = 0; T < Iterations + Span; ++T) {
+    for (int P = 0; P < Sched.Pmax; ++P) {
+      int64_t Seq = 0;
+      for (const ScheduledInstance *SI : Sched.smOrder(P)) {
+        int64_t J = T - SI->F;
+        if (J < 0 || J >= Iterations) {
+          ++Seq;
+          continue;
+        }
+        int V = SI->Node;
+        int64_t Threads = Config.Threads[V];
+        int64_t FirstBase =
+            SS.initFirings()[V] +
+            (J * GSS.Instances[V] + SI->K) * Threads;
+        ReadCtx Ctx{T, P, Seq};
+        for (int64_t Th = 0; Th < Threads; ++Th)
+          if (!FireBase(V, FirstBase + Th, Ctx)) {
+            Res.Error = Error;
+            return Res;
+          }
+        ++Seq;
+      }
+    }
+  }
+
+  for (int64_t I = 0; I < OutCount; ++I)
+    if (!OutWritten[I]) {
+      Res.Error = "output token " + std::to_string(I) + " never produced";
+      return Res;
+    }
+  Res.Ok = true;
+  return Res;
+}
+
+std::optional<std::string> sgpu::checkScheduleAgainstReference(
+    const StreamGraph &G, const SteadyState &SS,
+    const ExecutionConfig &Config, const GpuSteadyState &GSS,
+    const SwpSchedule &Sched, const std::vector<Scalar> &Input,
+    int64_t Iterations) {
+  SwpFunctionalSim Sim(G, SS, Config, GSS, Sched);
+  FunctionalRunResult R = Sim.run(Input, Iterations);
+  if (!R.Ok)
+    return "functional run failed: " + R.Error;
+
+  // Sequential reference over the same base firings.
+  GraphInterpreter Ref(G);
+  Ref.feedInput(Input);
+  std::optional<std::vector<int>> Order = G.topologicalOrder();
+  if (!Order)
+    return "graph has a token-free cycle";
+  for (int V : *Order)
+    if (Ref.fireNode(V, SS.initFirings()[V]) != SS.initFirings()[V])
+      return "reference init phase deadlocked";
+  int64_t BaseIters = Iterations * GSS.Multiplier;
+  if (!Ref.runSteadyState(SS.repetitions(), BaseIters))
+    return "reference steady state deadlocked";
+
+  if (Ref.output().size() != R.Output.size())
+    return "output size mismatch: reference " +
+           std::to_string(Ref.output().size()) + " vs SWP " +
+           std::to_string(R.Output.size());
+  for (size_t I = 0; I < R.Output.size(); ++I)
+    if (!(Ref.output()[I] == R.Output[I]))
+      return "output token " + std::to_string(I) +
+             " differs: reference " + Ref.output()[I].str() + " vs SWP " +
+             R.Output[I].str();
+  return std::nullopt;
+}

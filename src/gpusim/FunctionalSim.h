@@ -1,0 +1,88 @@
+//===- gpusim/FunctionalSim.h - Functional SWP execution --------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a software-pipelined schedule the way the GPU would and
+/// checks that it computes the right answer. Kernel invocations proceed
+/// iteration by iteration; within an invocation the SMs run concurrently,
+/// so a token written by another SM in the same invocation is NOT visible
+/// (the paper's Section III-C reliability rule) — reading one is a
+/// schedule bug this simulator reports. Tokens written earlier by the
+/// same SM in the same invocation are visible (o-order serial execution
+/// within an SM). The init phase for peeking filters runs sequentially
+/// up front, mirroring StreamIt's initialization schedule.
+///
+/// Data semantics come from the same AST interpreter as the CPU
+/// baseline, so outputs can be compared exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_GPUSIM_FUNCTIONALSIM_H
+#define SGPU_GPUSIM_FUNCTIONALSIM_H
+
+#include "core/ExecutionModel.h"
+#include "ir/Interpreter.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sgpu {
+
+/// Result of a functional run.
+struct FunctionalRunResult {
+  bool Ok = false;
+  std::string Error;           ///< Set when a visibility/firing rule broke.
+  std::vector<Scalar> Output;  ///< Program output tokens, FIFO order.
+};
+
+/// Runs \p Iterations GPU steady-state iterations of \p Sched over
+/// \p Input. The input must cover the init phase plus all iterations
+/// (see SwpFunctionalSim::inputTokensNeeded).
+class SwpFunctionalSim {
+public:
+  SwpFunctionalSim(const StreamGraph &G, const SteadyState &SS,
+                   const ExecutionConfig &Config, const GpuSteadyState &GSS,
+                   const SwpSchedule &Sched);
+
+  /// Program input tokens needed for \p Iterations GPU iterations.
+  int64_t inputTokensNeeded(int64_t Iterations) const;
+
+  /// Executes the init phase plus \p Iterations pipelined iterations.
+  /// Note: the software pipeline drains naturally — every instance runs
+  /// in every invocation with its own stage offset, so iteration j of
+  /// stage-f instances consumes data of base iteration j - f; the final
+  /// `stageSpan` iterations of output are produced by running extra
+  /// invocations, which this method performs so that exactly
+  /// `Iterations` iterations' worth of output is returned.
+  FunctionalRunResult run(const std::vector<Scalar> &Input,
+                          int64_t Iterations);
+
+private:
+  struct EdgeState;
+
+  const StreamGraph &G;
+  const SteadyState &SS;
+  const ExecutionConfig &Config;
+  const GpuSteadyState &GSS;
+  const SwpSchedule &Sched;
+};
+
+/// Convenience: compare a functional SWP run against the sequential
+/// GraphInterpreter reference on the same input. Returns std::nullopt on
+/// success or a mismatch description.
+std::optional<std::string>
+checkScheduleAgainstReference(const StreamGraph &G, const SteadyState &SS,
+                              const ExecutionConfig &Config,
+                              const GpuSteadyState &GSS,
+                              const SwpSchedule &Sched,
+                              const std::vector<Scalar> &Input,
+                              int64_t Iterations);
+
+} // namespace sgpu
+
+#endif // SGPU_GPUSIM_FUNCTIONALSIM_H

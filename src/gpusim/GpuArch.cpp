@@ -1,0 +1,5 @@
+//===- gpusim/GpuArch.cpp - Simulated GPU architecture ----------------------===//
+
+#include "gpusim/GpuArch.h"
+
+// GpuArch is an aggregate of parameters; this file anchors the TU.

@@ -1,0 +1,66 @@
+//===- gpusim/GpuArch.h - Simulated GPU architecture ------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameters of the simulated GPU. The defaults model the GeForce 8800
+/// GTS 512 the paper evaluates on (Section II-A): 16 SMs of 8 scalar
+/// units, 8192 registers and 16 KB shared memory per SM, up to 768
+/// resident threads and 8 blocks per SM, 32-thread warps, 512-thread
+/// blocks, a 400-600 cycle device memory and 1-cycle shared memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_GPUSIM_GPUARCH_H
+#define SGPU_GPUSIM_GPUARCH_H
+
+#include <cstdint>
+
+namespace sgpu {
+
+/// Machine description of the simulated device.
+struct GpuArch {
+  int NumSMs = 16;
+  int ScalarUnitsPerSM = 8;
+  int WarpSize = 32;
+  int MaxThreadsPerSM = 768;
+  int MaxThreadsPerBlock = 512;
+  int MaxBlocksPerSM = 8;
+  int RegistersPerSM = 8192;
+  int64_t SharedMemPerSM = 16384;
+
+  /// Shader clock, used only to convert cycle ratios into CPU-relative
+  /// speedups (8800 GTS 512 shader domain: 1.625 GHz).
+  double CoreClockGHz = 1.625;
+
+  /// Round-trip device-memory latency in shader cycles (paper: 400-600).
+  int MemLatencyCycles = 500;
+
+  /// Chip-wide memory service cycles per 64-byte transaction; derived
+  /// from the 256-bit GDDR3 bus (~62 GB/s, ~1.6e9 cycles/s).
+  double ChipCyclesPerTxn = 1.7;
+
+  /// Issue cycles per warp instruction (32 lanes over 8 scalar units).
+  double CyclesPerWarpInstr = 4.0;
+
+  /// Extra issue-cycle factor for SFU (transcendental) warp instructions.
+  double SfuCyclesPerWarpInstr = 16.0;
+
+  /// Per-thread memory-level parallelism assumed when computing the
+  /// exposed-latency term (outstanding loads of one warp).
+  double MemoryLevelParallelism = 4.0;
+
+  /// Fixed cost of dispatching a kernel (driver + launch), in shader
+  /// cycles (~5 us at 1.6 GHz). Amortized by the paper's coarsening.
+  int64_t KernelLaunchCycles = 9000;
+
+  /// Returns the paper's evaluation device.
+  static GpuArch geForce8800GTS512() { return GpuArch(); }
+};
+
+} // namespace sgpu
+
+#endif // SGPU_GPUSIM_GPUARCH_H

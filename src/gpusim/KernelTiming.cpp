@@ -1,0 +1,57 @@
+//===- gpusim/KernelTiming.cpp - Analytic kernel timing ---------------------===//
+
+#include "gpusim/KernelTiming.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace sgpu;
+
+double sgpu::instanceTransactions(const InstanceCost &Cost) {
+  double ChannelTxns = static_cast<double>(Cost.Threads) *
+                       static_cast<double>(Cost.GlobalAccesses) *
+                       Cost.TxnsPerAccess;
+  // Spill/local traffic is thread-private and laid out contiguously per
+  // lane by the compiler, so it coalesces.
+  double SpillTxns = static_cast<double>(Cost.Threads) *
+                     static_cast<double>(Cost.SpillAccesses) / 16.0;
+  return ChannelTxns + SpillTxns;
+}
+
+double sgpu::instanceCycles(const GpuArch &Arch, const InstanceCost &Cost) {
+  assert(Cost.Threads > 0 && "instance with no threads");
+  double Warps = std::ceil(static_cast<double>(Cost.Threads) /
+                           static_cast<double>(Arch.WarpSize));
+
+  // One warp's issue time: ALU + SFU + shared (with conflict replays) +
+  // the issue slots of its memory instructions.
+  double MemInstr = static_cast<double>(Cost.GlobalAccesses) +
+                    static_cast<double>(Cost.SpillAccesses);
+  double CWarp =
+      Arch.CyclesPerWarpInstr *
+          (static_cast<double>(Cost.ComputeOps) + MemInstr +
+           static_cast<double>(Cost.SharedAccesses) *
+               Cost.SharedConflictDegree) +
+      Arch.SfuCyclesPerWarpInstr * static_cast<double>(Cost.SfuOps);
+
+  // One warp's exposed memory latency, overlapped by in-thread MLP.
+  double SWarp = MemInstr * static_cast<double>(Arch.MemLatencyCycles) /
+                 Arch.MemoryLevelParallelism;
+
+  // Per-SM memory bandwidth share when all SMs stream concurrently.
+  double SmCyclesPerTxn = Arch.ChipCyclesPerTxn * Arch.NumSMs;
+  double MemTime = instanceTransactions(Cost) * SmCyclesPerTxn;
+
+  double Throughput = Warps * CWarp;
+  double Chain = CWarp + SWarp;
+  return std::max({Throughput, Chain, MemTime});
+}
+
+double sgpu::kernelCycles(const GpuArch &Arch, const KernelWork &Work) {
+  // SMs run concurrently: elapsed = slowest SM; but all SMs share the
+  // memory bus, so the chip-wide transaction stream bounds it from below.
+  double Bandwidth = Work.TotalTxns * Arch.ChipCyclesPerTxn;
+  return std::max(Work.MaxSmCycles, Bandwidth) +
+         static_cast<double>(Arch.KernelLaunchCycles);
+}

@@ -1,0 +1,71 @@
+//===- gpusim/KernelTiming.h - Analytic kernel timing -----------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analytic timing model that stands in for executing CUDA kernels on
+/// a GeForce 8800. One filter instance (all its threads firing once, or
+/// `Coarsening` times under the paper's SWPn scheme) is timed as
+///
+///   T = max( W * C_warp,                 -- SM issue throughput
+///            C_warp + S_warp,            -- a single warp's critical path
+///            Txns * SmCyclesPerTxn )     -- memory bandwidth share
+///
+/// where C_warp is the warp's issue time, S_warp its exposed memory
+/// latency (divided by the assumed memory-level parallelism) and W the
+/// resident warp count. This reproduces the mechanisms the paper's
+/// results hinge on: SMT latency hiding that saturates (why more threads
+/// stop helping), bandwidth collapse on uncoalesced access (SWPNC), and
+/// launch overhead amortized by coarsening (SWP1 vs SWP8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_GPUSIM_KERNELTIMING_H
+#define SGPU_GPUSIM_KERNELTIMING_H
+
+#include "gpusim/GpuArch.h"
+
+#include <cstdint>
+
+namespace sgpu {
+
+/// Per-thread, per-firing cost of one filter instance execution.
+struct InstanceCost {
+  int64_t Threads = 0;        ///< Active threads of this instance.
+  int64_t ComputeOps = 0;     ///< Int+float ALU ops per thread-firing.
+  int64_t SfuOps = 0;         ///< Transcendental ops per thread-firing.
+  int64_t GlobalAccesses = 0; ///< Device-memory element accesses.
+  /// Transactions per element access after coalescing analysis:
+  /// 1/16 when perfectly coalesced, 1.0 when fully serialized.
+  double TxnsPerAccess = 1.0 / 16.0;
+  int64_t SharedAccesses = 0; ///< Shared-memory element accesses.
+  double SharedConflictDegree = 1.0;
+  /// Extra per-thread global traffic due to register spills or local
+  /// arrays (already includes both directions).
+  int64_t SpillAccesses = 0;
+};
+
+/// Cycles for one execution of an instance on one SM with no co-resident
+/// work (the SWP kernel runs its instances back to back on each SM).
+double instanceCycles(const GpuArch &Arch, const InstanceCost &Cost);
+
+/// Device-memory transactions issued by one execution of the instance
+/// (for the chip-wide bandwidth bound across concurrent SMs).
+double instanceTransactions(const InstanceCost &Cost);
+
+/// Combines per-SM serial workloads into one kernel invocation's cycles:
+/// the slowest SM, bounded below by the chip bandwidth needed by all SMs
+/// together, plus the launch overhead.
+struct KernelWork {
+  double MaxSmCycles = 0.0; ///< max over SMs of the serial instance sum.
+  double TotalTxns = 0.0;   ///< all transactions of the invocation.
+};
+
+double kernelCycles(const GpuArch &Arch, const KernelWork &Work);
+
+} // namespace sgpu
+
+#endif // SGPU_GPUSIM_KERNELTIMING_H

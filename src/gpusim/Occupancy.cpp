@@ -1,0 +1,40 @@
+//===- gpusim/Occupancy.cpp - SM occupancy calculator -----------------------===//
+
+#include "gpusim/Occupancy.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sgpu;
+
+Occupancy sgpu::computeOccupancy(const GpuArch &Arch, int ThreadsPerBlock,
+                                 int RegsPerThread,
+                                 int64_t SharedBytesPerBlock) {
+  assert(ThreadsPerBlock > 0 && RegsPerThread > 0 && "bad configuration");
+  Occupancy O;
+  if (ThreadsPerBlock > Arch.MaxThreadsPerBlock)
+    return O;
+  // Register file: one block must fit, or the launch fails outright.
+  int64_t RegsPerBlock =
+      static_cast<int64_t>(RegsPerThread) * ThreadsPerBlock;
+  if (RegsPerBlock > Arch.RegistersPerSM)
+    return O;
+  if (SharedBytesPerBlock > Arch.SharedMemPerSM)
+    return O;
+
+  int ByThreads = Arch.MaxThreadsPerSM / ThreadsPerBlock;
+  int ByRegs = static_cast<int>(Arch.RegistersPerSM / RegsPerBlock);
+  int ByShared =
+      SharedBytesPerBlock > 0
+          ? static_cast<int>(Arch.SharedMemPerSM / SharedBytesPerBlock)
+          : Arch.MaxBlocksPerSM;
+  int Blocks = std::min({Arch.MaxBlocksPerSM, ByThreads, ByRegs, ByShared});
+  if (Blocks < 1)
+    return O;
+
+  O.Feasible = true;
+  O.BlocksPerSM = Blocks;
+  O.ThreadsPerSM = Blocks * ThreadsPerBlock;
+  O.WarpsPerSM = (O.ThreadsPerSM + Arch.WarpSize - 1) / Arch.WarpSize;
+  return O;
+}

@@ -1,0 +1,41 @@
+//===- gpusim/Occupancy.h - SM occupancy calculator -------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes how many blocks/warps of a kernel fit on one SM given its
+/// register, shared-memory and thread limits, and whether an execution
+/// configuration is feasible at all — the feasibility notion of the
+/// paper's profiling sweep (Fig. 6): "if the number of registers required
+/// per thread is greater than the available number of registers, then the
+/// kernel execution fails and the configuration is not feasible."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_GPUSIM_OCCUPANCY_H
+#define SGPU_GPUSIM_OCCUPANCY_H
+
+#include "gpusim/GpuArch.h"
+
+namespace sgpu {
+
+/// Residency of one kernel on one SM.
+struct Occupancy {
+  bool Feasible = false;
+  int BlocksPerSM = 0;
+  int ThreadsPerSM = 0;
+  int WarpsPerSM = 0;
+};
+
+/// Computes the occupancy of a kernel with \p ThreadsPerBlock threads,
+/// \p RegsPerThread registers and \p SharedBytesPerBlock bytes of shared
+/// memory per block on \p Arch.
+Occupancy computeOccupancy(const GpuArch &Arch, int ThreadsPerBlock,
+                           int RegsPerThread, int64_t SharedBytesPerBlock);
+
+} // namespace sgpu
+
+#endif // SGPU_GPUSIM_OCCUPANCY_H

@@ -1,0 +1,161 @@
+//===- ilp/BranchAndBound.cpp - MILP branch & bound --------------------------===//
+
+#include "ilp/BranchAndBound.h"
+
+#include <chrono>
+#include <cmath>
+
+using namespace sgpu;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct BoundsPatch {
+  int Var;
+  double Lo, Hi;
+};
+
+class BnbSearch {
+public:
+  BnbSearch(LinearProgram LP, const MilpOptions &Opt) : LP(std::move(LP)),
+                                                        Opt(Opt) {}
+
+  MilpResult run(const std::optional<std::vector<double>> &Incumbent) {
+    Start = Clock::now();
+    if (Incumbent && LP.isFeasible(*Incumbent, Opt.IntegralityTol)) {
+      Best = *Incumbent;
+      BestObj = LP.objectiveValue(*Incumbent);
+      HaveBest = true;
+      if (Opt.StopAtFirstFeasible)
+        return finish(MilpResult::Status::Optimal);
+    }
+    bool Complete = dive();
+    if (HaveBest)
+      return finish(Complete ? MilpResult::Status::Optimal
+                             : MilpResult::Status::Feasible);
+    return finish(Complete ? MilpResult::Status::Infeasible
+                           : MilpResult::Status::BudgetExceeded);
+  }
+
+private:
+  /// Depth-first search. Returns true when the subtree was fully explored
+  /// (so absence of an incumbent proves infeasibility).
+  bool dive() {
+    ++Nodes;
+    if (Nodes > Opt.MaxNodes || timedOut())
+      return false;
+
+    double Remaining = Opt.TimeBudgetSeconds -
+                       std::chrono::duration<double>(Clock::now() - Start)
+                           .count();
+    if (Remaining <= 0)
+      return false;
+    LpResult R = solveLpRelaxation(LP, Opt.LpIterationLimit, Remaining);
+    if (R.Status == LpStatus::Infeasible)
+      return true; // Pruned exactly.
+    if (R.Status != LpStatus::Optimal)
+      return false; // Numerical trouble: give up on proving this subtree.
+
+    // Bound pruning.
+    if (HaveBest && R.Objective >= BestObj - 1e-9 &&
+        !LP.objective().empty())
+      return true;
+
+    // Find the most fractional integer variable.
+    int BranchVar = -1;
+    double BestFrac = Opt.IntegralityTol;
+    for (int V = 0; V < LP.numVars(); ++V) {
+      if (!LP.isIntegral(V))
+        continue;
+      double F = R.X[V] - std::floor(R.X[V]);
+      double Dist = std::min(F, 1.0 - F);
+      if (Dist > BestFrac) {
+        BestFrac = Dist;
+        BranchVar = V;
+      }
+    }
+
+    if (BranchVar < 0) {
+      // Integral solution. Round integer vars exactly.
+      std::vector<double> X = R.X;
+      for (int V = 0; V < LP.numVars(); ++V)
+        if (LP.isIntegral(V))
+          X[V] = std::round(X[V]);
+      if (LP.isFeasible(X, 1e-5)) {
+        double Obj = LP.objectiveValue(X);
+        if (!HaveBest || Obj < BestObj) {
+          Best = std::move(X);
+          BestObj = Obj;
+          HaveBest = true;
+        }
+        if (Opt.StopAtFirstFeasible)
+          FoundStop = true;
+        return true;
+      }
+      // LP numerics lied; treat as explored.
+      return true;
+    }
+
+    double Val = R.X[BranchVar];
+    double Lo = LP.lowerBound(BranchVar);
+    double Hi = LP.upperBound(BranchVar);
+
+    // Branch down first (x <= floor), then up (x >= ceil). For 0-1
+    // assignment problems branching up first often finds schedules
+    // faster, so pick the side nearer the fractional value first.
+    bool UpFirst = Val - std::floor(Val) >= 0.5;
+    bool Complete = true;
+    for (int Side = 0; Side < 2; ++Side) {
+      bool Up = (Side == 0) == UpFirst;
+      double NewLo = Up ? std::ceil(Val - Opt.IntegralityTol) : Lo;
+      double NewHi = Up ? Hi : std::floor(Val + Opt.IntegralityTol);
+      if (NewLo > NewHi + 1e-12)
+        continue;
+      LP.setBounds(BranchVar, NewLo, NewHi);
+      bool SubComplete = dive();
+      LP.setBounds(BranchVar, Lo, Hi);
+      Complete = Complete && SubComplete;
+      if (FoundStop || timedOut() || Nodes > Opt.MaxNodes)
+        break;
+    }
+    return Complete && !FoundStop;
+  }
+
+  bool timedOut() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count() >
+           Opt.TimeBudgetSeconds;
+  }
+
+  MilpResult finish(MilpResult::Status S) {
+    MilpResult Res;
+    Res.Outcome = S;
+    Res.NodesExplored = Nodes;
+    Res.Seconds = std::chrono::duration<double>(Clock::now() - Start).count();
+    if (HaveBest) {
+      Res.X = Best;
+      Res.Objective = BestObj;
+      if (S == MilpResult::Status::Infeasible ||
+          S == MilpResult::Status::BudgetExceeded)
+        Res.Outcome = MilpResult::Status::Feasible;
+    }
+    return Res;
+  }
+
+  LinearProgram LP;
+  MilpOptions Opt;
+  Clock::time_point Start;
+  int Nodes = 0;
+  bool HaveBest = false;
+  bool FoundStop = false;
+  std::vector<double> Best;
+  double BestObj = 0.0;
+};
+
+} // namespace
+
+MilpResult sgpu::solveMilp(LinearProgram LP, const MilpOptions &Options,
+                           const std::optional<std::vector<double>> &Incumbent) {
+  BnbSearch S(std::move(LP), Options);
+  return S.run(Incumbent);
+}

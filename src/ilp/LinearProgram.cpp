@@ -1,0 +1,69 @@
+//===- ilp/LinearProgram.cpp - MILP model representation --------------------===//
+
+#include "ilp/LinearProgram.h"
+
+#include <cmath>
+
+using namespace sgpu;
+
+int LinearProgram::addVar(const std::string &Name, double LoV, double HiV,
+                          VarDomain Domain) {
+  assert(LoV <= HiV && "empty variable domain");
+  Domains.push_back(Domain);
+  Lo.push_back(LoV);
+  Hi.push_back(HiV);
+  Names.push_back(Name);
+  return numVars() - 1;
+}
+
+int LinearProgram::addConstraint(std::vector<LinTerm> Terms, RowSense Sense,
+                                 double Rhs, const std::string &Name) {
+  for ([[maybe_unused]] const LinTerm &T : Terms)
+    assert(T.Var >= 0 && T.Var < numVars() && "term references unknown var");
+  RowConstraint R;
+  R.Terms = std::move(Terms);
+  R.Sense = Sense;
+  R.Rhs = Rhs;
+  R.Name = Name;
+  Rows.push_back(std::move(R));
+  return numConstraints() - 1;
+}
+
+double LinearProgram::objectiveValue(const std::vector<double> &X) const {
+  double V = 0.0;
+  for (const LinTerm &T : Objective)
+    V += T.Coef * X[T.Var];
+  return V;
+}
+
+bool LinearProgram::isFeasible(const std::vector<double> &X,
+                               double Tol) const {
+  if (X.size() != static_cast<size_t>(numVars()))
+    return false;
+  for (int V = 0; V < numVars(); ++V) {
+    if (X[V] < Lo[V] - Tol || X[V] > Hi[V] + Tol)
+      return false;
+    if (isIntegral(V) && std::fabs(X[V] - std::round(X[V])) > Tol)
+      return false;
+  }
+  for (const RowConstraint &R : Rows) {
+    double S = 0.0;
+    for (const LinTerm &T : R.Terms)
+      S += T.Coef * X[T.Var];
+    switch (R.Sense) {
+    case RowSense::LE:
+      if (S > R.Rhs + Tol)
+        return false;
+      break;
+    case RowSense::GE:
+      if (S < R.Rhs - Tol)
+        return false;
+      break;
+    case RowSense::EQ:
+      if (std::fabs(S - R.Rhs) > Tol)
+        return false;
+      break;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,115 @@
+//===- ilp/LinearProgram.h - MILP model representation ----------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A mixed integer linear program: bounded variables, linear row
+/// constraints and an optional linear objective. The paper hands its
+/// scheduling formulation (Section III) to CPLEX; this model plus
+/// Simplex.h / BranchAndBound.h is our self-contained replacement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_ILP_LINEARPROGRAM_H
+#define SGPU_ILP_LINEARPROGRAM_H
+
+#include <cassert>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sgpu {
+
+/// Variable domains.
+enum class VarDomain : uint8_t {
+  Continuous, ///< Real within bounds.
+  Integer,    ///< Integral within bounds.
+  Binary      ///< {0, 1}.
+};
+
+/// Constraint senses.
+enum class RowSense : uint8_t { LE, GE, EQ };
+
+/// One linear term: coefficient times variable.
+struct LinTerm {
+  int Var;
+  double Coef;
+};
+
+/// One row constraint: sum of terms (sense) rhs.
+struct RowConstraint {
+  std::vector<LinTerm> Terms;
+  RowSense Sense = RowSense::LE;
+  double Rhs = 0.0;
+  std::string Name;
+};
+
+/// A MILP model under construction.
+class LinearProgram {
+public:
+  static constexpr double Infinity = std::numeric_limits<double>::infinity();
+
+  /// Adds a variable, returning its index.
+  int addVar(const std::string &Name, double Lo, double Hi,
+             VarDomain Domain);
+
+  int addBinaryVar(const std::string &Name) {
+    return addVar(Name, 0.0, 1.0, VarDomain::Binary);
+  }
+  int addIntVar(const std::string &Name, double Lo, double Hi) {
+    return addVar(Name, Lo, Hi, VarDomain::Integer);
+  }
+  int addContinuousVar(const std::string &Name, double Lo, double Hi) {
+    return addVar(Name, Lo, Hi, VarDomain::Continuous);
+  }
+
+  /// Adds a row constraint, returning its index.
+  int addConstraint(std::vector<LinTerm> Terms, RowSense Sense, double Rhs,
+                    const std::string &Name = "");
+
+  /// Sets the (minimization) objective; empty means pure feasibility.
+  void setObjective(std::vector<LinTerm> Terms) {
+    Objective = std::move(Terms);
+  }
+
+  int numVars() const { return static_cast<int>(Domains.size()); }
+  int numConstraints() const { return static_cast<int>(Rows.size()); }
+
+  const std::vector<RowConstraint> &rows() const { return Rows; }
+  const std::vector<LinTerm> &objective() const { return Objective; }
+  VarDomain domain(int Var) const { return Domains[Var]; }
+  double lowerBound(int Var) const { return Lo[Var]; }
+  double upperBound(int Var) const { return Hi[Var]; }
+  const std::string &varName(int Var) const { return Names[Var]; }
+
+  /// Tightens a variable's bounds (used by branch & bound).
+  void setBounds(int Var, double NewLo, double NewHi) {
+    Lo[Var] = NewLo;
+    Hi[Var] = NewHi;
+  }
+
+  bool isIntegral(int Var) const {
+    return Domains[Var] != VarDomain::Continuous;
+  }
+
+  /// Evaluates the objective at \p X.
+  double objectiveValue(const std::vector<double> &X) const;
+
+  /// Returns true if \p X satisfies all rows and bounds within \p Tol
+  /// (integrality of integer variables included).
+  bool isFeasible(const std::vector<double> &X, double Tol = 1e-6) const;
+
+private:
+  std::vector<VarDomain> Domains;
+  std::vector<double> Lo, Hi;
+  std::vector<std::string> Names;
+  std::vector<RowConstraint> Rows;
+  std::vector<LinTerm> Objective;
+};
+
+} // namespace sgpu
+
+#endif // SGPU_ILP_LINEARPROGRAM_H

@@ -1,0 +1,364 @@
+//===- ilp/Simplex.cpp - Bounded-variable primal simplex --------------------===//
+
+#include "ilp/Simplex.h"
+
+#include "support/Check.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+using namespace sgpu;
+
+namespace {
+
+constexpr double Eps = 1e-7;
+constexpr double Inf = LinearProgram::Infinity;
+
+/// Dense bounded-variable simplex over rows A x = b with l <= x <= u.
+/// Columns: structural vars, then one slack per row, then artificials.
+class SimplexSolver {
+public:
+  SimplexSolver(const LinearProgram &LP, int MaxIterations,
+                double TimeLimitSeconds)
+      : LP(LP), MaxIters(MaxIterations),
+        Deadline(std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(
+                         std::min(TimeLimitSeconds, 1e6)))) {}
+
+  LpResult run() {
+    buildStandardForm();
+    installInitialBasis();
+
+    // Phase 1: minimize the sum of artificial variables.
+    if (NumArt > 0) {
+      std::vector<double> Phase1Cost(NumCols, 0.0);
+      for (int J = ArtBase; J < NumCols; ++J)
+        Phase1Cost[J] = 1.0;
+      LpStatus S = optimize(Phase1Cost);
+      if (S == LpStatus::IterLimit)
+        return finish(S);
+      double ArtSum = 0.0;
+      std::vector<double> X = currentValues();
+      for (int J = ArtBase; J < NumCols; ++J)
+        ArtSum += X[J];
+      if (ArtSum > 1e-5)
+        return finish(LpStatus::Infeasible);
+      // Pin artificials to zero for phase 2.
+      for (int J = ArtBase; J < NumCols; ++J)
+        Hi[J] = 0.0;
+    }
+
+    // Phase 2: the real objective.
+    std::vector<double> Cost(NumCols, 0.0);
+    for (const LinTerm &T : LP.objective())
+      Cost[T.Var] += T.Coef;
+    LpStatus S = optimize(Cost);
+    return finish(S);
+  }
+
+private:
+  void buildStandardForm() {
+    NumStruct = LP.numVars();
+    NumRows = LP.numConstraints();
+    int SlackBase = NumStruct;
+    ArtBase = NumStruct + NumRows;
+    NumCols = ArtBase; // Artificials appended below as needed.
+
+    Lo.assign(ArtBase, 0.0);
+    Hi.assign(ArtBase, 0.0);
+    for (int V = 0; V < NumStruct; ++V) {
+      Lo[V] = LP.lowerBound(V);
+      Hi[V] = LP.upperBound(V);
+      assert(Lo[V] > -Inf && "variables must be bounded below");
+    }
+
+    A.assign(NumRows, std::vector<double>(ArtBase, 0.0));
+    B.assign(NumRows, 0.0);
+    for (int R = 0; R < NumRows; ++R) {
+      const RowConstraint &Row = LP.rows()[R];
+      for (const LinTerm &T : Row.Terms)
+        A[R][T.Var] += T.Coef;
+      B[R] = Row.Rhs;
+      int S = SlackBase + R;
+      A[R][S] = 1.0;
+      switch (Row.Sense) {
+      case RowSense::LE: // a.x + s = rhs, s >= 0.
+        Lo[S] = 0.0;
+        Hi[S] = Inf;
+        break;
+      case RowSense::GE: // a.x + s = rhs, s <= 0.
+        Lo[S] = -Inf;
+        Hi[S] = 0.0;
+        break;
+      case RowSense::EQ: // s fixed at 0.
+        Lo[S] = 0.0;
+        Hi[S] = 0.0;
+        break;
+      }
+    }
+  }
+
+  /// Starts with all structural/slack vars nonbasic at their finite bound
+  /// closest to zero; rows whose residual cannot be absorbed by their
+  /// slack get an artificial basic variable.
+  void installInitialBasis() {
+    AtUpper.assign(NumCols, false);
+    IsBasic.assign(NumCols, false);
+    Basis.assign(NumRows, -1);
+
+    auto RestValue = [&](int J) {
+      if (Lo[J] > -Inf)
+        return Lo[J];
+      assert(Hi[J] < Inf && "free variable unsupported");
+      return Hi[J]; // GE slacks rest at their zero upper bound.
+    };
+
+    // Residual per row with all columns at rest, excluding the slack.
+    NumArt = 0;
+    for (int R = 0; R < NumRows; ++R) {
+      double Resid = B[R];
+      for (int J = 0; J < NumCols; ++J) {
+        int SlackJ = NumStruct + R;
+        if (J == SlackJ)
+          continue;
+        if (A[R][J] != 0.0)
+          Resid -= A[R][J] * RestValue(J);
+      }
+      int SlackJ = NumStruct + R;
+      if (Resid >= Lo[SlackJ] - Eps && Resid <= Hi[SlackJ] + Eps) {
+        // The slack itself can be basic.
+        Basis[R] = SlackJ;
+        IsBasic[SlackJ] = true;
+        continue;
+      }
+      // Need an artificial absorbing the residual's sign. The slack
+      // rests at zero (its bound nearest the feasible region).
+      AtUpper[SlackJ] = Lo[SlackJ] == -Inf;
+      int ArtJ = NumCols++;
+      Lo.push_back(0.0);
+      Hi.push_back(Inf);
+      AtUpper.push_back(false);
+      IsBasic.push_back(true);
+      for (int R2 = 0; R2 < NumRows; ++R2)
+        A[R2].push_back(0.0);
+      A[R][ArtJ] = Resid >= 0 ? 1.0 : -1.0;
+      Basis[R] = ArtJ;
+      ++NumArt;
+    }
+
+    // Tableau starts as A (basis columns are unit by construction for
+    // slacks/artificials).
+    T = A;
+    Trhs = B;
+  }
+
+  double restValue(int J) const {
+    if (IsBasic[J])
+      return 0.0; // Not used for basic vars.
+    if (AtUpper[J]) {
+      assert(Hi[J] < Inf && "nonbasic at an infinite upper bound");
+      return Hi[J];
+    }
+    assert(Lo[J] > -Inf && "nonbasic at an infinite lower bound");
+    return Lo[J];
+  }
+
+  /// Basic variable values implied by the nonbasic rest values.
+  std::vector<double> basicValues() const {
+    std::vector<double> XB(NumRows);
+    for (int R = 0; R < NumRows; ++R) {
+      double V = Trhs[R];
+      for (int J = 0; J < NumCols; ++J) {
+        if (IsBasic[J])
+          continue;
+        double RV = restValue(J);
+        if (RV != 0.0 && T[R][J] != 0.0)
+          V -= T[R][J] * RV;
+      }
+      XB[R] = V;
+    }
+    return XB;
+  }
+
+  std::vector<double> currentValues() const {
+    std::vector<double> X(NumCols);
+    for (int J = 0; J < NumCols; ++J)
+      if (!IsBasic[J])
+        X[J] = restValue(J);
+    std::vector<double> XB = basicValues();
+    for (int R = 0; R < NumRows; ++R)
+      X[Basis[R]] = XB[R];
+    return X;
+  }
+
+  /// Reduced costs for \p Cost given the current tableau.
+  std::vector<double> reducedCosts(const std::vector<double> &Cost) const {
+    // y = c_B, d_j = c_j - y . T_j (T already is B^{-1}A).
+    std::vector<double> D(NumCols);
+    for (int J = 0; J < NumCols; ++J) {
+      if (IsBasic[J]) {
+        D[J] = 0.0;
+        continue;
+      }
+      double V = Cost[J];
+      for (int R = 0; R < NumRows; ++R)
+        if (T[R][J] != 0.0 && Cost[Basis[R]] != 0.0)
+          V -= Cost[Basis[R]] * T[R][J];
+      D[J] = V;
+    }
+    return D;
+  }
+
+  LpStatus optimize(const std::vector<double> &Cost) {
+    int StallCount = 0;
+    for (; Iters < MaxIters; ++Iters) {
+      // A dense iteration is expensive; poll the deadline sparsely.
+      if ((Iters & 15) == 0 &&
+          std::chrono::steady_clock::now() > Deadline)
+        return LpStatus::IterLimit;
+      std::vector<double> D = reducedCosts(Cost);
+
+      // Entering variable: nonbasic at lower with d < 0, or at upper with
+      // d > 0. Dantzig rule; Bland (lowest index) when stalling.
+      bool UseBland = StallCount > 2 * (NumRows + 8);
+      int Enter = -1;
+      double BestScore = Eps;
+      for (int J = 0; J < NumCols; ++J) {
+        if (IsBasic[J] || Lo[J] == Hi[J])
+          continue;
+        bool Upper = AtUpper[J];
+        double Score = Upper ? D[J] : -D[J];
+        if (Score > BestScore) {
+          Enter = J;
+          if (UseBland)
+            break;
+          BestScore = Score;
+        }
+      }
+      if (Enter < 0)
+        return LpStatus::Optimal;
+
+      // Direction: +1 if increasing from lower bound, -1 if decreasing
+      // from upper bound.
+      double Dir = AtUpper[Enter] ? -1.0 : 1.0;
+
+      // Ratio test.
+      std::vector<double> XB = basicValues();
+      double Limit = Hi[Enter] - Lo[Enter]; // Bound-flip distance.
+      bool LimitIsFlip = true;
+      int LeaveRow = -1;
+      bool LeaveToUpper = false;
+      for (int R = 0; R < NumRows; ++R) {
+        double Alpha = T[R][Enter] * Dir;
+        if (std::fabs(Alpha) <= Eps)
+          continue;
+        int BV = Basis[R];
+        double Step;
+        bool ToUpper;
+        if (Alpha > 0) {
+          // Basic value decreases towards its lower bound.
+          if (Lo[BV] == -Inf)
+            continue;
+          Step = (XB[R] - Lo[BV]) / Alpha;
+          ToUpper = false;
+        } else {
+          if (Hi[BV] == Inf)
+            continue;
+          Step = (XB[R] - Hi[BV]) / Alpha;
+          ToUpper = true;
+        }
+        if (Step < -1e-9)
+          Step = 0.0;
+        if (Step < Limit - 1e-12) {
+          Limit = Step;
+          LimitIsFlip = false;
+          LeaveRow = R;
+          LeaveToUpper = ToUpper;
+        }
+      }
+
+      if (Limit == Inf)
+        return LpStatus::Unbounded;
+      if (Limit <= Eps)
+        ++StallCount;
+      else
+        StallCount = 0;
+
+      if (LimitIsFlip) {
+        // Bound flip: the entering variable swaps bounds, no basis change.
+        AtUpper[Enter] = !AtUpper[Enter];
+        continue;
+      }
+
+      pivot(LeaveRow, Enter, LeaveToUpper);
+    }
+    return LpStatus::IterLimit;
+  }
+
+  void pivot(int Row, int Enter, bool LeavingGoesToUpper) {
+    int Leave = Basis[Row];
+    double Piv = T[Row][Enter];
+    assert(std::fabs(Piv) > 1e-12 && "numerically singular pivot");
+
+    for (int J = 0; J < NumCols; ++J)
+      T[Row][J] /= Piv;
+    Trhs[Row] /= Piv;
+    for (int R = 0; R < NumRows; ++R) {
+      if (R == Row)
+        continue;
+      double Factor = T[R][Enter];
+      if (Factor == 0.0)
+        continue;
+      for (int J = 0; J < NumCols; ++J)
+        T[R][J] -= Factor * T[Row][J];
+      Trhs[R] -= Factor * Trhs[Row];
+    }
+
+    IsBasic[Leave] = false;
+    AtUpper[Leave] = LeavingGoesToUpper;
+    IsBasic[Enter] = true;
+    AtUpper[Enter] = false;
+    Basis[Row] = Enter;
+  }
+
+  LpResult finish(LpStatus S) {
+    LpResult Res;
+    Res.Status = S;
+    Res.Iterations = Iters;
+    if (S != LpStatus::Optimal)
+      return Res;
+    std::vector<double> X = currentValues();
+    Res.X.assign(X.begin(), X.begin() + NumStruct);
+    // Clamp tiny numerical noise into the bounds.
+    for (int V = 0; V < NumStruct; ++V) {
+      Res.X[V] = std::max(Res.X[V], LP.lowerBound(V));
+      Res.X[V] = std::min(Res.X[V], LP.upperBound(V));
+    }
+    Res.Objective = LP.objectiveValue(Res.X);
+    return Res;
+  }
+
+  const LinearProgram &LP;
+  int MaxIters;
+  std::chrono::steady_clock::time_point Deadline;
+  int Iters = 0;
+
+  int NumStruct = 0, NumRows = 0, NumCols = 0, ArtBase = 0, NumArt = 0;
+  std::vector<std::vector<double>> A, T;
+  std::vector<double> B, Trhs;
+  std::vector<double> Lo, Hi;
+  std::vector<bool> AtUpper, IsBasic;
+  std::vector<int> Basis;
+};
+
+} // namespace
+
+LpResult sgpu::solveLpRelaxation(const LinearProgram &LP, int MaxIterations,
+                                 double TimeLimitSeconds) {
+  SimplexSolver S(LP, MaxIterations, TimeLimitSeconds);
+  return S.run();
+}

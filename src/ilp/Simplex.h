@@ -1,0 +1,44 @@
+//===- ilp/Simplex.h - Bounded-variable primal simplex ----------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense two-phase primal simplex with bounded variables (nonbasic
+/// variables rest at either bound; upper bounds never become rows). This
+/// solves the LP relaxations inside the branch & bound that replaces
+/// CPLEX in the paper's toolchain. Dense tableaus keep the code simple
+/// and robust; the scheduling ILPs it must handle are small because the
+/// heuristic scheduler supplies incumbents for the big ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_ILP_SIMPLEX_H
+#define SGPU_ILP_SIMPLEX_H
+
+#include "ilp/LinearProgram.h"
+
+namespace sgpu {
+
+/// Outcome of an LP solve.
+enum class LpStatus : uint8_t { Optimal, Infeasible, Unbounded, IterLimit };
+
+/// Solution of an LP relaxation.
+struct LpResult {
+  LpStatus Status = LpStatus::IterLimit;
+  std::vector<double> X; ///< Structural variable values (valid if Optimal).
+  double Objective = 0.0;
+  int Iterations = 0;
+};
+
+/// Solves the LP relaxation of \p LP (integrality dropped, bounds kept).
+/// \p TimeLimitSeconds bounds wall-clock time (checked periodically);
+/// exceeding either limit yields LpStatus::IterLimit.
+LpResult solveLpRelaxation(const LinearProgram &LP, int MaxIterations = 50000,
+                           double TimeLimitSeconds = 1e30);
+
+} // namespace sgpu
+
+#endif // SGPU_ILP_SIMPLEX_H

@@ -1,0 +1,437 @@
+//===- ir/Analyzer.cpp - Static work/register analysis ---------------------===//
+
+#include "ir/Analyzer.h"
+
+#include "support/Check.h"
+
+#include <string>
+
+#include <algorithm>
+
+using namespace sgpu;
+
+/// Default trip count assumed for loops with non-constant bounds.
+static constexpr int64_t DefaultTripCount = 16;
+
+std::optional<int64_t> sgpu::tryEvalConstInt(const Filter &F, const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+    return cast<IntLiteral>(E)->value();
+  case Expr::Kind::VarRef: {
+    const VarDecl *D = cast<VarRef>(E)->decl();
+    if (!D->isField() || D->isArray() || D->type() != TokenType::Int)
+      return std::nullopt;
+    return F.fieldValues(D->slot())[0].asInt();
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    std::optional<int64_t> L = tryEvalConstInt(F, B->lhs());
+    std::optional<int64_t> R = tryEvalConstInt(F, B->rhs());
+    if (!L || !R)
+      return std::nullopt;
+    switch (B->op()) {
+    case BinOpKind::Add:
+      return *L + *R;
+    case BinOpKind::Sub:
+      return *L - *R;
+    case BinOpKind::Mul:
+      return *L * *R;
+    case BinOpKind::Div:
+      return *R == 0 ? std::nullopt : std::optional<int64_t>(*L / *R);
+    case BinOpKind::Rem:
+      return *R == 0 ? std::nullopt : std::optional<int64_t>(*L % *R);
+    case BinOpKind::Shl:
+      return *L << (*R & 31);
+    case BinOpKind::Shr:
+      return *L >> (*R & 31);
+    default:
+      return std::nullopt;
+    }
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    std::optional<int64_t> V = tryEvalConstInt(F, U->operand());
+    if (!V)
+      return std::nullopt;
+    switch (U->op()) {
+    case UnOpKind::Neg:
+      return -*V;
+    case UnOpKind::BitNot:
+      return ~*V;
+    case UnOpKind::LogicalNot:
+      return *V == 0 ? 1 : 0;
+    }
+    return std::nullopt;
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+namespace {
+
+/// Walks the AST accumulating a WorkEstimate. Loop bodies are scaled by
+/// the (constant-folded) trip count; if-branches contribute the max of
+/// the two arms (a conservative per-firing bound).
+class WorkAnalyzer {
+public:
+  explicit WorkAnalyzer(const Filter &F) : F(F) {}
+
+  WorkEstimate run() {
+    WorkEstimate WE = analyzeBlock(F.work().body());
+
+    // Register model: a fixed overhead for addresses/indices, one register
+    // per scalar local, small constant-size arrays promoted to registers,
+    // plus live expression temporaries.
+    int Regs = 6;
+    for (const auto &L : F.work().locals()) {
+      if (!L->isArray()) {
+        ++Regs;
+        continue;
+      }
+      if (L->arraySize() <= MaxRegisterArrayElems)
+        Regs += static_cast<int>(L->arraySize());
+      else
+        WE.LocalArrayBytes += L->arraySize() * tokenSizeBytes(L->type());
+    }
+    Regs += std::min(MaxTempDepth, 8);
+    WE.Registers = Regs;
+    return WE;
+  }
+
+private:
+  WorkEstimate analyzeBlock(const BlockStmt *B) {
+    WorkEstimate WE;
+    for (const Stmt *S : B->body())
+      accumulate(WE, analyzeStmt(S));
+    return WE;
+  }
+
+  WorkEstimate analyzeStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      WorkEstimate WE = analyzeExpr(A->value(), 1);
+      accumulate(WE, analyzeExpr(A->target(), 1));
+      return WE;
+    }
+    case Stmt::Kind::Push: {
+      WorkEstimate WE = analyzeExpr(cast<PushStmt>(S)->value(), 1);
+      ++WE.ChannelWrites;
+      return WE;
+    }
+    case Stmt::Kind::ExprStmt:
+      return analyzeExpr(cast<ExprStmt>(S)->expr(), 1);
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      WorkEstimate Cond = analyzeExpr(I->cond(), 1);
+      WorkEstimate Then = analyzeBlock(I->thenBlock());
+      WorkEstimate Else =
+          I->elseBlock() ? analyzeBlock(I->elseBlock()) : WorkEstimate();
+      // Take the more expensive arm as the per-firing bound.
+      WorkEstimate &Big = Then.totalOps() >= Else.totalOps() ? Then : Else;
+      accumulate(Cond, Big);
+      // Channel I/O must match across arms for a valid static-rate filter;
+      // keep the max anyway (computeStaticRates flags mismatches).
+      return Cond;
+    }
+    case Stmt::Kind::For: {
+      const auto *L = cast<ForStmt>(S);
+      WorkEstimate Bounds = analyzeExpr(L->begin(), 1);
+      accumulate(Bounds, analyzeExpr(L->end(), 1));
+      int64_t Trip = tripCount(L, Bounds);
+      WorkEstimate Body = analyzeBlock(L->body());
+      scale(Body, Trip);
+      // Loop overhead: one compare + one increment per iteration.
+      Body.IntOps += 2 * Trip;
+      accumulate(Bounds, Body);
+      return Bounds;
+    }
+    case Stmt::Kind::Block:
+      return analyzeBlock(cast<BlockStmt>(S));
+    }
+    SGPU_UNREACHABLE("unknown statement kind");
+  }
+
+  int64_t tripCount(const ForStmt *L, WorkEstimate &WE) {
+    std::optional<int64_t> Begin = tryEvalConstInt(F, L->begin());
+    std::optional<int64_t> End = tryEvalConstInt(F, L->end());
+    std::optional<int64_t> Step = tryEvalConstInt(F, L->step());
+    if (!Begin || !End || !Step || *Step <= 0) {
+      WE.Approximate = true;
+      return DefaultTripCount;
+    }
+    if (*End <= *Begin)
+      return 0;
+    return (*End - *Begin + *Step - 1) / *Step;
+  }
+
+  WorkEstimate analyzeExpr(const Expr *E, int Depth) {
+    MaxTempDepth = std::max(MaxTempDepth, Depth);
+    WorkEstimate WE;
+    switch (E->kind()) {
+    case Expr::Kind::IntLiteral:
+    case Expr::Kind::FloatLiteral:
+      return WE;
+    case Expr::Kind::VarRef:
+      return WE;
+    case Expr::Kind::ArrayRef: {
+      const auto *A = cast<ArrayRef>(E);
+      WE = analyzeExpr(A->index(), Depth + 1);
+      ++WE.IntOps; // Address computation.
+      if (A->decl()->isArray() && !A->decl()->isField() &&
+          A->decl()->arraySize() > MaxRegisterArrayElems)
+        ++WE.LocalArrayAccesses;
+      return WE;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      WE = analyzeExpr(B->lhs(), Depth + 1);
+      accumulate(WE, analyzeExpr(B->rhs(), Depth + 1));
+      if (B->lhs()->type() == TokenType::Float)
+        ++WE.FloatOps;
+      else
+        ++WE.IntOps;
+      return WE;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      WE = analyzeExpr(U->operand(), Depth + 1);
+      if (U->operand()->type() == TokenType::Float)
+        ++WE.FloatOps;
+      else
+        ++WE.IntOps;
+      return WE;
+    }
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      for (const Expr *A : C->args())
+        accumulate(WE, analyzeExpr(A, Depth + 1));
+      switch (C->callee()) {
+      case BuiltinFn::Sin:
+      case BuiltinFn::Cos:
+      case BuiltinFn::Sqrt:
+      case BuiltinFn::Exp:
+      case BuiltinFn::Log:
+      case BuiltinFn::Pow:
+        ++WE.TranscOps;
+        break;
+      default:
+        if (C->type() == TokenType::Float)
+          ++WE.FloatOps;
+        else
+          ++WE.IntOps;
+        break;
+      }
+      return WE;
+    }
+    case Expr::Kind::Cast: {
+      WE = analyzeExpr(cast<CastExpr>(E)->operand(), Depth + 1);
+      ++WE.IntOps; // Conversion instruction.
+      return WE;
+    }
+    case Expr::Kind::Select: {
+      const auto *S = cast<SelectExpr>(E);
+      WE = analyzeExpr(S->cond(), Depth + 1);
+      accumulate(WE, analyzeExpr(S->trueVal(), Depth + 1));
+      accumulate(WE, analyzeExpr(S->falseVal(), Depth + 1));
+      ++WE.IntOps;
+      return WE;
+    }
+    case Expr::Kind::Pop:
+      ++WE.ChannelReads;
+      return WE;
+    case Expr::Kind::Peek: {
+      WE = analyzeExpr(cast<PeekExpr>(E)->depth(), Depth + 1);
+      ++WE.ChannelReads;
+      return WE;
+    }
+    }
+    SGPU_UNREACHABLE("unknown expression kind");
+  }
+
+  static void accumulate(WorkEstimate &To, const WorkEstimate &From) {
+    To.IntOps += From.IntOps;
+    To.FloatOps += From.FloatOps;
+    To.TranscOps += From.TranscOps;
+    To.ChannelReads += From.ChannelReads;
+    To.ChannelWrites += From.ChannelWrites;
+    To.LocalArrayAccesses += From.LocalArrayAccesses;
+    To.LocalArrayBytes += From.LocalArrayBytes;
+    To.Approximate = To.Approximate || From.Approximate;
+  }
+
+  static void scale(WorkEstimate &WE, int64_t Factor) {
+    WE.IntOps *= Factor;
+    WE.FloatOps *= Factor;
+    WE.TranscOps *= Factor;
+    WE.ChannelReads *= Factor;
+    WE.ChannelWrites *= Factor;
+    WE.LocalArrayAccesses *= Factor;
+  }
+
+  const Filter &F;
+  int MaxTempDepth = 0;
+};
+
+/// Counts pops/pushes along every path; nullopt when arms disagree.
+class RateCounter {
+public:
+  explicit RateCounter(const Filter &F) : F(F) {}
+
+  StaticRates run() {
+    auto R = countBlock(F.work().body());
+    StaticRates Out;
+    if (R) {
+      Out.Pops = R->first;
+      Out.Pushes = R->second;
+    }
+    return Out;
+  }
+
+private:
+  using Counts = std::optional<std::pair<int64_t, int64_t>>;
+
+  Counts countBlock(const BlockStmt *B) {
+    int64_t Pops = 0, Pushes = 0;
+    for (const Stmt *S : B->body()) {
+      Counts C = countStmt(S);
+      if (!C)
+        return std::nullopt;
+      Pops += C->first;
+      Pushes += C->second;
+    }
+    return std::make_pair(Pops, Pushes);
+  }
+
+  Counts countStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      return addCounts(countExpr(A->target()), countExpr(A->value()));
+    }
+    case Stmt::Kind::Push: {
+      Counts C = countExpr(cast<PushStmt>(S)->value());
+      if (!C)
+        return std::nullopt;
+      return std::make_pair(C->first, C->second + 1);
+    }
+    case Stmt::Kind::ExprStmt:
+      return countExpr(cast<ExprStmt>(S)->expr());
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      Counts Cond = countExpr(I->cond());
+      Counts Then = countBlock(I->thenBlock());
+      Counts Else = I->elseBlock() ? countBlock(I->elseBlock())
+                                   : Counts(std::make_pair(0, 0));
+      if (!Cond || !Then || !Else || *Then != *Else)
+        return std::nullopt;
+      return addCounts(Cond, Then);
+    }
+    case Stmt::Kind::For: {
+      const auto *L = cast<ForStmt>(S);
+      std::optional<int64_t> Begin = tryEvalConstInt(F, L->begin());
+      std::optional<int64_t> End = tryEvalConstInt(F, L->end());
+      std::optional<int64_t> Step = tryEvalConstInt(F, L->step());
+      Counts Body = countBlock(L->body());
+      if (!Body)
+        return std::nullopt;
+      if (Body->first == 0 && Body->second == 0)
+        return std::make_pair(int64_t(0), int64_t(0));
+      if (!Begin || !End || !Step || *Step <= 0)
+        return std::nullopt;
+      int64_t Trip = *End <= *Begin ? 0 : (*End - *Begin + *Step - 1) / *Step;
+      return std::make_pair(Body->first * Trip, Body->second * Trip);
+    }
+    case Stmt::Kind::Block:
+      return countBlock(cast<BlockStmt>(S));
+    }
+    SGPU_UNREACHABLE("unknown statement kind");
+  }
+
+  Counts countExpr(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLiteral:
+    case Expr::Kind::FloatLiteral:
+    case Expr::Kind::VarRef:
+      return std::make_pair(int64_t(0), int64_t(0));
+    case Expr::Kind::ArrayRef:
+      return countExpr(cast<ArrayRef>(E)->index());
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      // Short-circuit RHS must be pop-free to have static rates.
+      if (B->op() == BinOpKind::LAnd || B->op() == BinOpKind::LOr) {
+        Counts R = countExpr(B->rhs());
+        if (!R || R->first != 0 || R->second != 0)
+          return std::nullopt;
+      }
+      return addCounts(countExpr(B->lhs()), countExpr(B->rhs()));
+    }
+    case Expr::Kind::Unary:
+      return countExpr(cast<UnaryExpr>(E)->operand());
+    case Expr::Kind::Call: {
+      Counts Total = std::make_pair(int64_t(0), int64_t(0));
+      for (const Expr *A : cast<CallExpr>(E)->args())
+        Total = addCounts(Total, countExpr(A));
+      return Total;
+    }
+    case Expr::Kind::Cast:
+      return countExpr(cast<CastExpr>(E)->operand());
+    case Expr::Kind::Select: {
+      const auto *S = cast<SelectExpr>(E);
+      Counts T = countExpr(S->trueVal());
+      Counts Fa = countExpr(S->falseVal());
+      if (!T || !Fa || *T != *Fa)
+        return std::nullopt;
+      return addCounts(countExpr(S->cond()), T);
+    }
+    case Expr::Kind::Pop:
+      return std::make_pair(int64_t(1), int64_t(0));
+    case Expr::Kind::Peek:
+      return countExpr(cast<PeekExpr>(E)->depth());
+    }
+    SGPU_UNREACHABLE("unknown expression kind");
+  }
+
+  static Counts addCounts(Counts A, Counts B) {
+    if (!A || !B)
+      return std::nullopt;
+    return std::make_pair(A->first + B->first, A->second + B->second);
+  }
+
+  const Filter &F;
+};
+
+} // namespace
+
+WorkEstimate sgpu::analyzeFilter(const Filter &F) {
+  return WorkAnalyzer(F).run();
+}
+
+StaticRates sgpu::computeStaticRates(const Filter &F) {
+  return RateCounter(F).run();
+}
+
+std::optional<std::string> sgpu::validateFilterRates(const Filter &F) {
+  StaticRates R = computeStaticRates(F);
+  if (!R.Pops || !R.Pushes)
+    return "filter '" + F.name() +
+           "' has control-flow dependent channel rates";
+  if (*R.Pops != F.popRate())
+    return "filter '" + F.name() + "' declares pop rate " +
+           std::to_string(F.popRate()) + " but its work function pops " +
+           std::to_string(*R.Pops);
+  if (*R.Pushes != F.pushRate())
+    return "filter '" + F.name() + "' declares push rate " +
+           std::to_string(F.pushRate()) + " but its work function pushes " +
+           std::to_string(*R.Pushes);
+  return std::nullopt;
+}
+
+std::optional<std::string> sgpu::validateGraphRates(const StreamGraph &G) {
+  for (const GraphNode &N : G.nodes())
+    if (N.isFilter())
+      if (std::optional<std::string> Err = validateFilterRates(*N.TheFilter))
+        return Err;
+  return std::nullopt;
+}

@@ -1,0 +1,85 @@
+//===- ir/Analyzer.h - Static work/register analysis ------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static analysis over filter work functions. Substitutes for what the
+/// paper obtains from nvcc and hardware profiling: per-firing operation
+/// counts (the compute side of the profile cost model) and a register
+/// requirement estimate (which decides whether a filter fits a given
+/// register limit of the {16, 20, 32, 64} profiling sweep, and how much
+/// spill traffic it incurs when it does not).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_IR_ANALYZER_H
+#define SGPU_IR_ANALYZER_H
+
+#include "ir/StreamGraph.h"
+
+#include <optional>
+
+namespace sgpu {
+
+/// Per-firing static cost estimate of one filter.
+struct WorkEstimate {
+  int64_t IntOps = 0;    ///< Integer ALU operations.
+  int64_t FloatOps = 0;  ///< Floating point operations.
+  int64_t TranscOps = 0; ///< sin/cos/sqrt/exp/log/pow (SFU on the GPU).
+  int64_t ChannelReads = 0;  ///< pop() + peek() evaluations.
+  int64_t ChannelWrites = 0; ///< push() executions.
+  int64_t LocalArrayAccesses = 0; ///< Accesses to spilled local arrays.
+  int64_t LocalArrayBytes = 0;    ///< Bytes of per-thread local arrays.
+  /// Virtual registers needed: scalar locals + live temporaries +
+  /// small arrays promoted to registers + fixed overhead.
+  int Registers = 0;
+  /// True when some loop bound was not compile-time constant and a
+  /// default trip-count estimate was used.
+  bool Approximate = false;
+
+  /// Total dynamic "instructions" per firing (compute + channel I/O),
+  /// the d(v) building block before the machine model scales it.
+  int64_t totalOps() const {
+    return IntOps + FloatOps + TranscOps + ChannelReads + ChannelWrites +
+           LocalArrayAccesses;
+  }
+};
+
+/// Statically derived pop/push counts (for validating declared rates).
+struct StaticRates {
+  std::optional<int64_t> Pops;   ///< nullopt if branch-dependent.
+  std::optional<int64_t> Pushes; ///< nullopt if branch-dependent.
+};
+
+/// Largest local array size (elements) still promoted to registers; bigger
+/// arrays live in (simulated) local memory like nvcc's dynamic-indexed
+/// local arrays.
+inline constexpr int64_t MaxRegisterArrayElems = 8;
+
+/// Analyzes \p F and returns its per-firing work estimate.
+WorkEstimate analyzeFilter(const Filter &F);
+
+/// Computes the pop/push counts implied by the AST, when they are
+/// control-flow independent.
+StaticRates computeStaticRates(const Filter &F);
+
+/// Evaluates \p E to a compile-time integer if possible. Fields are
+/// constants and fold; locals and channel reads do not.
+std::optional<int64_t> tryEvalConstInt(const Filter &F, const Expr *E);
+
+/// Validates one filter's declared rates against its AST: statically
+/// countable pops/pushes must match popRate()/pushRate(). Returns an
+/// error message or std::nullopt. Filters whose counts are control-flow
+/// dependent are rejected too — StreamIt rates are fixed at compile time
+/// (paper Section II-B).
+std::optional<std::string> validateFilterRates(const Filter &F);
+
+/// Runs validateFilterRates over every filter of a flattened graph.
+std::optional<std::string> validateGraphRates(const StreamGraph &G);
+
+} // namespace sgpu
+
+#endif // SGPU_IR_ANALYZER_H

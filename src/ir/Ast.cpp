@@ -1,0 +1,98 @@
+//===- ir/Ast.cpp - Filter work-function AST -------------------------------===//
+
+#include "ir/Ast.h"
+
+#include "support/Check.h"
+
+using namespace sgpu;
+
+const VarDecl *WorkFunction::makeVar(std::string Name, TokenType Ty,
+                                     int64_t ArraySize, VarStorage Storage) {
+  auto &Pool = Storage == VarStorage::Field
+                   ? Fields
+                   : (Storage == VarStorage::State ? StateVars : Locals);
+  int Slot = static_cast<int>(Pool.size());
+  Pool.push_back(std::make_unique<VarDecl>(std::move(Name), Ty, ArraySize,
+                                           Storage, Slot));
+  return Pool.back().get();
+}
+
+const char *sgpu::binOpSpelling(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Add:
+    return "+";
+  case BinOpKind::Sub:
+    return "-";
+  case BinOpKind::Mul:
+    return "*";
+  case BinOpKind::Div:
+    return "/";
+  case BinOpKind::Rem:
+    return "%";
+  case BinOpKind::And:
+    return "&";
+  case BinOpKind::Or:
+    return "|";
+  case BinOpKind::Xor:
+    return "^";
+  case BinOpKind::Shl:
+    return "<<";
+  case BinOpKind::Shr:
+    return ">>";
+  case BinOpKind::Lt:
+    return "<";
+  case BinOpKind::Le:
+    return "<=";
+  case BinOpKind::Gt:
+    return ">";
+  case BinOpKind::Ge:
+    return ">=";
+  case BinOpKind::Eq:
+    return "==";
+  case BinOpKind::Ne:
+    return "!=";
+  case BinOpKind::LAnd:
+    return "&&";
+  case BinOpKind::LOr:
+    return "||";
+  }
+  SGPU_UNREACHABLE("unknown binary operator");
+}
+
+const char *sgpu::unOpSpelling(UnOpKind Op) {
+  switch (Op) {
+  case UnOpKind::Neg:
+    return "-";
+  case UnOpKind::BitNot:
+    return "~";
+  case UnOpKind::LogicalNot:
+    return "!";
+  }
+  SGPU_UNREACHABLE("unknown unary operator");
+}
+
+const char *sgpu::builtinName(BuiltinFn Fn) {
+  switch (Fn) {
+  case BuiltinFn::Sin:
+    return "sinf";
+  case BuiltinFn::Cos:
+    return "cosf";
+  case BuiltinFn::Sqrt:
+    return "sqrtf";
+  case BuiltinFn::Abs:
+    return "fabsf";
+  case BuiltinFn::Exp:
+    return "expf";
+  case BuiltinFn::Log:
+    return "logf";
+  case BuiltinFn::Floor:
+    return "floorf";
+  case BuiltinFn::Pow:
+    return "powf";
+  case BuiltinFn::Min:
+    return "min";
+  case BuiltinFn::Max:
+    return "max";
+  }
+  SGPU_UNREACHABLE("unknown builtin");
+}

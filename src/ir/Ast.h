@@ -1,0 +1,470 @@
+//===- ir/Ast.h - Filter work-function AST ----------------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed AST for filter work functions. A StreamIt filter body is a
+/// straight-line imperative program over scalar locals, constant-size local
+/// arrays, read-only fields, and the three channel primitives pop(),
+/// peek(n) and push(v) (paper Section II-B). The same AST feeds four
+/// consumers: the interpreter (CPU baseline and functional GPU simulation),
+/// the static work/register analyzer (profiling substitute for nvcc), the
+/// CUDA C emitter, and the rate checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_IR_AST_H
+#define SGPU_IR_AST_H
+
+#include "ir/Type.h"
+#include "support/Casting.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sgpu {
+
+class WorkFunction;
+
+//===----------------------------------------------------------------------===//
+// Variables
+//===----------------------------------------------------------------------===//
+
+/// Storage classes a variable declaration can live in.
+enum class VarStorage : uint8_t {
+  Local, ///< Per-firing local (register candidate on the GPU).
+  Field, ///< Per-filter read-only constant, bound at graph build time.
+  State  ///< Mutable per-filter state persisting across firings. Makes
+         ///< the filter stateful: its instances must fire in order, and
+         ///< the GPU compiler rejects it (paper Section II-B / future
+         ///< work); the interpreters execute it.
+};
+
+/// A variable declaration: a scalar or constant-size array.
+class VarDecl {
+public:
+  VarDecl(std::string Name, TokenType Ty, int64_t ArraySize,
+          VarStorage Storage, int Slot)
+      : Name(std::move(Name)), Ty(Ty), ArraySize(ArraySize), Storage(Storage),
+        Slot(Slot) {}
+
+  const std::string &name() const { return Name; }
+  TokenType type() const { return Ty; }
+  bool isArray() const { return ArraySize > 0; }
+  int64_t arraySize() const { return ArraySize; }
+  VarStorage storage() const { return Storage; }
+  bool isField() const { return Storage == VarStorage::Field; }
+  bool isState() const { return Storage == VarStorage::State; }
+  /// Dense index within the owning work function's locals or fields.
+  int slot() const { return Slot; }
+
+private:
+  std::string Name;
+  TokenType Ty;
+  int64_t ArraySize; ///< 0 for scalars.
+  VarStorage Storage;
+  int Slot;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Binary operators. Arithmetic ops are overloaded on Int/Float; bitwise
+/// and shift ops require Int; comparisons yield Int (0/1).
+enum class BinOpKind : uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  And, Or, Xor, Shl, Shr,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  LAnd, LOr
+};
+
+/// Unary operators.
+enum class UnOpKind : uint8_t { Neg, BitNot, LogicalNot };
+
+/// Built-in math functions available on both the CPU and the device.
+enum class BuiltinFn : uint8_t {
+  Sin, Cos, Sqrt, Abs, Exp, Log, Floor, Pow, Min, Max
+};
+
+/// Base expression node. Nodes are owned by the enclosing WorkFunction's
+/// arena; child pointers are non-owning.
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    IntLiteral,
+    FloatLiteral,
+    VarRef,
+    ArrayRef,
+    Binary,
+    Unary,
+    Call,
+    Cast,
+    Select,
+    Pop,
+    Peek
+  };
+
+  Kind kind() const { return K; }
+  TokenType type() const { return Ty; }
+
+protected:
+  Expr(Kind K, TokenType Ty) : K(K), Ty(Ty) {}
+
+private:
+  Kind K;
+  TokenType Ty;
+};
+
+/// An integer literal.
+class IntLiteral : public Expr {
+public:
+  explicit IntLiteral(int64_t Value)
+      : Expr(Kind::IntLiteral, TokenType::Int), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLiteral; }
+
+private:
+  int64_t Value;
+};
+
+/// A floating point literal.
+class FloatLiteral : public Expr {
+public:
+  explicit FloatLiteral(double Value)
+      : Expr(Kind::FloatLiteral, TokenType::Float), Value(Value) {}
+
+  double value() const { return Value; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::FloatLiteral;
+  }
+
+private:
+  double Value;
+};
+
+/// A reference to a scalar variable.
+class VarRef : public Expr {
+public:
+  explicit VarRef(const VarDecl *Var) : Expr(Kind::VarRef, Var->type()),
+                                        Var(Var) {}
+
+  const VarDecl *decl() const { return Var; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  const VarDecl *Var;
+};
+
+/// An indexed reference into an array variable.
+class ArrayRef : public Expr {
+public:
+  ArrayRef(const VarDecl *Var, const Expr *Index)
+      : Expr(Kind::ArrayRef, Var->type()), Var(Var), Index(Index) {}
+
+  const VarDecl *decl() const { return Var; }
+  const Expr *index() const { return Index; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArrayRef; }
+
+private:
+  const VarDecl *Var;
+  const Expr *Index;
+};
+
+/// A binary operation.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinOpKind Op, TokenType Ty, const Expr *LHS, const Expr *RHS)
+      : Expr(Kind::Binary, Ty), Op(Op), LHS(LHS), RHS(RHS) {}
+
+  BinOpKind op() const { return Op; }
+  const Expr *lhs() const { return LHS; }
+  const Expr *rhs() const { return RHS; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinOpKind Op;
+  const Expr *LHS;
+  const Expr *RHS;
+};
+
+/// A unary operation.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnOpKind Op, TokenType Ty, const Expr *Operand)
+      : Expr(Kind::Unary, Ty), Op(Op), Operand(Operand) {}
+
+  UnOpKind op() const { return Op; }
+  const Expr *operand() const { return Operand; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnOpKind Op;
+  const Expr *Operand;
+};
+
+/// A call to a built-in math function.
+class CallExpr : public Expr {
+public:
+  CallExpr(BuiltinFn Fn, TokenType Ty, std::vector<const Expr *> Args)
+      : Expr(Kind::Call, Ty), Fn(Fn), Args(std::move(Args)) {}
+
+  BuiltinFn callee() const { return Fn; }
+  const std::vector<const Expr *> &args() const { return Args; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+private:
+  BuiltinFn Fn;
+  std::vector<const Expr *> Args;
+};
+
+/// An explicit int<->float conversion.
+class CastExpr : public Expr {
+public:
+  CastExpr(TokenType To, const Expr *Operand)
+      : Expr(Kind::Cast, To), Operand(Operand) {}
+
+  const Expr *operand() const { return Operand; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Cast; }
+
+private:
+  const Expr *Operand;
+};
+
+/// A ternary select: cond ? t : f. The condition is Int-typed.
+class SelectExpr : public Expr {
+public:
+  SelectExpr(const Expr *Cond, const Expr *TrueVal, const Expr *FalseVal)
+      : Expr(Kind::Select, TrueVal->type()), Cond(Cond), TrueVal(TrueVal),
+        FalseVal(FalseVal) {}
+
+  const Expr *cond() const { return Cond; }
+  const Expr *trueVal() const { return TrueVal; }
+  const Expr *falseVal() const { return FalseVal; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Select; }
+
+private:
+  const Expr *Cond;
+  const Expr *TrueVal;
+  const Expr *FalseVal;
+};
+
+/// pop(): consumes and yields the next input token.
+class PopExpr : public Expr {
+public:
+  explicit PopExpr(TokenType Ty) : Expr(Kind::Pop, Ty) {}
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Pop; }
+};
+
+/// peek(depth): inspects the input FIFO without consuming (paper II-B).
+class PeekExpr : public Expr {
+public:
+  PeekExpr(TokenType Ty, const Expr *Depth) : Expr(Kind::Peek, Ty),
+                                              Depth(Depth) {}
+
+  const Expr *depth() const { return Depth; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Peek; }
+
+private:
+  const Expr *Depth;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Base statement node, owned by the enclosing WorkFunction's arena.
+class Stmt {
+public:
+  enum class Kind : uint8_t { Assign, Push, ExprStmt, If, For, Block };
+
+  Kind kind() const { return K; }
+
+protected:
+  explicit Stmt(Kind K) : K(K) {}
+
+private:
+  Kind K;
+};
+
+/// An assignment to a scalar variable or an array element. The target is a
+/// VarRef or ArrayRef expression over a Local variable.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(const Expr *Target, const Expr *Value)
+      : Stmt(Kind::Assign), Target(Target), Value(Value) {}
+
+  const Expr *target() const { return Target; }
+  const Expr *value() const { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+private:
+  const Expr *Target;
+  const Expr *Value;
+};
+
+/// push(v): appends a token to the output FIFO.
+class PushStmt : public Stmt {
+public:
+  explicit PushStmt(const Expr *Value) : Stmt(Kind::Push), Value(Value) {}
+
+  const Expr *value() const { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Push; }
+
+private:
+  const Expr *Value;
+};
+
+/// An expression evaluated for its side effect (a discarded pop()).
+class ExprStmt : public Stmt {
+public:
+  explicit ExprStmt(const Expr *E) : Stmt(Kind::ExprStmt), E(E) {}
+
+  const Expr *expr() const { return E; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::ExprStmt; }
+
+private:
+  const Expr *E;
+};
+
+/// A list of statements.
+class BlockStmt : public Stmt {
+public:
+  explicit BlockStmt(std::vector<const Stmt *> Body)
+      : Stmt(Kind::Block), Body(std::move(Body)) {}
+
+  const std::vector<const Stmt *> &body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Block; }
+
+private:
+  std::vector<const Stmt *> Body;
+};
+
+/// if (cond) Then else Else. Else may be null.
+class IfStmt : public Stmt {
+public:
+  IfStmt(const Expr *Cond, const BlockStmt *Then, const BlockStmt *Else)
+      : Stmt(Kind::If), Cond(Cond), Then(Then), Else(Else) {}
+
+  const Expr *cond() const { return Cond; }
+  const BlockStmt *thenBlock() const { return Then; }
+  const BlockStmt *elseBlock() const { return Else; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  const Expr *Cond;
+  const BlockStmt *Then;
+  const BlockStmt *Else;
+};
+
+/// for (iv = Begin; iv < End; iv += Step) Body. The induction variable is
+/// an Int scalar local; bounds are Int expressions.
+class ForStmt : public Stmt {
+public:
+  ForStmt(const VarDecl *Induction, const Expr *Begin, const Expr *End,
+          const Expr *Step, const BlockStmt *Body)
+      : Stmt(Kind::For), Induction(Induction), Begin(Begin), End(End),
+        Step(Step), Body(Body) {}
+
+  const VarDecl *induction() const { return Induction; }
+  const Expr *begin() const { return Begin; }
+  const Expr *end() const { return End; }
+  const Expr *step() const { return Step; }
+  const BlockStmt *body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::For; }
+
+private:
+  const VarDecl *Induction;
+  const Expr *Begin;
+  const Expr *End;
+  const Expr *Step;
+  const BlockStmt *Body;
+};
+
+//===----------------------------------------------------------------------===//
+// WorkFunction
+//===----------------------------------------------------------------------===//
+
+/// Owns every AST node and variable of one filter work function.
+class WorkFunction {
+public:
+  WorkFunction() = default;
+  WorkFunction(WorkFunction &&) = default;
+  WorkFunction &operator=(WorkFunction &&) = default;
+
+  /// Allocates an expression node in the arena.
+  template <typename T, typename... Args> const T *makeExpr(Args &&...A) {
+    Exprs.push_back(std::make_unique<T>(std::forward<Args>(A)...));
+    return static_cast<const T *>(Exprs.back().get());
+  }
+
+  /// Allocates a statement node in the arena.
+  template <typename T, typename... Args> const T *makeStmt(Args &&...A) {
+    Stmts.push_back(std::make_unique<T>(std::forward<Args>(A)...));
+    return static_cast<const T *>(Stmts.back().get());
+  }
+
+  /// Declares a variable; slots are dense per storage class.
+  const VarDecl *makeVar(std::string Name, TokenType Ty, int64_t ArraySize,
+                         VarStorage Storage);
+
+  const BlockStmt *body() const { return Body; }
+  void setBody(const BlockStmt *B) { Body = B; }
+
+  const std::vector<std::unique_ptr<VarDecl>> &locals() const {
+    return Locals;
+  }
+  const std::vector<std::unique_ptr<VarDecl>> &fields() const {
+    return Fields;
+  }
+  const std::vector<std::unique_ptr<VarDecl>> &stateVars() const {
+    return StateVars;
+  }
+
+  int numLocalSlots() const { return static_cast<int>(Locals.size()); }
+  int numFieldSlots() const { return static_cast<int>(Fields.size()); }
+  int numStateSlots() const { return static_cast<int>(StateVars.size()); }
+
+private:
+  std::vector<std::unique_ptr<Expr>> Exprs;
+  std::vector<std::unique_ptr<Stmt>> Stmts;
+  std::vector<std::unique_ptr<VarDecl>> Locals;
+  std::vector<std::unique_ptr<VarDecl>> Fields;
+  std::vector<std::unique_ptr<VarDecl>> StateVars;
+  const BlockStmt *Body = nullptr;
+};
+
+/// Returns the C spelling of a binary operator ("+", "<<", ...).
+const char *binOpSpelling(BinOpKind Op);
+
+/// Returns the C spelling of a unary operator ("-", "~", "!").
+const char *unOpSpelling(UnOpKind Op);
+
+/// Returns the name of a builtin ("sinf", "sqrtf", ...), CUDA spelling.
+const char *builtinName(BuiltinFn Fn);
+
+} // namespace sgpu
+
+#endif // SGPU_IR_AST_H

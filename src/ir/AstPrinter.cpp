@@ -1,0 +1,283 @@
+//===- ir/AstPrinter.cpp - C-like AST rendering -----------------------------===//
+
+#include "ir/AstPrinter.h"
+
+#include "support/Check.h"
+
+#include <set>
+#include <sstream>
+
+using namespace sgpu;
+
+ChannelLowering sgpu::symbolicChannelLowering() {
+  ChannelLowering L;
+  L.Pop = [](const std::string &) { return std::string("pop()"); };
+  L.Peek = [](const std::string &D) { return "peek(" + D + ")"; };
+  L.Push = [](const std::string &, const std::string &V) {
+    return "push(" + V + ")";
+  };
+  return L;
+}
+
+namespace {
+
+/// Precedence levels (C-like), larger binds tighter.
+int binOpPrecedence(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Mul:
+  case BinOpKind::Div:
+  case BinOpKind::Rem:
+    return 10;
+  case BinOpKind::Add:
+  case BinOpKind::Sub:
+    return 9;
+  case BinOpKind::Shl:
+  case BinOpKind::Shr:
+    return 8;
+  case BinOpKind::Lt:
+  case BinOpKind::Le:
+  case BinOpKind::Gt:
+  case BinOpKind::Ge:
+    return 7;
+  case BinOpKind::Eq:
+  case BinOpKind::Ne:
+    return 6;
+  case BinOpKind::And:
+    return 5;
+  case BinOpKind::Xor:
+    return 4;
+  case BinOpKind::Or:
+    return 3;
+  case BinOpKind::LAnd:
+    return 2;
+  case BinOpKind::LOr:
+    return 1;
+  }
+  SGPU_UNREACHABLE("unknown binary operator");
+}
+
+class Printer {
+public:
+  Printer(const Filter *F, const ChannelLowering &L) : F(F), L(L) {}
+
+  std::string body(int Indent) {
+    assert(F && "body() requires a filter context");
+    std::ostringstream OS;
+    // Locals first; the induction variables are declared by their loops.
+    collectInductionVars(F->work().body());
+    for (const auto &V : F->work().locals()) {
+      if (InductionVars.count(V.get()))
+        continue;
+      OS << std::string(Indent, ' ') << tokenTypeName(V->type()) << " "
+         << V->name();
+      if (V->isArray())
+        OS << "[" << V->arraySize() << "]";
+      OS << ";\n";
+    }
+    printBlock(OS, F->work().body(), Indent);
+    return OS.str();
+  }
+
+  std::string expr(const Expr *E) { return printExprP(E, 0); }
+
+private:
+  void collectInductionVars(const Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::For: {
+      const auto *Fo = cast<ForStmt>(S);
+      InductionVars.insert(Fo->induction());
+      collectInductionVars(Fo->body());
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      collectInductionVars(I->thenBlock());
+      if (I->elseBlock())
+        collectInductionVars(I->elseBlock());
+      return;
+    }
+    case Stmt::Kind::Block:
+      for (const Stmt *C : cast<BlockStmt>(S)->body())
+        collectInductionVars(C);
+      return;
+    default:
+      return;
+    }
+  }
+
+  void printBlock(std::ostringstream &OS, const BlockStmt *B, int Indent) {
+    for (const Stmt *S : B->body())
+      printStmt(OS, S, Indent);
+  }
+
+  void printStmt(std::ostringstream &OS, const Stmt *S, int Indent) {
+    std::string Pad(Indent, ' ');
+    switch (S->kind()) {
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      OS << Pad << printExprP(A->target(), 0) << " = "
+         << printExprP(A->value(), 0) << ";\n";
+      return;
+    }
+    case Stmt::Kind::Push: {
+      const auto *P = cast<PushStmt>(S);
+      OS << Pad << L.Push("__push_idx++", printExprP(P->value(), 0))
+         << ";\n";
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      OS << Pad << printExprP(cast<ExprStmt>(S)->expr(), 0) << ";\n";
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      OS << Pad << "if (" << printExprP(I->cond(), 0) << ") {\n";
+      printBlock(OS, I->thenBlock(), Indent + 2);
+      if (I->elseBlock()) {
+        OS << Pad << "} else {\n";
+        printBlock(OS, I->elseBlock(), Indent + 2);
+      }
+      OS << Pad << "}\n";
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *Fo = cast<ForStmt>(S);
+      const std::string IV = Fo->induction()->name();
+      OS << Pad << "for (int " << IV << " = " << printExprP(Fo->begin(), 0)
+         << "; " << IV << " < " << printExprP(Fo->end(), 0) << "; " << IV
+         << " += " << printExprP(Fo->step(), 0) << ") {\n";
+      printBlock(OS, Fo->body(), Indent + 2);
+      OS << Pad << "}\n";
+      return;
+    }
+    case Stmt::Kind::Block:
+      printBlock(OS, cast<BlockStmt>(S), Indent);
+      return;
+    }
+    SGPU_UNREACHABLE("unknown statement kind");
+  }
+
+  std::string printExprP(const Expr *E, int ParentPrec) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLiteral:
+      return std::to_string(cast<IntLiteral>(E)->value());
+    case Expr::Kind::FloatLiteral: {
+      std::ostringstream OS;
+      double V = cast<FloatLiteral>(E)->value();
+      OS << V;
+      std::string S = OS.str();
+      if (S.find('.') == std::string::npos &&
+          S.find('e') == std::string::npos &&
+          S.find("inf") == std::string::npos &&
+          S.find("nan") == std::string::npos)
+        S += ".0";
+      return S + "f";
+    }
+    case Expr::Kind::VarRef:
+      return cast<VarRef>(E)->decl()->name();
+    case Expr::Kind::ArrayRef: {
+      const auto *A = cast<ArrayRef>(E);
+      return A->decl()->name() + "[" + printExprP(A->index(), 0) + "]";
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      int Prec = binOpPrecedence(B->op());
+      std::string S = printExprP(B->lhs(), Prec) + " " +
+                      binOpSpelling(B->op()) + " " +
+                      printExprP(B->rhs(), Prec + 1);
+      return Prec < ParentPrec ? "(" + S + ")" : S;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      return std::string(unOpSpelling(U->op())) + "(" +
+             printExprP(U->operand(), 0) + ")";
+    }
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      std::string S = builtinName(C->callee());
+      S += "(";
+      for (size_t I = 0; I < C->args().size(); ++I) {
+        if (I)
+          S += ", ";
+        S += printExprP(C->args()[I], 0);
+      }
+      return S + ")";
+    }
+    case Expr::Kind::Cast: {
+      const auto *C = cast<CastExpr>(E);
+      return std::string("(") + tokenTypeName(C->type()) + ")(" +
+             printExprP(C->operand(), 0) + ")";
+    }
+    case Expr::Kind::Select: {
+      const auto *S = cast<SelectExpr>(E);
+      return "(" + printExprP(S->cond(), 0) + " ? " +
+             printExprP(S->trueVal(), 0) + " : " +
+             printExprP(S->falseVal(), 0) + ")";
+    }
+    case Expr::Kind::Pop:
+      return L.Pop("__pop_idx++");
+    case Expr::Kind::Peek:
+      return L.Peek(printExprP(cast<PeekExpr>(E)->depth(), 0));
+    }
+    SGPU_UNREACHABLE("unknown expression kind");
+  }
+
+  const Filter *F;
+  const ChannelLowering &L;
+  std::set<const VarDecl *> InductionVars;
+};
+
+} // namespace
+
+std::string sgpu::printWorkBody(const Filter &F,
+                                const ChannelLowering &Lowering, int Indent) {
+  Printer P(&F, Lowering);
+  return P.body(Indent);
+}
+
+std::string sgpu::printExpr(const Expr *E, const ChannelLowering &Lowering) {
+  // Expression rendering never touches the filter context.
+  Printer P(nullptr, Lowering);
+  return P.expr(E);
+}
+
+/// Renders a float constant with an explicit decimal point and 'f'
+/// suffix so the emitted CUDA is well formed ("1.0f", not "1f").
+static std::string floatConstant(double V) {
+  std::ostringstream OS;
+  OS << V;
+  std::string S = OS.str();
+  if (S.find('.') == std::string::npos &&
+      S.find('e') == std::string::npos)
+    S += ".0";
+  return S + "f";
+}
+
+std::string sgpu::printFieldConstants(const Filter &F,
+                                      const std::string &Prefix) {
+  std::ostringstream OS;
+  for (const auto &V : F.work().fields()) {
+    const std::vector<Scalar> &Vals = F.fieldValues(V->slot());
+    OS << "__device__ const " << tokenTypeName(V->type()) << " " << Prefix
+       << V->name();
+    if (V->isArray()) {
+      OS << "[" << V->arraySize() << "] = {";
+      for (size_t I = 0; I < Vals.size(); ++I) {
+        if (I)
+          OS << ", ";
+        if (V->type() == TokenType::Int)
+          OS << Vals[I].asInt();
+        else
+          OS << floatConstant(Vals[I].asFloat());
+      }
+      OS << "};\n";
+    } else {
+      OS << " = ";
+      if (V->type() == TokenType::Int)
+        OS << Vals[0].asInt();
+      else
+        OS << floatConstant(Vals[0].asFloat());
+      OS << ";\n";
+    }
+  }
+  return OS.str();
+}

@@ -1,0 +1,59 @@
+//===- ir/AstPrinter.h - C-like AST rendering -------------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders work-function ASTs as C code. The channel primitives pop(),
+/// peek(n) and push(v) are rendered through caller-supplied hooks: the
+/// debug printer leaves them symbolic while the CUDA emitter expands them
+/// into buffer index arithmetic following the paper's Eqs. 10-11.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_IR_ASTPRINTER_H
+#define SGPU_IR_ASTPRINTER_H
+
+#include "ir/Filter.h"
+
+#include <functional>
+#include <string>
+
+namespace sgpu {
+
+/// Customization hooks for the channel primitives.
+struct ChannelLowering {
+  /// Renders the value of the N-th dynamic pop. The running pop ordinal
+  /// is not statically known, so the hook receives a C expression that
+  /// evaluates to it at runtime ("__pop_idx++").
+  std::function<std::string(const std::string &PopOrdinalExpr)> Pop;
+  /// Renders peek(DepthExpr).
+  std::function<std::string(const std::string &DepthExpr)> Peek;
+  /// Renders push(ValueExpr) as a statement (without trailing ';').
+  std::function<std::string(const std::string &PushOrdinalExpr,
+                            const std::string &ValueExpr)>
+      Push;
+};
+
+/// Returns a default lowering that keeps primitives symbolic:
+/// pop() -> "pop()", peek(e) -> "peek(e)", push(v) -> "push(v)".
+ChannelLowering symbolicChannelLowering();
+
+/// Renders \p F's work function body as C statements indented by
+/// \p Indent spaces, using \p Lowering for channel primitives. Declares
+/// the filter's locals at the top.
+std::string printWorkBody(const Filter &F, const ChannelLowering &Lowering,
+                          int Indent = 2);
+
+/// Renders one expression (mostly for tests/diagnostics).
+std::string printExpr(const Expr *E, const ChannelLowering &Lowering);
+
+/// Renders the field constant declarations of \p F as C global constants
+/// with the given symbol prefix.
+std::string printFieldConstants(const Filter &F, const std::string &Prefix);
+
+} // namespace sgpu
+
+#endif // SGPU_IR_ASTPRINTER_H

@@ -1,0 +1,6 @@
+//===- ir/Filter.cpp - StreamIt filter definition --------------------------===//
+
+#include "ir/Filter.h"
+
+// Filter is header-only apart from anchoring this translation unit; the
+// definition object is immutable after FilterBuilder::build().

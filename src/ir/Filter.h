@@ -1,0 +1,92 @@
+//===- ir/Filter.h - StreamIt filter definition -----------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A StreamIt filter: declared pop/push/peek rates, read-only fields, and a
+/// work-function AST. The paper considers stateless filters only (Section
+/// II-B); fields here are constants bound when the graph is built, never
+/// mutated by work(), so different instances of a filter may fire out of
+/// order or in parallel across SMs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_IR_FILTER_H
+#define SGPU_IR_FILTER_H
+
+#include "ir/Ast.h"
+#include "ir/Type.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sgpu {
+
+/// An immutable filter definition. Build one with FilterBuilder; share it
+/// between graph nodes with shared_ptr (each node is a separate instance
+/// stream-graph-wise, the definition is reused).
+class Filter {
+public:
+  friend class FilterBuilder;
+
+  const std::string &name() const { return Name; }
+  TokenType inputType() const { return InType; }
+  TokenType outputType() const { return OutType; }
+
+  /// Tokens consumed from the input FIFO per firing.
+  int64_t popRate() const { return PopRate; }
+  /// Tokens produced onto the output FIFO per firing.
+  int64_t pushRate() const { return PushRate; }
+  /// Depth up to which work() may peek(); always >= popRate.
+  int64_t peekRate() const { return PeekRate; }
+  /// True when the filter inspects beyond what it pops (Table I column).
+  bool isPeeking() const { return PeekRate > PopRate; }
+
+  bool isSource() const { return PopRate == 0; }
+  bool isSink() const { return PushRate == 0; }
+
+  /// True when the filter carries mutable state across firings. Stateful
+  /// filters serialize their instances and cannot be data-parallelized
+  /// on the GPU (the paper considers stateless programs only and lists
+  /// stateful handling as future work; compileForGpu rejects them).
+  bool isStateful() const { return !StateInit.empty(); }
+
+  const WorkFunction &work() const { return Work; }
+
+  /// Constant values of field \p Slot (size 1 for scalar fields).
+  const std::vector<Scalar> &fieldValues(int Slot) const {
+    assert(Slot >= 0 && Slot < static_cast<int>(FieldValues.size()) &&
+           "field slot out of range");
+    return FieldValues[Slot];
+  }
+
+  /// Initial values of state variable \p Slot (size 1 for scalars).
+  const std::vector<Scalar> &stateInit(int Slot) const {
+    assert(Slot >= 0 && Slot < static_cast<int>(StateInit.size()) &&
+           "state slot out of range");
+    return StateInit[Slot];
+  }
+
+private:
+  Filter() = default;
+
+  std::string Name;
+  TokenType InType = TokenType::Float;
+  TokenType OutType = TokenType::Float;
+  int64_t PopRate = 0;
+  int64_t PushRate = 0;
+  int64_t PeekRate = 0;
+  WorkFunction Work;
+  std::vector<std::vector<Scalar>> FieldValues;
+  std::vector<std::vector<Scalar>> StateInit;
+};
+
+using FilterPtr = std::shared_ptr<const Filter>;
+
+} // namespace sgpu
+
+#endif // SGPU_IR_FILTER_H

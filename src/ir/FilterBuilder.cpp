@@ -1,0 +1,492 @@
+//===- ir/FilterBuilder.cpp - IRBuilder-style filter construction ----------===//
+
+#include "ir/FilterBuilder.h"
+
+#include "support/Check.h"
+
+using namespace sgpu;
+
+/// A block under construction plus the control statement that will own it.
+struct FilterBuilder::OpenBlock {
+  enum class Kind { Top, ForBody, IfThen, IfElse };
+
+  Kind K = Kind::Top;
+  std::vector<const Stmt *> Stmts;
+
+  // ForBody payload.
+  const VarDecl *Induction = nullptr;
+  const Expr *Begin = nullptr;
+  const Expr *End = nullptr;
+  const Expr *Step = nullptr;
+
+  // IfThen / IfElse payload.
+  const Expr *Cond = nullptr;
+  const BlockStmt *ThenBlock = nullptr;
+};
+
+FilterBuilder::FilterBuilder(std::string Name, TokenType InType,
+                             TokenType OutType)
+    : F(new Filter()) {
+  F->Name = std::move(Name);
+  F->InType = InType;
+  F->OutType = OutType;
+  BlockStack.emplace_back();
+}
+
+FilterBuilder::~FilterBuilder() = default;
+
+void FilterBuilder::setRates(int64_t Pop, int64_t Push, int64_t Peek) {
+  assert(Pop >= 0 && Push >= 0 && "rates must be non-negative");
+  if (Peek < 0)
+    Peek = Pop;
+  assert(Peek >= Pop && "peek depth must be >= pop rate (paper II-B)");
+  F->PopRate = Pop;
+  F->PushRate = Push;
+  F->PeekRate = Peek;
+}
+
+//===----------------------------------------------------------------------===//
+// Fields
+//===----------------------------------------------------------------------===//
+
+const VarDecl *FilterBuilder::fieldScalarI(const std::string &Name,
+                                           int64_t Value) {
+  const VarDecl *V =
+      F->Work.makeVar(Name, TokenType::Int, /*ArraySize=*/0,
+                      VarStorage::Field);
+  F->FieldValues.push_back({Scalar::makeInt(Value)});
+  return V;
+}
+
+const VarDecl *FilterBuilder::fieldScalarF(const std::string &Name,
+                                           double Value) {
+  const VarDecl *V =
+      F->Work.makeVar(Name, TokenType::Float, /*ArraySize=*/0,
+                      VarStorage::Field);
+  F->FieldValues.push_back({Scalar::makeFloat(Value)});
+  return V;
+}
+
+const VarDecl *FilterBuilder::fieldArrayI(const std::string &Name,
+                                          const std::vector<int64_t> &Values) {
+  assert(!Values.empty() && "field array must be non-empty");
+  const VarDecl *V = F->Work.makeVar(
+      Name, TokenType::Int, static_cast<int64_t>(Values.size()),
+      VarStorage::Field);
+  std::vector<Scalar> Init;
+  Init.reserve(Values.size());
+  for (int64_t X : Values)
+    Init.push_back(Scalar::makeInt(X));
+  F->FieldValues.push_back(std::move(Init));
+  return V;
+}
+
+const VarDecl *FilterBuilder::fieldArrayF(const std::string &Name,
+                                          const std::vector<double> &Values) {
+  assert(!Values.empty() && "field array must be non-empty");
+  const VarDecl *V = F->Work.makeVar(
+      Name, TokenType::Float, static_cast<int64_t>(Values.size()),
+      VarStorage::Field);
+  std::vector<Scalar> Init;
+  Init.reserve(Values.size());
+  for (double X : Values)
+    Init.push_back(Scalar::makeFloat(X));
+  F->FieldValues.push_back(std::move(Init));
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// State
+//===----------------------------------------------------------------------===//
+
+const VarDecl *FilterBuilder::stateScalarI(const std::string &Name,
+                                           int64_t Init) {
+  const VarDecl *V = F->Work.makeVar(Name, TokenType::Int, /*ArraySize=*/0,
+                                     VarStorage::State);
+  F->StateInit.push_back({Scalar::makeInt(Init)});
+  return V;
+}
+
+const VarDecl *FilterBuilder::stateScalarF(const std::string &Name,
+                                           double Init) {
+  const VarDecl *V = F->Work.makeVar(Name, TokenType::Float,
+                                     /*ArraySize=*/0, VarStorage::State);
+  F->StateInit.push_back({Scalar::makeFloat(Init)});
+  return V;
+}
+
+const VarDecl *FilterBuilder::stateArrayF(const std::string &Name,
+                                          const std::vector<double> &Init) {
+  assert(!Init.empty() && "state array must be non-empty");
+  const VarDecl *V = F->Work.makeVar(
+      Name, TokenType::Float, static_cast<int64_t>(Init.size()),
+      VarStorage::State);
+  std::vector<Scalar> Vals;
+  for (double X : Init)
+    Vals.push_back(Scalar::makeFloat(X));
+  F->StateInit.push_back(std::move(Vals));
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+const Expr *FilterBuilder::litI(int64_t V) {
+  return F->Work.makeExpr<IntLiteral>(V);
+}
+
+const Expr *FilterBuilder::litF(double V) {
+  return F->Work.makeExpr<FloatLiteral>(V);
+}
+
+const Expr *FilterBuilder::ref(const VarDecl *Var) {
+  assert(!Var->isArray() && "use index() for arrays");
+  return F->Work.makeExpr<VarRef>(Var);
+}
+
+const Expr *FilterBuilder::index(const VarDecl *Array, const Expr *Idx) {
+  assert(Array->isArray() && "index() requires an array variable");
+  assert(Idx->type() == TokenType::Int && "array index must be int");
+  return F->Work.makeExpr<ArrayRef>(Array, Idx);
+}
+
+TokenType FilterBuilder::commonType(const Expr *L, const Expr *R) const {
+  if (L->type() == R->type())
+    return L->type();
+  return TokenType::Float;
+}
+
+const Expr *FilterBuilder::binary(BinOpKind Op, const Expr *L, const Expr *R) {
+  switch (Op) {
+  case BinOpKind::And:
+  case BinOpKind::Or:
+  case BinOpKind::Xor:
+  case BinOpKind::Shl:
+  case BinOpKind::Shr:
+  case BinOpKind::LAnd:
+  case BinOpKind::LOr:
+    assert(L->type() == TokenType::Int && R->type() == TokenType::Int &&
+           "bitwise/logical operators require int operands");
+    return F->Work.makeExpr<BinaryExpr>(Op, TokenType::Int, L, R);
+  case BinOpKind::Rem:
+    assert(L->type() == TokenType::Int && R->type() == TokenType::Int &&
+           "% requires int operands");
+    return F->Work.makeExpr<BinaryExpr>(Op, TokenType::Int, L, R);
+  case BinOpKind::Lt:
+  case BinOpKind::Le:
+  case BinOpKind::Gt:
+  case BinOpKind::Ge:
+  case BinOpKind::Eq:
+  case BinOpKind::Ne: {
+    TokenType Ty = commonType(L, R);
+    if (L->type() != Ty)
+      L = F->Work.makeExpr<CastExpr>(Ty, L);
+    if (R->type() != Ty)
+      R = F->Work.makeExpr<CastExpr>(Ty, R);
+    return F->Work.makeExpr<BinaryExpr>(Op, TokenType::Int, L, R);
+  }
+  case BinOpKind::Add:
+  case BinOpKind::Sub:
+  case BinOpKind::Mul:
+  case BinOpKind::Div: {
+    TokenType Ty = commonType(L, R);
+    if (L->type() != Ty)
+      L = F->Work.makeExpr<CastExpr>(Ty, L);
+    if (R->type() != Ty)
+      R = F->Work.makeExpr<CastExpr>(Ty, R);
+    return F->Work.makeExpr<BinaryExpr>(Op, Ty, L, R);
+  }
+  }
+  SGPU_UNREACHABLE("unknown binary operator");
+}
+
+const Expr *FilterBuilder::add(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::Add, L, R);
+}
+const Expr *FilterBuilder::sub(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::Sub, L, R);
+}
+const Expr *FilterBuilder::mul(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::Mul, L, R);
+}
+const Expr *FilterBuilder::div(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::Div, L, R);
+}
+const Expr *FilterBuilder::rem(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::Rem, L, R);
+}
+const Expr *FilterBuilder::bitAnd(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::And, L, R);
+}
+const Expr *FilterBuilder::bitOr(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::Or, L, R);
+}
+const Expr *FilterBuilder::bitXor(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::Xor, L, R);
+}
+const Expr *FilterBuilder::shl(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::Shl, L, R);
+}
+const Expr *FilterBuilder::shr(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::Shr, L, R);
+}
+const Expr *FilterBuilder::lt(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::Lt, L, R);
+}
+const Expr *FilterBuilder::le(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::Le, L, R);
+}
+const Expr *FilterBuilder::gt(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::Gt, L, R);
+}
+const Expr *FilterBuilder::ge(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::Ge, L, R);
+}
+const Expr *FilterBuilder::eq(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::Eq, L, R);
+}
+const Expr *FilterBuilder::ne(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::Ne, L, R);
+}
+const Expr *FilterBuilder::logicalAnd(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::LAnd, L, R);
+}
+const Expr *FilterBuilder::logicalOr(const Expr *L, const Expr *R) {
+  return binary(BinOpKind::LOr, L, R);
+}
+
+const Expr *FilterBuilder::unary(UnOpKind Op, const Expr *E) {
+  if (Op != UnOpKind::Neg)
+    assert(E->type() == TokenType::Int && "~ and ! require int operands");
+  return F->Work.makeExpr<UnaryExpr>(Op, E->type(), E);
+}
+
+const Expr *FilterBuilder::neg(const Expr *E) {
+  return unary(UnOpKind::Neg, E);
+}
+const Expr *FilterBuilder::bitNot(const Expr *E) {
+  return unary(UnOpKind::BitNot, E);
+}
+const Expr *FilterBuilder::logicalNot(const Expr *E) {
+  return unary(UnOpKind::LogicalNot, E);
+}
+
+static const Expr *makeUnaryCall(WorkFunction &W, BuiltinFn Fn,
+                                 const Expr *E) {
+  assert(E->type() == TokenType::Float && "math builtin requires float");
+  return W.makeExpr<CallExpr>(Fn, TokenType::Float,
+                              std::vector<const Expr *>{E});
+}
+
+const Expr *FilterBuilder::callSin(const Expr *E) {
+  return makeUnaryCall(F->Work, BuiltinFn::Sin, E);
+}
+const Expr *FilterBuilder::callCos(const Expr *E) {
+  return makeUnaryCall(F->Work, BuiltinFn::Cos, E);
+}
+const Expr *FilterBuilder::callSqrt(const Expr *E) {
+  return makeUnaryCall(F->Work, BuiltinFn::Sqrt, E);
+}
+const Expr *FilterBuilder::callAbs(const Expr *E) {
+  if (E->type() == TokenType::Int)
+    return F->Work.makeExpr<CallExpr>(BuiltinFn::Abs, TokenType::Int,
+                                      std::vector<const Expr *>{E});
+  return makeUnaryCall(F->Work, BuiltinFn::Abs, E);
+}
+const Expr *FilterBuilder::callExp(const Expr *E) {
+  return makeUnaryCall(F->Work, BuiltinFn::Exp, E);
+}
+const Expr *FilterBuilder::callLog(const Expr *E) {
+  return makeUnaryCall(F->Work, BuiltinFn::Log, E);
+}
+const Expr *FilterBuilder::callFloor(const Expr *E) {
+  return makeUnaryCall(F->Work, BuiltinFn::Floor, E);
+}
+const Expr *FilterBuilder::callPow(const Expr *Base, const Expr *Exp) {
+  assert(Base->type() == TokenType::Float && Exp->type() == TokenType::Float &&
+         "pow requires float operands");
+  return F->Work.makeExpr<CallExpr>(BuiltinFn::Pow, TokenType::Float,
+                                    std::vector<const Expr *>{Base, Exp});
+}
+const Expr *FilterBuilder::callMin(const Expr *L, const Expr *R) {
+  assert(L->type() == R->type() && "min requires matching types");
+  return F->Work.makeExpr<CallExpr>(BuiltinFn::Min, L->type(),
+                                    std::vector<const Expr *>{L, R});
+}
+const Expr *FilterBuilder::callMax(const Expr *L, const Expr *R) {
+  assert(L->type() == R->type() && "max requires matching types");
+  return F->Work.makeExpr<CallExpr>(BuiltinFn::Max, L->type(),
+                                    std::vector<const Expr *>{L, R});
+}
+
+const Expr *FilterBuilder::castToInt(const Expr *E) {
+  if (E->type() == TokenType::Int)
+    return E;
+  return F->Work.makeExpr<CastExpr>(TokenType::Int, E);
+}
+
+const Expr *FilterBuilder::castToFloat(const Expr *E) {
+  if (E->type() == TokenType::Float)
+    return E;
+  return F->Work.makeExpr<CastExpr>(TokenType::Float, E);
+}
+
+const Expr *FilterBuilder::select(const Expr *Cond, const Expr *T,
+                                  const Expr *Fv) {
+  assert(Cond->type() == TokenType::Int && "select condition must be int");
+  assert(T->type() == Fv->type() && "select arms must have matching types");
+  return F->Work.makeExpr<SelectExpr>(Cond, T, Fv);
+}
+
+const Expr *FilterBuilder::pop() {
+  return F->Work.makeExpr<PopExpr>(F->InType);
+}
+
+const Expr *FilterBuilder::peek(const Expr *Depth) {
+  assert(Depth->type() == TokenType::Int && "peek depth must be int");
+  return F->Work.makeExpr<PeekExpr>(F->InType, Depth);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void FilterBuilder::appendStmt(const Stmt *S) {
+  assert(!Finalized && "builder already finalized");
+  BlockStack.back().Stmts.push_back(S);
+}
+
+const VarDecl *FilterBuilder::declVar(const std::string &Name,
+                                      const Expr *Init) {
+  const VarDecl *V =
+      F->Work.makeVar(Name, Init->type(), /*ArraySize=*/0, VarStorage::Local);
+  appendStmt(
+      F->Work.makeStmt<AssignStmt>(F->Work.makeExpr<VarRef>(V), Init));
+  return V;
+}
+
+const VarDecl *FilterBuilder::declVar(const std::string &Name, TokenType Ty) {
+  return F->Work.makeVar(Name, Ty, /*ArraySize=*/0, VarStorage::Local);
+}
+
+const VarDecl *FilterBuilder::declArray(const std::string &Name, TokenType Ty,
+                                        int64_t Size) {
+  assert(Size > 0 && "local array must have positive constant size");
+  return F->Work.makeVar(Name, Ty, Size, VarStorage::Local);
+}
+
+void FilterBuilder::assign(const VarDecl *Var, const Expr *Value) {
+  assert(!Var->isField() && "fields are read-only");
+  assert(!Var->isArray() && "use assignIndex for arrays");
+  const Expr *V =
+      Var->type() == Value->type()
+          ? Value
+          : F->Work.makeExpr<CastExpr>(Var->type(), Value);
+  appendStmt(F->Work.makeStmt<AssignStmt>(F->Work.makeExpr<VarRef>(Var), V));
+}
+
+void FilterBuilder::assignIndex(const VarDecl *Array, const Expr *Idx,
+                                const Expr *Value) {
+  assert(!Array->isField() && "fields are read-only");
+  assert(Array->isArray() && "assignIndex requires an array");
+  const Expr *V =
+      Array->type() == Value->type()
+          ? Value
+          : F->Work.makeExpr<CastExpr>(Array->type(), Value);
+  appendStmt(F->Work.makeStmt<AssignStmt>(
+      F->Work.makeExpr<ArrayRef>(Array, Idx), V));
+}
+
+void FilterBuilder::push(const Expr *Value) {
+  const Expr *V =
+      F->OutType == Value->type()
+          ? Value
+          : F->Work.makeExpr<CastExpr>(F->OutType, Value);
+  appendStmt(F->Work.makeStmt<PushStmt>(V));
+}
+
+void FilterBuilder::popDiscard() {
+  appendStmt(F->Work.makeStmt<ExprStmt>(pop()));
+}
+
+void FilterBuilder::popDiscard(int64_t N) {
+  assert(N >= 0 && "cannot pop a negative count");
+  for (int64_t I = 0; I < N; ++I)
+    popDiscard();
+}
+
+const VarDecl *FilterBuilder::beginFor(const std::string &Name,
+                                       const Expr *Begin, const Expr *End,
+                                       const Expr *Step) {
+  assert(Begin->type() == TokenType::Int && End->type() == TokenType::Int &&
+         "loop bounds must be int");
+  const VarDecl *IV =
+      F->Work.makeVar(Name, TokenType::Int, /*ArraySize=*/0,
+                      VarStorage::Local);
+  OpenBlock B;
+  B.K = OpenBlock::Kind::ForBody;
+  B.Induction = IV;
+  B.Begin = Begin;
+  B.End = End;
+  B.Step = Step ? Step : litI(1);
+  BlockStack.push_back(std::move(B));
+  return IV;
+}
+
+void FilterBuilder::endFor() {
+  assert(BlockStack.size() > 1 &&
+         BlockStack.back().K == OpenBlock::Kind::ForBody &&
+         "endFor without matching beginFor");
+  OpenBlock B = std::move(BlockStack.back());
+  BlockStack.pop_back();
+  const BlockStmt *Body = F->Work.makeStmt<BlockStmt>(std::move(B.Stmts));
+  appendStmt(F->Work.makeStmt<ForStmt>(B.Induction, B.Begin, B.End, B.Step,
+                                       Body));
+}
+
+void FilterBuilder::beginIf(const Expr *Cond) {
+  assert(Cond->type() == TokenType::Int && "if condition must be int");
+  OpenBlock B;
+  B.K = OpenBlock::Kind::IfThen;
+  B.Cond = Cond;
+  BlockStack.push_back(std::move(B));
+}
+
+void FilterBuilder::beginElse() {
+  assert(BlockStack.size() > 1 &&
+         BlockStack.back().K == OpenBlock::Kind::IfThen &&
+         "beginElse without open if");
+  OpenBlock Then = std::move(BlockStack.back());
+  BlockStack.pop_back();
+  OpenBlock B;
+  B.K = OpenBlock::Kind::IfElse;
+  B.Cond = Then.Cond;
+  B.ThenBlock = F->Work.makeStmt<BlockStmt>(std::move(Then.Stmts));
+  BlockStack.push_back(std::move(B));
+}
+
+void FilterBuilder::endIf() {
+  assert(BlockStack.size() > 1 && "endIf without open if");
+  OpenBlock B = std::move(BlockStack.back());
+  BlockStack.pop_back();
+  if (B.K == OpenBlock::Kind::IfThen) {
+    const BlockStmt *Then = F->Work.makeStmt<BlockStmt>(std::move(B.Stmts));
+    appendStmt(F->Work.makeStmt<IfStmt>(B.Cond, Then, nullptr));
+    return;
+  }
+  assert(B.K == OpenBlock::Kind::IfElse && "endIf on a non-if block");
+  const BlockStmt *Else = F->Work.makeStmt<BlockStmt>(std::move(B.Stmts));
+  appendStmt(F->Work.makeStmt<IfStmt>(B.Cond, B.ThenBlock, Else));
+}
+
+FilterPtr FilterBuilder::build() {
+  assert(!Finalized && "builder already finalized");
+  assert(BlockStack.size() == 1 && "unclosed for/if block at build()");
+  assert((F->PopRate + F->PushRate) > 0 && "filter with no I/O");
+  Finalized = true;
+  F->Work.setBody(
+      F->Work.makeStmt<BlockStmt>(std::move(BlockStack.back().Stmts)));
+  BlockStack.clear();
+  return FilterPtr(F.release());
+}

@@ -1,0 +1,174 @@
+//===- ir/FilterBuilder.h - IRBuilder-style filter construction -*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fluent builder for filter work functions, playing the role StreamIt
+/// source syntax plays in the paper's toolchain. Typical usage:
+///
+/// \code
+///   FilterBuilder B("LowPass", TokenType::Float, TokenType::Float);
+///   B.setRates(/*Pop=*/1, /*Push=*/1, /*Peek=*/Taps);
+///   const VarDecl *H = B.fieldArrayF("h", Coefficients);
+///   const VarDecl *Sum = B.declVar("sum", B.litF(0.0f));
+///   const VarDecl *I = B.beginFor("i", B.litI(0), B.litI(Taps));
+///   B.assign(Sum, B.add(B.ref(Sum),
+///                       B.mul(B.index(H, B.ref(I)), B.peek(B.ref(I)))));
+///   B.endFor();
+///   B.push(B.ref(Sum));
+///   B.popDiscard();
+///   FilterPtr F = B.build();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_IR_FILTERBUILDER_H
+#define SGPU_IR_FILTERBUILDER_H
+
+#include "ir/Filter.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sgpu {
+
+/// Builds one Filter. Statement-emitting calls append to the innermost
+/// open block (beginFor/beginIf open blocks). build() finalizes and
+/// invalidates the builder.
+class FilterBuilder {
+public:
+  FilterBuilder(std::string Name, TokenType InType, TokenType OutType);
+  ~FilterBuilder();
+
+  FilterBuilder(const FilterBuilder &) = delete;
+  FilterBuilder &operator=(const FilterBuilder &) = delete;
+
+  /// Declares the pop/push/peek rates. Peek defaults to the pop rate.
+  void setRates(int64_t Pop, int64_t Push, int64_t Peek = -1);
+
+  //===--------------------------------------------------------------------===//
+  // Fields (read-only constants bound at build time)
+  //===--------------------------------------------------------------------===//
+
+  const VarDecl *fieldScalarI(const std::string &Name, int64_t Value);
+  const VarDecl *fieldScalarF(const std::string &Name, double Value);
+  const VarDecl *fieldArrayI(const std::string &Name,
+                             const std::vector<int64_t> &Values);
+  const VarDecl *fieldArrayF(const std::string &Name,
+                             const std::vector<double> &Values);
+
+  //===--------------------------------------------------------------------===//
+  // State (mutable across firings; makes the filter stateful)
+  //===--------------------------------------------------------------------===//
+
+  const VarDecl *stateScalarI(const std::string &Name, int64_t Init);
+  const VarDecl *stateScalarF(const std::string &Name, double Init);
+  const VarDecl *stateArrayF(const std::string &Name,
+                             const std::vector<double> &Init);
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  const Expr *litI(int64_t V);
+  const Expr *litF(double V);
+  const Expr *ref(const VarDecl *Var);
+  const Expr *index(const VarDecl *Array, const Expr *Idx);
+
+  const Expr *add(const Expr *L, const Expr *R);
+  const Expr *sub(const Expr *L, const Expr *R);
+  const Expr *mul(const Expr *L, const Expr *R);
+  const Expr *div(const Expr *L, const Expr *R);
+  const Expr *rem(const Expr *L, const Expr *R);
+  const Expr *bitAnd(const Expr *L, const Expr *R);
+  const Expr *bitOr(const Expr *L, const Expr *R);
+  const Expr *bitXor(const Expr *L, const Expr *R);
+  const Expr *shl(const Expr *L, const Expr *R);
+  const Expr *shr(const Expr *L, const Expr *R);
+  const Expr *lt(const Expr *L, const Expr *R);
+  const Expr *le(const Expr *L, const Expr *R);
+  const Expr *gt(const Expr *L, const Expr *R);
+  const Expr *ge(const Expr *L, const Expr *R);
+  const Expr *eq(const Expr *L, const Expr *R);
+  const Expr *ne(const Expr *L, const Expr *R);
+  const Expr *logicalAnd(const Expr *L, const Expr *R);
+  const Expr *logicalOr(const Expr *L, const Expr *R);
+
+  const Expr *neg(const Expr *E);
+  const Expr *bitNot(const Expr *E);
+  const Expr *logicalNot(const Expr *E);
+
+  const Expr *callSin(const Expr *E);
+  const Expr *callCos(const Expr *E);
+  const Expr *callSqrt(const Expr *E);
+  const Expr *callAbs(const Expr *E);
+  const Expr *callExp(const Expr *E);
+  const Expr *callLog(const Expr *E);
+  const Expr *callFloor(const Expr *E);
+  const Expr *callPow(const Expr *Base, const Expr *Exp);
+  const Expr *callMin(const Expr *L, const Expr *R);
+  const Expr *callMax(const Expr *L, const Expr *R);
+
+  const Expr *castToInt(const Expr *E);
+  const Expr *castToFloat(const Expr *E);
+  const Expr *select(const Expr *Cond, const Expr *T, const Expr *F);
+
+  /// pop() as an expression (also counts towards the actual pop rate).
+  const Expr *pop();
+  /// peek(Depth) where Depth is an Int expression.
+  const Expr *peek(const Expr *Depth);
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  /// Declares a scalar local, optionally initialized. Type is taken from
+  /// Init when given, else \p Ty.
+  const VarDecl *declVar(const std::string &Name, const Expr *Init);
+  const VarDecl *declVar(const std::string &Name, TokenType Ty);
+  /// Declares a constant-size local array (zero initialized).
+  const VarDecl *declArray(const std::string &Name, TokenType Ty,
+                           int64_t Size);
+
+  void assign(const VarDecl *Var, const Expr *Value);
+  void assignIndex(const VarDecl *Array, const Expr *Idx, const Expr *Value);
+  void push(const Expr *Value);
+  /// Emits `pop();` discarding the value.
+  void popDiscard();
+  /// Emits \p N discarding pops.
+  void popDiscard(int64_t N);
+
+  /// Opens `for (Name = Begin; Name < End; Name += Step)`; returns the
+  /// induction variable. Close with endFor().
+  const VarDecl *beginFor(const std::string &Name, const Expr *Begin,
+                          const Expr *End, const Expr *Step = nullptr);
+  void endFor();
+
+  /// Opens `if (Cond)`. Optionally call beginElse() before endIf().
+  void beginIf(const Expr *Cond);
+  void beginElse();
+  void endIf();
+
+  /// Finalizes the filter. The builder must not be reused afterwards.
+  FilterPtr build();
+
+private:
+  struct OpenBlock;
+
+  const Expr *binary(BinOpKind Op, const Expr *L, const Expr *R);
+  const Expr *unary(UnOpKind Op, const Expr *E);
+  void appendStmt(const Stmt *S);
+  TokenType commonType(const Expr *L, const Expr *R) const;
+
+  std::unique_ptr<Filter> F;
+  std::vector<OpenBlock> BlockStack;
+  bool Finalized = false;
+};
+
+} // namespace sgpu
+
+#endif // SGPU_IR_FILTERBUILDER_H

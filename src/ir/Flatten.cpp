@@ -1,0 +1,187 @@
+//===- ir/Flatten.cpp - Hierarchy flattening --------------------------------===//
+//
+// Flattens the hierarchical Pipeline / SplitJoin / FeedbackLoop composition
+// into the flat node-and-channel StreamGraph the scheduler works on,
+// following the StreamIt flattening of [6] referenced in the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/StreamGraph.h"
+
+#include "ir/FilterBuilder.h"
+#include "support/Check.h"
+
+using namespace sgpu;
+
+namespace {
+
+/// Entry/exit node ids of a flattened sub-stream; -1 when the sub-stream
+/// has no external input (a source) or output (a sink).
+struct Endpoints {
+  int Entry = -1;
+  int Exit = -1;
+};
+
+/// Recursive flattener appending into one StreamGraph.
+class Flattener {
+public:
+  explicit Flattener(StreamGraph &G) : G(G) {}
+
+  Endpoints flattenStream(const Stream &S) {
+    switch (S.kind()) {
+    case Stream::Kind::Filter:
+      return flattenFilter(*cast<FilterStream>(&S));
+    case Stream::Kind::Pipeline:
+      return flattenPipeline(*cast<PipelineStream>(&S));
+    case Stream::Kind::SplitJoin:
+      return flattenSplitJoin(*cast<SplitJoinStream>(&S));
+    case Stream::Kind::FeedbackLoop:
+      return flattenFeedbackLoop(*cast<FeedbackLoopStream>(&S));
+    }
+    SGPU_UNREACHABLE("unknown stream kind");
+  }
+
+private:
+  Endpoints flattenFilter(const FilterStream &S) {
+    const FilterPtr &F = S.filter();
+    int Id = G.addFilterNode(F, "#" + std::to_string(NextInstance++));
+    Endpoints E;
+    if (F->popRate() > 0)
+      E.Entry = Id;
+    if (F->pushRate() > 0)
+      E.Exit = Id;
+    return E;
+  }
+
+  Endpoints flattenPipeline(const PipelineStream &S) {
+    Endpoints Whole;
+    int PrevExit = -1;
+    bool First = true;
+    for (const StreamPtr &Child : S.children()) {
+      Endpoints E = flattenStream(*Child);
+      if (First) {
+        Whole.Entry = E.Entry;
+        First = false;
+      } else {
+        assert(PrevExit >= 0 && "pipeline stage after a sink");
+        assert(E.Entry >= 0 && "pipeline stage after the first is a source");
+        G.addEdge(PrevExit, E.Entry);
+      }
+      PrevExit = E.Exit;
+    }
+    Whole.Exit = PrevExit;
+    return Whole;
+  }
+
+  Endpoints flattenSplitJoin(const SplitJoinStream &S) {
+    // The splitter/joiner token type is dictated by the branches.
+    TokenType InTy = branchInputType(*S.children().front());
+    TokenType OutTy = branchOutputType(*S.children().front());
+
+    int Split = G.addSplitter(S.splitterKind(), S.splitterWeights(), InTy,
+                              "split#" + std::to_string(NextInstance++));
+    int Join = G.addJoiner(S.joinerWeights(), OutTy,
+                           "join#" + std::to_string(NextInstance++));
+    for (const StreamPtr &Child : S.children()) {
+      Endpoints E = flattenStream(*Child);
+      assert(E.Entry >= 0 && E.Exit >= 0 &&
+             "split-join branches must consume and produce");
+      G.addEdge(Split, E.Entry);
+      G.addEdge(E.Exit, Join);
+    }
+    return {Split, Join};
+  }
+
+  Endpoints flattenFeedbackLoop(const FeedbackLoopStream &S) {
+    Endpoints Body = flattenStream(*S.body());
+    Endpoints Loop = flattenStream(*S.loop());
+    assert(Body.Entry >= 0 && Body.Exit >= 0 && "loop body must be a pipe");
+    assert(Loop.Entry >= 0 && Loop.Exit >= 0 && "loop stream must be a pipe");
+
+    TokenType BodyTy = branchInputType(*S.body());
+    TokenType SplitTy = branchOutputType(*S.body());
+    int Join = G.addJoiner(S.joinerWeights(), BodyTy,
+                           "loopjoin#" + std::to_string(NextInstance++));
+    int Split =
+        G.addSplitter(SplitterKind::RoundRobin, S.splitterWeights(), SplitTy,
+                      "loopsplit#" + std::to_string(NextInstance++));
+
+    G.addEdge(Join, Body.Entry);
+    G.addEdge(Body.Exit, Split);
+    // Splitter port 0 is the loop's external output (connected by the
+    // parent); port 1 feeds the loop stream. Joiner port 0 is the external
+    // input; port 1 receives the feedback with the initial tokens.
+    G.addEdgeAt(Split, /*SrcPort=*/1, Loop.Entry, /*DstPort=*/0);
+    G.addEdgeAt(Loop.Exit, /*SrcPort=*/0, Join, /*DstPort=*/1,
+                S.initTokens());
+    return {Join, Split};
+  }
+
+  /// The token type entering / leaving an arbitrary sub-stream.
+  static TokenType branchInputType(const Stream &S) {
+    switch (S.kind()) {
+    case Stream::Kind::Filter:
+      return cast<FilterStream>(&S)->filter()->inputType();
+    case Stream::Kind::Pipeline:
+      return branchInputType(*cast<PipelineStream>(&S)->children().front());
+    case Stream::Kind::SplitJoin:
+      return branchInputType(*cast<SplitJoinStream>(&S)->children().front());
+    case Stream::Kind::FeedbackLoop:
+      return branchInputType(*cast<FeedbackLoopStream>(&S)->body());
+    }
+    SGPU_UNREACHABLE("unknown stream kind");
+  }
+
+  static TokenType branchOutputType(const Stream &S) {
+    switch (S.kind()) {
+    case Stream::Kind::Filter:
+      return cast<FilterStream>(&S)->filter()->outputType();
+    case Stream::Kind::Pipeline:
+      return branchOutputType(*cast<PipelineStream>(&S)->children().back());
+    case Stream::Kind::SplitJoin:
+      return branchOutputType(*cast<SplitJoinStream>(&S)->children().front());
+    case Stream::Kind::FeedbackLoop:
+      return branchOutputType(*cast<FeedbackLoopStream>(&S)->body());
+    }
+    SGPU_UNREACHABLE("unknown stream kind");
+  }
+
+  StreamGraph &G;
+  int NextInstance = 0;
+};
+
+} // namespace
+
+/// Builds a pop-1/push-1 identity filter of type \p Ty.
+static FilterPtr makeBoundaryIdentity(const std::string &Name,
+                                      TokenType Ty) {
+  FilterBuilder B(Name, Ty, Ty);
+  B.setRates(1, 1);
+  B.push(B.pop());
+  return B.build();
+}
+
+StreamGraph sgpu::flatten(const Stream &Root) {
+  StreamGraph G;
+  Flattener F(G);
+  Endpoints E = F.flattenStream(Root);
+
+  // Program I/O attaches to filter nodes (the entry pops the program
+  // input buffer, the exit pushes the output buffer). When the hierarchy
+  // starts or ends with a splitter/joiner, wrap it with an identity
+  // filter, as the StreamIt flattener does with its implicit I/O nodes.
+  if (E.Entry >= 0 && !G.node(E.Entry).isFilter()) {
+    int Id = G.addFilterNode(
+        makeBoundaryIdentity("__input", G.node(E.Entry).Ty));
+    G.addEdge(Id, E.Entry);
+    E.Entry = Id;
+  }
+  if (E.Exit >= 0 && !G.node(E.Exit).isFilter()) {
+    int Id = G.addFilterNode(
+        makeBoundaryIdentity("__output", G.node(E.Exit).Ty));
+    G.addEdge(E.Exit, Id);
+    E.Exit = Id;
+  }
+  G.setExternalPorts(E.Entry, E.Exit);
+  return G;
+}

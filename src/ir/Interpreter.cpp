@@ -1,0 +1,483 @@
+//===- ir/Interpreter.cpp - Work-function and graph interpreter ------------===//
+
+#include "ir/Interpreter.h"
+
+#include "support/Check.h"
+
+#include <cmath>
+
+using namespace sgpu;
+
+namespace {
+
+/// Wraps to 32-bit two's complement, matching device `int` semantics.
+int64_t wrap32(int64_t V) { return static_cast<int32_t>(V); }
+
+/// Evaluates one firing of a work function.
+class WorkEvaluator {
+public:
+  WorkEvaluator(const Filter &F, ChannelBuffer *In, ChannelBuffer *Out,
+                FiringStats *Stats, FilterState *State)
+      : F(F), In(In), Out(Out), Stats(Stats), State(State) {
+    const WorkFunction &W = F.work();
+    LocalSlots.resize(W.locals().size());
+    for (const auto &L : W.locals()) {
+      Scalar Zero = L->type() == TokenType::Int ? Scalar::makeInt(0)
+                                                : Scalar::makeFloat(0.0);
+      LocalSlots[L->slot()].assign(L->isArray() ? L->arraySize() : 1, Zero);
+    }
+  }
+
+  void run() { execBlock(F.work().body()); }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  void execBlock(const BlockStmt *B) {
+    for (const Stmt *S : B->body())
+      execStmt(S);
+  }
+
+  void execStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      Scalar V = eval(A->value());
+      storeTo(A->target(), V);
+      return;
+    }
+    case Stmt::Kind::Push: {
+      const auto *P = cast<PushStmt>(S);
+      assert(Out && "push in a filter with no output");
+      Out->push(eval(P->value()));
+      if (Stats)
+        ++Stats->Pushes;
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      (void)eval(cast<ExprStmt>(S)->expr());
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      if (eval(I->cond()).asInt() != 0)
+        execBlock(I->thenBlock());
+      else if (I->elseBlock())
+        execBlock(I->elseBlock());
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *L = cast<ForStmt>(S);
+      int64_t Begin = eval(L->begin()).asInt();
+      int64_t End = eval(L->end()).asInt();
+      int64_t Step = eval(L->step()).asInt();
+      assert(Step > 0 && "for step must be positive");
+      std::vector<Scalar> &IV = LocalSlots[L->induction()->slot()];
+      for (int64_t I = Begin; I < End; I += Step) {
+        IV[0] = Scalar::makeInt(I);
+        execBlock(L->body());
+      }
+      return;
+    }
+    case Stmt::Kind::Block:
+      execBlock(cast<BlockStmt>(S));
+      return;
+    }
+    SGPU_UNREACHABLE("unknown statement kind");
+  }
+
+  std::vector<Scalar> &mutableSlot(const VarDecl *D) {
+    assert(!D->isField() && "store to read-only field");
+    if (D->isState()) {
+      assert(State && "stateful filter fired without a FilterState");
+      return State->Slots[D->slot()];
+    }
+    return LocalSlots[D->slot()];
+  }
+
+  void storeTo(const Expr *Target, Scalar V) {
+    if (const auto *R = dyn_cast<VarRef>(Target)) {
+      mutableSlot(R->decl())[0] = V;
+      return;
+    }
+    const auto *A = cast<ArrayRef>(Target);
+    int64_t Idx = eval(A->index()).asInt();
+    std::vector<Scalar> &Slot = mutableSlot(A->decl());
+    assert(Idx >= 0 && Idx < static_cast<int64_t>(Slot.size()) &&
+           "array store out of bounds");
+    Slot[Idx] = V;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expressions
+  //===------------------------------------------------------------------===//
+
+  Scalar load(const VarDecl *D, int64_t Idx) const {
+    assert((!D->isState() || State) &&
+           "stateful filter fired without a FilterState");
+    const std::vector<Scalar> &Slot =
+        D->isField() ? F.fieldValues(D->slot())
+                     : (D->isState() ? State->Slots[D->slot()]
+                                     : LocalSlots[D->slot()]);
+    assert(Idx >= 0 && Idx < static_cast<int64_t>(Slot.size()) &&
+           "array load out of bounds");
+    return Slot[Idx];
+  }
+
+  Scalar eval(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLiteral:
+      return Scalar::makeInt(cast<IntLiteral>(E)->value());
+    case Expr::Kind::FloatLiteral:
+      return Scalar::makeFloat(cast<FloatLiteral>(E)->value());
+    case Expr::Kind::VarRef:
+      return load(cast<VarRef>(E)->decl(), 0);
+    case Expr::Kind::ArrayRef: {
+      const auto *A = cast<ArrayRef>(E);
+      return load(A->decl(), eval(A->index()).asInt());
+    }
+    case Expr::Kind::Binary:
+      return evalBinary(cast<BinaryExpr>(E));
+    case Expr::Kind::Unary:
+      return evalUnary(cast<UnaryExpr>(E));
+    case Expr::Kind::Call:
+      return evalCall(cast<CallExpr>(E));
+    case Expr::Kind::Cast: {
+      const auto *C = cast<CastExpr>(E);
+      Scalar V = eval(C->operand());
+      if (C->type() == V.Ty)
+        return V;
+      if (C->type() == TokenType::Int)
+        return Scalar::makeInt(wrap32(static_cast<int64_t>(V.asFloat())));
+      return Scalar::makeFloat(static_cast<double>(V.asInt()));
+    }
+    case Expr::Kind::Select: {
+      const auto *S = cast<SelectExpr>(E);
+      return eval(S->cond()).asInt() != 0 ? eval(S->trueVal())
+                                          : eval(S->falseVal());
+    }
+    case Expr::Kind::Pop: {
+      assert(In && "pop in a filter with no input");
+      if (Stats)
+        ++Stats->Pops;
+      return In->pop();
+    }
+    case Expr::Kind::Peek: {
+      const auto *P = cast<PeekExpr>(E);
+      assert(In && "peek in a filter with no input");
+      int64_t Depth = eval(P->depth()).asInt();
+      assert(Depth < F.peekRate() &&
+             "peek deeper than the declared peek rate");
+      if (Stats) {
+        ++Stats->Peeks;
+        if (Depth > Stats->MaxPeekDepth)
+          Stats->MaxPeekDepth = Depth;
+      }
+      return In->peek(Depth);
+    }
+    }
+    SGPU_UNREACHABLE("unknown expression kind");
+  }
+
+  void countOp(TokenType Ty) {
+    if (!Stats)
+      return;
+    if (Ty == TokenType::Int)
+      ++Stats->IntOps;
+    else
+      ++Stats->FloatOps;
+  }
+
+  Scalar evalBinary(const BinaryExpr *B) {
+    // Short-circuit forms first.
+    if (B->op() == BinOpKind::LAnd) {
+      countOp(TokenType::Int);
+      if (eval(B->lhs()).asInt() == 0)
+        return Scalar::makeInt(0);
+      return Scalar::makeInt(eval(B->rhs()).asInt() != 0 ? 1 : 0);
+    }
+    if (B->op() == BinOpKind::LOr) {
+      countOp(TokenType::Int);
+      if (eval(B->lhs()).asInt() != 0)
+        return Scalar::makeInt(1);
+      return Scalar::makeInt(eval(B->rhs()).asInt() != 0 ? 1 : 0);
+    }
+
+    Scalar L = eval(B->lhs());
+    Scalar R = eval(B->rhs());
+    countOp(L.Ty);
+
+    switch (B->op()) {
+    case BinOpKind::Add:
+      if (L.Ty == TokenType::Int)
+        return Scalar::makeInt(wrap32(L.asInt() + R.asInt()));
+      return Scalar::makeFloat(L.asFloat() + R.asFloat());
+    case BinOpKind::Sub:
+      if (L.Ty == TokenType::Int)
+        return Scalar::makeInt(wrap32(L.asInt() - R.asInt()));
+      return Scalar::makeFloat(L.asFloat() - R.asFloat());
+    case BinOpKind::Mul:
+      if (L.Ty == TokenType::Int)
+        return Scalar::makeInt(wrap32(L.asInt() * R.asInt()));
+      return Scalar::makeFloat(L.asFloat() * R.asFloat());
+    case BinOpKind::Div:
+      if (L.Ty == TokenType::Int) {
+        assert(R.asInt() != 0 && "integer division by zero");
+        return Scalar::makeInt(wrap32(L.asInt() / R.asInt()));
+      }
+      return Scalar::makeFloat(L.asFloat() / R.asFloat());
+    case BinOpKind::Rem:
+      assert(R.asInt() != 0 && "integer remainder by zero");
+      return Scalar::makeInt(wrap32(L.asInt() % R.asInt()));
+    case BinOpKind::And:
+      return Scalar::makeInt(wrap32(L.asInt() & R.asInt()));
+    case BinOpKind::Or:
+      return Scalar::makeInt(wrap32(L.asInt() | R.asInt()));
+    case BinOpKind::Xor:
+      return Scalar::makeInt(wrap32(L.asInt() ^ R.asInt()));
+    case BinOpKind::Shl:
+      return Scalar::makeInt(
+          wrap32(static_cast<int64_t>(static_cast<uint32_t>(L.asInt())
+                                      << (R.asInt() & 31))));
+    case BinOpKind::Shr:
+      // Arithmetic shift on a 32-bit value, like device `int`.
+      return Scalar::makeInt(
+          wrap32(static_cast<int32_t>(L.asInt()) >> (R.asInt() & 31)));
+    case BinOpKind::Lt:
+      return cmpResult(L, R, [](auto A, auto B2) { return A < B2; });
+    case BinOpKind::Le:
+      return cmpResult(L, R, [](auto A, auto B2) { return A <= B2; });
+    case BinOpKind::Gt:
+      return cmpResult(L, R, [](auto A, auto B2) { return A > B2; });
+    case BinOpKind::Ge:
+      return cmpResult(L, R, [](auto A, auto B2) { return A >= B2; });
+    case BinOpKind::Eq:
+      return cmpResult(L, R, [](auto A, auto B2) { return A == B2; });
+    case BinOpKind::Ne:
+      return cmpResult(L, R, [](auto A, auto B2) { return A != B2; });
+    case BinOpKind::LAnd:
+    case BinOpKind::LOr:
+      break; // Handled above.
+    }
+    SGPU_UNREACHABLE("unknown binary operator");
+  }
+
+  template <typename Cmp>
+  static Scalar cmpResult(Scalar L, Scalar R, Cmp C) {
+    bool V = L.Ty == TokenType::Int ? C(L.asInt(), R.asInt())
+                                    : C(L.asFloat(), R.asFloat());
+    return Scalar::makeInt(V ? 1 : 0);
+  }
+
+  Scalar evalUnary(const UnaryExpr *U) {
+    Scalar V = eval(U->operand());
+    countOp(V.Ty);
+    switch (U->op()) {
+    case UnOpKind::Neg:
+      if (V.Ty == TokenType::Int)
+        return Scalar::makeInt(wrap32(-V.asInt()));
+      return Scalar::makeFloat(-V.asFloat());
+    case UnOpKind::BitNot:
+      return Scalar::makeInt(wrap32(~V.asInt()));
+    case UnOpKind::LogicalNot:
+      return Scalar::makeInt(V.asInt() == 0 ? 1 : 0);
+    }
+    SGPU_UNREACHABLE("unknown unary operator");
+  }
+
+  Scalar evalCall(const CallExpr *C) {
+    const auto &Args = C->args();
+    switch (C->callee()) {
+    case BuiltinFn::Sin:
+    case BuiltinFn::Cos:
+    case BuiltinFn::Sqrt:
+    case BuiltinFn::Exp:
+    case BuiltinFn::Log:
+    case BuiltinFn::Pow:
+      if (Stats)
+        ++Stats->TranscOps;
+      break;
+    default:
+      countOp(C->type());
+      break;
+    }
+    switch (C->callee()) {
+    case BuiltinFn::Sin:
+      return Scalar::makeFloat(std::sin(eval(Args[0]).asFloat()));
+    case BuiltinFn::Cos:
+      return Scalar::makeFloat(std::cos(eval(Args[0]).asFloat()));
+    case BuiltinFn::Sqrt:
+      return Scalar::makeFloat(std::sqrt(eval(Args[0]).asFloat()));
+    case BuiltinFn::Abs: {
+      Scalar V = eval(Args[0]);
+      if (V.Ty == TokenType::Int)
+        return Scalar::makeInt(V.asInt() < 0 ? wrap32(-V.asInt())
+                                             : V.asInt());
+      return Scalar::makeFloat(std::fabs(V.asFloat()));
+    }
+    case BuiltinFn::Exp:
+      return Scalar::makeFloat(std::exp(eval(Args[0]).asFloat()));
+    case BuiltinFn::Log:
+      return Scalar::makeFloat(std::log(eval(Args[0]).asFloat()));
+    case BuiltinFn::Floor:
+      return Scalar::makeFloat(std::floor(eval(Args[0]).asFloat()));
+    case BuiltinFn::Pow:
+      return Scalar::makeFloat(
+          std::pow(eval(Args[0]).asFloat(), eval(Args[1]).asFloat()));
+    case BuiltinFn::Min: {
+      Scalar L = eval(Args[0]), R = eval(Args[1]);
+      if (L.Ty == TokenType::Int)
+        return Scalar::makeInt(std::min(L.asInt(), R.asInt()));
+      return Scalar::makeFloat(std::min(L.asFloat(), R.asFloat()));
+    }
+    case BuiltinFn::Max: {
+      Scalar L = eval(Args[0]), R = eval(Args[1]);
+      if (L.Ty == TokenType::Int)
+        return Scalar::makeInt(std::max(L.asInt(), R.asInt()));
+      return Scalar::makeFloat(std::max(L.asFloat(), R.asFloat()));
+    }
+    }
+    SGPU_UNREACHABLE("unknown builtin");
+  }
+
+  const Filter &F;
+  ChannelBuffer *In;
+  ChannelBuffer *Out;
+  FiringStats *Stats;
+  FilterState *State;
+  std::vector<std::vector<Scalar>> LocalSlots;
+};
+
+} // namespace
+
+FilterState FilterState::initFor(const Filter &F) {
+  FilterState S;
+  S.Slots.resize(F.work().stateVars().size());
+  for (const auto &V : F.work().stateVars())
+    S.Slots[V->slot()] = F.stateInit(V->slot());
+  return S;
+}
+
+void sgpu::fireFilter(const Filter &F, ChannelBuffer *In, ChannelBuffer *Out,
+                      FiringStats *Stats, FilterState *State) {
+  assert((In || F.popRate() == 0) && "filter needs an input channel");
+  assert((Out || F.pushRate() == 0) && "filter needs an output channel");
+  assert((State || !F.isStateful()) &&
+         "stateful filter fired without a FilterState");
+  WorkEvaluator E(F, In, Out, Stats, State);
+  E.run();
+}
+
+void sgpu::fireSplitterJoiner(const GraphNode &N,
+                              std::vector<ChannelBuffer *> In,
+                              std::vector<ChannelBuffer *> Out) {
+  if (N.isSplitter()) {
+    assert(In.size() == 1 && "splitter has one input");
+    if (N.SplitKind == SplitterKind::Duplicate) {
+      Scalar V = In[0]->pop();
+      for (ChannelBuffer *O : Out)
+        O->push(V);
+      return;
+    }
+    assert(Out.size() == N.Weights.size() && "splitter arity mismatch");
+    for (size_t P = 0; P < Out.size(); ++P)
+      for (int64_t I = 0; I < N.Weights[P]; ++I)
+        Out[P]->push(In[0]->pop());
+    return;
+  }
+  assert(N.isJoiner() && "expected splitter or joiner");
+  assert(Out.size() == 1 && "joiner has one output");
+  assert(In.size() == N.Weights.size() && "joiner arity mismatch");
+  for (size_t P = 0; P < In.size(); ++P)
+    for (int64_t I = 0; I < N.Weights[P]; ++I)
+      Out[0]->push(In[P]->pop());
+}
+
+//===----------------------------------------------------------------------===//
+// GraphInterpreter
+//===----------------------------------------------------------------------===//
+
+GraphInterpreter::GraphInterpreter(const StreamGraph &G) : G(G) {
+  Channels.reserve(G.numEdges());
+  for (const ChannelEdge &E : G.edges()) {
+    Channels.emplace_back(E.Ty);
+    for (int64_t I = 0; I < E.InitTokens; ++I)
+      Channels.back().push(E.Ty == TokenType::Int ? Scalar::makeInt(0)
+                                                  : Scalar::makeFloat(0.0));
+  }
+  Stats.resize(G.numNodes());
+  NodeState.resize(G.numNodes());
+  for (const GraphNode &N : G.nodes())
+    if (N.isFilter() && N.TheFilter->isStateful())
+      NodeState[N.Id] = FilterState::initFor(*N.TheFilter);
+}
+
+void GraphInterpreter::feedInput(const std::vector<Scalar> &Tokens) {
+  for (const Scalar &T : Tokens)
+    InputBuffer.push(T);
+}
+
+bool GraphInterpreter::canFire(int NodeId) const {
+  const GraphNode &N = G.node(NodeId);
+  if (N.isFilter()) {
+    if (N.TheFilter->popRate() == 0)
+      return true;
+    const ChannelBuffer &In =
+        NodeId == G.entryNode() ? InputBuffer : Channels[N.InEdges[0]];
+    return In.size() >= N.TheFilter->peekRate();
+  }
+  for (size_t P = 0; P < N.InEdges.size(); ++P) {
+    const ChannelEdge &E = G.edge(N.InEdges[P]);
+    if (Channels[E.Id].size() < E.ConsRate)
+      return false;
+  }
+  return true;
+}
+
+int64_t GraphInterpreter::fireNode(int NodeId, int64_t Firings) {
+  const GraphNode &N = G.node(NodeId);
+  int64_t Fired = 0;
+  for (; Fired < Firings; ++Fired) {
+    if (!canFire(NodeId))
+      break;
+    if (N.isFilter()) {
+      ChannelBuffer *In = nullptr;
+      if (N.TheFilter->popRate() > 0)
+        In = NodeId == G.entryNode() ? &InputBuffer
+                                     : &Channels[N.InEdges[0]];
+      ChannelBuffer *Out = nullptr;
+      if (N.TheFilter->pushRate() > 0)
+        Out = NodeId == G.exitNode() ? &OutputSink : &Channels[N.OutEdges[0]];
+      fireFilter(*N.TheFilter, In, Out, &Stats[NodeId],
+                 N.TheFilter->isStateful() ? &NodeState[NodeId] : nullptr);
+    } else {
+      std::vector<ChannelBuffer *> In, Out;
+      for (int E : N.InEdges)
+        In.push_back(&Channels[E]);
+      for (int E : N.OutEdges)
+        Out.push_back(&Channels[E]);
+      fireSplitterJoiner(N, std::move(In), std::move(Out));
+    }
+    for (int E : N.OutEdges)
+      Channels[E].noteOccupancy();
+  }
+  // Drain the program output sink into the observable output vector.
+  while (!OutputSink.empty())
+    Output.push_back(OutputSink.pop());
+  return Fired;
+}
+
+bool GraphInterpreter::runSteadyState(const std::vector<int64_t> &Repetitions,
+                                      int64_t Iterations) {
+  assert(Repetitions.size() == static_cast<size_t>(G.numNodes()) &&
+         "repetition vector size mismatch");
+  std::optional<std::vector<int>> Order = G.topologicalOrder();
+  if (!Order)
+    return false;
+  for (int64_t It = 0; It < Iterations; ++It)
+    for (int NodeId : *Order)
+      if (fireNode(NodeId, Repetitions[NodeId]) != Repetitions[NodeId])
+        return false;
+  return true;
+}

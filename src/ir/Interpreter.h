@@ -1,0 +1,158 @@
+//===- ir/Interpreter.h - Work-function and graph interpreter ---*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes filter work functions and whole stream graphs functionally.
+/// The interpreter is the single source of data semantics in the project:
+/// the CPU baseline runs it directly, and the GPU functional simulation
+/// runs the same code per simulated thread, so CPU and GPU outputs can be
+/// compared exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_IR_INTERPRETER_H
+#define SGPU_IR_INTERPRETER_H
+
+#include "ir/StreamGraph.h"
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sgpu {
+
+/// A FIFO channel buffer with firing-rule inspection helpers.
+class ChannelBuffer {
+public:
+  ChannelBuffer() = default;
+  explicit ChannelBuffer(TokenType Ty) : Ty(Ty) {}
+
+  TokenType type() const { return Ty; }
+  int64_t size() const { return static_cast<int64_t>(Data.size()); }
+  bool empty() const { return Data.empty(); }
+
+  void push(Scalar V) {
+    Data.push_back(V);
+    ++TotalPushed;
+  }
+
+  Scalar pop() {
+    assert(!Data.empty() && "pop from empty channel (firing rule violated)");
+    Scalar V = Data.front();
+    Data.pop_front();
+    ++TotalPopped;
+    return V;
+  }
+
+  Scalar peek(int64_t Depth) const {
+    assert(Depth >= 0 && Depth < size() &&
+           "peek beyond available tokens (firing rule violated)");
+    return Data[Depth];
+  }
+
+  /// Lifetime counters, used to validate steady-state balance.
+  int64_t totalPushed() const { return TotalPushed; }
+  int64_t totalPopped() const { return TotalPopped; }
+
+  /// High-water mark of the buffered token count.
+  int64_t maxOccupancy() const { return MaxOccupancy; }
+  void noteOccupancy() {
+    if (size() > MaxOccupancy)
+      MaxOccupancy = size();
+  }
+
+private:
+  TokenType Ty = TokenType::Float;
+  std::deque<Scalar> Data;
+  int64_t TotalPushed = 0;
+  int64_t TotalPopped = 0;
+  int64_t MaxOccupancy = 0;
+};
+
+/// Dynamic statistics of one firing, used by the rate checker and the
+/// profiling cost model.
+struct FiringStats {
+  int64_t Pops = 0;
+  int64_t Pushes = 0;
+  int64_t Peeks = 0;
+  int64_t MaxPeekDepth = -1; ///< Deepest peek() index observed.
+  int64_t IntOps = 0;
+  int64_t FloatOps = 0;
+  int64_t TranscOps = 0; ///< sin/cos/exp/log/pow/sqrt.
+};
+
+/// Mutable state of one stateful filter node, persisting across firings.
+/// Stateless filters need none (pass nullptr).
+struct FilterState {
+  std::vector<std::vector<Scalar>> Slots; ///< Indexed by state-var slot.
+
+  /// Initializes state storage from \p F's declared initial values.
+  static FilterState initFor(const Filter &F);
+};
+
+/// Fires \p F once. \p In may be null only when popRate()==0, \p Out only
+/// when pushRate()==0. Statistics are accumulated into \p Stats if given.
+/// Stateful filters require \p State.
+void fireFilter(const Filter &F, ChannelBuffer *In, ChannelBuffer *Out,
+                FiringStats *Stats = nullptr, FilterState *State = nullptr);
+
+/// Fires a splitter/joiner node once, moving tokens between the node's
+/// channel buffers per its weights.
+void fireSplitterJoiner(const GraphNode &N, std::vector<ChannelBuffer *> In,
+                        std::vector<ChannelBuffer *> Out);
+
+/// Executes a whole stream graph for \p Iterations steady-state
+/// iterations in a demand-driven order and returns the program output.
+/// Also the reference executor for correctness checks.
+class GraphInterpreter {
+public:
+  explicit GraphInterpreter(const StreamGraph &G);
+
+  /// Supplies program input tokens (consumed by the entry node).
+  void feedInput(const std::vector<Scalar> &Tokens);
+
+  /// Runs \p Firings firings of node \p NodeId if its firing rule allows;
+  /// returns the number actually fired.
+  int64_t fireNode(int NodeId, int64_t Firings);
+
+  /// Runs \p Iterations steady-state iterations given the repetition
+  /// vector \p Repetitions (kv per node), in topological order. Returns
+  /// false if some firing rule could not be satisfied.
+  bool runSteadyState(const std::vector<int64_t> &Repetitions,
+                      int64_t Iterations = 1);
+
+  /// Tokens pushed by the exit node so far.
+  const std::vector<Scalar> &output() const { return Output; }
+
+  /// Channel buffer for edge \p EdgeId (for inspection in tests).
+  const ChannelBuffer &channel(int EdgeId) const {
+    assert(EdgeId >= 0 && EdgeId < static_cast<int>(Channels.size()));
+    return Channels[EdgeId];
+  }
+
+  /// Per-node accumulated firing statistics.
+  const FiringStats &stats(int NodeId) const {
+    assert(NodeId >= 0 && NodeId < static_cast<int>(Stats.size()));
+    return Stats[NodeId];
+  }
+
+private:
+  bool canFire(int NodeId) const;
+
+  const StreamGraph &G;
+  std::vector<ChannelBuffer> Channels;
+  ChannelBuffer InputBuffer;
+  ChannelBuffer OutputSink;
+  std::vector<Scalar> Output;
+  std::vector<FiringStats> Stats;
+  std::vector<FilterState> NodeState; ///< Per node; empty for stateless.
+};
+
+} // namespace sgpu
+
+#endif // SGPU_IR_INTERPRETER_H

@@ -1,0 +1,40 @@
+//===- ir/Stream.cpp - Hierarchical StreamIt constructs --------------------===//
+
+#include "ir/Stream.h"
+
+using namespace sgpu;
+
+Stream::~Stream() = default;
+
+StreamPtr sgpu::filterStream(FilterPtr F) {
+  return std::make_unique<FilterStream>(std::move(F));
+}
+
+StreamPtr sgpu::pipelineStream(std::vector<StreamPtr> Children) {
+  return std::make_unique<PipelineStream>(std::move(Children));
+}
+
+StreamPtr sgpu::duplicateSplitJoin(std::vector<StreamPtr> Children,
+                                   std::vector<int64_t> JoinWeights) {
+  std::vector<int64_t> SplitWeights(Children.size(), 1);
+  return std::make_unique<SplitJoinStream>(
+      SplitterKind::Duplicate, std::move(SplitWeights), std::move(Children),
+      std::move(JoinWeights));
+}
+
+StreamPtr sgpu::roundRobinSplitJoin(std::vector<int64_t> SplitWeights,
+                                    std::vector<StreamPtr> Children,
+                                    std::vector<int64_t> JoinWeights) {
+  return std::make_unique<SplitJoinStream>(
+      SplitterKind::RoundRobin, std::move(SplitWeights), std::move(Children),
+      std::move(JoinWeights));
+}
+
+StreamPtr sgpu::feedbackLoopStream(std::vector<int64_t> JoinWeights,
+                                   StreamPtr Body,
+                                   std::vector<int64_t> SplitWeights,
+                                   StreamPtr Loop, int64_t InitTokens) {
+  return std::make_unique<FeedbackLoopStream>(
+      std::move(JoinWeights), std::move(Body), std::move(SplitWeights),
+      std::move(Loop), InitTokens);
+}

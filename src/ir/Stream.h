@@ -1,0 +1,178 @@
+//===- ir/Stream.h - Hierarchical StreamIt constructs -----------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three StreamIt composition constructs of the paper's Figure 3:
+/// Pipeline, SplitJoin (duplicate or round-robin splitter, round-robin
+/// joiner) and FeedbackLoop. A hierarchical Stream is flattened (Flatten.h)
+/// into a StreamGraph of filter/splitter/joiner nodes before scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_IR_STREAM_H
+#define SGPU_IR_STREAM_H
+
+#include "ir/Filter.h"
+#include "support/Casting.h"
+
+#include <memory>
+#include <vector>
+
+namespace sgpu {
+
+class Stream;
+using StreamPtr = std::unique_ptr<Stream>;
+
+/// How a splitter distributes its input (paper Section II-B).
+enum class SplitterKind : uint8_t {
+  Duplicate, ///< Copies every input token to each output.
+  RoundRobin ///< Sends W[i] consecutive tokens to output i, cyclically.
+};
+
+/// Base class of the hierarchical stream constructs.
+class Stream {
+public:
+  enum class Kind : uint8_t { Filter, Pipeline, SplitJoin, FeedbackLoop };
+
+  virtual ~Stream();
+
+  Kind kind() const { return K; }
+
+protected:
+  explicit Stream(Kind K) : K(K) {}
+
+private:
+  Kind K;
+};
+
+/// A leaf: one instance of a filter definition.
+class FilterStream : public Stream {
+public:
+  explicit FilterStream(FilterPtr F)
+      : Stream(Kind::Filter), TheFilter(std::move(F)) {}
+
+  const FilterPtr &filter() const { return TheFilter; }
+
+  static bool classof(const Stream *S) { return S->kind() == Kind::Filter; }
+
+private:
+  FilterPtr TheFilter;
+};
+
+/// A sequence of child streams connected head to tail (Figure 3a).
+class PipelineStream : public Stream {
+public:
+  explicit PipelineStream(std::vector<StreamPtr> Children)
+      : Stream(Kind::Pipeline), Children(std::move(Children)) {
+    assert(!this->Children.empty() && "empty pipeline");
+  }
+
+  const std::vector<StreamPtr> &children() const { return Children; }
+
+  static bool classof(const Stream *S) { return S->kind() == Kind::Pipeline; }
+
+private:
+  std::vector<StreamPtr> Children;
+};
+
+/// A splitter feeding N parallel children merged by a joiner (Figure 3b).
+/// Splitter weights are all 1 for Duplicate; for RoundRobin they give the
+/// token counts per output. Joiner weights give token counts per input.
+class SplitJoinStream : public Stream {
+public:
+  SplitJoinStream(SplitterKind SplitKind, std::vector<int64_t> SplitWeights,
+                  std::vector<StreamPtr> Children,
+                  std::vector<int64_t> JoinWeights)
+      : Stream(Kind::SplitJoin), SplitKind(SplitKind),
+        SplitWeights(std::move(SplitWeights)),
+        Children(std::move(Children)), JoinWeights(std::move(JoinWeights)) {
+    assert(!this->Children.empty() && "empty split-join");
+    assert(this->SplitWeights.size() == this->Children.size() &&
+           "one splitter weight per branch");
+    assert(this->JoinWeights.size() == this->Children.size() &&
+           "one joiner weight per branch");
+  }
+
+  SplitterKind splitterKind() const { return SplitKind; }
+  const std::vector<int64_t> &splitterWeights() const { return SplitWeights; }
+  const std::vector<StreamPtr> &children() const { return Children; }
+  const std::vector<int64_t> &joinerWeights() const { return JoinWeights; }
+
+  static bool classof(const Stream *S) {
+    return S->kind() == Kind::SplitJoin;
+  }
+
+private:
+  SplitterKind SplitKind;
+  std::vector<int64_t> SplitWeights;
+  std::vector<StreamPtr> Children;
+  std::vector<int64_t> JoinWeights;
+};
+
+/// A feedback loop (Figure 3c): the joiner merges external input (weight
+/// [0]) with the loop stream's output (weight [1]); the body's output is
+/// split between the external output (weight [0]) and the loop (weight
+/// [1]). InitTokens are enqueued on the loop->joiner edge so the graph can
+/// start (StreamIt `enqueue`).
+class FeedbackLoopStream : public Stream {
+public:
+  FeedbackLoopStream(std::vector<int64_t> JoinWeights, StreamPtr Body,
+                     std::vector<int64_t> SplitWeights, StreamPtr Loop,
+                     int64_t InitTokens)
+      : Stream(Kind::FeedbackLoop), JoinWeights(std::move(JoinWeights)),
+        Body(std::move(Body)), SplitWeights(std::move(SplitWeights)),
+        Loop(std::move(Loop)), InitTokens(InitTokens) {
+    assert(this->JoinWeights.size() == 2 && this->SplitWeights.size() == 2 &&
+           "feedback loop joiner/splitter are binary");
+    assert(InitTokens >= 0 && "negative initial tokens");
+  }
+
+  const std::vector<int64_t> &joinerWeights() const { return JoinWeights; }
+  const Stream *body() const { return Body.get(); }
+  const std::vector<int64_t> &splitterWeights() const { return SplitWeights; }
+  const Stream *loop() const { return Loop.get(); }
+  int64_t initTokens() const { return InitTokens; }
+
+  static bool classof(const Stream *S) {
+    return S->kind() == Kind::FeedbackLoop;
+  }
+
+private:
+  std::vector<int64_t> JoinWeights;
+  StreamPtr Body;
+  std::vector<int64_t> SplitWeights;
+  StreamPtr Loop;
+  int64_t InitTokens;
+};
+
+//===----------------------------------------------------------------------===//
+// Convenience constructors
+//===----------------------------------------------------------------------===//
+
+/// Wraps a filter definition as a leaf stream.
+StreamPtr filterStream(FilterPtr F);
+
+/// Builds a pipeline from a list of children.
+StreamPtr pipelineStream(std::vector<StreamPtr> Children);
+
+/// Builds a duplicate split-join with the given joiner weights.
+StreamPtr duplicateSplitJoin(std::vector<StreamPtr> Children,
+                             std::vector<int64_t> JoinWeights);
+
+/// Builds a round-robin split-join.
+StreamPtr roundRobinSplitJoin(std::vector<int64_t> SplitWeights,
+                              std::vector<StreamPtr> Children,
+                              std::vector<int64_t> JoinWeights);
+
+/// Builds a feedback loop.
+StreamPtr feedbackLoopStream(std::vector<int64_t> JoinWeights, StreamPtr Body,
+                             std::vector<int64_t> SplitWeights,
+                             StreamPtr Loop, int64_t InitTokens);
+
+} // namespace sgpu
+
+#endif // SGPU_IR_STREAM_H

@@ -1,0 +1,322 @@
+//===- ir/StreamGraph.cpp - Flattened stream graph -------------------------===//
+
+#include "ir/StreamGraph.h"
+
+#include "support/Check.h"
+#include "support/DotWriter.h"
+
+#include <numeric>
+#include <sstream>
+
+using namespace sgpu;
+
+int64_t GraphNode::totalPopPerFiring() const {
+  switch (Kind) {
+  case NodeKind::Filter:
+    return TheFilter->popRate();
+  case NodeKind::Splitter:
+    if (SplitKind == SplitterKind::Duplicate)
+      return 1;
+    return std::accumulate(Weights.begin(), Weights.end(), int64_t(0));
+  case NodeKind::Joiner:
+    return std::accumulate(Weights.begin(), Weights.end(), int64_t(0));
+  }
+  SGPU_UNREACHABLE("unknown node kind");
+}
+
+int64_t GraphNode::totalPushPerFiring() const {
+  switch (Kind) {
+  case NodeKind::Filter:
+    return TheFilter->pushRate();
+  case NodeKind::Splitter:
+    if (SplitKind == SplitterKind::Duplicate)
+      return static_cast<int64_t>(Weights.size());
+    return std::accumulate(Weights.begin(), Weights.end(), int64_t(0));
+  case NodeKind::Joiner:
+    return std::accumulate(Weights.begin(), Weights.end(), int64_t(0));
+  }
+  SGPU_UNREACHABLE("unknown node kind");
+}
+
+int StreamGraph::addFilterNode(FilterPtr F, const std::string &NameSuffix) {
+  assert(F && "null filter");
+  GraphNode N;
+  N.Id = static_cast<int>(Nodes.size());
+  N.Kind = NodeKind::Filter;
+  N.Name = F->name() + NameSuffix;
+  N.TheFilter = std::move(F);
+  Nodes.push_back(std::move(N));
+  return Nodes.back().Id;
+}
+
+int StreamGraph::addSplitter(SplitterKind Kind, std::vector<int64_t> Weights,
+                             TokenType Ty, const std::string &Name) {
+  assert(!Weights.empty() && "splitter with no outputs");
+  GraphNode N;
+  N.Id = static_cast<int>(Nodes.size());
+  N.Kind = NodeKind::Splitter;
+  N.Name = Name;
+  N.SplitKind = Kind;
+  N.Weights = std::move(Weights);
+  N.Ty = Ty;
+  Nodes.push_back(std::move(N));
+  return Nodes.back().Id;
+}
+
+int StreamGraph::addJoiner(std::vector<int64_t> Weights, TokenType Ty,
+                           const std::string &Name) {
+  assert(!Weights.empty() && "joiner with no inputs");
+  GraphNode N;
+  N.Id = static_cast<int>(Nodes.size());
+  N.Kind = NodeKind::Joiner;
+  N.Name = Name;
+  N.Weights = std::move(Weights);
+  N.Ty = Ty;
+  Nodes.push_back(std::move(N));
+  return Nodes.back().Id;
+}
+
+int64_t StreamGraph::prodRateFor(const GraphNode &N, int Port) const {
+  switch (N.Kind) {
+  case NodeKind::Filter:
+    assert(Port == 0 && "filters have one output port");
+    return N.TheFilter->pushRate();
+  case NodeKind::Splitter:
+    assert(Port < static_cast<int>(N.Weights.size()) &&
+           "splitter port out of range");
+    return N.SplitKind == SplitterKind::Duplicate ? 1 : N.Weights[Port];
+  case NodeKind::Joiner:
+    assert(Port == 0 && "joiners have one output port");
+    return std::accumulate(N.Weights.begin(), N.Weights.end(), int64_t(0));
+  }
+  SGPU_UNREACHABLE("unknown node kind");
+}
+
+int64_t StreamGraph::consRateFor(const GraphNode &N, int Port) const {
+  switch (N.Kind) {
+  case NodeKind::Filter:
+    assert(Port == 0 && "filters have one input port");
+    return N.TheFilter->popRate();
+  case NodeKind::Splitter:
+    assert(Port == 0 && "splitters have one input port");
+    return N.SplitKind == SplitterKind::Duplicate
+               ? 1
+               : std::accumulate(N.Weights.begin(), N.Weights.end(),
+                                 int64_t(0));
+  case NodeKind::Joiner:
+    assert(Port < static_cast<int>(N.Weights.size()) &&
+           "joiner port out of range");
+    return N.Weights[Port];
+  }
+  SGPU_UNREACHABLE("unknown node kind");
+}
+
+int64_t StreamGraph::peekRateFor(const GraphNode &N, int Port) const {
+  if (N.Kind == NodeKind::Filter) {
+    assert(Port == 0 && "filters have one input port");
+    return N.TheFilter->peekRate();
+  }
+  return consRateFor(N, Port);
+}
+
+TokenType StreamGraph::outTypeFor(const GraphNode &N) const {
+  return N.Kind == NodeKind::Filter ? N.TheFilter->outputType() : N.Ty;
+}
+
+TokenType StreamGraph::inTypeFor(const GraphNode &N) const {
+  return N.Kind == NodeKind::Filter ? N.TheFilter->inputType() : N.Ty;
+}
+
+/// Returns the first slot holding -1, growing the vector by one if full.
+static int claimFreePort(std::vector<int> &Ports) {
+  for (size_t I = 0; I < Ports.size(); ++I)
+    if (Ports[I] == -1)
+      return static_cast<int>(I);
+  Ports.push_back(-1);
+  return static_cast<int>(Ports.size()) - 1;
+}
+
+/// Grows \p Ports so that \p Port is addressable, padding with -1.
+static void reservePort(std::vector<int> &Ports, int Port) {
+  if (Port >= static_cast<int>(Ports.size()))
+    Ports.resize(Port + 1, -1);
+  assert(Ports[Port] == -1 && "port already connected");
+}
+
+int StreamGraph::addEdge(int Src, int Dst, int64_t InitTokens) {
+  assert(Src >= 0 && Src < numNodes() && "bad source node id");
+  assert(Dst >= 0 && Dst < numNodes() && "bad destination node id");
+  int SrcPort = claimFreePort(Nodes[Src].OutEdges);
+  int DstPort = claimFreePort(Nodes[Dst].InEdges);
+  // Undo the claims; addEdgeAt re-reserves them.
+  Nodes[Src].OutEdges[SrcPort] = -1;
+  Nodes[Dst].InEdges[DstPort] = -1;
+  return addEdgeAt(Src, SrcPort, Dst, DstPort, InitTokens);
+}
+
+int StreamGraph::addEdgeAt(int Src, int SrcPort, int Dst, int DstPort,
+                           int64_t InitTokens) {
+  assert(Src >= 0 && Src < numNodes() && "bad source node id");
+  assert(Dst >= 0 && Dst < numNodes() && "bad destination node id");
+  GraphNode &S = Nodes[Src];
+  GraphNode &D = Nodes[Dst];
+  reservePort(S.OutEdges, SrcPort);
+  reservePort(D.InEdges, DstPort);
+
+  ChannelEdge E;
+  E.Id = static_cast<int>(Edges.size());
+  E.Src = Src;
+  E.Dst = Dst;
+  E.Ty = outTypeFor(S);
+  assert(E.Ty == inTypeFor(D) && "channel type mismatch between endpoints");
+  E.ProdRate = prodRateFor(S, SrcPort);
+  E.ConsRate = consRateFor(D, DstPort);
+  E.PeekRate = peekRateFor(D, DstPort);
+  E.InitTokens = InitTokens;
+  assert(E.ProdRate > 0 && "producer pushes nothing onto this edge");
+  assert(E.ConsRate > 0 && "consumer pops nothing from this edge");
+
+  S.OutEdges[SrcPort] = E.Id;
+  D.InEdges[DstPort] = E.Id;
+  Edges.push_back(E);
+  return E.Id;
+}
+
+std::vector<int> StreamGraph::sourceNodes() const {
+  std::vector<int> Out;
+  for (const GraphNode &N : Nodes)
+    if (N.InEdges.empty())
+      Out.push_back(N.Id);
+  return Out;
+}
+
+std::vector<int> StreamGraph::sinkNodes() const {
+  std::vector<int> Out;
+  for (const GraphNode &N : Nodes)
+    if (N.OutEdges.empty())
+      Out.push_back(N.Id);
+  return Out;
+}
+
+int StreamGraph::numFilterNodes() const {
+  int Count = 0;
+  for (const GraphNode &N : Nodes)
+    if (N.isFilter())
+      ++Count;
+  return Count;
+}
+
+bool StreamGraph::hasStatefulFilter() const {
+  for (const GraphNode &N : Nodes)
+    if (N.isFilter() && N.TheFilter->isStateful())
+      return true;
+  return false;
+}
+
+int StreamGraph::numPeekingFilters() const {
+  int Count = 0;
+  for (const GraphNode &N : Nodes)
+    if (N.isFilter() && N.TheFilter->isPeeking())
+      ++Count;
+  return Count;
+}
+
+std::optional<std::string> StreamGraph::validate() const {
+  for (const GraphNode &N : Nodes) {
+    switch (N.Kind) {
+    case NodeKind::Filter: {
+      const Filter &F = *N.TheFilter;
+      // The entry (exit) node's input (output) is the external program
+      // buffer, not a channel edge.
+      size_t WantIn = F.popRate() > 0 && N.Id != EntryNode ? 1 : 0;
+      size_t WantOut = F.pushRate() > 0 && N.Id != ExitNode ? 1 : 0;
+      if (N.InEdges.size() != WantIn)
+        return "filter '" + N.Name + "' has wrong input arity";
+      if (N.OutEdges.size() != WantOut)
+        return "filter '" + N.Name + "' has wrong output arity";
+      break;
+    }
+    case NodeKind::Splitter:
+      if (N.InEdges.size() != 1)
+        return "splitter '" + N.Name + "' must have exactly one input";
+      if (N.OutEdges.size() != N.Weights.size())
+        return "splitter '" + N.Name + "' output arity mismatch";
+      break;
+    case NodeKind::Joiner:
+      if (N.OutEdges.size() != 1)
+        return "joiner '" + N.Name + "' must have exactly one output";
+      if (N.InEdges.size() != N.Weights.size())
+        return "joiner '" + N.Name + "' input arity mismatch";
+      break;
+    }
+    if (N.InEdges.empty() && N.OutEdges.empty() && Nodes.size() > 1)
+      return "node '" + N.Name + "' is disconnected";
+    for (int EId : N.InEdges)
+      if (EId < 0)
+        return "node '" + N.Name + "' has an unconnected input port";
+    for (int EId : N.OutEdges)
+      if (EId < 0)
+        return "node '" + N.Name + "' has an unconnected output port";
+  }
+  for (const ChannelEdge &E : Edges) {
+    if (E.PeekRate < E.ConsRate)
+      return "edge " + std::to_string(E.Id) + " peeks less than it pops";
+    if (E.InitTokens < 0)
+      return "edge " + std::to_string(E.Id) + " has negative initial tokens";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<int>> StreamGraph::topologicalOrder() const {
+  // Kahn's algorithm. An edge is a dependence unless its initial tokens
+  // already satisfy the consumer's first firing (a loop-breaking delay).
+  auto IsDependence = [&](const ChannelEdge &E) {
+    return E.InitTokens < E.PeekRate;
+  };
+
+  std::vector<int> InDegree(Nodes.size(), 0);
+  for (const ChannelEdge &E : Edges)
+    if (IsDependence(E))
+      ++InDegree[E.Dst];
+
+  std::vector<int> Work;
+  for (const GraphNode &N : Nodes)
+    if (InDegree[N.Id] == 0)
+      Work.push_back(N.Id);
+
+  std::vector<int> Order;
+  Order.reserve(Nodes.size());
+  for (size_t I = 0; I < Work.size(); ++I) {
+    int Id = Work[I];
+    Order.push_back(Id);
+    for (int EId : Nodes[Id].OutEdges) {
+      const ChannelEdge &E = Edges[EId];
+      if (IsDependence(E) && --InDegree[E.Dst] == 0)
+        Work.push_back(E.Dst);
+    }
+  }
+  if (Order.size() != Nodes.size())
+    return std::nullopt;
+  return Order;
+}
+
+std::string StreamGraph::toDot(const std::string &Name) const {
+  DotWriter W(Name);
+  for (const GraphNode &N : Nodes) {
+    std::ostringstream Label;
+    Label << N.Name;
+    if (N.isFilter())
+      Label << "\\npop " << N.TheFilter->popRate() << " push "
+            << N.TheFilter->pushRate();
+    const char *Shape = N.isFilter() ? "box" : "diamond";
+    W.addNode(N.Id, Label.str(), std::string("shape=") + Shape);
+  }
+  for (const ChannelEdge &E : Edges) {
+    std::ostringstream Label;
+    Label << E.ProdRate << ":" << E.ConsRate;
+    if (E.InitTokens > 0)
+      Label << " (+" << E.InitTokens << ")";
+    W.addEdge(E.Src, E.Dst, Label.str());
+  }
+  return W.str();
+}

@@ -1,0 +1,177 @@
+//===- ir/StreamGraph.h - Flattened stream graph ----------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flattened multirate stream graph: nodes (filters, splitters,
+/// joiners) connected by FIFO channel edges carrying the SDF rates the
+/// paper's ILP formulation consumes — I_uv, O_uv and the initial token
+/// counts m_uv of Section III-A. Splitters and joiners are explicit nodes
+/// (as in StreamIt's flattening [6]); they move data without computing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_IR_STREAMGRAPH_H
+#define SGPU_IR_STREAMGRAPH_H
+
+#include "ir/Filter.h"
+#include "ir/Stream.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sgpu {
+
+/// Kinds of flattened graph nodes.
+enum class NodeKind : uint8_t { Filter, Splitter, Joiner };
+
+/// A FIFO channel between two node ports.
+struct ChannelEdge {
+  int Id = -1;
+  int Src = -1; ///< Producer node id.
+  int Dst = -1; ///< Consumer node id.
+  TokenType Ty = TokenType::Float;
+  int64_t ProdRate = 0;   ///< O_uv: tokens produced per firing of Src.
+  int64_t ConsRate = 0;   ///< I_uv: tokens consumed per firing of Dst.
+  int64_t PeekRate = 0;   ///< Peek depth of Dst on this edge; >= ConsRate.
+  int64_t InitTokens = 0; ///< m_uv: tokens initially present on the edge.
+};
+
+/// One flattened node. Filter nodes reference a (possibly shared) filter
+/// definition; splitter/joiner nodes carry their kind and weights.
+struct GraphNode {
+  int Id = -1;
+  NodeKind Kind = NodeKind::Filter;
+  std::string Name;
+
+  /// Filter nodes only.
+  FilterPtr TheFilter;
+
+  /// Splitter/joiner nodes only.
+  SplitterKind SplitKind = SplitterKind::RoundRobin;
+  std::vector<int64_t> Weights;
+  TokenType Ty = TokenType::Float; ///< Token type moved by splitter/joiner.
+
+  /// Edge ids in port order.
+  std::vector<int> InEdges;
+  std::vector<int> OutEdges;
+
+  bool isFilter() const { return Kind == NodeKind::Filter; }
+  bool isSplitter() const { return Kind == NodeKind::Splitter; }
+  bool isJoiner() const { return Kind == NodeKind::Joiner; }
+
+  /// Total tokens consumed per firing (all input ports).
+  int64_t totalPopPerFiring() const;
+  /// Total tokens produced per firing (all output ports).
+  int64_t totalPushPerFiring() const;
+};
+
+/// The flattened stream graph. Nodes and edges are stored densely and
+/// addressed by id; ids are stable once created.
+class StreamGraph {
+public:
+  /// Adds a filter node; in/out edges are attached later via addEdge.
+  int addFilterNode(FilterPtr F, const std::string &NameSuffix = "");
+
+  /// Adds a splitter node moving tokens of type \p Ty.
+  int addSplitter(SplitterKind Kind, std::vector<int64_t> Weights,
+                  TokenType Ty, const std::string &Name);
+
+  /// Adds a round-robin joiner node moving tokens of type \p Ty.
+  int addJoiner(std::vector<int64_t> Weights, TokenType Ty,
+                const std::string &Name);
+
+  /// Connects \p Src's first free output port to \p Dst's first free input
+  /// port and derives the edge rates from the endpoint node definitions.
+  /// Returns the edge id.
+  int addEdge(int Src, int Dst, int64_t InitTokens = 0);
+
+  /// Like addEdge, but pins the ports. Needed when an inner construct must
+  /// occupy a later port before the outer construct fills an earlier one
+  /// (the feedback-loop joiner's loop input is port 1, its external input
+  /// port 0 is connected by the parent afterwards).
+  int addEdgeAt(int Src, int SrcPort, int Dst, int DstPort,
+                int64_t InitTokens = 0);
+
+  const std::vector<GraphNode> &nodes() const { return Nodes; }
+  const std::vector<ChannelEdge> &edges() const { return Edges; }
+  const GraphNode &node(int Id) const {
+    assert(Id >= 0 && Id < static_cast<int>(Nodes.size()));
+    return Nodes[Id];
+  }
+  const ChannelEdge &edge(int Id) const {
+    assert(Id >= 0 && Id < static_cast<int>(Edges.size()));
+    return Edges[Id];
+  }
+
+  int numNodes() const { return static_cast<int>(Nodes.size()); }
+  int numEdges() const { return static_cast<int>(Edges.size()); }
+
+  /// External program I/O: the entry node pops from the program input
+  /// buffer (the buffer the paper's Eq. 9 shuffle is applied to) and the
+  /// exit node pushes to the program output buffer. Either may be -1 when
+  /// the graph starts with a pure source / ends with a pure sink filter.
+  void setExternalPorts(int Entry, int Exit) {
+    EntryNode = Entry;
+    ExitNode = Exit;
+  }
+  int entryNode() const { return EntryNode; }
+  int exitNode() const { return ExitNode; }
+
+  /// Node ids with no input edges (sources) / no output edges (sinks).
+  std::vector<int> sourceNodes() const;
+  std::vector<int> sinkNodes() const;
+
+  /// Number of filter nodes (Table I "Filters" column counts these plus
+  /// splitters and joiners, matching StreamIt's flattened node count).
+  int numFilterNodes() const;
+  /// Number of filter nodes whose peek depth exceeds their pop rate.
+  int numPeekingFilters() const;
+
+  /// Checks structural invariants: port arities match node definitions,
+  /// edge types line up, every node is connected. Returns an error
+  /// message, or std::nullopt when the graph is valid.
+  std::optional<std::string> validate() const;
+
+  /// Topological order ignoring back edges that carry enough initial
+  /// tokens to break the cycle. Returns std::nullopt when a token-free
+  /// cycle exists (an unschedulable graph).
+  std::optional<std::vector<int>> topologicalOrder() const;
+
+  /// Returns true when the graph contains a stateful filter. The GPU
+  /// compiler rejects such graphs (the paper considers only stateless
+  /// filters; Section VII lists stateful handling as future work), but
+  /// the interpreters execute them.
+  bool hasStatefulFilter() const;
+
+  /// DOT rendering of the graph (nodes labelled with rates).
+  std::string toDot(const std::string &Name = "stream") const;
+
+private:
+  /// Expected production rate of node \p N on output port \p Port.
+  int64_t prodRateFor(const GraphNode &N, int Port) const;
+  /// Expected consumption rate of node \p N on input port \p Port.
+  int64_t consRateFor(const GraphNode &N, int Port) const;
+  /// Peek depth of node \p N on input port \p Port.
+  int64_t peekRateFor(const GraphNode &N, int Port) const;
+  /// Token type on the given port.
+  TokenType outTypeFor(const GraphNode &N) const;
+  TokenType inTypeFor(const GraphNode &N) const;
+
+  std::vector<GraphNode> Nodes;
+  std::vector<ChannelEdge> Edges;
+  int EntryNode = -1;
+  int ExitNode = -1;
+};
+
+/// Flattens a hierarchical stream into a StreamGraph (paper Section I,
+/// citing [6]). Asserts that the hierarchy is well formed.
+StreamGraph flatten(const Stream &Root);
+
+} // namespace sgpu
+
+#endif // SGPU_IR_STREAMGRAPH_H

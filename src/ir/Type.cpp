@@ -1,0 +1,28 @@
+//===- ir/Type.cpp - Token types and scalar runtime values ----------------===//
+
+#include "ir/Type.h"
+
+#include "support/Check.h"
+
+#include <cstdio>
+
+using namespace sgpu;
+
+const char *sgpu::tokenTypeName(TokenType Ty) {
+  switch (Ty) {
+  case TokenType::Int:
+    return "int";
+  case TokenType::Float:
+    return "float";
+  }
+  SGPU_UNREACHABLE("unknown token type");
+}
+
+std::string Scalar::str() const {
+  char Buf[48];
+  if (Ty == TokenType::Int)
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(I));
+  else
+    std::snprintf(Buf, sizeof(Buf), "%g", F);
+  return Buf;
+}

@@ -1,0 +1,86 @@
+//===- ir/Type.h - Token types and scalar runtime values -------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token types carried on StreamIt FIFO channels and the tagged scalar used
+/// by the interpreter. The paper's benchmarks use int (Bitonic, DES) and
+/// float (DCT, FFT, Filterbank, FMRadio, MatrixMult) tokens; both are four
+/// bytes wide on the GPU, which is what the buffer-size math (Table II)
+/// depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_IR_TYPE_H
+#define SGPU_IR_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace sgpu {
+
+/// A channel token / expression type.
+enum class TokenType : uint8_t {
+  Int,  ///< 32-bit integer on the device; int64 in the interpreter.
+  Float ///< 32-bit float on the device; double in the interpreter.
+};
+
+/// Returns the CUDA C spelling of \p Ty ("int" or "float").
+const char *tokenTypeName(TokenType Ty);
+
+/// Size in bytes of a token of type \p Ty in device memory.
+constexpr int64_t tokenSizeBytes(TokenType) { return 4; }
+
+/// A tagged scalar value as manipulated by the interpreter.
+struct Scalar {
+  TokenType Ty = TokenType::Int;
+  union {
+    int64_t I;
+    double F;
+  };
+
+  Scalar() : I(0) {}
+
+  static Scalar makeInt(int64_t V) {
+    Scalar S;
+    S.Ty = TokenType::Int;
+    S.I = V;
+    return S;
+  }
+
+  static Scalar makeFloat(double V) {
+    Scalar S;
+    S.Ty = TokenType::Float;
+    S.F = V;
+    return S;
+  }
+
+  int64_t asInt() const {
+    assert(Ty == TokenType::Int && "scalar is not an int");
+    return I;
+  }
+
+  double asFloat() const {
+    assert(Ty == TokenType::Float && "scalar is not a float");
+    return F;
+  }
+
+  /// Numeric value as double regardless of tag (for diagnostics).
+  double numeric() const { return Ty == TokenType::Int ? double(I) : F; }
+
+  bool operator==(const Scalar &RHS) const {
+    if (Ty != RHS.Ty)
+      return false;
+    return Ty == TokenType::Int ? I == RHS.I : F == RHS.F;
+  }
+
+  std::string str() const;
+};
+
+} // namespace sgpu
+
+#endif // SGPU_IR_TYPE_H

@@ -1,0 +1,61 @@
+//===- layout/AccessAnalyzer.cpp - Coalescing & bank conflicts --------------===//
+
+#include "layout/AccessAnalyzer.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+using namespace sgpu;
+
+int sgpu::countHalfWarpTransactions(const std::vector<int64_t> &Addrs) {
+  assert(!Addrs.empty() &&
+         static_cast<int>(Addrs.size()) <= HalfWarpSize &&
+         "a half-warp has 1..16 lanes");
+  bool Coalesced = Addrs[0] % HalfWarpSize == 0;
+  for (size_t I = 1; Coalesced && I < Addrs.size(); ++I)
+    Coalesced = Addrs[I] == Addrs[0] + static_cast<int64_t>(I);
+  if (Coalesced)
+    return 1;
+  // G80 issues one transaction per lane when the pattern breaks.
+  return static_cast<int>(Addrs.size());
+}
+
+int sgpu::sharedMemoryConflictDegree(const std::vector<int64_t> &Addrs) {
+  assert(!Addrs.empty() &&
+         static_cast<int>(Addrs.size()) <= HalfWarpSize &&
+         "a half-warp has 1..16 lanes");
+  // Broadcast: all lanes read the very same word.
+  if (std::all_of(Addrs.begin(), Addrs.end(),
+                  [&](int64_t A) { return A == Addrs[0]; }))
+    return 1;
+  std::array<int, SharedMemoryBanks> Hits{};
+  for (int64_t A : Addrs)
+    ++Hits[static_cast<int>(((A % SharedMemoryBanks) + SharedMemoryBanks) %
+                            SharedMemoryBanks)];
+  return *std::max_element(Hits.begin(), Hits.end());
+}
+
+AccessSummary sgpu::analyzeStridedAccess(LayoutKind Kind, int64_t NumThreads,
+                                         int64_t Rate, int64_t KeyRate) {
+  assert(NumThreads > 0 && Rate > 0 && KeyRate > 0 && "bad parameters");
+  AccessSummary S;
+  std::vector<int64_t> Addrs;
+  Addrs.reserve(HalfWarpSize);
+  for (int64_t Base = 0; Base < NumThreads; Base += HalfWarpSize) {
+    int64_t Lanes = std::min<int64_t>(HalfWarpSize, NumThreads - Base);
+    // All lanes execute the same instruction: the n-th pop happens
+    // simultaneously across the half-warp.
+    for (int64_t N = 0; N < Rate; ++N) {
+      Addrs.clear();
+      for (int64_t Lane = 0; Lane < Lanes; ++Lane) {
+        int64_t Q = naturalIndex(Base + Lane, N, Rate);
+        Addrs.push_back(layoutPosition(Kind, Q, KeyRate));
+      }
+      ++S.HalfWarps;
+      S.Accesses += Lanes;
+      S.Transactions += countHalfWarpTransactions(Addrs);
+    }
+  }
+  return S;
+}

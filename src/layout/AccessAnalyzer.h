@@ -1,0 +1,68 @@
+//===- layout/AccessAnalyzer.h - Coalescing & bank conflicts ----*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counts device-memory transactions and shared-memory bank conflicts for
+/// the simultaneous accesses of a half-warp, under the GeForce 8800 rules
+/// the paper states in Section II-A: thread N of a warp must access
+/// WarpBaseAddress + N (with the base bank-aligned) for the accesses to
+/// coalesce into a single transaction; otherwise they serialize.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_LAYOUT_ACCESSANALYZER_H
+#define SGPU_LAYOUT_ACCESSANALYZER_H
+
+#include "layout/BufferLayout.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sgpu {
+
+/// Half-warp width on G80-class hardware (coalescing granularity).
+inline constexpr int HalfWarpSize = 16;
+/// Shared-memory banks on G80.
+inline constexpr int SharedMemoryBanks = 16;
+
+/// Number of device-memory transactions needed by one half-warp whose
+/// lane i accesses element address \p Addrs[i] (word granularity).
+/// Returns 1 when the accesses are perfectly coalesced (Addrs[i] ==
+/// Addrs[0] + i and the base is 16-word aligned); otherwise each lane's
+/// access is issued separately (G80 has no partial coalescing).
+int countHalfWarpTransactions(const std::vector<int64_t> &Addrs);
+
+/// Shared-memory conflict degree of one half-warp: the maximum number of
+/// lanes hitting the same bank (1 = conflict free). Broadcasts (all lanes
+/// on one address) count as 1, matching hardware.
+int sharedMemoryConflictDegree(const std::vector<int64_t> &Addrs);
+
+/// Summary of one filter's per-firing channel traffic for a whole block
+/// of threads under a given layout.
+struct AccessSummary {
+  int64_t HalfWarps = 0;     ///< Half-warps analyzed.
+  int64_t Accesses = 0;      ///< Total element accesses.
+  int64_t Transactions = 0;  ///< Device-memory transactions issued.
+  double transactionsPerAccess() const {
+    return Accesses == 0 ? 0.0
+                         : static_cast<double>(Transactions) /
+                               static_cast<double>(Accesses);
+  }
+};
+
+/// Analyzes the read traffic of a filter whose threads each pop
+/// \p Rate tokens (thread \p Tid's n-th pop sits at layoutPosition(Kind,
+/// naturalIndex(Tid, n, Rate), KeyRate)), for \p NumThreads threads.
+/// \p KeyRate is the rate the shuffled layout is keyed with (the
+/// consumer's rate for reads; may differ from \p Rate on the producer
+/// side of a rate-mismatched edge).
+AccessSummary analyzeStridedAccess(LayoutKind Kind, int64_t NumThreads,
+                                   int64_t Rate, int64_t KeyRate);
+
+} // namespace sgpu
+
+#endif // SGPU_LAYOUT_ACCESSANALYZER_H

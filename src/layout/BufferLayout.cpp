@@ -1,0 +1,6 @@
+//===- layout/BufferLayout.cpp - Channel buffer layouts ---------------------===//
+
+#include "layout/BufferLayout.h"
+
+// All layout math is constexpr in the header; this file anchors the
+// translation unit and hosts nothing else.

@@ -1,0 +1,111 @@
+//===- layout/BufferLayout.h - Channel buffer layouts -----------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's buffer layout optimization (Section IV-D). A channel
+/// buffer holds one steady state's tokens in "natural" FIFO order q =
+/// thread*rate + n under the Sequential layout (Figure 8), which makes
+/// simultaneous accesses by a half-warp hit the same banks and serialize.
+/// The Shuffled layout groups threads into clusters of 128 (the gcd of
+/// the considered block sizes) and stores each thread's n-th token at
+///
+///   pos = 128*n + floor(tid/128)*128*rate + (tid mod 128)     (Eq. 10/11)
+///
+/// so every warp accesses WarpBaseAddress + laneId — fully coalesced.
+/// A buffer's layout is keyed to its consumer's pop rate (the paper's
+/// Figure 9 lays the A->B buffer out so that "the first 128 elements ...
+/// contain the first popped elements for each of the 128 threads"); the
+/// producer's push() computes positions through the same permutation, per
+/// the paper's remark that push()/pop() are modified to keep interior
+/// buffers consistent. Only the program's first input buffer is shuffled
+/// physically (Eq. 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_LAYOUT_BUFFERLAYOUT_H
+#define SGPU_LAYOUT_BUFFERLAYOUT_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace sgpu {
+
+/// Thread cluster size: gcd of the candidate block sizes
+/// {128, 256, 384, 512} (paper Section IV-D).
+inline constexpr int64_t ThreadClusterSize = 128;
+
+/// Available channel-buffer layouts.
+enum class LayoutKind : uint8_t {
+  Sequential, ///< Natural FIFO order (Figure 8; the SWPNC scheme).
+  Shuffled    ///< 128-thread cluster shuffle (Figure 9; the SWP scheme).
+};
+
+/// Natural FIFO index of the \p N-th token of thread \p Tid at \p Rate
+/// tokens per thread: q = Tid*Rate + N.
+constexpr int64_t naturalIndex(int64_t Tid, int64_t N, int64_t Rate) {
+  return Tid * Rate + N;
+}
+
+/// Eq. 10/11: buffer position of the \p N-th pop/push of thread \p Tid
+/// under the shuffled layout keyed at \p Rate tokens per thread.
+constexpr int64_t shuffledIndex(int64_t Tid, int64_t N, int64_t Rate) {
+  return ThreadClusterSize * N +
+         (Tid / ThreadClusterSize) * ThreadClusterSize * Rate +
+         (Tid % ThreadClusterSize);
+}
+
+/// The per-edge cluster-shuffle permutation: position of natural index
+/// \p Q in a buffer keyed at \p Rate tokens per thread. Equals
+/// shuffledIndex(Q / Rate, Q % Rate, Rate).
+constexpr int64_t shuffledPosition(int64_t Q, int64_t Rate) {
+  return shuffledIndex(Q / Rate, Q % Rate, Rate);
+}
+
+/// Inverse permutation: natural index stored at position \p Pos.
+constexpr int64_t naturalFromShuffled(int64_t Pos, int64_t Rate) {
+  int64_t Block = Pos / (ThreadClusterSize * Rate);
+  int64_t Within = Pos % (ThreadClusterSize * Rate);
+  int64_t N = Within / ThreadClusterSize;
+  int64_t Lane = Within % ThreadClusterSize;
+  return (Block * ThreadClusterSize + Lane) * Rate + N;
+}
+
+/// Position of token \p Q under \p Kind at \p Rate.
+constexpr int64_t layoutPosition(LayoutKind Kind, int64_t Q, int64_t Rate) {
+  return Kind == LayoutKind::Sequential ? Q : shuffledPosition(Q, Rate);
+}
+
+/// Applies Eq. 9 to a host-side input buffer: returns the shuffled buffer
+/// S with S[shuffledPosition(q)] = In[q]. The input size must be a
+/// multiple of 128*Rate (whole clusters).
+template <typename T>
+std::vector<T> shuffleInputBuffer(const std::vector<T> &In, int64_t Rate) {
+  assert(Rate > 0 && "layout rate must be positive");
+  assert(static_cast<int64_t>(In.size()) % (ThreadClusterSize * Rate) == 0 &&
+         "input must cover whole 128-thread clusters");
+  std::vector<T> Out(In.size());
+  for (int64_t Q = 0; Q < static_cast<int64_t>(In.size()); ++Q)
+    Out[shuffledPosition(Q, Rate)] = In[Q];
+  return Out;
+}
+
+/// Inverse of shuffleInputBuffer (used to read back program output).
+template <typename T>
+std::vector<T> unshuffleOutputBuffer(const std::vector<T> &In, int64_t Rate) {
+  assert(Rate > 0 && "layout rate must be positive");
+  assert(static_cast<int64_t>(In.size()) % (ThreadClusterSize * Rate) == 0 &&
+         "output must cover whole 128-thread clusters");
+  std::vector<T> Out(In.size());
+  for (int64_t Pos = 0; Pos < static_cast<int64_t>(In.size()); ++Pos)
+    Out[naturalFromShuffled(Pos, Rate)] = In[Pos];
+  return Out;
+}
+
+} // namespace sgpu
+
+#endif // SGPU_LAYOUT_BUFFERLAYOUT_H

@@ -1,0 +1,212 @@
+//===- parser/Lexer.cpp - StreamIt-like DSL lexer ----------------------------===//
+
+#include "parser/Lexer.h"
+
+#include "support/Check.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace sgpu;
+
+namespace {
+
+bool isIdentStart(char C) { return std::isalpha(C) || C == '_'; }
+bool isIdentChar(char C) { return std::isalnum(C) || C == '_'; }
+
+} // namespace
+
+std::vector<Token> sgpu::lexStreamProgram(std::string_view Source) {
+  std::vector<Token> Out;
+  size_t I = 0;
+  int Line = 1;
+  size_t N = Source.size();
+
+  auto Push = [&](TokKind K, size_t Begin, size_t Len) {
+    Token T;
+    T.Kind = K;
+    T.Text = Source.substr(Begin, Len);
+    T.Line = Line;
+    Out.push_back(T);
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    // Whitespace and newlines.
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Comments: // to end of line, /* */ blocks.
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Source[I + 1] == '*') {
+      I += 2;
+      while (I + 1 < N && !(Source[I] == '*' && Source[I + 1] == '/')) {
+        if (Source[I] == '\n')
+          ++Line;
+        ++I;
+      }
+      I = I + 2 <= N ? I + 2 : N;
+      continue;
+    }
+    // Identifiers / keywords.
+    if (isIdentStart(C)) {
+      size_t Begin = I;
+      while (I < N && isIdentChar(Source[I]))
+        ++I;
+      Push(TokKind::Identifier, Begin, I - Begin);
+      continue;
+    }
+    // Numbers: 123, 1.5, .5 is not supported; "0..8" must lex as
+    // Int DotDot Int, so a '.' followed by '.' ends the number.
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Begin = I;
+      bool IsFloat = false;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Source[I])))
+        ++I;
+      if (I < N && Source[I] == '.' &&
+          !(I + 1 < N && Source[I + 1] == '.')) {
+        IsFloat = true;
+        ++I;
+        while (I < N &&
+               std::isdigit(static_cast<unsigned char>(Source[I])))
+          ++I;
+      }
+      if (I < N && (Source[I] == 'e' || Source[I] == 'E')) {
+        IsFloat = true;
+        ++I;
+        if (I < N && (Source[I] == '+' || Source[I] == '-'))
+          ++I;
+        while (I < N &&
+               std::isdigit(static_cast<unsigned char>(Source[I])))
+          ++I;
+      }
+      std::string Text(Source.substr(Begin, I - Begin));
+      Token T;
+      T.Kind = IsFloat ? TokKind::FloatLiteral : TokKind::IntLiteral;
+      T.Text = Source.substr(Begin, I - Begin);
+      T.Line = Line;
+      if (IsFloat)
+        T.FloatValue = std::strtod(Text.c_str(), nullptr);
+      else
+        T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+      Out.push_back(T);
+      continue;
+    }
+
+    // Multi-character punctuation first.
+    auto Two = [&](char A, char B) {
+      return C == A && I + 1 < N && Source[I + 1] == B;
+    };
+    struct Multi {
+      char A, B;
+      TokKind K;
+    };
+    static constexpr Multi Multis[] = {
+        {'-', '>', TokKind::Arrow}, {'.', '.', TokKind::DotDot},
+        {'<', '<', TokKind::Shl},   {'>', '>', TokKind::Shr},
+        {'<', '=', TokKind::Le},    {'>', '=', TokKind::Ge},
+        {'=', '=', TokKind::EqEq},  {'!', '=', TokKind::Ne},
+        {'&', '&', TokKind::AndAnd}, {'|', '|', TokKind::OrOr},
+    };
+    bool Matched = false;
+    for (const Multi &M : Multis) {
+      if (Two(M.A, M.B)) {
+        Push(M.K, I, 2);
+        I += 2;
+        Matched = true;
+        break;
+      }
+    }
+    if (Matched)
+      continue;
+
+    TokKind K;
+    switch (C) {
+    case '{': K = TokKind::LBrace; break;
+    case '}': K = TokKind::RBrace; break;
+    case '(': K = TokKind::LParen; break;
+    case ')': K = TokKind::RParen; break;
+    case '[': K = TokKind::LBracket; break;
+    case ']': K = TokKind::RBracket; break;
+    case ',': K = TokKind::Comma; break;
+    case ';': K = TokKind::Semicolon; break;
+    case '=': K = TokKind::Assign; break;
+    case '+': K = TokKind::Plus; break;
+    case '-': K = TokKind::Minus; break;
+    case '*': K = TokKind::Star; break;
+    case '/': K = TokKind::Slash; break;
+    case '%': K = TokKind::Percent; break;
+    case '&': K = TokKind::Amp; break;
+    case '|': K = TokKind::Pipe; break;
+    case '^': K = TokKind::Caret; break;
+    case '~': K = TokKind::Tilde; break;
+    case '<': K = TokKind::Lt; break;
+    case '>': K = TokKind::Gt; break;
+    case '!': K = TokKind::Not; break;
+    default:
+      Push(TokKind::Error, I, 1);
+      ++I;
+      continue;
+    }
+    Push(K, I, 1);
+    ++I;
+  }
+
+  Token Eof;
+  Eof.Kind = TokKind::Eof;
+  Eof.Line = Line;
+  Out.push_back(Eof);
+  return Out;
+}
+
+const char *sgpu::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Identifier: return "identifier";
+  case TokKind::IntLiteral: return "integer literal";
+  case TokKind::FloatLiteral: return "float literal";
+  case TokKind::LBrace: return "'{'";
+  case TokKind::RBrace: return "'}'";
+  case TokKind::LParen: return "'('";
+  case TokKind::RParen: return "')'";
+  case TokKind::LBracket: return "'['";
+  case TokKind::RBracket: return "']'";
+  case TokKind::Comma: return "','";
+  case TokKind::Semicolon: return "';'";
+  case TokKind::Arrow: return "'->'";
+  case TokKind::DotDot: return "'..'";
+  case TokKind::Assign: return "'='";
+  case TokKind::Plus: return "'+'";
+  case TokKind::Minus: return "'-'";
+  case TokKind::Star: return "'*'";
+  case TokKind::Slash: return "'/'";
+  case TokKind::Percent: return "'%'";
+  case TokKind::Amp: return "'&'";
+  case TokKind::Pipe: return "'|'";
+  case TokKind::Caret: return "'^'";
+  case TokKind::Tilde: return "'~'";
+  case TokKind::Shl: return "'<<'";
+  case TokKind::Shr: return "'>>'";
+  case TokKind::Lt: return "'<'";
+  case TokKind::Le: return "'<='";
+  case TokKind::Gt: return "'>'";
+  case TokKind::Ge: return "'>='";
+  case TokKind::EqEq: return "'=='";
+  case TokKind::Ne: return "'!='";
+  case TokKind::Not: return "'!'";
+  case TokKind::AndAnd: return "'&&'";
+  case TokKind::OrOr: return "'||'";
+  case TokKind::Eof: return "end of input";
+  case TokKind::Error: return "invalid character";
+  }
+  SGPU_UNREACHABLE("unknown token kind");
+}

@@ -1,0 +1,66 @@
+//===- parser/Lexer.h - StreamIt-like DSL lexer -----------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the textual stream-program format (see Parser.h for the
+/// grammar). Plays the role StreamIt's front end plays in the paper's
+/// Figure 5 toolchain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_PARSER_LEXER_H
+#define SGPU_PARSER_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgpu {
+
+/// Token kinds of the DSL.
+enum class TokKind : uint8_t {
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // Punctuation.
+  LBrace, RBrace, LParen, RParen, LBracket, RBracket,
+  Comma, Semicolon, Arrow, DotDot,
+  Assign, // =
+  // Operators.
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Shl, Shr,
+  Lt, Le, Gt, Ge, EqEq, Ne, Not, AndAnd, OrOr,
+  Eof,
+  Error
+};
+
+/// One token with its source location and text.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string_view Text;
+  int Line = 1;
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+
+  bool is(TokKind K) const { return Kind == K; }
+  /// Keyword check: identifiers double as contextual keywords.
+  bool isIdent(std::string_view S) const {
+    return Kind == TokKind::Identifier && Text == S;
+  }
+};
+
+/// Tokenizes \p Source. Lexical errors yield a trailing Error token whose
+/// Text is the offending lexeme; the list always ends with Eof.
+std::vector<Token> lexStreamProgram(std::string_view Source);
+
+/// Human-readable token-kind name for diagnostics.
+const char *tokKindName(TokKind K);
+
+} // namespace sgpu
+
+#endif // SGPU_PARSER_LEXER_H

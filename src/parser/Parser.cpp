@@ -1,0 +1,710 @@
+//===- parser/Parser.cpp - StreamIt-like DSL parser ---------------------------===//
+
+#include "parser/Parser.h"
+
+#include "ir/FilterBuilder.h"
+#include "parser/Lexer.h"
+#include "support/Check.h"
+
+#include <map>
+#include <optional>
+
+using namespace sgpu;
+
+namespace {
+
+/// Name -> declaration map inside one filter body.
+using Scope = std::map<std::string, const VarDecl *, std::less<>>;
+
+class Parser {
+public:
+  explicit Parser(std::string_view Source)
+      : Toks(lexStreamProgram(Source)) {}
+
+  StreamPtr run(ParseDiagnostic *DiagOut) {
+    StreamPtr S = parseStream();
+    if (S && !cur().is(TokKind::Eof))
+      error("expected end of input after the top-level stream");
+    if (Failed) {
+      if (DiagOut)
+        *DiagOut = Diag;
+      return nullptr;
+    }
+    return S;
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Token plumbing
+  //===------------------------------------------------------------------===//
+
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peekTok(int Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  void advance() {
+    if (Pos + 1 < Toks.size())
+      ++Pos;
+  }
+
+  bool accept(TokKind K) {
+    if (!cur().is(K))
+      return false;
+    advance();
+    return true;
+  }
+
+  bool acceptIdent(std::string_view S) {
+    if (!cur().isIdent(S))
+      return false;
+    advance();
+    return true;
+  }
+
+  bool expect(TokKind K, const char *Context) {
+    if (accept(K))
+      return true;
+    return error(std::string("expected ") + tokKindName(K) + " " +
+                 Context + ", found " + tokKindName(cur().Kind));
+  }
+
+  bool error(const std::string &Message) {
+    if (!Failed) {
+      Failed = true;
+      Diag.Line = cur().Line;
+      Diag.Message = Message;
+    }
+    return false;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Streams
+  //===------------------------------------------------------------------===//
+
+  StreamPtr parseStream() {
+    if (cur().isIdent("pipeline"))
+      return parsePipeline();
+    if (cur().isIdent("splitjoin"))
+      return parseSplitJoin();
+    if (cur().isIdent("filter"))
+      return parseFilter();
+    error("expected 'pipeline', 'splitjoin' or 'filter'");
+    return nullptr;
+  }
+
+  StreamPtr parsePipeline() {
+    acceptIdent("pipeline");
+    if (cur().is(TokKind::Identifier))
+      advance(); // Optional name, purely documentary.
+    if (!expect(TokKind::LBrace, "to open the pipeline"))
+      return nullptr;
+    std::vector<StreamPtr> Children;
+    while (!cur().is(TokKind::RBrace) && !cur().is(TokKind::Eof)) {
+      StreamPtr C = parseStream();
+      if (!C)
+        return nullptr;
+      Children.push_back(std::move(C));
+    }
+    if (!expect(TokKind::RBrace, "to close the pipeline"))
+      return nullptr;
+    if (Children.empty()) {
+      error("pipeline must contain at least one stream");
+      return nullptr;
+    }
+    return pipelineStream(std::move(Children));
+  }
+
+  bool parseWeights(std::vector<int64_t> &Out) {
+    if (!expect(TokKind::LParen, "before round-robin weights"))
+      return false;
+    do {
+      if (!cur().is(TokKind::IntLiteral))
+        return error("expected an integer weight");
+      Out.push_back(cur().IntValue);
+      advance();
+    } while (accept(TokKind::Comma));
+    return expect(TokKind::RParen, "after round-robin weights");
+  }
+
+  StreamPtr parseSplitJoin() {
+    acceptIdent("splitjoin");
+    bool Duplicate = false;
+    std::vector<int64_t> SplitW;
+    if (acceptIdent("duplicate")) {
+      Duplicate = true;
+    } else if (acceptIdent("roundrobin")) {
+      if (!parseWeights(SplitW))
+        return nullptr;
+    } else {
+      error("expected 'duplicate' or 'roundrobin' after 'splitjoin'");
+      return nullptr;
+    }
+    if (!acceptIdent("join")) {
+      error("expected 'join' after the splitter specification");
+      return nullptr;
+    }
+    if (!acceptIdent("roundrobin")) {
+      error("joiners are always round robin: expected 'roundrobin'");
+      return nullptr;
+    }
+    std::vector<int64_t> JoinW;
+    if (!parseWeights(JoinW))
+      return nullptr;
+    if (!expect(TokKind::LBrace, "to open the splitjoin"))
+      return nullptr;
+    std::vector<StreamPtr> Children;
+    while (!cur().is(TokKind::RBrace) && !cur().is(TokKind::Eof)) {
+      StreamPtr C = parseStream();
+      if (!C)
+        return nullptr;
+      Children.push_back(std::move(C));
+    }
+    if (!expect(TokKind::RBrace, "to close the splitjoin"))
+      return nullptr;
+    if (Children.size() != JoinW.size() ||
+        (!Duplicate && Children.size() != SplitW.size())) {
+      error("splitjoin branch count must match the weight lists");
+      return nullptr;
+    }
+    if (Duplicate)
+      return duplicateSplitJoin(std::move(Children), std::move(JoinW));
+    return roundRobinSplitJoin(std::move(SplitW), std::move(Children),
+                               std::move(JoinW));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Filters
+  //===------------------------------------------------------------------===//
+
+  std::optional<TokenType> parseType() {
+    if (acceptIdent("int"))
+      return TokenType::Int;
+    if (acceptIdent("float"))
+      return TokenType::Float;
+    error("expected 'int' or 'float'");
+    return std::nullopt;
+  }
+
+  StreamPtr parseFilter() {
+    acceptIdent("filter");
+    if (!cur().is(TokKind::Identifier)) {
+      error("expected a filter name");
+      return nullptr;
+    }
+    std::string Name(cur().Text);
+    advance();
+    if (!expect(TokKind::LParen, "after the filter name"))
+      return nullptr;
+    std::optional<TokenType> In = parseType();
+    if (!In || !expect(TokKind::Arrow, "between the filter types"))
+      return nullptr;
+    std::optional<TokenType> OutTy = parseType();
+    if (!OutTy || !expect(TokKind::Comma, "after the filter types"))
+      return nullptr;
+
+    auto ParseRate = [&](std::string_view Kw, int64_t &Val) {
+      if (!acceptIdent(Kw))
+        return error("expected '" + std::string(Kw) + "'");
+      if (!cur().is(TokKind::IntLiteral))
+        return error("expected an integer rate after '" +
+                     std::string(Kw) + "'");
+      Val = cur().IntValue;
+      advance();
+      return true;
+    };
+
+    int64_t Pop = 0, Push = 0, Peek = -1;
+    if (!ParseRate("pop", Pop))
+      return nullptr;
+    if (!expect(TokKind::Comma, "after the pop rate"))
+      return nullptr;
+    if (!ParseRate("push", Push))
+      return nullptr;
+    if (accept(TokKind::Comma)) {
+      if (!ParseRate("peek", Peek))
+        return nullptr;
+      if (Peek < Pop) {
+        error("peek depth must be >= pop rate");
+        return nullptr;
+      }
+    }
+    if (!expect(TokKind::RParen, "after the filter rates"))
+      return nullptr;
+    if (!expect(TokKind::LBrace, "to open the filter body"))
+      return nullptr;
+
+    FilterBuilder B(Name, *In, *OutTy);
+    B.setRates(Pop, Push, Peek);
+    Scope Vars;
+    while (!cur().is(TokKind::RBrace) && !cur().is(TokKind::Eof))
+      if (!parseFilterStmt(B, Vars))
+        return nullptr;
+    if (!expect(TokKind::RBrace, "to close the filter body"))
+      return nullptr;
+    return filterStream(B.build());
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  bool parseBlock(FilterBuilder &B, Scope &Vars) {
+    if (!expect(TokKind::LBrace, "to open the block"))
+      return false;
+    while (!cur().is(TokKind::RBrace) && !cur().is(TokKind::Eof))
+      if (!parseFilterStmt(B, Vars))
+        return false;
+    return expect(TokKind::RBrace, "to close the block");
+  }
+
+  bool parseFilterStmt(FilterBuilder &B, Scope &Vars) {
+    // Control flow.
+    if (cur().isIdent("for"))
+      return parseFor(B, Vars);
+    if (cur().isIdent("if"))
+      return parseIf(B, Vars);
+    // push(expr); / pop();
+    if (cur().isIdent("push") && peekTok().is(TokKind::LParen)) {
+      advance();
+      advance();
+      const Expr *V = parseExpr(B, Vars);
+      if (!V)
+        return false;
+      if (!expect(TokKind::RParen, "after the push value"))
+        return false;
+      B.push(V);
+      return expect(TokKind::Semicolon, "after push()");
+    }
+    if (cur().isIdent("pop") && peekTok().is(TokKind::LParen)) {
+      advance();
+      advance();
+      if (!expect(TokKind::RParen, "after 'pop('"))
+        return false;
+      B.popDiscard();
+      return expect(TokKind::Semicolon, "after pop()");
+    }
+    // Declarations.
+    if (cur().isIdent("const") || cur().isIdent("state") ||
+        cur().isIdent("int") || cur().isIdent("float"))
+      return parseDecl(B, Vars);
+    // Assignment.
+    if (cur().is(TokKind::Identifier))
+      return parseAssign(B, Vars);
+    return error("expected a statement");
+  }
+
+  bool parseFor(FilterBuilder &B, Scope &Vars) {
+    acceptIdent("for");
+    if (!expect(TokKind::LParen, "after 'for'"))
+      return false;
+    if (!cur().is(TokKind::Identifier))
+      return error("expected the loop variable name");
+    std::string Name(cur().Text);
+    advance();
+    if (!acceptIdent("in"))
+      return error("expected 'in' after the loop variable");
+    const Expr *Begin = parseExpr(B, Vars);
+    if (!Begin || !expect(TokKind::DotDot, "between the loop bounds"))
+      return false;
+    const Expr *End = parseExpr(B, Vars);
+    if (!End || !expect(TokKind::RParen, "after the loop bounds"))
+      return false;
+    const VarDecl *IV = B.beginFor(Name, Begin, End);
+    const VarDecl *Shadowed = Vars.count(Name) ? Vars[Name] : nullptr;
+    Vars[Name] = IV;
+    bool Ok = parseBlock(B, Vars);
+    if (Shadowed)
+      Vars[Name] = Shadowed;
+    else
+      Vars.erase(Name);
+    if (Ok)
+      B.endFor();
+    return Ok;
+  }
+
+  bool parseIf(FilterBuilder &B, Scope &Vars) {
+    acceptIdent("if");
+    if (!expect(TokKind::LParen, "after 'if'"))
+      return false;
+    const Expr *Cond = parseExpr(B, Vars);
+    if (!Cond || !expect(TokKind::RParen, "after the condition"))
+      return false;
+    if (Cond->type() != TokenType::Int)
+      return error("if condition must be an int expression");
+    B.beginIf(Cond);
+    if (!parseBlock(B, Vars))
+      return false;
+    if (cur().isIdent("else")) {
+      advance();
+      B.beginElse();
+      if (!parseBlock(B, Vars))
+        return false;
+    }
+    B.endIf();
+    return true;
+  }
+
+  /// Constant literal (with optional leading '-') for field/state
+  /// initializers.
+  std::optional<Scalar> parseConstScalar(TokenType Ty) {
+    bool Neg = accept(TokKind::Minus);
+    if (cur().is(TokKind::IntLiteral)) {
+      int64_t V = Neg ? -cur().IntValue : cur().IntValue;
+      advance();
+      return Ty == TokenType::Int ? Scalar::makeInt(V)
+                                  : Scalar::makeFloat(double(V));
+    }
+    if (cur().is(TokKind::FloatLiteral)) {
+      if (Ty == TokenType::Int) {
+        error("integer initializer required");
+        return std::nullopt;
+      }
+      double V = Neg ? -cur().FloatValue : cur().FloatValue;
+      advance();
+      return Scalar::makeFloat(V);
+    }
+    error("expected a constant literal initializer");
+    return std::nullopt;
+  }
+
+  bool parseDecl(FilterBuilder &B, Scope &Vars) {
+    bool IsConst = acceptIdent("const");
+    bool IsState = !IsConst && acceptIdent("state");
+
+    std::optional<TokenType> Ty = parseType();
+    if (!Ty)
+      return false;
+    if (!cur().is(TokKind::Identifier))
+      return error("expected a variable name");
+    std::string Name(cur().Text);
+    advance();
+    if (Vars.count(Name))
+      return error("redeclaration of '" + Name + "'");
+
+    int64_t ArraySize = 0;
+    if (accept(TokKind::LBracket)) {
+      if (!cur().is(TokKind::IntLiteral))
+        return error("expected a constant array size");
+      ArraySize = cur().IntValue;
+      advance();
+      if (!expect(TokKind::RBracket, "after the array size"))
+        return false;
+    }
+
+    const VarDecl *D = nullptr;
+    if (IsConst || IsState) {
+      // Initializer is mandatory and must be constant.
+      if (!expect(TokKind::Assign, "before the constant initializer"))
+        return false;
+      std::vector<Scalar> Init;
+      if (ArraySize > 0) {
+        if (!expect(TokKind::LBrace, "to open the initializer list"))
+          return false;
+        do {
+          std::optional<Scalar> S = parseConstScalar(*Ty);
+          if (!S)
+            return false;
+          Init.push_back(*S);
+        } while (accept(TokKind::Comma));
+        if (!expect(TokKind::RBrace, "to close the initializer list"))
+          return false;
+        if (static_cast<int64_t>(Init.size()) != ArraySize)
+          return error("initializer count does not match the array size");
+      } else {
+        std::optional<Scalar> S = parseConstScalar(*Ty);
+        if (!S)
+          return false;
+        Init.push_back(*S);
+      }
+
+      if (IsConst) {
+        if (ArraySize > 0 && *Ty == TokenType::Int) {
+          std::vector<int64_t> V;
+          for (const Scalar &S : Init)
+            V.push_back(S.asInt());
+          D = B.fieldArrayI(Name, V);
+        } else if (ArraySize > 0) {
+          std::vector<double> V;
+          for (const Scalar &S : Init)
+            V.push_back(S.asFloat());
+          D = B.fieldArrayF(Name, V);
+        } else if (*Ty == TokenType::Int) {
+          D = B.fieldScalarI(Name, Init[0].asInt());
+        } else {
+          D = B.fieldScalarF(Name, Init[0].asFloat());
+        }
+      } else { // state
+        if (ArraySize > 0 && *Ty == TokenType::Float) {
+          std::vector<double> V;
+          for (const Scalar &S : Init)
+            V.push_back(S.asFloat());
+          D = B.stateArrayF(Name, V);
+        } else if (ArraySize > 0) {
+          return error("state int arrays are not supported");
+        } else if (*Ty == TokenType::Int) {
+          D = B.stateScalarI(Name, Init[0].asInt());
+        } else {
+          D = B.stateScalarF(Name, Init[0].asFloat());
+        }
+      }
+    } else if (ArraySize > 0) {
+      D = B.declArray(Name, *Ty, ArraySize);
+    } else if (accept(TokKind::Assign)) {
+      const Expr *Init = parseExpr(B, Vars);
+      if (!Init)
+        return false;
+      // declVar types from the initializer; cast to the declared type.
+      D = B.declVar(Name, *Ty);
+      B.assign(D, Init);
+    } else {
+      D = B.declVar(Name, *Ty);
+    }
+    Vars[Name] = D;
+    return expect(TokKind::Semicolon, "after the declaration");
+  }
+
+  bool parseAssign(FilterBuilder &B, Scope &Vars) {
+    std::string Name(cur().Text);
+    auto It = Vars.find(Name);
+    if (It == Vars.end())
+      return error("use of undeclared variable '" + Name + "'");
+    advance();
+    const VarDecl *D = It->second;
+    if (accept(TokKind::LBracket)) {
+      const Expr *Idx = parseExpr(B, Vars);
+      if (!Idx || !expect(TokKind::RBracket, "after the index"))
+        return false;
+      if (!expect(TokKind::Assign, "in the assignment"))
+        return false;
+      const Expr *V = parseExpr(B, Vars);
+      if (!V)
+        return false;
+      if (!D->isArray())
+        return error("'" + Name + "' is not an array");
+      B.assignIndex(D, Idx, V);
+    } else {
+      if (!expect(TokKind::Assign, "in the assignment"))
+        return false;
+      const Expr *V = parseExpr(B, Vars);
+      if (!V)
+        return false;
+      if (D->isArray())
+        return error("cannot assign to a whole array");
+      if (D->isField())
+        return error("'" + Name + "' is a read-only const");
+      B.assign(D, V);
+    }
+    return expect(TokKind::Semicolon, "after the assignment");
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expressions (precedence climbing)
+  //===------------------------------------------------------------------===//
+
+  /// Binding power of the current token as a binary operator; 0 = none.
+  int binPrec() const {
+    switch (cur().Kind) {
+    case TokKind::OrOr: return 1;
+    case TokKind::AndAnd: return 2;
+    case TokKind::Pipe: return 3;
+    case TokKind::Caret: return 4;
+    case TokKind::Amp: return 5;
+    case TokKind::EqEq:
+    case TokKind::Ne: return 6;
+    case TokKind::Lt:
+    case TokKind::Le:
+    case TokKind::Gt:
+    case TokKind::Ge: return 7;
+    case TokKind::Shl:
+    case TokKind::Shr: return 8;
+    case TokKind::Plus:
+    case TokKind::Minus: return 9;
+    case TokKind::Star:
+    case TokKind::Slash:
+    case TokKind::Percent: return 10;
+    default: return 0;
+    }
+  }
+
+  const Expr *applyBinary(FilterBuilder &B, TokKind K, const Expr *L,
+                          const Expr *R) {
+    switch (K) {
+    case TokKind::OrOr: return B.logicalOr(L, R);
+    case TokKind::AndAnd: return B.logicalAnd(L, R);
+    case TokKind::Pipe: return B.bitOr(L, R);
+    case TokKind::Caret: return B.bitXor(L, R);
+    case TokKind::Amp: return B.bitAnd(L, R);
+    case TokKind::EqEq: return B.eq(L, R);
+    case TokKind::Ne: return B.ne(L, R);
+    case TokKind::Lt: return B.lt(L, R);
+    case TokKind::Le: return B.le(L, R);
+    case TokKind::Gt: return B.gt(L, R);
+    case TokKind::Ge: return B.ge(L, R);
+    case TokKind::Shl: return B.shl(L, R);
+    case TokKind::Shr: return B.shr(L, R);
+    case TokKind::Plus: return B.add(L, R);
+    case TokKind::Minus: return B.sub(L, R);
+    case TokKind::Star: return B.mul(L, R);
+    case TokKind::Slash: return B.div(L, R);
+    case TokKind::Percent: return B.rem(L, R);
+    default: SGPU_UNREACHABLE("not a binary operator");
+    }
+  }
+
+  const Expr *parseExpr(FilterBuilder &B, Scope &Vars, int MinPrec = 1) {
+    const Expr *L = parseUnary(B, Vars);
+    if (!L)
+      return nullptr;
+    while (true) {
+      int Prec = binPrec();
+      if (Prec < MinPrec)
+        return L;
+      TokKind K = cur().Kind;
+      advance();
+      const Expr *R = parseExpr(B, Vars, Prec + 1);
+      if (!R)
+        return nullptr;
+      L = applyBinary(B, K, L, R);
+    }
+  }
+
+  const Expr *parseUnary(FilterBuilder &B, Scope &Vars) {
+    if (accept(TokKind::Minus)) {
+      const Expr *E = parseUnary(B, Vars);
+      return E ? B.neg(E) : nullptr;
+    }
+    if (accept(TokKind::Tilde)) {
+      const Expr *E = parseUnary(B, Vars);
+      return E ? B.bitNot(E) : nullptr;
+    }
+    if (accept(TokKind::Not)) {
+      const Expr *E = parseUnary(B, Vars);
+      return E ? B.logicalNot(E) : nullptr;
+    }
+    return parsePrimary(B, Vars);
+  }
+
+  const Expr *parsePrimary(FilterBuilder &B, Scope &Vars) {
+    if (cur().is(TokKind::IntLiteral)) {
+      const Expr *E = B.litI(cur().IntValue);
+      advance();
+      return E;
+    }
+    if (cur().is(TokKind::FloatLiteral)) {
+      const Expr *E = B.litF(cur().FloatValue);
+      advance();
+      return E;
+    }
+    // Cast or parenthesized expression.
+    if (cur().is(TokKind::LParen)) {
+      if (peekTok().isIdent("int") || peekTok().isIdent("float")) {
+        bool ToInt = peekTok().isIdent("int");
+        advance(); // (
+        advance(); // type
+        if (!expect(TokKind::RParen, "after the cast type"))
+          return nullptr;
+        const Expr *E = parseUnary(B, Vars);
+        if (!E)
+          return nullptr;
+        return ToInt ? B.castToInt(E) : B.castToFloat(E);
+      }
+      advance();
+      const Expr *E = parseExpr(B, Vars);
+      if (!E || !expect(TokKind::RParen, "after the expression"))
+        return nullptr;
+      return E;
+    }
+    if (!cur().is(TokKind::Identifier)) {
+      error("expected an expression");
+      return nullptr;
+    }
+
+    std::string Name(cur().Text);
+    // Builtin calls and channel primitives.
+    if (peekTok().is(TokKind::LParen)) {
+      advance();
+      advance();
+      auto OneArg = [&]() -> const Expr * {
+        const Expr *E = parseExpr(B, Vars);
+        if (!E || !expect(TokKind::RParen, "after the argument"))
+          return nullptr;
+        return E;
+      };
+      auto TwoArgs = [&](const Expr *&A, const Expr *&C) {
+        A = parseExpr(B, Vars);
+        if (!A || !expect(TokKind::Comma, "between the arguments"))
+          return false;
+        C = parseExpr(B, Vars);
+        return C && expect(TokKind::RParen, "after the arguments");
+      };
+      if (Name == "pop") {
+        if (!expect(TokKind::RParen, "after 'pop('"))
+          return nullptr;
+        return B.pop();
+      }
+      if (Name == "peek") {
+        const Expr *D = OneArg();
+        return D ? B.peek(D) : nullptr;
+      }
+      if (Name == "sin") { const Expr *E = OneArg(); return E ? B.callSin(E) : nullptr; }
+      if (Name == "cos") { const Expr *E = OneArg(); return E ? B.callCos(E) : nullptr; }
+      if (Name == "sqrt") { const Expr *E = OneArg(); return E ? B.callSqrt(E) : nullptr; }
+      if (Name == "abs") { const Expr *E = OneArg(); return E ? B.callAbs(E) : nullptr; }
+      if (Name == "exp") { const Expr *E = OneArg(); return E ? B.callExp(E) : nullptr; }
+      if (Name == "log") { const Expr *E = OneArg(); return E ? B.callLog(E) : nullptr; }
+      if (Name == "floor") { const Expr *E = OneArg(); return E ? B.callFloor(E) : nullptr; }
+      if (Name == "pow") {
+        const Expr *A, *C;
+        return TwoArgs(A, C) ? B.callPow(A, C) : nullptr;
+      }
+      if (Name == "min") {
+        const Expr *A, *C;
+        return TwoArgs(A, C) ? B.callMin(A, C) : nullptr;
+      }
+      if (Name == "max") {
+        const Expr *A, *C;
+        return TwoArgs(A, C) ? B.callMax(A, C) : nullptr;
+      }
+      error("unknown function '" + Name + "'");
+      return nullptr;
+    }
+
+    // Variable reference / array index.
+    auto It = Vars.find(Name);
+    if (It == Vars.end()) {
+      error("use of undeclared variable '" + Name + "'");
+      return nullptr;
+    }
+    advance();
+    const VarDecl *D = It->second;
+    if (accept(TokKind::LBracket)) {
+      const Expr *Idx = parseExpr(B, Vars);
+      if (!Idx || !expect(TokKind::RBracket, "after the index"))
+        return nullptr;
+      if (!D->isArray()) {
+        error("'" + Name + "' is not an array");
+        return nullptr;
+      }
+      return B.index(D, Idx);
+    }
+    if (D->isArray()) {
+      error("array '" + Name + "' must be indexed");
+      return nullptr;
+    }
+    return B.ref(D);
+  }
+
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  ParseDiagnostic Diag;
+  bool Failed = false;
+};
+
+} // namespace
+
+StreamPtr sgpu::parseStreamProgram(std::string_view Source,
+                                   ParseDiagnostic *DiagOut) {
+  Parser P(Source);
+  return P.run(DiagOut);
+}

@@ -1,0 +1,66 @@
+//===- parser/Parser.h - StreamIt-like DSL parser ---------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recursive-descent front end for a compact StreamIt-like source
+/// format, lowering directly onto FilterBuilder / the hierarchical
+/// stream constructors. Grammar (contextual keywords, C-like lexing):
+///
+///   program   := stream
+///   stream    := filter | pipeline | splitjoin
+///   pipeline  := "pipeline" [name] "{" stream+ "}"
+///   splitjoin := "splitjoin" split "join" "roundrobin" "(" ints ")"
+///                "{" stream+ "}"
+///   split     := "duplicate" | "roundrobin" "(" ints ")"
+///   filter    := "filter" name "(" type "->" type "," "pop" int ","
+///                "push" int ["," "peek" int] ")" "{" fstmt* "}"
+///   fstmt     := ["const"|"state"] type name ["[" int "]"]
+///                  ["=" init] ";"              -- declaration
+///             | name ["[" expr "]"] "=" expr ";"
+///             | "push" "(" expr ")" ";"
+///             | "pop" "(" ")" ";"
+///             | "for" "(" name "in" expr ".." expr ")" "{" fstmt* "}"
+///             | "if" "(" expr ")" "{" fstmt* "}" ["else" "{" fstmt* "}"]
+///   init      := expr | "{" expr ("," expr)* "}"
+///   type      := "int" | "float"
+///   expr      := C precedence; pop(), peek(e), sin/cos/sqrt/abs/exp/
+///                log/floor/pow/min/max calls, (int)(e)/(float)(e) casts
+///
+/// `const` declarations become filter fields (initializers must be
+/// constant), `state` declarations become mutable filter state (the
+/// stateful extension), plain declarations are per-firing locals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_PARSER_PARSER_H
+#define SGPU_PARSER_PARSER_H
+
+#include "ir/Stream.h"
+
+#include <string>
+#include <string_view>
+
+namespace sgpu {
+
+/// A parse diagnostic with its 1-based source line.
+struct ParseDiagnostic {
+  int Line = 0;
+  std::string Message;
+
+  std::string str() const {
+    return "line " + std::to_string(Line) + ": " + Message;
+  }
+};
+
+/// Parses a stream program. Returns the hierarchical stream, or null
+/// with \p DiagOut filled in on the first error.
+StreamPtr parseStreamProgram(std::string_view Source,
+                             ParseDiagnostic *DiagOut = nullptr);
+
+} // namespace sgpu
+
+#endif // SGPU_PARSER_PARSER_H

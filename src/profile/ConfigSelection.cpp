@@ -1,0 +1,141 @@
+//===- profile/ConfigSelection.cpp - Algorithm 7 -----------------------------===//
+
+#include "profile/ConfigSelection.h"
+
+#include <cmath>
+
+using namespace sgpu;
+
+/// Index of \p Threads in ProfileThreadCounts, or -1.
+static int threadIdxOf(int Threads) {
+  for (int T = 0; T < ProfileTable::NumThreadCounts; ++T)
+    if (ProfileThreadCounts[T] == Threads)
+      return T;
+  return -1;
+}
+
+static int regIdxOf(int RegLimit) {
+  for (int R = 0; R < ProfileTable::NumRegLimits; ++R)
+    if (ProfileRegLimits[R] == RegLimit)
+      return R;
+  return -1;
+}
+
+/// Work one GPU steady state performs: tokens delivered at the sink
+/// (Algorithm 7 line 14's "simple metric"), falling back to covered base
+/// iterations for graphs whose exit is a pure sink.
+static double steadyStateWork(const SteadyState &SS,
+                              const GpuSteadyState &GSS) {
+  int64_t PerBaseIter = SS.outputTokensPerIteration();
+  if (PerBaseIter <= 0)
+    PerBaseIter = 1;
+  return static_cast<double>(PerBaseIter) *
+         static_cast<double>(GSS.Multiplier);
+}
+
+std::optional<ExecutionConfig>
+sgpu::selectExecutionConfig(const SteadyState &SS, const ProfileTable &PT,
+                            std::vector<ConfigCandidate> *CandidatesOut) {
+  int N = PT.numNodes();
+  std::optional<ExecutionConfig> Best;
+  double MinII = ProfileTable::Infeasible;
+
+  for (int R = 0; R < ProfileTable::NumRegLimits; ++R) {
+    for (int T = 0; T < ProfileTable::NumThreadCounts; ++T) {
+      ConfigCandidate Cand;
+      Cand.RegLimit = ProfileRegLimits[R];
+      Cand.NumThreads = ProfileThreadCounts[T];
+
+      // feasiblePairs: the pair must be runnable for every node.
+      bool PairFeasible = true;
+      for (int I = 0; I < N && PairFeasible; ++I)
+        PairFeasible = PT.at(I, R, T) < ProfileTable::Infeasible;
+      if (!PairFeasible) {
+        if (CandidatesOut)
+          CandidatesOut->push_back(Cand);
+        continue;
+      }
+
+      // Lines 3-6: per node, the best thread count k <= numThreads.
+      std::vector<int64_t> Threads(N);
+      std::vector<double> PerFiring(N);
+      bool AllHaveChoice = true;
+      for (int I = 0; I < N; ++I) {
+        double BestTime = ProfileTable::Infeasible;
+        int BestK = -1;
+        for (int T2 = 0; T2 <= T; ++T2) {
+          double RT = PT.at(I, R, T2);
+          if (RT < BestTime) {
+            BestTime = RT;
+            BestK = ProfileThreadCounts[T2];
+          }
+        }
+        if (BestK < 0) {
+          AllHaveChoice = false;
+          break;
+        }
+        Threads[I] = BestK;
+        // Line 12's scaling: the run fired numfirings/k GPU iterations.
+        PerFiring[I] = BestTime * static_cast<double>(BestK) /
+                       static_cast<double>(PT.numFirings());
+      }
+      if (!AllHaveChoice) {
+        if (CandidatesOut)
+          CandidatesOut->push_back(Cand);
+        continue;
+      }
+
+      // Line 7: re-solve the steady state for the coarsened rates.
+      GpuSteadyState GSS = computeGpuSteadyState(SS.repetitions(), Threads);
+
+      // Lines 8-13: resource II of this configuration.
+      double CurII = 0.0;
+      for (int I = 0; I < N; ++I)
+        CurII += PerFiring[I] * static_cast<double>(GSS.Instances[I]);
+
+      // Lines 14-15: scale by the work done per steady state.
+      double Work = steadyStateWork(SS, GSS);
+      CurII /= Work;
+
+      Cand.Feasible = true;
+      Cand.WorkScaledII = CurII;
+      if (CandidatesOut)
+        CandidatesOut->push_back(Cand);
+
+      if (CurII < MinII) {
+        MinII = CurII;
+        ExecutionConfig C;
+        C.RegLimit = ProfileRegLimits[R];
+        C.NumThreads = ProfileThreadCounts[T];
+        C.Threads = Threads;
+        C.Delay = PerFiring;
+        Best = std::move(C);
+      }
+    }
+  }
+  return Best;
+}
+
+std::optional<ExecutionConfig>
+sgpu::makeFixedConfig(const SteadyState &SS, const ProfileTable &PT,
+                      int RegLimit, int NumThreads) {
+  (void)SS;
+  int R = regIdxOf(RegLimit);
+  int T = threadIdxOf(NumThreads);
+  if (R < 0 || T < 0)
+    return std::nullopt;
+  int N = PT.numNodes();
+  ExecutionConfig C;
+  C.RegLimit = RegLimit;
+  C.NumThreads = NumThreads;
+  C.Threads.assign(N, NumThreads);
+  C.Delay.resize(N);
+  for (int I = 0; I < N; ++I) {
+    double RT = PT.at(I, R, T);
+    if (!(RT < ProfileTable::Infeasible))
+      return std::nullopt;
+    C.Delay[I] = RT * static_cast<double>(NumThreads) /
+                 static_cast<double>(PT.numFirings());
+  }
+  return C;
+}

@@ -1,0 +1,54 @@
+//===- profile/ConfigSelection.h - Algorithm 7 -------------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Algorithm 7: pick the globally best execution
+/// configuration. All filters must share one register limit (nvcc
+/// compiles the software-pipelined kernel as a single compilation unit,
+/// Section IV-A), so candidates are (numRegs, numThreads) pairs feasible
+/// for every filter; within a pair each filter picks its best thread
+/// count k <= numThreads; the resulting resource-II, scaled by the work
+/// one steady state performs, ranks the pairs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_PROFILE_CONFIGSELECTION_H
+#define SGPU_PROFILE_CONFIGSELECTION_H
+
+#include "core/ExecutionModel.h"
+#include "profile/Profiler.h"
+
+#include <optional>
+
+namespace sgpu {
+
+/// Diagnostic record of one candidate pair considered by Algorithm 7.
+struct ConfigCandidate {
+  int RegLimit = 0;
+  int NumThreads = 0;
+  double WorkScaledII = 0.0; ///< curII after the line 14-15 work scaling.
+  bool Feasible = false;
+};
+
+/// Runs Algorithm 7 over \p PT. Returns nullopt when no (regs, threads)
+/// pair is feasible for all nodes. \p CandidatesOut, when non-null,
+/// receives one record per pair for the ablation bench.
+std::optional<ExecutionConfig>
+selectExecutionConfig(const SteadyState &SS, const ProfileTable &PT,
+                      std::vector<ConfigCandidate> *CandidatesOut = nullptr);
+
+/// Builds a fixed configuration (every node at \p NumThreads under
+/// \p RegLimit) with delays from \p PT; used by the Serial scheme and the
+/// configuration-selection ablation. Returns nullopt if infeasible for
+/// some node.
+std::optional<ExecutionConfig>
+makeFixedConfig(const SteadyState &SS, const ProfileTable &PT, int RegLimit,
+                int NumThreads);
+
+} // namespace sgpu
+
+#endif // SGPU_PROFILE_CONFIGSELECTION_H

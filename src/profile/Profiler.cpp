@@ -1,0 +1,49 @@
+//===- profile/Profiler.cpp - Filter profiling sweep -------------------------===//
+
+#include "profile/Profiler.h"
+
+#include "gpusim/Occupancy.h"
+
+#include <cassert>
+
+using namespace sgpu;
+
+ProfileTable::ProfileTable(int NumNodes) { Times.resize(NumNodes); }
+
+double &ProfileTable::at(int Node, int RegIdx, int ThreadIdx) {
+  assert(Node >= 0 && Node < numNodes() && "node out of range");
+  return Times[Node][RegIdx][ThreadIdx];
+}
+
+double ProfileTable::at(int Node, int RegIdx, int ThreadIdx) const {
+  assert(Node >= 0 && Node < numNodes() && "node out of range");
+  return Times[Node][RegIdx][ThreadIdx];
+}
+
+ProfileTable sgpu::profileGraph(const GpuArch &Arch, const StreamGraph &G,
+                                LayoutKind Layout) {
+  ProfileTable PT(G.numNodes());
+  for (const GraphNode &N : G.nodes()) {
+    WorkEstimate WE = nodeWorkEstimate(N);
+    for (int R = 0; R < ProfileTable::NumRegLimits; ++R) {
+      int RegLimit = ProfileRegLimits[R];
+      for (int T = 0; T < ProfileTable::NumThreadCounts; ++T) {
+        int Threads = ProfileThreadCounts[T];
+        Occupancy Occ = computeOccupancy(Arch, Threads, RegLimit,
+                                         /*SharedBytesPerBlock=*/0);
+        if (!Occ.Feasible) {
+          PT.at(N.Id, R, T) = ProfileTable::Infeasible;
+          continue;
+        }
+        InstanceCost Cost =
+            buildInstanceCost(Arch, N, WE, Threads, RegLimit, Layout);
+        double PerFiring = instanceCycles(Arch, Cost);
+        int64_t Iterations = PT.numFirings() / Threads;
+        PT.at(N.Id, R, T) =
+            static_cast<double>(Arch.KernelLaunchCycles) +
+            static_cast<double>(Iterations) * PerFiring;
+      }
+    }
+  }
+  return PT;
+}

@@ -1,0 +1,69 @@
+//===- profile/Profiler.h - Filter profiling sweep ---------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's profiling phase (Fig. 6): each filter is "compiled" under
+/// register limits {16, 20, 32, 64} and "executed" with {128, 256, 384,
+/// 512} threads, every run performing the same number of single-threaded
+/// firings (numfirings, a multiple of all four thread counts). In the
+/// paper the runs happen on the GPU via nvcc-built executables; here the
+/// run time comes from the analytic simulator over the same filter AST,
+/// with spill traffic modelled when the filter's register estimate
+/// exceeds the limit. Configurations whose blocks cannot launch (regs *
+/// threads > register file) are infeasible and recorded as infinity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_PROFILE_PROFILER_H
+#define SGPU_PROFILE_PROFILER_H
+
+#include "core/ExecutionModel.h"
+
+#include <array>
+#include <limits>
+#include <vector>
+
+namespace sgpu {
+
+/// The profile table of one graph: cycles per profile run, indexed
+/// [node][regLimitIdx][threadCountIdx]; infinity marks infeasible runs.
+class ProfileTable {
+public:
+  static constexpr int NumRegLimits = 4;
+  static constexpr int NumThreadCounts = 4;
+  static constexpr double Infeasible =
+      std::numeric_limits<double>::infinity();
+
+  explicit ProfileTable(int NumNodes);
+
+  double &at(int Node, int RegIdx, int ThreadIdx);
+  double at(int Node, int RegIdx, int ThreadIdx) const;
+
+  /// numfirings: single-threaded firings per profile run; a multiple of
+  /// lcm(128, 256, 384, 512) = 1536 so every configuration does the same
+  /// work (Fig. 6 requires it).
+  int64_t numFirings() const { return NumFirings; }
+  void setNumFirings(int64_t N) { NumFirings = N; }
+
+  int numNodes() const { return static_cast<int>(Times.size()); }
+
+private:
+  std::vector<
+      std::array<std::array<double, NumThreadCounts>, NumRegLimits>>
+      Times;
+  int64_t NumFirings = 6144;
+};
+
+/// Runs the Fig. 6 sweep for every node of \p G on \p Arch under
+/// \p Layout (profiling is layout-aware: the SWPNC comparison profiles
+/// without coalescing, Section V-B).
+ProfileTable profileGraph(const GpuArch &Arch, const StreamGraph &G,
+                          LayoutKind Layout);
+
+} // namespace sgpu
+
+#endif // SGPU_PROFILE_PROFILER_H

@@ -1,0 +1,142 @@
+//===- sdf/Admissibility.cpp - Instance dependences and RecMII --------------===//
+
+#include "sdf/Admissibility.h"
+
+#include "support/Check.h"
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace sgpu;
+
+std::vector<InstanceDep> sgpu::computeInstanceDeps(int64_t Iuv, int64_t Peek,
+                                                   int64_t Ouv, int64_t Muv,
+                                                   int64_t Ku, int64_t K) {
+  assert(Iuv > 0 && Ouv > 0 && Ku > 0 && K >= 0 && Muv >= 0 &&
+         "malformed edge parameters");
+  assert(Peek >= Iuv && "peek depth below pop rate");
+  std::vector<InstanceDep> Deps;
+  for (int64_t L = 1; L <= Peek; ++L) {
+    // x_l: global producer firing index (relative to the same iteration)
+    // that makes the l-th token of this firing available. Initial tokens
+    // shift x_l towards earlier iterations (negative x_l); the resulting
+    // constraint still binds in the steady state — iteration j consumes
+    // what iteration j + jlag produced — so nothing is dropped here.
+    int64_t X = ceilDiv(K * Iuv + L - Muv - Ouv, Ouv);
+    InstanceDep D;
+    D.JLag = floorDiv(X, Ku);
+    D.KProd = floorMod(X, Ku);
+    if (Deps.empty() || !(Deps.back() == D))
+      Deps.push_back(D);
+  }
+  // Deduplicate, then drop dominated entries: for one producer instance
+  // only the largest jlag (the most recent iteration's copy) constrains
+  // the schedule — sigma_cons >= sigma_prod + d + T*jlag is strongest for
+  // the largest jlag. At most floor(Peek/Ouv)+2 distinct x survive: the
+  // paper's floor(Iuv/Ouv)+1 bound (peek in place of pop), plus one more
+  // when the initial tokens straddle a producer-firing boundary.
+  std::sort(Deps.begin(), Deps.end());
+  Deps.erase(std::unique(Deps.begin(), Deps.end()), Deps.end());
+  assert(static_cast<int64_t>(Deps.size()) <= Peek / Ouv + 2 &&
+         "more distinct dependences than the paper's bound allows");
+  std::vector<InstanceDep> Pruned;
+  for (const InstanceDep &D : Deps) {
+    bool Dominated = false;
+    for (const InstanceDep &E : Deps)
+      if (E.KProd == D.KProd && E.JLag > D.JLag)
+        Dominated = true;
+    if (!Dominated)
+      Pruned.push_back(D);
+  }
+  return Pruned;
+}
+
+std::vector<InstanceDepEdge>
+sgpu::buildInstanceDepGraph(const SteadyState &SS) {
+  const StreamGraph &G = SS.graph();
+  std::vector<InstanceDepEdge> Out;
+  for (const ChannelEdge &E : G.edges()) {
+    int64_t Ku = SS.repetitionsOf(E.Src);
+    int64_t Kv = SS.repetitionsOf(E.Dst);
+    // Steady-state dependences see the channel *after* the init phase,
+    // whose firings deposit the peek slack.
+    int64_t Muv = E.InitTokens + SS.initFirings()[E.Src] * E.ProdRate -
+                  SS.initFirings()[E.Dst] * E.ConsRate;
+    for (int64_t K = 0; K < Kv; ++K) {
+      // Dependences are driven by the peek depth, not just the pop rate:
+      // a firing may only start once `peek` tokens are available.
+      for (const InstanceDep &D : computeInstanceDeps(
+               E.ConsRate, E.PeekRate, E.ProdRate, Muv, Ku, K)) {
+        InstanceDepEdge IE;
+        IE.SrcNode = E.Src;
+        IE.SrcK = D.KProd;
+        IE.DstNode = E.Dst;
+        IE.DstK = K;
+        IE.Distance = -D.JLag;
+        assert(IE.Distance >= 0 && "forward-in-time dependence");
+        Out.push_back(IE);
+      }
+    }
+  }
+  return Out;
+}
+
+double sgpu::computeRecMII(const SteadyState &SS,
+                           const std::vector<double> &Delay) {
+  const StreamGraph &G = SS.graph();
+  assert(Delay.size() == static_cast<size_t>(G.numNodes()) &&
+         "delay vector size mismatch");
+
+  // Build the instance graph with dense vertex ids.
+  std::vector<int64_t> Base(G.numNodes());
+  int64_t NumVerts = 0;
+  for (int V = 0; V < G.numNodes(); ++V) {
+    Base[V] = NumVerts;
+    NumVerts += SS.repetitionsOf(V);
+  }
+  struct Arc {
+    int64_t From, To;
+    double Delay;
+    int64_t Distance;
+  };
+  std::vector<Arc> Arcs;
+  for (const InstanceDepEdge &E : buildInstanceDepGraph(SS))
+    Arcs.push_back({Base[E.SrcNode] + E.SrcK, Base[E.DstNode] + E.DstK,
+                    Delay[E.SrcNode], E.Distance});
+
+  // Binary search on the ratio R: a cycle with sum(delay) > R*sum(dist)
+  // exists iff the graph with arc weights (delay - R*distance) has a
+  // positive cycle, detected by Bellman-Ford on negated weights.
+  auto HasPositiveCycle = [&](double R) {
+    std::vector<double> Dist(NumVerts, 0.0);
+    for (int64_t It = 0; It < NumVerts; ++It) {
+      bool Changed = false;
+      for (const Arc &A : Arcs) {
+        double W = A.Delay - R * static_cast<double>(A.Distance);
+        if (Dist[A.From] + W > Dist[A.To] + 1e-9) {
+          Dist[A.To] = Dist[A.From] + W;
+          Changed = true;
+        }
+      }
+      if (!Changed)
+        return false;
+    }
+    return true;
+  };
+
+  if (!HasPositiveCycle(0.0))
+    return 0.0; // Acyclic (after distance-0 filtering): no recurrence.
+
+  double Lo = 0.0, Hi = 0.0;
+  for (const Arc &A : Arcs)
+    Hi += A.Delay;
+  for (int It = 0; It < 60 && Hi - Lo > 1e-6 * std::max(1.0, Hi); ++It) {
+    double Mid = 0.5 * (Lo + Hi);
+    if (HasPositiveCycle(Mid))
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  return Hi;
+}

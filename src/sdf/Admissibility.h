@@ -1,0 +1,83 @@
+//===- sdf/Admissibility.h - Instance dependences and RecMII ----*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instance-level dependence math of paper Section III-C. For an edge
+/// (u,v) with rates I_uv / O_uv and m_uv initial tokens, the k-th firing
+/// of v in iteration j depends on producer firings
+///
+///   x_l = ceil((k * I_uv + l - m_uv - O_uv) / O_uv),   l in [1, I_uv]
+///
+/// identified within the repetition structure as instance
+/// k'_l = x_l mod k_u in iteration j + jlag_l with jlag_l = floor(x_l/k_u)
+/// (floor/mod in the mathematical, negative-safe sense). The paper notes
+/// at most floor(I_uv / O_uv) + 1 of these are distinct. These dependences
+/// feed both the ILP constraint generator and the schedule verifier, and
+/// define RecMII for graphs with feedback.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SDF_ADMISSIBILITY_H
+#define SGPU_SDF_ADMISSIBILITY_H
+
+#include "sdf/SteadyState.h"
+
+#include <vector>
+
+namespace sgpu {
+
+/// One instance-level dependence of consumer instance (j, k, v) on
+/// producer instance (j + JLag, KProd, u).
+struct InstanceDep {
+  int64_t KProd; ///< Producer instance index within its iteration [0,k_u).
+  int64_t JLag;  ///< Iteration distance (<= 0; negative looks backwards).
+
+  bool operator==(const InstanceDep &RHS) const {
+    return KProd == RHS.KProd && JLag == RHS.JLag;
+  }
+  bool operator<(const InstanceDep &RHS) const {
+    if (JLag != RHS.JLag)
+      return JLag < RHS.JLag;
+    return KProd < RHS.KProd;
+  }
+};
+
+/// Computes the distinct dependences of consumer instance \p K (0-based,
+/// < k_v) over an edge with consumption \p Iuv, peek depth \p Peek
+/// (>= Iuv; pass Iuv for non-peeking consumers, recovering the paper's
+/// formula verbatim), production \p Ouv, \p Muv initial tokens, and \p Ku
+/// producer repetitions. Firing K needs the first K*Iuv + Peek tokens, so
+/// l ranges over [1, Peek]. Dependences entirely satisfied by the initial
+/// tokens are dropped.
+std::vector<InstanceDep> computeInstanceDeps(int64_t Iuv, int64_t Peek,
+                                             int64_t Ouv, int64_t Muv,
+                                             int64_t Ku, int64_t K);
+
+/// The instance-level dependence graph of one steady state: node per
+/// (filter instance), edge per InstanceDep, annotated with the producer
+/// delay. Used for RecMII and by the verifier.
+struct InstanceDepEdge {
+  int SrcNode;      ///< Producer graph node.
+  int64_t SrcK;     ///< Producer instance.
+  int DstNode;      ///< Consumer graph node.
+  int64_t DstK;     ///< Consumer instance.
+  int64_t Distance; ///< Iteration distance (= -JLag, >= 0).
+};
+
+/// Enumerates all instance dependences of the steady state \p SS.
+std::vector<InstanceDepEdge> buildInstanceDepGraph(const SteadyState &SS);
+
+/// Recurrence-constrained minimum II: the maximum over dependence cycles
+/// of (cycle delay) / (cycle distance), with per-instance delays
+/// \p Delay[node]. Returns 0 for acyclic instance graphs (all the paper's
+/// benchmarks; footnote 1 reports RecMII = 0 throughout). Computed by
+/// binary search on the ratio with negative-cycle detection.
+double computeRecMII(const SteadyState &SS, const std::vector<double> &Delay);
+
+} // namespace sgpu
+
+#endif // SGPU_SDF_ADMISSIBILITY_H

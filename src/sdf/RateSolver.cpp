@@ -1,0 +1,84 @@
+//===- sdf/RateSolver.cpp - SDF balance equations ---------------------------===//
+
+#include "sdf/RateSolver.h"
+
+#include "support/MathExtras.h"
+#include "support/Rational.h"
+
+using namespace sgpu;
+
+std::optional<std::vector<int64_t>>
+sgpu::computeRepetitionVector(const StreamGraph &G) {
+  int N = G.numNodes();
+  if (N == 0)
+    return std::vector<int64_t>();
+
+  // Propagate rational rates with a BFS per connected component.
+  std::vector<Rational> Rate(N, Rational(0));
+  std::vector<bool> Visited(N, false);
+
+  for (int Start = 0; Start < N; ++Start) {
+    if (Visited[Start])
+      continue;
+    Rate[Start] = Rational(1);
+    Visited[Start] = true;
+    std::vector<int> Work{Start};
+    for (size_t I = 0; I < Work.size(); ++I) {
+      int U = Work[I];
+      const GraphNode &NU = G.node(U);
+      auto Visit = [&](const ChannelEdge &E) {
+        // Balance: rate[Src] * ProdRate == rate[Dst] * ConsRate.
+        int Other = E.Src == U ? E.Dst : E.Src;
+        Rational Implied =
+            E.Src == U
+                ? Rate[U] * Rational(E.ProdRate, E.ConsRate)
+                : Rate[U] * Rational(E.ConsRate, E.ProdRate);
+        if (!Visited[Other]) {
+          Rate[Other] = Implied;
+          Visited[Other] = true;
+          Work.push_back(Other);
+        } else if (Rate[Other] != Implied) {
+          Rate[Other] = Rational(-1); // Mark inconsistency.
+        }
+      };
+      for (int EId : NU.OutEdges)
+        Visit(G.edge(EId));
+      for (int EId : NU.InEdges)
+        Visit(G.edge(EId));
+    }
+  }
+
+  for (int I = 0; I < N; ++I)
+    if (Rate[I] <= Rational(0))
+      return std::nullopt;
+
+  // Scale to the smallest integer vector: multiply by lcm of denominators,
+  // then divide by the gcd of the numerators.
+  int64_t DenLcm = 1;
+  for (const Rational &R : Rate)
+    DenLcm = lcm64(DenLcm, R.denominator());
+  std::vector<int64_t> Reps(N);
+  int64_t NumGcd = 0;
+  for (int I = 0; I < N; ++I) {
+    Reps[I] = Rate[I].numerator() * (DenLcm / Rate[I].denominator());
+    NumGcd = gcd64(NumGcd, Reps[I]);
+  }
+  for (int64_t &K : Reps)
+    K /= NumGcd;
+
+  if (!isBalanced(G, Reps))
+    return std::nullopt;
+  return Reps;
+}
+
+bool sgpu::isBalanced(const StreamGraph &G, const std::vector<int64_t> &Reps) {
+  if (Reps.size() != static_cast<size_t>(G.numNodes()))
+    return false;
+  for (const ChannelEdge &E : G.edges())
+    if (Reps[E.Src] * E.ProdRate != Reps[E.Dst] * E.ConsRate)
+      return false;
+  for (int64_t K : Reps)
+    if (K <= 0)
+      return false;
+  return true;
+}

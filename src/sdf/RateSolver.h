@@ -1,0 +1,37 @@
+//===- sdf/RateSolver.h - SDF balance equations ------------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Solves the steady-state rate (balance) equations of Lee/Messerschmitt
+/// SDF graphs — paper Section II-B, citing [13]: for every edge (u,v),
+/// k_u * O_uv == k_v * I_uv. The smallest positive integer solution is the
+/// primitive repetition vector k_v used throughout the compiler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SDF_RATESOLVER_H
+#define SGPU_SDF_RATESOLVER_H
+
+#include "ir/StreamGraph.h"
+
+#include <optional>
+#include <vector>
+
+namespace sgpu {
+
+/// Computes the primitive repetition vector of \p G. Returns std::nullopt
+/// when the graph is rate-inconsistent (no finite-buffer schedule exists,
+/// i.e. the balance equations only admit the zero solution).
+std::optional<std::vector<int64_t>>
+computeRepetitionVector(const StreamGraph &G);
+
+/// Verifies that \p Reps satisfies every balance equation of \p G.
+bool isBalanced(const StreamGraph &G, const std::vector<int64_t> &Reps);
+
+} // namespace sgpu
+
+#endif // SGPU_SDF_RATESOLVER_H

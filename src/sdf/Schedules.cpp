@@ -1,0 +1,114 @@
+//===- sdf/Schedules.cpp - SAS and buffer-size computation ------------------===//
+
+#include "sdf/Schedules.h"
+
+#include "support/Check.h"
+
+#include <algorithm>
+
+using namespace sgpu;
+
+std::optional<SequentialSchedule>
+sgpu::buildSingleAppearanceSchedule(const SteadyState &SS) {
+  std::optional<std::vector<int>> Order = SS.graph().topologicalOrder();
+  if (!Order)
+    return std::nullopt;
+  SequentialSchedule Sched;
+  for (int NodeId : *Order)
+    Sched.Steps.push_back({NodeId, SS.repetitionsOf(NodeId)});
+  return Sched;
+}
+
+std::optional<SequentialSchedule>
+sgpu::buildMinLatencySchedule(const SteadyState &SS) {
+  const StreamGraph &G = SS.graph();
+  int N = G.numNodes();
+  std::vector<int64_t> Tokens(G.numEdges());
+  for (const ChannelEdge &E : G.edges())
+    Tokens[E.Id] = E.InitTokens;
+  std::vector<int64_t> Remaining(N);
+  for (int I = 0; I < N; ++I)
+    Remaining[I] = SS.repetitionsOf(I);
+
+  auto CanFire = [&](int V) {
+    if (Remaining[V] == 0)
+      return false;
+    for (int EId : G.node(V).InEdges) {
+      const ChannelEdge &E = G.edge(EId);
+      if (Tokens[EId] < E.PeekRate)
+        return false;
+    }
+    return true;
+  };
+
+  // Demand-driven: prefer firing nodes later in topological order (the
+  // consumers), which keeps channel occupancy low.
+  std::optional<std::vector<int>> Order = G.topologicalOrder();
+  if (!Order)
+    return std::nullopt;
+  std::vector<int> Priority(N);
+  for (int I = 0; I < N; ++I)
+    Priority[(*Order)[I]] = I;
+
+  SequentialSchedule Sched;
+  int64_t TotalRemaining = 0;
+  for (int64_t R : Remaining)
+    TotalRemaining += R;
+  while (TotalRemaining > 0) {
+    int Best = -1;
+    for (int V = 0; V < N; ++V)
+      if (CanFire(V) && (Best < 0 || Priority[V] > Priority[Best]))
+        Best = V;
+    if (Best < 0)
+      return std::nullopt; // Deadlock.
+    // Fire once.
+    for (int EId : G.node(Best).InEdges)
+      Tokens[EId] -= G.edge(EId).ConsRate;
+    for (int EId : G.node(Best).OutEdges)
+      Tokens[EId] += G.edge(EId).ProdRate;
+    --Remaining[Best];
+    --TotalRemaining;
+    if (!Sched.Steps.empty() && Sched.Steps.back().NodeId == Best)
+      ++Sched.Steps.back().Count;
+    else
+      Sched.Steps.push_back({Best, 1});
+  }
+  return Sched;
+}
+
+std::vector<int64_t>
+sgpu::computeBufferOccupancy(const SteadyState &SS,
+                             const SequentialSchedule &Sched) {
+  const StreamGraph &G = SS.graph();
+  std::vector<int64_t> Tokens(G.numEdges()), MaxTokens(G.numEdges());
+  for (const ChannelEdge &E : G.edges())
+    Tokens[E.Id] = MaxTokens[E.Id] = E.InitTokens;
+
+  auto FireNode = [&](int V, int64_t Count) {
+    for (int EId : G.node(V).InEdges)
+      Tokens[EId] -= Count * G.edge(EId).ConsRate;
+    for (int EId : G.node(V).OutEdges) {
+      Tokens[EId] += Count * G.edge(EId).ProdRate;
+      MaxTokens[EId] = std::max(MaxTokens[EId], Tokens[EId]);
+    }
+  };
+
+  // Init phase first (in topological order), then the schedule proper.
+  if (std::optional<std::vector<int>> Order = G.topologicalOrder())
+    for (int V : *Order)
+      if (SS.initFirings()[V] > 0)
+        FireNode(V, SS.initFirings()[V]);
+  for (const ScheduleStep &S : Sched.Steps)
+    FireNode(S.NodeId, S.Count);
+  return MaxTokens;
+}
+
+int64_t sgpu::totalBufferBytes(const StreamGraph &G,
+                               const std::vector<int64_t> &OccupancyTokens) {
+  assert(OccupancyTokens.size() == static_cast<size_t>(G.numEdges()) &&
+         "occupancy vector size mismatch");
+  int64_t Bytes = 0;
+  for (const ChannelEdge &E : G.edges())
+    Bytes += OccupancyTokens[E.Id] * tokenSizeBytes(E.Ty);
+  return Bytes;
+}

@@ -1,0 +1,74 @@
+//===- sdf/Schedules.h - SAS and buffer-size computation --------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sequential steady-state schedules. The Single Appearance Schedule (SAS,
+/// [14][8] in the paper) fires each node exactly once with its full
+/// repetition count, in topological order; it is the paper's "Serial"
+/// comparison scheme and also the CPU baseline order. Buffer-requirement
+/// computation for SAS follows the schedule literally (max channel
+/// occupancy); the paper notes SAS needs the most buffering of all
+/// steady-state schedules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SDF_SCHEDULES_H
+#define SGPU_SDF_SCHEDULES_H
+
+#include "sdf/SteadyState.h"
+
+#include <optional>
+#include <vector>
+
+namespace sgpu {
+
+/// One step of a sequential schedule: fire node \p NodeId \p Count times.
+struct ScheduleStep {
+  int NodeId;
+  int64_t Count;
+};
+
+/// A sequential steady-state schedule (one iteration's firing sequence).
+struct SequentialSchedule {
+  std::vector<ScheduleStep> Steps;
+
+  /// Total firings in one iteration.
+  int64_t totalFirings() const {
+    int64_t N = 0;
+    for (const ScheduleStep &S : Steps)
+      N += S.Count;
+    return N;
+  }
+};
+
+/// Builds the Single Appearance Schedule of \p SS (topological order, each
+/// node once with count k_v). Returns nullopt when the graph has a
+/// token-free cycle.
+std::optional<SequentialSchedule>
+buildSingleAppearanceSchedule(const SteadyState &SS);
+
+/// Builds a minimum-buffer (demand-driven, "minimum latency" [15]) style
+/// schedule: repeatedly fires any node whose firing rule is satisfied,
+/// preferring consumers over producers, until each node has fired k_v
+/// times. Returns nullopt when the graph deadlocks.
+std::optional<SequentialSchedule>
+buildMinLatencySchedule(const SteadyState &SS);
+
+/// Per-edge maximum token occupancy when executing \p Sched once, starting
+/// from the initial tokens (plus the init-phase firings of \p SS). This is
+/// the buffer requirement of the schedule in tokens.
+std::vector<int64_t> computeBufferOccupancy(const SteadyState &SS,
+                                            const SequentialSchedule &Sched);
+
+/// Sums per-edge occupancy in bytes (4-byte tokens), the Table II metric
+/// for a sequential schedule.
+int64_t totalBufferBytes(const StreamGraph &G,
+                         const std::vector<int64_t> &OccupancyTokens);
+
+} // namespace sgpu
+
+#endif // SGPU_SDF_SCHEDULES_H

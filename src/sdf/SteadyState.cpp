@@ -1,0 +1,81 @@
+//===- sdf/SteadyState.cpp - Steady-state schedule facts --------------------===//
+
+#include "sdf/SteadyState.h"
+
+#include "sdf/RateSolver.h"
+#include "support/Check.h"
+#include "support/MathExtras.h"
+
+using namespace sgpu;
+
+std::optional<SteadyState> SteadyState::compute(const StreamGraph &G) {
+  std::optional<std::vector<int64_t>> Reps = computeRepetitionVector(G);
+  if (!Reps)
+    return std::nullopt;
+
+  SteadyState SS;
+  SS.G = &G;
+  SS.Reps = std::move(*Reps);
+
+  // Initialization firings: walking the graph in reverse topological
+  // order, require that after the init phase each edge (u,v) holds at
+  // least peek - cons surplus tokens beyond what v's init firings consume:
+  //   m_uv + init_u * O_uv - init_v * I_uv >= peek_uv - I_uv
+  // i.e. init_u >= ceil((peek - I + init_v*I - m) / O).
+  std::optional<std::vector<int>> Order = G.topologicalOrder();
+  SS.Init.assign(G.numNodes(), 0);
+  if (Order) {
+    for (auto It = Order->rbegin(); It != Order->rend(); ++It) {
+      int V = *It;
+      for (int EId : G.node(V).InEdges) {
+        const ChannelEdge &E = G.edge(EId);
+        int64_t Needed =
+            E.PeekRate - E.ConsRate + SS.Init[V] * E.ConsRate - E.InitTokens;
+        if (Needed > 0) {
+          int64_t Firings = ceilDiv(Needed, E.ProdRate);
+          if (Firings > SS.Init[E.Src])
+            SS.Init[E.Src] = Firings;
+        }
+      }
+    }
+  }
+  return SS;
+}
+
+int64_t SteadyState::tokensPerIteration(int EdgeId) const {
+  const ChannelEdge &E = G->edge(EdgeId);
+  int64_t Tokens = Reps[E.Src] * E.ProdRate;
+  assert(Tokens == Reps[E.Dst] * E.ConsRate && "unbalanced edge");
+  return Tokens;
+}
+
+int64_t SteadyState::inputTokensPerIteration() const {
+  int Entry = G->entryNode();
+  if (Entry < 0)
+    return 0;
+  const GraphNode &N = G->node(Entry);
+  assert(N.isFilter() && "entry node must be a filter");
+  return Reps[Entry] * N.TheFilter->popRate();
+}
+
+int64_t SteadyState::outputTokensPerIteration() const {
+  int Exit = G->exitNode();
+  if (Exit < 0)
+    return 0;
+  const GraphNode &N = G->node(Exit);
+  assert(N.isFilter() && "exit node must be a filter");
+  return Reps[Exit] * N.TheFilter->pushRate();
+}
+
+int64_t SteadyState::inputTokensNeeded(int64_t Iterations) const {
+  int Entry = G->entryNode();
+  if (Entry < 0)
+    return 0;
+  const GraphNode &N = G->node(Entry);
+  const Filter &F = *N.TheFilter;
+  int64_t InitPops = Init[Entry] * F.popRate();
+  int64_t SteadyPops = Iterations * Reps[Entry] * F.popRate();
+  // The entry node itself may peek beyond what it pops.
+  int64_t Slack = F.peekRate() - F.popRate();
+  return InitPops + SteadyPops + Slack;
+}

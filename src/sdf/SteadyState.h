@@ -1,0 +1,67 @@
+//===- sdf/SteadyState.h - Steady-state schedule facts ----------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derived facts about one steady-state iteration of a stream graph: the
+/// repetition vector, per-edge token traffic, the initialization firings
+/// needed before peeking filters reach steady state, and program I/O
+/// volumes. One "steady state iteration" is one execution of the steady
+/// state schedule (paper Section II-B).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SDF_STEADYSTATE_H
+#define SGPU_SDF_STEADYSTATE_H
+
+#include "ir/StreamGraph.h"
+
+#include <optional>
+#include <vector>
+
+namespace sgpu {
+
+/// Immutable steady-state summary of a graph.
+class SteadyState {
+public:
+  /// Computes the steady state of \p G; nullopt if rate-inconsistent.
+  static std::optional<SteadyState> compute(const StreamGraph &G);
+
+  const StreamGraph &graph() const { return *G; }
+  const std::vector<int64_t> &repetitions() const { return Reps; }
+  int64_t repetitionsOf(int NodeId) const { return Reps[NodeId]; }
+
+  /// Tokens crossing edge \p EdgeId during one steady-state iteration.
+  int64_t tokensPerIteration(int EdgeId) const;
+
+  /// Tokens the entry node pops from the program input per iteration
+  /// (0 when the graph starts with a source filter).
+  int64_t inputTokensPerIteration() const;
+
+  /// Tokens the exit node pushes to the program output per iteration.
+  int64_t outputTokensPerIteration() const;
+
+  /// Initialization firings per node that build up the peek slack
+  /// (peek - pop tokens) on every peeking edge so that the steady-state
+  /// schedule can run in topological order forever. All-zero for graphs
+  /// without peeking filters.
+  const std::vector<int64_t> &initFirings() const { return Init; }
+
+  /// Program input tokens needed to run the init phase plus \p Iterations
+  /// steady-state iterations, including the entry node's own peek slack.
+  int64_t inputTokensNeeded(int64_t Iterations) const;
+
+private:
+  SteadyState() = default;
+
+  const StreamGraph *G = nullptr;
+  std::vector<int64_t> Reps;
+  std::vector<int64_t> Init;
+};
+
+} // namespace sgpu
+
+#endif // SGPU_SDF_STEADYSTATE_H

@@ -1,0 +1,52 @@
+//===- support/Casting.h - isa/cast/dyn_cast for AST nodes -----*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-rolled, opt-in RTTI scheme in the LLVM style. Classes participate
+/// by exposing `static bool classof(const Base *)`; the library is built
+/// without C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SUPPORT_CASTING_H
+#define SGPU_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace sgpu {
+
+/// Returns true if \p Val dynamically is a To. \p Val must be non-null.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that the cast is valid.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast, const variant.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast; returns null when the dynamic type does not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast, const variant.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace sgpu
+
+#endif // SGPU_SUPPORT_CASTING_H

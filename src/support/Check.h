@@ -1,0 +1,43 @@
+//===- support/Check.h - Assertion and unreachable helpers -----*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight assertion helpers used across the library. The library does
+/// not use exceptions or RTTI; programmatic errors abort via these helpers
+/// and recoverable conditions are reported through return values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SUPPORT_CHECK_H
+#define SGPU_SUPPORT_CHECK_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sgpu {
+
+/// Aborts the program with a message. Marks unreachable control flow, e.g.
+/// a fully covered switch over an enumeration.
+[[noreturn]] inline void unreachable(const char *Msg, const char *File,
+                                     int Line) {
+  std::fprintf(stderr, "UNREACHABLE at %s:%d: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+/// Reports a fatal usage error (bad input that the library cannot recover
+/// from) and aborts. Unlike assert, this fires in release builds too.
+[[noreturn]] inline void reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "fatal error: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace sgpu
+
+#define SGPU_UNREACHABLE(MSG) ::sgpu::unreachable(MSG, __FILE__, __LINE__)
+
+#endif // SGPU_SUPPORT_CHECK_H

@@ -1,0 +1,51 @@
+//===- support/DotWriter.cpp - Graphviz DOT emission ----------------------===//
+
+#include "support/DotWriter.h"
+
+#include <sstream>
+
+using namespace sgpu;
+
+std::string sgpu::escapeDotLabel(const std::string &Label) {
+  std::string Out;
+  Out.reserve(Label.size());
+  for (char C : Label) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+DotWriter::DotWriter(std::string GraphName) : Name(std::move(GraphName)) {}
+
+int DotWriter::addNode(int Id, const std::string &Label,
+                       const std::string &Attrs) {
+  std::ostringstream OS;
+  OS << "  n" << Id << " [label=\"" << escapeDotLabel(Label) << "\"";
+  if (!Attrs.empty())
+    OS << ", " << Attrs;
+  OS << "];";
+  Nodes.push_back(OS.str());
+  return Id;
+}
+
+void DotWriter::addEdge(int From, int To, const std::string &Label) {
+  std::ostringstream OS;
+  OS << "  n" << From << " -> n" << To;
+  if (!Label.empty())
+    OS << " [label=\"" << escapeDotLabel(Label) << "\"]";
+  OS << ";";
+  Edges.push_back(OS.str());
+}
+
+std::string DotWriter::str() const {
+  std::ostringstream OS;
+  OS << "digraph \"" << escapeDotLabel(Name) << "\" {\n";
+  for (const std::string &N : Nodes)
+    OS << N << "\n";
+  for (const std::string &E : Edges)
+    OS << E << "\n";
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,48 @@
+//===- support/DotWriter.h - Graphviz DOT emission --------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal Graphviz writer used to dump flattened stream graphs and
+/// schedules for debugging; mirrors the paper's Figure 4 style diagrams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SUPPORT_DOTWRITER_H
+#define SGPU_SUPPORT_DOTWRITER_H
+
+#include <string>
+#include <vector>
+
+namespace sgpu {
+
+/// Accumulates nodes and edges and renders a DOT digraph string.
+class DotWriter {
+public:
+  explicit DotWriter(std::string GraphName);
+
+  /// Adds a node; \p Id must be unique. Returns the node id for chaining.
+  int addNode(int Id, const std::string &Label,
+              const std::string &Attrs = "");
+
+  /// Adds a directed edge between previously added node ids.
+  void addEdge(int From, int To, const std::string &Label = "");
+
+  /// Renders the graph.
+  std::string str() const;
+
+private:
+  std::string Name;
+  std::vector<std::string> Nodes;
+  std::vector<std::string> Edges;
+};
+
+/// Escapes a label for inclusion in a DOT quoted string.
+std::string escapeDotLabel(const std::string &Label);
+
+} // namespace sgpu
+
+#endif // SGPU_SUPPORT_DOTWRITER_H

@@ -1,0 +1,97 @@
+//===- support/Json.cpp - Minimal JSON writer --------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace sgpu;
+
+JsonWriter::JsonWriter() { FirstInScope.push_back(true); }
+
+void JsonWriter::comma() {
+  assert(!FirstInScope.empty() && "writing outside any scope");
+  if (!FirstInScope.back())
+    Out += ",";
+  FirstInScope.back() = false;
+}
+
+void JsonWriter::key(const std::string &Key) {
+  comma();
+  if (!Key.empty())
+    Out += "\"" + escape(Key) + "\":";
+}
+
+std::string JsonWriter::escape(const std::string &S) {
+  std::string R;
+  R.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"': R += "\\\""; break;
+    case '\\': R += "\\\\"; break;
+    case '\n': R += "\\n"; break;
+    case '\t': R += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        R += Buf;
+      } else {
+        R += C;
+      }
+    }
+  }
+  return R;
+}
+
+void JsonWriter::beginObject(const std::string &Key) {
+  key(Key);
+  Out += "{";
+  FirstInScope.push_back(true);
+}
+
+void JsonWriter::endObject() {
+  assert(FirstInScope.size() > 1 && "endObject without beginObject");
+  FirstInScope.pop_back();
+  Out += "}";
+}
+
+void JsonWriter::beginArray(const std::string &Key) {
+  key(Key);
+  Out += "[";
+  FirstInScope.push_back(true);
+}
+
+void JsonWriter::endArray() {
+  assert(FirstInScope.size() > 1 && "endArray without beginArray");
+  FirstInScope.pop_back();
+  Out += "]";
+}
+
+void JsonWriter::writeString(const std::string &Key,
+                             const std::string &Value) {
+  key(Key);
+  Out += "\"" + escape(Value) + "\"";
+}
+
+void JsonWriter::writeInt(const std::string &Key, int64_t Value) {
+  key(Key);
+  Out += std::to_string(Value);
+}
+
+void JsonWriter::writeDouble(const std::string &Key, double Value) {
+  key(Key);
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.10g", Value);
+  Out += Buf;
+}
+
+void JsonWriter::writeBool(const std::string &Key, bool Value) {
+  key(Key);
+  Out += Value ? "true" : "false";
+}
+
+std::string JsonWriter::str() const {
+  assert(FirstInScope.size() == 1 && "unclosed scopes at str()");
+  return Out;
+}

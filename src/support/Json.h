@@ -1,0 +1,58 @@
+//===- support/Json.h - Minimal JSON writer ---------------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer used to export compile reports and
+/// schedules for downstream analysis (plots, dashboards). Write-only by
+/// design: the project never consumes JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SUPPORT_JSON_H
+#define SGPU_SUPPORT_JSON_H
+
+#include <string>
+#include <vector>
+
+namespace sgpu {
+
+/// Emits syntactically valid JSON via begin/end scopes and typed key
+/// writers. Scopes must be closed in LIFO order (asserted).
+class JsonWriter {
+public:
+  JsonWriter();
+
+  void beginObject(const std::string &Key = "");
+  void endObject();
+  void beginArray(const std::string &Key = "");
+  void endArray();
+
+  void writeString(const std::string &Key, const std::string &Value);
+  void writeInt(const std::string &Key, int64_t Value);
+  void writeDouble(const std::string &Key, double Value);
+  void writeBool(const std::string &Key, bool Value);
+
+  /// Array-element variants (no key).
+  void writeString(const std::string &Value) { writeString("", Value); }
+  void writeInt(int64_t Value) { writeInt("", Value); }
+  void writeDouble(double Value) { writeDouble("", Value); }
+
+  /// Finalizes and returns the document; all scopes must be closed.
+  std::string str() const;
+
+private:
+  void comma();
+  void key(const std::string &Key);
+  static std::string escape(const std::string &S);
+
+  std::string Out;
+  std::vector<bool> FirstInScope; ///< Per open scope.
+};
+
+} // namespace sgpu
+
+#endif // SGPU_SUPPORT_JSON_H

@@ -1,0 +1,27 @@
+//===- support/MathExtras.cpp - Integer math utilities --------------------===//
+
+#include "support/MathExtras.h"
+
+using namespace sgpu;
+
+int64_t sgpu::gcd64(int64_t A, int64_t B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+int64_t sgpu::lcm64(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  int64_t G = gcd64(A, B);
+  int64_t L = (A / G) * B;
+  assert(L / B == A / G && "lcm64 overflow");
+  return L < 0 ? -L : L;
+}

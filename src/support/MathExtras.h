@@ -1,0 +1,63 @@
+//===- support/MathExtras.h - Integer math utilities -----------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact integer helpers used by the SDF rate solver, the dependence
+/// constraint generator (which needs floor/ceil division with negative
+/// numerators, paper Section III-C) and the buffer layout math.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SUPPORT_MATHEXTRAS_H
+#define SGPU_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace sgpu {
+
+/// Greatest common divisor; gcd(0, 0) == 0 by convention.
+int64_t gcd64(int64_t A, int64_t B);
+
+/// Least common multiple. Asserts on overflow in debug builds.
+int64_t lcm64(int64_t A, int64_t B);
+
+/// Floor division that is correct for negative numerators,
+/// e.g. floorDiv(-1, 3) == -1.
+constexpr int64_t floorDiv(int64_t Num, int64_t Den) {
+  assert(Den > 0 && "floorDiv requires a positive denominator");
+  int64_t Q = Num / Den;
+  return (Num % Den != 0 && Num < 0) ? Q - 1 : Q;
+}
+
+/// Ceiling division that is correct for negative numerators,
+/// e.g. ceilDiv(-1, 3) == 0 and ceilDiv(4, 3) == 2.
+constexpr int64_t ceilDiv(int64_t Num, int64_t Den) {
+  assert(Den > 0 && "ceilDiv requires a positive denominator");
+  int64_t Q = Num / Den;
+  return (Num % Den != 0 && Num > 0) ? Q + 1 : Q;
+}
+
+/// Mathematical modulus with a result in [0, Den), also for negative Num.
+constexpr int64_t floorMod(int64_t Num, int64_t Den) {
+  assert(Den > 0 && "floorMod requires a positive denominator");
+  int64_t R = Num % Den;
+  return R < 0 ? R + Den : R;
+}
+
+/// Returns true if \p X is a (positive) power of two.
+constexpr bool isPowerOf2(int64_t X) { return X > 0 && (X & (X - 1)) == 0; }
+
+/// Rounds \p X up to the next multiple of \p Align (Align > 0).
+constexpr int64_t alignTo(int64_t X, int64_t Align) {
+  assert(Align > 0 && "alignment must be positive");
+  return ceilDiv(X, Align) * Align;
+}
+
+} // namespace sgpu
+
+#endif // SGPU_SUPPORT_MATHEXTRAS_H

@@ -1,0 +1,63 @@
+//===- support/Rational.cpp - Exact rational arithmetic -------------------===//
+
+#include "support/Rational.h"
+
+#include <cstdio>
+
+using namespace sgpu;
+
+Rational::Rational(int64_t N, int64_t D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  int64_t G = gcd64(N, D);
+  if (G == 0)
+    G = 1;
+  Num = N / G;
+  Den = D / G;
+}
+
+Rational Rational::operator+(const Rational &RHS) const {
+  // Reduce via the gcd of the denominators first to delay overflow.
+  int64_t G = gcd64(Den, RHS.Den);
+  int64_t Scale = RHS.Den / G;
+  return Rational(Num * Scale + RHS.Num * (Den / G), Den * Scale);
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return *this + (-RHS);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  // Cross-reduce before multiplying to delay overflow.
+  int64_t G1 = gcd64(Num, RHS.Den);
+  int64_t G2 = gcd64(RHS.Num, Den);
+  if (G1 == 0)
+    G1 = 1;
+  if (G2 == 0)
+    G2 = 1;
+  return Rational((Num / G1) * (RHS.Num / G2), (Den / G2) * (RHS.Den / G1));
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  assert(!RHS.isZero() && "division by zero rational");
+  return *this * Rational(RHS.Den, RHS.Num);
+}
+
+bool Rational::operator<(const Rational &RHS) const {
+  // Compare via cross multiplication with gcd reduction.
+  int64_t G = gcd64(Den, RHS.Den);
+  return Num * (RHS.Den / G) < RHS.Num * (Den / G);
+}
+
+std::string Rational::str() const {
+  char Buf[64];
+  if (Den == 1)
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(Num));
+  else
+    std::snprintf(Buf, sizeof(Buf), "%lld/%lld", static_cast<long long>(Num),
+                  static_cast<long long>(Den));
+  return Buf;
+}

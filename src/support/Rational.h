@@ -1,0 +1,73 @@
+//===- support/Rational.h - Exact rational arithmetic ----------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An exact rational number. The SDF balance equations (Lee/Messerschmitt,
+/// cited as [13] in the paper) are solved over the rationals before scaling
+/// to the smallest integer repetition vector; floating point would silently
+/// break rate consistency on deep graphs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SUPPORT_RATIONAL_H
+#define SGPU_SUPPORT_RATIONAL_H
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace sgpu {
+
+/// An always-normalized rational: the denominator is positive and the
+/// numerator and denominator are coprime. Zero is represented as 0/1.
+class Rational {
+public:
+  Rational() = default;
+  Rational(int64_t Value) : Num(Value) {}
+  Rational(int64_t Num, int64_t Den);
+
+  int64_t numerator() const { return Num; }
+  int64_t denominator() const { return Den; }
+
+  bool isZero() const { return Num == 0; }
+  bool isInteger() const { return Den == 1; }
+
+  /// Returns the integer value; asserts unless isInteger().
+  int64_t asInteger() const {
+    assert(isInteger() && "rational is not integral");
+    return Num;
+  }
+
+  Rational operator+(const Rational &RHS) const;
+  Rational operator-(const Rational &RHS) const;
+  Rational operator*(const Rational &RHS) const;
+  Rational operator/(const Rational &RHS) const;
+  Rational operator-() const { return Rational(-Num, Den); }
+
+  bool operator==(const Rational &RHS) const {
+    return Num == RHS.Num && Den == RHS.Den;
+  }
+  bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
+  bool operator<(const Rational &RHS) const;
+  bool operator<=(const Rational &RHS) const {
+    return *this < RHS || *this == RHS;
+  }
+  bool operator>(const Rational &RHS) const { return RHS < *this; }
+  bool operator>=(const Rational &RHS) const { return RHS <= *this; }
+
+  std::string str() const;
+
+private:
+  int64_t Num = 0;
+  int64_t Den = 1;
+};
+
+} // namespace sgpu
+
+#endif // SGPU_SUPPORT_RATIONAL_H

@@ -1,0 +1,46 @@
+//===- support/Rng.cpp - Deterministic pseudo random numbers --------------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace sgpu;
+
+Rng::Rng(uint64_t Seed) {
+  // splitmix64 scramble of the seed so that nearby seeds diverge.
+  uint64_t Z = Seed + 0x9e3779b97f4a7c15ull;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  State = Z ^ (Z >> 31);
+  if (State == 0)
+    State = 0x1ull;
+}
+
+uint64_t Rng::next() {
+  // xorshift64*.
+  uint64_t X = State;
+  X ^= X >> 12;
+  X ^= X << 25;
+  X ^= X >> 27;
+  State = X;
+  return X * 0x2545f4914f6cdd1dull;
+}
+
+int64_t Rng::nextInt(int64_t Bound) {
+  assert(Bound > 0 && "nextInt bound must be positive");
+  return static_cast<int64_t>(next() % static_cast<uint64_t>(Bound));
+}
+
+int64_t Rng::nextIntInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  return Lo + nextInt(Hi - Lo + 1);
+}
+
+double Rng::nextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+float Rng::nextFloat(float Scale) {
+  return static_cast<float>((nextDouble() * 2.0 - 1.0) * Scale);
+}

@@ -1,0 +1,48 @@
+//===- support/Rng.h - Deterministic pseudo random numbers -----*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic RNG (splitmix64 seeded xorshift) used by the
+/// benchmark input generators and the property tests. Determinism matters:
+/// simulated GPU output is compared bit-for-bit against the CPU reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SUPPORT_RNG_H
+#define SGPU_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace sgpu {
+
+/// Deterministic 64-bit PRNG with a tiny state. Not cryptographic.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform integer in [0, Bound); Bound must be positive.
+  int64_t nextInt(int64_t Bound);
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextIntInRange(int64_t Lo, int64_t Hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Uniform float in [-Scale, Scale).
+  float nextFloat(float Scale = 1.0f);
+
+private:
+  uint64_t State;
+};
+
+} // namespace sgpu
+
+#endif // SGPU_SUPPORT_RNG_H

@@ -1,0 +1,117 @@
+//===- tests/dsl_programs_test.cpp - End-to-end DSL program tests -----------===//
+//
+// Compiles the shipped .str programs through the full pipeline: parse ->
+// flatten -> validate -> schedule -> functional check, and sanity-checks
+// the new latency/throughput report fields.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "gpusim/FunctionalSim.h"
+#include "parser/Parser.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace sgpu;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// The example programs live relative to the repository root; the test
+/// binary runs from the build tree, so probe both.
+std::string programPath(const std::string &Name) {
+  for (const char *Prefix : {"../../examples/programs/",
+                             "../examples/programs/",
+                             "examples/programs/"}) {
+    std::ifstream Probe(Prefix + Name);
+    if (Probe.good())
+      return Prefix + Name;
+  }
+  return std::string(SGPU_SOURCE_DIR) + "/examples/programs/" + Name;
+}
+
+} // namespace
+
+class DslProgram : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(DslProgram, ParsesAndValidates) {
+  std::string Src = readFile(programPath(GetParam()));
+  ParseDiagnostic Diag;
+  StreamPtr S = parseStreamProgram(Src, &Diag);
+  ASSERT_NE(S, nullptr) << Diag.str();
+  StreamGraph G = flatten(*S);
+  auto Err = G.validate();
+  EXPECT_FALSE(Err.has_value()) << *Err;
+  EXPECT_FALSE(validateGraphRates(G).has_value());
+}
+
+TEST_P(DslProgram, CompilesAndRunsOnTheSimulator) {
+  std::string Src = readFile(programPath(GetParam()));
+  ParseDiagnostic Diag;
+  StreamPtr S = parseStreamProgram(Src, &Diag);
+  ASSERT_NE(S, nullptr) << Diag.str();
+  StreamGraph G = flatten(*S);
+
+  CompileOptions Options;
+  Options.Sched.Pmax = 8;
+  Options.Sched.TimeBudgetSeconds = 0.5;
+  auto R = compileForGpu(G, Options);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_GT(R->Speedup, 0.0);
+  EXPECT_GT(R->TokensPerKiloCycle, 0.0);
+  EXPECT_GE(R->PipelineLatencyCycles,
+            R->SchedStats.FinalII - 1e-9);
+
+  auto SS = SteadyState::compute(G);
+  SwpFunctionalSim Sim(G, *SS, R->Config, R->GSS, R->Schedule);
+  Rng Rand(31);
+  std::vector<Scalar> In;
+  for (int64_t I = 0, E = Sim.inputTokensNeeded(1); I < E; ++I)
+    In.push_back(Scalar::makeFloat(Rand.nextFloat(1.0f)));
+  auto FErr = checkScheduleAgainstReference(G, *SS, R->Config, R->GSS,
+                                            R->Schedule, In, 1);
+  EXPECT_FALSE(FErr.has_value()) << *FErr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, DslProgram,
+    ::testing::Values("equalizer.str", "filterbank.str"),
+    [](const ::testing::TestParamInfo<const char *> &Info) {
+      std::string Name = Info.param;
+      return Name.substr(0, Name.find('.'));
+    });
+
+TEST(ReportMetrics, LatencyGrowsWithStages) {
+  // A deeper pipeline has more stages in flight, hence more latency at a
+  // similar II.
+  auto Build = [](int Stages) {
+    std::ostringstream Src;
+    Src << "pipeline P {\n";
+    for (int I = 0; I < Stages; ++I)
+      Src << "filter F" << I
+          << "(float -> float, pop 1, push 1) { push(pop() * 1.5); }\n";
+    Src << "}\n";
+    ParseDiagnostic Diag;
+    StreamPtr S = parseStreamProgram(Src.str(), &Diag);
+    EXPECT_NE(S, nullptr) << Diag.str();
+    return flatten(*S);
+  };
+  CompileOptions Options;
+  Options.Sched.Pmax = 4;
+  StreamGraph G2 = Build(2), G8 = Build(8);
+  auto R2 = compileForGpu(G2, Options);
+  auto R8 = compileForGpu(G8, Options);
+  ASSERT_TRUE(R2 && R8);
+  EXPECT_GT(R8->PipelineLatencyCycles, R2->PipelineLatencyCycles);
+}

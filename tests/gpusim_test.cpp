@@ -1,0 +1,125 @@
+//===- tests/gpusim_test.cpp - Occupancy and timing model tests -------------===//
+
+#include "gpusim/KernelTiming.h"
+#include "gpusim/Occupancy.h"
+
+#include <gtest/gtest.h>
+
+using namespace sgpu;
+
+namespace {
+
+const GpuArch Arch = GpuArch::geForce8800GTS512();
+
+InstanceCost baseCost() {
+  InstanceCost C;
+  C.Threads = 256;
+  C.ComputeOps = 100;
+  C.GlobalAccesses = 8;
+  C.TxnsPerAccess = 1.0 / 16.0;
+  return C;
+}
+
+} // namespace
+
+TEST(GpuArch, PaperParameters) {
+  EXPECT_EQ(Arch.NumSMs, 16);
+  EXPECT_EQ(Arch.ScalarUnitsPerSM, 8);
+  EXPECT_EQ(Arch.WarpSize, 32);
+  EXPECT_EQ(Arch.MaxThreadsPerSM, 768);
+  EXPECT_EQ(Arch.MaxThreadsPerBlock, 512);
+  EXPECT_EQ(Arch.MaxBlocksPerSM, 8);
+  EXPECT_EQ(Arch.RegistersPerSM, 8192);
+  EXPECT_EQ(Arch.SharedMemPerSM, 16384);
+  EXPECT_GE(Arch.MemLatencyCycles, 400);
+  EXPECT_LE(Arch.MemLatencyCycles, 600);
+}
+
+TEST(Occupancy, PaperRegisterThreadPairs) {
+  // Fig. 6: limits {16,20,32,64} let kernels run with {512,384,256,128}
+  // threads respectively (one block must fit the 8192-register file).
+  EXPECT_TRUE(computeOccupancy(Arch, 512, 16, 0).Feasible);
+  EXPECT_TRUE(computeOccupancy(Arch, 384, 20, 0).Feasible);
+  EXPECT_TRUE(computeOccupancy(Arch, 256, 32, 0).Feasible);
+  EXPECT_TRUE(computeOccupancy(Arch, 128, 64, 0).Feasible);
+  // And the over-budget combinations fail, as the paper describes.
+  EXPECT_FALSE(computeOccupancy(Arch, 512, 20, 0).Feasible);
+  EXPECT_FALSE(computeOccupancy(Arch, 384, 32, 0).Feasible);
+  EXPECT_FALSE(computeOccupancy(Arch, 256, 64, 0).Feasible);
+}
+
+TEST(Occupancy, BlockLimits) {
+  Occupancy O = computeOccupancy(Arch, 128, 10, 0);
+  // 768/128 = 6 blocks by threads; 8192/1280 = 6 by registers.
+  EXPECT_EQ(O.BlocksPerSM, 6);
+  EXPECT_EQ(O.ThreadsPerSM, 768);
+  EXPECT_EQ(O.WarpsPerSM, 24);
+}
+
+TEST(Occupancy, SharedMemoryLimits) {
+  Occupancy O = computeOccupancy(Arch, 64, 10, 8192);
+  EXPECT_TRUE(O.Feasible);
+  EXPECT_EQ(O.BlocksPerSM, 2); // 16 KB / 8 KB.
+  EXPECT_FALSE(computeOccupancy(Arch, 64, 10, 32768).Feasible);
+}
+
+TEST(Occupancy, OversizedBlockRejected) {
+  EXPECT_FALSE(computeOccupancy(Arch, 1024, 8, 0).Feasible);
+}
+
+TEST(KernelTiming, MoreComputeTakesLonger) {
+  InstanceCost A = baseCost(), B = baseCost();
+  B.ComputeOps *= 4;
+  EXPECT_GT(instanceCycles(Arch, B), instanceCycles(Arch, A));
+}
+
+TEST(KernelTiming, UncoalescedIsMuchSlower) {
+  InstanceCost C = baseCost();
+  C.GlobalAccesses = 64;
+  InstanceCost NC = C;
+  NC.TxnsPerAccess = 1.0;
+  double Coal = instanceCycles(Arch, C);
+  double Serial = instanceCycles(Arch, NC);
+  EXPECT_GT(Serial, 4.0 * Coal)
+      << "16x the transactions must show up as a large slowdown";
+}
+
+TEST(KernelTiming, FewThreadsExposeLatency) {
+  // The same per-thread work with fewer threads cannot hide latency:
+  // per-firing time (cycles / threads) must degrade at low occupancy.
+  InstanceCost Small = baseCost(), Big = baseCost();
+  Small.Threads = 32;
+  Big.Threads = 512;
+  double PerFiringSmall = instanceCycles(Arch, Small) / 32.0;
+  double PerFiringBig = instanceCycles(Arch, Big) / 512.0;
+  EXPECT_GT(PerFiringSmall, PerFiringBig);
+}
+
+TEST(KernelTiming, SpillsCostMemoryTraffic) {
+  InstanceCost C = baseCost(), Spilled = baseCost();
+  Spilled.SpillAccesses = 32;
+  EXPECT_GT(instanceCycles(Arch, Spilled), instanceCycles(Arch, C));
+  EXPECT_GT(instanceTransactions(Spilled), instanceTransactions(C));
+}
+
+TEST(KernelTiming, SharedConflictsAddReplays) {
+  InstanceCost C = baseCost(), Conflicted = baseCost();
+  C.SharedAccesses = Conflicted.SharedAccesses = 64;
+  Conflicted.SharedConflictDegree = 8.0;
+  EXPECT_GT(instanceCycles(Arch, Conflicted), instanceCycles(Arch, C));
+}
+
+TEST(KernelTiming, KernelLaunchOverheadAdds) {
+  KernelWork W;
+  W.MaxSmCycles = 1000;
+  W.TotalTxns = 0;
+  EXPECT_DOUBLE_EQ(kernelCycles(Arch, W),
+                   1000.0 + Arch.KernelLaunchCycles);
+}
+
+TEST(KernelTiming, ChipBandwidthBoundsKernel) {
+  KernelWork W;
+  W.MaxSmCycles = 10;
+  W.TotalTxns = 1e6;
+  EXPECT_GE(kernelCycles(Arch, W), 1e6 * Arch.ChipCyclesPerTxn);
+}

@@ -1,0 +1,187 @@
+//===- tests/ilp_test.cpp - Simplex and branch & bound tests ----------------===//
+
+#include "ilp/BranchAndBound.h"
+#include "ilp/Simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace sgpu;
+
+TEST(Simplex, TwoVarMaximization) {
+  // min -x - y s.t. x + 2y <= 4, 3x + y <= 6, 0 <= x,y <= 10.
+  LinearProgram LP;
+  int X = LP.addContinuousVar("x", 0, 10);
+  int Y = LP.addContinuousVar("y", 0, 10);
+  LP.addConstraint({{X, 1}, {Y, 2}}, RowSense::LE, 4);
+  LP.addConstraint({{X, 3}, {Y, 1}}, RowSense::LE, 6);
+  LP.setObjective({{X, -1}, {Y, -1}});
+  LpResult R = solveLpRelaxation(LP);
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  // Optimum at intersection: x = 8/5, y = 6/5, obj = -14/5.
+  EXPECT_NEAR(R.X[X], 1.6, 1e-6);
+  EXPECT_NEAR(R.X[Y], 1.2, 1e-6);
+  EXPECT_NEAR(R.Objective, -2.8, 1e-6);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + y s.t. x + y = 5, x - y = 1.
+  LinearProgram LP;
+  int X = LP.addContinuousVar("x", 0, 100);
+  int Y = LP.addContinuousVar("y", 0, 100);
+  LP.addConstraint({{X, 1}, {Y, 1}}, RowSense::EQ, 5);
+  LP.addConstraint({{X, 1}, {Y, -1}}, RowSense::EQ, 1);
+  LP.setObjective({{X, 1}, {Y, 1}});
+  LpResult R = solveLpRelaxation(LP);
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_NEAR(R.X[X], 3.0, 1e-6);
+  EXPECT_NEAR(R.X[Y], 2.0, 1e-6);
+}
+
+TEST(Simplex, GreaterEqualNeedsPhase1) {
+  // min x s.t. x >= 3.5.
+  LinearProgram LP;
+  int X = LP.addContinuousVar("x", 0, 100);
+  LP.addConstraint({{X, 1}}, RowSense::GE, 3.5);
+  LP.setObjective({{X, 1}});
+  LpResult R = solveLpRelaxation(LP);
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_NEAR(R.X[X], 3.5, 1e-6);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LinearProgram LP;
+  int X = LP.addContinuousVar("x", 0, 1);
+  LP.addConstraint({{X, 1}}, RowSense::GE, 2.0);
+  LpResult R = solveLpRelaxation(LP);
+  EXPECT_EQ(R.Status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, RespectsUpperBoundsWithoutRows) {
+  // max x + y with only variable bounds: lands at the corner.
+  LinearProgram LP;
+  int X = LP.addContinuousVar("x", 0, 2.5);
+  int Y = LP.addContinuousVar("y", 1, 4);
+  LP.addConstraint({{X, 1}, {Y, 1}}, RowSense::LE, 100);
+  LP.setObjective({{X, -1}, {Y, -1}});
+  LpResult R = solveLpRelaxation(LP);
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_NEAR(R.X[X], 2.5, 1e-6);
+  EXPECT_NEAR(R.X[Y], 4.0, 1e-6);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Highly degenerate: many redundant constraints through the origin.
+  LinearProgram LP;
+  int X = LP.addContinuousVar("x", 0, 10);
+  int Y = LP.addContinuousVar("y", 0, 10);
+  for (int I = 1; I <= 6; ++I)
+    LP.addConstraint({{X, double(I)}, {Y, 1.0}}, RowSense::GE, 0.0);
+  LP.addConstraint({{X, 1}, {Y, 1}}, RowSense::LE, 3);
+  LP.setObjective({{X, -1}, {Y, -2}});
+  LpResult R = solveLpRelaxation(LP);
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_NEAR(R.Objective, -6.0, 1e-6);
+}
+
+TEST(Milp, BinaryKnapsack) {
+  // max 10a + 6b + 4c s.t. a + b + c <= 2 (binary): pick a and b.
+  LinearProgram LP;
+  int A = LP.addBinaryVar("a");
+  int B = LP.addBinaryVar("b");
+  int C = LP.addBinaryVar("c");
+  LP.addConstraint({{A, 1}, {B, 1}, {C, 1}}, RowSense::LE, 2);
+  LP.setObjective({{A, -10}, {B, -6}, {C, -4}});
+  MilpOptions MO;
+  MO.StopAtFirstFeasible = false;
+  MilpResult R = solveMilp(LP, MO);
+  ASSERT_TRUE(R.hasSolution());
+  EXPECT_EQ(R.Outcome, MilpResult::Status::Optimal);
+  EXPECT_NEAR(R.Objective, -16.0, 1e-6);
+  EXPECT_NEAR(R.X[A], 1.0, 1e-6);
+  EXPECT_NEAR(R.X[B], 1.0, 1e-6);
+  EXPECT_NEAR(R.X[C], 0.0, 1e-6);
+}
+
+TEST(Milp, IntegerRounding) {
+  // min -x s.t. 2x <= 7, x integer: x = 3, not 3.5.
+  LinearProgram LP;
+  int X = LP.addIntVar("x", 0, 100);
+  LP.addConstraint({{X, 2}}, RowSense::LE, 7);
+  LP.setObjective({{X, -1}});
+  MilpOptions MO;
+  MO.StopAtFirstFeasible = false;
+  MilpResult R = solveMilp(LP, MO);
+  ASSERT_TRUE(R.hasSolution());
+  EXPECT_NEAR(R.X[X], 3.0, 1e-6);
+}
+
+TEST(Milp, ProvenInfeasible) {
+  // a + b = 1 and a + b = 2 cannot both hold.
+  LinearProgram LP;
+  int A = LP.addBinaryVar("a");
+  int B = LP.addBinaryVar("b");
+  LP.addConstraint({{A, 1}, {B, 1}}, RowSense::EQ, 1);
+  LP.addConstraint({{A, 1}, {B, 1}}, RowSense::EQ, 2);
+  MilpResult R = solveMilp(LP);
+  EXPECT_EQ(R.Outcome, MilpResult::Status::Infeasible);
+  EXPECT_FALSE(R.hasSolution());
+}
+
+TEST(Milp, FeasibilityProblemStopsAtFirst) {
+  // Pure feasibility: any assignment of 3 items to 2 bins with capacity.
+  LinearProgram LP;
+  std::vector<std::vector<int>> W(3, std::vector<int>(2));
+  for (int I = 0; I < 3; ++I) {
+    for (int P = 0; P < 2; ++P)
+      W[I][P] = LP.addBinaryVar("w" + std::to_string(I) +
+                                std::to_string(P));
+    LP.addConstraint({{W[I][0], 1}, {W[I][1], 1}}, RowSense::EQ, 1);
+  }
+  for (int P = 0; P < 2; ++P)
+    LP.addConstraint({{W[0][P], 5}, {W[1][P], 4}, {W[2][P], 3}},
+                     RowSense::LE, 8);
+  MilpResult R = solveMilp(LP);
+  ASSERT_TRUE(R.hasSolution());
+  EXPECT_TRUE(LP.isFeasible(R.X));
+}
+
+TEST(Milp, IncumbentShortCircuits) {
+  LinearProgram LP;
+  int A = LP.addBinaryVar("a");
+  int B = LP.addBinaryVar("b");
+  LP.addConstraint({{A, 1}, {B, 1}}, RowSense::GE, 1);
+  std::vector<double> Incumbent = {1.0, 0.0};
+  MilpResult R = solveMilp(LP, MilpOptions(), Incumbent);
+  ASSERT_TRUE(R.hasSolution());
+  EXPECT_EQ(R.NodesExplored, 0);
+  EXPECT_EQ(R.X, Incumbent);
+}
+
+TEST(Milp, TimeBudgetRespected) {
+  // A hard-ish random-looking subset-sum; the budget must bound time.
+  LinearProgram LP;
+  std::vector<LinTerm> Row;
+  for (int I = 0; I < 24; ++I) {
+    int V = LP.addBinaryVar("x" + std::to_string(I));
+    Row.push_back({V, double(100 + 17 * I % 97)});
+  }
+  LP.addConstraint(Row, RowSense::EQ, 1111.5); // Unsatisfiable (half).
+  MilpOptions MO;
+  MO.TimeBudgetSeconds = 0.2;
+  MilpResult R = solveMilp(LP, MO);
+  EXPECT_LT(R.Seconds, 5.0);
+  EXPECT_FALSE(R.hasSolution());
+}
+
+TEST(LinearProgram, FeasibilityChecker) {
+  LinearProgram LP;
+  int X = LP.addIntVar("x", 0, 5);
+  int Y = LP.addContinuousVar("y", 0, 5);
+  LP.addConstraint({{X, 1}, {Y, 1}}, RowSense::LE, 6);
+  EXPECT_TRUE(LP.isFeasible({2.0, 3.5}));
+  EXPECT_FALSE(LP.isFeasible({2.5, 3.0})); // x not integral.
+  EXPECT_FALSE(LP.isFeasible({5.0, 2.0})); // Row violated.
+  EXPECT_FALSE(LP.isFeasible({6.0, 0.0})); // Bound violated.
+}

@@ -1,0 +1,137 @@
+//===- tests/layout_test.cpp - Buffer layout and coalescing tests -----------===//
+
+#include "layout/AccessAnalyzer.h"
+#include "layout/BufferLayout.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+using namespace sgpu;
+
+TEST(BufferLayout, Eq10MatchesPermutation) {
+  // shuffledIndex(tid, n, rate) must equal the permutation applied to the
+  // natural index (they are the same map stated two ways).
+  for (int64_t Rate : {1, 2, 4, 7})
+    for (int64_t Tid = 0; Tid < 300; Tid += 37)
+      for (int64_t N = 0; N < Rate; ++N)
+        EXPECT_EQ(shuffledIndex(Tid, N, Rate),
+                  shuffledPosition(naturalIndex(Tid, N, Rate), Rate));
+}
+
+TEST(BufferLayout, PaperFigure9FirstBlock) {
+  // Figure 9: "the first 128 elements of the buffer contain the first
+  // popped elements for each of the 128 threads".
+  int64_t Rate = 4;
+  for (int64_t Tid = 0; Tid < 128; ++Tid)
+    EXPECT_EQ(shuffledIndex(Tid, 0, Rate), Tid);
+  // The second pops occupy the next 128 slots.
+  for (int64_t Tid = 0; Tid < 128; ++Tid)
+    EXPECT_EQ(shuffledIndex(Tid, 1, Rate), 128 + Tid);
+}
+
+class ShuffleBijection : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ShuffleBijection, IsPermutationOverClusters) {
+  int64_t Rate = GetParam();
+  int64_t Total = 3 * ThreadClusterSize * Rate; // Three clusters.
+  std::set<int64_t> Seen;
+  for (int64_t Q = 0; Q < Total; ++Q) {
+    int64_t P = shuffledPosition(Q, Rate);
+    EXPECT_GE(P, 0);
+    EXPECT_LT(P, Total);
+    EXPECT_TRUE(Seen.insert(P).second) << "collision at q=" << Q;
+    EXPECT_EQ(naturalFromShuffled(P, Rate), Q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ShuffleBijection,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 64));
+
+TEST(BufferLayout, ShuffleUnshuffleRoundTrip) {
+  int64_t Rate = 4;
+  std::vector<int> In(ThreadClusterSize * Rate * 2);
+  std::iota(In.begin(), In.end(), 0);
+  std::vector<int> Shuffled = shuffleInputBuffer(In, Rate);
+  EXPECT_NE(Shuffled, In);
+  EXPECT_EQ(unshuffleOutputBuffer(Shuffled, Rate), In);
+}
+
+TEST(Coalescing, PerfectPatternIsOneTransaction) {
+  std::vector<int64_t> Addrs(16);
+  std::iota(Addrs.begin(), Addrs.end(), 64);
+  EXPECT_EQ(countHalfWarpTransactions(Addrs), 1);
+}
+
+TEST(Coalescing, MisalignedBaseSerializes) {
+  std::vector<int64_t> Addrs(16);
+  std::iota(Addrs.begin(), Addrs.end(), 3); // Base not 16-aligned.
+  EXPECT_EQ(countHalfWarpTransactions(Addrs), 16);
+}
+
+TEST(Coalescing, StridedPatternSerializes) {
+  std::vector<int64_t> Addrs;
+  for (int I = 0; I < 16; ++I)
+    Addrs.push_back(I * 4); // The Figure 8 pop-rate-4 pattern.
+  EXPECT_EQ(countHalfWarpTransactions(Addrs), 16);
+}
+
+TEST(BankConflicts, ConflictFreeUnitStride) {
+  std::vector<int64_t> Addrs(16);
+  std::iota(Addrs.begin(), Addrs.end(), 0);
+  EXPECT_EQ(sharedMemoryConflictDegree(Addrs), 1);
+}
+
+TEST(BankConflicts, PowerOfTwoStrideConflicts) {
+  std::vector<int64_t> Addrs;
+  for (int I = 0; I < 16; ++I)
+    Addrs.push_back(I * 4);
+  EXPECT_EQ(sharedMemoryConflictDegree(Addrs), 4); // 16/gcd... 4 banks hit.
+}
+
+TEST(BankConflicts, BroadcastIsFree) {
+  std::vector<int64_t> Addrs(16, 42);
+  EXPECT_EQ(sharedMemoryConflictDegree(Addrs), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// The paper's headline layout property: under the shuffled layout every
+// access of every half-warp coalesces, for any pop rate (Section IV-D:
+// "the efficiency of the scheme is oblivious to the push and pop rates").
+//===----------------------------------------------------------------------===//
+
+struct AccessCase {
+  int64_t Threads;
+  int64_t Rate;
+};
+
+class StridedAccess : public ::testing::TestWithParam<AccessCase> {};
+
+TEST_P(StridedAccess, ShuffledFullyCoalesced) {
+  auto [Threads, Rate] = GetParam();
+  AccessSummary S = analyzeStridedAccess(LayoutKind::Shuffled, Threads,
+                                         Rate, Rate);
+  EXPECT_EQ(S.Transactions, S.HalfWarps) << "one transaction per access";
+  EXPECT_DOUBLE_EQ(S.transactionsPerAccess(), 1.0 / 16.0);
+}
+
+TEST_P(StridedAccess, SequentialSerializesUnlessRate1) {
+  auto [Threads, Rate] = GetParam();
+  AccessSummary S = analyzeStridedAccess(LayoutKind::Sequential, Threads,
+                                         Rate, Rate);
+  if (Rate == 1) {
+    // Natural FIFO order at rate 1 is already WarpBase + tid.
+    EXPECT_DOUBLE_EQ(S.transactionsPerAccess(), 1.0 / 16.0);
+  } else {
+    // The Figure 8 pathology: every lane in its own transaction.
+    EXPECT_DOUBLE_EQ(S.transactionsPerAccess(), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StridedAccess,
+    ::testing::Values(AccessCase{128, 1}, AccessCase{128, 2},
+                      AccessCase{128, 4}, AccessCase{256, 4},
+                      AccessCase{384, 3}, AccessCase{512, 8},
+                      AccessCase{512, 64}));

@@ -1,0 +1,257 @@
+//===- tests/parser_test.cpp - DSL lexer and parser tests -------------------===//
+
+#include "parser/Parser.h"
+
+#include "ir/Interpreter.h"
+#include "parser/Lexer.h"
+#include "sdf/SteadyState.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace sgpu;
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, BasicTokens) {
+  auto Toks = lexStreamProgram("filter F(int -> float, pop 2, push 1)");
+  ASSERT_GE(Toks.size(), 14u);
+  EXPECT_TRUE(Toks[0].isIdent("filter"));
+  EXPECT_TRUE(Toks[1].isIdent("F"));
+  EXPECT_TRUE(Toks[2].is(TokKind::LParen));
+  EXPECT_TRUE(Toks[3].isIdent("int"));
+  EXPECT_TRUE(Toks[4].is(TokKind::Arrow));
+  EXPECT_TRUE(Toks.back().is(TokKind::Eof));
+}
+
+TEST(Lexer, NumbersAndRanges) {
+  auto Toks = lexStreamProgram("0..8 1.5 2e3 42");
+  EXPECT_TRUE(Toks[0].is(TokKind::IntLiteral));
+  EXPECT_EQ(Toks[0].IntValue, 0);
+  EXPECT_TRUE(Toks[1].is(TokKind::DotDot));
+  EXPECT_TRUE(Toks[2].is(TokKind::IntLiteral));
+  EXPECT_EQ(Toks[2].IntValue, 8);
+  EXPECT_TRUE(Toks[3].is(TokKind::FloatLiteral));
+  EXPECT_DOUBLE_EQ(Toks[3].FloatValue, 1.5);
+  EXPECT_TRUE(Toks[4].is(TokKind::FloatLiteral));
+  EXPECT_DOUBLE_EQ(Toks[4].FloatValue, 2000.0);
+  EXPECT_EQ(Toks[5].IntValue, 42);
+}
+
+TEST(Lexer, CommentsAndLines) {
+  auto Toks = lexStreamProgram("a // comment\n/* block\nspans */ b");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Line, 1);
+  EXPECT_TRUE(Toks[1].isIdent("b"));
+  EXPECT_EQ(Toks[1].Line, 3);
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto Toks = lexStreamProgram("<< >> <= >= == != && || -> ..");
+  TokKind Want[] = {TokKind::Shl, TokKind::Shr, TokKind::Le,
+                    TokKind::Ge,  TokKind::EqEq, TokKind::Ne,
+                    TokKind::AndAnd, TokKind::OrOr, TokKind::Arrow,
+                    TokKind::DotDot, TokKind::Eof};
+  ASSERT_EQ(Toks.size(), 11u);
+  for (size_t I = 0; I < Toks.size(); ++I)
+    EXPECT_TRUE(Toks[I].is(Want[I])) << I;
+}
+
+TEST(Lexer, InvalidCharacter) {
+  auto Toks = lexStreamProgram("a $ b");
+  EXPECT_TRUE(Toks[1].is(TokKind::Error));
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr const char *MovingAvgSrc = R"(
+pipeline MovingAverage {
+  filter Avg(float -> float, pop 1, push 1, peek 4) {
+    float sum = 0.0;
+    for (i in 0..4) { sum = sum + peek(i); }
+    push(sum / 4.0);
+    pop();
+  }
+  filter Gain(float -> float, pop 1, push 1) {
+    const float g = 2.0;
+    push(pop() * g);
+  }
+}
+)";
+
+StreamPtr mustParse(const char *Src) {
+  ParseDiagnostic Diag;
+  StreamPtr S = parseStreamProgram(Src, &Diag);
+  EXPECT_NE(S, nullptr) << Diag.str();
+  return S;
+}
+
+} // namespace
+
+TEST(Parser, MovingAverageStructure) {
+  StreamPtr S = mustParse(MovingAvgSrc);
+  ASSERT_TRUE(isa<PipelineStream>(S.get()));
+  const auto *P = cast<PipelineStream>(S.get());
+  ASSERT_EQ(P->children().size(), 2u);
+  const auto *Avg = cast<FilterStream>(P->children()[0].get());
+  EXPECT_EQ(Avg->filter()->name(), "Avg");
+  EXPECT_EQ(Avg->filter()->popRate(), 1);
+  EXPECT_EQ(Avg->filter()->peekRate(), 4);
+  EXPECT_TRUE(Avg->filter()->isPeeking());
+}
+
+TEST(Parser, ParsedFilterExecutes) {
+  StreamPtr S = mustParse(MovingAvgSrc);
+  StreamGraph G = flatten(*S);
+  ASSERT_FALSE(G.validate().has_value());
+  auto SS = SteadyState::compute(G);
+  ASSERT_TRUE(SS.has_value());
+
+  GraphInterpreter GI(G);
+  for (double V : {4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0})
+    GI.feedInput({Scalar::makeFloat(V)});
+  auto Order = G.topologicalOrder();
+  for (int V : *Order)
+    GI.fireNode(V, SS->initFirings()[V]);
+  ASSERT_TRUE(GI.runSteadyState(SS->repetitions(), 4));
+  // Window means: 10, 14, 18, 22 (the window slides by one); gain 2x.
+  ASSERT_EQ(GI.output().size(), 4u);
+  EXPECT_DOUBLE_EQ(GI.output()[0].asFloat(), 20.0);
+  EXPECT_DOUBLE_EQ(GI.output()[1].asFloat(), 28.0);
+  EXPECT_DOUBLE_EQ(GI.output()[2].asFloat(), 36.0);
+  EXPECT_DOUBLE_EQ(GI.output()[3].asFloat(), 44.0);
+}
+
+TEST(Parser, SplitJoinForms) {
+  StreamPtr S = mustParse(R"(
+    splitjoin duplicate join roundrobin(1, 1) {
+      filter A(int -> int, pop 1, push 1) { push(pop() * 2); }
+      filter B(int -> int, pop 1, push 1) { push(pop() * 3); }
+    }
+  )");
+  const auto *SJ = cast<SplitJoinStream>(S.get());
+  EXPECT_EQ(SJ->splitterKind(), SplitterKind::Duplicate);
+  EXPECT_EQ(SJ->joinerWeights(), (std::vector<int64_t>{1, 1}));
+
+  StreamPtr S2 = mustParse(R"(
+    splitjoin roundrobin(2, 2) join roundrobin(2, 2) {
+      filter A(int -> int, pop 2, push 2) { push(pop()); push(pop()); }
+      filter B(int -> int, pop 2, push 2) { push(pop()); push(pop()); }
+    }
+  )");
+  const auto *SJ2 = cast<SplitJoinStream>(S2.get());
+  EXPECT_EQ(SJ2->splitterKind(), SplitterKind::RoundRobin);
+  EXPECT_EQ(SJ2->splitterWeights(), (std::vector<int64_t>{2, 2}));
+}
+
+TEST(Parser, ConstArraysAndIndexing) {
+  StreamPtr S = mustParse(R"(
+    filter Fir(float -> float, pop 1, push 1, peek 3) {
+      const float h[3] = {0.25, 0.5, 0.25};
+      float acc = 0.0;
+      for (t in 0..3) { acc = acc + h[t] * peek(t); }
+      push(acc);
+      pop();
+    }
+  )");
+  const auto *F = cast<FilterStream>(S.get());
+  ASSERT_EQ(F->filter()->work().fields().size(), 1u);
+  EXPECT_EQ(F->filter()->fieldValues(0).size(), 3u);
+  EXPECT_DOUBLE_EQ(F->filter()->fieldValues(0)[1].asFloat(), 0.5);
+}
+
+TEST(Parser, StateDeclarationsMakeStatefulFilters) {
+  StreamPtr S = mustParse(R"(
+    filter Acc(int -> int, pop 1, push 1) {
+      state int total = 0;
+      total = total + pop();
+      push(total);
+    }
+  )");
+  const auto *F = cast<FilterStream>(S.get());
+  EXPECT_TRUE(F->filter()->isStateful());
+}
+
+TEST(Parser, IntOpsCastsAndControlFlow) {
+  StreamPtr S = mustParse(R"(
+    filter Bits(int -> float, pop 1, push 1) {
+      int v = pop();
+      int m = (v << 2) & 255 | 1;
+      if (m >= 128) { m = m % 128; } else { m = ~m & 7; }
+      push((float)(m) * 0.5);
+    }
+  )");
+  const auto *F = cast<FilterStream>(S.get());
+  // Execute one firing to confirm semantics survive the round trip.
+  ChannelBuffer In(TokenType::Int), Out(TokenType::Float);
+  In.push(Scalar::makeInt(40)); // 40<<2 = 160; |1 = 161; >=128 -> %128 = 33.
+  fireFilter(*F->filter(), &In, &Out);
+  EXPECT_DOUBLE_EQ(Out.pop().asFloat(), 16.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ParseDiagnostic mustFail(const char *Src) {
+  ParseDiagnostic Diag;
+  StreamPtr S = parseStreamProgram(Src, &Diag);
+  EXPECT_EQ(S, nullptr);
+  return Diag;
+}
+
+} // namespace
+
+TEST(ParserDiagnostics, UndeclaredVariable) {
+  ParseDiagnostic D = mustFail(
+      "filter F(int -> int, pop 1, push 1) { push(x); }");
+  EXPECT_NE(D.Message.find("undeclared variable 'x'"), std::string::npos)
+      << D.str();
+}
+
+TEST(ParserDiagnostics, PeekBelowPop) {
+  ParseDiagnostic D = mustFail(
+      "filter F(int -> int, pop 4, push 1, peek 2) { push(pop()); }");
+  EXPECT_NE(D.Message.find("peek depth"), std::string::npos);
+}
+
+TEST(ParserDiagnostics, AssignToConst) {
+  ParseDiagnostic D = mustFail(R"(
+    filter F(int -> int, pop 1, push 1) {
+      const int k = 3;
+      k = 4;
+      push(pop());
+    }
+  )");
+  EXPECT_NE(D.Message.find("read-only"), std::string::npos);
+  EXPECT_EQ(D.Line, 4);
+}
+
+TEST(ParserDiagnostics, MismatchedBranchCounts) {
+  ParseDiagnostic D = mustFail(R"(
+    splitjoin duplicate join roundrobin(1, 1, 1) {
+      filter A(int -> int, pop 1, push 1) { push(pop()); }
+      filter B(int -> int, pop 1, push 1) { push(pop()); }
+    }
+  )");
+  EXPECT_NE(D.Message.find("branch count"), std::string::npos);
+}
+
+TEST(ParserDiagnostics, LineNumbersTracked) {
+  ParseDiagnostic D = mustFail("pipeline {\n\n  bogus\n}");
+  EXPECT_EQ(D.Line, 3);
+}
+
+TEST(ParserDiagnostics, TrailingGarbageRejected) {
+  ParseDiagnostic D = mustFail(
+      "filter F(int -> int, pop 1, push 1) { push(pop()); } extra");
+  EXPECT_NE(D.Message.find("end of input"), std::string::npos);
+}

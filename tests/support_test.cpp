@@ -1,0 +1,152 @@
+//===- tests/support_test.cpp - support library unit tests ------------------===//
+
+#include "support/Casting.h"
+#include "support/DotWriter.h"
+#include "support/MathExtras.h"
+#include "support/Rational.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace sgpu;
+
+TEST(MathExtras, Gcd) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(18, 12), 6);
+  EXPECT_EQ(gcd64(7, 13), 1);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(5, 0), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(12, -18), 6);
+}
+
+TEST(MathExtras, Lcm) {
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(128, 384), 384);
+  EXPECT_EQ(lcm64(128, 192), 384);
+  EXPECT_EQ(lcm64(1, 1), 1);
+  EXPECT_EQ(lcm64(0, 5), 0);
+  // The paper's profiling thread counts share lcm 1536.
+  EXPECT_EQ(lcm64(lcm64(128, 256), lcm64(384, 512)), 1536);
+}
+
+TEST(MathExtras, FloorCeilDiv) {
+  EXPECT_EQ(floorDiv(7, 3), 2);
+  EXPECT_EQ(floorDiv(-1, 3), -1);
+  EXPECT_EQ(floorDiv(-3, 3), -1);
+  EXPECT_EQ(floorDiv(-4, 3), -2);
+  EXPECT_EQ(ceilDiv(7, 3), 3);
+  EXPECT_EQ(ceilDiv(6, 3), 2);
+  EXPECT_EQ(ceilDiv(-1, 3), 0);
+  EXPECT_EQ(ceilDiv(-4, 3), -1);
+}
+
+TEST(MathExtras, FloorMod) {
+  EXPECT_EQ(floorMod(7, 3), 1);
+  EXPECT_EQ(floorMod(-1, 3), 2);
+  EXPECT_EQ(floorMod(-3, 3), 0);
+  EXPECT_EQ(floorMod(0, 5), 0);
+}
+
+TEST(MathExtras, FloorDivModIdentity) {
+  for (int64_t N = -50; N <= 50; ++N)
+    for (int64_t D : {1, 2, 3, 7, 16})
+      EXPECT_EQ(floorDiv(N, D) * D + floorMod(N, D), N)
+          << "n=" << N << " d=" << D;
+}
+
+TEST(MathExtras, PowerOf2AndAlign) {
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(128));
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_FALSE(isPowerOf2(96));
+  EXPECT_FALSE(isPowerOf2(-4));
+  EXPECT_EQ(alignTo(5, 4), 8);
+  EXPECT_EQ(alignTo(8, 4), 8);
+  EXPECT_EQ(alignTo(1, 128), 128);
+}
+
+TEST(Rational, Normalization) {
+  Rational R(6, 8);
+  EXPECT_EQ(R.numerator(), 3);
+  EXPECT_EQ(R.denominator(), 4);
+  Rational Neg(3, -9);
+  EXPECT_EQ(Neg.numerator(), -1);
+  EXPECT_EQ(Neg.denominator(), 3);
+  EXPECT_TRUE(Rational(0, 7).isZero());
+  EXPECT_EQ(Rational(0, 7).denominator(), 1);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational Half(1, 2), Third(1, 3);
+  EXPECT_EQ(Half + Third, Rational(5, 6));
+  EXPECT_EQ(Half - Third, Rational(1, 6));
+  EXPECT_EQ(Half * Third, Rational(1, 6));
+  EXPECT_EQ(Half / Third, Rational(3, 2));
+  EXPECT_EQ(-Half, Rational(-1, 2));
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(1, 3));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(7, 3), Rational(2));
+}
+
+TEST(Rational, IntegerInterop) {
+  Rational Five(5);
+  EXPECT_TRUE(Five.isInteger());
+  EXPECT_EQ(Five.asInteger(), 5);
+  EXPECT_FALSE(Rational(5, 2).isInteger());
+  EXPECT_EQ(Rational(10, 2).asInteger(), 5);
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(3, 4).str(), "3/4");
+  EXPECT_EQ(Rational(7).str(), "7");
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(7), B(7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, SeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 3);
+}
+
+TEST(Rng, Ranges) {
+  Rng R(11);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.nextInt(17);
+    EXPECT_GE(V, 0);
+    EXPECT_LT(V, 17);
+    int64_t W = R.nextIntInRange(-5, 5);
+    EXPECT_GE(W, -5);
+    EXPECT_LE(W, 5);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(DotWriter, RendersNodesAndEdges) {
+  DotWriter W("test");
+  W.addNode(0, "A \"quoted\"");
+  W.addNode(1, "B", "shape=box");
+  W.addEdge(0, 1, "2:3");
+  std::string S = W.str();
+  EXPECT_NE(S.find("digraph \"test\""), std::string::npos);
+  EXPECT_NE(S.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(S.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(S.find("shape=box"), std::string::npos);
+}
