@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffer_layout.dir/ablation_buffer_layout.cpp.o"
+  "CMakeFiles/ablation_buffer_layout.dir/ablation_buffer_layout.cpp.o.d"
+  "ablation_buffer_layout"
+  "ablation_buffer_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffer_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_config_selection.dir/ablation_config_selection.cpp.o"
+  "CMakeFiles/ablation_config_selection.dir/ablation_config_selection.cpp.o.d"
+  "ablation_config_selection"
+  "ablation_config_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_config_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

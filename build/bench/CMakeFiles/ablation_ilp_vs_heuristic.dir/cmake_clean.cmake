@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ilp_vs_heuristic.dir/ablation_ilp_vs_heuristic.cpp.o"
+  "CMakeFiles/ablation_ilp_vs_heuristic.dir/ablation_ilp_vs_heuristic.cpp.o.d"
+  "ablation_ilp_vs_heuristic"
+  "ablation_ilp_vs_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ilp_vs_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

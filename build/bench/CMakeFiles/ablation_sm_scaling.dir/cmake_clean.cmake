@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sm_scaling.dir/ablation_sm_scaling.cpp.o"
+  "CMakeFiles/ablation_sm_scaling.dir/ablation_sm_scaling.cpp.o.d"
+  "ablation_sm_scaling"
+  "ablation_sm_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sm_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_strategies.dir/fig10_strategies.cpp.o"
+  "CMakeFiles/fig10_strategies.dir/fig10_strategies.cpp.o.d"
+  "fig10_strategies"
+  "fig10_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_coarsening.dir/fig11_coarsening.cpp.o"
+  "CMakeFiles/fig11_coarsening.dir/fig11_coarsening.cpp.o.d"
+  "fig11_coarsening"
+  "fig11_coarsening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_coarsening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_solver_stats.dir/ilp_solver_stats.cpp.o"
+  "CMakeFiles/ilp_solver_stats.dir/ilp_solver_stats.cpp.o.d"
+  "ilp_solver_stats"
+  "ilp_solver_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_solver_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

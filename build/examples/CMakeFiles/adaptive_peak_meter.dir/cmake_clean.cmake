@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_peak_meter.dir/adaptive_peak_meter.cpp.o"
+  "CMakeFiles/adaptive_peak_meter.dir/adaptive_peak_meter.cpp.o.d"
+  "adaptive_peak_meter"
+  "adaptive_peak_meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_peak_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

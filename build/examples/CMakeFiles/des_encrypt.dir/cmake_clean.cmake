@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_encrypt.dir/des_encrypt.cpp.o"
+  "CMakeFiles/des_encrypt.dir/des_encrypt.cpp.o.d"
+  "des_encrypt"
+  "des_encrypt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_encrypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_radio_pipeline.dir/fm_radio_pipeline.cpp.o"
+  "CMakeFiles/fm_radio_pipeline.dir/fm_radio_pipeline.cpp.o.d"
+  "fm_radio_pipeline"
+  "fm_radio_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_radio_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

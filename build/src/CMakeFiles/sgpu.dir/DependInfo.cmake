@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmarks/Bitonic.cpp" "src/CMakeFiles/sgpu.dir/benchmarks/Bitonic.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/benchmarks/Bitonic.cpp.o.d"
+  "/root/repo/src/benchmarks/BitonicRec.cpp" "src/CMakeFiles/sgpu.dir/benchmarks/BitonicRec.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/benchmarks/BitonicRec.cpp.o.d"
+  "/root/repo/src/benchmarks/Common.cpp" "src/CMakeFiles/sgpu.dir/benchmarks/Common.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/benchmarks/Common.cpp.o.d"
+  "/root/repo/src/benchmarks/Dct.cpp" "src/CMakeFiles/sgpu.dir/benchmarks/Dct.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/benchmarks/Dct.cpp.o.d"
+  "/root/repo/src/benchmarks/Des.cpp" "src/CMakeFiles/sgpu.dir/benchmarks/Des.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/benchmarks/Des.cpp.o.d"
+  "/root/repo/src/benchmarks/Fft.cpp" "src/CMakeFiles/sgpu.dir/benchmarks/Fft.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/benchmarks/Fft.cpp.o.d"
+  "/root/repo/src/benchmarks/Filterbank.cpp" "src/CMakeFiles/sgpu.dir/benchmarks/Filterbank.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/benchmarks/Filterbank.cpp.o.d"
+  "/root/repo/src/benchmarks/FmRadio.cpp" "src/CMakeFiles/sgpu.dir/benchmarks/FmRadio.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/benchmarks/FmRadio.cpp.o.d"
+  "/root/repo/src/benchmarks/MatrixMult.cpp" "src/CMakeFiles/sgpu.dir/benchmarks/MatrixMult.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/benchmarks/MatrixMult.cpp.o.d"
+  "/root/repo/src/benchmarks/Registry.cpp" "src/CMakeFiles/sgpu.dir/benchmarks/Registry.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/benchmarks/Registry.cpp.o.d"
+  "/root/repo/src/codegen/CudaEmitter.cpp" "src/CMakeFiles/sgpu.dir/codegen/CudaEmitter.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/codegen/CudaEmitter.cpp.o.d"
+  "/root/repo/src/core/Compiler.cpp" "src/CMakeFiles/sgpu.dir/core/Compiler.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/core/Compiler.cpp.o.d"
+  "/root/repo/src/core/CpuBaseline.cpp" "src/CMakeFiles/sgpu.dir/core/CpuBaseline.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/core/CpuBaseline.cpp.o.d"
+  "/root/repo/src/core/ExecutionModel.cpp" "src/CMakeFiles/sgpu.dir/core/ExecutionModel.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/core/ExecutionModel.cpp.o.d"
+  "/root/repo/src/core/HeuristicScheduler.cpp" "src/CMakeFiles/sgpu.dir/core/HeuristicScheduler.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/core/HeuristicScheduler.cpp.o.d"
+  "/root/repo/src/core/IlpFormulation.cpp" "src/CMakeFiles/sgpu.dir/core/IlpFormulation.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/core/IlpFormulation.cpp.o.d"
+  "/root/repo/src/core/IlpScheduler.cpp" "src/CMakeFiles/sgpu.dir/core/IlpScheduler.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/core/IlpScheduler.cpp.o.d"
+  "/root/repo/src/core/ReportWriter.cpp" "src/CMakeFiles/sgpu.dir/core/ReportWriter.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/core/ReportWriter.cpp.o.d"
+  "/root/repo/src/core/ScheduleVerifier.cpp" "src/CMakeFiles/sgpu.dir/core/ScheduleVerifier.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/core/ScheduleVerifier.cpp.o.d"
+  "/root/repo/src/gpusim/FunctionalSim.cpp" "src/CMakeFiles/sgpu.dir/gpusim/FunctionalSim.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/gpusim/FunctionalSim.cpp.o.d"
+  "/root/repo/src/gpusim/GpuArch.cpp" "src/CMakeFiles/sgpu.dir/gpusim/GpuArch.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/gpusim/GpuArch.cpp.o.d"
+  "/root/repo/src/gpusim/KernelTiming.cpp" "src/CMakeFiles/sgpu.dir/gpusim/KernelTiming.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/gpusim/KernelTiming.cpp.o.d"
+  "/root/repo/src/gpusim/Occupancy.cpp" "src/CMakeFiles/sgpu.dir/gpusim/Occupancy.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/gpusim/Occupancy.cpp.o.d"
+  "/root/repo/src/ilp/BranchAndBound.cpp" "src/CMakeFiles/sgpu.dir/ilp/BranchAndBound.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/ilp/BranchAndBound.cpp.o.d"
+  "/root/repo/src/ilp/LinearProgram.cpp" "src/CMakeFiles/sgpu.dir/ilp/LinearProgram.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/ilp/LinearProgram.cpp.o.d"
+  "/root/repo/src/ilp/Simplex.cpp" "src/CMakeFiles/sgpu.dir/ilp/Simplex.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/ilp/Simplex.cpp.o.d"
+  "/root/repo/src/ir/Analyzer.cpp" "src/CMakeFiles/sgpu.dir/ir/Analyzer.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/ir/Analyzer.cpp.o.d"
+  "/root/repo/src/ir/Ast.cpp" "src/CMakeFiles/sgpu.dir/ir/Ast.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/ir/Ast.cpp.o.d"
+  "/root/repo/src/ir/AstPrinter.cpp" "src/CMakeFiles/sgpu.dir/ir/AstPrinter.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/ir/AstPrinter.cpp.o.d"
+  "/root/repo/src/ir/Filter.cpp" "src/CMakeFiles/sgpu.dir/ir/Filter.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/ir/Filter.cpp.o.d"
+  "/root/repo/src/ir/FilterBuilder.cpp" "src/CMakeFiles/sgpu.dir/ir/FilterBuilder.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/ir/FilterBuilder.cpp.o.d"
+  "/root/repo/src/ir/Flatten.cpp" "src/CMakeFiles/sgpu.dir/ir/Flatten.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/ir/Flatten.cpp.o.d"
+  "/root/repo/src/ir/Interpreter.cpp" "src/CMakeFiles/sgpu.dir/ir/Interpreter.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/ir/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/Stream.cpp" "src/CMakeFiles/sgpu.dir/ir/Stream.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/ir/Stream.cpp.o.d"
+  "/root/repo/src/ir/StreamGraph.cpp" "src/CMakeFiles/sgpu.dir/ir/StreamGraph.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/ir/StreamGraph.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/CMakeFiles/sgpu.dir/ir/Type.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/ir/Type.cpp.o.d"
+  "/root/repo/src/layout/AccessAnalyzer.cpp" "src/CMakeFiles/sgpu.dir/layout/AccessAnalyzer.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/layout/AccessAnalyzer.cpp.o.d"
+  "/root/repo/src/layout/BufferLayout.cpp" "src/CMakeFiles/sgpu.dir/layout/BufferLayout.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/layout/BufferLayout.cpp.o.d"
+  "/root/repo/src/parser/Lexer.cpp" "src/CMakeFiles/sgpu.dir/parser/Lexer.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/parser/Lexer.cpp.o.d"
+  "/root/repo/src/parser/Parser.cpp" "src/CMakeFiles/sgpu.dir/parser/Parser.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/parser/Parser.cpp.o.d"
+  "/root/repo/src/profile/ConfigSelection.cpp" "src/CMakeFiles/sgpu.dir/profile/ConfigSelection.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/profile/ConfigSelection.cpp.o.d"
+  "/root/repo/src/profile/Profiler.cpp" "src/CMakeFiles/sgpu.dir/profile/Profiler.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/profile/Profiler.cpp.o.d"
+  "/root/repo/src/sdf/Admissibility.cpp" "src/CMakeFiles/sgpu.dir/sdf/Admissibility.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/sdf/Admissibility.cpp.o.d"
+  "/root/repo/src/sdf/RateSolver.cpp" "src/CMakeFiles/sgpu.dir/sdf/RateSolver.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/sdf/RateSolver.cpp.o.d"
+  "/root/repo/src/sdf/Schedules.cpp" "src/CMakeFiles/sgpu.dir/sdf/Schedules.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/sdf/Schedules.cpp.o.d"
+  "/root/repo/src/sdf/SteadyState.cpp" "src/CMakeFiles/sgpu.dir/sdf/SteadyState.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/sdf/SteadyState.cpp.o.d"
+  "/root/repo/src/support/DotWriter.cpp" "src/CMakeFiles/sgpu.dir/support/DotWriter.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/support/DotWriter.cpp.o.d"
+  "/root/repo/src/support/Json.cpp" "src/CMakeFiles/sgpu.dir/support/Json.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/support/Json.cpp.o.d"
+  "/root/repo/src/support/MathExtras.cpp" "src/CMakeFiles/sgpu.dir/support/MathExtras.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/support/MathExtras.cpp.o.d"
+  "/root/repo/src/support/Rational.cpp" "src/CMakeFiles/sgpu.dir/support/Rational.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/support/Rational.cpp.o.d"
+  "/root/repo/src/support/Rng.cpp" "src/CMakeFiles/sgpu.dir/support/Rng.cpp.o" "gcc" "src/CMakeFiles/sgpu.dir/support/Rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

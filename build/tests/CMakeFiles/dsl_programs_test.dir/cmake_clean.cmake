@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_programs_test.dir/dsl_programs_test.cpp.o"
+  "CMakeFiles/dsl_programs_test.dir/dsl_programs_test.cpp.o.d"
+  "dsl_programs_test"
+  "dsl_programs_test.pdb"
+  "dsl_programs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

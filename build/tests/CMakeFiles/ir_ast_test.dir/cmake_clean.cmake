@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_ast_test.dir/ir_ast_test.cpp.o"
+  "CMakeFiles/ir_ast_test.dir/ir_ast_test.cpp.o.d"
+  "ir_ast_test"
+  "ir_ast_test.pdb"
+  "ir_ast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strict_seq_test.dir/strict_seq_test.cpp.o"
+  "CMakeFiles/strict_seq_test.dir/strict_seq_test.cpp.o.d"
+  "strict_seq_test"
+  "strict_seq_test.pdb"
+  "strict_seq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strict_seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

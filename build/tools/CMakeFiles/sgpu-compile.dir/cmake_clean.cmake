@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgpu-compile.dir/sgpu-compile.cpp.o"
+  "CMakeFiles/sgpu-compile.dir/sgpu-compile.cpp.o.d"
+  "sgpu-compile"
+  "sgpu-compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgpu-compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
