@@ -1,0 +1,214 @@
+//===- bench/ablation_solver_parallelism.cpp - Engine scaling sweep -----------===//
+//
+// Sweeps the parallel scheduling engine over 1/2/4/8 workers: every
+// Table I benchmark is compiled end-to-end (profiling sweep, speculative
+// II window, parallel branch & bound) at each worker count, and a
+// synthetic optimization MILP exercises the shared-incumbent branch &
+// bound queue directly. Two invariants are checked and recorded:
+//
+//   * the committed FinalII of every benchmark is identical at every
+//     worker count (the speculative window preserves "first feasible II
+//     wins"), and
+//   * the parallel B&B returns the same objective as the single-threaded
+//     search on the synthetic optimization model.
+//
+// Results land in BENCH_solver.json next to the working directory so the
+// compile-path speedup of >= 2 workers vs. 1 is recorded with the repo.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "ilp/BranchAndBound.h"
+#include "support/Json.h"
+#include "support/ThreadPool.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct CompileCell {
+  std::string Name;
+  double Seconds = 0.0;
+  double FinalII = 0.0;
+  int BnbNodes = 0;
+  long long LpSolves = 0;
+  long long Pivots = 0;
+  bool Ok = false;
+};
+
+CompileCell compileOnce(const BenchmarkSpec &Spec, int Workers) {
+  CompileCell Cell;
+  Cell.Name = Spec.Name;
+  StreamGraph G = flatten(*Spec.Build());
+  CompileOptions O = benchOptions(Strategy::Swp, 8);
+  O.Sched.NumWorkers = Workers;
+  auto T0 = Clock::now();
+  std::optional<CompileReport> R = compileForGpu(G, O);
+  Cell.Seconds = std::chrono::duration<double>(Clock::now() - T0).count();
+  if (!R)
+    return Cell;
+  Cell.FinalII = R->SchedStats.FinalII;
+  Cell.BnbNodes = R->SchedStats.SolverNodes;
+  Cell.LpSolves = R->SchedStats.SolverLpSolves;
+  Cell.Pivots = R->SchedStats.SolverPivots;
+  Cell.Ok = true;
+  return Cell;
+}
+
+/// A small but nontrivial optimization MILP (weighted set packing) that
+/// forces the branch & bound to search rather than stop at the first
+/// feasible point — the shape that exposes the shared-incumbent queue.
+LinearProgram makeSearchMilp(int Items) {
+  LinearProgram LP;
+  std::vector<LinTerm> Obj;
+  std::vector<int> Vars(Items);
+  for (int I = 0; I < Items; ++I) {
+    Vars[I] = LP.addBinaryVar("x" + std::to_string(I));
+    Obj.push_back({Vars[I], -double(37 + (I * 29) % 61)});
+  }
+  for (int I = 0; I + 2 < Items; I += 2)
+    LP.addConstraint(
+        {{Vars[I], 1}, {Vars[I + 1], 1}, {Vars[I + 2], 1}}, RowSense::LE,
+        2);
+  std::vector<LinTerm> Budget;
+  for (int I = 0; I < Items; ++I)
+    Budget.push_back({Vars[I], double(5 + (I * 13) % 23)});
+  LP.addConstraint(Budget, RowSense::LE, 6.0 * Items);
+  LP.setObjective(std::move(Obj));
+  return LP;
+}
+
+struct MilpCell {
+  double Seconds = 0.0;
+  double Objective = 0.0;
+  int Nodes = 0;
+  double Utilization = 0.0;
+};
+
+MilpCell solveSearchMilp(int Workers) {
+  MilpOptions MO;
+  MO.StopAtFirstFeasible = false;
+  MO.TimeBudgetSeconds = 60.0;
+  MO.NumWorkers = Workers;
+  MilpCell Cell;
+  auto T0 = Clock::now();
+  MilpResult R = solveMilp(makeSearchMilp(26), MO);
+  Cell.Seconds = std::chrono::duration<double>(Clock::now() - T0).count();
+  Cell.Objective = R.Objective;
+  Cell.Nodes = R.NodesExplored;
+  double Span = R.Seconds * R.WorkersUsed;
+  Cell.Utilization = Span > 0 ? R.BusySeconds / Span : 0.0;
+  return Cell;
+}
+
+void BM_CompileAll(benchmark::State &State, int Workers) {
+  for (auto _ : State)
+    for (const BenchmarkSpec &Spec : allBenchmarks())
+      benchmark::DoNotOptimize(compileOnce(Spec, Workers).Seconds);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const std::vector<int> WorkerCounts = {1, 2, 4, 8};
+  std::printf("Scheduling-engine parallelism ablation "
+              "(hardware_concurrency = %d)\n\n",
+              resolveWorkerCount(0));
+
+  struct Sweep {
+    int Workers;
+    double TotalSeconds = 0.0;
+    std::vector<CompileCell> Cells;
+    MilpCell Milp;
+  };
+  std::vector<Sweep> Sweeps;
+  bool Deterministic = true;
+
+  std::printf("%8s %14s %14s %12s %14s %14s\n", "workers", "compile_s",
+              "speedup_vs_1", "bnb_obj", "bnb_s", "bnb_util");
+  for (int W : WorkerCounts) {
+    Sweep S;
+    S.Workers = W;
+    for (const BenchmarkSpec &Spec : allBenchmarks()) {
+      CompileCell Cell = compileOnce(Spec, W);
+      S.TotalSeconds += Cell.Seconds;
+      S.Cells.push_back(std::move(Cell));
+    }
+    S.Milp = solveSearchMilp(W);
+    Sweeps.push_back(std::move(S));
+
+    const Sweep &Base = Sweeps.front();
+    const Sweep &Cur = Sweeps.back();
+    for (size_t I = 0; I < Cur.Cells.size(); ++I)
+      if (Cur.Cells[I].Ok != Base.Cells[I].Ok ||
+          std::fabs(Cur.Cells[I].FinalII - Base.Cells[I].FinalII) > 1e-9)
+        Deterministic = false;
+    if (std::fabs(Cur.Milp.Objective - Base.Milp.Objective) > 1e-6)
+      Deterministic = false;
+    std::printf("%8d %14.3f %14.2f %12.1f %14.3f %14.2f\n", W,
+                Cur.TotalSeconds, Base.TotalSeconds / Cur.TotalSeconds,
+                Cur.Milp.Objective, Cur.Milp.Seconds,
+                Cur.Milp.Utilization);
+  }
+  std::printf("\nFinalII and B&B objective identical across worker "
+              "counts: %s\n\n",
+              Deterministic ? "yes" : "NO (regression!)");
+
+  JsonWriter J;
+  J.beginObject();
+  J.writeInt("hardware_concurrency", resolveWorkerCount(0));
+  J.writeBool("deterministic_across_workers", Deterministic);
+  J.beginArray("sweeps");
+  for (const Sweep &S : Sweeps) {
+    J.beginObject();
+    J.writeInt("workers", S.Workers);
+    J.writeDouble("compile_total_seconds", S.TotalSeconds);
+    J.writeDouble("compile_speedup_vs_1",
+                  Sweeps.front().TotalSeconds / S.TotalSeconds);
+    J.beginObject("bnb_search_milp");
+    J.writeDouble("seconds", S.Milp.Seconds);
+    J.writeDouble("objective", S.Milp.Objective);
+    J.writeInt("nodes", S.Milp.Nodes);
+    J.writeDouble("worker_utilization", S.Milp.Utilization);
+    J.endObject();
+    J.beginArray("benchmarks");
+    for (const CompileCell &C : S.Cells) {
+      J.beginObject();
+      J.writeString("name", C.Name);
+      J.writeDouble("seconds", C.Seconds);
+      J.writeDouble("final_ii", C.FinalII);
+      J.writeInt("bnb_nodes", C.BnbNodes);
+      J.writeInt("lp_solves", C.LpSolves);
+      J.writeInt("pivots", C.Pivots);
+      J.writeBool("ok", C.Ok);
+      J.endObject();
+    }
+    J.endArray();
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+  std::ofstream Out("BENCH_solver.json");
+  Out << J.str() << "\n";
+  std::printf("wrote BENCH_solver.json\n\n");
+
+  for (int W : WorkerCounts)
+    benchmark::RegisterBenchmark(
+        ("CompileAll/workers:" + std::to_string(W)).c_str(), BM_CompileAll,
+        W)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

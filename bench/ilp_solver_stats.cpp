@@ -32,15 +32,22 @@ static void BM_SolverStats(benchmark::State &State,
   State.counters["relax_pct"] = R->SchedStats.RelaxationPercent;
   State.counters["attempts"] = R->SchedStats.IIAttempts;
   State.counters["bnb_nodes"] = R->SchedStats.SolverNodes;
+  State.counters["lp_solves"] =
+      static_cast<double>(R->SchedStats.SolverLpSolves);
+  State.counters["pivots"] =
+      static_cast<double>(R->SchedStats.SolverPivots);
+  State.counters["solver_s"] = R->SchedStats.SolverSeconds;
+  State.counters["workers"] = R->SchedStats.WorkersUsed;
   State.counters["instances"] = static_cast<double>(
       R->GSS.totalInstances());
 }
 
 int main(int argc, char **argv) {
   std::printf("ILP scheduling statistics (paper Section V)\n");
-  std::printf("%-12s %10s %12s %12s %9s %9s %9s %6s\n", "Benchmark",
-              "Instances", "MII", "FinalII", "Relax%", "Attempts",
-              "BnBNodes", "ILP?");
+  std::printf("%-12s %10s %12s %12s %9s %9s %9s %9s %9s %9s %6s\n",
+              "Benchmark", "Instances", "MII", "FinalII", "Relax%",
+              "Attempts", "BnBNodes", "LpSolves", "Pivots", "SolverS",
+              "ILP?");
   for (const BenchmarkSpec &Spec : allBenchmarks()) {
     const std::optional<CompileReport> &R =
         compiledReport(Spec.Name, Strategy::Swp, 8);
@@ -48,12 +55,16 @@ int main(int argc, char **argv) {
       std::printf("%-12s  <failed to compile>\n", Spec.Name.c_str());
       continue;
     }
-    std::printf("%-12s %10lld %12.1f %12.1f %9.2f %9d %9d %6s\n",
+    std::printf("%-12s %10lld %12.1f %12.1f %9.2f %9d %9d %9lld %9lld "
+                "%9.3f %6s\n",
                 Spec.Name.c_str(),
                 static_cast<long long>(R->GSS.totalInstances()),
                 R->SchedStats.MII, R->SchedStats.FinalII,
                 R->SchedStats.RelaxationPercent, R->SchedStats.IIAttempts,
                 R->SchedStats.SolverNodes,
+                static_cast<long long>(R->SchedStats.SolverLpSolves),
+                static_cast<long long>(R->SchedStats.SolverPivots),
+                R->SchedStats.SolverSeconds,
                 R->SchedStats.UsedIlp ? "yes" : "no");
     benchmark::RegisterBenchmark(("IlpStats/" + Spec.Name).c_str(),
                                  BM_SolverStats, &Spec)

@@ -73,8 +73,10 @@ std::optional<CompileReport> compileSwp(const StreamGraph &G,
                                         const CompileOptions &Options) {
   LayoutKind Layout = layoutFor(Options.Strat);
 
-  // Fig. 6 profiling under the strategy's layout, then Alg. 7.
-  ProfileTable PT = profileGraph(Options.Arch, G, Layout);
+  // Fig. 6 profiling under the strategy's layout, then Alg. 7. The
+  // sweep shares the scheduler's worker budget.
+  ProfileTable PT =
+      profileGraph(Options.Arch, G, Layout, Options.Sched.NumWorkers);
   std::optional<ExecutionConfig> Config = selectExecutionConfig(SS, PT);
   if (!Config)
     return std::nullopt;
@@ -142,7 +144,8 @@ std::optional<CompileReport> compileSerial(const StreamGraph &G,
                                            const CompileOptions &Options) {
   // The Serial scheme: every filter runs as its own fully data-parallel
   // kernel in SAS order, NumSMs blocks, coalesced accesses (Section V).
-  ProfileTable PT = profileGraph(Options.Arch, G, LayoutKind::Shuffled);
+  ProfileTable PT = profileGraph(Options.Arch, G, LayoutKind::Shuffled,
+                                 Options.Sched.NumWorkers);
   std::optional<ExecutionConfig> Config;
   for (int Threads :
        {Options.SerialThreads, 128, 256, 384, 512}) {

@@ -2,10 +2,123 @@
 
 #include "core/IlpScheduler.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 using namespace sgpu;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Everything one candidate II produced. Evaluations are independent —
+/// each builds its own heuristic schedule and MILP — so a window of them
+/// can run concurrently.
+struct CandidateOutcome {
+  bool Feasible = false;
+  SwpSchedule Schedule;
+  bool UsedIlp = false;
+  bool UsedHeuristic = false;
+  bool DidIlp = false; ///< The exact solver was actually invoked.
+  double SolverSeconds = 0.0;
+  int SolverNodes = 0;
+  long long LpSolves = 0;
+  long long SimplexIters = 0;
+  long long Pivots = 0;
+  double BusySeconds = 0.0;
+  double WallSeconds = 0.0;
+};
+
+/// Evaluates one candidate II exactly the way the paper's serial loop
+/// does: heuristic first (it doubles as the MILP incumbent), then the
+/// exact solver when allowed, ILP solution preferred over the heuristic.
+CandidateOutcome evaluateCandidate(const StreamGraph &G,
+                                   const SteadyState &SS,
+                                   const ExecutionConfig &Config,
+                                   const GpuSteadyState &GSS,
+                                   const SchedulerOptions &Options, double T,
+                                   bool AllowIlp, int MilpWorkers) {
+  CandidateOutcome Out;
+  auto WallStart = Clock::now();
+
+  std::optional<SwpSchedule> Heur = buildHeuristicSchedule(
+      G, SS, Config, GSS, Options.Pmax, T, Options.MaxStages);
+  if (Heur && verifySchedule(G, SS, Config, GSS, *Heur))
+    Heur.reset(); // The verifier rejected it; treat as absent.
+
+  bool WantIlp = AllowIlp && Options.UseIlp &&
+                 GSS.totalInstances() <= Options.MaxIlpInstances &&
+                 (!Heur || Options.IlpEvenIfHeuristicSucceeds);
+
+  if (WantIlp) {
+    Out.DidIlp = true; // Counts against MaxIlpAttempts even if the
+                       // model below fails to build.
+    if (std::optional<IlpModel> M = buildSwpIlp(
+            G, SS, Config, GSS, Options.Pmax, T, Options.MaxStages)) {
+      MilpOptions MO;
+      MO.TimeBudgetSeconds = Options.TimeBudgetSeconds;
+      MO.NumWorkers = MilpWorkers;
+      std::optional<std::vector<double>> Incumbent;
+      if (Heur)
+        Incumbent = M->encode(*Heur);
+      MilpResult MR = solveMilp(M->LP, MO, Incumbent);
+      Out.SolverSeconds = MR.Seconds;
+      Out.SolverNodes = MR.NodesExplored;
+      Out.LpSolves = MR.LpSolves;
+      Out.SimplexIters = MR.SimplexIterations;
+      Out.Pivots = MR.Pivots;
+      Out.BusySeconds = MR.BusySeconds;
+      if (MR.hasSolution()) {
+        SwpSchedule S = M->decode(MR.X);
+        if (!verifySchedule(G, SS, Config, GSS, S)) {
+          Out.Schedule = std::move(S);
+          Out.UsedIlp = true;
+          Out.Feasible = true;
+        }
+      }
+    }
+  }
+
+  if (!Out.Feasible && Heur) {
+    Out.Schedule = std::move(*Heur);
+    Out.UsedHeuristic = true;
+    Out.Feasible = true;
+  }
+  Out.WallSeconds =
+      std::chrono::duration<double>(Clock::now() - WallStart).count();
+  return Out;
+}
+
+/// Folds one visited candidate's solver effort into the search totals.
+void accumulate(ScheduleResult &Res, const CandidateOutcome &Out) {
+  ++Res.IIAttempts;
+  Res.SolverSeconds += Out.SolverSeconds;
+  Res.SolverNodes += Out.SolverNodes;
+  Res.SolverLpSolves += Out.LpSolves;
+  Res.SolverSimplexIters += Out.SimplexIters;
+  Res.SolverPivots += Out.Pivots;
+  Res.SolverBusySeconds += Out.BusySeconds;
+  Res.IIWallSeconds.push_back(Out.WallSeconds);
+}
+
+/// The paper's relaxation step: "the II is relaxed by 0.5% and the
+/// process is repeated until a feasible solution was found" (Section V).
+double nextCandidate(double T, const SchedulerOptions &Options) {
+  return std::max(T * Options.RelaxFactor, T + 1e-6);
+}
+
+void commit(ScheduleResult &Res, CandidateOutcome &&Out, double T) {
+  Res.Schedule = std::move(Out.Schedule);
+  Res.UsedIlp = Out.UsedIlp;
+  Res.UsedHeuristic = Out.UsedHeuristic;
+  Res.FinalII = T;
+  Res.RelaxationPercent = (T / Res.MII - 1.0) * 100.0;
+}
+
+} // namespace
 
 std::optional<ScheduleResult>
 sgpu::scheduleSwp(const StreamGraph &G, const SteadyState &SS,
@@ -18,60 +131,55 @@ sgpu::scheduleSwp(const StreamGraph &G, const SteadyState &SS,
   if (Res.MII <= 0.0)
     return std::nullopt;
 
+  int Workers = resolveWorkerCount(Options.NumWorkers);
+  int Window = Options.IIWindow > 0 ? Options.IIWindow
+                                    : std::min(4, Workers);
+  Window = std::max(1, Window);
+  Res.WorkersUsed = Workers;
+
   double T = Res.MII;
   double Limit = Res.MII * Options.MaxRelaxFactor;
   int IlpAttempts = 0;
 
   while (T <= Limit) {
-    ++Res.IIAttempts;
+    // Materialize the next window of candidate IIs (window 1 == the
+    // paper's serial loop).
+    std::vector<double> Candidates;
+    double Tw = T;
+    for (int I = 0; I < Window && Tw <= Limit; ++I) {
+      Candidates.push_back(Tw);
+      Tw = nextCandidate(Tw, Options);
+    }
+    int W = static_cast<int>(Candidates.size());
+    if (W == 0)
+      break;
 
-    std::optional<SwpSchedule> Heur = buildHeuristicSchedule(
-        G, SS, Config, GSS, Options.Pmax, T, Options.MaxStages);
-    if (Heur && verifySchedule(G, SS, Config, GSS, *Heur))
-      Heur.reset(); // The verifier rejected it; treat as absent.
+    // ILP permission per slot mirrors the serial gate: along a failed
+    // prefix every candidate costs one exact-solver attempt, so slot I
+    // is allowed the ILP only while IlpAttempts + I stays under the cap.
+    // The branch & bound splits the engine's workers with the window.
+    int MilpWorkers = std::max(1, Workers / W);
+    std::vector<CandidateOutcome> Outcomes(W);
+    parallelFor(0, W, std::min(W, Workers), [&](int I) {
+      Outcomes[I] = evaluateCandidate(G, SS, Config, GSS, Options,
+                                      Candidates[I],
+                                      IlpAttempts + I < Options.MaxIlpAttempts,
+                                      MilpWorkers);
+    });
 
-    bool WantIlp =
-        Options.UseIlp &&
-        GSS.totalInstances() <= Options.MaxIlpInstances &&
-        IlpAttempts < Options.MaxIlpAttempts &&
-        (!Heur || Options.IlpEvenIfHeuristicSucceeds);
-
-    if (WantIlp) {
-      ++IlpAttempts;
-      if (std::optional<IlpModel> M = buildSwpIlp(
-              G, SS, Config, GSS, Options.Pmax, T, Options.MaxStages)) {
-        MilpOptions MO;
-        MO.TimeBudgetSeconds = Options.TimeBudgetSeconds;
-        std::optional<std::vector<double>> Incumbent;
-        if (Heur)
-          Incumbent = M->encode(*Heur);
-        MilpResult MR = solveMilp(M->LP, MO, Incumbent);
-        Res.SolverSeconds += MR.Seconds;
-        Res.SolverNodes += MR.NodesExplored;
-        if (MR.hasSolution()) {
-          SwpSchedule S = M->decode(MR.X);
-          if (!verifySchedule(G, SS, Config, GSS, S)) {
-            Res.Schedule = std::move(S);
-            Res.UsedIlp = true;
-            Res.FinalII = T;
-            Res.RelaxationPercent = (T / Res.MII - 1.0) * 100.0;
-            return Res;
-          }
-        }
+    // Commit the smallest feasible candidate — "first feasible II wins"
+    // — charging the search only for candidates the serial loop would
+    // have visited (the committed one and everything below it).
+    for (int I = 0; I < W; ++I) {
+      accumulate(Res, Outcomes[I]);
+      if (Outcomes[I].DidIlp)
+        ++IlpAttempts;
+      if (Outcomes[I].Feasible) {
+        commit(Res, std::move(Outcomes[I]), Candidates[I]);
+        return Res;
       }
     }
-
-    if (Heur) {
-      Res.Schedule = std::move(*Heur);
-      Res.UsedHeuristic = true;
-      Res.FinalII = T;
-      Res.RelaxationPercent = (T / Res.MII - 1.0) * 100.0;
-      return Res;
-    }
-
-    // Paper Section V: "the II is relaxed by 0.5% and the process is
-    // repeated until a feasible solution was found".
-    T = std::max(T * Options.RelaxFactor, T + 1e-6);
+    T = Tw;
   }
   return std::nullopt;
 }

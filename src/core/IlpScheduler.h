@@ -14,6 +14,13 @@
 /// exact search for models beyond a size threshold, falling back to the
 /// heuristic — both deviations recorded in DESIGN.md.
 ///
+/// With NumWorkers > 1 the loop turns speculative: a window of
+/// consecutive candidate IIs is evaluated concurrently and the smallest
+/// feasible candidate is committed, discarding any larger II that
+/// happened to finish first — exactly the paper's "first feasible II
+/// wins" rule, just computed ahead of time (DESIGN.md "Solver
+/// engineering").
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SGPU_CORE_ILPSCHEDULER_H
@@ -49,6 +56,13 @@ struct SchedulerOptions {
   /// Force the exact solver even when the heuristic already found a
   /// schedule at this II (used by the ILP-vs-heuristic ablation).
   bool IlpEvenIfHeuristicSucceeds = false;
+  /// Total workers for the scheduling engine: the speculative II window,
+  /// the branch & bound queue and the profiling sweep all draw from this
+  /// count. 0 resolves via SGPU_JOBS, then hardware_concurrency.
+  int NumWorkers = 0;
+  /// Candidate IIs evaluated concurrently. 0 picks min(4, workers);
+  /// 1 forces the serial one-II-at-a-time loop.
+  int IIWindow = 0;
 };
 
 /// Outcome of the II search.
@@ -62,8 +76,17 @@ struct ScheduleResult {
   int IIAttempts = 0;
   bool UsedIlp = false;       ///< The accepted schedule came from B&B.
   bool UsedHeuristic = false; ///< The accepted schedule came from LPT.
-  double SolverSeconds = 0.0;
-  int SolverNodes = 0;
+
+  // Solver telemetry, aggregated over the candidate IIs the (serial)
+  // search would have visited: committed candidate and everything below.
+  double SolverSeconds = 0.0;      ///< B&B wall-clock, summed.
+  int SolverNodes = 0;             ///< B&B nodes, summed.
+  long long SolverLpSolves = 0;    ///< LP relaxations solved.
+  long long SolverSimplexIters = 0;///< Simplex iterations (flips included).
+  long long SolverPivots = 0;      ///< Simplex basis changes.
+  double SolverBusySeconds = 0.0;  ///< Sum of B&B worker busy time.
+  int WorkersUsed = 1;             ///< Resolved engine worker count.
+  std::vector<double> IIWallSeconds; ///< Wall time per candidate II tried.
 };
 
 /// Runs the II search. Returns std::nullopt when no schedule exists up to

@@ -40,6 +40,24 @@ std::string sgpu::reportToJson(const StreamGraph &G,
   W.writeInt("bnb_nodes", R.SchedStats.SolverNodes);
   W.writeBool("used_ilp", R.SchedStats.UsedIlp);
   W.writeInt("stage_span", R.Schedule.stageSpan());
+
+  // Solver-engine telemetry (see DESIGN.md "Solver engineering").
+  W.beginObject("solver");
+  W.writeInt("lp_solves", R.SchedStats.SolverLpSolves);
+  W.writeInt("simplex_iterations", R.SchedStats.SolverSimplexIters);
+  W.writeInt("pivots", R.SchedStats.SolverPivots);
+  W.writeDouble("seconds", R.SchedStats.SolverSeconds);
+  W.writeDouble("busy_seconds", R.SchedStats.SolverBusySeconds);
+  W.writeInt("workers", R.SchedStats.WorkersUsed);
+  double Span = R.SchedStats.SolverSeconds *
+                static_cast<double>(R.SchedStats.WorkersUsed);
+  W.writeDouble("worker_utilization",
+                Span > 0.0 ? R.SchedStats.SolverBusySeconds / Span : 0.0);
+  W.beginArray("ii_wall_seconds");
+  for (double S : R.SchedStats.IIWallSeconds)
+    W.writeDouble(S);
+  W.endArray();
+  W.endObject();
   W.endObject();
 
   W.beginArray("instances");

@@ -2,8 +2,13 @@
 
 #include "ilp/BranchAndBound.h"
 
+#include "support/ThreadPool.h"
+
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 
 using namespace sgpu;
 
@@ -11,56 +16,160 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// One tightened variable bound relative to the root LP.
 struct BoundsPatch {
   int Var;
   double Lo, Hi;
 };
 
+/// A pending node of the search tree. Patches accumulate root-to-node
+/// (later entries override earlier ones for the same variable, and are
+/// always tighter). Path records the branch directions taken from the
+/// root and serves as the node's deterministic id.
+struct Subproblem {
+  std::vector<BoundsPatch> Patches;
+  std::vector<uint8_t> Path;
+};
+
 class BnbSearch {
 public:
-  BnbSearch(LinearProgram LP, const MilpOptions &Opt) : LP(std::move(LP)),
-                                                        Opt(Opt) {}
+  BnbSearch(LinearProgram LP, const MilpOptions &Opt)
+      : Root(std::move(LP)), Opt(Opt),
+        FeasibilityOnly(Root.objective().empty()) {}
 
   MilpResult run(const std::optional<std::vector<double>> &Incumbent) {
     Start = Clock::now();
-    if (Incumbent && LP.isFeasible(*Incumbent, Opt.IntegralityTol)) {
+    int Workers = resolveWorkerCount(Opt.NumWorkers);
+
+    if (Incumbent && Root.isFeasible(*Incumbent, Opt.IntegralityTol)) {
       Best = *Incumbent;
-      BestObj = LP.objectiveValue(*Incumbent);
+      BestObj = Root.objectiveValue(*Incumbent);
+      BestPath.clear();
       HaveBest = true;
       if (Opt.StopAtFirstFeasible)
-        return finish(MilpResult::Status::Optimal);
+        return finish(MilpResult::Status::Optimal, Workers);
     }
-    bool Complete = dive();
+
+    {
+      std::lock_guard<std::mutex> Lock(QueueMu);
+      Queue.push_back(Subproblem{});
+      Outstanding = 1;
+    }
+
+    if (Workers <= 1) {
+      workerLoop();
+    } else {
+      ThreadPool Pool(Workers);
+      for (int W = 0; W < Workers; ++W)
+        Pool.submit([this] { workerLoop(); });
+      Pool.wait();
+    }
+
+    bool Complete;
+    {
+      std::lock_guard<std::mutex> Lock(QueueMu);
+      Complete = Queue.empty() && Outstanding == 0 && !Truncated && !FoundStop;
+    }
     if (HaveBest)
       return finish(Complete ? MilpResult::Status::Optimal
-                             : MilpResult::Status::Feasible);
+                             : MilpResult::Status::Feasible,
+                    Workers);
     return finish(Complete ? MilpResult::Status::Infeasible
-                           : MilpResult::Status::BudgetExceeded);
+                           : MilpResult::Status::BudgetExceeded,
+                  Workers);
   }
 
 private:
-  /// Depth-first search. Returns true when the subtree was fully explored
-  /// (so absence of an incumbent proves infeasibility).
-  bool dive() {
-    ++Nodes;
-    if (Nodes > Opt.MaxNodes || timedOut())
-      return false;
+  /// Each worker owns a private copy of the root LP; subproblem bounds
+  /// are applied before the relaxation and restored afterwards.
+  void workerLoop() {
+    LinearProgram LP = Root;
+    long long LocalLpSolves = 0, LocalIters = 0, LocalPivots = 0;
+    double LocalBusy = 0.0;
 
+    std::unique_lock<std::mutex> Lock(QueueMu);
+    for (;;) {
+      QueueCv.wait(Lock, [this] {
+        return StopAll || !Queue.empty() || Outstanding == 0;
+      });
+      if (Queue.empty()) {
+        if (StopAll || Outstanding == 0)
+          break;
+        continue;
+      }
+      // LIFO: with one worker this reproduces depth-first diving; with
+      // several it keeps the frontier small and memory bounded.
+      Subproblem Node = std::move(Queue.back());
+      Queue.pop_back();
+      Lock.unlock();
+
+      auto NodeStart = Clock::now();
+      processNode(LP, Node, LocalLpSolves, LocalIters, LocalPivots);
+      LocalBusy += std::chrono::duration<double>(Clock::now() - NodeStart)
+                       .count();
+
+      Lock.lock();
+      if (--Outstanding == 0 || StopAll)
+        QueueCv.notify_all();
+    }
+    Lock.unlock();
+
+    std::lock_guard<std::mutex> StatsLock(StatsMu);
+    LpSolves += LocalLpSolves;
+    SimplexIters += LocalIters;
+    SimplexPivots += LocalPivots;
+    BusySeconds += LocalBusy;
+  }
+
+  void processNode(LinearProgram &LP, const Subproblem &Node,
+                   long long &LocalLpSolves, long long &LocalIters,
+                   long long &LocalPivots) {
+    if (StopAll)
+      return; // Raced with a cut; the caller still decrements Outstanding.
+    long long NodeNum = ++Nodes;
+    if (NodeNum > Opt.MaxNodes || timedOut()) {
+      cutSearch();
+      return;
+    }
+
+    for (const BoundsPatch &P : Node.Patches)
+      LP.setBounds(P.Var, P.Lo, P.Hi);
+    evaluate(LP, Node, LocalLpSolves, LocalIters, LocalPivots);
+    for (const BoundsPatch &P : Node.Patches)
+      LP.setBounds(P.Var, Root.lowerBound(P.Var), Root.upperBound(P.Var));
+  }
+
+  void evaluate(LinearProgram &LP, const Subproblem &Node,
+                long long &LocalLpSolves, long long &LocalIters,
+                long long &LocalPivots) {
     double Remaining = Opt.TimeBudgetSeconds -
                        std::chrono::duration<double>(Clock::now() - Start)
                            .count();
-    if (Remaining <= 0)
-      return false;
+    if (Remaining <= 0) {
+      cutSearch();
+      return;
+    }
     LpResult R = solveLpRelaxation(LP, Opt.LpIterationLimit, Remaining);
+    ++LocalLpSolves;
+    LocalIters += R.Iterations;
+    LocalPivots += R.Pivots;
     if (R.Status == LpStatus::Infeasible)
-      return true; // Pruned exactly.
-    if (R.Status != LpStatus::Optimal)
-      return false; // Numerical trouble: give up on proving this subtree.
+      return; // Pruned exactly.
+    if (R.Status != LpStatus::Optimal) {
+      // Numerical trouble: give up on proving this subtree.
+      Truncated = true;
+      return;
+    }
 
-    // Bound pruning.
-    if (HaveBest && R.Objective >= BestObj - 1e-9 &&
-        !LP.objective().empty())
-      return true;
+    // Bound pruning against the shared incumbent. Feasibility-only
+    // models (empty objective) are pruned by the first-found incumbent:
+    // no node can improve on an objective of zero.
+    {
+      std::lock_guard<std::mutex> Lock(IncumbentMu);
+      if (HaveBest &&
+          (FeasibilityOnly || R.Objective >= BestObj - Opt.BoundPruneTol))
+        return;
+    }
 
     // Find the most fractional integer variable.
     int BranchVar = -1;
@@ -84,42 +193,76 @@ private:
           X[V] = std::round(X[V]);
       if (LP.isFeasible(X, 1e-5)) {
         double Obj = LP.objectiveValue(X);
-        if (!HaveBest || Obj < BestObj) {
-          Best = std::move(X);
-          BestObj = Obj;
-          HaveBest = true;
-        }
-        if (Opt.StopAtFirstFeasible)
-          FoundStop = true;
-        return true;
+        offerIncumbent(std::move(X), Obj, Node.Path);
       }
-      // LP numerics lied; treat as explored.
-      return true;
+      // Either way this subtree is fully explored.
+      return;
     }
 
     double Val = R.X[BranchVar];
     double Lo = LP.lowerBound(BranchVar);
     double Hi = LP.upperBound(BranchVar);
 
-    // Branch down first (x <= floor), then up (x >= ceil). For 0-1
-    // assignment problems branching up first often finds schedules
-    // faster, so pick the side nearer the fractional value first.
+    // Branch down (x <= floor) and up (x >= ceil). For 0-1 assignment
+    // problems the side nearer the fractional value finds schedules
+    // faster, so it is explored first: pushed last, popped first.
     bool UpFirst = Val - std::floor(Val) >= 0.5;
-    bool Complete = true;
-    for (int Side = 0; Side < 2; ++Side) {
+    int Pushed = 0;
+    std::unique_lock<std::mutex> Lock(QueueMu, std::defer_lock);
+    for (int Side = 1; Side >= 0; --Side) {
       bool Up = (Side == 0) == UpFirst;
       double NewLo = Up ? std::ceil(Val - Opt.IntegralityTol) : Lo;
       double NewHi = Up ? Hi : std::floor(Val + Opt.IntegralityTol);
       if (NewLo > NewHi + 1e-12)
         continue;
-      LP.setBounds(BranchVar, NewLo, NewHi);
-      bool SubComplete = dive();
-      LP.setBounds(BranchVar, Lo, Hi);
-      Complete = Complete && SubComplete;
-      if (FoundStop || timedOut() || Nodes > Opt.MaxNodes)
-        break;
+      Subproblem Child;
+      Child.Patches = Node.Patches;
+      Child.Patches.push_back({BranchVar, NewLo, NewHi});
+      Child.Path = Node.Path;
+      Child.Path.push_back(Up ? 1 : 0);
+      if (!Lock.owns_lock())
+        Lock.lock();
+      Queue.push_back(std::move(Child));
+      ++Outstanding;
+      ++Pushed;
     }
-    return Complete && !FoundStop;
+    if (Lock.owns_lock())
+      Lock.unlock();
+    if (Pushed > 0)
+      QueueCv.notify_all();
+  }
+
+  /// Installs a new incumbent under the shared lock. Ties on objective
+  /// break towards the lexicographically smallest branch path, so the
+  /// reported objective — and, when the search runs to completion, the
+  /// chosen incumbent — do not depend on worker timing.
+  void offerIncumbent(std::vector<double> X, double Obj,
+                      const std::vector<uint8_t> &Path) {
+    std::lock_guard<std::mutex> Lock(IncumbentMu);
+    bool Better = !HaveBest || Obj < BestObj - 1e-12 ||
+                  (Obj <= BestObj + 1e-12 && Path < BestPath);
+    if (Better) {
+      Best = std::move(X);
+      BestObj = Obj;
+      BestPath = Path;
+      HaveBest = true;
+    }
+    if (Opt.StopAtFirstFeasible) {
+      FoundStop = true;
+      cutSearch();
+    }
+  }
+
+  /// Stops all workers: pending subproblems are dropped (the search is
+  /// recorded as truncated unless the stop came from StopAtFirstFeasible).
+  void cutSearch() {
+    if (!FoundStop)
+      Truncated = true;
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Outstanding -= static_cast<long long>(Queue.size());
+    Queue.clear();
+    StopAll = true;
+    QueueCv.notify_all();
   }
 
   bool timedOut() const {
@@ -127,11 +270,16 @@ private:
            Opt.TimeBudgetSeconds;
   }
 
-  MilpResult finish(MilpResult::Status S) {
+  MilpResult finish(MilpResult::Status S, int Workers) {
     MilpResult Res;
     Res.Outcome = S;
-    Res.NodesExplored = Nodes;
+    Res.NodesExplored = static_cast<int>(Nodes.load());
     Res.Seconds = std::chrono::duration<double>(Clock::now() - Start).count();
+    Res.LpSolves = static_cast<int>(LpSolves);
+    Res.SimplexIterations = SimplexIters;
+    Res.Pivots = SimplexPivots;
+    Res.WorkersUsed = Workers;
+    Res.BusySeconds = BusySeconds;
     if (HaveBest) {
       Res.X = Best;
       Res.Objective = BestObj;
@@ -142,14 +290,33 @@ private:
     return Res;
   }
 
-  LinearProgram LP;
+  LinearProgram Root;
   MilpOptions Opt;
+  bool FeasibilityOnly;
   Clock::time_point Start;
-  int Nodes = 0;
+
+  // Subproblem queue. Outstanding counts queued + in-flight nodes; the
+  // search is drained when it reaches zero.
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::vector<Subproblem> Queue;
+  long long Outstanding = 0;
+  std::atomic<bool> StopAll{false};
+
+  // Shared incumbent.
+  std::mutex IncumbentMu;
   bool HaveBest = false;
-  bool FoundStop = false;
   std::vector<double> Best;
+  std::vector<uint8_t> BestPath;
   double BestObj = 0.0;
+
+  std::atomic<long long> Nodes{0};
+  std::atomic<bool> Truncated{false};
+  std::atomic<bool> FoundStop{false};
+
+  std::mutex StatsMu;
+  long long LpSolves = 0, SimplexIters = 0, SimplexPivots = 0;
+  double BusySeconds = 0.0;
 };
 
 } // namespace

@@ -6,12 +6,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Depth-first branch & bound over the LP relaxation, with a wall-clock
-/// budget. The paper allots CPLEX 20 seconds per candidate II and relaxes
-/// the II by 0.5% on timeout (Section V); IlpScheduler drives this solver
-/// through the same loop. An incumbent can be injected (from the
-/// heuristic scheduler) so the search starts with a bound and, for pure
+/// Branch & bound over the LP relaxation, with a wall-clock budget. The
+/// paper allots CPLEX 20 seconds per candidate II and relaxes the II by
+/// 0.5% on timeout (Section V); IlpScheduler drives this solver through
+/// the same loop. An incumbent can be injected (from the heuristic
+/// scheduler) so the search starts with a bound and, for pure
 /// feasibility problems, can return immediately.
+///
+/// The search is an explicit subproblem queue drained LIFO (so a single
+/// worker reproduces the old depth-first dive order) by a worker pool;
+/// the incumbent is shared under a mutex so bound pruning on any worker
+/// sees the best objective found anywhere. Every subproblem carries its
+/// branch path as a deterministic node id: among equal-objective
+/// incumbents the lexicographically smallest path wins, making the
+/// reported objective (and, for exhaustive searches, the incumbent
+/// choice) independent of worker timing. Time/node budgets are global
+/// across workers.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,13 +37,19 @@ namespace sgpu {
 /// Knobs for the MILP search.
 struct MilpOptions {
   double TimeBudgetSeconds = 2.0;  ///< Wall-clock budget (paper: 20 s).
-  int MaxNodes = 200000;           ///< Branch & bound node cap.
+  int MaxNodes = 200000;           ///< Branch & bound node cap (global).
   int LpIterationLimit = 50000;    ///< Simplex iteration cap per node.
   double IntegralityTol = 1e-6;
+  /// Slack when pruning a node whose relaxation bound cannot beat the
+  /// incumbent: prune when bound >= incumbent - BoundPruneTol.
+  double BoundPruneTol = 1e-9;
   /// Stop at the first integral feasible solution (the paper's
   /// formulation "is a constraint problem, rather than an optimization
   /// problem" — Section IV-B).
   bool StopAtFirstFeasible = true;
+  /// Workers draining the subproblem queue. 1 keeps the search on the
+  /// calling thread; 0 resolves via SGPU_JOBS / hardware_concurrency.
+  int NumWorkers = 1;
 };
 
 /// Result of a MILP solve.
@@ -50,6 +66,15 @@ struct MilpResult {
   double Objective = 0.0;
   int NodesExplored = 0;
   double Seconds = 0.0;
+
+  // Solver-core telemetry, aggregated across all workers.
+  int LpSolves = 0;               ///< LP relaxations solved.
+  long long SimplexIterations = 0; ///< Simplex iterations (flips included).
+  long long Pivots = 0;           ///< Simplex basis changes.
+  int WorkersUsed = 1;            ///< Workers that drained the queue.
+  /// Sum over workers of time spent processing subproblems; utilization
+  /// is BusySeconds / (Seconds * WorkersUsed).
+  double BusySeconds = 0.0;
 
   bool hasSolution() const {
     return Outcome == Status::Optimal || Outcome == Status::Feasible;

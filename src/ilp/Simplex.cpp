@@ -15,9 +15,62 @@ namespace {
 
 constexpr double Eps = 1e-7;
 constexpr double Inf = LinearProgram::Infinity;
+/// Entries below this magnitude are treated as exact zeros when the
+/// pivot update sweeps the pivot row's support.
+constexpr double DropTol = 1e-12;
 
-/// Dense bounded-variable simplex over rows A x = b with l <= x <= u.
-/// Columns: structural vars, then one slack per row, then artificials.
+/// Column-major sparse copy of the structural part of A. Slack columns
+/// are unit vectors and artificials are created on demand, so only the
+/// structural columns need explicit storage.
+struct SparseColumns {
+  std::vector<int> Start; ///< Column J's entries are [Start[J], Start[J+1]).
+  std::vector<int> Row;
+  std::vector<double> Val;
+
+  void build(const LinearProgram &LP) {
+    int NumStruct = LP.numVars();
+    int NumRows = LP.numConstraints();
+    // Combine duplicate (row, var) terms through a dense scratch row.
+    std::vector<double> Scratch(NumStruct, 0.0);
+    std::vector<int> Touched;
+    std::vector<int> Count(NumStruct, 0);
+    std::vector<std::pair<int, double>> Cells; // (packed col, val) per row.
+    std::vector<int> RowStart(NumRows + 1, 0);
+    for (int R = 0; R < NumRows; ++R) {
+      Touched.clear();
+      for (const LinTerm &T : LP.rows()[R].Terms) {
+        if (Scratch[T.Var] == 0.0)
+          Touched.push_back(T.Var);
+        Scratch[T.Var] += T.Coef;
+      }
+      for (int V : Touched) {
+        if (Scratch[V] != 0.0) {
+          Cells.emplace_back(V, Scratch[V]);
+          ++Count[V];
+        }
+        Scratch[V] = 0.0;
+      }
+      RowStart[R + 1] = static_cast<int>(Cells.size());
+    }
+    Start.assign(NumStruct + 1, 0);
+    for (int V = 0; V < NumStruct; ++V)
+      Start[V + 1] = Start[V] + Count[V];
+    Row.resize(Cells.size());
+    Val.resize(Cells.size());
+    std::vector<int> Fill(Start.begin(), Start.end() - 1);
+    for (int R = 0; R < NumRows; ++R)
+      for (int I = RowStart[R]; I < RowStart[R + 1]; ++I) {
+        int V = Cells[I].first;
+        Row[Fill[V]] = R;
+        Val[Fill[V]] = Cells[I].second;
+        ++Fill[V];
+      }
+  }
+};
+
+/// Flat-tableau bounded-variable simplex over rows A x = b with
+/// l <= x <= u. Columns: structural vars, then one slack per row, then
+/// artificials.
 class SimplexSolver {
 public:
   SimplexSolver(const LinearProgram &LP, int MaxIterations,
@@ -31,7 +84,6 @@ public:
 
   LpResult run() {
     buildStandardForm();
-    installInitialBasis();
 
     // Phase 1: minimize the sum of artificial variables.
     if (NumArt > 0) {
@@ -41,13 +93,15 @@ public:
       LpStatus S = optimize(Phase1Cost);
       if (S == LpStatus::IterLimit)
         return finish(S);
+      recomputeBasicValues();
       double ArtSum = 0.0;
-      std::vector<double> X = currentValues();
-      for (int J = ArtBase; J < NumCols; ++J)
-        ArtSum += X[J];
+      for (int R = 0; R < NumRows; ++R)
+        if (Basis[R] >= ArtBase)
+          ArtSum += std::fabs(XB[R]);
       if (ArtSum > 1e-5)
         return finish(LpStatus::Infeasible);
-      // Pin artificials to zero for phase 2.
+      // Pin artificials to zero for phase 2 (nonbasic ones already rest
+      // at their zero lower bound).
       for (int J = ArtBase; J < NumCols; ++J)
         Hi[J] = 0.0;
     }
@@ -61,12 +115,26 @@ public:
   }
 
 private:
+  double &at(int R, int J) { return Tab[static_cast<size_t>(R) * Stride + J]; }
+  double at(int R, int J) const {
+    return Tab[static_cast<size_t>(R) * Stride + J];
+  }
+  double *rowPtr(int R) { return Tab.data() + static_cast<size_t>(R) * Stride; }
+  const double *rowPtr(int R) const {
+    return Tab.data() + static_cast<size_t>(R) * Stride;
+  }
+
+  /// Builds bounds, the sparse copy of A, decides per row whether the
+  /// slack can be basic or an artificial is needed, and materializes the
+  /// flat tableau in one allocation (the artificial count is known
+  /// before the tableau is laid out, so columns never grow).
   void buildStandardForm() {
     NumStruct = LP.numVars();
     NumRows = LP.numConstraints();
     int SlackBase = NumStruct;
     ArtBase = NumStruct + NumRows;
-    NumCols = ArtBase; // Artificials appended below as needed.
+
+    Cols.build(LP);
 
     Lo.assign(ArtBase, 0.0);
     Hi.assign(ArtBase, 0.0);
@@ -75,16 +143,11 @@ private:
       Hi[V] = LP.upperBound(V);
       assert(Lo[V] > -Inf && "variables must be bounded below");
     }
-
-    A.assign(NumRows, std::vector<double>(ArtBase, 0.0));
     B.assign(NumRows, 0.0);
     for (int R = 0; R < NumRows; ++R) {
       const RowConstraint &Row = LP.rows()[R];
-      for (const LinTerm &T : Row.Terms)
-        A[R][T.Var] += T.Coef;
       B[R] = Row.Rhs;
       int S = SlackBase + R;
-      A[R][S] = 1.0;
       switch (Row.Sense) {
       case RowSense::LE: // a.x + s = rhs, s >= 0.
         Lo[S] = 0.0;
@@ -100,60 +163,65 @@ private:
         break;
       }
     }
-  }
 
-  /// Starts with all structural/slack vars nonbasic at their finite bound
-  /// closest to zero; rows whose residual cannot be absorbed by their
-  /// slack get an artificial basic variable.
-  void installInitialBasis() {
-    AtUpper.assign(NumCols, false);
-    IsBasic.assign(NumCols, false);
+    // Row residuals with every column at rest. Slacks always rest at
+    // zero, so only structural columns with a nonzero rest value
+    // contribute — walked sparsely through the column-major copy.
+    std::vector<double> Resid = B;
+    for (int V = 0; V < NumStruct; ++V) {
+      double RV = Lo[V]; // Structural vars are bounded below; rest there.
+      if (RV == 0.0)
+        continue;
+      for (int I = Cols.Start[V]; I < Cols.Start[V + 1]; ++I)
+        Resid[Cols.Row[I]] -= Cols.Val[I] * RV;
+    }
+
+    // Decide basic slack vs. artificial per row, so NumCols is final
+    // before the tableau is allocated.
+    AtUpper.assign(ArtBase, false);
+    IsBasic.assign(ArtBase, false);
     Basis.assign(NumRows, -1);
-
-    auto RestValue = [&](int J) {
-      if (Lo[J] > -Inf)
-        return Lo[J];
-      assert(Hi[J] < Inf && "free variable unsupported");
-      return Hi[J]; // GE slacks rest at their zero upper bound.
-    };
-
-    // Residual per row with all columns at rest, excluding the slack.
+    XB.assign(NumRows, 0.0);
+    std::vector<int> ArtRow; // Rows receiving an artificial, in order.
     NumArt = 0;
     for (int R = 0; R < NumRows; ++R) {
-      double Resid = B[R];
-      for (int J = 0; J < NumCols; ++J) {
-        int SlackJ = NumStruct + R;
-        if (J == SlackJ)
-          continue;
-        if (A[R][J] != 0.0)
-          Resid -= A[R][J] * RestValue(J);
-      }
-      int SlackJ = NumStruct + R;
-      if (Resid >= Lo[SlackJ] - Eps && Resid <= Hi[SlackJ] + Eps) {
-        // The slack itself can be basic.
+      int SlackJ = SlackBase + R;
+      if (Resid[R] >= Lo[SlackJ] - Eps && Resid[R] <= Hi[SlackJ] + Eps) {
         Basis[R] = SlackJ;
         IsBasic[SlackJ] = true;
+        XB[R] = Resid[R];
         continue;
       }
-      // Need an artificial absorbing the residual's sign. The slack
-      // rests at zero (its bound nearest the feasible region).
+      // The slack rests at its bound nearest the feasible region; an
+      // artificial with the residual's sign becomes basic.
       AtUpper[SlackJ] = Lo[SlackJ] == -Inf;
-      int ArtJ = NumCols++;
-      Lo.push_back(0.0);
-      Hi.push_back(Inf);
-      AtUpper.push_back(false);
-      IsBasic.push_back(true);
-      for (int R2 = 0; R2 < NumRows; ++R2)
-        A[R2].push_back(0.0);
-      A[R][ArtJ] = Resid >= 0 ? 1.0 : -1.0;
-      Basis[R] = ArtJ;
+      ArtRow.push_back(R);
       ++NumArt;
     }
 
-    // Tableau starts as A (basis columns are unit by construction for
-    // slacks/artificials).
-    T = A;
+    NumCols = ArtBase + NumArt;
+    Stride = NumCols;
+    Tab.assign(static_cast<size_t>(NumRows) * Stride, 0.0);
     Trhs = B;
+    for (int R = 0; R < NumRows; ++R) {
+      double *Row = rowPtr(R);
+      Row[SlackBase + R] = 1.0;
+    }
+    for (int V = 0; V < NumStruct; ++V)
+      for (int I = Cols.Start[V]; I < Cols.Start[V + 1]; ++I)
+        at(Cols.Row[I], V) += Cols.Val[I];
+    Lo.resize(NumCols, 0.0);
+    Hi.resize(NumCols, Inf);
+    AtUpper.resize(NumCols, false);
+    IsBasic.resize(NumCols, false);
+    for (int K = 0; K < NumArt; ++K) {
+      int R = ArtRow[K];
+      int ArtJ = ArtBase + K;
+      at(R, ArtJ) = Resid[R] >= 0 ? 1.0 : -1.0;
+      Basis[R] = ArtJ;
+      IsBasic[ArtJ] = true;
+      XB[R] = std::fabs(Resid[R]);
+    }
   }
 
   double restValue(int J) const {
@@ -167,60 +235,53 @@ private:
     return Lo[J];
   }
 
-  /// Basic variable values implied by the nonbasic rest values.
-  std::vector<double> basicValues() const {
-    std::vector<double> XB(NumRows);
+  /// Recomputes the basic-variable values from scratch: XB = Trhs minus
+  /// the tableau columns of nonbasic variables resting away from zero.
+  /// Used to reset the incrementally-maintained XB (pivot updates drift
+  /// numerically) at phase boundaries and every RefreshInterval pivots.
+  void recomputeBasicValues() {
+    NZRestCols.clear();
+    for (int J = 0; J < NumCols; ++J) {
+      if (IsBasic[J])
+        continue;
+      double RV = restValue(J);
+      if (RV != 0.0)
+        NZRestCols.emplace_back(J, RV);
+    }
     for (int R = 0; R < NumRows; ++R) {
+      const double *Row = rowPtr(R);
       double V = Trhs[R];
-      for (int J = 0; J < NumCols; ++J) {
-        if (IsBasic[J])
-          continue;
-        double RV = restValue(J);
-        if (RV != 0.0 && T[R][J] != 0.0)
-          V -= T[R][J] * RV;
-      }
+      for (const auto &[J, RV] : NZRestCols)
+        V -= Row[J] * RV;
       XB[R] = V;
     }
-    return XB;
   }
 
-  std::vector<double> currentValues() const {
-    std::vector<double> X(NumCols);
-    for (int J = 0; J < NumCols; ++J)
-      if (!IsBasic[J])
-        X[J] = restValue(J);
-    std::vector<double> XB = basicValues();
-    for (int R = 0; R < NumRows; ++R)
-      X[Basis[R]] = XB[R];
-    return X;
-  }
-
-  /// Reduced costs for \p Cost given the current tableau.
-  std::vector<double> reducedCosts(const std::vector<double> &Cost) const {
-    // y = c_B, d_j = c_j - y . T_j (T already is B^{-1}A).
-    std::vector<double> D(NumCols);
-    for (int J = 0; J < NumCols; ++J) {
-      if (IsBasic[J]) {
-        D[J] = 0.0;
+  /// Reduced costs d = c - y^T T, accumulated row-wise: only rows whose
+  /// basic variable carries a nonzero cost contribute, which is the
+  /// sparse common case (feasibility LPs have all-zero phase-2 costs,
+  /// and phase-1 costs vanish as artificials leave the basis).
+  void reducedCosts(const std::vector<double> &Cost) {
+    D = Cost;
+    for (int R = 0; R < NumRows; ++R) {
+      double CB = Cost[Basis[R]];
+      if (CB == 0.0)
         continue;
-      }
-      double V = Cost[J];
-      for (int R = 0; R < NumRows; ++R)
-        if (T[R][J] != 0.0 && Cost[Basis[R]] != 0.0)
-          V -= Cost[Basis[R]] * T[R][J];
-      D[J] = V;
+      const double *Row = rowPtr(R);
+      for (int J = 0; J < NumCols; ++J)
+        D[J] -= CB * Row[J];
     }
-    return D;
   }
 
   LpStatus optimize(const std::vector<double> &Cost) {
+    recomputeBasicValues();
     int StallCount = 0;
+    int SinceRefresh = 0;
     for (; Iters < MaxIters; ++Iters) {
-      // A dense iteration is expensive; poll the deadline sparsely.
       if ((Iters & 15) == 0 &&
           std::chrono::steady_clock::now() > Deadline)
         return LpStatus::IterLimit;
-      std::vector<double> D = reducedCosts(Cost);
+      reducedCosts(Cost);
 
       // Entering variable: nonbasic at lower with d < 0, or at upper with
       // d > 0. Dantzig rule; Bland (lowest index) when stalling.
@@ -230,8 +291,7 @@ private:
       for (int J = 0; J < NumCols; ++J) {
         if (IsBasic[J] || Lo[J] == Hi[J])
           continue;
-        bool Upper = AtUpper[J];
-        double Score = Upper ? D[J] : -D[J];
+        double Score = AtUpper[J] ? D[J] : -D[J];
         if (Score > BestScore) {
           Enter = J;
           if (UseBland)
@@ -246,14 +306,13 @@ private:
       // from upper bound.
       double Dir = AtUpper[Enter] ? -1.0 : 1.0;
 
-      // Ratio test.
-      std::vector<double> XB = basicValues();
+      // Ratio test over the entering column, skipping structural zeros.
       double Limit = Hi[Enter] - Lo[Enter]; // Bound-flip distance.
       bool LimitIsFlip = true;
       int LeaveRow = -1;
       bool LeaveToUpper = false;
       for (int R = 0; R < NumRows; ++R) {
-        double Alpha = T[R][Enter] * Dir;
+        double Alpha = at(R, Enter) * Dir;
         if (std::fabs(Alpha) <= Eps)
           continue;
         int BV = Basis[R];
@@ -288,33 +347,61 @@ private:
       else
         StallCount = 0;
 
+      // The entering variable moves by Dir * Limit; follow the basic
+      // values incrementally down the entering column.
+      if (Limit != 0.0)
+        for (int R = 0; R < NumRows; ++R) {
+          double Alpha = at(R, Enter);
+          if (Alpha != 0.0)
+            XB[R] -= Alpha * Dir * Limit;
+        }
+
       if (LimitIsFlip) {
         // Bound flip: the entering variable swaps bounds, no basis change.
         AtUpper[Enter] = !AtUpper[Enter];
         continue;
       }
 
+      double EnterValue = restValue(Enter) + Dir * Limit;
       pivot(LeaveRow, Enter, LeaveToUpper);
+      XB[LeaveRow] = EnterValue;
+      if (++SinceRefresh >= RefreshInterval) {
+        SinceRefresh = 0;
+        recomputeBasicValues();
+      }
     }
     return LpStatus::IterLimit;
   }
 
   void pivot(int Row, int Enter, bool LeavingGoesToUpper) {
     int Leave = Basis[Row];
-    double Piv = T[Row][Enter];
+    double *PivRow = rowPtr(Row);
+    double Piv = PivRow[Enter];
     assert(std::fabs(Piv) > 1e-12 && "numerically singular pivot");
 
-    for (int J = 0; J < NumCols; ++J)
-      T[Row][J] /= Piv;
-    Trhs[Row] /= Piv;
+    double InvPiv = 1.0 / Piv;
+    // Scale the pivot row and collect its support once; every other
+    // row's update then touches only those columns.
+    PivSupport.clear();
+    for (int J = 0; J < NumCols; ++J) {
+      PivRow[J] *= InvPiv;
+      if (std::fabs(PivRow[J]) > DropTol)
+        PivSupport.push_back(J);
+      else
+        PivRow[J] = 0.0;
+    }
+    PivRow[Enter] = 1.0;
+    Trhs[Row] *= InvPiv;
     for (int R = 0; R < NumRows; ++R) {
       if (R == Row)
         continue;
-      double Factor = T[R][Enter];
+      double *Dst = rowPtr(R);
+      double Factor = Dst[Enter];
       if (Factor == 0.0)
         continue;
-      for (int J = 0; J < NumCols; ++J)
-        T[R][J] -= Factor * T[Row][J];
+      for (int J : PivSupport)
+        Dst[J] -= Factor * PivRow[J];
+      Dst[Enter] = 0.0;
       Trhs[R] -= Factor * Trhs[Row];
     }
 
@@ -323,15 +410,23 @@ private:
     IsBasic[Enter] = true;
     AtUpper[Enter] = false;
     Basis[Row] = Enter;
+    ++Pivots;
   }
 
   LpResult finish(LpStatus S) {
     LpResult Res;
     Res.Status = S;
     Res.Iterations = Iters;
+    Res.Pivots = Pivots;
     if (S != LpStatus::Optimal)
       return Res;
-    std::vector<double> X = currentValues();
+    recomputeBasicValues();
+    std::vector<double> X(NumCols, 0.0);
+    for (int J = 0; J < NumCols; ++J)
+      if (!IsBasic[J])
+        X[J] = restValue(J);
+    for (int R = 0; R < NumRows; ++R)
+      X[Basis[R]] = XB[R];
     Res.X.assign(X.begin(), X.begin() + NumStruct);
     // Clamp tiny numerical noise into the bounds.
     for (int V = 0; V < NumStruct; ++V) {
@@ -342,15 +437,26 @@ private:
     return Res;
   }
 
+  /// Pivots between full XB refreshes; frequent enough that incremental
+  /// drift stays well under the feasibility tolerances.
+  static constexpr int RefreshInterval = 32;
+
   const LinearProgram &LP;
   int MaxIters;
   std::chrono::steady_clock::time_point Deadline;
   int Iters = 0;
+  int Pivots = 0;
 
   int NumStruct = 0, NumRows = 0, NumCols = 0, ArtBase = 0, NumArt = 0;
-  std::vector<std::vector<double>> A, T;
+  int Stride = 0;
+  SparseColumns Cols;
+  std::vector<double> Tab; ///< Flat row-major tableau, NumRows x Stride.
   std::vector<double> B, Trhs;
   std::vector<double> Lo, Hi;
+  std::vector<double> XB; ///< Basic values, maintained incrementally.
+  std::vector<double> D;  ///< Reduced-cost workspace.
+  std::vector<std::pair<int, double>> NZRestCols;
+  std::vector<int> PivSupport;
   std::vector<bool> AtUpper, IsBasic;
   std::vector<int> Basis;
 };

@@ -6,12 +6,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A dense two-phase primal simplex with bounded variables (nonbasic
-/// variables rest at either bound; upper bounds never become rows). This
-/// solves the LP relaxations inside the branch & bound that replaces
-/// CPLEX in the paper's toolchain. Dense tableaus keep the code simple
-/// and robust; the scheduling ILPs it must handle are small because the
-/// heuristic scheduler supplies incumbents for the big ones.
+/// A two-phase primal simplex with bounded variables (nonbasic variables
+/// rest at either bound; upper bounds never become rows). This solves
+/// the LP relaxations inside the branch & bound that replaces CPLEX in
+/// the paper's toolchain. The tableau is stored as one flat row-major
+/// array (contiguous row operations vectorize and stay cache-resident),
+/// and the constraint matrix A is additionally kept as a sparse
+/// column-major copy: the scheduling LPs are overwhelmingly sparse —
+/// constraints (2), (4), (8) each touch a handful of variables — so
+/// standard-form setup, initial residuals, pricing and the pivot update
+/// all skip structural zeros. See DESIGN.md "Solver engineering".
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,7 +34,11 @@ struct LpResult {
   LpStatus Status = LpStatus::IterLimit;
   std::vector<double> X; ///< Structural variable values (valid if Optimal).
   double Objective = 0.0;
+  /// Simplex iterations across both phases (bound flips included).
   int Iterations = 0;
+  /// Basis changes (proper pivots) across both phases; always
+  /// <= Iterations, the difference being bound flips.
+  int Pivots = 0;
 };
 
 /// Solves the LP relaxation of \p LP (integrality dropped, bounds kept).

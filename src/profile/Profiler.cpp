@@ -3,6 +3,7 @@
 #include "profile/Profiler.h"
 
 #include "gpusim/Occupancy.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 
@@ -21,9 +22,17 @@ double ProfileTable::at(int Node, int RegIdx, int ThreadIdx) const {
 }
 
 ProfileTable sgpu::profileGraph(const GpuArch &Arch, const StreamGraph &G,
-                                LayoutKind Layout) {
+                                LayoutKind Layout, int Jobs,
+                                int64_t NumFirings) {
   ProfileTable PT(G.numNodes());
-  for (const GraphNode &N : G.nodes()) {
+  if (NumFirings > 0)
+    PT.setNumFirings(NumFirings);
+
+  // Each node's 4x4 sweep is a pure function of (Arch, node, layout):
+  // fan the nodes out across the workers; every worker writes disjoint
+  // rows of the table.
+  parallelFor(0, G.numNodes(), Jobs, [&](int Idx) {
+    const GraphNode &N = G.nodes()[Idx];
     WorkEstimate WE = nodeWorkEstimate(N);
     for (int R = 0; R < ProfileTable::NumRegLimits; ++R) {
       int RegLimit = ProfileRegLimits[R];
@@ -38,12 +47,16 @@ ProfileTable sgpu::profileGraph(const GpuArch &Arch, const StreamGraph &G,
         InstanceCost Cost =
             buildInstanceCost(Arch, N, WE, Threads, RegLimit, Layout);
         double PerFiring = instanceCycles(Arch, Cost);
-        int64_t Iterations = PT.numFirings() / Threads;
+        // Ceiling division: when the firing count is not a multiple of
+        // the thread count, the last partial wave still runs (and must
+        // be costed) — every thread count sees the same total work.
+        int64_t Iterations =
+            (PT.numFirings() + Threads - 1) / Threads;
         PT.at(N.Id, R, T) =
             static_cast<double>(Arch.KernelLaunchCycles) +
             static_cast<double>(Iterations) * PerFiring;
       }
     }
-  }
+  });
   return PT;
 }

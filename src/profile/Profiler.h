@@ -60,9 +60,16 @@ private:
 
 /// Runs the Fig. 6 sweep for every node of \p G on \p Arch under
 /// \p Layout (profiling is layout-aware: the SWPNC comparison profiles
-/// without coalescing, Section V-B).
+/// without coalescing, Section V-B). Every [node][regLimit][threads]
+/// cell is independent, so the sweep fans out over \p Jobs workers
+/// (0 = auto via SGPU_JOBS / hardware_concurrency; results are
+/// identical at any worker count). \p NumFirings overrides the default
+/// per-run firing count when positive — profile runs whose firings are
+/// not a multiple of the thread count still cost their last partial
+/// wave (ceiling division).
 ProfileTable profileGraph(const GpuArch &Arch, const StreamGraph &G,
-                          LayoutKind Layout);
+                          LayoutKind Layout, int Jobs = 0,
+                          int64_t NumFirings = 0);
 
 } // namespace sgpu
 

@@ -1,0 +1,99 @@
+//===- support/ThreadPool.cpp - Worker pool for solver parallelism ----------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+using namespace sgpu;
+
+int sgpu::resolveWorkerCount(int Requested) {
+  if (Requested > 0)
+    return Requested;
+  if (const char *Env = std::getenv("SGPU_JOBS")) {
+    int N = std::atoi(Env);
+    if (N > 0)
+      return N;
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW > 0 ? static_cast<int>(HW) : 1;
+}
+
+ThreadPool::ThreadPool(int NumThreads) {
+  int N = resolveWorkerCount(NumThreads);
+  Workers.reserve(N);
+  for (int I = 0; I < N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Tasks.push_back(std::move(Task));
+  }
+  WorkCv.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  IdleCv.wait(Lock, [this] { return Tasks.empty() && Active == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    WorkCv.wait(Lock, [this] { return ShuttingDown || !Tasks.empty(); });
+    if (Tasks.empty()) // ShuttingDown with a drained queue.
+      return;
+    std::function<void()> Task = std::move(Tasks.front());
+    Tasks.pop_front();
+    ++Active;
+    Lock.unlock();
+    Task();
+    Lock.lock();
+    --Active;
+    if (Tasks.empty() && Active == 0)
+      IdleCv.notify_all();
+  }
+}
+
+void sgpu::parallelFor(int Begin, int End, int Jobs,
+                       const std::function<void(int)> &Fn) {
+  if (End <= Begin)
+    return;
+  int N = End - Begin;
+  int Workers = std::min(resolveWorkerCount(Jobs), N);
+  if (Workers <= 1 || N == 1) {
+    for (int I = Begin; I < End; ++I)
+      Fn(I);
+    return;
+  }
+  // Self-scheduling over an atomic cursor: cheap and balances uneven
+  // per-index work (profile cells and candidate IIs vary widely).
+  std::atomic<int> Next{Begin};
+  auto Drain = [&] {
+    for (;;) {
+      int I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= End)
+        return;
+      Fn(I);
+    }
+  };
+  std::vector<std::thread> Threads;
+  Threads.reserve(Workers - 1);
+  for (int W = 1; W < Workers; ++W)
+    Threads.emplace_back(Drain);
+  Drain();
+  for (std::thread &T : Threads)
+    T.join();
+}

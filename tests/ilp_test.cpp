@@ -85,6 +85,76 @@ TEST(Simplex, DegenerateProblemTerminates) {
   EXPECT_NEAR(R.Objective, -6.0, 1e-6);
 }
 
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x with x >= 2 and no upper bound: x grows without limit.
+  LinearProgram LP;
+  int X = LP.addContinuousVar("x", 0, LinearProgram::Infinity);
+  LP.addConstraint({{X, 1}}, RowSense::GE, 2.0);
+  LP.setObjective({{X, -1}});
+  LpResult R = solveLpRelaxation(LP);
+  EXPECT_EQ(R.Status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, EqualityOnlySystemWithoutObjective) {
+  // A pure equality system (no objective): phase 1 must land exactly on
+  // the unique solution x = 4, y = 1, z = 2.
+  LinearProgram LP;
+  int X = LP.addContinuousVar("x", 0, 100);
+  int Y = LP.addContinuousVar("y", 0, 100);
+  int Z = LP.addContinuousVar("z", 0, 100);
+  LP.addConstraint({{X, 1}, {Y, 1}, {Z, 1}}, RowSense::EQ, 7);
+  LP.addConstraint({{X, 1}, {Y, -1}}, RowSense::EQ, 3);
+  LP.addConstraint({{Z, 2}}, RowSense::EQ, 4);
+  LpResult R = solveLpRelaxation(LP);
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_NEAR(R.X[X], 4.0, 1e-6);
+  EXPECT_NEAR(R.X[Y], 1.0, 1e-6);
+  EXPECT_NEAR(R.X[Z], 2.0, 1e-6);
+}
+
+TEST(Simplex, IterationLimitPath) {
+  // A phase-1-requiring system given a 1-iteration budget must come
+  // back with IterLimit rather than a wrong answer.
+  LinearProgram LP;
+  int X = LP.addContinuousVar("x", 0, 100);
+  int Y = LP.addContinuousVar("y", 0, 100);
+  LP.addConstraint({{X, 1}, {Y, 2}}, RowSense::GE, 10);
+  LP.addConstraint({{X, 3}, {Y, 1}}, RowSense::GE, 12);
+  LP.setObjective({{X, 1}, {Y, 1}});
+  LpResult R = solveLpRelaxation(LP, /*MaxIterations=*/1);
+  EXPECT_EQ(R.Status, LpStatus::IterLimit);
+  EXPECT_LE(R.Iterations, 1);
+}
+
+TEST(Simplex, ReportsPivotAndIterationCounters) {
+  LinearProgram LP;
+  int X = LP.addContinuousVar("x", 0, 10);
+  int Y = LP.addContinuousVar("y", 0, 10);
+  LP.addConstraint({{X, 1}, {Y, 2}}, RowSense::LE, 4);
+  LP.addConstraint({{X, 3}, {Y, 1}}, RowSense::LE, 6);
+  LP.setObjective({{X, -1}, {Y, -1}});
+  LpResult R = solveLpRelaxation(LP);
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_GE(R.Pivots, 1);
+  EXPECT_GE(R.Iterations, R.Pivots); // Bound flips never pivot.
+}
+
+TEST(Simplex, DegeneratePivotsWithDuplicateTerms) {
+  // Redundant rows through the optimum plus duplicate terms per row:
+  // exercises the sparse-column merge and the stall/Bland guard.
+  LinearProgram LP;
+  int X = LP.addContinuousVar("x", 0, 8);
+  int Y = LP.addContinuousVar("y", 0, 8);
+  for (int I = 1; I <= 5; ++I)
+    LP.addConstraint({{X, double(I)}, {X, double(I)}, {Y, 2.0}},
+                     RowSense::LE, 16.0 * I);
+  LP.addConstraint({{X, 1}, {Y, 1}}, RowSense::LE, 8);
+  LP.setObjective({{X, -2}, {Y, -1}});
+  LpResult R = solveLpRelaxation(LP);
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_NEAR(R.Objective, -16.0, 1e-6); // x = 8, y = 0.
+}
+
 TEST(Milp, BinaryKnapsack) {
   // max 10a + 6b + 4c s.t. a + b + c <= 2 (binary): pick a and b.
   LinearProgram LP;
@@ -173,6 +243,106 @@ TEST(Milp, TimeBudgetRespected) {
   MilpResult R = solveMilp(LP, MO);
   EXPECT_LT(R.Seconds, 5.0);
   EXPECT_FALSE(R.hasSolution());
+}
+
+namespace {
+
+/// A 0-1 optimization model with a genuine search tree: weighted set
+/// packing over overlapping triples.
+LinearProgram makePackingMilp(int Items) {
+  LinearProgram LP;
+  std::vector<int> Vars(Items);
+  std::vector<LinTerm> Obj;
+  for (int I = 0; I < Items; ++I) {
+    Vars[I] = LP.addBinaryVar("x" + std::to_string(I));
+    Obj.push_back({Vars[I], -double(11 + (I * 7) % 13)});
+  }
+  for (int I = 0; I + 2 < Items; ++I)
+    LP.addConstraint(
+        {{Vars[I], 1}, {Vars[I + 1], 1}, {Vars[I + 2], 1}}, RowSense::LE,
+        2);
+  LP.setObjective(std::move(Obj));
+  return LP;
+}
+
+} // namespace
+
+TEST(MilpParallel, MatchesSerialObjective) {
+  MilpOptions Serial;
+  Serial.StopAtFirstFeasible = false;
+  Serial.NumWorkers = 1;
+  MilpResult S = solveMilp(makePackingMilp(16), Serial);
+  ASSERT_TRUE(S.hasSolution());
+  EXPECT_EQ(S.Outcome, MilpResult::Status::Optimal);
+
+  for (int Workers : {2, 4}) {
+    MilpOptions Par = Serial;
+    Par.NumWorkers = Workers;
+    MilpResult P = solveMilp(makePackingMilp(16), Par);
+    ASSERT_TRUE(P.hasSolution());
+    EXPECT_EQ(P.Outcome, MilpResult::Status::Optimal);
+    EXPECT_NEAR(P.Objective, S.Objective, 1e-9);
+    EXPECT_EQ(P.WorkersUsed, Workers);
+  }
+}
+
+TEST(MilpParallel, RepeatedRunsAreDeterministic) {
+  MilpOptions MO;
+  MO.StopAtFirstFeasible = false;
+  MO.NumWorkers = 4;
+  MilpResult First = solveMilp(makePackingMilp(14), MO);
+  ASSERT_TRUE(First.hasSolution());
+  for (int Run = 0; Run < 4; ++Run) {
+    MilpResult R = solveMilp(makePackingMilp(14), MO);
+    ASSERT_TRUE(R.hasSolution());
+    EXPECT_NEAR(R.Objective, First.Objective, 1e-9);
+  }
+}
+
+TEST(MilpParallel, FeasibilityModelPrunedByFirstIncumbent) {
+  // Pure feasibility (empty objective): once any incumbent exists every
+  // remaining node is pruned, even with StopAtFirstFeasible off.
+  LinearProgram LP;
+  std::vector<int> Vars;
+  for (int I = 0; I < 10; ++I)
+    Vars.push_back(LP.addBinaryVar("b" + std::to_string(I)));
+  std::vector<LinTerm> Row;
+  for (int V : Vars)
+    Row.push_back({V, 1.0});
+  LP.addConstraint(Row, RowSense::GE, 5);
+  MilpOptions MO;
+  MO.StopAtFirstFeasible = false;
+  MilpResult R = solveMilp(LP, MO);
+  ASSERT_TRUE(R.hasSolution());
+  EXPECT_EQ(R.Outcome, MilpResult::Status::Optimal);
+  // Without incumbent pruning this feasibility tree has hundreds of
+  // nodes; first-found pruning collapses it.
+  EXPECT_LT(R.NodesExplored, 64);
+}
+
+TEST(MilpParallel, BoundPruneToleranceIsConfigurable) {
+  LinearProgram LP = makePackingMilp(12);
+  MilpOptions MO;
+  MO.StopAtFirstFeasible = false;
+  MO.BoundPruneTol = 1e-3; // Coarser pruning must not change the optimum.
+  MilpResult R = solveMilp(LP, MO);
+  MilpOptions Tight = MO;
+  Tight.BoundPruneTol = 1e-12;
+  MilpResult T = solveMilp(makePackingMilp(12), Tight);
+  ASSERT_TRUE(R.hasSolution());
+  ASSERT_TRUE(T.hasSolution());
+  EXPECT_NEAR(R.Objective, T.Objective, 1e-6);
+}
+
+TEST(MilpParallel, SolverTelemetryIsPopulated) {
+  MilpOptions MO;
+  MO.StopAtFirstFeasible = false;
+  MilpResult R = solveMilp(makePackingMilp(12), MO);
+  ASSERT_TRUE(R.hasSolution());
+  EXPECT_GE(R.LpSolves, R.NodesExplored / 2); // Most nodes solve an LP.
+  EXPECT_GE(R.SimplexIterations, R.Pivots);
+  EXPECT_GT(R.BusySeconds, 0.0);
+  EXPECT_EQ(R.WorkersUsed, 1);
 }
 
 TEST(LinearProgram, FeasibilityChecker) {

@@ -35,6 +35,8 @@ void printUsage() {
       "  --strategy=swp|swpnc|serial   execution strategy (default swp)\n"
       "  --coarsening=N                SWPn factor (default 8)\n"
       "  --sms=N                       SMs to target (default 16)\n"
+      "  --jobs=N                      scheduling-engine workers\n"
+      "                                (default: $SGPU_JOBS or all cores)\n"
       "  --dot                         dump the flattened graph as DOT\n"
       "  --cuda                        dump the generated CUDA source\n"
       "  --schedule                    dump the per-SM schedule\n"
@@ -59,6 +61,7 @@ int main(int argc, char **argv) {
   Strategy Strat = Strategy::Swp;
   int Coarsening = 8;
   int Sms = 16;
+  int Jobs = 0; // 0 = auto ($SGPU_JOBS, then hardware_concurrency).
   bool DumpDot = false, DumpCuda = false, DumpSchedule = false;
   bool DumpJson = false;
 
@@ -99,6 +102,12 @@ int main(int argc, char **argv) {
       Sms = std::atoi(Arg + 6);
       if (Sms < 1 || Sms > 16) {
         std::fprintf(stderr, "error: sms must be in [1, 16]\n");
+        return 1;
+      }
+    } else if (startsWith(Arg, "--jobs=")) {
+      Jobs = std::atoi(Arg + 7);
+      if (Jobs < 0) {
+        std::fprintf(stderr, "error: jobs must be >= 0\n");
         return 1;
       }
     } else if (std::strcmp(Arg, "--dot") == 0) {
@@ -159,6 +168,7 @@ int main(int argc, char **argv) {
   Options.Strat = Strat;
   Options.Coarsening = Coarsening;
   Options.Sched.Pmax = Sms;
+  Options.Sched.NumWorkers = Jobs;
   std::optional<CompileReport> R = compileForGpu(G, Options);
   if (!R) {
     std::fprintf(stderr, "error: compilation failed\n");
@@ -186,6 +196,11 @@ int main(int argc, char **argv) {
                 "%s path\n",
                 R->SchedStats.IIAttempts, R->SchedStats.SolverNodes,
                 R->SchedStats.UsedIlp ? "ILP" : "heuristic");
+    std::printf("  solver core      : %lld LP solves, %lld pivots, "
+                "%d workers, %.3fs solver wall\n",
+                static_cast<long long>(R->SchedStats.SolverLpSolves),
+                static_cast<long long>(R->SchedStats.SolverPivots),
+                R->SchedStats.WorkersUsed, R->SchedStats.SolverSeconds);
   }
   std::printf("  buffers          : %lld bytes\n",
               static_cast<long long>(R->BufferBytes));
