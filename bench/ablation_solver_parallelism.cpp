@@ -20,6 +20,7 @@
 #include "BenchCommon.h"
 #include "ilp/BranchAndBound.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
@@ -52,15 +53,22 @@ CompileCell compileOnce(const BenchmarkSpec &Spec, int Workers) {
   StreamGraph G = flatten(*Spec.Build());
   CompileOptions O = benchOptions(Strategy::Swp, 8);
   O.Sched.NumWorkers = Workers;
+  // Engine-effort counters come from the pipeline metrics registry,
+  // reset around the compile: they count all work the engine performed
+  // (including speculative II-window candidates), not the report's
+  // serial-loop-equivalent charge.
+  MetricsRegistry &Reg = MetricsRegistry::global();
+  Reg.reset();
   auto T0 = Clock::now();
   std::optional<CompileReport> R = compileForGpu(G, O);
   Cell.Seconds = std::chrono::duration<double>(Clock::now() - T0).count();
   if (!R)
     return Cell;
   Cell.FinalII = R->SchedStats.FinalII;
-  Cell.BnbNodes = R->SchedStats.SolverNodes;
-  Cell.LpSolves = R->SchedStats.SolverLpSolves;
-  Cell.Pivots = R->SchedStats.SolverPivots;
+  MetricsRegistry::Snapshot Snap = Reg.snapshot();
+  Cell.BnbNodes = static_cast<int>(Snap.Counters["bnb.nodes_solved"]);
+  Cell.LpSolves = Snap.Counters["simplex.lp_solves"];
+  Cell.Pivots = Snap.Counters["simplex.pivots"];
   Cell.Ok = true;
   return Cell;
 }
@@ -101,13 +109,18 @@ MilpCell solveSearchMilp(int Workers) {
   MO.TimeBudgetSeconds = 60.0;
   MO.NumWorkers = Workers;
   MilpCell Cell;
+  MetricsRegistry &Reg = MetricsRegistry::global();
+  Reg.reset();
   auto T0 = Clock::now();
   MilpResult R = solveMilp(makeSearchMilp(26), MO);
   Cell.Seconds = std::chrono::duration<double>(Clock::now() - T0).count();
   Cell.Objective = R.Objective;
-  Cell.Nodes = R.NodesExplored;
-  double Span = R.Seconds * R.WorkersUsed;
-  Cell.Utilization = Span > 0 ? R.BusySeconds / Span : 0.0;
+  MetricsRegistry::Snapshot Snap = Reg.snapshot();
+  Cell.Nodes = static_cast<int>(Snap.Counters["bnb.nodes_solved"]);
+  double Span = Snap.Histograms["bnb.solve.seconds"].Sum *
+                Snap.Gauges["bnb.workers"];
+  Cell.Utilization =
+      Span > 0 ? Snap.Histograms["bnb.busy.seconds"].Sum / Span : 0.0;
   return Cell;
 }
 

@@ -4,6 +4,8 @@
 
 #include "ir/AstPrinter.h"
 #include "support/Check.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <map>
 #include <sstream>
@@ -49,6 +51,8 @@ std::string sgpu::emitCudaSource(const StreamGraph &G, const SteadyState &SS,
                                  const GpuSteadyState &GSS,
                                  const SwpSchedule &Sched,
                                  const CudaEmitOptions &Options) {
+  StageTimer Timer("codegen.emit");
+  metricCounter("codegen.kernels").add(1);
   std::ostringstream OS;
   OS << "// Auto-generated software-pipelined StreamIt kernel\n"
      << "// schema: switch over blockIdx.x, instances in o-order,\n"
@@ -247,8 +251,11 @@ std::string sgpu::emitCudaSource(const StreamGraph &G, const SteadyState &SS,
   OS << "  __syncthreads();\n";
   OS << "}\n\n";
 
-  if (!Options.EmitHostDriver)
-    return OS.str();
+  if (!Options.EmitHostDriver) {
+    std::string Src = OS.str();
+    metricCounter("codegen.bytes").add(static_cast<int64_t>(Src.size()));
+    return Src;
+  }
 
   // --- Host driver skeleton with the Eq. 9 input shuffle.
   OS << "// Host driver: allocates ring buffers, shuffles the program\n"
@@ -287,5 +294,7 @@ std::string sgpu::emitCudaSource(const StreamGraph &G, const SteadyState &SS,
   }
   OS << "  cudaDeviceSynchronize();\n";
   OS << "}\n";
-  return OS.str();
+  std::string Src = OS.str();
+  metricCounter("codegen.bytes").add(static_cast<int64_t>(Src.size()));
+  return Src;
 }

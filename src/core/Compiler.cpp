@@ -6,6 +6,8 @@
 #include "profile/Profiler.h"
 #include "sdf/Schedules.h"
 #include "support/Check.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cmath>
@@ -216,6 +218,11 @@ std::optional<CompileReport> compileSerial(const StreamGraph &G,
 
 std::optional<CompileReport>
 sgpu::compileForGpu(const StreamGraph &G, const CompileOptions &Options) {
+  StageTimer Timer("compile.total");
+  TraceSpan &Span = Timer.span();
+  Span.argStr("strategy", strategyName(Options.Strat));
+  Span.argInt("coarsening", Options.Coarsening);
+  metricCounter("compile.requests").add(1);
   if (G.validate())
     return std::nullopt; // Structural error.
   if (G.hasStatefulFilter())
@@ -225,7 +232,14 @@ sgpu::compileForGpu(const StreamGraph &G, const CompileOptions &Options) {
   std::optional<SteadyState> SS = SteadyState::compute(G);
   if (!SS)
     return std::nullopt; // Rate-inconsistent.
-  if (Options.Strat == Strategy::Serial)
-    return compileSerial(G, *SS, Options);
-  return compileSwp(G, *SS, Options);
+  std::optional<CompileReport> R = Options.Strat == Strategy::Serial
+                                       ? compileSerial(G, *SS, Options)
+                                       : compileSwp(G, *SS, Options);
+  if (R) {
+    metricCounter("compile.success").add(1);
+    metricGauge("compile.speedup").set(R->Speedup);
+    metricGauge("compile.buffer_bytes")
+        .set(static_cast<double>(R->BufferBytes));
+  }
+  return R;
 }

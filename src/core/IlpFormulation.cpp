@@ -4,6 +4,8 @@
 
 #include "support/Check.h"
 #include "support/MathExtras.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cmath>
@@ -158,6 +160,8 @@ sgpu::buildSwpIlp(const StreamGraph &G, const SteadyState &SS,
                   int Pmax, double T, int64_t MaxStages,
                   bool StrictIntraSm) {
   assert(Pmax > 0 && T > 0 && "bad scheduling parameters");
+  StageTimer Timer("ilp.formulate");
+  metricCounter("ilp.models").add(1);
   IlpModel M;
   M.T = T;
   M.Pmax = Pmax;
@@ -318,5 +322,7 @@ sgpu::buildSwpIlp(const StreamGraph &G, const SteadyState &SS,
     Obj.push_back({M.FVar[I], 1.0});
   M.LP.setObjective(std::move(Obj));
 
+  metricCounter("ilp.vars").add(M.LP.numVars());
+  metricCounter("ilp.constraints").add(M.LP.numConstraints());
   return M;
 }

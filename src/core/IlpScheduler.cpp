@@ -2,7 +2,9 @@
 
 #include "core/IlpScheduler.h"
 
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -42,6 +44,9 @@ CandidateOutcome evaluateCandidate(const StreamGraph &G,
                                    const SchedulerOptions &Options, double T,
                                    bool AllowIlp, int MilpWorkers) {
   CandidateOutcome Out;
+  TraceSpan Span("ii.candidate", "schedule");
+  Span.argNum("ii", T);
+  metricCounter("scheduler.ii_candidates").add(1);
   auto WallStart = Clock::now();
 
   std::optional<SwpSchedule> Heur = buildHeuristicSchedule(
@@ -60,6 +65,8 @@ CandidateOutcome evaluateCandidate(const StreamGraph &G,
             G, SS, Config, GSS, Options.Pmax, T, Options.MaxStages)) {
       MilpOptions MO;
       MO.TimeBudgetSeconds = Options.TimeBudgetSeconds;
+      MO.MaxNodes = Options.MaxIlpNodes;
+      MO.LpIterationLimit = Options.MaxLpIterations;
       MO.NumWorkers = MilpWorkers;
       std::optional<std::vector<double>> Incumbent;
       if (Heur)
@@ -89,6 +96,11 @@ CandidateOutcome evaluateCandidate(const StreamGraph &G,
   }
   Out.WallSeconds =
       std::chrono::duration<double>(Clock::now() - WallStart).count();
+  Span.argInt("feasible", Out.Feasible ? 1 : 0);
+  Span.argStr("via", Out.UsedIlp ? "ilp"
+                                 : (Out.UsedHeuristic ? "heuristic" : "none"));
+  if (Out.Feasible)
+    metricCounter("scheduler.ii_feasible").add(1);
   return Out;
 }
 
@@ -116,6 +128,7 @@ void commit(ScheduleResult &Res, CandidateOutcome &&Out, double T) {
   Res.UsedHeuristic = Out.UsedHeuristic;
   Res.FinalII = T;
   Res.RelaxationPercent = (T / Res.MII - 1.0) * 100.0;
+  metricGauge("scheduler.final_ii").set(T);
 }
 
 } // namespace
@@ -124,6 +137,8 @@ std::optional<ScheduleResult>
 sgpu::scheduleSwp(const StreamGraph &G, const SteadyState &SS,
                   const ExecutionConfig &Config, const GpuSteadyState &GSS,
                   const SchedulerOptions &Options) {
+  StageTimer Timer("core.schedule");
+  metricCounter("scheduler.runs").add(1);
   ScheduleResult Res;
   Res.ResMII = computeResMII(Config, GSS, Options.Pmax);
   Res.RecMII = computeCoarsenedRecMII(G, SS, Config, GSS);

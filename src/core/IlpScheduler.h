@@ -38,6 +38,12 @@ namespace sgpu {
 struct SchedulerOptions {
   int Pmax = 16;                   ///< SMs to target (paper: 16 blocks).
   double TimeBudgetSeconds = 2.0;  ///< Per-II solver budget (paper: 20 s).
+  /// Per-II node budget for the branch & bound and simplex iteration
+  /// cap per node. Unlike the wall-clock budget these cut the search at
+  /// the same point on any machine; perf_gate relies on that for
+  /// run-to-run determinism.
+  int MaxIlpNodes = 200000;
+  int MaxLpIterations = 50000;
   double RelaxFactor = 1.005;      ///< II relaxation step (paper: 0.5%).
   double MaxRelaxFactor = 4.0;     ///< Give up beyond MII * this.
   /// Pipeline stage bound for the f variables. Deep graphs need roughly

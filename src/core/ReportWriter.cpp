@@ -3,6 +3,7 @@
 #include "core/ReportWriter.h"
 
 #include "support/Json.h"
+#include "support/Metrics.h"
 
 using namespace sgpu;
 
@@ -79,6 +80,13 @@ std::string sgpu::reportToJson(const StreamGraph &G,
   W.writeInt("buffer_bytes", R.BufferBytes);
   W.writeDouble("pipeline_latency_cycles", R.PipelineLatencyCycles);
   W.writeDouble("tokens_per_kilocycle", R.TokensPerKiloCycle);
+  W.endObject();
+
+  // Process-wide observability counters accumulated so far (see
+  // DESIGN.md "Observability"). Callers that want per-compile deltas
+  // reset the registry before compiling, as perf_gate does.
+  W.beginObject("pipeline_metrics");
+  MetricsRegistry::global().writeJson(W);
   W.endObject();
 
   W.endObject();

@@ -3,6 +3,8 @@
 #include "gpusim/FunctionalSim.h"
 
 #include "support/Check.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <sstream>
@@ -72,6 +74,10 @@ int64_t SwpFunctionalSim::inputTokensNeeded(int64_t Iterations) const {
 
 FunctionalRunResult SwpFunctionalSim::run(const std::vector<Scalar> &Input,
                                           int64_t Iterations) {
+  StageTimer Timer("gpusim.functional_run");
+  Timer.span().argInt("iterations", Iterations);
+  metricCounter("gpusim.runs").add(1);
+  int64_t Firings = 0;
   FunctionalRunResult Res;
   int N = G.numNodes();
 
@@ -108,6 +114,7 @@ FunctionalRunResult SwpFunctionalSim::run(const std::vector<Scalar> &Input,
 
   // Fires base firing `B` of node `V` in reader/writer context `Ctx`.
   auto FireBase = [&](int V, int64_t B, const ReadCtx &Ctx) -> bool {
+    ++Firings;
     const GraphNode &Node = G.node(V);
 
     // Gather inputs into per-port scratch FIFOs, checking visibility.
@@ -272,6 +279,7 @@ FunctionalRunResult SwpFunctionalSim::run(const std::vector<Scalar> &Input,
       Res.Error = "output token " + std::to_string(I) + " never produced";
       return Res;
     }
+  metricCounter("gpusim.firings").add(Firings);
   Res.Ok = true;
   return Res;
 }

@@ -2,7 +2,9 @@
 
 #include "ilp/BranchAndBound.h"
 
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <chrono>
@@ -38,8 +40,12 @@ public:
         FeasibilityOnly(Root.objective().empty()) {}
 
   MilpResult run(const std::optional<std::vector<double>> &Incumbent) {
+    TraceSpan Span("bnb.solve", "ilp");
     Start = Clock::now();
     int Workers = resolveWorkerCount(Opt.NumWorkers);
+    Span.argInt("workers", Workers);
+    metricCounter("bnb.solves").add(1);
+    metricGauge("bnb.workers").set(Workers);
 
     if (Incumbent && Root.isFeasible(*Incumbent, Opt.IntegralityTol)) {
       Best = *Incumbent;
@@ -55,6 +61,7 @@ public:
       Queue.push_back(Subproblem{});
       Outstanding = 1;
     }
+    CEnqueued.add(1);
 
     if (Workers <= 1) {
       workerLoop();
@@ -83,8 +90,10 @@ private:
   /// Each worker owns a private copy of the root LP; subproblem bounds
   /// are applied before the relaxation and restored afterwards.
   void workerLoop() {
+    TraceSpan Span("bnb.worker", "ilp");
     LinearProgram LP = Root;
     long long LocalLpSolves = 0, LocalIters = 0, LocalPivots = 0;
+    long long LocalNodes = 0;
     double LocalBusy = 0.0;
 
     std::unique_lock<std::mutex> Lock(QueueMu);
@@ -105,6 +114,7 @@ private:
 
       auto NodeStart = Clock::now();
       processNode(LP, Node, LocalLpSolves, LocalIters, LocalPivots);
+      ++LocalNodes;
       LocalBusy += std::chrono::duration<double>(Clock::now() - NodeStart)
                        .count();
 
@@ -113,6 +123,9 @@ private:
         QueueCv.notify_all();
     }
     Lock.unlock();
+
+    Span.argInt("nodes", LocalNodes);
+    Span.argNum("busy_seconds", LocalBusy);
 
     std::lock_guard<std::mutex> StatsLock(StatsMu);
     LpSolves += LocalLpSolves;
@@ -153,8 +166,11 @@ private:
     ++LocalLpSolves;
     LocalIters += R.Iterations;
     LocalPivots += R.Pivots;
-    if (R.Status == LpStatus::Infeasible)
+    CSolved.add(1);
+    if (R.Status == LpStatus::Infeasible) {
+      CPrunedInfeas.add(1);
       return; // Pruned exactly.
+    }
     if (R.Status != LpStatus::Optimal) {
       // Numerical trouble: give up on proving this subtree.
       Truncated = true;
@@ -167,8 +183,10 @@ private:
     {
       std::lock_guard<std::mutex> Lock(IncumbentMu);
       if (HaveBest &&
-          (FeasibilityOnly || R.Objective >= BestObj - Opt.BoundPruneTol))
+          (FeasibilityOnly || R.Objective >= BestObj - Opt.BoundPruneTol)) {
+        CPrunedBound.add(1);
         return;
+      }
     }
 
     // Find the most fractional integer variable.
@@ -228,8 +246,10 @@ private:
     }
     if (Lock.owns_lock())
       Lock.unlock();
-    if (Pushed > 0)
+    if (Pushed > 0) {
+      CEnqueued.add(Pushed);
       QueueCv.notify_all();
+    }
   }
 
   /// Installs a new incumbent under the shared lock. Ties on objective
@@ -246,6 +266,7 @@ private:
       BestObj = Obj;
       BestPath = Path;
       HaveBest = true;
+      CIncumbents.add(1);
     }
     if (Opt.StopAtFirstFeasible) {
       FoundStop = true;
@@ -261,6 +282,8 @@ private:
     std::lock_guard<std::mutex> Lock(QueueMu);
     Outstanding -= static_cast<long long>(Queue.size());
     Queue.clear();
+    if (!StopAll)
+      CCuts.add(1);
     StopAll = true;
     QueueCv.notify_all();
   }
@@ -280,6 +303,8 @@ private:
     Res.Pivots = SimplexPivots;
     Res.WorkersUsed = Workers;
     Res.BusySeconds = BusySeconds;
+    metricHistogram("bnb.solve.seconds").record(Res.Seconds);
+    metricHistogram("bnb.busy.seconds").record(BusySeconds);
     if (HaveBest) {
       Res.X = Best;
       Res.Objective = BestObj;
@@ -317,6 +342,15 @@ private:
   std::mutex StatsMu;
   long long LpSolves = 0, SimplexIters = 0, SimplexPivots = 0;
   double BusySeconds = 0.0;
+
+  // Node-lifecycle counters in the process-wide registry. Looked up once
+  // per search; the references stay valid across MetricsRegistry::reset().
+  Counter &CEnqueued = metricCounter("bnb.nodes_enqueued");
+  Counter &CSolved = metricCounter("bnb.nodes_solved");
+  Counter &CPrunedInfeas = metricCounter("bnb.pruned_infeasible");
+  Counter &CPrunedBound = metricCounter("bnb.pruned_bound");
+  Counter &CIncumbents = metricCounter("bnb.incumbents");
+  Counter &CCuts = metricCounter("bnb.budget_cuts");
 };
 
 } // namespace

@@ -3,6 +3,7 @@
 #include "ilp/Simplex.h"
 
 #include "support/Check.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 #include <chrono>
@@ -465,6 +466,15 @@ private:
 
 LpResult sgpu::solveLpRelaxation(const LinearProgram &LP, int MaxIterations,
                                  double TimeLimitSeconds) {
+  // Hot path: instruments are looked up once (references are stable for
+  // the process lifetime) and bumped with one relaxed atomic each.
+  static Counter &CSolves = metricCounter("simplex.lp_solves");
+  static Counter &CIters = metricCounter("simplex.iterations");
+  static Counter &CPivots = metricCounter("simplex.pivots");
   SimplexSolver S(LP, MaxIterations, TimeLimitSeconds);
-  return S.run();
+  LpResult R = S.run();
+  CSolves.add(1);
+  CIters.add(R.Iterations);
+  CPivots.add(R.Pivots);
+  return R;
 }

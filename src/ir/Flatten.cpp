@@ -10,6 +10,8 @@
 
 #include "ir/FilterBuilder.h"
 #include "support/Check.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 using namespace sgpu;
 
@@ -162,6 +164,7 @@ static FilterPtr makeBoundaryIdentity(const std::string &Name,
 }
 
 StreamGraph sgpu::flatten(const Stream &Root) {
+  StageTimer Timer("ir.flatten");
   StreamGraph G;
   Flattener F(G);
   Endpoints E = F.flattenStream(Root);

@@ -5,6 +5,8 @@
 #include "ir/FilterBuilder.h"
 #include "parser/Lexer.h"
 #include "support/Check.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <map>
 #include <optional>
@@ -705,6 +707,11 @@ private:
 
 StreamPtr sgpu::parseStreamProgram(std::string_view Source,
                                    ParseDiagnostic *DiagOut) {
+  StageTimer Timer("parser.parse");
+  metricCounter("parser.programs").add(1);
   Parser P(Source);
-  return P.run(DiagOut);
+  StreamPtr S = P.run(DiagOut);
+  if (!S)
+    metricCounter("parser.errors").add(1);
+  return S;
 }

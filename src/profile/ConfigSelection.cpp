@@ -2,6 +2,9 @@
 
 #include "profile/ConfigSelection.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <cmath>
 
 using namespace sgpu;
@@ -36,6 +39,8 @@ static double steadyStateWork(const SteadyState &SS,
 std::optional<ExecutionConfig>
 sgpu::selectExecutionConfig(const SteadyState &SS, const ProfileTable &PT,
                             std::vector<ConfigCandidate> *CandidatesOut) {
+  StageTimer Timer("profile.select_config");
+  metricCounter("profile.config_selections").add(1);
   int N = PT.numNodes();
   std::optional<ExecutionConfig> Best;
   double MinII = ProfileTable::Infeasible;

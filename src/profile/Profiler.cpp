@@ -3,7 +3,9 @@
 #include "profile/Profiler.h"
 
 #include "gpusim/Occupancy.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -24,6 +26,12 @@ double ProfileTable::at(int Node, int RegIdx, int ThreadIdx) const {
 ProfileTable sgpu::profileGraph(const GpuArch &Arch, const StreamGraph &G,
                                 LayoutKind Layout, int Jobs,
                                 int64_t NumFirings) {
+  StageTimer Timer("profile.sweep");
+  metricCounter("profile.sweeps").add(1);
+  metricCounter("profile.cells")
+      .add(static_cast<int64_t>(G.numNodes()) *
+           ProfileTable::NumRegLimits * ProfileTable::NumThreadCounts);
+
   ProfileTable PT(G.numNodes());
   if (NumFirings > 0)
     PT.setNumFirings(NumFirings);
@@ -33,6 +41,8 @@ ProfileTable sgpu::profileGraph(const GpuArch &Arch, const StreamGraph &G,
   // rows of the table.
   parallelFor(0, G.numNodes(), Jobs, [&](int Idx) {
     const GraphNode &N = G.nodes()[Idx];
+    TraceSpan Span("profile.node", "profile");
+    Span.argStr("node", N.Name);
     WorkEstimate WE = nodeWorkEstimate(N);
     for (int R = 0; R < ProfileTable::NumRegLimits; ++R) {
       int RegLimit = ProfileRegLimits[R];

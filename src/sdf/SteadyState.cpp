@@ -5,13 +5,19 @@
 #include "sdf/RateSolver.h"
 #include "support/Check.h"
 #include "support/MathExtras.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 using namespace sgpu;
 
 std::optional<SteadyState> SteadyState::compute(const StreamGraph &G) {
+  StageTimer Timer("sdf.rate_solve");
+  metricCounter("sdf.rate_solves").add(1);
   std::optional<std::vector<int64_t>> Reps = computeRepetitionVector(G);
-  if (!Reps)
+  if (!Reps) {
+    metricCounter("sdf.rate_inconsistent").add(1);
     return std::nullopt;
+  }
 
   SteadyState SS;
   SS.G = &G;

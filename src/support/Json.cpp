@@ -3,9 +3,15 @@
 #include "support/Json.h"
 
 #include <cassert>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace sgpu;
+
+std::string sgpu::jsonEscape(const std::string &S) {
+  return JsonWriter::escape(S);
+}
 
 JsonWriter::JsonWriter() { FirstInScope.push_back(true); }
 
@@ -94,4 +100,222 @@ void JsonWriter::writeBool(const std::string &Key, bool Value) {
 std::string JsonWriter::str() const {
   assert(FirstInScope.size() == 1 && "unclosed scopes at str()");
   return Out;
+}
+
+namespace sgpu {
+
+/// Recursive-descent parser over the document text. Depth-limited so a
+/// hostile/corrupt file cannot blow the stack.
+class JsonParser {
+public:
+  JsonParser(std::string_view Text, std::string *Err)
+      : Text(Text), Err(Err) {}
+
+  std::optional<JsonValue> run() {
+    JsonValue V;
+    if (!parseValue(V, 0))
+      return std::nullopt;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return V;
+  }
+
+private:
+  static constexpr int MaxDepth = 64;
+
+  std::optional<JsonValue> fail(const std::string &Msg) {
+    if (Err && Err->empty())
+      *Err = "json: " + Msg + " at offset " + std::to_string(Pos);
+    return std::nullopt;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseValue(JsonValue &V, int Depth) {
+    if (Depth > MaxDepth)
+      return !!fail("nesting too deep");
+    skipWs();
+    if (Pos >= Text.size())
+      return !!fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject(V, Depth);
+    if (C == '[')
+      return parseArray(V, Depth);
+    if (C == '"') {
+      V.K = JsonValue::Kind::String;
+      return parseString(V.Str);
+    }
+    if (Text.compare(Pos, 4, "true") == 0) {
+      V.K = JsonValue::Kind::Bool;
+      V.B = true;
+      Pos += 4;
+      return true;
+    }
+    if (Text.compare(Pos, 5, "false") == 0) {
+      V.K = JsonValue::Kind::Bool;
+      V.B = false;
+      Pos += 5;
+      return true;
+    }
+    if (Text.compare(Pos, 4, "null") == 0) {
+      V.K = JsonValue::Kind::Null;
+      Pos += 4;
+      return true;
+    }
+    return parseNumber(V);
+  }
+
+  bool parseObject(JsonValue &V, int Depth) {
+    V.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    if (consume('}'))
+      return true;
+    for (;;) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return !!fail("expected member name");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      if (!consume(':'))
+        return !!fail("expected ':' after member name");
+      JsonValue Member;
+      if (!parseValue(Member, Depth + 1))
+        return false;
+      V.Members.emplace_back(std::move(Key), std::move(Member));
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return true;
+      return !!fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(JsonValue &V, int Depth) {
+    V.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    if (consume(']'))
+      return true;
+    for (;;) {
+      JsonValue Elem;
+      if (!parseValue(Elem, Depth + 1))
+        return false;
+      V.Elems.push_back(std::move(Elem));
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return true;
+      return !!fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // '"'
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"': Out += '"'; break;
+      case '\\': Out += '\\'; break;
+      case '/': Out += '/'; break;
+      case 'b': Out += '\b'; break;
+      case 'f': Out += '\f'; break;
+      case 'n': Out += '\n'; break;
+      case 'r': Out += '\r'; break;
+      case 't': Out += '\t'; break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return !!fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return !!fail("bad \\u escape");
+        }
+        // ASCII-only decoding (our writer never emits higher escapes);
+        // anything else round-trips as '?'.
+        Out += Code < 0x80 ? static_cast<char>(Code) : '?';
+        break;
+      }
+      default:
+        return !!fail("unknown escape");
+      }
+    }
+    return !!fail("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &V) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    bool SawDigit = false;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-')) {
+      SawDigit |= std::isdigit(static_cast<unsigned char>(Text[Pos])) != 0;
+      ++Pos;
+    }
+    if (!SawDigit) {
+      Pos = Start;
+      return !!fail("expected a value");
+    }
+    V.K = JsonValue::Kind::Number;
+    V.Num = std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
+                        nullptr);
+    return true;
+  }
+
+  std::string_view Text;
+  std::string *Err;
+  size_t Pos = 0;
+};
+
+} // namespace sgpu
+
+std::optional<JsonValue> JsonValue::parse(std::string_view Text,
+                                          std::string *Err) {
+  JsonParser P(Text, Err);
+  return P.run();
+}
+
+const JsonValue *JsonValue::find(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : Members)
+    if (Name == Key)
+      return &V;
+  return nullptr;
 }

@@ -6,19 +6,27 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small streaming JSON writer used to export compile reports and
-/// schedules for downstream analysis (plots, dashboards). Write-only by
-/// design: the project never consumes JSON.
+/// A small streaming JSON writer used to export compile reports, traces
+/// and schedules for downstream analysis (plots, dashboards), plus a
+/// minimal recursive-descent reader (`JsonValue`) — added for the CI
+/// perf gate, which consumes its own checked-in baselines.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SGPU_SUPPORT_JSON_H
 #define SGPU_SUPPORT_JSON_H
 
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace sgpu {
+
+/// Escapes \p S for inclusion inside a JSON string literal.
+std::string jsonEscape(const std::string &S);
 
 /// Emits syntactically valid JSON via begin/end scopes and typed key
 /// writers. Scopes must be closed in LIFO order (asserted).
@@ -44,13 +52,54 @@ public:
   /// Finalizes and returns the document; all scopes must be closed.
   std::string str() const;
 
+  /// The escaping used for every emitted string (see jsonEscape).
+  static std::string escape(const std::string &S);
+
 private:
   void comma();
   void key(const std::string &Key);
-  static std::string escape(const std::string &S);
 
   std::string Out;
   std::vector<bool> FirstInScope; ///< Per open scope.
+};
+
+/// A parsed JSON document node. Objects keep member order; lookup is
+/// linear (documents here are small — baselines, reports).
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  /// Parses \p Text (the complete document). Returns std::nullopt and
+  /// fills \p Err on malformed input.
+  static std::optional<JsonValue> parse(std::string_view Text,
+                                        std::string *Err = nullptr);
+
+  Kind kind() const { return K; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+
+  bool asBool() const { return B; }
+  double asNumber() const { return Num; }
+  const std::string &asString() const { return Str; }
+  const std::vector<JsonValue> &elements() const { return Elems; }
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue *find(std::string_view Key) const;
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Elems;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+
+  friend class JsonParser;
 };
 
 } // namespace sgpu

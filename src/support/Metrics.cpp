@@ -1,0 +1,179 @@
+//===- support/Metrics.cpp - Process-wide metrics registry -------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace sgpu;
+
+uint64_t Gauge::toBits(double D) {
+  uint64_t B;
+  static_assert(sizeof(B) == sizeof(D));
+  std::memcpy(&B, &D, sizeof(B));
+  return B;
+}
+
+double Gauge::fromBits(uint64_t B) {
+  double D;
+  std::memcpy(&D, &B, sizeof(D));
+  return D;
+}
+
+void Gauge::add(double Delta) {
+  uint64_t Old = Bits.load(std::memory_order_relaxed);
+  while (!Bits.compare_exchange_weak(Old, toBits(fromBits(Old) + Delta),
+                                     std::memory_order_relaxed))
+    ;
+}
+
+Histogram::Histogram()
+    : MinBits(Gauge::toBits(std::numeric_limits<double>::infinity())),
+      MaxBits(Gauge::toBits(-std::numeric_limits<double>::infinity())) {}
+
+int Histogram::bucketFor(double Value) {
+  if (!(Value > 0.0))
+    return 0;
+  // ilogb(2^-32) == -32 maps to bucket 1; clamp both tails.
+  int E = std::ilogb(Value);
+  if (E < -32)
+    return 0;
+  if (E > 30)
+    return NumBuckets - 1;
+  return E + 33;
+}
+
+void Histogram::record(double Value) {
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Buckets[bucketFor(Value)].fetch_add(1, std::memory_order_relaxed);
+
+  uint64_t Old = SumBits.load(std::memory_order_relaxed);
+  while (!SumBits.compare_exchange_weak(
+      Old, Gauge::toBits(Gauge::fromBits(Old) + Value),
+      std::memory_order_relaxed))
+    ;
+  Old = MinBits.load(std::memory_order_relaxed);
+  while (Gauge::fromBits(Old) > Value &&
+         !MinBits.compare_exchange_weak(Old, Gauge::toBits(Value),
+                                        std::memory_order_relaxed))
+    ;
+  Old = MaxBits.load(std::memory_order_relaxed);
+  while (Gauge::fromBits(Old) < Value &&
+         !MaxBits.compare_exchange_weak(Old, Gauge::toBits(Value),
+                                        std::memory_order_relaxed))
+    ;
+}
+
+double Histogram::sum() const {
+  return Gauge::fromBits(SumBits.load(std::memory_order_relaxed));
+}
+
+double Histogram::min() const {
+  return Gauge::fromBits(MinBits.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const {
+  return Gauge::fromBits(MaxBits.load(std::memory_order_relaxed));
+}
+
+void Histogram::reset() {
+  Count.store(0, std::memory_order_relaxed);
+  SumBits.store(Gauge::toBits(0.0), std::memory_order_relaxed);
+  MinBits.store(Gauge::toBits(std::numeric_limits<double>::infinity()),
+                std::memory_order_relaxed);
+  MaxBits.store(Gauge::toBits(-std::numeric_limits<double>::infinity()),
+                std::memory_order_relaxed);
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry *R = new MetricsRegistry; // Never destroyed:
+  return *R; // instrument references must outlive static destructors.
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
+             .first;
+  return *It->second;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
+  return *It->second;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms.emplace(std::string(Name), std::make_unique<Histogram>())
+             .first;
+  return *It->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[_, C] : Counters)
+    C->reset();
+  for (auto &[_, G] : Gauges)
+    G->reset();
+  for (auto &[_, H] : Histograms)
+    H->reset();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Snapshot S;
+  for (const auto &[Name, C] : Counters)
+    S.Counters[Name] = C->value();
+  for (const auto &[Name, G] : Gauges)
+    S.Gauges[Name] = G->value();
+  for (const auto &[Name, H] : Histograms)
+    S.Histograms[Name] = {H->count(), H->sum(), H->min(), H->max()};
+  return S;
+}
+
+void MetricsRegistry::writeJson(JsonWriter &W) const {
+  Snapshot S = snapshot();
+  W.beginObject("counters");
+  for (const auto &[Name, V] : S.Counters)
+    W.writeInt(Name, V);
+  W.endObject();
+  W.beginObject("gauges");
+  for (const auto &[Name, V] : S.Gauges)
+    W.writeDouble(Name, V);
+  W.endObject();
+  W.beginObject("histograms");
+  for (const auto &[Name, H] : S.Histograms) {
+    W.beginObject(Name);
+    W.writeInt("count", H.Count);
+    W.writeDouble("sum", H.Sum);
+    if (H.Count > 0) {
+      W.writeDouble("min", H.Min);
+      W.writeDouble("max", H.Max);
+    }
+    W.endObject();
+  }
+  W.endObject();
+}
+
+Counter &sgpu::metricCounter(std::string_view Name) {
+  return MetricsRegistry::global().counter(Name);
+}
+
+Gauge &sgpu::metricGauge(std::string_view Name) {
+  return MetricsRegistry::global().gauge(Name);
+}
+
+Histogram &sgpu::metricHistogram(std::string_view Name) {
+  return MetricsRegistry::global().histogram(Name);
+}

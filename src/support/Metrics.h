@@ -1,0 +1,157 @@
+//===- support/Metrics.h - Process-wide metrics registry --------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named counters, gauges and histograms with
+/// lock-free (atomic) updates, shared by every layer of the compilation
+/// pipeline: the simplex core counts pivots, the branch & bound counts
+/// node lifecycle events, the II search counts candidates, the profiler
+/// counts sweep cells, and so on. `tools/perf_gate` snapshots the
+/// registry around each benchmark compile and gates CI on the deltas;
+/// `ReportWriter` embeds a snapshot in every compile report.
+///
+/// Lookup (by name) takes a mutex; the returned references are stable
+/// for the lifetime of the process, so hot paths look an instrument up
+/// once (e.g. in a function-local static or a constructor) and then
+/// update it with plain atomics. `reset()` zeroes values but never
+/// invalidates references. See DESIGN.md "Observability".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SUPPORT_METRICS_H
+#define SGPU_SUPPORT_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace sgpu {
+
+class JsonWriter;
+
+/// Monotonic event count. Updates are relaxed atomics: totals are exact,
+/// cross-counter ordering is not promised.
+class Counter {
+public:
+  void add(int64_t Delta = 1) {
+    V.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Last-write-wins double value (plus an atomic read-modify-write add).
+class Gauge {
+public:
+  void set(double Value) {
+    Bits.store(toBits(Value), std::memory_order_relaxed);
+  }
+  void add(double Delta);
+  double value() const {
+    return fromBits(Bits.load(std::memory_order_relaxed));
+  }
+  void reset() { set(0.0); }
+
+  /// Bit-preserving double <-> uint64_t casts (shared with Histogram,
+  /// which stores its sum/min/max the same way).
+  static uint64_t toBits(double D);
+  static double fromBits(uint64_t B);
+
+private:
+  std::atomic<uint64_t> Bits{0};
+};
+
+/// Streaming distribution summary: exact count, compensated-enough sum
+/// (CAS add), running min/max, and power-of-two magnitude buckets.
+class Histogram {
+public:
+  /// Bucket I holds values in [2^(I-32), 2^(I-31)); bucket 0 absorbs
+  /// everything below (including zero and negatives), the last bucket
+  /// everything above.
+  static constexpr int NumBuckets = 64;
+
+  void record(double Value);
+
+  int64_t count() const { return Count.load(std::memory_order_relaxed); }
+  double sum() const;
+  /// Min/max over recorded values; +inf / -inf when empty.
+  double min() const;
+  double max() const;
+  double mean() const {
+    int64_t N = count();
+    return N > 0 ? sum() / static_cast<double>(N) : 0.0;
+  }
+  int64_t bucketCount(int I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  static int bucketFor(double Value);
+
+  void reset();
+
+private:
+  std::atomic<int64_t> Count{0};
+  std::atomic<uint64_t> SumBits{0};
+  std::atomic<uint64_t> MinBits, MaxBits; // Initialized in ctor.
+  std::atomic<int64_t> Buckets[NumBuckets] = {};
+
+public:
+  Histogram();
+};
+
+/// The registry. Instruments are created on first lookup and live until
+/// process exit; names are independent per instrument kind.
+class MetricsRegistry {
+public:
+  /// The process-wide registry used by the pipeline instrumentation.
+  static MetricsRegistry &global();
+
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
+  Histogram &histogram(std::string_view Name);
+
+  /// Zeroes every instrument. References stay valid.
+  void reset();
+
+  /// Point-in-time copy of every instrument's value.
+  struct HistogramStats {
+    int64_t Count = 0;
+    double Sum = 0.0, Min = 0.0, Max = 0.0;
+  };
+  struct Snapshot {
+    std::map<std::string, int64_t> Counters;
+    std::map<std::string, double> Gauges;
+    std::map<std::string, HistogramStats> Histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// Writes "counters" / "gauges" / "histograms" members into the JSON
+  /// object currently open on \p W.
+  void writeJson(JsonWriter &W) const;
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
+};
+
+/// Shorthands for the global registry.
+Counter &metricCounter(std::string_view Name);
+Gauge &metricGauge(std::string_view Name);
+Histogram &metricHistogram(std::string_view Name);
+
+} // namespace sgpu
+
+#endif // SGPU_SUPPORT_METRICS_H

@@ -1,0 +1,196 @@
+//===- support/Trace.cpp - Scoped spans with Chrome trace export -------------===//
+
+#include "support/Trace.h"
+
+#include "support/Json.h"
+#include "support/Metrics.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+using namespace sgpu;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The process-wide event sink. Span *end* takes the mutex once; span
+/// start only reads the enabled flag and the epoch.
+struct Collector {
+  std::mutex Mu;
+  std::vector<TraceEvent> Events;
+  std::vector<std::pair<int, std::string>> ThreadNames;
+  std::atomic<int> NextTid{0};
+  Clock::time_point Epoch = Clock::now();
+};
+
+Collector &collector() {
+  static Collector *C = new Collector; // Leaked: spans may end during
+  return *C;                           // static destruction.
+}
+
+std::atomic<bool> TraceOn{false};
+
+double nowMicros() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   collector().Epoch)
+      .count();
+}
+
+} // namespace
+
+bool sgpu::traceEnabled() {
+  return TraceOn.load(std::memory_order_relaxed);
+}
+
+void sgpu::traceSetEnabled(bool Enabled) {
+  TraceOn.store(Enabled, std::memory_order_relaxed);
+}
+
+void sgpu::traceReset() {
+  Collector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  C.Events.clear();
+  C.Epoch = Clock::now();
+}
+
+int sgpu::traceCurrentThreadId() {
+  thread_local int Tid =
+      collector().NextTid.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
+}
+
+void sgpu::traceSetThreadName(const std::string &Name) {
+  Collector &C = collector();
+  int Tid = traceCurrentThreadId();
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  for (auto &[T, N] : C.ThreadNames)
+    if (T == Tid) {
+      N = Name;
+      return;
+    }
+  C.ThreadNames.emplace_back(Tid, Name);
+}
+
+std::vector<TraceEvent> sgpu::traceSnapshot() {
+  Collector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  return C.Events;
+}
+
+std::string sgpu::traceToJson() {
+  Collector &C = collector();
+  std::vector<TraceEvent> Events;
+  std::vector<std::pair<int, std::string>> Names;
+  {
+    std::lock_guard<std::mutex> Lock(C.Mu);
+    Events = C.Events;
+    Names = C.ThreadNames;
+  }
+
+  std::string Out = "{\"traceEvents\":[";
+  bool First = true;
+  auto Sep = [&] {
+    if (!First)
+      Out += ',';
+    First = false;
+  };
+  for (const auto &[Tid, Name] : Names) {
+    Sep();
+    Out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(Tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           jsonEscape(Name) + "\"}}";
+  }
+  char Buf[64];
+  for (const TraceEvent &E : Events) {
+    Sep();
+    Out += "{\"name\":\"" + jsonEscape(E.Name) + "\",\"cat\":\"" +
+           jsonEscape(E.Cat) + "\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(E.Tid);
+    std::snprintf(Buf, sizeof(Buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                  E.StartMicros, E.DurMicros);
+    Out += Buf;
+    if (!E.Args.empty()) {
+      Out += ",\"args\":{";
+      for (size_t I = 0; I < E.Args.size(); ++I) {
+        if (I)
+          Out += ',';
+        Out += '"' + jsonEscape(E.Args[I].first) + "\":" + E.Args[I].second;
+      }
+      Out += '}';
+    }
+    Out += '}';
+  }
+  Out += "],\"displayTimeUnit\":\"ms\"}";
+  return Out;
+}
+
+bool sgpu::traceWriteFile(const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << traceToJson() << "\n";
+  return Out.good();
+}
+
+bool sgpu::traceInitFromEnv(std::string *PathOut) {
+  const char *Path = std::getenv("SGPU_TRACE");
+  if (!Path || !*Path)
+    return false;
+  traceSetEnabled(true);
+  if (PathOut)
+    *PathOut = Path;
+  return true;
+}
+
+TraceSpan::TraceSpan(const char *Name, const char *Cat)
+    : Name(Name), Cat(Cat) {
+  if (!traceEnabled())
+    return;
+  Active = true;
+  StartMicros = nowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!Active)
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Tid = traceCurrentThreadId();
+  E.StartMicros = StartMicros;
+  E.DurMicros = nowMicros() - StartMicros;
+  E.Args = std::move(Args);
+  Collector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  C.Events.push_back(std::move(E));
+}
+
+void TraceSpan::argStr(const std::string &Key, const std::string &Value) {
+  if (Active)
+    Args.emplace_back(Key, '"' + jsonEscape(Value) + '"');
+}
+
+void TraceSpan::argNum(const std::string &Key, double Value) {
+  if (!Active)
+    return;
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", Value);
+  Args.emplace_back(Key, Buf);
+}
+
+void TraceSpan::argInt(const std::string &Key, int64_t Value) {
+  if (Active)
+    Args.emplace_back(Key, std::to_string(Value));
+}
+
+StageTimer::StageTimer(const char *Stage)
+    : Span(Stage),
+      Hist(metricHistogram("stage." + std::string(Stage) + ".seconds")),
+      Start(Clock::now()) {}
+
+StageTimer::~StageTimer() {
+  Hist.record(std::chrono::duration<double>(Clock::now() - Start).count());
+}

@@ -1,0 +1,126 @@
+//===- support/Trace.h - Scoped spans with Chrome trace export --*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pipeline-wide tracing: scoped spans (RAII) recorded per thread and
+/// exported in the Chrome `trace_event` JSON format, loadable in
+/// `chrome://tracing` or Perfetto. Tracing is off by default — a span is
+/// one relaxed atomic load — and is switched on by `sgpu-compile
+/// --trace-out`, the `SGPU_TRACE` environment variable (value = output
+/// path), or `traceSetEnabled(true)` in tests.
+///
+/// Threads are attributed by a stable small id handed out on a thread's
+/// first recorded event; `traceSetThreadName` attaches the Chrome
+/// `thread_name` metadata so solver workers are labelled in the UI.
+///
+/// `StageTimer` is the one-line way to instrument a pipeline stage: it
+/// opens a trace span *and* records the elapsed seconds into the
+/// `stage.<name>.seconds` histogram of the metrics registry, so the same
+/// annotation feeds both the trace file and `tools/perf_gate`. The span
+/// taxonomy is documented in DESIGN.md "Observability".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SUPPORT_TRACE_H
+#define SGPU_SUPPORT_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sgpu {
+
+class Histogram;
+
+/// One completed span ("X" complete event in the Chrome format).
+struct TraceEvent {
+  std::string Name;
+  std::string Cat;
+  int Tid = 0;
+  double StartMicros = 0.0; ///< Relative to the trace epoch.
+  double DurMicros = 0.0;
+  /// Args with values pre-rendered as JSON literals (quoted strings,
+  /// bare numbers).
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// Whether spans are being recorded.
+bool traceEnabled();
+void traceSetEnabled(bool Enabled);
+
+/// Drops all recorded events and restarts the trace clock.
+void traceReset();
+
+/// Stable per-thread id (assigned on first use, starting at 0).
+int traceCurrentThreadId();
+
+/// Names the calling thread in the exported trace.
+void traceSetThreadName(const std::string &Name);
+
+/// Copy of everything recorded so far.
+std::vector<TraceEvent> traceSnapshot();
+
+/// Renders the Chrome trace_event document ({"traceEvents": [...]}).
+std::string traceToJson();
+
+/// Writes traceToJson() to \p Path; false on I/O failure.
+bool traceWriteFile(const std::string &Path);
+
+/// Enables tracing when the SGPU_TRACE environment variable is set,
+/// returning true and storing the variable's value (the output path)
+/// into \p PathOut.
+bool traceInitFromEnv(std::string *PathOut);
+
+/// RAII span. Construction when tracing is disabled costs one atomic
+/// load; when enabled, the span is recorded at destruction.
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name, const char *Cat = "pipeline");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// Attach key/value args (shown in the trace UI). No-ops when the
+  /// span is inactive.
+  void argStr(const std::string &Key, const std::string &Value);
+  void argNum(const std::string &Key, double Value);
+  void argInt(const std::string &Key, int64_t Value);
+
+private:
+  bool Active = false;
+  const char *Name;
+  const char *Cat;
+  double StartMicros = 0.0;
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// Trace span + `stage.<name>.seconds` metrics histogram, the standard
+/// pipeline-stage annotation. The histogram records even when tracing
+/// is disabled, so perf_gate always sees stage wall times.
+class StageTimer {
+public:
+  explicit StageTimer(const char *Stage);
+  ~StageTimer();
+
+  StageTimer(const StageTimer &) = delete;
+  StageTimer &operator=(const StageTimer &) = delete;
+
+  /// The underlying trace span, for attaching args.
+  TraceSpan &span() { return Span; }
+
+private:
+  TraceSpan Span;
+  Histogram &Hist;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace sgpu
+
+#endif // SGPU_SUPPORT_TRACE_H

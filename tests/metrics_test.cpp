@@ -1,0 +1,201 @@
+//===- tests/metrics_test.cpp - Metrics registry tests ----------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+using namespace sgpu;
+
+namespace {
+
+/// Each test uses its own registry instance so the process-global one
+/// (shared with the instrumented library) stays out of the assertions.
+TEST(Metrics, CounterBasics) {
+  MetricsRegistry R;
+  Counter &C = R.counter("a");
+  EXPECT_EQ(C.value(), 0);
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42);
+  C.reset();
+  EXPECT_EQ(C.value(), 0);
+}
+
+TEST(Metrics, LookupReturnsStableReferences) {
+  MetricsRegistry R;
+  Counter &A = R.counter("x");
+  Counter &B = R.counter("x");
+  EXPECT_EQ(&A, &B);
+  // Same name, different kinds: independent instruments.
+  Gauge &G = R.gauge("x");
+  G.set(7.0);
+  A.add(3);
+  EXPECT_EQ(A.value(), 3);
+  EXPECT_EQ(G.value(), 7.0);
+  // reset() zeroes but does not invalidate.
+  R.reset();
+  EXPECT_EQ(R.counter("x").value(), 0);
+  A.add(1);
+  EXPECT_EQ(R.counter("x").value(), 1);
+}
+
+TEST(Metrics, CounterConcurrentTotalsAreExact) {
+  MetricsRegistry R;
+  Counter &C = R.counter("hits");
+  constexpr int Threads = 8, PerThread = 20000;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&C] {
+      for (int I = 0; I < PerThread; ++I)
+        C.add(1);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(C.value(), int64_t(Threads) * PerThread);
+}
+
+TEST(Metrics, GaugeSetAddAndConcurrency) {
+  MetricsRegistry R;
+  Gauge &G = R.gauge("util");
+  G.set(0.25);
+  EXPECT_DOUBLE_EQ(G.value(), 0.25);
+  G.add(0.5);
+  EXPECT_DOUBLE_EQ(G.value(), 0.75);
+
+  // Integer-valued deltas keep double addition exact regardless of the
+  // order the CAS loop lands them in.
+  Gauge &Sum = R.gauge("sum");
+  constexpr int Threads = 8, PerThread = 5000;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&Sum] {
+      for (int I = 0; I < PerThread; ++I)
+        Sum.add(2.0);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_DOUBLE_EQ(Sum.value(), 2.0 * Threads * PerThread);
+}
+
+TEST(Metrics, HistogramStatsAndBuckets) {
+  MetricsRegistry R;
+  Histogram &H = R.histogram("lat");
+  EXPECT_EQ(H.count(), 0);
+  EXPECT_TRUE(std::isinf(H.min()));
+  EXPECT_TRUE(std::isinf(H.max()));
+
+  H.record(1.0);
+  H.record(4.0);
+  H.record(0.5);
+  EXPECT_EQ(H.count(), 3);
+  EXPECT_DOUBLE_EQ(H.sum(), 5.5);
+  EXPECT_DOUBLE_EQ(H.min(), 0.5);
+  EXPECT_DOUBLE_EQ(H.max(), 4.0);
+  EXPECT_DOUBLE_EQ(H.mean(), 5.5 / 3.0);
+
+  // Power-of-two magnitude bucketing: monotone, clamped at the ends.
+  EXPECT_EQ(Histogram::bucketFor(0.0), 0);
+  EXPECT_EQ(Histogram::bucketFor(-3.0), 0);
+  EXPECT_LT(Histogram::bucketFor(0.5), Histogram::bucketFor(1.0));
+  EXPECT_LT(Histogram::bucketFor(1.0), Histogram::bucketFor(2.5));
+  EXPECT_EQ(Histogram::bucketFor(1e300), Histogram::NumBuckets - 1);
+  EXPECT_EQ(Histogram::bucketFor(1e-300), 0);
+  EXPECT_EQ(H.bucketCount(Histogram::bucketFor(4.0)), 1);
+
+  H.reset();
+  EXPECT_EQ(H.count(), 0);
+  EXPECT_DOUBLE_EQ(H.sum(), 0.0);
+}
+
+TEST(Metrics, HistogramConcurrentHammerIsExact) {
+  MetricsRegistry R;
+  Histogram &H = R.histogram("work");
+  // Integer-representable values: the CAS sum is exact in any order.
+  constexpr int Threads = 8, PerThread = 4000;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&H, T] {
+      for (int I = 0; I < PerThread; ++I)
+        H.record(static_cast<double>(T + 1));
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(H.count(), int64_t(Threads) * PerThread);
+  // sum = PerThread * (1 + 2 + ... + Threads)
+  EXPECT_DOUBLE_EQ(H.sum(),
+                   double(PerThread) * Threads * (Threads + 1) / 2.0);
+  EXPECT_DOUBLE_EQ(H.min(), 1.0);
+  EXPECT_DOUBLE_EQ(H.max(), double(Threads));
+}
+
+TEST(Metrics, ConcurrentLookupOfDistinctNames) {
+  MetricsRegistry R;
+  constexpr int Threads = 8;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&R, T] {
+      // Both a private and a shared instrument, looked up under races.
+      R.counter("own." + std::to_string(T)).add(T);
+      for (int I = 0; I < 1000; ++I)
+        R.counter("shared").add(1);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(R.counter("shared").value(), Threads * 1000);
+  for (int T = 0; T < Threads; ++T)
+    EXPECT_EQ(R.counter("own." + std::to_string(T)).value(), T);
+}
+
+TEST(Metrics, SnapshotAndJson) {
+  MetricsRegistry R;
+  R.counter("c.one").add(5);
+  R.gauge("g.one").set(2.5);
+  R.histogram("h.one").record(3.0);
+  R.histogram("h.one").record(1.0);
+
+  MetricsRegistry::Snapshot S = R.snapshot();
+  EXPECT_EQ(S.Counters.at("c.one"), 5);
+  EXPECT_DOUBLE_EQ(S.Gauges.at("g.one"), 2.5);
+  EXPECT_EQ(S.Histograms.at("h.one").Count, 2);
+  EXPECT_DOUBLE_EQ(S.Histograms.at("h.one").Sum, 4.0);
+  EXPECT_DOUBLE_EQ(S.Histograms.at("h.one").Min, 1.0);
+  EXPECT_DOUBLE_EQ(S.Histograms.at("h.one").Max, 3.0);
+
+  JsonWriter W;
+  W.beginObject();
+  R.writeJson(W);
+  W.endObject();
+  std::string Err;
+  std::optional<JsonValue> Doc = JsonValue::parse(W.str(), &Err);
+  ASSERT_TRUE(Doc) << Err;
+  const JsonValue *Counters = Doc->find("counters");
+  ASSERT_TRUE(Counters && Counters->isObject());
+  const JsonValue *C = Counters->find("c.one");
+  ASSERT_TRUE(C && C->isNumber());
+  EXPECT_EQ(C->asNumber(), 5.0);
+  const JsonValue *H = Doc->find("histograms");
+  ASSERT_TRUE(H && H->isObject());
+  const JsonValue *H1 = H->find("h.one");
+  ASSERT_TRUE(H1 && H1->isObject());
+  EXPECT_EQ(H1->find("count")->asNumber(), 2.0);
+}
+
+TEST(Metrics, GlobalRegistryShortcuts) {
+  Counter &C = metricCounter("test.metrics_test.counter");
+  int64_t Before = C.value();
+  metricCounter("test.metrics_test.counter").add(2);
+  EXPECT_EQ(C.value(), Before + 2);
+  EXPECT_EQ(&metricGauge("test.metrics_test.g"),
+            &metricGauge("test.metrics_test.g"));
+  EXPECT_EQ(&metricHistogram("test.metrics_test.h"),
+            &metricHistogram("test.metrics_test.h"));
+}
+
+} // namespace

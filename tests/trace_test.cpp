@@ -1,0 +1,182 @@
+//===- tests/trace_test.cpp - Trace span / Chrome export tests ---------------===//
+
+#include "support/Trace.h"
+
+#include "support/Json.h"
+#include "support/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <set>
+#include <thread>
+
+using namespace sgpu;
+
+namespace {
+
+/// Guard that enables tracing for one test and restores the default.
+struct ScopedTracing {
+  ScopedTracing() {
+    traceSetEnabled(true);
+    traceReset();
+  }
+  ~ScopedTracing() { traceSetEnabled(false); }
+};
+
+const TraceEvent *findEvent(const std::vector<TraceEvent> &Events,
+                            const std::string &Name) {
+  for (const TraceEvent &E : Events)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+TEST(Trace, DisabledByDefaultRecordsNothing) {
+  traceSetEnabled(false);
+  traceReset();
+  { TraceSpan Span("trace_test.disabled"); }
+  EXPECT_EQ(findEvent(traceSnapshot(), "trace_test.disabled"), nullptr);
+}
+
+TEST(Trace, NestedSpansAreContained) {
+  ScopedTracing Guard;
+  {
+    TraceSpan Outer("trace_test.outer");
+    {
+      TraceSpan Inner("trace_test.inner", "test");
+      Inner.argInt("depth", 2);
+    }
+  }
+  std::vector<TraceEvent> Events = traceSnapshot();
+  const TraceEvent *Outer = findEvent(Events, "trace_test.outer");
+  const TraceEvent *Inner = findEvent(Events, "trace_test.inner");
+  ASSERT_TRUE(Outer && Inner);
+  EXPECT_EQ(Inner->Cat, "test");
+  EXPECT_EQ(Outer->Tid, Inner->Tid);
+  // Containment: the inner span starts no earlier and ends no later.
+  EXPECT_GE(Inner->StartMicros, Outer->StartMicros);
+  EXPECT_LE(Inner->StartMicros + Inner->DurMicros,
+            Outer->StartMicros + Outer->DurMicros + 1e-6);
+  // Spans are recorded at destruction: inner lands before outer.
+  EXPECT_LT(Inner - Events.data(), Outer - Events.data());
+  ASSERT_EQ(Inner->Args.size(), 1u);
+  EXPECT_EQ(Inner->Args[0].first, "depth");
+  EXPECT_EQ(Inner->Args[0].second, "2");
+}
+
+TEST(Trace, ThreadsGetDistinctStableIds) {
+  ScopedTracing Guard;
+  constexpr int Threads = 4;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([T] {
+      traceSetThreadName("worker-" + std::to_string(T));
+      TraceSpan Span("trace_test.thread");
+      Span.argInt("worker", T);
+      // A second span from the same thread must reuse its id.
+      TraceSpan Again("trace_test.again");
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  std::vector<TraceEvent> Events = traceSnapshot();
+  std::set<int> Tids;
+  for (const TraceEvent &E : Events)
+    if (E.Name == "trace_test.thread")
+      Tids.insert(E.Tid);
+  EXPECT_EQ(Tids.size(), size_t(Threads));
+  for (const TraceEvent &E : Events)
+    if (E.Name == "trace_test.again")
+      EXPECT_TRUE(Tids.count(E.Tid));
+}
+
+TEST(Trace, JsonIsValidChromeTraceFormat) {
+  ScopedTracing Guard;
+  traceSetThreadName("main-test-thread");
+  {
+    TraceSpan Span("trace_test.json \"quoted\"", "cat");
+    Span.argStr("note", "a\\b");
+    Span.argNum("ratio", 0.5);
+  }
+  std::string Json = traceToJson();
+  std::string Err;
+  std::optional<JsonValue> Doc = JsonValue::parse(Json, &Err);
+  ASSERT_TRUE(Doc) << Err;
+  const JsonValue *Events = Doc->find("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+
+  bool SawSpan = false, SawThreadName = false;
+  for (const JsonValue &E : Events->elements()) {
+    const JsonValue *Ph = E.find("ph");
+    ASSERT_TRUE(Ph && Ph->isString());
+    if (Ph->asString() == "X") {
+      ASSERT_TRUE(E.find("name") && E.find("ts") && E.find("dur") &&
+                  E.find("pid") && E.find("tid"));
+      if (E.find("name")->asString() == "trace_test.json \"quoted\"") {
+        SawSpan = true;
+        const JsonValue *Args = E.find("args");
+        ASSERT_TRUE(Args && Args->isObject());
+        EXPECT_EQ(Args->find("note")->asString(), "a\\b");
+        EXPECT_EQ(Args->find("ratio")->asNumber(), 0.5);
+        EXPECT_GE(E.find("dur")->asNumber(), 0.0);
+      }
+    } else if (Ph->asString() == "M" &&
+               E.find("name")->asString() == "thread_name") {
+      const JsonValue *Args = E.find("args");
+      ASSERT_TRUE(Args && Args->isObject());
+      if (Args->find("name")->asString() == "main-test-thread")
+        SawThreadName = true;
+    }
+  }
+  EXPECT_TRUE(SawSpan);
+  EXPECT_TRUE(SawThreadName);
+}
+
+TEST(Trace, WriteFileRoundTrips) {
+  ScopedTracing Guard;
+  { TraceSpan Span("trace_test.file"); }
+  std::string Path =
+      ::testing::TempDir() + "sgpu_trace_test_out.json";
+  ASSERT_TRUE(traceWriteFile(Path));
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string Body((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  std::optional<JsonValue> Doc = JsonValue::parse(Body);
+  ASSERT_TRUE(Doc);
+  EXPECT_NE(Body.find("trace_test.file"), std::string::npos);
+}
+
+TEST(Trace, StageTimerFeedsHistogramEvenWhenTracingDisabled) {
+  traceSetEnabled(false);
+  traceReset();
+  Histogram &H = metricHistogram("stage.trace_test.stage.seconds");
+  int64_t Before = H.count();
+  { StageTimer Timer("trace_test.stage"); }
+  EXPECT_EQ(H.count(), Before + 1);
+  EXPECT_GE(H.max(), 0.0);
+  // And no trace event was recorded.
+  EXPECT_EQ(findEvent(traceSnapshot(), "trace_test.stage"), nullptr);
+}
+
+TEST(Trace, StageTimerRecordsSpanWhenEnabled) {
+  ScopedTracing Guard;
+  { StageTimer Timer("trace_test.timed_stage"); }
+  const std::vector<TraceEvent> Events = traceSnapshot();
+  const TraceEvent *E = findEvent(Events, "trace_test.timed_stage");
+  ASSERT_TRUE(E);
+  EXPECT_GE(E->DurMicros, 0.0);
+}
+
+TEST(Trace, ResetDropsEvents) {
+  ScopedTracing Guard;
+  { TraceSpan Span("trace_test.pre_reset"); }
+  EXPECT_NE(findEvent(traceSnapshot(), "trace_test.pre_reset"), nullptr);
+  traceReset();
+  EXPECT_TRUE(traceSnapshot().empty());
+}
+
+} // namespace

@@ -7,7 +7,7 @@
 // Usage:
 //   sgpu-compile <benchmark> [--strategy=swp|swpnc|serial]
 //                [--coarsening=N] [--sms=N] [--dot] [--cuda]
-//                [--schedule] [--list]
+//                [--schedule] [--trace-out=FILE] [--list]
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +16,9 @@
 #include "core/Compiler.h"
 #include "core/ReportWriter.h"
 #include "parser/Parser.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -41,6 +44,10 @@ void printUsage() {
       "  --cuda                        dump the generated CUDA source\n"
       "  --schedule                    dump the per-SM schedule\n"
       "  --json                        dump the full report as JSON\n"
+      "  --trace-out=FILE              write a Chrome trace_event JSON\n"
+      "                                file covering the whole compile\n"
+      "                                (also: SGPU_TRACE=FILE)\n"
+      "  --metrics                     dump the pipeline metrics registry\n"
       "  --list                        list available benchmarks\n");
 }
 
@@ -63,7 +70,8 @@ int main(int argc, char **argv) {
   int Sms = 16;
   int Jobs = 0; // 0 = auto ($SGPU_JOBS, then hardware_concurrency).
   bool DumpDot = false, DumpCuda = false, DumpSchedule = false;
-  bool DumpJson = false;
+  bool DumpJson = false, DumpMetrics = false;
+  std::string TraceOut;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -118,6 +126,10 @@ int main(int argc, char **argv) {
       DumpSchedule = true;
     } else if (std::strcmp(Arg, "--json") == 0) {
       DumpJson = true;
+    } else if (std::strcmp(Arg, "--metrics") == 0) {
+      DumpMetrics = true;
+    } else if (startsWith(Arg, "--trace-out=")) {
+      TraceOut = Arg + 12;
     } else if (Arg[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
       printUsage();
@@ -126,6 +138,29 @@ int main(int argc, char **argv) {
       Name = Arg;
     }
   }
+
+  if (TraceOut.empty())
+    traceInitFromEnv(&TraceOut);
+  if (!TraceOut.empty()) {
+    traceSetEnabled(true);
+    traceSetThreadName("main");
+  }
+  auto FlushTrace = [&TraceOut] {
+    if (TraceOut.empty())
+      return;
+    if (!traceWriteFile(TraceOut))
+      std::fprintf(stderr, "warning: cannot write trace file '%s'\n",
+                   TraceOut.c_str());
+  };
+  auto DumpMetricsNow = [DumpMetrics] {
+    if (!DumpMetrics)
+      return;
+    JsonWriter W;
+    W.beginObject();
+    MetricsRegistry::global().writeJson(W);
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+  };
 
   std::string ProgramName;
   StreamPtr Parsed;
@@ -172,11 +207,14 @@ int main(int argc, char **argv) {
   std::optional<CompileReport> R = compileForGpu(G, Options);
   if (!R) {
     std::fprintf(stderr, "error: compilation failed\n");
+    FlushTrace();
     return 1;
   }
 
   if (DumpJson) {
     std::printf("%s\n", reportToJson(G, *R).c_str());
+    DumpMetricsNow();
+    FlushTrace();
     return 0;
   }
 
@@ -232,5 +270,7 @@ int main(int argc, char **argv) {
                    .c_str(),
                stdout);
   }
+  DumpMetricsNow();
+  FlushTrace();
   return 0;
 }
