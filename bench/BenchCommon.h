@@ -29,22 +29,27 @@ namespace bench {
 
 /// Default bench-wide compile options: 16 SMs like the paper's grid, the
 /// documented reduced ILP budget (DESIGN.md "Known deviations").
-inline CompileOptions benchOptions(Strategy S, int Coarsening) {
+inline CompileOptions
+benchOptions(Strategy S, int Coarsening,
+             TimingModelKind Timing = TimingModelKind::Analytic) {
   CompileOptions O;
   O.Strat = S;
   O.Coarsening = Coarsening;
+  O.Timing = Timing;
   O.Sched.Pmax = 16;
   O.Sched.TimeBudgetSeconds = 2.0;
   return O;
 }
 
-/// Compiles (and memoizes) one Table I benchmark under a strategy and
-/// coarsening factor.
+/// Compiles (and memoizes) one Table I benchmark under a strategy,
+/// coarsening factor and timing model.
 inline const std::optional<CompileReport> &
-compiledReport(const std::string &Name, Strategy S, int Coarsening) {
+compiledReport(const std::string &Name, Strategy S, int Coarsening,
+               TimingModelKind Timing = TimingModelKind::Analytic) {
   static std::map<std::string, std::optional<CompileReport>> Cache;
   std::string Key = Name + "/" + strategyName(S) + "/" +
-                    std::to_string(Coarsening);
+                    std::to_string(Coarsening) + "/" +
+                    timingModelKindName(Timing);
   auto It = Cache.find(Key);
   if (It != Cache.end())
     return It->second;
@@ -52,9 +57,30 @@ compiledReport(const std::string &Name, Strategy S, int Coarsening) {
   std::optional<CompileReport> R;
   if (Spec) {
     StreamGraph G = flatten(*Spec->Build());
-    R = compileForGpu(G, benchOptions(S, Coarsening));
+    R = compileForGpu(G, benchOptions(S, Coarsening, Timing));
   }
   return Cache.emplace(Key, std::move(R)).first->second;
+}
+
+/// Replays an SWP report's final schedule through the warp-level cycle
+/// simulator and returns the simulated cycles of one kernel invocation
+/// (0 for Serial reports, which have no SWP schedule). Cheap next to the
+/// compile itself, so the benches print analytic and simulated cycles
+/// side by side without compiling twice.
+inline double cycleSimKernelCycles(const std::string &Name,
+                                   const CompileReport &R) {
+  if (R.Strat == Strategy::Serial)
+    return 0.0;
+  const BenchmarkSpec *Spec = findBenchmark(Name);
+  if (!Spec)
+    return 0.0;
+  StreamGraph G = flatten(*Spec->Build());
+  GpuArch Arch = GpuArch::geForce8800GTS512();
+  std::unique_ptr<TimingModel> Model =
+      createTimingModel(TimingModelKind::Cycle, Arch);
+  KernelDesc Desc = buildSwpKernelDesc(Arch, G, R.Config, R.Schedule,
+                                       R.Layout, R.Coarsening);
+  return Model->simulateKernel(Desc).TotalCycles;
 }
 
 /// Geometric mean of a list of positive values.

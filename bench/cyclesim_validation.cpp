@@ -1,0 +1,159 @@
+//===- bench/cyclesim_validation.cpp - Cycle sim vs analytic model ------------===//
+//
+// Cross-validates the warp-level cycle simulator against the analytic
+// timing model on the eight Table I benchmarks: per benchmark, the
+// analytic and simulated cycles of one SWP8 kernel invocation, their
+// ratio, the simulator's wall time and a bit-determinism check (two
+// back-to-back runs must agree exactly). Writes the results to
+// BENCH_cyclesim.json (override with --out=FILE) in addition to the
+// printed table and the registered google benchmarks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Json.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+struct ValidationRow {
+  std::string Name;
+  bool Ok = false;
+  double AnalyticCycles = 0.0;
+  double SimCycles = 0.0;
+  double SimWallSeconds = 0.0;
+  double Transactions = 0.0;
+  double StallFraction = 0.0;
+  bool Deterministic = false;
+};
+
+ValidationRow validate(const BenchmarkSpec &Spec) {
+  ValidationRow Row;
+  Row.Name = Spec.Name;
+  const std::optional<CompileReport> &R =
+      compiledReport(Spec.Name, Strategy::Swp, 8);
+  if (!R)
+    return Row;
+
+  StreamGraph G = flatten(*Spec.Build());
+  GpuArch Arch = GpuArch::geForce8800GTS512();
+  std::unique_ptr<TimingModel> Model =
+      createTimingModel(TimingModelKind::Cycle, Arch);
+  KernelDesc Desc = buildSwpKernelDesc(Arch, G, R->Config, R->Schedule,
+                                       R->Layout, R->Coarsening);
+
+  auto T0 = std::chrono::steady_clock::now();
+  KernelSimResult Sim = Model->simulateKernel(Desc);
+  auto T1 = std::chrono::steady_clock::now();
+  KernelSimResult Again = Model->simulateKernel(Desc);
+
+  Row.Ok = true;
+  Row.AnalyticCycles = R->KernelSim.TotalCycles;
+  Row.SimCycles = Sim.TotalCycles;
+  Row.SimWallSeconds =
+      std::chrono::duration<double>(T1 - T0).count();
+  Row.Transactions = Sim.Transactions;
+  double Busy = 0.0, Stall = 0.0;
+  for (const SmBreakdown &B : Sim.PerSm) {
+    Busy += B.BusyCycles;
+    Stall += B.StallCycles;
+  }
+  Row.StallFraction =
+      Busy + Stall > 0.0 ? Stall / (Busy + Stall) : 0.0;
+  Row.Deterministic = Sim.TotalCycles == Again.TotalCycles &&
+                      Sim.Transactions == Again.Transactions &&
+                      Sim.FillCycles == Again.FillCycles;
+  return Row;
+}
+
+void BM_CycleSim(benchmark::State &State, const BenchmarkSpec *Spec) {
+  const std::optional<CompileReport> &R =
+      compiledReport(Spec->Name, Strategy::Swp, 8);
+  if (!R) {
+    State.SkipWithError("compile failed");
+    return;
+  }
+  StreamGraph G = flatten(*Spec->Build());
+  GpuArch Arch = GpuArch::geForce8800GTS512();
+  std::unique_ptr<TimingModel> Model =
+      createTimingModel(TimingModelKind::Cycle, Arch);
+  KernelDesc Desc = buildSwpKernelDesc(Arch, G, R->Config, R->Schedule,
+                                       R->Layout, R->Coarsening);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Model->simulateKernel(Desc).TotalCycles);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string OutPath = "BENCH_cyclesim.json";
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], "--out=", 6) == 0)
+      OutPath = argv[I] + 6;
+
+  std::printf("Cycle simulator validation (SWP8 schedules; cycles per "
+              "kernel invocation)\n");
+  std::printf("%-12s %12s %12s %7s %10s %7s %6s\n", "Benchmark",
+              "Analytic", "CycleSim", "Ratio", "SimWall(s)", "Stall%%",
+              "Det");
+  std::vector<ValidationRow> Rows;
+  for (const BenchmarkSpec &Spec : allBenchmarks()) {
+    ValidationRow Row = validate(Spec);
+    if (Row.Ok)
+      std::printf("%-12s %12.0f %12.0f %7.2f %10.4f %6.1f%% %6s\n",
+                  Row.Name.c_str(), Row.AnalyticCycles, Row.SimCycles,
+                  Row.AnalyticCycles > 0.0
+                      ? Row.SimCycles / Row.AnalyticCycles
+                      : 0.0,
+                  Row.SimWallSeconds, 100.0 * Row.StallFraction,
+                  Row.Deterministic ? "yes" : "NO");
+    else
+      std::printf("%-12s  compile failed\n", Row.Name.c_str());
+    Rows.push_back(std::move(Row));
+    benchmark::RegisterBenchmark(("CycleSim/" + Spec.Name).c_str(),
+                                 BM_CycleSim, &Spec);
+  }
+  std::printf("\n");
+
+  JsonWriter W;
+  W.beginObject();
+  W.beginArray("benchmarks");
+  for (const ValidationRow &Row : Rows) {
+    W.beginObject();
+    W.writeString("name", Row.Name);
+    W.writeBool("ok", Row.Ok);
+    W.writeDouble("analytic_cycles", Row.AnalyticCycles);
+    W.writeDouble("cycle_sim_cycles", Row.SimCycles);
+    W.writeDouble("ratio", Row.AnalyticCycles > 0.0
+                               ? Row.SimCycles / Row.AnalyticCycles
+                               : 0.0);
+    W.writeDouble("sim_wall_seconds", Row.SimWallSeconds);
+    W.writeDouble("transactions", Row.Transactions);
+    W.writeDouble("stall_fraction", Row.StallFraction);
+    W.writeBool("deterministic", Row.Deterministic);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  std::ofstream Out(OutPath, std::ios::binary);
+  if (Out)
+    Out << W.str() << "\n";
+  else
+    std::fprintf(stderr, "warning: cannot write '%s'\n", OutPath.c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

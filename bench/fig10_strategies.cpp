@@ -28,20 +28,27 @@ double speedupOf(const std::string &Name, Strategy S) {
   return R ? R->Speedup : 0.0;
 }
 
+double simCyclesOf(const std::string &Name, Strategy S) {
+  const std::optional<CompileReport> &R = compiledReport(Name, S, 8);
+  return R ? cycleSimKernelCycles(Name, *R) : 0.0;
+}
+
 void BM_Fig10(benchmark::State &State, const BenchmarkSpec *Spec,
               Strategy S) {
   for (auto _ : State)
     benchmark::DoNotOptimize(speedupOf(Spec->Name, S));
   State.counters["speedup"] = speedupOf(Spec->Name, S);
+  State.counters["sim_kernel_cycles"] = simCyclesOf(Spec->Name, S);
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
   std::printf("Figure 10: Speedup over single-threaded CPU "
-              "(SWPNC / Serial / SWP8)\n");
-  std::printf("%-12s %10s %10s %10s\n", "Benchmark", "SWPNC", "Serial",
-              "SWP8");
+              "(SWPNC / Serial / SWP8; Sim* = warp-level simulated "
+              "cycles/invocation)\n");
+  std::printf("%-12s %10s %10s %10s %12s %12s\n", "Benchmark", "SWPNC",
+              "Serial", "SWP8", "SimSWPNC", "SimSWP8");
   std::vector<double> Nc, Ser, Swp;
   for (const BenchmarkSpec &Spec : allBenchmarks()) {
     double A = speedupOf(Spec.Name, Strategy::SwpNoCoalesce);
@@ -50,8 +57,10 @@ int main(int argc, char **argv) {
     Nc.push_back(A);
     Ser.push_back(B);
     Swp.push_back(C);
-    std::printf("%-12s %10.2f %10.2f %10.2f\n", Spec.Name.c_str(), A, B,
-                C);
+    std::printf("%-12s %10.2f %10.2f %10.2f %12.0f %12.0f\n",
+                Spec.Name.c_str(), A, B, C,
+                simCyclesOf(Spec.Name, Strategy::SwpNoCoalesce),
+                simCyclesOf(Spec.Name, Strategy::Swp));
     for (Strategy S : {Strategy::SwpNoCoalesce, Strategy::Serial,
                        Strategy::Swp})
       benchmark::RegisterBenchmark(

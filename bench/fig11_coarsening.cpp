@@ -26,19 +26,27 @@ double speedupOf(const std::string &Name, int Coarsen) {
   return R ? R->Speedup : 0.0;
 }
 
+double simCyclesOf(const std::string &Name, int Coarsen) {
+  const std::optional<CompileReport> &R =
+      compiledReport(Name, Strategy::Swp, Coarsen);
+  return R ? cycleSimKernelCycles(Name, *R) : 0.0;
+}
+
 void BM_Fig11(benchmark::State &State, const BenchmarkSpec *Spec,
               int Coarsen) {
   for (auto _ : State)
     benchmark::DoNotOptimize(speedupOf(Spec->Name, Coarsen));
   State.counters["speedup"] = speedupOf(Spec->Name, Coarsen);
+  State.counters["sim_kernel_cycles"] = simCyclesOf(Spec->Name, Coarsen);
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  std::printf("Figure 11: SWP coarsening sweep (speedup over CPU)\n");
-  std::printf("%-12s %9s %9s %9s %9s\n", "Benchmark", "SWP1", "SWP4",
-              "SWP8", "SWP16");
+  std::printf("Figure 11: SWP coarsening sweep (speedup over CPU; "
+              "Sim = warp-level simulated cycles/invocation)\n");
+  std::printf("%-12s %9s %9s %9s %9s %12s %12s\n", "Benchmark", "SWP1",
+              "SWP4", "SWP8", "SWP16", "SimSWP1", "SimSWP8");
   std::vector<std::vector<double>> Columns(4);
   for (const BenchmarkSpec &Spec : allBenchmarks()) {
     std::printf("%-12s", Spec.Name.c_str());
@@ -52,6 +60,8 @@ int main(int argc, char **argv) {
           BM_Fig11, &Spec, Factors[I])
           ->Iterations(1);
     }
+    std::printf(" %12.0f %12.0f", simCyclesOf(Spec.Name, 1),
+                simCyclesOf(Spec.Name, 8));
     std::printf("\n");
   }
   std::printf("%-12s", "GeoMean");

@@ -27,17 +27,32 @@ static void BM_Table1(benchmark::State &State,
   State.counters["filters_paper"] = Spec->PaperFilters;
   State.counters["peeking"] = G.numPeekingFilters();
   State.counters["peeking_paper"] = Spec->PaperPeeking;
+  const std::optional<CompileReport> &R =
+      compiledReport(Spec->Name, Strategy::Swp, 8);
+  if (R) {
+    State.counters["analytic_kernel_cycles"] = R->KernelSim.TotalCycles;
+    State.counters["sim_kernel_cycles"] =
+        cycleSimKernelCycles(Spec->Name, *R);
+  }
 }
 
 int main(int argc, char **argv) {
   std::printf("Table I: Benchmarks evaluated\n");
-  std::printf("%-12s %8s %14s %9s %15s  %s\n", "Benchmark", "Nodes",
-              "Paper-Filters", "Peeking", "Paper-Peeking", "Description");
+  std::printf("%-12s %8s %14s %9s %15s %12s %12s  %s\n", "Benchmark",
+              "Nodes", "Paper-Filters", "Peeking", "Paper-Peeking",
+              "AnalyticCyc", "SimCyc", "Description");
   for (const BenchmarkSpec &Spec : allBenchmarks()) {
     StreamGraph G = flatten(*Spec.Build());
-    std::printf("%-12s %8d %14d %9d %15d  %s\n", Spec.Name.c_str(),
-                G.numNodes(), Spec.PaperFilters, G.numPeekingFilters(),
-                Spec.PaperPeeking, Spec.Description.c_str());
+    // Analytic vs warp-level simulated cycles of one SWP8 kernel
+    // invocation of the compiled schedule.
+    const std::optional<CompileReport> &R =
+        compiledReport(Spec.Name, Strategy::Swp, 8);
+    double AnalyticCyc = R ? R->KernelSim.TotalCycles : 0.0;
+    double SimCyc = R ? cycleSimKernelCycles(Spec.Name, *R) : 0.0;
+    std::printf("%-12s %8d %14d %9d %15d %12.0f %12.0f  %s\n",
+                Spec.Name.c_str(), G.numNodes(), Spec.PaperFilters,
+                G.numPeekingFilters(), Spec.PaperPeeking, AnalyticCyc,
+                SimCyc, Spec.Description.c_str());
     benchmark::RegisterBenchmark(("Table1/" + Spec.Name).c_str(),
                                  BM_Table1, &Spec)
         ->Iterations(1);

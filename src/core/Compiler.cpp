@@ -33,18 +33,43 @@ const char *sgpu::strategyName(Strategy S) {
 
 namespace {
 
-/// Per-instance simulator cost for every node under a given config.
-std::vector<InstanceCost> buildNodeCosts(const GpuArch &Arch,
-                                         const StreamGraph &G,
-                                         const ExecutionConfig &Config,
-                                         LayoutKind Layout) {
-  std::vector<InstanceCost> Costs;
-  Costs.reserve(G.numNodes());
+/// Per-node timing-model instances under a given config.
+std::vector<SimInstance> buildNodeInstances(const GpuArch &Arch,
+                                            const StreamGraph &G,
+                                            const ExecutionConfig &Config,
+                                            LayoutKind Layout);
+
+} // namespace
+
+KernelDesc sgpu::buildSwpKernelDesc(const GpuArch &Arch, const StreamGraph &G,
+                                    const ExecutionConfig &Config,
+                                    const SwpSchedule &Schedule,
+                                    LayoutKind Layout, int Coarsening) {
+  KernelDesc Desc;
+  Desc.Instances = buildNodeInstances(Arch, G, Config, Layout);
+  Desc.StageSpan = Schedule.stageSpan();
+  Desc.SmStreams.resize(Schedule.Pmax);
+  for (int P = 0; P < Schedule.Pmax; ++P)
+    for (const ScheduledInstance *SI : Schedule.smOrder(P))
+      Desc.SmStreams[P].push_back(
+          {SI->Node, static_cast<int64_t>(Coarsening)});
+  return Desc;
+}
+
+namespace {
+
+/// Per-node timing-model instances under a given config.
+std::vector<SimInstance> buildNodeInstances(const GpuArch &Arch,
+                                            const StreamGraph &G,
+                                            const ExecutionConfig &Config,
+                                            LayoutKind Layout) {
+  std::vector<SimInstance> Insts;
+  Insts.reserve(G.numNodes());
   for (const GraphNode &N : G.nodes())
-    Costs.push_back(buildInstanceCost(Arch, N, nodeWorkEstimate(N),
-                                      Config.Threads[N.Id], Config.RegLimit,
-                                      Layout));
-  return Costs;
+    Insts.push_back(buildSimInstance(Arch, N, nodeWorkEstimate(N),
+                                     Config.Threads[N.Id], Config.RegLimit,
+                                     Layout));
+  return Insts;
 }
 
 /// Channel-buffer bytes of a software-pipelined schedule: each edge holds
@@ -74,11 +99,14 @@ std::optional<CompileReport> compileSwp(const StreamGraph &G,
                                         const SteadyState &SS,
                                         const CompileOptions &Options) {
   LayoutKind Layout = layoutFor(Options.Strat);
+  std::unique_ptr<TimingModel> Model =
+      createTimingModel(Options.Timing, Options.Arch);
 
   // Fig. 6 profiling under the strategy's layout, then Alg. 7. The
   // sweep shares the scheduler's worker budget.
   ProfileTable PT =
-      profileGraph(Options.Arch, G, Layout, Options.Sched.NumWorkers);
+      profileGraph(Options.Arch, G, Layout, Options.Sched.NumWorkers,
+                   /*NumFirings=*/0, Model.get());
   std::optional<ExecutionConfig> Config = selectExecutionConfig(SS, PT);
   if (!Config)
     return std::nullopt;
@@ -96,20 +124,11 @@ std::optional<CompileReport> compileSwp(const StreamGraph &G,
   // Time one kernel invocation: each SM executes its instances serially,
   // each instance iterated `Coarsening` times (the SWPn schemes); the
   // whole grid shares the memory bus; one launch per invocation.
-  std::vector<InstanceCost> Costs =
-      buildNodeCosts(Options.Arch, G, *Config, Layout);
-  KernelWork Work;
-  for (int P = 0; P < SR->Schedule.Pmax; ++P) {
-    double SmCycles = 0.0;
-    for (const ScheduledInstance *SI : SR->Schedule.smOrder(P)) {
-      SmCycles += instanceCycles(Options.Arch, Costs[SI->Node]) *
-                  static_cast<double>(Options.Coarsening);
-      Work.TotalTxns += instanceTransactions(Costs[SI->Node]) *
-                        static_cast<double>(Options.Coarsening);
-    }
-    Work.MaxSmCycles = std::max(Work.MaxSmCycles, SmCycles);
-  }
-  double Kernel = kernelCycles(Options.Arch, Work);
+  KernelDesc Desc = buildSwpKernelDesc(Options.Arch, G, *Config,
+                                       SR->Schedule, Layout,
+                                       Options.Coarsening);
+  KernelSimResult Sim = Model->simulateKernel(Desc);
+  double Kernel = Sim.TotalCycles;
   double BatchBaseIters =
       static_cast<double>(GSS.Multiplier) *
       static_cast<double>(Options.Coarsening);
@@ -118,6 +137,7 @@ std::optional<CompileReport> compileSwp(const StreamGraph &G,
   R.Strat = Options.Strat;
   R.Coarsening = Options.Coarsening;
   R.Layout = Layout;
+  R.Timing = Options.Timing;
   R.Config = std::move(*Config);
   R.GSS = GSS;
   R.SchedStats = *SR;
@@ -130,14 +150,17 @@ std::optional<CompileReport> compileSwp(const StreamGraph &G,
                              Options.Arch.CoreClockGHz);
   R.BufferBytes = swpBufferBytes(G, SS, R.Config, GSS, R.Schedule,
                                  Options.Coarsening);
-  R.PipelineLatencyCycles =
-      Kernel * static_cast<double>(R.Schedule.stageSpan() + 1);
+  // Fill + drain: the pipeline holds stageSpan() extra invocations in
+  // flight, so first-token latency is the kernel plus the fill cost the
+  // timing model reports.
+  R.PipelineLatencyCycles = Kernel + Sim.FillCycles;
   double OutPerBaseIter =
       static_cast<double>(SS.outputTokensPerIteration());
   R.TokensPerKiloCycle =
       R.GpuCyclesPerBaseIteration > 0
           ? 1000.0 * OutPerBaseIter / R.GpuCyclesPerBaseIteration
           : 0.0;
+  R.KernelSim = std::move(Sim);
   return R;
 }
 
@@ -146,8 +169,11 @@ std::optional<CompileReport> compileSerial(const StreamGraph &G,
                                            const CompileOptions &Options) {
   // The Serial scheme: every filter runs as its own fully data-parallel
   // kernel in SAS order, NumSMs blocks, coalesced accesses (Section V).
+  std::unique_ptr<TimingModel> Model =
+      createTimingModel(Options.Timing, Options.Arch);
   ProfileTable PT = profileGraph(Options.Arch, G, LayoutKind::Shuffled,
-                                 Options.Sched.NumWorkers);
+                                 Options.Sched.NumWorkers,
+                                 /*NumFirings=*/0, Model.get());
   std::optional<ExecutionConfig> Config;
   for (int Threads :
        {Options.SerialThreads, 128, 256, 384, 512}) {
@@ -164,28 +190,50 @@ std::optional<CompileReport> compileSerial(const StreamGraph &G,
 
   GpuSteadyState GSS = computeGpuSteadyState(SS.repetitions(),
                                              Config->Threads);
-  std::vector<InstanceCost> Costs =
-      buildNodeCosts(Options.Arch, G, *Config, LayoutKind::Shuffled);
+  std::vector<SimInstance> Insts =
+      buildNodeInstances(Options.Arch, G, *Config, LayoutKind::Shuffled);
 
   // One kernel per node per batch; blocks spread across the SMs in
-  // waves. Batch size matches the SWP comparison's coarsening.
-  double Batch = static_cast<double>(Options.Coarsening);
+  // waves (firings balanced, leftovers to the lowest SM indices). Batch
+  // size matches the SWP comparison's coarsening.
+  int64_t Batch = Options.Coarsening;
+  int NumSMs = Options.Arch.NumSMs;
   double TotalCycles = 0.0;
+  KernelSimResult Agg;
+  Agg.PerSm.resize(NumSMs);
   for (const GraphNode &N : G.nodes()) {
-    double GpuFirings = static_cast<double>(GSS.Instances[N.Id]) * Batch;
-    double Waves =
-        std::ceil(GpuFirings / static_cast<double>(Options.Arch.NumSMs));
-    KernelWork Work;
-    Work.MaxSmCycles = Waves * instanceCycles(Options.Arch, Costs[N.Id]);
-    Work.TotalTxns = GpuFirings * instanceTransactions(Costs[N.Id]);
-    TotalCycles += kernelCycles(Options.Arch, Work);
+    int64_t GpuFirings = GSS.Instances[N.Id] * Batch;
+    KernelDesc Desc;
+    Desc.Instances.push_back(Insts[N.Id]);
+    Desc.SmStreams.resize(NumSMs);
+    int64_t PerSm = GpuFirings / NumSMs;
+    int64_t Rem = GpuFirings % NumSMs;
+    for (int S = 0; S < NumSMs; ++S) {
+      int64_t Iter = PerSm + (S < Rem ? 1 : 0);
+      if (Iter > 0)
+        Desc.SmStreams[S].push_back({0, Iter});
+    }
+    KernelSimResult Sim = Model->simulateKernel(Desc);
+    TotalCycles += Sim.TotalCycles;
+    Agg.TotalCycles += Sim.TotalCycles;
+    Agg.Transactions += Sim.Transactions;
+    for (size_t S = 0; S < Sim.PerSm.size(); ++S) {
+      Agg.PerSm[S].BusyCycles += Sim.PerSm[S].BusyCycles;
+      Agg.PerSm[S].StallCycles += Sim.PerSm[S].StallCycles;
+      Agg.PerSm[S].TotalCycles += Sim.PerSm[S].TotalCycles;
+      Agg.PerSm[S].WarpInstrs += Sim.PerSm[S].WarpInstrs;
+      Agg.PerSm[S].Transactions += Sim.PerSm[S].Transactions;
+    }
   }
-  double BatchBaseIters = static_cast<double>(GSS.Multiplier) * Batch;
+  double BatchBaseIters = static_cast<double>(GSS.Multiplier) *
+                          static_cast<double>(Batch);
 
   CompileReport R;
   R.Strat = Strategy::Serial;
   R.Coarsening = Options.Coarsening;
   R.Layout = LayoutKind::Shuffled;
+  R.Timing = Options.Timing;
+  R.KernelSim = std::move(Agg);
   R.Config = std::move(*Config);
   R.GSS = GSS;
   R.GpuCyclesPerBaseIteration = TotalCycles / BatchBaseIters;

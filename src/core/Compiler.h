@@ -25,6 +25,7 @@
 
 #include "core/CpuBaseline.h"
 #include "core/IlpScheduler.h"
+#include "gpusim/TimingModel.h"
 #include "profile/ConfigSelection.h"
 
 #include <optional>
@@ -46,6 +47,10 @@ struct CompileOptions {
   int Coarsening = 8;
   /// Threads per block for the Serial scheme (blocks fixed at NumSMs).
   int SerialThreads = 256;
+  /// The timing model costing the profile sweep and the kernel
+  /// invocations: the closed-form analytic model (the historical
+  /// default) or the event-driven warp-level cycle simulator.
+  TimingModelKind Timing = TimingModelKind::Analytic;
 };
 
 /// Everything the benches and tests need about one compiled program.
@@ -53,6 +58,7 @@ struct CompileReport {
   Strategy Strat = Strategy::Swp;
   int Coarsening = 1;
   LayoutKind Layout = LayoutKind::Shuffled;
+  TimingModelKind Timing = TimingModelKind::Analytic;
 
   ExecutionConfig Config;
   GpuSteadyState GSS;
@@ -70,6 +76,12 @@ struct CompileReport {
   double PipelineLatencyCycles = 0.0;
   /// Program throughput: output tokens per thousand GPU cycles.
   double TokensPerKiloCycle = 0.0;
+
+  /// The timing model's view of one kernel invocation (for the Serial
+  /// scheme, the element-wise sum over the per-node kernels). PerSm
+  /// carries the per-SM busy/stall/total breakdown — the cycle simulator
+  /// fills every field; the analytic model only totals and transactions.
+  KernelSimResult KernelSim;
 };
 
 /// Compiles \p G under \p Options. Returns std::nullopt when the graph is
@@ -77,6 +89,16 @@ struct CompileReport {
 /// schedule exists within the II relaxation limit.
 std::optional<CompileReport> compileForGpu(const StreamGraph &G,
                                            const CompileOptions &Options);
+
+/// Assembles the per-SM instance streams of one SWP kernel invocation
+/// under \p Schedule: each SM runs its scheduled instances in slot
+/// order, each iterated \p Coarsening times (SWPn). StageSpan comes
+/// from the schedule, so simulateKernel can surface the
+/// prologue/epilogue fill cost.
+KernelDesc buildSwpKernelDesc(const GpuArch &Arch, const StreamGraph &G,
+                              const ExecutionConfig &Config,
+                              const SwpSchedule &Schedule, LayoutKind Layout,
+                              int Coarsening);
 
 /// The layout a strategy uses.
 LayoutKind layoutFor(Strategy S);

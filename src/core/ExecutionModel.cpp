@@ -147,3 +147,47 @@ InstanceCost sgpu::buildInstanceCost(const GpuArch &Arch, const GraphNode &N,
   C.TxnsPerAccess = Sides > 0 ? Total / static_cast<double>(Sides) : 0.0;
   return C;
 }
+
+SimInstance sgpu::buildSimInstance(const GpuArch &Arch, const GraphNode &N,
+                                   const WorkEstimate &WE, int64_t Threads,
+                                   int RegLimit, LayoutKind Layout) {
+  SimInstance Inst;
+  Inst.Node = N.Id;
+  Inst.Cost = buildInstanceCost(Arch, N, WE, Threads, RegLimit, Layout);
+
+  int64_t PopR = N.totalPopPerFiring();
+  int64_t PushR = N.totalPushPerFiring();
+  int64_t PeekR = N.isFilter() ? N.TheFilter->peekRate() : PopR;
+
+  // Mirror buildInstanceCost's SWPNC decision: sequential layout stages
+  // through shared memory when the whole working set fits in 16 KB, and
+  // then the global side streams coalesced.
+  bool Staged = false;
+  if (Layout == LayoutKind::Sequential) {
+    int64_t WorkingSetBytes = (PeekR + PushR) * 4 * Threads;
+    Staged = WorkingSetBytes > 0 && WorkingSetBytes <= Arch.SharedMemPerSM;
+  }
+
+  if (WE.ChannelReads > 0) {
+    MemStream R;
+    R.Count = WE.ChannelReads;
+    R.KeyRate = std::max<int64_t>(PopR, 1);
+    // A thread addresses its peek window (at least its popped tokens);
+    // reads beyond that re-load the same buffer positions.
+    R.Window = std::max<int64_t>({PeekR, PopR, 1});
+    R.Layout = Layout;
+    R.ViaShared = Staged;
+    Inst.Streams.push_back(R);
+  }
+  if (WE.ChannelWrites > 0) {
+    MemStream W;
+    W.Count = WE.ChannelWrites;
+    W.KeyRate = std::max<int64_t>(PushR, 1);
+    W.Window = std::max<int64_t>(PushR, 1);
+    W.Layout = Layout;
+    W.ViaShared = Staged;
+    W.IsWrite = true;
+    Inst.Streams.push_back(W);
+  }
+  return Inst;
+}

@@ -19,6 +19,7 @@
 
 #include "gpusim/GpuArch.h"
 #include "gpusim/KernelTiming.h"
+#include "gpusim/TimingModel.h"
 #include "ir/Analyzer.h"
 #include "ir/StreamGraph.h"
 #include "layout/AccessAnalyzer.h"
@@ -113,6 +114,16 @@ InstanceCost buildInstanceCost(const GpuArch &Arch, const GraphNode &N,
                                const WorkEstimate &WE, int64_t Threads,
                                int RegLimit, LayoutKind Layout,
                                double TxnsPerAccess = -1.0);
+
+/// Builds the full timing-model instance of one GPU instance of \p N:
+/// the analytic cost of buildInstanceCost plus the per-thread memory
+/// streams the cycle simulator replays against the actual buffer
+/// layouts (read stream keyed by the pop rate, write stream by the push
+/// rate; both flagged ViaShared when the SWPNC shared-memory staging
+/// escape applies).
+SimInstance buildSimInstance(const GpuArch &Arch, const GraphNode &N,
+                             const WorkEstimate &WE, int64_t Threads,
+                             int RegLimit, LayoutKind Layout);
 
 } // namespace sgpu
 

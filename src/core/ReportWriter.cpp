@@ -15,6 +15,7 @@ std::string sgpu::reportToJson(const StreamGraph &G,
   W.writeInt("coarsening", R.Coarsening);
   W.writeString("layout", R.Layout == LayoutKind::Shuffled ? "shuffled"
                                                            : "sequential");
+  W.writeString("timing_model", timingModelKindName(R.Timing));
 
   W.beginObject("graph");
   W.writeInt("nodes", G.numNodes());
@@ -80,6 +81,23 @@ std::string sgpu::reportToJson(const StreamGraph &G,
   W.writeInt("buffer_bytes", R.BufferBytes);
   W.writeDouble("pipeline_latency_cycles", R.PipelineLatencyCycles);
   W.writeDouble("tokens_per_kilocycle", R.TokensPerKiloCycle);
+  W.endObject();
+
+  W.beginObject("kernel_sim");
+  W.writeDouble("total_cycles", R.KernelSim.TotalCycles);
+  W.writeDouble("fill_cycles", R.KernelSim.FillCycles);
+  W.writeDouble("transactions", R.KernelSim.Transactions);
+  W.beginArray("per_sm");
+  for (const SmBreakdown &B : R.KernelSim.PerSm) {
+    W.beginObject();
+    W.writeDouble("busy_cycles", B.BusyCycles);
+    W.writeDouble("stall_cycles", B.StallCycles);
+    W.writeDouble("total_cycles", B.TotalCycles);
+    W.writeInt("warp_instrs", B.WarpInstrs);
+    W.writeInt("transactions", B.Transactions);
+    W.endObject();
+  }
+  W.endArray();
   W.endObject();
 
   // Process-wide observability counters accumulated so far (see

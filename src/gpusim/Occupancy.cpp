@@ -10,8 +10,12 @@ using namespace sgpu;
 Occupancy sgpu::computeOccupancy(const GpuArch &Arch, int ThreadsPerBlock,
                                  int RegsPerThread,
                                  int64_t SharedBytesPerBlock) {
-  assert(ThreadsPerBlock > 0 && RegsPerThread > 0 && "bad configuration");
   Occupancy O;
+  // Degenerate launches (no threads, no registers, negative shared
+  // memory) are infeasible, not programmer errors: profiling sweeps
+  // probe arbitrary configurations and expect a graceful answer.
+  if (ThreadsPerBlock <= 0 || RegsPerThread <= 0 || SharedBytesPerBlock < 0)
+    return O;
   if (ThreadsPerBlock > Arch.MaxThreadsPerBlock)
     return O;
   // Register file: one block must fit, or the launch fails outright.

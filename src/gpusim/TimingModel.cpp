@@ -1,0 +1,93 @@
+//===- gpusim/TimingModel.cpp - Kernel timing model interface ----------------===//
+
+#include "gpusim/TimingModel.h"
+
+#include "gpusim/cyclesim/CycleSim.h"
+#include "support/Check.h"
+
+#include <algorithm>
+
+using namespace sgpu;
+
+namespace {
+
+/// The closed-form model of KernelTiming.{h,cpp} behind the interface.
+/// Numbers are identical to the historical free-function pipeline: the
+/// per-SM stream cost is the serial sum of instance cycles, the chip is
+/// bounded by max(slowest SM, bandwidth) plus one launch.
+class AnalyticTimingModel final : public TimingModel {
+public:
+  explicit AnalyticTimingModel(const GpuArch &A) : TimingModel(A) {}
+
+  const char *name() const override { return "analytic"; }
+  TimingModelKind kind() const override { return TimingModelKind::Analytic; }
+
+  double instanceCycles(const SimInstance &Inst) const override {
+    return sgpu::instanceCycles(Arch, Inst.Cost);
+  }
+
+  double instanceTransactions(const SimInstance &Inst) const override {
+    return sgpu::instanceTransactions(Inst.Cost);
+  }
+
+  double profileRunCycles(const SimInstance &Inst,
+                          int64_t Iterations) const override {
+    return static_cast<double>(Arch.KernelLaunchCycles) +
+           static_cast<double>(Iterations) * instanceCycles(Inst);
+  }
+
+  KernelSimResult simulateKernel(const KernelDesc &Desc) const override {
+    KernelSimResult R;
+    R.PerSm.resize(Desc.SmStreams.size());
+    KernelWork Work;
+    for (size_t P = 0; P < Desc.SmStreams.size(); ++P) {
+      double SmCycles = 0.0, SmTxns = 0.0;
+      for (const SmWorkItem &Item : Desc.SmStreams[P]) {
+        const SimInstance &Inst = Desc.Instances[Item.Instance];
+        double Iter = static_cast<double>(Item.Iterations);
+        SmCycles += instanceCycles(Inst) * Iter;
+        SmTxns += instanceTransactions(Inst) * Iter;
+      }
+      R.PerSm[P].TotalCycles = SmCycles;
+      R.PerSm[P].Transactions = static_cast<int64_t>(SmTxns);
+      Work.MaxSmCycles = std::max(Work.MaxSmCycles, SmCycles);
+      Work.TotalTxns += SmTxns;
+    }
+    R.TotalCycles = kernelCycles(Arch, Work);
+    R.Transactions = Work.TotalTxns;
+    R.FillCycles = static_cast<double>(Desc.StageSpan) * R.TotalCycles;
+    return R;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<TimingModel> sgpu::createTimingModel(TimingModelKind Kind,
+                                                     const GpuArch &Arch) {
+  switch (Kind) {
+  case TimingModelKind::Analytic:
+    return std::make_unique<AnalyticTimingModel>(Arch);
+  case TimingModelKind::Cycle:
+    return std::make_unique<CycleTimingModel>(Arch);
+  }
+  SGPU_UNREACHABLE("unknown timing model kind");
+}
+
+const char *sgpu::timingModelKindName(TimingModelKind Kind) {
+  switch (Kind) {
+  case TimingModelKind::Analytic:
+    return "analytic";
+  case TimingModelKind::Cycle:
+    return "cycle";
+  }
+  SGPU_UNREACHABLE("unknown timing model kind");
+}
+
+std::optional<TimingModelKind>
+sgpu::parseTimingModelKind(std::string_view Name) {
+  if (Name == "analytic")
+    return TimingModelKind::Analytic;
+  if (Name == "cycle")
+    return TimingModelKind::Cycle;
+  return std::nullopt;
+}

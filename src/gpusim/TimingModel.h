@@ -1,0 +1,153 @@
+//===- gpusim/TimingModel.h - Kernel timing model interface -----*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The timing-model seam of the simulator: everything that turns filter
+/// instances into GPU cycles goes through the `TimingModel` interface, so
+/// the profiling sweep (Fig. 6), the configuration selection (Alg. 7) and
+/// the kernel-invocation timing of `core/Compiler` can run against either
+///
+///   analytic  the three-term closed-form model of KernelTiming.{h,cpp}
+///             (fast, the historical default), or
+///   cycle     the event-driven warp-level simulator of gpusim/cyclesim/
+///             (cycle-approximate, derives memory transactions from the
+///             actual Eq. 9-11 buffer addresses).
+///
+/// A `SimInstance` carries what both models need about one GPU instance:
+/// the aggregate op counts of the analytic model (`InstanceCost`) plus
+/// the per-thread memory streams the cycle simulator replays against the
+/// real buffer layouts. A `KernelDesc` assembles instances into the
+/// per-SM serial streams of one kernel invocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_GPUSIM_TIMINGMODEL_H
+#define SGPU_GPUSIM_TIMINGMODEL_H
+
+#include "gpusim/KernelTiming.h"
+#include "layout/BufferLayout.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace sgpu {
+
+/// Which implementation a `createTimingModel` call returns.
+enum class TimingModelKind : uint8_t { Analytic, Cycle };
+
+/// One ordered channel-access stream of an instance: every thread
+/// performs `Count` accesses per firing, thread Tid's n-th access
+/// touching buffer position layoutPosition(Layout, naturalIndex(Tid,
+/// n % Window, KeyRate), KeyRate). The window is the span of distinct
+/// tokens a thread actually addresses per firing: re-reads of a popped
+/// token wrap around (they hit the same buffer position, exactly as the
+/// generated code re-loads it), while a peeking filter's window exceeds
+/// `KeyRate` and slides into the neighbour thread's region.
+struct MemStream {
+  int64_t Count = 0;   ///< Accesses per thread per firing.
+  int64_t KeyRate = 1; ///< Rate the buffer layout is keyed with.
+  /// Distinct tokens per thread per firing (max(peek, pop) for reads,
+  /// push for writes); 0 defaults to Count.
+  int64_t Window = 0;
+  LayoutKind Layout = LayoutKind::Shuffled;
+  /// Staged through shared memory (the SWPNC escape hatch): the global
+  /// side coalesces; the bank-conflict replays are already in
+  /// InstanceCost::SharedAccesses.
+  bool ViaShared = false;
+  bool IsWrite = false;
+};
+
+/// Everything a timing model needs about one GPU instance (one node
+/// firing `Cost.Threads` base firings).
+struct SimInstance {
+  InstanceCost Cost;              ///< Aggregate per-thread op counts.
+  std::vector<MemStream> Streams; ///< Channel traffic, reads then writes.
+  int Node = -1;                  ///< Graph node id, for attribution.
+};
+
+/// One entry of an SM's serial instance stream.
+struct SmWorkItem {
+  int Instance = 0;       ///< Index into KernelDesc::Instances.
+  int64_t Iterations = 1; ///< Back-to-back repeats (SWPn coarsening).
+};
+
+/// One kernel invocation: per-SM serial streams over a shared DRAM bus.
+struct KernelDesc {
+  std::vector<SimInstance> Instances;
+  std::vector<std::vector<SmWorkItem>> SmStreams;
+  /// SWP stage span of the schedule; the pipeline needs this many extra
+  /// invocations to fill (prologue) and drain (epilogue), surfaced as
+  /// KernelSimResult::FillCycles.
+  int64_t StageSpan = 0;
+};
+
+/// Per-SM cycle breakdown of one simulated invocation.
+struct SmBreakdown {
+  double BusyCycles = 0.0;  ///< Issue-port occupancy.
+  double StallCycles = 0.0; ///< Port idle with work pending (mem stalls).
+  double TotalCycles = 0.0; ///< Start of the stream to last drain.
+  int64_t WarpInstrs = 0;   ///< Warp instructions issued.
+  int64_t Transactions = 0; ///< Device-memory transactions.
+};
+
+/// Chip-level outcome of one simulated kernel invocation.
+struct KernelSimResult {
+  double TotalCycles = 0.0; ///< One invocation, launch overhead included.
+  double FillCycles = 0.0;  ///< SWP prologue/epilogue drain (per II).
+  double Transactions = 0.0;
+  std::vector<SmBreakdown> PerSm;
+};
+
+/// The timing-model interface. Implementations are pure functions of
+/// their inputs (bit-deterministic run to run and across worker counts);
+/// the profiling sweep calls them concurrently from many threads.
+class TimingModel {
+public:
+  virtual ~TimingModel() = default;
+
+  virtual const char *name() const = 0;
+  virtual TimingModelKind kind() const = 0;
+
+  /// Cycles for one execution of \p Inst on one SM with no co-resident
+  /// work (the SWP kernel runs its instances back to back on each SM).
+  virtual double instanceCycles(const SimInstance &Inst) const = 0;
+
+  /// Device-memory transactions of one execution of \p Inst.
+  virtual double instanceTransactions(const SimInstance &Inst) const = 0;
+
+  /// Cycles of one Fig. 6 profile run: \p Iterations back-to-back
+  /// executions of \p Inst on one otherwise idle SM, plus one kernel
+  /// launch.
+  virtual double profileRunCycles(const SimInstance &Inst,
+                                  int64_t Iterations) const = 0;
+
+  /// Times one whole kernel invocation over \p Desc's per-SM streams.
+  virtual KernelSimResult simulateKernel(const KernelDesc &Desc) const = 0;
+
+  const GpuArch &arch() const { return Arch; }
+
+protected:
+  explicit TimingModel(const GpuArch &A) : Arch(A) {}
+  GpuArch Arch;
+};
+
+/// Instantiates the model of the given kind for \p Arch.
+std::unique_ptr<TimingModel> createTimingModel(TimingModelKind Kind,
+                                               const GpuArch &Arch);
+
+/// "analytic" / "cycle".
+const char *timingModelKindName(TimingModelKind Kind);
+
+/// Inverse of timingModelKindName; nullopt for unknown names.
+std::optional<TimingModelKind> parseTimingModelKind(std::string_view Name);
+
+} // namespace sgpu
+
+#endif // SGPU_GPUSIM_TIMINGMODEL_H

@@ -1,0 +1,50 @@
+//===- gpusim/cyclesim/Coalescer.cpp - Warp-level coalescing -----------------===//
+
+#include "gpusim/cyclesim/Coalescer.h"
+
+#include "layout/AccessAnalyzer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace sgpu;
+
+int64_t sgpu::warpAccessTransactions(const MemStream &S, int64_t BaseThread,
+                                     int64_t Lanes, int64_t N) {
+  assert(Lanes > 0 && N >= 0 && S.KeyRate > 0 && "bad access");
+  // Shared-memory staging: the global side streams through coalesced
+  // half-warp transactions regardless of the logical channel pattern.
+  if (S.ViaShared)
+    return (Lanes + HalfWarpSize - 1) / HalfWarpSize;
+
+  // Re-reads wrap to the same token of the thread's window; only a
+  // window wider than the key rate (peeking) leaves the region.
+  int64_t Window = S.Window > 0 ? S.Window : std::max<int64_t>(S.Count, 1);
+  int64_t Offset = N % Window;
+
+  int64_t Txns = 0;
+  std::vector<int64_t> Addrs;
+  Addrs.reserve(HalfWarpSize);
+  for (int64_t HwBase = 0; HwBase < Lanes; HwBase += HalfWarpSize) {
+    int64_t HwLanes = std::min<int64_t>(HalfWarpSize, Lanes - HwBase);
+    Addrs.clear();
+    for (int64_t L = 0; L < HwLanes; ++L) {
+      int64_t Q = naturalIndex(BaseThread + HwBase + L, Offset, S.KeyRate);
+      Addrs.push_back(layoutPosition(S.Layout, Q, S.KeyRate));
+    }
+    Txns += countHalfWarpTransactions(Addrs);
+  }
+  return Txns;
+}
+
+int64_t sgpu::streamTransactions(const MemStream &S, int64_t Threads) {
+  assert(Threads > 0 && "stream with no threads");
+  int64_t Txns = 0;
+  for (int64_t Base = 0; Base < Threads; Base += HalfWarpSize) {
+    int64_t Lanes = std::min<int64_t>(HalfWarpSize, Threads - Base);
+    for (int64_t N = 0; N < S.Count; ++N)
+      Txns += warpAccessTransactions(S, Base, Lanes, N);
+  }
+  return Txns;
+}

@@ -1,0 +1,43 @@
+//===- gpusim/cyclesim/Coalescer.h - Warp-level coalescing ------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cycle simulator's memory stage front end: derives the device
+/// transaction count of each warp-level channel access from the *actual*
+/// buffer addresses the generated code would touch — thread Tid's n-th
+/// access sits at layoutPosition(Layout, naturalIndex(Tid, n, KeyRate),
+/// KeyRate), the shuffled Eq. 9-11 layout or the natural sequential one —
+/// and applies the G80 half-warp coalescing rule through the same
+/// `countHalfWarpTransactions` the static layout analysis uses. By
+/// construction the simulator and `layout/AccessAnalyzer` agree exactly
+/// on whole strided patterns (asserted by tests/cyclesim_test.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_GPUSIM_CYCLESIM_COALESCER_H
+#define SGPU_GPUSIM_CYCLESIM_COALESCER_H
+
+#include "gpusim/TimingModel.h"
+
+#include <cstdint>
+
+namespace sgpu {
+
+/// Device transactions of the \p N-th simultaneous access of \p S by the
+/// warp whose first thread is \p BaseThread with \p Lanes active lanes
+/// (both half-warps coalesce independently, per Section II-A).
+int64_t warpAccessTransactions(const MemStream &S, int64_t BaseThread,
+                               int64_t Lanes, int64_t N);
+
+/// Total device transactions of \p S for one firing of a block of
+/// \p Threads threads. Equals analyzeStridedAccess(...).Transactions for
+/// plain strided patterns (Count == KeyRate, not staged).
+int64_t streamTransactions(const MemStream &S, int64_t Threads);
+
+} // namespace sgpu
+
+#endif // SGPU_GPUSIM_CYCLESIM_COALESCER_H

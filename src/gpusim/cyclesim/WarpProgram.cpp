@@ -1,0 +1,102 @@
+//===- gpusim/cyclesim/WarpProgram.cpp - Warp instruction traces -------------===//
+
+#include "gpusim/cyclesim/WarpProgram.h"
+
+#include "gpusim/cyclesim/Coalescer.h"
+#include "layout/AccessAnalyzer.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sgpu;
+
+double WarpProgram::issueCyclesPerFiring() const {
+  double C = 0.0;
+  for (const WarpOp &Op : Ops)
+    C += Op.IssueCycles;
+  return C;
+}
+
+int64_t WarpProgram::transactionsPerFiring() const {
+  int64_t T = 0;
+  for (const WarpOp &Op : Ops)
+    T += Op.Transactions;
+  return T;
+}
+
+std::vector<WarpProgram> sgpu::buildWarpPrograms(const GpuArch &Arch,
+                                                 const SimInstance &Inst) {
+  const InstanceCost &Cost = Inst.Cost;
+  assert(Cost.Threads > 0 && "instance with no threads");
+  int64_t NumWarps =
+      (Cost.Threads + Arch.WarpSize - 1) / Arch.WarpSize;
+  int MlpCap = std::max(1, static_cast<int>(Arch.MemoryLevelParallelism));
+
+  std::vector<WarpProgram> Progs(NumWarps);
+  for (int64_t W = 0; W < NumWarps; ++W) {
+    int64_t Base = W * Arch.WarpSize;
+    int64_t Lanes = std::min<int64_t>(Arch.WarpSize, Cost.Threads - Base);
+    // Per-warp coalesced transaction count of thread-private (spill)
+    // traffic: contiguous per lane, so one transaction per half-warp.
+    int64_t PrivateTxns = (Lanes + HalfWarpSize - 1) / HalfWarpSize;
+
+    std::vector<WarpOp> Loads, Stores;
+    for (const MemStream &S : Inst.Streams) {
+      for (int64_t N = 0; N < S.Count; ++N) {
+        WarpOp Op;
+        Op.K = S.IsWrite ? WarpOp::Kind::Store : WarpOp::Kind::Load;
+        Op.IssueCycles = Arch.CyclesPerWarpInstr;
+        Op.Transactions = warpAccessTransactions(S, Base, Lanes, N);
+        (S.IsWrite ? Stores : Loads).push_back(Op);
+      }
+    }
+    // Spill traffic: alternating load/store, coalesced per half-warp.
+    for (int64_t I = 0; I < Cost.SpillAccesses; ++I) {
+      WarpOp Op;
+      Op.K = (I % 2 == 0) ? WarpOp::Kind::Load : WarpOp::Kind::Store;
+      Op.IssueCycles = Arch.CyclesPerWarpInstr;
+      Op.Transactions = PrivateTxns;
+      (Op.K == WarpOp::Kind::Load ? Loads : Stores).push_back(Op);
+    }
+
+    // Compute issue budget for the firing: ALU + SFU + shared accesses
+    // with their conflict replays (the same terms C_warp charges).
+    double ComputeCycles =
+        Arch.CyclesPerWarpInstr *
+            (static_cast<double>(Cost.ComputeOps) +
+             static_cast<double>(Cost.SharedAccesses) *
+                 Cost.SharedConflictDegree) +
+        Arch.SfuCyclesPerWarpInstr * static_cast<double>(Cost.SfuOps);
+
+    // Interleave: loads in scoreboard-sized groups, one compute chunk
+    // after each group consuming its values, stores at the end.
+    int64_t NumGroups =
+        Loads.empty() ? 0
+                      : (static_cast<int64_t>(Loads.size()) + MlpCap - 1) /
+                            MlpCap;
+    int64_t NumChunks = std::max<int64_t>(NumGroups, 1);
+    double ChunkCycles = ComputeCycles / static_cast<double>(NumChunks);
+
+    WarpProgram &P = Progs[W];
+    size_t Next = 0;
+    for (int64_t G = 0; G < NumGroups; ++G) {
+      for (int M = 0; M < MlpCap && Next < Loads.size(); ++M)
+        P.Ops.push_back(Loads[Next++]);
+      if (ChunkCycles > 0.0) {
+        WarpOp C;
+        C.K = WarpOp::Kind::Compute;
+        C.IssueCycles = ChunkCycles;
+        P.Ops.push_back(C);
+      }
+    }
+    if (NumGroups == 0 && ComputeCycles > 0.0) {
+      WarpOp C;
+      C.K = WarpOp::Kind::Compute;
+      C.IssueCycles = ComputeCycles;
+      P.Ops.push_back(C);
+    }
+    for (const WarpOp &S : Stores)
+      P.Ops.push_back(S);
+  }
+  return Progs;
+}

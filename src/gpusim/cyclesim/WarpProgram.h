@@ -1,0 +1,64 @@
+//===- gpusim/cyclesim/WarpProgram.h - Warp instruction traces --*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthesizes the per-warp instruction trace the event engine executes
+/// for one firing of a `SimInstance`. The trace reproduces the shape a
+/// filter kernel compiles to:
+///
+///   - channel reads, issued in groups of up to MemoryLevelParallelism
+///     outstanding loads (nvcc hoists loads; the scoreboard caps them);
+///   - compute, split into chunks interleaved between the load groups so
+///     dependent arithmetic waits on the scoreboard — shared-memory
+///     accesses and their bank-conflict replays issue here;
+///   - spill traffic (register pressure beyond the compile limit),
+///     alternating coalesced load/store pairs;
+///   - channel writes last, fire-and-forget but draining the bus.
+///
+/// Load/store transaction counts come from the Coalescer over the actual
+/// buffer addresses; a warp covers both of its half-warps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_GPUSIM_CYCLESIM_WARPPROGRAM_H
+#define SGPU_GPUSIM_CYCLESIM_WARPPROGRAM_H
+
+#include "gpusim/TimingModel.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sgpu {
+
+/// One warp instruction of the trace.
+struct WarpOp {
+  enum class Kind : uint8_t {
+    Compute, ///< Occupies the issue port; consumes outstanding loads.
+    Load,    ///< Issues transactions; tracked by the scoreboard.
+    Store    ///< Issues transactions; completion only gates the drain.
+  };
+  Kind K = Kind::Compute;
+  double IssueCycles = 0.0;  ///< Issue-port occupancy.
+  int64_t Transactions = 0;  ///< Device transactions (memory ops only).
+};
+
+/// The trace of one warp for ONE firing; iterations replay it.
+struct WarpProgram {
+  std::vector<WarpOp> Ops;
+
+  double issueCyclesPerFiring() const;
+  int64_t transactionsPerFiring() const;
+};
+
+/// Builds the traces of every warp of \p Inst (warp w covers threads
+/// [w*WarpSize, ...)); deterministic in its inputs.
+std::vector<WarpProgram> buildWarpPrograms(const GpuArch &Arch,
+                                           const SimInstance &Inst);
+
+} // namespace sgpu
+
+#endif // SGPU_GPUSIM_CYCLESIM_WARPPROGRAM_H

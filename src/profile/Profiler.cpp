@@ -25,7 +25,8 @@ double ProfileTable::at(int Node, int RegIdx, int ThreadIdx) const {
 
 ProfileTable sgpu::profileGraph(const GpuArch &Arch, const StreamGraph &G,
                                 LayoutKind Layout, int Jobs,
-                                int64_t NumFirings) {
+                                int64_t NumFirings,
+                                const TimingModel *Model) {
   StageTimer Timer("profile.sweep");
   metricCounter("profile.sweeps").add(1);
   metricCounter("profile.cells")
@@ -54,17 +55,23 @@ ProfileTable sgpu::profileGraph(const GpuArch &Arch, const StreamGraph &G,
           PT.at(N.Id, R, T) = ProfileTable::Infeasible;
           continue;
         }
-        InstanceCost Cost =
-            buildInstanceCost(Arch, N, WE, Threads, RegLimit, Layout);
-        double PerFiring = instanceCycles(Arch, Cost);
         // Ceiling division: when the firing count is not a multiple of
         // the thread count, the last partial wave still runs (and must
         // be costed) — every thread count sees the same total work.
         int64_t Iterations =
             (PT.numFirings() + Threads - 1) / Threads;
-        PT.at(N.Id, R, T) =
-            static_cast<double>(Arch.KernelLaunchCycles) +
-            static_cast<double>(Iterations) * PerFiring;
+        if (Model) {
+          SimInstance Inst =
+              buildSimInstance(Arch, N, WE, Threads, RegLimit, Layout);
+          PT.at(N.Id, R, T) = Model->profileRunCycles(Inst, Iterations);
+        } else {
+          InstanceCost Cost =
+              buildInstanceCost(Arch, N, WE, Threads, RegLimit, Layout);
+          double PerFiring = instanceCycles(Arch, Cost);
+          PT.at(N.Id, R, T) =
+              static_cast<double>(Arch.KernelLaunchCycles) +
+              static_cast<double>(Iterations) * PerFiring;
+        }
       }
     }
   });

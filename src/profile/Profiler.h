@@ -58,6 +58,8 @@ private:
   int64_t NumFirings = 6144;
 };
 
+class TimingModel;
+
 /// Runs the Fig. 6 sweep for every node of \p G on \p Arch under
 /// \p Layout (profiling is layout-aware: the SWPNC comparison profiles
 /// without coalescing, Section V-B). Every [node][regLimit][threads]
@@ -66,10 +68,12 @@ private:
 /// identical at any worker count). \p NumFirings overrides the default
 /// per-run firing count when positive — profile runs whose firings are
 /// not a multiple of the thread count still cost their last partial
-/// wave (ceiling division).
+/// wave (ceiling division). \p Model selects the timing model each cell
+/// is costed with; null keeps the historical analytic formula.
 ProfileTable profileGraph(const GpuArch &Arch, const StreamGraph &G,
                           LayoutKind Layout, int Jobs = 0,
-                          int64_t NumFirings = 0);
+                          int64_t NumFirings = 0,
+                          const TimingModel *Model = nullptr);
 
 } // namespace sgpu
 

@@ -1,0 +1,238 @@
+//===- tests/cyclesim_crossval_test.cpp - Cycle vs analytic models -----------===//
+//
+// Cross-validation of the warp-level cycle simulator against the
+// analytic model on the eight Table I benchmarks, per the paper's
+// claims rather than exact numbers:
+//
+//   - the strategy ordering (SWP vs SWPNC vs Serial) that the analytic
+//     model establishes with a clear margin is preserved by the cycle
+//     model — near-ties are skipped, the models may legitimately rank
+//     a 5% gap either way;
+//   - the configuration Algorithm 7 picks from the analytic profile
+//     table remains near-optimal under the cycle-model profile table
+//     (one-directional: the cycle model tolerates register spills the
+//     analytic model penalizes, so its own pick can differ);
+//   - full cycle-model compiles are bit-deterministic run to run and
+//     across scheduler/profiler worker counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Registry.h"
+#include "core/Compiler.h"
+#include "profile/ConfigSelection.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+CompileOptions fastOptions(Strategy S, TimingModelKind Timing) {
+  CompileOptions O;
+  O.Strat = S;
+  O.Timing = Timing;
+  O.Coarsening = 8;
+  // The heuristic scheduler is deterministic and orders the strategies
+  // the same way the ILP does; the exact solver's budget would dominate
+  // this suite's runtime 48 times over.
+  O.Sched.UseIlp = false;
+  return O;
+}
+
+std::optional<CompileReport> compileBench(const BenchmarkSpec &Spec,
+                                          Strategy S,
+                                          TimingModelKind Timing) {
+  StreamGraph G = flatten(*Spec.Build());
+  return compileForGpu(G, fastOptions(S, Timing));
+}
+
+} // namespace
+
+TEST(CycleCrossVal, PreservesLayoutOrderingAtMatchedSchedules) {
+  // The SWP vs SWPNC distinction as a pure timing-model comparison:
+  // take the analytic SWP compile and time the *same* schedule and
+  // configuration under both buffer layouts (shuffled Eq. 9-11 vs
+  // natural sequential, with its shared-memory staging escape where the
+  // working set fits) with both models.
+  //
+  // The two models only make the same claim when they agree on the
+  // transaction counts. They deliberately do not for peeking filters:
+  // the closed form prices every shuffled access at 1/16 transactions,
+  // but a sliding window's n-th peek lands one word off the 16-word
+  // alignment G80 requires, and the cycle simulator — deriving counts
+  // from the actual addresses — serializes it, which can legitimately
+  // flip DCT toward the staged sequential layout. So the ordering
+  // assertion is gated on transaction agreement, and the divergence is
+  // pinned down separately: over real addresses the simulator may only
+  // ever find MORE transactions than the analytic coalescing
+  // assumption, never fewer.
+  GpuArch Arch = GpuArch::geForce8800GTS512();
+  auto Analytic = createTimingModel(TimingModelKind::Analytic, Arch);
+  auto Cycle = createTimingModel(TimingModelKind::Cycle, Arch);
+  int Gated = 0;
+  for (const BenchmarkSpec &Spec : allBenchmarks()) {
+    auto Swp = compileBench(Spec, Strategy::Swp, TimingModelKind::Analytic);
+    ASSERT_TRUE(Swp) << Spec.Name;
+
+    StreamGraph G = flatten(*Spec.Build());
+    KernelDesc Shuf =
+        buildSwpKernelDesc(Arch, G, Swp->Config, Swp->Schedule,
+                           LayoutKind::Shuffled, Swp->Coarsening);
+    KernelDesc Seq =
+        buildSwpKernelDesc(Arch, G, Swp->Config, Swp->Schedule,
+                           LayoutKind::Sequential, Swp->Coarsening);
+    KernelSimResult AnaShuf = Analytic->simulateKernel(Shuf);
+    KernelSimResult AnaSeq = Analytic->simulateKernel(Seq);
+    KernelSimResult CycShuf = Cycle->simulateKernel(Shuf);
+    KernelSimResult CycSeq = Cycle->simulateKernel(Seq);
+
+    // Address-derived counts never beat the optimistic closed form.
+    EXPECT_GE(CycShuf.Transactions, AnaShuf.Transactions * 0.999)
+        << Spec.Name;
+    EXPECT_GE(CycSeq.Transactions, AnaSeq.Transactions * 0.999)
+        << Spec.Name;
+
+    bool TxAgree =
+        CycShuf.Transactions <= AnaShuf.Transactions * 1.05 &&
+        CycSeq.Transactions <= AnaSeq.Transactions * 1.05;
+    if (!TxAgree) {
+      ++Gated; // Peek misalignment: the models measure different kernels.
+      continue;
+    }
+    if (AnaSeq.TotalCycles > AnaShuf.TotalCycles * 1.15) {
+      EXPECT_LT(CycShuf.TotalCycles, CycSeq.TotalCycles * 1.05)
+          << Spec.Name << ": analytic prefers shuffled ("
+          << AnaShuf.TotalCycles << " vs " << AnaSeq.TotalCycles
+          << " cycles) but the cycle model inverts it ("
+          << CycShuf.TotalCycles << " vs " << CycSeq.TotalCycles << ")";
+    } else if (AnaShuf.TotalCycles > AnaSeq.TotalCycles * 1.15) {
+      EXPECT_LT(CycSeq.TotalCycles, CycShuf.TotalCycles * 1.05)
+          << Spec.Name << ": analytic prefers sequential ("
+          << AnaSeq.TotalCycles << " vs " << AnaShuf.TotalCycles
+          << " cycles) but the cycle model inverts it ("
+          << CycSeq.TotalCycles << " vs " << CycShuf.TotalCycles << ")";
+    }
+  }
+  // The gate must not quietly swallow the whole suite: most of Table I
+  // is peek-free and must carry the strict ordering claim.
+  EXPECT_LE(Gated, 3) << "transaction-agreement gate excluded " << Gated
+                      << " of 8 benchmarks";
+}
+
+TEST(CycleCrossVal, PreservesSwpVsSerialOrdering) {
+  // Full compiles under each model: when the analytic trajectory says
+  // software pipelining beats the serial Single Appearance Schedule
+  // with a clear margin, the cycle trajectory must agree. (SWPNC full
+  // compiles are excluded: the cycle model's profile table legitimately
+  // steers them to low-thread staged configurations the analytic table
+  // rejects, so the two compilers build different programs.)
+  for (const BenchmarkSpec &Spec : allBenchmarks()) {
+    std::array<double, 2> Analytic{}, Cycle{};
+    const Strategy Strats[2] = {Strategy::Swp, Strategy::Serial};
+    for (int S = 0; S < 2; ++S) {
+      auto RA = compileBench(Spec, Strats[S], TimingModelKind::Analytic);
+      auto RC = compileBench(Spec, Strats[S], TimingModelKind::Cycle);
+      ASSERT_TRUE(RA && RC)
+          << Spec.Name << " " << strategyName(Strats[S]);
+      Analytic[S] = RA->GpuCyclesPerBaseIteration;
+      Cycle[S] = RC->GpuCyclesPerBaseIteration;
+      EXPECT_GT(Analytic[S], 0.0) << Spec.Name;
+      EXPECT_GT(Cycle[S], 0.0) << Spec.Name;
+    }
+    if (Analytic[1] > Analytic[0] * 1.15) {
+      EXPECT_LT(Cycle[0], Cycle[1] * 1.05)
+          << Spec.Name << ": analytic prefers SWP (" << Analytic[0]
+          << " vs " << Analytic[1]
+          << " cycles/iter) but the cycle model inverts it (" << Cycle[0]
+          << " vs " << Cycle[1] << ")";
+    } else if (Analytic[0] > Analytic[1] * 1.15) {
+      EXPECT_LT(Cycle[1], Cycle[0] * 1.05)
+          << Spec.Name << ": analytic prefers Serial (" << Analytic[1]
+          << " vs " << Analytic[0]
+          << " cycles/iter) but the cycle model inverts it (" << Cycle[1]
+          << " vs " << Cycle[0] << ")";
+    }
+  }
+}
+
+TEST(CycleCrossVal, AnalyticConfigStaysNearOptimalUnderCycleProfile) {
+  // One-directional config-ranking check: re-rank Algorithm 7's
+  // analytic pick inside the cycle-model profile table and require it
+  // within 2x of the cycle model's own best work-scaled II. (The cycle
+  // model amortizes memory latency over back-to-back firings, so it
+  // tolerates spill-heavy configurations the analytic model rejects;
+  // its own pick evaluated analytically can be arbitrarily bad, which
+  // is why the reverse direction is not asserted.)
+  GpuArch Arch = GpuArch::geForce8800GTS512();
+  auto CycleModel = createTimingModel(TimingModelKind::Cycle, Arch);
+  for (const BenchmarkSpec &Spec : allBenchmarks()) {
+    StreamGraph G = flatten(*Spec.Build());
+    std::optional<SteadyState> SS = SteadyState::compute(G);
+    ASSERT_TRUE(SS) << Spec.Name;
+
+    ProfileTable PA = profileGraph(Arch, G, LayoutKind::Shuffled);
+    ProfileTable PC = profileGraph(Arch, G, LayoutKind::Shuffled, 0, 0,
+                                   CycleModel.get());
+    std::optional<ExecutionConfig> CfgA = selectExecutionConfig(*SS, PA);
+    std::vector<ConfigCandidate> CandsC;
+    std::optional<ExecutionConfig> CfgC =
+        selectExecutionConfig(*SS, PC, &CandsC);
+    ASSERT_TRUE(CfgA && CfgC) << Spec.Name;
+
+    double BestC = 0.0;
+    double AnalyticPickC = -1.0;
+    bool First = true;
+    for (const ConfigCandidate &C : CandsC) {
+      if (!C.Feasible)
+        continue;
+      if (First || C.WorkScaledII < BestC)
+        BestC = C.WorkScaledII;
+      First = false;
+      if (C.RegLimit == CfgA->RegLimit &&
+          C.NumThreads == CfgA->NumThreads)
+        AnalyticPickC = C.WorkScaledII;
+    }
+    ASSERT_FALSE(First) << Spec.Name << ": no feasible cycle candidate";
+    ASSERT_GE(AnalyticPickC, 0.0)
+        << Spec.Name << ": analytic pick (" << CfgA->RegLimit << " regs, "
+        << CfgA->NumThreads << " threads) infeasible under cycle profile";
+    EXPECT_LE(AnalyticPickC, 2.0 * BestC)
+        << Spec.Name << ": analytic pick ranks " << AnalyticPickC
+        << " under the cycle table, best is " << BestC;
+  }
+}
+
+TEST(CycleCrossVal, CycleCompileIsBitDeterministic) {
+  // Same compile, three times, across worker counts: every reported
+  // number must be bit-identical (the acceptance bar for
+  // `sgpu-compile --timing-model=cycle`).
+  for (const char *Name : {"FFT", "DCT"}) {
+    const BenchmarkSpec *Spec = findBenchmark(Name);
+    ASSERT_NE(Spec, nullptr);
+    StreamGraph G = flatten(*Spec->Build());
+    CompileOptions O = fastOptions(Strategy::Swp, TimingModelKind::Cycle);
+
+    O.Sched.NumWorkers = 1;
+    auto First = compileForGpu(G, O);
+    ASSERT_TRUE(First) << Name;
+    for (int Workers : {1, 4}) {
+      O.Sched.NumWorkers = Workers;
+      auto R = compileForGpu(G, O);
+      ASSERT_TRUE(R) << Name << " workers=" << Workers;
+      EXPECT_EQ(R->Config.RegLimit, First->Config.RegLimit);
+      EXPECT_EQ(R->Config.NumThreads, First->Config.NumThreads);
+      EXPECT_EQ(R->Schedule.II, First->Schedule.II);
+      EXPECT_EQ(R->GpuCyclesPerBaseIteration,
+                First->GpuCyclesPerBaseIteration);
+      EXPECT_EQ(R->Speedup, First->Speedup);
+      EXPECT_EQ(R->KernelSim.TotalCycles, First->KernelSim.TotalCycles);
+      EXPECT_EQ(R->KernelSim.Transactions, First->KernelSim.Transactions);
+      EXPECT_EQ(R->KernelSim.FillCycles, First->KernelSim.FillCycles);
+      EXPECT_EQ(R->PipelineLatencyCycles, First->PipelineLatencyCycles);
+    }
+  }
+}

@@ -67,6 +67,55 @@ TEST(Occupancy, OversizedBlockRejected) {
   EXPECT_FALSE(computeOccupancy(Arch, 1024, 8, 0).Feasible);
 }
 
+TEST(Occupancy, DegenerateConfigsAreInfeasibleNotFatal) {
+  // Profiling sweeps probe arbitrary configurations; non-positive
+  // threads or registers must come back infeasible, not assert.
+  EXPECT_FALSE(computeOccupancy(Arch, 0, 16, 0).Feasible);
+  EXPECT_FALSE(computeOccupancy(Arch, -128, 16, 0).Feasible);
+  EXPECT_FALSE(computeOccupancy(Arch, 256, 0, 0).Feasible);
+  EXPECT_FALSE(computeOccupancy(Arch, 256, -8, 0).Feasible);
+  EXPECT_FALSE(computeOccupancy(Arch, 256, 16, -1).Feasible);
+  Occupancy O = computeOccupancy(Arch, 0, 0, 0);
+  EXPECT_EQ(O.BlocksPerSM, 0);
+  EXPECT_EQ(O.ThreadsPerSM, 0);
+}
+
+TEST(Occupancy, RegisterLimitRounding) {
+  // 21 regs x 384 threads = 8064 <= 8192: exactly one block fits; the
+  // leftover 128 registers must not round up to a second block.
+  Occupancy One = computeOccupancy(Arch, 384, 21, 0);
+  EXPECT_TRUE(One.Feasible);
+  EXPECT_EQ(One.BlocksPerSM, 1);
+  // 21 regs x 128 threads = 2688: 8192/2688 rounds DOWN to 3 blocks.
+  Occupancy Three = computeOccupancy(Arch, 128, 21, 0);
+  EXPECT_EQ(Three.BlocksPerSM, 3);
+  EXPECT_EQ(Three.ThreadsPerSM, 384);
+  // One register over budget at full width fails outright.
+  EXPECT_FALSE(computeOccupancy(Arch, 512, 17, 0).Feasible);
+}
+
+TEST(Occupancy, SharedMemoryGranularity) {
+  // A block using the whole 16 KB still launches (boundary inclusive).
+  Occupancy Whole = computeOccupancy(Arch, 64, 10, 16384);
+  EXPECT_TRUE(Whole.Feasible);
+  EXPECT_EQ(Whole.BlocksPerSM, 1);
+  EXPECT_FALSE(computeOccupancy(Arch, 64, 10, 16385).Feasible);
+  // 16384/5460 = 3.0007...: must truncate to 3 blocks, not round to 4.
+  EXPECT_EQ(computeOccupancy(Arch, 64, 10, 5460).BlocksPerSM, 3);
+}
+
+TEST(Occupancy, PartialWarpRoundsUp) {
+  // 20-thread blocks: 768/20 = 38 blocks by threads, capped at 8 ->
+  // 160 threads = 5 full warps exactly; 40-thread blocks -> 320
+  // threads = 10 warps; 48-thread blocks -> 384 threads = 12 warps.
+  EXPECT_EQ(computeOccupancy(Arch, 20, 10, 0).WarpsPerSM, 5);
+  EXPECT_EQ(computeOccupancy(Arch, 40, 10, 0).WarpsPerSM, 10);
+  // A partial warp still occupies a scheduling slot: 24 threads x 8
+  // blocks = 192 threads = 6 warps exactly, but 25 x 8 = 200 -> 7.
+  EXPECT_EQ(computeOccupancy(Arch, 24, 10, 0).WarpsPerSM, 6);
+  EXPECT_EQ(computeOccupancy(Arch, 25, 10, 0).WarpsPerSM, 7);
+}
+
 TEST(KernelTiming, MoreComputeTakesLonger) {
   InstanceCost A = baseCost(), B = baseCost();
   B.ComputeOps *= 4;

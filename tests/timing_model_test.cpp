@@ -1,0 +1,122 @@
+//===- tests/timing_model_test.cpp - TimingModel interface tests -------------===//
+//
+// The analytic implementation behind the TimingModel seam must reproduce
+// the KernelTiming free functions exactly — ExecutionModel, Profiler and
+// Compiler historically called them directly, and the baseline numbers
+// must not move when the calls route through the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/TimingModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace sgpu;
+
+namespace {
+
+const GpuArch Arch = GpuArch::geForce8800GTS512();
+
+SimInstance makeInstance(int64_t Threads, int64_t ComputeOps,
+                         int64_t Reads, int64_t Writes) {
+  SimInstance Inst;
+  Inst.Cost.Threads = Threads;
+  Inst.Cost.ComputeOps = ComputeOps;
+  Inst.Cost.GlobalAccesses = Reads + Writes;
+  Inst.Cost.TxnsPerAccess = 1.0 / 16.0;
+  if (Reads > 0) {
+    MemStream R;
+    R.Count = Reads;
+    R.KeyRate = Reads;
+    Inst.Streams.push_back(R);
+  }
+  if (Writes > 0) {
+    MemStream W;
+    W.Count = Writes;
+    W.KeyRate = Writes;
+    W.IsWrite = true;
+    Inst.Streams.push_back(W);
+  }
+  return Inst;
+}
+
+} // namespace
+
+TEST(TimingModelFactory, KindsAndNames) {
+  auto A = createTimingModel(TimingModelKind::Analytic, Arch);
+  auto C = createTimingModel(TimingModelKind::Cycle, Arch);
+  ASSERT_TRUE(A && C);
+  EXPECT_EQ(A->kind(), TimingModelKind::Analytic);
+  EXPECT_EQ(C->kind(), TimingModelKind::Cycle);
+  EXPECT_STREQ(A->name(), "analytic");
+  EXPECT_STREQ(C->name(), "cycle");
+  EXPECT_EQ(A->arch().NumSMs, Arch.NumSMs);
+}
+
+TEST(TimingModelFactory, ParseRoundTrips) {
+  for (TimingModelKind K :
+       {TimingModelKind::Analytic, TimingModelKind::Cycle})
+    EXPECT_EQ(parseTimingModelKind(timingModelKindName(K)), K);
+  EXPECT_FALSE(parseTimingModelKind("").has_value());
+  EXPECT_FALSE(parseTimingModelKind("Cycle").has_value());
+  EXPECT_FALSE(parseTimingModelKind("simulator").has_value());
+}
+
+TEST(AnalyticModel, MatchesFreeFunctionsExactly) {
+  auto Model = createTimingModel(TimingModelKind::Analytic, Arch);
+  SimInstance Inst = makeInstance(256, 100, 8, 4);
+  Inst.Cost.SfuOps = 3;
+  Inst.Cost.SharedAccesses = 12;
+  Inst.Cost.SharedConflictDegree = 2.0;
+  Inst.Cost.SpillAccesses = 6;
+  EXPECT_DOUBLE_EQ(Model->instanceCycles(Inst),
+                   instanceCycles(Arch, Inst.Cost));
+  EXPECT_DOUBLE_EQ(Model->instanceTransactions(Inst),
+                   instanceTransactions(Inst.Cost));
+}
+
+TEST(AnalyticModel, ProfileRunIsLaunchPlusIterations) {
+  auto Model = createTimingModel(TimingModelKind::Analytic, Arch);
+  SimInstance Inst = makeInstance(128, 40, 4, 4);
+  double Per = instanceCycles(Arch, Inst.Cost);
+  EXPECT_DOUBLE_EQ(Model->profileRunCycles(Inst, 48),
+                   static_cast<double>(Arch.KernelLaunchCycles) +
+                       48.0 * Per);
+}
+
+TEST(AnalyticModel, SimulateKernelMatchesHandComputation) {
+  auto Model = createTimingModel(TimingModelKind::Analytic, Arch);
+  SimInstance A = makeInstance(256, 100, 8, 4);
+  SimInstance B = makeInstance(128, 400, 16, 8);
+
+  KernelDesc Desc;
+  Desc.Instances = {A, B};
+  Desc.SmStreams = {{{0, 3}, {1, 1}}, {{1, 2}}};
+  Desc.StageSpan = 4;
+
+  double CycA = instanceCycles(Arch, A.Cost);
+  double CycB = instanceCycles(Arch, B.Cost);
+  double TxnA = instanceTransactions(A.Cost);
+  double TxnB = instanceTransactions(B.Cost);
+  KernelWork Work;
+  Work.MaxSmCycles = std::max(CycA * 3.0 + CycB, CycB * 2.0);
+  Work.TotalTxns = (TxnA * 3.0 + TxnB) + TxnB * 2.0;
+
+  KernelSimResult R = Model->simulateKernel(Desc);
+  EXPECT_DOUBLE_EQ(R.TotalCycles, kernelCycles(Arch, Work));
+  EXPECT_DOUBLE_EQ(R.FillCycles, 4.0 * R.TotalCycles);
+  ASSERT_EQ(R.PerSm.size(), 2u);
+  EXPECT_DOUBLE_EQ(R.PerSm[0].TotalCycles, CycA * 3.0 + CycB);
+  EXPECT_DOUBLE_EQ(R.PerSm[1].TotalCycles, CycB * 2.0);
+  EXPECT_DOUBLE_EQ(R.Transactions, Work.TotalTxns);
+}
+
+TEST(AnalyticModel, EmptyKernelIsLaunchOnly) {
+  auto Model = createTimingModel(TimingModelKind::Analytic, Arch);
+  KernelDesc Desc;
+  Desc.SmStreams.resize(4);
+  KernelSimResult R = Model->simulateKernel(Desc);
+  EXPECT_DOUBLE_EQ(R.TotalCycles,
+                   static_cast<double>(Arch.KernelLaunchCycles));
+  EXPECT_DOUBLE_EQ(R.Transactions, 0.0);
+}

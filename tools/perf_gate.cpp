@@ -102,6 +102,17 @@ PerfSample measureBenchmark(const BenchmarkSpec &Spec, int Jobs) {
   EmitOpts.Coarsening = Options.Coarsening;
   emitCudaSource(G, *SS, R->Config, R->GSS, R->Schedule, EmitOpts);
 
+  // Replay the final schedule through the cycle simulator: its event
+  // counts (warps issued, transactions, stall cycles) are pure functions
+  // of the schedule, so they gate as Count-class metrics and catch
+  // simulator regressions the analytic numbers cannot see.
+  auto CycleModel =
+      createTimingModel(TimingModelKind::Cycle, Options.Arch);
+  KernelDesc Desc =
+      buildSwpKernelDesc(Options.Arch, G, R->Config, R->Schedule,
+                         R->Layout, Options.Coarsening);
+  KernelSimResult Sim = CycleModel->simulateKernel(Desc);
+
   MetricsRegistry::Snapshot Snap = MetricsRegistry::global().snapshot();
   for (const auto &[Name, Val] : Snap.Counters)
     S.Metrics[Name] = static_cast<double>(Val);
@@ -111,6 +122,7 @@ PerfSample measureBenchmark(const BenchmarkSpec &Spec, int Jobs) {
 
   S.Metrics["final_ii"] = R->SchedStats.FinalII;
   S.Metrics["speedup"] = R->Speedup;
+  S.Metrics["cyclesim.kernel_cycles"] = Sim.TotalCycles;
   S.Metrics["buffer_bytes"] = static_cast<double>(R->BufferBytes);
   double SolverSpan = R->SchedStats.SolverSeconds *
                       static_cast<double>(R->SchedStats.WorkersUsed);

@@ -36,6 +36,9 @@ void printUsage() {
       stderr,
       "usage: sgpu-compile <benchmark>|--file <prog.str> [options]\n"
       "  --strategy=swp|swpnc|serial   execution strategy (default swp)\n"
+      "  --timing-model=analytic|cycle kernel timing model (default\n"
+      "                                analytic; cycle runs the warp-level\n"
+      "                                event simulator)\n"
       "  --coarsening=N                SWPn factor (default 8)\n"
       "  --sms=N                       SMs to target (default 16)\n"
       "  --jobs=N                      scheduling-engine workers\n"
@@ -66,6 +69,7 @@ int main(int argc, char **argv) {
   std::string Name;
   std::string SourceFile;
   Strategy Strat = Strategy::Swp;
+  TimingModelKind Timing = TimingModelKind::Analytic;
   int Coarsening = 8;
   int Sms = 16;
   int Jobs = 0; // 0 = auto ($SGPU_JOBS, then hardware_concurrency).
@@ -98,6 +102,14 @@ int main(int argc, char **argv) {
         Strat = Strategy::Serial;
       else {
         std::fprintf(stderr, "error: unknown strategy '%s'\n", V.c_str());
+        return 1;
+      }
+    } else if (startsWith(Arg, "--timing-model=")) {
+      const char *V = Arg + 15;
+      if (std::optional<TimingModelKind> K = parseTimingModelKind(V)) {
+        Timing = *K;
+      } else {
+        std::fprintf(stderr, "error: unknown timing model '%s'\n", V);
         return 1;
       }
     } else if (startsWith(Arg, "--coarsening=")) {
@@ -201,6 +213,7 @@ int main(int argc, char **argv) {
 
   CompileOptions Options;
   Options.Strat = Strat;
+  Options.Timing = Timing;
   Options.Coarsening = Coarsening;
   Options.Sched.Pmax = Sms;
   Options.Sched.NumWorkers = Jobs;
@@ -218,8 +231,9 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  std::printf("%s under %s (coarsening %d, %d SMs)\n",
-              ProgramName.c_str(), strategyName(Strat), Coarsening, Sms);
+  std::printf("%s under %s (coarsening %d, %d SMs, %s timing)\n",
+              ProgramName.c_str(), strategyName(Strat), Coarsening, Sms,
+              timingModelKindName(Timing));
   std::printf("  graph            : %d nodes, %d edges, %d peeking\n",
               G.numNodes(), G.numEdges(), G.numPeekingFilters());
   std::printf("  execution config : regs<=%d, %d-thread blocks\n",
@@ -242,6 +256,10 @@ int main(int argc, char **argv) {
   }
   std::printf("  buffers          : %lld bytes\n",
               static_cast<long long>(R->BufferBytes));
+  std::printf("  kernel sim       : %.0f cycles/invocation, "
+              "%.0f fill cycles, %.0f transactions\n",
+              R->KernelSim.TotalCycles, R->KernelSim.FillCycles,
+              R->KernelSim.Transactions);
   std::printf("  speedup vs CPU   : %.2fx\n", R->Speedup);
 
   if (DumpSchedule && Strat != Strategy::Serial) {
@@ -257,6 +275,20 @@ int main(int argc, char **argv) {
                     static_cast<long long>(SI->K), SI->O,
                     static_cast<long long>(SI->F));
       std::printf("\n");
+    }
+  }
+  if (DumpSchedule && !R->KernelSim.PerSm.empty()) {
+    std::printf("\nPer-SM cycle breakdown (%s model):\n",
+                timingModelKindName(R->Timing));
+    for (size_t P = 0; P < R->KernelSim.PerSm.size(); ++P) {
+      const SmBreakdown &B = R->KernelSim.PerSm[P];
+      if (B.TotalCycles <= 0.0)
+        continue;
+      std::printf("  SM%-2zu: total %10.0f  busy %10.0f  stall %10.0f  "
+                  "%8lld instrs  %8lld txns\n",
+                  P, B.TotalCycles, B.BusyCycles, B.StallCycles,
+                  static_cast<long long>(B.WarpInstrs),
+                  static_cast<long long>(B.Transactions));
     }
   }
 
