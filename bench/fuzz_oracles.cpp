@@ -1,0 +1,68 @@
+//===- bench/fuzz_oracles.cpp - Fuzzing subsystem throughput -------------------===//
+//
+// Seeds-per-second of the sgpu-fuzz oracle suite, split by stage
+// (generation, heuristic-only compile+check, the full differential
+// suite). CI budgets its bounded fuzz job — 200 seeds on both timing
+// models — from these numbers; a regression here silently shrinks how
+// much coverage that fixed wall-clock budget buys.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/GraphGen.h"
+#include "testing/Oracles.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sgpu;
+using namespace sgpu::testing;
+
+namespace {
+
+void BM_GenerateAndFlatten(benchmark::State &State) {
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    StreamGraph G = buildGraph(generateGraphSpec(Seed++));
+    benchmark::DoNotOptimize(G.numNodes());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void BM_OraclesHeuristicOnly(benchmark::State &State) {
+  OracleOptions O;
+  O.RunIlp = false;
+  O.RunMetamorphic = false;
+  O.RunTimingOrdering = false;
+  uint64_t Seed = 1;
+  int64_t Checks = 0;
+  for (auto _ : State) {
+    OracleReport R = runOracles(Seed++, {}, O);
+    Checks += R.ChecksRun;
+    benchmark::DoNotOptimize(R.Failures.size());
+  }
+  State.SetItemsProcessed(State.iterations());
+  State.counters["checks/seed"] =
+      State.iterations() ? double(Checks) / double(State.iterations()) : 0.0;
+}
+
+void BM_OraclesFullSuite(benchmark::State &State) {
+  // Everything sgpu-fuzz runs per seed with default flags (analytic
+  // timing): ILP variants, metamorphic properties, round trip.
+  uint64_t Seed = 1;
+  int64_t Checks = 0;
+  for (auto _ : State) {
+    OracleReport R = runOracles(Seed++);
+    Checks += R.ChecksRun;
+    benchmark::DoNotOptimize(R.Failures.size());
+  }
+  State.SetItemsProcessed(State.iterations());
+  State.counters["checks/seed"] =
+      State.iterations() ? double(Checks) / double(State.iterations()) : 0.0;
+}
+
+} // namespace
+
+BENCHMARK(BM_GenerateAndFlatten)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_OraclesHeuristicOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OraclesFullSuite)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

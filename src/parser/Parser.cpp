@@ -231,6 +231,15 @@ private:
         return nullptr;
       }
     }
+    if (Pop == 0 && Push == 0) {
+      error("filter must pop or push at least one token");
+      return nullptr;
+    }
+    const int64_t MaxRate = 1000000000;
+    if (Pop > MaxRate || Push > MaxRate || Peek > MaxRate) {
+      error("filter rate is out of range");
+      return nullptr;
+    }
     if (!expect(TokKind::RParen, "after the filter rates"))
       return nullptr;
     if (!expect(TokKind::LBrace, "to open the filter body"))
@@ -312,6 +321,8 @@ private:
     const Expr *End = parseExpr(B, Vars);
     if (!End || !expect(TokKind::RParen, "after the loop bounds"))
       return false;
+    if (Begin->type() != TokenType::Int || End->type() != TokenType::Int)
+      return error("loop bounds must be int expressions");
     const VarDecl *IV = B.beginFor(Name, Begin, End);
     const VarDecl *Shadowed = Vars.count(Name) ? Vars[Name] : nullptr;
     Vars[Name] = IV;
@@ -392,6 +403,10 @@ private:
       advance();
       if (!expect(TokKind::RBracket, "after the array size"))
         return false;
+      if (ArraySize <= 0)
+        return error("array size must be a positive constant");
+      if (ArraySize > (int64_t(1) << 20))
+        return error("array size is out of range");
     }
 
     const VarDecl *D = nullptr;
@@ -484,6 +499,10 @@ private:
         return false;
       if (!D->isArray())
         return error("'" + Name + "' is not an array");
+      if (D->isField())
+        return error("'" + Name + "' is a read-only const");
+      if (Idx->type() != TokenType::Int)
+        return error("array index must be an int expression");
       B.assignIndex(D, Idx, V);
     } else {
       if (!expect(TokKind::Assign, "in the assignment"))
@@ -532,6 +551,26 @@ private:
   const Expr *applyBinary(FilterBuilder &B, TokKind K, const Expr *L,
                           const Expr *R) {
     switch (K) {
+    case TokKind::OrOr:
+    case TokKind::AndAnd:
+    case TokKind::Pipe:
+    case TokKind::Caret:
+    case TokKind::Amp:
+    case TokKind::Shl:
+    case TokKind::Shr:
+    case TokKind::Percent:
+      // Arithmetic and comparisons promote int operands to float; these
+      // are int-only (FilterBuilder preconditions).
+      if (L->type() != TokenType::Int || R->type() != TokenType::Int) {
+        error("bitwise, shift, logical and '%' operators require int "
+              "operands");
+        return nullptr;
+      }
+      break;
+    default:
+      break;
+    }
+    switch (K) {
     case TokKind::OrOr: return B.logicalOr(L, R);
     case TokKind::AndAnd: return B.logicalAnd(L, R);
     case TokKind::Pipe: return B.bitOr(L, R);
@@ -568,6 +607,8 @@ private:
       if (!R)
         return nullptr;
       L = applyBinary(B, K, L, R);
+      if (!L)
+        return nullptr;
     }
   }
 
@@ -578,11 +619,23 @@ private:
     }
     if (accept(TokKind::Tilde)) {
       const Expr *E = parseUnary(B, Vars);
-      return E ? B.bitNot(E) : nullptr;
+      if (!E)
+        return nullptr;
+      if (E->type() != TokenType::Int) {
+        error("'~' requires an int operand");
+        return nullptr;
+      }
+      return B.bitNot(E);
     }
     if (accept(TokKind::Not)) {
       const Expr *E = parseUnary(B, Vars);
-      return E ? B.logicalNot(E) : nullptr;
+      if (!E)
+        return nullptr;
+      if (E->type() != TokenType::Int) {
+        error("'!' requires an int operand");
+        return nullptr;
+      }
+      return B.logicalNot(E);
     }
     return parsePrimary(B, Vars);
   }
@@ -647,26 +700,39 @@ private:
       }
       if (Name == "peek") {
         const Expr *D = OneArg();
-        return D ? B.peek(D) : nullptr;
+        if (!D)
+          return nullptr;
+        if (D->type() != TokenType::Int) {
+          error("peek depth must be an int expression");
+          return nullptr;
+        }
+        return B.peek(D);
       }
-      if (Name == "sin") { const Expr *E = OneArg(); return E ? B.callSin(E) : nullptr; }
-      if (Name == "cos") { const Expr *E = OneArg(); return E ? B.callCos(E) : nullptr; }
-      if (Name == "sqrt") { const Expr *E = OneArg(); return E ? B.callSqrt(E) : nullptr; }
+      // The math builtins are float-only at the builder level; int
+      // arguments promote implicitly, C-style (castToFloat is a no-op on
+      // float operands).
+      if (Name == "sin") { const Expr *E = OneArg(); return E ? B.callSin(B.castToFloat(E)) : nullptr; }
+      if (Name == "cos") { const Expr *E = OneArg(); return E ? B.callCos(B.castToFloat(E)) : nullptr; }
+      if (Name == "sqrt") { const Expr *E = OneArg(); return E ? B.callSqrt(B.castToFloat(E)) : nullptr; }
       if (Name == "abs") { const Expr *E = OneArg(); return E ? B.callAbs(E) : nullptr; }
-      if (Name == "exp") { const Expr *E = OneArg(); return E ? B.callExp(E) : nullptr; }
-      if (Name == "log") { const Expr *E = OneArg(); return E ? B.callLog(E) : nullptr; }
-      if (Name == "floor") { const Expr *E = OneArg(); return E ? B.callFloor(E) : nullptr; }
+      if (Name == "exp") { const Expr *E = OneArg(); return E ? B.callExp(B.castToFloat(E)) : nullptr; }
+      if (Name == "log") { const Expr *E = OneArg(); return E ? B.callLog(B.castToFloat(E)) : nullptr; }
+      if (Name == "floor") { const Expr *E = OneArg(); return E ? B.callFloor(B.castToFloat(E)) : nullptr; }
       if (Name == "pow") {
         const Expr *A, *C;
-        return TwoArgs(A, C) ? B.callPow(A, C) : nullptr;
+        return TwoArgs(A, C)
+                   ? B.callPow(B.castToFloat(A), B.castToFloat(C))
+                   : nullptr;
       }
-      if (Name == "min") {
+      if (Name == "min" || Name == "max") {
         const Expr *A, *C;
-        return TwoArgs(A, C) ? B.callMin(A, C) : nullptr;
-      }
-      if (Name == "max") {
-        const Expr *A, *C;
-        return TwoArgs(A, C) ? B.callMax(A, C) : nullptr;
+        if (!TwoArgs(A, C))
+          return nullptr;
+        if (A->type() != C->type()) {
+          A = B.castToFloat(A);
+          C = B.castToFloat(C);
+        }
+        return Name == "min" ? B.callMin(A, C) : B.callMax(A, C);
       }
       error("unknown function '" + Name + "'");
       return nullptr;
@@ -686,6 +752,10 @@ private:
         return nullptr;
       if (!D->isArray()) {
         error("'" + Name + "' is not an array");
+        return nullptr;
+      }
+      if (Idx->type() != TokenType::Int) {
+        error("array index must be an int expression");
         return nullptr;
       }
       return B.index(D, Idx);
@@ -714,4 +784,30 @@ StreamPtr sgpu::parseStreamProgram(std::string_view Source,
   if (!S)
     metricCounter("parser.errors").add(1);
   return S;
+}
+
+const char *sgpu::dslBuiltinName(BuiltinFn Fn) {
+  switch (Fn) {
+  case BuiltinFn::Sin:
+    return "sin";
+  case BuiltinFn::Cos:
+    return "cos";
+  case BuiltinFn::Sqrt:
+    return "sqrt";
+  case BuiltinFn::Abs:
+    return "abs";
+  case BuiltinFn::Exp:
+    return "exp";
+  case BuiltinFn::Log:
+    return "log";
+  case BuiltinFn::Floor:
+    return "floor";
+  case BuiltinFn::Pow:
+    return "pow";
+  case BuiltinFn::Min:
+    return "min";
+  case BuiltinFn::Max:
+    return "max";
+  }
+  return "?";
 }

@@ -39,6 +39,7 @@
 #ifndef SGPU_PARSER_PARSER_H
 #define SGPU_PARSER_PARSER_H
 
+#include "ir/Ast.h"
 #include "ir/Stream.h"
 
 #include <string>
@@ -60,6 +61,11 @@ struct ParseDiagnostic {
 /// with \p DiagOut filled in on the first error.
 StreamPtr parseStreamProgram(std::string_view Source,
                              ParseDiagnostic *DiagOut = nullptr);
+
+/// The DSL spelling of a builtin call ("sqrt", "floor", ...) — the names
+/// parsePrimary accepts, as opposed to the CUDA spellings of
+/// builtinName(). Used by the DSL printer so emitted programs reparse.
+const char *dslBuiltinName(BuiltinFn Fn);
 
 } // namespace sgpu
 

@@ -1,0 +1,412 @@
+//===- testing/DslPrinter.cpp - Stream program to .str source -------------===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/DslPrinter.h"
+
+#include "ir/Ast.h"
+#include "ir/Filter.h"
+#include "parser/Parser.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace sgpu {
+namespace testing {
+
+namespace {
+
+/// Thrown internally to unwind out of an unprintable construct; converted
+/// to DslPrintResult::Error at the entry point.
+struct PrintError {
+  std::string Message;
+};
+
+/// The parser's binary precedence table (Parser.cpp binPrec). A child is
+/// parenthesized when reparsing at the parent's level would not rebuild
+/// it: right children at <= the parent's precedence (all operators are
+/// left-associative), left children at strictly lower precedence.
+int binPrec(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::LOr:
+    return 1;
+  case BinOpKind::LAnd:
+    return 2;
+  case BinOpKind::Or:
+    return 3;
+  case BinOpKind::Xor:
+    return 4;
+  case BinOpKind::And:
+    return 5;
+  case BinOpKind::Eq:
+  case BinOpKind::Ne:
+    return 6;
+  case BinOpKind::Lt:
+  case BinOpKind::Le:
+  case BinOpKind::Gt:
+  case BinOpKind::Ge:
+    return 7;
+  case BinOpKind::Shl:
+  case BinOpKind::Shr:
+    return 8;
+  case BinOpKind::Add:
+  case BinOpKind::Sub:
+    return 9;
+  case BinOpKind::Mul:
+  case BinOpKind::Div:
+  case BinOpKind::Rem:
+    return 10;
+  }
+  return 0;
+}
+
+/// Precedence of a whole expression; primaries/unaries bind tighter than
+/// any binary operator.
+constexpr int PrimaryPrec = 11;
+
+int exprPrec(const Expr *E) {
+  if (const auto *B = dyn_cast<BinaryExpr>(E))
+    return binPrec(B->op());
+  return PrimaryPrec;
+}
+
+std::string formatFloat(double V) {
+  if (!std::isfinite(V))
+    throw PrintError{"non-finite float literal is not expressible"};
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  std::string S(Buf);
+  // Bare "5" would lex as an int literal and change the expression type;
+  // force a float spelling (the lexer accepts digits '.' digits and
+  // exponents but no 'f' suffix).
+  if (S.find_first_of(".eE") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+class DslPrinter {
+public:
+  DslPrintResult run(const Stream &S) {
+    DslPrintResult R;
+    try {
+      printStream(S, 0);
+      R.Ok = true;
+      R.Text = std::move(Out);
+    } catch (const PrintError &E) {
+      R.Error = E.Message;
+    }
+    return R;
+  }
+
+private:
+  std::string Out;
+
+  void line(int Indent, const std::string &Text) {
+    Out.append(static_cast<size_t>(Indent) * 2, ' ');
+    Out += Text;
+    Out += '\n';
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Streams
+  //===--------------------------------------------------------------------===//
+
+  void printStream(const Stream &S, int Indent) {
+    switch (S.kind()) {
+    case Stream::Kind::Filter:
+      printFilter(*cast<FilterStream>(&S)->filter(), Indent);
+      return;
+    case Stream::Kind::Pipeline: {
+      line(Indent, "pipeline {");
+      for (const StreamPtr &C : cast<PipelineStream>(&S)->children())
+        printStream(*C, Indent + 1);
+      line(Indent, "}");
+      return;
+    }
+    case Stream::Kind::SplitJoin: {
+      const auto *SJ = cast<SplitJoinStream>(&S);
+      std::string Header = "splitjoin ";
+      if (SJ->splitterKind() == SplitterKind::Duplicate)
+        Header += "duplicate";
+      else
+        Header += "roundrobin(" + weightList(SJ->splitterWeights()) + ")";
+      Header += " join roundrobin(" + weightList(SJ->joinerWeights()) + ") {";
+      line(Indent, Header);
+      for (const StreamPtr &C : SJ->children())
+        printStream(*C, Indent + 1);
+      line(Indent, "}");
+      return;
+    }
+    case Stream::Kind::FeedbackLoop:
+      throw PrintError{"feedback loops are not expressible in the DSL"};
+    }
+    throw PrintError{"unknown stream kind"};
+  }
+
+  static std::string weightList(const std::vector<int64_t> &W) {
+    std::string S;
+    for (size_t I = 0; I < W.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += std::to_string(W[I]);
+    }
+    return S;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Filters
+  //===--------------------------------------------------------------------===//
+
+  void printFilter(const Filter &F, int Indent) {
+    std::string Header = "filter " + F.name() + " (";
+    Header += tokenTypeName(F.inputType());
+    Header += "->";
+    Header += tokenTypeName(F.outputType());
+    Header += ", pop " + std::to_string(F.popRate());
+    Header += ", push " + std::to_string(F.pushRate());
+    if (F.isPeeking())
+      Header += ", peek " + std::to_string(F.peekRate());
+    Header += ") {";
+    line(Indent, Header);
+
+    const WorkFunction &W = F.work();
+    for (const auto &D : W.fields())
+      printConstDecl(F, *D, Indent + 1);
+    for (const auto &D : W.stateVars())
+      printStateDecl(F, *D, Indent + 1);
+
+    // For-loop induction variables are declared by the `for` statement
+    // itself; every other local needs a declaration up front (its
+    // initialization, if any, is an ordinary assignment in the body).
+    std::set<const VarDecl *> Inductions;
+    collectInductions(W.body(), Inductions);
+    for (const auto &D : W.locals()) {
+      if (Inductions.count(D.get()))
+        continue;
+      std::string Decl = tokenTypeName(D->type());
+      Decl += " " + D->name();
+      if (D->isArray())
+        Decl += "[" + std::to_string(D->arraySize()) + "]";
+      Decl += ";";
+      line(Indent + 1, Decl);
+    }
+
+    if (W.body())
+      for (const Stmt *S : W.body()->body())
+        printStmt(S, Indent + 1);
+    line(Indent, "}");
+  }
+
+  static std::string scalarLiteral(const Scalar &S) {
+    return S.Ty == TokenType::Int ? std::to_string(S.asInt())
+                                  : formatFloat(S.asFloat());
+  }
+
+  static std::string initList(const std::vector<Scalar> &Values) {
+    std::string S = "{";
+    for (size_t I = 0; I < Values.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += scalarLiteral(Values[I]);
+    }
+    S += "}";
+    return S;
+  }
+
+  void printConstDecl(const Filter &F, const VarDecl &D, int Indent) {
+    const std::vector<Scalar> &V = F.fieldValues(D.slot());
+    std::string S = "const ";
+    S += tokenTypeName(D.type());
+    S += " " + D.name();
+    if (D.isArray())
+      S += "[" + std::to_string(D.arraySize()) + "] = " + initList(V) + ";";
+    else
+      S += " = " + scalarLiteral(V[0]) + ";";
+    line(Indent, S);
+  }
+
+  void printStateDecl(const Filter &F, const VarDecl &D, int Indent) {
+    if (D.isArray() && D.type() == TokenType::Int)
+      throw PrintError{"state int arrays are not expressible in the DSL"};
+    const std::vector<Scalar> &V = F.stateInit(D.slot());
+    std::string S = "state ";
+    S += tokenTypeName(D.type());
+    S += " " + D.name();
+    if (D.isArray())
+      S += "[" + std::to_string(D.arraySize()) + "] = " + initList(V) + ";";
+    else
+      S += " = " + scalarLiteral(V[0]) + ";";
+    line(Indent, S);
+  }
+
+  static void collectInductions(const Stmt *S,
+                                std::set<const VarDecl *> &Out) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      Out.insert(F->induction());
+      collectInductions(F->body(), Out);
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      collectInductions(I->thenBlock(), Out);
+      collectInductions(I->elseBlock(), Out);
+      return;
+    }
+    case Stmt::Kind::Block:
+      for (const Stmt *C : cast<BlockStmt>(S)->body())
+        collectInductions(C, Out);
+      return;
+    default:
+      return;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void printStmt(const Stmt *S, int Indent) {
+    switch (S->kind()) {
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      line(Indent, lvalue(A->target()) + " = " + expr(A->value()) + ";");
+      return;
+    }
+    case Stmt::Kind::Push:
+      line(Indent, "push(" + expr(cast<PushStmt>(S)->value()) + ");");
+      return;
+    case Stmt::Kind::ExprStmt: {
+      const Expr *E = cast<ExprStmt>(S)->expr();
+      if (E->kind() != Expr::Kind::Pop)
+        throw PrintError{
+            "only pop() expression statements are expressible in the DSL"};
+      line(Indent, "pop();");
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      line(Indent, "if (" + expr(I->cond()) + ") {");
+      printBlock(I->thenBlock(), Indent + 1);
+      if (I->elseBlock()) {
+        line(Indent, "} else {");
+        printBlock(I->elseBlock(), Indent + 1);
+      }
+      line(Indent, "}");
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      if (F->step()) {
+        const auto *Step = dyn_cast<IntLiteral>(F->step());
+        if (!Step || Step->value() != 1)
+          throw PrintError{"only unit for-loop steps are expressible"};
+      }
+      line(Indent, "for (" + F->induction()->name() + " in " +
+                       expr(F->begin()) + ".." + expr(F->end()) + ") {");
+      printBlock(F->body(), Indent + 1);
+      line(Indent, "}");
+      return;
+    }
+    case Stmt::Kind::Block:
+      printBlock(cast<BlockStmt>(S), Indent);
+      return;
+    }
+    throw PrintError{"unknown statement kind"};
+  }
+
+  void printBlock(const BlockStmt *B, int Indent) {
+    if (!B)
+      return;
+    for (const Stmt *S : B->body())
+      printStmt(S, Indent);
+  }
+
+  std::string lvalue(const Expr *Target) {
+    if (const auto *V = dyn_cast<VarRef>(Target))
+      return V->decl()->name();
+    if (const auto *A = dyn_cast<ArrayRef>(Target))
+      return A->decl()->name() + "[" + expr(A->index()) + "]";
+    throw PrintError{"unsupported assignment target"};
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  std::string expr(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLiteral:
+      return std::to_string(cast<IntLiteral>(E)->value());
+    case Expr::Kind::FloatLiteral:
+      return formatFloat(cast<FloatLiteral>(E)->value());
+    case Expr::Kind::VarRef:
+      return cast<VarRef>(E)->decl()->name();
+    case Expr::Kind::ArrayRef: {
+      const auto *A = cast<ArrayRef>(E);
+      return A->decl()->name() + "[" + expr(A->index()) + "]";
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      int P = binPrec(B->op());
+      std::string L = expr(B->lhs());
+      if (exprPrec(B->lhs()) < P)
+        L = "(" + L + ")";
+      std::string R = expr(B->rhs());
+      if (exprPrec(B->rhs()) <= P)
+        R = "(" + R + ")";
+      return L + " " + binOpSpelling(B->op()) + " " + R;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      // Parenthesize non-primary operands, and literal operands of '-'
+      // so a negative value never prints as a confusing '--'.
+      std::string Op = expr(U->operand());
+      bool Wrap = exprPrec(U->operand()) < PrimaryPrec;
+      if (!Wrap && !Op.empty() && Op[0] == '-')
+        Wrap = true;
+      if (Wrap)
+        Op = "(" + Op + ")";
+      return std::string(unOpSpelling(U->op())) + Op;
+    }
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      std::string S = dslBuiltinName(C->callee());
+      S += "(";
+      for (size_t I = 0; I < C->args().size(); ++I) {
+        if (I)
+          S += ", ";
+        S += expr(C->args()[I]);
+      }
+      S += ")";
+      return S;
+    }
+    case Expr::Kind::Cast: {
+      const auto *C = cast<CastExpr>(E);
+      const char *Ty = C->type() == TokenType::Int ? "int" : "float";
+      return "(" + std::string(Ty) + ")(" + expr(C->operand()) + ")";
+    }
+    case Expr::Kind::Select:
+      throw PrintError{"select expressions are not expressible in the DSL"};
+    case Expr::Kind::Pop:
+      return "pop()";
+    case Expr::Kind::Peek:
+      return "peek(" + expr(cast<PeekExpr>(E)->depth()) + ")";
+    }
+    throw PrintError{"unknown expression kind"};
+  }
+};
+
+} // namespace
+
+DslPrintResult printStreamDsl(const Stream &S) { return DslPrinter().run(S); }
+
+} // namespace testing
+} // namespace sgpu

@@ -1,0 +1,47 @@
+//===- testing/DslPrinter.h - Stream program to .str source -----*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints a hierarchical stream program back to the `.str` DSL accepted
+/// by parseStreamProgram(). The fuzzer's minimizer uses this to emit
+/// standalone repro files that replay through `sgpu-compile --file`.
+///
+/// The printer targets semantic round-tripping, not syntactic identity:
+/// reparsing the output yields a program with the same rates, structure
+/// and observable input->output behaviour (local declarations are split
+/// from their initializing assignments, negative literals come back as
+/// unary minus, parentheses are re-derived from the parser's precedence
+/// table). Constructs the DSL cannot express (feedback loops, select
+/// expressions, int state arrays, non-unit for steps, non-finite float
+/// literals) fail the print with a diagnostic instead of emitting text
+/// that would not reparse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_TESTING_DSLPRINTER_H
+#define SGPU_TESTING_DSLPRINTER_H
+
+#include "ir/Stream.h"
+
+#include <string>
+
+namespace sgpu {
+namespace testing {
+
+struct DslPrintResult {
+  bool Ok = false;
+  std::string Text;  ///< The `.str` source when Ok.
+  std::string Error; ///< Why printing failed when !Ok.
+};
+
+/// Prints \p S as a `.str` program.
+DslPrintResult printStreamDsl(const Stream &S);
+
+} // namespace testing
+} // namespace sgpu
+
+#endif // SGPU_TESTING_DSLPRINTER_H

@@ -1,0 +1,254 @@
+//===- testing/GraphGen.cpp - Random stream-graph generator ---------------===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/GraphGen.h"
+
+#include "ir/FilterBuilder.h"
+
+#include <cassert>
+
+namespace sgpu {
+namespace testing {
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Spec generation
+//
+// The draw sequence below is load-bearing: with default GraphGenOptions it
+// matches tests/random_graph_test.cpp draw for draw, so the historical
+// seeds (1..24) keep generating the same programs. Extension flags insert
+// extra draws only when enabled — turning one on intentionally produces a
+// different stream of graphs.
+//===----------------------------------------------------------------------===//
+
+FilterSpec drawFilter(Rng &R, const GraphGenOptions &O, const std::string &Name,
+                      bool RateNeutral) {
+  FilterSpec F;
+  F.Name = Name;
+  F.RateNeutral = RateNeutral;
+  F.Pop = R.nextIntInRange(1, O.MaxRate);
+  F.Push = RateNeutral ? F.Pop : R.nextIntInRange(1, O.MaxRate);
+  bool Peeks = R.nextInt(4) == 0 && O.AllowPeeking;
+  F.Peek = Peeks ? F.Pop + R.nextIntInRange(1, 3) : F.Pop;
+  F.AccInit = R.nextIntInRange(0, 9);
+  F.Body = static_cast<int>(R.nextInt(3));
+  if (O.AllowStateful)
+    F.Stateful = R.nextInt(8) == 0;
+  return F;
+}
+
+StreamSpec drawStream(Rng &R, const GraphGenOptions &O, int Depth,
+                      int &Counter, bool RateNeutral) {
+  std::string Tag = std::to_string(Counter++);
+  StreamSpec S;
+  if (Depth <= 0 || R.nextInt(3) != 0) {
+    S.K = StreamSpec::Kind::Filter;
+    S.F = drawFilter(R, O, "F" + Tag, RateNeutral);
+    return S;
+  }
+
+  // A split-join changes the token count (duplicate multiplies it, a
+  // round-robin redistributes in splitter-weight units), so it is never
+  // emitted inside a rate-neutral region; only pipelines/filters appear
+  // there.
+  if (RateNeutral || !O.AllowSplitJoin || R.nextInt(2) == 0) {
+    S.K = StreamSpec::Kind::Pipeline;
+    int64_t N = R.nextIntInRange(2, 3);
+    for (int64_t I = 0; I < N; ++I)
+      S.Children.push_back(drawStream(R, O, Depth - 1, Counter, RateNeutral));
+    return S;
+  }
+
+  S.K = StreamSpec::Kind::SplitJoin;
+  S.Duplicate = !O.AllowRoundRobin || R.nextInt(2) == 0;
+  if (S.Duplicate) {
+    // Duplicate over two rate-neutral branches, joined {1, 1} (the legacy
+    // shape; joiner weights must mirror the branch output ratio, which
+    // rate-neutral branches pin to 1:1).
+    S.Children.push_back(drawStream(R, O, Depth - 1, Counter, true));
+    S.Children.push_back(drawStream(R, O, Depth - 1, Counter, true));
+    S.JoinWeights = {1, 1};
+  } else {
+    // Round-robin split: branch i receives W[i] tokens per round. With
+    // rate-neutral branches, joining with the same weights rebalances
+    // exactly.
+    S.SplitWeights = {R.nextIntInRange(1, 2), R.nextIntInRange(1, 2)};
+    S.Children.push_back(drawStream(R, O, Depth - 1, Counter, true));
+    S.Children.push_back(drawStream(R, O, Depth - 1, Counter, true));
+    S.JoinWeights = S.SplitWeights;
+  }
+  return S;
+}
+
+StreamPtr lowerStream(const StreamSpec &S, TokenType Ty) {
+  switch (S.K) {
+  case StreamSpec::Kind::Filter:
+    return filterStream(buildFilter(S.F, Ty));
+  case StreamSpec::Kind::Pipeline: {
+    std::vector<StreamPtr> Parts;
+    for (const StreamSpec &C : S.Children)
+      Parts.push_back(lowerStream(C, Ty));
+    return pipelineStream(std::move(Parts));
+  }
+  case StreamSpec::Kind::SplitJoin: {
+    std::vector<StreamPtr> Branches;
+    for (const StreamSpec &C : S.Children)
+      Branches.push_back(lowerStream(C, Ty));
+    if (S.Duplicate)
+      return duplicateSplitJoin(std::move(Branches), S.JoinWeights);
+    return roundRobinSplitJoin(S.SplitWeights, std::move(Branches),
+                               S.JoinWeights);
+  }
+  }
+  assert(false && "unknown stream spec kind");
+  return nullptr;
+}
+
+void scaleStream(StreamSpec &S, int64_t C) {
+  switch (S.K) {
+  case StreamSpec::Kind::Filter:
+    S.F.Pop *= C;
+    S.F.Push *= C;
+    S.F.Peek *= C;
+    break;
+  case StreamSpec::Kind::Pipeline:
+    for (StreamSpec &Child : S.Children)
+      scaleStream(Child, C);
+    break;
+  case StreamSpec::Kind::SplitJoin:
+    for (int64_t &W : S.SplitWeights)
+      W *= C;
+    for (int64_t &W : S.JoinWeights)
+      W *= C;
+    for (StreamSpec &Child : S.Children)
+      scaleStream(Child, C);
+    break;
+  }
+}
+
+int specDepth(const StreamSpec &S) {
+  int D = 0;
+  for (const StreamSpec &C : S.Children)
+    D = std::max(D, 1 + specDepth(C));
+  return D;
+}
+
+bool anyStateful(const StreamSpec &S) {
+  if (S.K == StreamSpec::Kind::Filter)
+    return S.F.Stateful;
+  for (const StreamSpec &C : S.Children)
+    if (anyStateful(C))
+      return true;
+  return false;
+}
+
+} // namespace
+
+GraphSpec generateGraphSpec(uint64_t Seed, const GraphGenOptions &O) {
+  Rng R(Seed);
+  GraphSpec Spec;
+  Spec.Seed = Seed;
+  if (O.AllowFloat)
+    Spec.Ty = R.nextInt(2) == 0 ? TokenType::Int : TokenType::Float;
+  int Counter = 0;
+  Spec.Root = drawStream(R, O, O.MaxDepth, Counter, /*RateNeutral=*/false);
+  return Spec;
+}
+
+FilterPtr buildFilter(const FilterSpec &F, TokenType Ty) {
+  FilterBuilder B(F.Name, Ty, Ty);
+  B.setRates(F.Pop, F.Push, F.Peek);
+
+  const bool IsInt = Ty == TokenType::Int;
+  const VarDecl *Acc =
+      B.declVar("acc", IsInt ? B.litI(F.AccInit)
+                             : B.litF(static_cast<double>(F.AccInit) * 0.25));
+  const VarDecl *I = B.beginFor("i", B.litI(0), B.litI(F.Peek));
+  switch (F.Body) {
+  case 0:
+    B.assign(Acc, B.add(B.ref(Acc), B.peek(B.ref(I))));
+    break;
+  case 1:
+    if (IsInt)
+      B.assign(Acc,
+               B.bitXor(B.ref(Acc), B.add(B.peek(B.ref(I)), B.litI(3))));
+    else
+      B.assign(Acc, B.add(B.ref(Acc), B.mul(B.peek(B.ref(I)), B.litF(0.5))));
+    break;
+  default:
+    if (IsInt)
+      B.assign(Acc, B.add(B.mul(B.ref(Acc), B.litI(3)), B.peek(B.ref(I))));
+    else
+      B.assign(Acc, B.add(B.mul(B.ref(Acc), B.litF(0.5)), B.peek(B.ref(I))));
+    break;
+  }
+  B.endFor();
+
+  const VarDecl *Out = Acc;
+  if (F.Stateful) {
+    const VarDecl *S = IsInt ? B.stateScalarI("s", 0) : B.stateScalarF("s", 0.0);
+    B.assign(S, B.add(B.ref(S), B.ref(Acc)));
+    Out = S;
+  }
+  for (int64_t P = 0; P < F.Push; ++P)
+    B.push(B.add(B.ref(Out), IsInt ? B.litI(P)
+                                   : B.litF(static_cast<double>(P) * 0.5)));
+  B.popDiscard(F.Pop);
+  return B.build();
+}
+
+StreamPtr buildStream(const GraphSpec &Spec) {
+  return lowerStream(Spec.Root, Spec.Ty);
+}
+
+StreamGraph buildGraph(const GraphSpec &Spec) {
+  StreamPtr S = buildStream(Spec);
+  return flatten(*S);
+}
+
+GraphSpec scaleSpecRates(const GraphSpec &Spec, int64_t C) {
+  assert(C > 0 && "rate scale must be positive");
+  GraphSpec Scaled = Spec;
+  scaleStream(Scaled.Root, C);
+  return Scaled;
+}
+
+std::vector<Scalar> randomInput(Rng &R, TokenType Ty, int64_t N) {
+  std::vector<Scalar> V;
+  V.reserve(static_cast<size_t>(N));
+  for (int64_t I = 0; I < N; ++I) {
+    if (Ty == TokenType::Int)
+      V.push_back(Scalar::makeInt(R.nextInt(1000)));
+    else
+      V.push_back(
+          Scalar::makeFloat(static_cast<double>(R.nextInt(1000)) * 0.125));
+  }
+  return V;
+}
+
+int countFilters(const StreamSpec &S) {
+  if (S.K == StreamSpec::Kind::Filter)
+    return 1;
+  int N = 0;
+  for (const StreamSpec &C : S.Children)
+    N += countFilters(C);
+  return N;
+}
+
+std::string describeSpec(const GraphSpec &Spec) {
+  std::string D = "seed " + std::to_string(Spec.Seed) + ": ";
+  D += Spec.Ty == TokenType::Int ? "int" : "float";
+  D += ", " + std::to_string(countFilters(Spec.Root)) + " filters";
+  D += ", depth " + std::to_string(specDepth(Spec.Root));
+  if (anyStateful(Spec.Root))
+    D += ", stateful";
+  return D;
+}
+
+} // namespace testing
+} // namespace sgpu

@@ -1,0 +1,124 @@
+//===- testing/GraphGen.h - Random stream-graph generator -------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seeded random stream-program generator behind `sgpu-fuzz` and the
+/// randomized property tests (promoted from tests/random_graph_test.cpp;
+/// with default options the RNG draw sequence is identical, so historical
+/// seeds generate the same graphs).
+///
+/// Programs are represented as a plain-data spec tree (GraphSpec) rather
+/// than directly as Stream/Filter objects, for two reasons: the
+/// delta-debugging reducer needs to mutate programs structurally, and
+/// every oracle needs to rebuild a fresh Stream (flatten() takes the
+/// hierarchy by reference and StreamGraph is move-only). Lowering a spec
+/// with buildStream()/buildGraph() is deterministic and draw-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_TESTING_GRAPHGEN_H
+#define SGPU_TESTING_GRAPHGEN_H
+
+#include "ir/Stream.h"
+#include "ir/StreamGraph.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sgpu {
+namespace testing {
+
+/// One random filter: rates plus a body shape drawn from the seed. The
+/// bodies mix every peekable token into an accumulator (shape 0: add,
+/// 1: xor of shifted peeks, 2: multiply-accumulate) and push `Push`
+/// staggered copies of it.
+struct FilterSpec {
+  std::string Name;
+  int64_t Pop = 1;
+  int64_t Push = 1;
+  int64_t Peek = 1; ///< >= Pop; > Pop makes the filter peeking.
+  int Body = 0;     ///< Accumulator shape, 0..2.
+  int64_t AccInit = 0;
+  /// Generation context: the filter sits inside a split-join branch whose
+  /// overall rate ratio must stay 1. Shrinks must keep Push == Pop.
+  bool RateNeutral = false;
+  /// Adds a `state` accumulator carried across firings (the stateful
+  /// extension; the GPU compiler rejects such graphs, the sequential
+  /// oracles still run).
+  bool Stateful = false;
+};
+
+/// A node of the program spec tree.
+struct StreamSpec {
+  enum class Kind : uint8_t { Filter, Pipeline, SplitJoin };
+
+  Kind K = Kind::Filter;
+  FilterSpec F;                      ///< Kind::Filter only.
+  bool Duplicate = true;             ///< Kind::SplitJoin: splitter kind.
+  std::vector<int64_t> SplitWeights; ///< Round-robin splitters only.
+  std::vector<int64_t> JoinWeights;  ///< Kind::SplitJoin only.
+  std::vector<StreamSpec> Children;  ///< Pipeline / SplitJoin only.
+};
+
+/// A complete random program: the spec tree plus the token type every
+/// filter uses (one type per program keeps reducer transformations
+/// type-safe) and the seed it was drawn from.
+struct GraphSpec {
+  uint64_t Seed = 0;
+  TokenType Ty = TokenType::Int;
+  StreamSpec Root;
+};
+
+/// Generator knobs. The defaults reproduce the legacy
+/// tests/random_graph_test.cpp distribution draw for draw; the extension
+/// flags (round-robin splitters, float tokens, stateful filters) spend
+/// extra draws and therefore change the stream of graphs when enabled.
+struct GraphGenOptions {
+  int MaxDepth = 2;        ///< Nesting depth of composite constructs.
+  int64_t MaxRate = 4;     ///< Pop/push rates are drawn from [1, MaxRate].
+  bool AllowPeeking = true;
+  bool AllowSplitJoin = true;
+  bool AllowRoundRobin = false; ///< Extension: round-robin split-joins.
+  bool AllowFloat = false;      ///< Extension: float token programs.
+  bool AllowStateful = false;   ///< Extension: stateful filters.
+};
+
+/// Draws a random program spec for \p Seed.
+GraphSpec generateGraphSpec(uint64_t Seed, const GraphGenOptions &O = {});
+
+/// Lowers one filter spec to a Filter definition with token type \p Ty.
+FilterPtr buildFilter(const FilterSpec &F, TokenType Ty);
+
+/// Lowers the spec tree to a fresh hierarchical stream.
+StreamPtr buildStream(const GraphSpec &Spec);
+
+/// Convenience: buildStream + flatten.
+StreamGraph buildGraph(const GraphSpec &Spec);
+
+/// Returns the spec with every rate multiplied by \p C > 0: filter
+/// pop/push/peek and round-robin splitter / joiner weights. The balance
+/// equations are homogeneous in the rates, so the repetition vector of
+/// every filter is preserved and per-edge steady-state token traffic
+/// scales by exactly C (the metamorphic rate-scaling property).
+GraphSpec scaleSpecRates(const GraphSpec &Spec, int64_t C);
+
+/// Deterministic random program input: \p N tokens of type \p Ty.
+std::vector<Scalar> randomInput(Rng &R, TokenType Ty, int64_t N);
+
+/// Number of filter leaves in the spec tree (the reducer's size metric).
+int countFilters(const StreamSpec &S);
+
+/// One-line human-readable summary ("seed 7: int, 5 filters, depth 2"),
+/// also the determinism fingerprint used by the driver's self-check.
+std::string describeSpec(const GraphSpec &Spec);
+
+} // namespace testing
+} // namespace sgpu
+
+#endif // SGPU_TESTING_GRAPHGEN_H

@@ -1,0 +1,752 @@
+//===- testing/Oracles.cpp - Differential & metamorphic oracles -----------===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Oracles.h"
+
+#include "core/ScheduleVerifier.h"
+#include "gpusim/FunctionalSim.h"
+#include "ir/Analyzer.h"
+#include "ir/Interpreter.h"
+#include "parser/Parser.h"
+#include "profile/ConfigSelection.h"
+#include "profile/Profiler.h"
+#include "sdf/RateSolver.h"
+#include "sdf/Schedules.h"
+#include "testing/DslPrinter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sgpu {
+namespace testing {
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Report plumbing
+//===----------------------------------------------------------------------===//
+
+struct Ctx {
+  const OracleOptions &O;
+  OracleReport &R;
+
+  void check() { ++R.ChecksRun; }
+  void fail(const std::string &Oracle, const std::string &Message) {
+    R.Failures.push_back({Oracle, Message});
+  }
+};
+
+/// Deterministic program input for this seed: every consumer draws from
+/// the same Rng sequence, so inputs of different lengths are prefixes of
+/// one another and all executions see the same token stream.
+std::vector<Scalar> seedInput(uint64_t Seed, TokenType Ty, int64_t N) {
+  Rng R(Seed ^ 0x5bf0363546316325ull);
+  return randomInput(R, Ty, N);
+}
+
+TokenType graphInputType(const StreamGraph &G) {
+  if (G.entryNode() < 0)
+    return TokenType::Int;
+  const GraphNode &N = G.node(G.entryNode());
+  return N.isFilter() ? N.TheFilter->inputType() : N.Ty;
+}
+
+/// Reference executor: the sequential AST interpreter run exactly the way
+/// checkScheduleAgainstReference runs it (init firings in topological
+/// order, then \p BaseIters steady-state iterations).
+std::optional<std::vector<Scalar>>
+runReference(const StreamGraph &G, const SteadyState &SS,
+             const std::vector<Scalar> &Input, int64_t BaseIters,
+             std::string &Err) {
+  auto Topo = G.topologicalOrder();
+  if (!Topo) {
+    Err = "no topological order for the reference run";
+    return std::nullopt;
+  }
+  GraphInterpreter I(G);
+  I.feedInput(Input);
+  for (int V : *Topo) {
+    int64_t Want = SS.initFirings()[V];
+    if (I.fireNode(V, Want) != Want) {
+      Err = "reference init firing rule failed at node " + G.node(V).Name;
+      return std::nullopt;
+    }
+  }
+  if (!I.runSteadyState(SS.repetitions(), BaseIters)) {
+    Err = "reference steady-state firing rule failed";
+    return std::nullopt;
+  }
+  return I.output();
+}
+
+std::string scalarStr(const Scalar &S) { return S.str(); }
+
+/// First index where the common prefix of \p A and \p B disagrees, or -1.
+int64_t firstMismatch(const std::vector<Scalar> &A,
+                      const std::vector<Scalar> &B) {
+  size_t N = std::min(A.size(), B.size());
+  for (size_t I = 0; I < N; ++I)
+    if (!(A[I] == B[I]))
+      return static_cast<int64_t>(I);
+  return -1;
+}
+
+//===----------------------------------------------------------------------===//
+// Structural / rate oracles
+//===----------------------------------------------------------------------===//
+
+void checkStructure(Ctx &C, const StreamGraph &G, const SteadyState &SS) {
+  C.check();
+  if (auto Err = G.validate())
+    C.fail("structure", *Err);
+
+  C.check();
+  auto Reps = computeRepetitionVector(G);
+  if (!Reps) {
+    C.fail("rates", "rate solver found no repetition vector");
+    return;
+  }
+  if (!isBalanced(G, *Reps))
+    C.fail("rates", "repetition vector does not balance the graph");
+  if (auto Err = validateGraphRates(G))
+    C.fail("rates", "declared rates disagree with the AST: " + *Err);
+  if (*Reps != SS.repetitions())
+    C.fail("rates", "SteadyState and rate solver disagree on repetitions");
+}
+
+//===----------------------------------------------------------------------===//
+// Sequential differential oracle: SAS vs. min-latency vs. reference
+//===----------------------------------------------------------------------===//
+
+/// Executes \p Sched step by step through a fresh interpreter.
+std::optional<std::vector<Scalar>>
+runSequential(const StreamGraph &G, const SteadyState &SS,
+              const SequentialSchedule &Sched,
+              const std::vector<Scalar> &Input, int64_t Iters,
+              std::string &Err) {
+  auto Topo = G.topologicalOrder();
+  if (!Topo) {
+    Err = "no topological order";
+    return std::nullopt;
+  }
+  GraphInterpreter I(G);
+  I.feedInput(Input);
+  for (int V : *Topo) {
+    int64_t Want = SS.initFirings()[V];
+    if (I.fireNode(V, Want) != Want) {
+      Err = "init firing rule failed at node " + G.node(V).Name;
+      return std::nullopt;
+    }
+  }
+  for (int64_t It = 0; It < Iters; ++It)
+    for (const ScheduleStep &S : Sched.Steps)
+      if (I.fireNode(S.NodeId, S.Count) != S.Count) {
+        Err = "firing rule failed at node " + G.node(S.NodeId).Name +
+              " in iteration " + std::to_string(It);
+        return std::nullopt;
+      }
+  return I.output();
+}
+
+void checkSequential(Ctx &C, const StreamGraph &G, const SteadyState &SS,
+                     uint64_t Seed) {
+  const int64_t Iters = 2;
+  TokenType Ty = graphInputType(G);
+  std::vector<Scalar> Input =
+      seedInput(Seed, Ty, SS.inputTokensNeeded(Iters));
+
+  std::string Err;
+  auto Ref = runReference(G, SS, Input, Iters, Err);
+  C.check();
+  if (!Ref) {
+    C.fail("sequential", Err);
+    return;
+  }
+
+  // The min-latency scheduler simulates one bare steady-state iteration
+  // from the initial tokens, with no init phase: on a peeking graph the
+  // lookahead margin is never primed and it deadlocks by design, so its
+  // absence only counts as a violation on peek-free graphs.
+  bool Peeks = false;
+  for (const ChannelEdge &E : G.edges())
+    Peeks |= E.PeekRate > E.ConsRate;
+
+  struct Variant {
+    const char *Name;
+    std::optional<SequentialSchedule> Sched;
+    bool MayDeadlock;
+  } Variants[] = {
+      {"SAS", buildSingleAppearanceSchedule(SS), false},
+      {"min-latency", buildMinLatencySchedule(SS), Peeks},
+  };
+  for (const Variant &V : Variants) {
+    C.check();
+    if (!V.Sched) {
+      if (!V.MayDeadlock)
+        C.fail("sequential",
+               std::string(V.Name) + ": no schedule for a balanced graph");
+      continue;
+    }
+    std::string SErr;
+    auto Out = runSequential(G, SS, *V.Sched, Input, Iters, SErr);
+    if (!Out) {
+      C.fail("sequential", std::string(V.Name) + ": " + SErr);
+      continue;
+    }
+    if (Out->size() != Ref->size()) {
+      C.fail("sequential", std::string(V.Name) + ": produced " +
+                               std::to_string(Out->size()) + " tokens, " +
+                               "reference produced " +
+                               std::to_string(Ref->size()));
+      continue;
+    }
+    int64_t Bad = firstMismatch(*Out, *Ref);
+    if (Bad >= 0)
+      C.fail("sequential",
+             std::string(V.Name) + ": token " + std::to_string(Bad) + " is " +
+                 scalarStr((*Out)[Bad]) + ", reference " +
+                 scalarStr((*Ref)[Bad]));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SWP compile variants
+//===----------------------------------------------------------------------===//
+
+struct SwpVariant {
+  std::string Name;
+  bool UseIlp = false;
+  LayoutKind Layout = LayoutKind::Shuffled;
+
+  bool Compiled = false;
+  ExecutionConfig Config;
+  GpuSteadyState GSS;
+  SwpSchedule Schedule;
+  int64_t BaseItersRun = 0;        ///< Base iterations the functional run covered.
+  std::vector<Scalar> Output;      ///< Functional output when it ran.
+  bool FunctionalRan = false;
+};
+
+/// One full compile: profile -> Alg. 7 -> GPU steady state -> SWP
+/// schedule -> verifier -> functional sim vs. reference. Everything runs
+/// single-worker so a seed's outcome is independent of --jobs.
+void compileVariant(Ctx &C, const StreamGraph &G, const SteadyState &SS,
+                    uint64_t Seed, SwpVariant &V, bool InjectHere) {
+  ProfileTable PT = profileGraph(C.O.Arch, G, V.Layout, /*Jobs=*/1);
+  C.check();
+  auto Config = selectExecutionConfig(SS, PT);
+  if (!Config) {
+    C.fail("config", V.Name + ": no feasible execution configuration");
+    return;
+  }
+  GpuSteadyState GSS = computeGpuSteadyState(SS.repetitions(), Config->Threads);
+
+  C.check();
+  for (int N = 0; N < G.numNodes(); ++N) {
+    if (GSS.Instances[N] * Config->Threads[N] !=
+        SS.repetitions()[N] * GSS.Multiplier) {
+      C.fail("gpu-steady-state",
+             V.Name + ": Instances * Threads != k * Multiplier at node " +
+                 G.node(N).Name);
+      return;
+    }
+  }
+
+  SchedulerOptions SO;
+  SO.Pmax = C.O.Pmax;
+  SO.TimeBudgetSeconds = C.O.TimeBudgetSeconds;
+  SO.NumWorkers = 1;
+  SO.UseIlp = V.UseIlp;
+  if (V.UseIlp) {
+    SO.IlpEvenIfHeuristicSucceeds = true;
+    // Deterministic node/iteration budgets instead of wall-clock so a
+    // seed behaves identically on any machine and at any --jobs.
+    SO.MaxIlpNodes = 20000;
+    SO.MaxLpIterations = 20000;
+    SO.MaxIlpAttempts = 2;
+  }
+
+  C.check();
+  auto Sched = scheduleSwp(G, SS, *Config, GSS, SO);
+  if (!Sched) {
+    C.fail("schedule", V.Name + ": no schedule found");
+    return;
+  }
+
+  if (InjectHere)
+    injectScheduleBug(Sched->Schedule, C.O.InjectBug);
+
+  C.check();
+  if (auto Err = verifySchedule(G, SS, *Config, GSS, Sched->Schedule)) {
+    C.fail("verifier", V.Name + ": " + *Err);
+    return;
+  }
+
+  V.Compiled = true;
+  V.Config = std::move(*Config);
+  V.GSS = GSS;
+  V.Schedule = Sched->Schedule;
+
+  // Functional execution, bounded by the firing budget.
+  int64_t TotalBase = 0;
+  for (int N = 0; N < G.numNodes(); ++N)
+    TotalBase += GSS.Instances[N] * V.Config.Threads[N];
+  if (TotalBase * C.O.Iterations > C.O.MaxFunctionalBaseFirings)
+    return;
+
+  SwpFunctionalSim Sim(G, SS, V.Config, V.GSS, V.Schedule);
+  TokenType Ty = graphInputType(G);
+  std::vector<Scalar> Input =
+      seedInput(Seed, Ty, Sim.inputTokensNeeded(C.O.Iterations));
+  C.check();
+  FunctionalRunResult FR = Sim.run(Input, C.O.Iterations);
+  if (!FR.Ok) {
+    C.fail("functional", V.Name + ": " + FR.Error);
+    return;
+  }
+
+  int64_t BaseIters = C.O.Iterations * V.GSS.Multiplier;
+  std::string Err;
+  auto Ref = runReference(G, SS, Input, BaseIters, Err);
+  if (!Ref) {
+    C.fail("functional", V.Name + ": " + Err);
+    return;
+  }
+  if (FR.Output.size() != Ref->size()) {
+    C.fail("functional", V.Name + ": produced " +
+                             std::to_string(FR.Output.size()) +
+                             " tokens, reference produced " +
+                             std::to_string(Ref->size()));
+    return;
+  }
+  int64_t Bad = firstMismatch(FR.Output, *Ref);
+  if (Bad >= 0) {
+    C.fail("functional",
+           V.Name + ": token " + std::to_string(Bad) + " is " +
+               scalarStr(FR.Output[Bad]) + ", reference " +
+               scalarStr((*Ref)[Bad]));
+    return;
+  }
+  V.FunctionalRan = true;
+  V.BaseItersRun = BaseIters;
+  V.Output = std::move(FR.Output);
+}
+
+/// Every pair of variants must agree bit for bit on the output prefix
+/// they both produced (each covers a different number of base iterations
+/// when the configurations differ).
+void checkCrossVariant(Ctx &C, const std::vector<SwpVariant> &Variants) {
+  for (size_t A = 0; A < Variants.size(); ++A) {
+    if (!Variants[A].FunctionalRan)
+      continue;
+    for (size_t B = A + 1; B < Variants.size(); ++B) {
+      if (!Variants[B].FunctionalRan)
+        continue;
+      C.check();
+      int64_t Bad = firstMismatch(Variants[A].Output, Variants[B].Output);
+      if (Bad >= 0)
+        C.fail("cross-variant",
+               Variants[A].Name + " vs " + Variants[B].Name + ": token " +
+                   std::to_string(Bad) + " differs (" +
+                   scalarStr(Variants[A].Output[Bad]) + " vs " +
+                   scalarStr(Variants[B].Output[Bad]) + ")");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Metamorphic: kernel coarsening
+//===----------------------------------------------------------------------===//
+
+void checkCoarseningTiming(Ctx &C, const StreamGraph &G,
+                           const SwpVariant &V) {
+  auto Model = createTimingModel(C.O.Timing, C.O.Arch);
+  KernelDesc K1 =
+      buildSwpKernelDesc(C.O.Arch, G, V.Config, V.Schedule, V.Layout, 1);
+  KernelDesc Kk = buildSwpKernelDesc(C.O.Arch, G, V.Config, V.Schedule,
+                                     V.Layout, static_cast<int>(C.O.CoarseningK));
+  KernelSimResult R1 = Model->simulateKernel(K1);
+  KernelSimResult Rk = Model->simulateKernel(Kk);
+
+  C.check();
+  double Want = R1.Transactions * static_cast<double>(C.O.CoarseningK);
+  double Tol = 1e-6 * std::max(1.0, Want);
+  if (std::abs(Rk.Transactions - Want) > Tol)
+    C.fail("coarsening-timing",
+           V.Name + ": transactions at K=" + std::to_string(C.O.CoarseningK) +
+               " are " + std::to_string(Rk.Transactions) + ", expected " +
+               std::to_string(Want));
+
+  C.check();
+  if (Rk.TotalCycles + 1e-9 < R1.TotalCycles)
+    C.fail("coarsening-timing",
+           V.Name + ": cycles shrank under coarsening (" +
+               std::to_string(R1.TotalCycles) + " -> " +
+               std::to_string(Rk.TotalCycles) + ")");
+}
+
+/// Running K GPU iterations must still match the reference (the
+/// functional face of "coarsening preserves outputs").
+void checkCoarseningFunctional(Ctx &C, const StreamGraph &G,
+                               const SteadyState &SS, uint64_t Seed,
+                               const SwpVariant &V) {
+  int64_t TotalBase = 0;
+  for (int N = 0; N < G.numNodes(); ++N)
+    TotalBase += V.GSS.Instances[N] * V.Config.Threads[N];
+  if (TotalBase * C.O.CoarseningK > C.O.MaxFunctionalBaseFirings)
+    return;
+
+  C.check();
+  SwpFunctionalSim Sim(G, SS, V.Config, V.GSS, V.Schedule);
+  TokenType Ty = graphInputType(G);
+  std::vector<Scalar> Input =
+      seedInput(Seed, Ty, Sim.inputTokensNeeded(C.O.CoarseningK));
+  FunctionalRunResult FR = Sim.run(Input, C.O.CoarseningK);
+  if (!FR.Ok) {
+    C.fail("coarsening-functional", V.Name + ": " + FR.Error);
+    return;
+  }
+  std::string Err;
+  auto Ref =
+      runReference(G, SS, Input, C.O.CoarseningK * V.GSS.Multiplier, Err);
+  if (!Ref) {
+    C.fail("coarsening-functional", V.Name + ": " + Err);
+    return;
+  }
+  if (FR.Output.size() != Ref->size() ||
+      firstMismatch(FR.Output, *Ref) >= 0)
+    C.fail("coarsening-functional",
+           V.Name + ": output at K=" + std::to_string(C.O.CoarseningK) +
+               " iterations no longer matches the reference");
+}
+
+//===----------------------------------------------------------------------===//
+// Metamorphic: analytic/cycle layout-ordering agreement
+//===----------------------------------------------------------------------===//
+
+void checkTimingOrdering(Ctx &C, const StreamGraph &G, const SwpVariant &V) {
+  auto Analytic = createTimingModel(TimingModelKind::Analytic, C.O.Arch);
+  auto Cycle = createTimingModel(TimingModelKind::Cycle, C.O.Arch);
+
+  KernelDesc Shuf = buildSwpKernelDesc(C.O.Arch, G, V.Config, V.Schedule,
+                                       LayoutKind::Shuffled, 1);
+  KernelDesc Seq = buildSwpKernelDesc(C.O.Arch, G, V.Config, V.Schedule,
+                                      LayoutKind::Sequential, 1);
+
+  KernelSimResult AS = Analytic->simulateKernel(Shuf);
+  KernelSimResult AQ = Analytic->simulateKernel(Seq);
+  KernelSimResult CS = Cycle->simulateKernel(Shuf);
+  KernelSimResult CQ = Cycle->simulateKernel(Seq);
+
+  // The cycle simulator derives transactions from actual addresses and
+  // must never undercount the analytic closed form.
+  C.check();
+  if (CS.Transactions < AS.Transactions * 0.999 ||
+      CQ.Transactions < AQ.Transactions * 0.999)
+    C.fail("timing-ordering",
+           V.Name + ": cycle model undercounts transactions (shuffled " +
+               std::to_string(CS.Transactions) + " vs " +
+               std::to_string(AS.Transactions) + ", linear " +
+               std::to_string(CQ.Transactions) + " vs " +
+               std::to_string(AQ.Transactions) + ")");
+
+  // The ordering gate only applies when both models see the same memory
+  // traffic; the documented divergences (e.g. serialized true peeks)
+  // exceed the 5% transaction band and are excluded here.
+  bool TxAgree = CS.Transactions <= AS.Transactions * 1.05 &&
+                 CQ.Transactions <= AQ.Transactions * 1.05;
+  if (!TxAgree)
+    return;
+
+  C.check();
+  const double Clear = 1.15, Agree = 1.05;
+  if (AS.TotalCycles * Clear < AQ.TotalCycles &&
+      CS.TotalCycles > CQ.TotalCycles * Agree)
+    C.fail("timing-ordering",
+           V.Name + ": analytic clearly prefers shuffled (" +
+               std::to_string(AS.TotalCycles) + " vs " +
+               std::to_string(AQ.TotalCycles) +
+               ") but the cycle model disagrees (" +
+               std::to_string(CS.TotalCycles) + " vs " +
+               std::to_string(CQ.TotalCycles) + ")");
+  if (AQ.TotalCycles * Clear < AS.TotalCycles &&
+      CQ.TotalCycles > CS.TotalCycles * Agree)
+    C.fail("timing-ordering",
+           V.Name + ": analytic clearly prefers linear (" +
+               std::to_string(AQ.TotalCycles) + " vs " +
+               std::to_string(AS.TotalCycles) +
+               ") but the cycle model disagrees (" +
+               std::to_string(CQ.TotalCycles) + " vs " +
+               std::to_string(CS.TotalCycles) + ")");
+}
+
+//===----------------------------------------------------------------------===//
+// Spec-level: rate scaling
+//===----------------------------------------------------------------------===//
+
+void checkRateScaling(Ctx &C, const GraphSpec &Spec) {
+  const int64_t Scale = C.O.RateScaleC;
+  GraphSpec Scaled = scaleSpecRates(Spec, Scale);
+  StreamGraph G = buildGraph(Spec);
+  StreamGraph GS = buildGraph(Scaled);
+
+  C.check();
+  if (auto Err = GS.validate()) {
+    C.fail("rate-scaling", "scaled graph no longer validates: " + *Err);
+    return;
+  }
+  auto SS = SteadyState::compute(G);
+  auto SSs = SteadyState::compute(GS);
+  if (!SS || !SSs) {
+    C.fail("rate-scaling", "scaled graph no longer balances");
+    return;
+  }
+  if (G.numNodes() != GS.numNodes() || G.numEdges() != GS.numEdges()) {
+    C.fail("rate-scaling", "scaling changed the graph structure");
+    return;
+  }
+
+  // Scaling multiplies every port rate by C except on duplicate
+  // splitters (which consume one token and copy it, weight-free). The
+  // balance equations k_u * prod = k_v * cons then force one ratio
+  // R = k'/k shared by every rate-scaled node (filters, joiners,
+  // round-robin splitters), with duplicate splitters at R*C, and every
+  // edge's steady-state traffic at exactly R*C. R is a rational picked
+  // up by the primitive-vector renormalization, so everything is checked
+  // by cross-multiplication against a reference node.
+  C.check();
+  // Rate-unscaled nodes: duplicate splitters, plus the pop-1/push-1
+  // boundary identities flatten() wraps around splitter/joiner entry and
+  // exit points (synthesized after the spec, so scaling never sees them).
+  auto IsDup = [&](int N) {
+    const GraphNode &Node = G.node(N);
+    if (Node.isSplitter() && Node.SplitKind == SplitterKind::Duplicate)
+      return true;
+    return Node.isFilter() &&
+           (Node.Name == "__input" || Node.Name == "__output");
+  };
+  int Ref = -1;
+  for (int N = 0; N < G.numNodes() && Ref < 0; ++N)
+    if (!IsDup(N))
+      Ref = N; // Always hits: every graph has at least one spec filter.
+  int64_t Num = SSs->repetitions()[Ref]; // R = Num / Den.
+  int64_t Den = SS->repetitions()[Ref];
+  for (int N = 0; N < G.numNodes(); ++N) {
+    int64_t K = SS->repetitions()[N];
+    int64_t Ks = SSs->repetitions()[N];
+    int64_t Want = IsDup(N) ? K * Num * Scale : K * Num;
+    if (Ks * Den != Want) {
+      C.fail("rate-scaling",
+             "node " + G.node(N).Name + " repetitions went " +
+                 std::to_string(K) + " -> " + std::to_string(Ks) +
+                 ", breaking the scaling law");
+      return;
+    }
+  }
+  for (int E = 0; E < G.numEdges(); ++E)
+    if (SSs->tokensPerIteration(E) * Den !=
+        SS->tokensPerIteration(E) * Num * Scale) {
+      C.fail("rate-scaling",
+             "edge " + std::to_string(E) + " traffic scaled non-uniformly");
+      return;
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Spec-level: DSL round trip
+//===----------------------------------------------------------------------===//
+
+void checkRoundTrip(Ctx &C, const GraphSpec &Spec) {
+  StreamPtr S = buildStream(Spec);
+  C.check();
+  DslPrintResult P = printStreamDsl(*S);
+  if (!P.Ok) {
+    C.fail("roundtrip", "printer refused the program: " + P.Error);
+    return;
+  }
+  ParseDiagnostic Diag;
+  StreamPtr Re = parseStreamProgram(P.Text, &Diag);
+  if (!Re) {
+    C.fail("roundtrip", "printed program does not reparse: " + Diag.str());
+    return;
+  }
+
+  StreamGraph G = flatten(*S);
+  StreamGraph GR = flatten(*Re);
+  if (G.numNodes() != GR.numNodes() || G.numEdges() != GR.numEdges()) {
+    C.fail("roundtrip", "reparsed graph has different structure");
+    return;
+  }
+  auto SS = SteadyState::compute(G);
+  auto SSr = SteadyState::compute(GR);
+  if (!SS || !SSr || SS->repetitions() != SSr->repetitions()) {
+    C.fail("roundtrip", "reparsed graph has different steady-state rates");
+    return;
+  }
+
+  const int64_t Iters = 2;
+  TokenType Ty = graphInputType(G);
+  std::vector<Scalar> Input =
+      seedInput(Spec.Seed, Ty, std::max(SS->inputTokensNeeded(Iters),
+                                        SSr->inputTokensNeeded(Iters)));
+  std::string Err;
+  auto Ref = runReference(G, *SS, Input, Iters, Err);
+  auto RefR = runReference(GR, *SSr, Input, Iters, Err);
+  if (!Ref || !RefR) {
+    C.fail("roundtrip", "reference run failed: " + Err);
+    return;
+  }
+  if (Ref->size() != RefR->size() || firstMismatch(*Ref, *RefR) >= 0)
+    C.fail("roundtrip", "reparsed program computes different output");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Bug injection
+//===----------------------------------------------------------------------===//
+
+bool injectScheduleBug(SwpSchedule &S, ScheduleBugKind Kind) {
+  if (Kind == ScheduleBugKind::None || S.Instances.empty())
+    return false;
+  switch (Kind) {
+  case ScheduleBugKind::None:
+    return false;
+  case ScheduleBugKind::SwapSlots: {
+    // Swap the slots of the first same-SM pair with distinct o.
+    for (size_t A = 0; A < S.Instances.size(); ++A)
+      for (size_t B = A + 1; B < S.Instances.size(); ++B)
+        if (S.Instances[A].Sm == S.Instances[B].Sm &&
+            S.Instances[A].O != S.Instances[B].O) {
+          std::swap(S.Instances[A].O, S.Instances[B].O);
+          return true;
+        }
+    return false;
+  }
+  case ScheduleBugKind::ExceedII:
+    S.Instances.front().O = S.II + 1.0;
+    return true;
+  case ScheduleBugKind::DoubleAssign:
+    S.Instances.push_back(S.Instances.front());
+    return true;
+  case ScheduleBugKind::BadSm:
+    S.Instances.front().Sm = S.Pmax;
+    return true;
+  case ScheduleBugKind::DropInstance:
+    S.Instances.pop_back();
+    return true;
+  }
+  return false;
+}
+
+const char *scheduleBugKindName(ScheduleBugKind Kind) {
+  switch (Kind) {
+  case ScheduleBugKind::None:
+    return "none";
+  case ScheduleBugKind::SwapSlots:
+    return "swap-slots";
+  case ScheduleBugKind::ExceedII:
+    return "exceed-ii";
+  case ScheduleBugKind::DoubleAssign:
+    return "double-assign";
+  case ScheduleBugKind::BadSm:
+    return "bad-sm";
+  case ScheduleBugKind::DropInstance:
+    return "drop-instance";
+  }
+  return "none";
+}
+
+std::optional<ScheduleBugKind> parseScheduleBugKind(std::string_view Name) {
+  for (ScheduleBugKind K :
+       {ScheduleBugKind::None, ScheduleBugKind::SwapSlots,
+        ScheduleBugKind::ExceedII, ScheduleBugKind::DoubleAssign,
+        ScheduleBugKind::BadSm, ScheduleBugKind::DropInstance})
+    if (Name == scheduleBugKindName(K))
+      return K;
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+OracleReport runOraclesOnStream(const Stream &Root, uint64_t Seed,
+                                const OracleOptions &O) {
+  OracleReport R;
+  R.Seed = Seed;
+  Ctx C{O, R};
+
+  StreamGraph G = flatten(Root);
+  auto SS = SteadyState::compute(G);
+  C.check();
+  if (!SS) {
+    C.fail("rates", "graph does not balance");
+    return R;
+  }
+
+  checkStructure(C, G, *SS);
+  checkSequential(C, G, *SS, Seed);
+
+  // Stateful programs stop here: the GPU pipeline rejects them by design
+  // (paper Section II-B), so only the sequential oracles apply.
+  if (G.hasStatefulFilter())
+    return R;
+
+  auto makeVariant = [](const char *Name, bool UseIlp, LayoutKind Layout) {
+    SwpVariant V;
+    V.Name = Name;
+    V.UseIlp = UseIlp;
+    V.Layout = Layout;
+    return V;
+  };
+  std::vector<SwpVariant> Variants;
+  Variants.push_back(makeVariant("heuristic/shuffled", false,
+                                 LayoutKind::Shuffled));
+  Variants.push_back(makeVariant("heuristic/linear", false,
+                                 LayoutKind::Sequential));
+  if (O.RunIlp) {
+    Variants.push_back(makeVariant("ilp/shuffled", true, LayoutKind::Shuffled));
+    Variants.push_back(makeVariant("ilp/linear", true, LayoutKind::Sequential));
+  }
+
+  for (size_t I = 0; I < Variants.size(); ++I)
+    compileVariant(C, G, *SS, Seed, Variants[I],
+                   /*InjectHere=*/I == 0 && O.InjectBug != ScheduleBugKind::None);
+
+  checkCrossVariant(C, Variants);
+
+  const SwpVariant &Primary = Variants.front();
+  if (Primary.Compiled && O.RunMetamorphic) {
+    checkCoarseningTiming(C, G, Primary);
+    checkCoarseningFunctional(C, G, *SS, Seed, Primary);
+  }
+  if (Primary.Compiled && O.RunTimingOrdering)
+    checkTimingOrdering(C, G, Primary);
+
+  return R;
+}
+
+OracleReport runOraclesOnSpec(const GraphSpec &Spec, const OracleOptions &O) {
+  StreamPtr S = buildStream(Spec);
+  OracleReport R = runOraclesOnStream(*S, Spec.Seed, O);
+  R.Description = describeSpec(Spec);
+
+  Ctx C{O, R};
+  checkRoundTrip(C, Spec);
+  if (O.RunMetamorphic)
+    checkRateScaling(C, Spec);
+  return R;
+}
+
+OracleReport runOracles(uint64_t Seed, const GraphGenOptions &Gen,
+                        const OracleOptions &O) {
+  return runOraclesOnSpec(generateGraphSpec(Seed, Gen), O);
+}
+
+} // namespace testing
+} // namespace sgpu

@@ -1,0 +1,141 @@
+//===- testing/Oracles.h - Differential & metamorphic oracles ---*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The correctness oracles behind `sgpu-fuzz`. The compiler has many
+/// independently-implemented answers to the same questions — ILP vs.
+/// heuristic scheduling, shuffled vs. linear layouts, SAS vs. min-latency
+/// sequential schedules, interpreter vs. functional-sim execution,
+/// analytic vs. cycle timing — and every generated program is pushed
+/// through all of them and cross-checked:
+///
+/// Differential oracles:
+///  - structure/rates: graph validates, the rate solver balances it, and
+///    SteadyState agrees with computeRepetitionVector;
+///  - sequential: SAS and min-latency schedules, executed step by step,
+///    reproduce the reference interpreter output bit for bit;
+///  - swp variants: every {heuristic, ILP} x {shuffled, linear} compile
+///    yields a verifier-clean schedule whose functional-sim output equals
+///    the reference, and all variants agree pairwise on common prefixes;
+///  - gpu steady state: Instances[v] * Threads[v] == k_v * Multiplier.
+///
+/// Metamorphic oracles:
+///  - coarsening: iterating the kernel K times scales analytic/cycle
+///    transactions by exactly K and never shrinks cycles; running K GPU
+///    iterations still matches the reference;
+///  - rate scaling: multiplying every rate by C preserves the repetition
+///    vector structure and scales per-edge traffic uniformly;
+///  - timing ordering: whenever the analytic and cycle models agree on
+///    transaction counts (within 5%), they must agree on which buffer
+///    layout is faster (1.15x clear-preference / 1.05x agreement margins,
+///    the cyclesim cross-validation gates). Known divergence: the cycle
+///    simulator serializes true peeks, so peeking graphs naturally fall
+///    out via the transaction gate.
+///
+/// Round-trip oracle (spec-level): printing the program through the DSL
+/// printer and reparsing yields a graph with identical structure, rates
+/// and reference output — this is also what makes minimized `.str`
+/// repros trustworthy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_TESTING_ORACLES_H
+#define SGPU_TESTING_ORACLES_H
+
+#include "core/Compiler.h"
+#include "testing/GraphGen.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgpu {
+namespace testing {
+
+/// Deliberate schedule corruptions, for validating that the oracles (and
+/// the ScheduleVerifier behind them) actually catch scheduler bugs.
+enum class ScheduleBugKind : uint8_t {
+  None,
+  SwapSlots,    ///< Swap the o slots of two same-SM instances.
+  ExceedII,     ///< Move an instance past the II (breaks constraint 4).
+  DoubleAssign, ///< Schedule one instance twice.
+  BadSm,        ///< Assign an instance to SM Pmax.
+  DropInstance  ///< Remove an instance from the schedule.
+};
+
+/// Mutates \p S in place. Returns false when the schedule is too small
+/// for the requested corruption (nothing mutated).
+bool injectScheduleBug(SwpSchedule &S, ScheduleBugKind Kind);
+
+const char *scheduleBugKindName(ScheduleBugKind Kind);
+std::optional<ScheduleBugKind> parseScheduleBugKind(std::string_view Name);
+
+/// Oracle knobs. The defaults keep one seed's full check under ~a second
+/// so a 200-seed CI sweep stays bounded.
+struct OracleOptions {
+  GpuArch Arch = GpuArch::geForce8800GTS512();
+  int Pmax = 4;
+  double TimeBudgetSeconds = 0.25;
+  /// Also compile through the exact ILP solver (doubles the variants).
+  bool RunIlp = true;
+  bool RunMetamorphic = true;
+  bool RunTimingOrdering = true;
+  /// Timing model the kernel-level checks run against.
+  TimingModelKind Timing = TimingModelKind::Analytic;
+  /// Skip functional execution when one GPU iteration covers more base
+  /// firings than this (keeps degenerate steady states bounded).
+  int64_t MaxFunctionalBaseFirings = 40000;
+  /// GPU iterations per functional run.
+  int64_t Iterations = 1;
+  /// K of the coarsening metamorphic checks.
+  int64_t CoarseningK = 3;
+  /// C of the rate-scaling metamorphic check.
+  int64_t RateScaleC = 2;
+  /// Corrupt the first compiled schedule before verifying it; the run
+  /// must then report at least one violation (fault-injection mode).
+  ScheduleBugKind InjectBug = ScheduleBugKind::None;
+};
+
+/// One oracle violation.
+struct OracleFailure {
+  std::string Oracle;  ///< Stable oracle name ("verifier", "functional", ...).
+  std::string Message; ///< Human-readable details.
+};
+
+/// Outcome of running the oracles over one program.
+struct OracleReport {
+  uint64_t Seed = 0;
+  std::string Description; ///< describeSpec() when spec-derived.
+  int ChecksRun = 0;
+  std::vector<OracleFailure> Failures;
+
+  bool ok() const { return Failures.empty(); }
+  /// The first failure's oracle name, or "" (the reducer's match key).
+  std::string firstOracle() const {
+    return Failures.empty() ? std::string() : Failures.front().Oracle;
+  }
+};
+
+/// Runs every stream-level oracle over \p Root. \p Seed only labels the
+/// report and derives the deterministic program input.
+OracleReport runOraclesOnStream(const Stream &Root, uint64_t Seed,
+                                const OracleOptions &O = {});
+
+/// Runs the stream-level oracles plus the spec-level ones (DSL round
+/// trip, rate scaling) over a generated program.
+OracleReport runOraclesOnSpec(const GraphSpec &Spec,
+                              const OracleOptions &O = {});
+
+/// generateGraphSpec + runOraclesOnSpec.
+OracleReport runOracles(uint64_t Seed, const GraphGenOptions &Gen = {},
+                        const OracleOptions &O = {});
+
+} // namespace testing
+} // namespace sgpu
+
+#endif // SGPU_TESTING_ORACLES_H

@@ -1,0 +1,166 @@
+//===- testing/Reducer.cpp - Delta-debugging graph minimizer --------------===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Reducer.h"
+
+#include <cassert>
+
+namespace sgpu {
+namespace testing {
+
+namespace {
+
+/// A position in the spec tree, as child indices from the root.
+using Path = std::vector<int>;
+
+StreamSpec *nodeAt(StreamSpec &Root, const Path &P) {
+  StreamSpec *S = &Root;
+  for (int I : P)
+    S = &S->Children[static_cast<size_t>(I)];
+  return S;
+}
+
+const StreamSpec *nodeAt(const StreamSpec &Root, const Path &P) {
+  return nodeAt(const_cast<StreamSpec &>(Root), P);
+}
+
+void collectPaths(const StreamSpec &S, Path &Cur, std::vector<Path> &Out) {
+  Out.push_back(Cur);
+  for (size_t I = 0; I < S.Children.size(); ++I) {
+    Cur.push_back(static_cast<int>(I));
+    collectPaths(S.Children[I], Cur, Out);
+    Cur.pop_back();
+  }
+}
+
+std::vector<Path> allPaths(const StreamSpec &Root) {
+  std::vector<Path> Out;
+  Path Cur;
+  collectPaths(Root, Cur, Out);
+  return Out;
+}
+
+/// One shrink candidate: a copy of \p Spec with a single transformation
+/// applied at one position. Generation order is the priority order —
+/// structural shrinks (which remove whole filters) come before local
+/// filter simplifications.
+std::vector<GraphSpec> candidates(const GraphSpec &Spec) {
+  std::vector<GraphSpec> Out;
+  std::vector<Path> Paths = allPaths(Spec.Root);
+
+  // 1. Replace a composite by one of its children (largest cut first).
+  for (const Path &P : Paths) {
+    const StreamSpec *S = nodeAt(Spec.Root, P);
+    if (S->K == StreamSpec::Kind::Filter)
+      continue;
+    for (size_t CI = 0; CI < S->Children.size(); ++CI) {
+      GraphSpec Cand = Spec;
+      StreamSpec *N = nodeAt(Cand.Root, P);
+      StreamSpec Child = std::move(N->Children[CI]);
+      *N = std::move(Child);
+      Out.push_back(std::move(Cand));
+    }
+  }
+
+  // 2. Drop one stage from a pipeline of >= 2.
+  for (const Path &P : Paths) {
+    const StreamSpec *S = nodeAt(Spec.Root, P);
+    if (S->K != StreamSpec::Kind::Pipeline || S->Children.size() < 2)
+      continue;
+    for (size_t CI = 0; CI < S->Children.size(); ++CI) {
+      GraphSpec Cand = Spec;
+      StreamSpec *N = nodeAt(Cand.Root, P);
+      N->Children.erase(N->Children.begin() +
+                        static_cast<std::ptrdiff_t>(CI));
+      Out.push_back(std::move(Cand));
+    }
+  }
+
+  // 3. Per-filter simplifications.
+  for (const Path &P : Paths) {
+    const StreamSpec *S = nodeAt(Spec.Root, P);
+    if (S->K == StreamSpec::Kind::Filter) {
+      const FilterSpec &F = S->F;
+      if (F.Peek > F.Pop) {
+        GraphSpec Cand = Spec;
+        nodeAt(Cand.Root, P)->F.Peek = F.Pop;
+        Out.push_back(std::move(Cand));
+      }
+      if (F.Pop != 1 || F.Push != 1) {
+        GraphSpec Cand = Spec;
+        FilterSpec &CF = nodeAt(Cand.Root, P)->F;
+        CF.Pop = 1;
+        CF.Push = 1;
+        CF.Peek = std::max<int64_t>(1, CF.Peek - F.Pop + 1);
+        Out.push_back(std::move(Cand));
+      }
+      if (F.Stateful) {
+        GraphSpec Cand = Spec;
+        nodeAt(Cand.Root, P)->F.Stateful = false;
+        Out.push_back(std::move(Cand));
+      }
+      if (F.Body != 0) {
+        GraphSpec Cand = Spec;
+        nodeAt(Cand.Root, P)->F.Body = 0;
+        Out.push_back(std::move(Cand));
+      }
+      if (F.AccInit != 0) {
+        GraphSpec Cand = Spec;
+        nodeAt(Cand.Root, P)->F.AccInit = 0;
+        Out.push_back(std::move(Cand));
+      }
+      continue;
+    }
+    if (S->K == StreamSpec::Kind::SplitJoin) {
+      bool NonUnit = false;
+      for (int64_t W : S->SplitWeights)
+        NonUnit |= W != 1;
+      for (int64_t W : S->JoinWeights)
+        NonUnit |= W != 1;
+      if (NonUnit) {
+        GraphSpec Cand = Spec;
+        StreamSpec *N = nodeAt(Cand.Root, P);
+        for (int64_t &W : N->SplitWeights)
+          W = 1;
+        for (int64_t &W : N->JoinWeights)
+          W = 1;
+        Out.push_back(std::move(Cand));
+      }
+    }
+  }
+
+  return Out;
+}
+
+} // namespace
+
+ReduceResult reduceSpec(const GraphSpec &Spec, const ReproPredicate &StillFails,
+                        const ReducerOptions &O) {
+  assert(StillFails(Spec) && "reducing a spec that does not fail");
+  ReduceResult R;
+  R.Spec = Spec;
+
+  bool Progress = true;
+  while (Progress && R.CandidatesTried < O.MaxCandidates) {
+    Progress = false;
+    for (GraphSpec &Cand : candidates(R.Spec)) {
+      if (R.CandidatesTried >= O.MaxCandidates)
+        break;
+      ++R.CandidatesTried;
+      if (StillFails(Cand)) {
+        R.Spec = std::move(Cand);
+        ++R.StepsApplied;
+        Progress = true;
+        break; // Restart the scan from the shrunk spec.
+      }
+    }
+  }
+  return R;
+}
+
+} // namespace testing
+} // namespace sgpu

@@ -1,0 +1,58 @@
+//===- testing/Reducer.h - Delta-debugging graph minimizer ------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a failing program spec while an oracle violation keeps
+/// reproducing, delta-debugging style: structural shrinks first (replace
+/// a composite by one child, drop pipeline stages, collapse split-joins),
+/// then per-filter simplifications (drop peeking, rates to 1, trivial
+/// bodies, zero accumulator seeds, weights to 1). Greedy to a fixpoint:
+/// each accepted candidate restarts the scan, so the result is 1-minimal
+/// with respect to the transformation set.
+///
+/// The caller's predicate decides what "still failing" means; `sgpu-fuzz`
+/// pins it to the *first* failing oracle's name so the shrink cannot
+/// drift onto an unrelated violation (e.g. from an output mismatch to a
+/// rate error introduced by the shrink itself).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_TESTING_REDUCER_H
+#define SGPU_TESTING_REDUCER_H
+
+#include "testing/GraphGen.h"
+
+#include <functional>
+
+namespace sgpu {
+namespace testing {
+
+/// Returns true when the candidate spec still reproduces the failure
+/// being minimized.
+using ReproPredicate = std::function<bool(const GraphSpec &)>;
+
+struct ReducerOptions {
+  /// Upper bound on predicate evaluations (each one typically replays
+  /// the full oracle suite).
+  int MaxCandidates = 2000;
+};
+
+struct ReduceResult {
+  GraphSpec Spec;          ///< The minimized spec (still failing).
+  int StepsApplied = 0;    ///< Accepted shrink steps.
+  int CandidatesTried = 0; ///< Predicate evaluations performed.
+};
+
+/// Minimizes \p Spec under \p StillFails. \p Spec itself must satisfy the
+/// predicate (asserted); the result always does.
+ReduceResult reduceSpec(const GraphSpec &Spec, const ReproPredicate &StillFails,
+                        const ReducerOptions &O = {});
+
+} // namespace testing
+} // namespace sgpu
+
+#endif // SGPU_TESTING_REDUCER_H

@@ -1,0 +1,143 @@
+//===- tests/golden_codegen_test.cpp - CUDA emitter golden files ------------===//
+//
+// Full-text golden tests for the CUDA emitter on two Table I benchmarks.
+// The structural checks in codegen_test.cpp catch missing pieces; these
+// catch everything else — a drifted index expression, a reordered case
+// arm, a renamed buffer — by diffing the whole translation unit against
+// tests/golden/<Name>.cu (whitespace-run normalized, so formatting-only
+// emitter changes don't churn the goldens).
+//
+// Regenerate after an intentional emitter change with:
+//   SGPU_UPDATE_GOLDEN=1 ./build/tests/golden_codegen_test
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Registry.h"
+#include "codegen/CudaEmitter.h"
+#include "core/IlpScheduler.h"
+#include "profile/ConfigSelection.h"
+#include "profile/Profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace sgpu;
+
+namespace {
+
+/// Emits the benchmark's .cu through the deterministic heuristic
+/// scheduler (no ILP, one worker, node budgets instead of wall clock) so
+/// the golden text is machine-independent.
+std::string emitBenchmark(const std::string &Name) {
+  const bench::BenchmarkSpec *Spec = bench::findBenchmark(Name);
+  EXPECT_NE(Spec, nullptr) << Name << " missing from the registry";
+  if (!Spec)
+    return "";
+  StreamPtr S = Spec->Build();
+  StreamGraph G = flatten(*S);
+  auto SS = SteadyState::compute(G);
+  EXPECT_TRUE(SS.has_value());
+  ProfileTable PT =
+      profileGraph(GpuArch::geForce8800GTS512(), G, LayoutKind::Shuffled);
+  auto Config = selectExecutionConfig(*SS, PT);
+  EXPECT_TRUE(Config.has_value());
+  GpuSteadyState GSS =
+      computeGpuSteadyState(SS->repetitions(), Config->Threads);
+  SchedulerOptions SO;
+  SO.Pmax = 4;
+  SO.UseIlp = false;
+  SO.NumWorkers = 1;
+  SO.TimeBudgetSeconds = 1e9; // node budgets, not wall clock, cut the search
+  auto Sched = scheduleSwp(G, *SS, *Config, GSS, SO);
+  EXPECT_TRUE(Sched.has_value());
+  auto Err = verifySchedule(G, *SS, *Config, GSS, Sched->Schedule);
+  EXPECT_FALSE(Err.has_value()) << *Err;
+  CudaEmitOptions EO;
+  EO.Layout = LayoutKind::Shuffled;
+  EO.Coarsening = 8; // the SWP8 headline configuration
+  return emitCudaSource(G, *SS, *Config, GSS, Sched->Schedule, EO);
+}
+
+/// Collapses every whitespace run to one space and trims line ends, so
+/// the comparison is insensitive to indentation and blank-line churn.
+std::string normalize(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  bool InSpace = false;
+  for (char C : Text) {
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      InSpace = true;
+      continue;
+    }
+    if (InSpace && !Out.empty())
+      Out += ' ';
+    InSpace = false;
+    Out += C;
+  }
+  return Out;
+}
+
+std::string goldenPath(const std::string &Name) {
+  return std::string(SGPU_SOURCE_DIR) + "/tests/golden/" + Name + ".cu";
+}
+
+void checkGolden(const std::string &Name) {
+  std::string Src = emitBenchmark(Name);
+  ASSERT_FALSE(Src.empty());
+
+  const std::string Path = goldenPath(Name);
+  if (std::getenv("SGPU_UPDATE_GOLDEN")) {
+    std::ofstream Out(Path);
+    ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+    Out << Src;
+    SUCCEED() << "regenerated " << Path;
+    return;
+  }
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good())
+      << Path << " is missing; regenerate with SGPU_UPDATE_GOLDEN=1";
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Golden = Buf.str();
+
+  if (normalize(Src) == normalize(Golden))
+    return;
+  // Point at the first diverging line rather than dumping two multi-KB
+  // translation units.
+  std::istringstream A(Golden), B(Src);
+  std::string LineA, LineB;
+  int LineNo = 1;
+  while (true) {
+    bool HasA = static_cast<bool>(std::getline(A, LineA));
+    bool HasB = static_cast<bool>(std::getline(B, LineB));
+    if (!HasA && !HasB)
+      break;
+    if (normalize(HasA ? LineA : "") != normalize(HasB ? LineB : "")) {
+      FAIL() << Name << ".cu diverges from the golden at line " << LineNo
+             << "\n  golden:  " << (HasA ? LineA : "<eof>")
+             << "\n  emitted: " << (HasB ? LineB : "<eof>")
+             << "\nIf the change is intentional, regenerate with "
+                "SGPU_UPDATE_GOLDEN=1";
+    }
+    ++LineNo;
+  }
+  FAIL() << Name
+         << ".cu diverges from the golden only in token spacing across "
+            "lines; regenerate with SGPU_UPDATE_GOLDEN=1";
+}
+
+} // namespace
+
+TEST(GoldenCodegen, Dct) { checkGolden("DCT"); }
+
+TEST(GoldenCodegen, MatrixMult) { checkGolden("MatrixMult"); }
+
+// The golden contract only holds if emission is deterministic in the
+// first place: two independent compiles must render identical text.
+TEST(GoldenCodegen, EmissionIsDeterministic) {
+  EXPECT_EQ(emitBenchmark("DCT"), emitBenchmark("DCT"));
+}

@@ -1,0 +1,157 @@
+//===- tests/parser_fuzz_test.cpp - Parser robustness on malformed input ----===//
+//
+// The parser's contract is parse-or-diagnose: for ANY byte string it
+// either returns a stream or fills in a ParseDiagnostic — it never
+// crashes, asserts, or returns null silently. This suite drives it with
+// the malformed corpus under tests/corpus/parser/ (truncations, bad
+// rates, unbalanced split-joins, junk bytes) plus byte-mutated versions
+// of well-formed generated programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "support/Rng.h"
+#include "testing/DslPrinter.h"
+#include "testing/GraphGen.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace sgpu;
+using namespace sgpu::testing;
+
+namespace {
+
+std::string corpusDir() {
+  return std::string(SGPU_SOURCE_DIR) + "/tests/corpus/parser";
+}
+
+std::string readFile(const std::filesystem::path &P) {
+  std::ifstream In(P);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// Parses \p Source and asserts the parse-or-diagnose contract.
+void expectParseOrDiagnose(const std::string &Source,
+                           const std::string &Label) {
+  ParseDiagnostic Diag;
+  StreamPtr S = parseStreamProgram(Source, &Diag);
+  if (!S) {
+    EXPECT_FALSE(Diag.Message.empty())
+        << Label << ": parse failed without a diagnostic";
+    EXPECT_GT(Diag.Line, 0) << Label << ": diagnostic has no source line";
+  }
+}
+
+} // namespace
+
+TEST(ParserFuzz, CorpusFilesAllDiagnoseCleanly) {
+  int Files = 0;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(corpusDir())) {
+    if (Entry.path().extension() != ".str")
+      continue;
+    ++Files;
+    std::string Source = readFile(Entry.path());
+    ParseDiagnostic Diag;
+    StreamPtr S = parseStreamProgram(Source, &Diag);
+    // Every corpus file is deliberately malformed: it must be rejected,
+    // and rejected with a located message.
+    EXPECT_EQ(S, nullptr) << Entry.path() << " unexpectedly parsed";
+    EXPECT_FALSE(Diag.Message.empty()) << Entry.path() << ": no diagnostic";
+    EXPECT_GT(Diag.Line, 0) << Entry.path() << ": no source line";
+  }
+  EXPECT_GE(Files, 10) << "parser corpus went missing from " << corpusDir();
+}
+
+TEST(ParserFuzz, SpecificRejections) {
+  struct Case {
+    const char *Source;
+    const char *MessagePart;
+  } Cases[] = {
+      {"filter f (int->int, pop 0, push 0) { push(1); }",
+       "pop or push at least one token"},
+      {"filter f (int->int, pop 1, push 99999999999999999999999999) {"
+       " push(pop()); }",
+       "out of range"},
+      {"filter f (int->int, pop 1, push 1) { int a[0]; push(pop()); }",
+       "array size must be a positive constant"},
+      {"filter f (float->float, pop 1, push 1) { push(pop() % 2.0); }",
+       "require int operands"},
+      {"filter f (float->float, pop 1, push 1) { push(~pop()); }",
+       "'~' requires an int operand"},
+      {"filter f (float->float, pop 1, push 2) { push(peek(pop())); "
+       "pop(); }",
+       "peek depth must be an int expression"},
+      {"filter f (float->float, pop 1, push 1) {"
+       " for (i in 0..pop()) { push(1.0); } }",
+       "loop bounds must be int expressions"},
+      {"filter f (int->int, pop 1, push 1) {"
+       " const int w[2] = {1, 2}; w[0] = pop(); push(w[0]); }",
+       "read-only const"},
+      {"filter f (int->int, pop 1, push 1) {"
+       " state int hist[4] = {0, 0, 0, 0}; push(pop()); }",
+       "state int arrays are not supported"},
+  };
+  for (const Case &C : Cases) {
+    ParseDiagnostic Diag;
+    StreamPtr S = parseStreamProgram(C.Source, &Diag);
+    EXPECT_EQ(S, nullptr) << C.Source;
+    EXPECT_NE(Diag.Message.find(C.MessagePart), std::string::npos)
+        << "for: " << C.Source << "\n  got: " << Diag.str();
+  }
+}
+
+TEST(ParserFuzz, MathBuiltinsPromoteIntArguments) {
+  // C-style implicit int->float promotion instead of an assert.
+  ParseDiagnostic Diag;
+  StreamPtr S = parseStreamProgram(
+      "filter f (int->float, pop 1, push 1) {"
+      " push(sqrt(pop()) + pow(2, 3) + min(1, 2.0)); }",
+      &Diag);
+  EXPECT_NE(S, nullptr) << Diag.str();
+}
+
+TEST(ParserFuzz, ByteMutationsNeverCrashTheParser) {
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    GraphSpec Spec = generateGraphSpec(Seed);
+    StreamPtr S = buildStream(Spec);
+    DslPrintResult P = printStreamDsl(*S);
+    ASSERT_TRUE(P.Ok) << P.Error;
+    Rng R(Seed * 0x9e3779b97f4a7c15ull);
+    for (int M = 0; M < 48; ++M) {
+      std::string Text = P.Text;
+      int Kind = static_cast<int>(R.nextInt(4));
+      size_t Size = Text.size();
+      if (Kind == 0 && Size > 0) {
+        Text[static_cast<size_t>(R.nextInt(static_cast<int64_t>(Size)))] =
+            static_cast<char>(R.nextInt(256));
+      } else if (Kind == 1) {
+        Text.resize(
+            static_cast<size_t>(R.nextInt(static_cast<int64_t>(Size) + 1)));
+      } else if (Kind == 2 && Size > 2) {
+        size_t A =
+            static_cast<size_t>(R.nextInt(static_cast<int64_t>(Size)));
+        size_t Len = std::min<size_t>(
+            static_cast<size_t>(R.nextInt(64) + 1), Size - A);
+        Text.insert(
+            static_cast<size_t>(R.nextInt(static_cast<int64_t>(Size))),
+            Text.substr(A, Len));
+      } else if (Size > 0) {
+        size_t A =
+            static_cast<size_t>(R.nextInt(static_cast<int64_t>(Size)));
+        Text.erase(A, std::min<size_t>(
+                          static_cast<size_t>(R.nextInt(64) + 1), Size - A));
+      }
+      expectParseOrDiagnose(Text, "seed " + std::to_string(Seed) +
+                                      " mutation " + std::to_string(M));
+    }
+  }
+}

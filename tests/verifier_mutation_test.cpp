@@ -1,0 +1,141 @@
+//===- tests/verifier_mutation_test.cpp - Negative-path verifier tests ------===//
+//
+// The ScheduleVerifier is the oracle every other check leans on, so it
+// gets its own negative-path suite: take a known-good schedule, corrupt
+// it in a specific way, and require the verifier to reject it with a
+// message that names the violated rule. A verifier that accepts corrupt
+// schedules would silently defang the whole fuzzing subsystem.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "profile/ConfigSelection.h"
+#include "profile/Profiler.h"
+#include "testing/Oracles.h"
+#include "testing/TestGraphs.h"
+
+#include <gtest/gtest.h>
+
+using namespace sgpu;
+using namespace sgpu::testing;
+
+namespace {
+
+struct CompiledGraph {
+  StreamGraph G;
+  SteadyState SS;
+  ExecutionConfig Config;
+  GpuSteadyState GSS;
+  SwpSchedule Schedule;
+};
+
+/// Compiles \p G down to a verified SWP schedule with \p Pmax SMs.
+CompiledGraph compileOrDie(StreamGraph G, int Pmax) {
+  auto SS = SteadyState::compute(G);
+  EXPECT_TRUE(SS.has_value());
+  ProfileTable PT =
+      profileGraph(GpuArch::geForce8800GTS512(), G, LayoutKind::Shuffled);
+  auto Config = selectExecutionConfig(*SS, PT);
+  EXPECT_TRUE(Config.has_value());
+  GpuSteadyState GSS =
+      computeGpuSteadyState(SS->repetitions(), Config->Threads);
+  SchedulerOptions SO;
+  SO.Pmax = Pmax;
+  SO.TimeBudgetSeconds = 0.25;
+  auto Sched = scheduleSwp(G, *SS, *Config, GSS, SO);
+  EXPECT_TRUE(Sched.has_value());
+  auto Err = verifySchedule(G, *SS, *Config, GSS, Sched->Schedule);
+  EXPECT_FALSE(Err.has_value()) << *Err;
+  return {std::move(G), std::move(*SS), std::move(*Config), std::move(GSS),
+          std::move(Sched->Schedule)};
+}
+
+CompiledGraph compileFig4(int Pmax = 4) {
+  return compileOrDie(makeFig4Graph(), Pmax);
+}
+
+/// Expects the verifier to reject \p C's (mutated) schedule with a
+/// message containing \p Substring.
+void expectRejected(const CompiledGraph &C, const std::string &Substring) {
+  auto Err = verifySchedule(C.G, C.SS, C.Config, C.GSS, C.Schedule);
+  ASSERT_TRUE(Err.has_value())
+      << "verifier accepted a schedule corrupted to trigger: " << Substring;
+  EXPECT_NE(Err->find(Substring), std::string::npos)
+      << "rejected, but for the wrong reason: " << *Err;
+}
+
+} // namespace
+
+TEST(VerifierMutation, DoubleAssignedInstanceIsRejected) {
+  CompiledGraph C = compileFig4();
+  ASSERT_TRUE(injectScheduleBug(C.Schedule, ScheduleBugKind::DoubleAssign));
+  expectRejected(C, "duplicate instance");
+}
+
+TEST(VerifierMutation, DroppedInstanceIsRejected) {
+  CompiledGraph C = compileFig4();
+  ASSERT_TRUE(injectScheduleBug(C.Schedule, ScheduleBugKind::DropInstance));
+  expectRejected(C, "missing instances");
+}
+
+TEST(VerifierMutation, InstancePastTheIIIsRejected) {
+  CompiledGraph C = compileFig4();
+  ASSERT_TRUE(injectScheduleBug(C.Schedule, ScheduleBugKind::ExceedII));
+  expectRejected(C, "constraint (4)");
+}
+
+TEST(VerifierMutation, SmOutOfRangeIsRejected) {
+  CompiledGraph C = compileFig4();
+  ASSERT_TRUE(injectScheduleBug(C.Schedule, ScheduleBugKind::BadSm));
+  expectRejected(C, "outside [0, Pmax)");
+}
+
+TEST(VerifierMutation, UnknownNodeIsRejected) {
+  CompiledGraph C = compileFig4();
+  ASSERT_FALSE(C.Schedule.Instances.empty());
+  C.Schedule.Instances.front().Node = C.G.numNodes();
+  expectRejected(C, "unknown node");
+}
+
+TEST(VerifierMutation, InstanceIndexOutOfRangeIsRejected) {
+  CompiledGraph C = compileFig4();
+  ASSERT_FALSE(C.Schedule.Instances.empty());
+  C.Schedule.Instances.front().K += 10000;
+  expectRejected(C, "out of range");
+}
+
+// Dependence order: on a deep single-SM pipeline, swapping the o slots of
+// adjacent producer/consumer instances must break a dependence or overlap
+// constraint for at least one pair. (Not every swap is illegal — two
+// independent instances can trade slots freely — which is exactly why the
+// verifier, not slot order, is the oracle.)
+TEST(VerifierMutation, SomeSlotSwapBreaksDependenceOrder) {
+  CompiledGraph C = compileOrDie(makeDeepScalePipeline(6), /*Pmax=*/1);
+
+  int Rejections = 0;
+  // smOrder hands back pointers into Instances; recover indices so the
+  // swap can be applied to a fresh copy each round.
+  std::vector<size_t> Order;
+  for (const ScheduledInstance *SI : C.Schedule.smOrder(0))
+    Order.push_back(static_cast<size_t>(SI - C.Schedule.Instances.data()));
+  for (size_t I = 0; I + 1 < Order.size(); ++I) {
+    SwpSchedule Mutated = C.Schedule;
+    std::swap(Mutated.Instances[Order[I]].O,
+              Mutated.Instances[Order[I + 1]].O);
+    if (verifySchedule(C.G, C.SS, C.Config, C.GSS, Mutated).has_value())
+      ++Rejections;
+  }
+  EXPECT_GT(Rejections, 0)
+      << "every adjacent slot swap on one SM passed the verifier";
+}
+
+// The injector itself must refuse schedules too small for the requested
+// corruption rather than mutating nothing and reporting success.
+TEST(VerifierMutation, InjectorReportsWhenItCannotCorrupt) {
+  SwpSchedule Empty;
+  EXPECT_FALSE(injectScheduleBug(Empty, ScheduleBugKind::DoubleAssign));
+  EXPECT_FALSE(injectScheduleBug(Empty, ScheduleBugKind::ExceedII));
+  EXPECT_FALSE(injectScheduleBug(Empty, ScheduleBugKind::BadSm));
+  EXPECT_FALSE(injectScheduleBug(Empty, ScheduleBugKind::DropInstance));
+  EXPECT_FALSE(injectScheduleBug(Empty, ScheduleBugKind::SwapSlots));
+}

@@ -1,0 +1,441 @@
+//===- tools/sgpu-fuzz.cpp - Differential fuzzing driver ---------------------===//
+//
+// Generates random stream programs and pushes each one through the full
+// oracle suite (see testing/Oracles.h): every scheduling strategy and
+// buffer layout must agree with the interpreter reference bit for bit,
+// schedules must verify, and the metamorphic properties (coarsening,
+// rate scaling, timing-model layout ordering) must hold. On a violation
+// the delta-debugging reducer shrinks the program and a standalone .str
+// repro is written that replays through `sgpu-compile --file`.
+//
+// Usage:
+//   sgpu-fuzz [--seed=N] [--count=N] [--jobs=N]
+//             [--timing-model=analytic|cycle|both] [--sms=N] [--depth=N]
+//             [--no-ilp] [--no-metamorphic] [--roundrobin] [--float]
+//             [--stateful] [--inject-bug=KIND] [--no-minimize]
+//             [--out-dir=DIR] [--replay=FILE]
+//   sgpu-fuzz --parser [--corpus=DIR] [--seed=N] [--count=N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+#include "testing/DslPrinter.h"
+#include "testing/GraphGen.h"
+#include "testing/Oracles.h"
+#include "testing/Reducer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace sgpu;
+using namespace sgpu::testing;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: sgpu-fuzz [options]\n"
+      "  --seed=N                      first seed (default 1)\n"
+      "  --count=N                     number of seeds (default 100)\n"
+      "  --jobs=N                      parallel seeds (default: $SGPU_JOBS\n"
+      "                                or all cores; results are\n"
+      "                                per-seed deterministic either way)\n"
+      "  --timing-model=analytic|cycle|both\n"
+      "                                timing model for the kernel-level\n"
+      "                                oracles (default analytic)\n"
+      "  --sms=N                       SMs to schedule onto (default 4)\n"
+      "  --depth=N                     max nesting depth (default 2)\n"
+      "  --no-ilp                      heuristic-only variants\n"
+      "  --no-metamorphic              differential oracles only\n"
+      "  --roundrobin / --float / --stateful\n"
+      "                                enable generator extensions\n"
+      "  --inject-bug=KIND             corrupt each schedule before\n"
+      "                                verification (swap-slots, exceed-ii,\n"
+      "                                double-assign, bad-sm,\n"
+      "                                drop-instance); every seed must\n"
+      "                                then FAIL (self-test mode)\n"
+      "  --no-minimize                 skip delta-debugging on failures\n"
+      "  --out-dir=DIR                 where .str repros go (default .)\n"
+      "  --replay=FILE                 run the oracles over one .str file\n"
+      "  --parser                      parser robustness mode: corpus\n"
+      "                                files and byte-mutated programs\n"
+      "                                must parse or diagnose, never crash\n"
+      "  --corpus=DIR                  .str corpus for --parser mode\n");
+}
+
+struct FuzzConfig {
+  uint64_t Seed = 1;
+  int Count = 100;
+  int Jobs = 0;
+  bool Both = false; // --timing-model=both
+  bool Minimize = true;
+  bool ParserMode = false;
+  std::string OutDir = ".";
+  std::string ReplayFile;
+  std::string CorpusDir;
+  GraphGenOptions Gen;
+  OracleOptions Oracle;
+};
+
+/// The outcome of one seed, buffered so the parallel sweep can print in
+/// seed order.
+struct SeedResult {
+  OracleReport Report;
+  std::string ReproPath; ///< Written .str repro, when minimized.
+  std::string Log;       ///< Extra per-seed lines (reduction trace).
+};
+
+std::string failureSummary(const OracleReport &R) {
+  std::ostringstream Os;
+  for (const OracleFailure &F : R.Failures)
+    Os << "  [" << F.Oracle << "] " << F.Message << "\n";
+  return Os.str();
+}
+
+/// Writes a minimized repro with a header that still parses (the lexer
+/// accepts // comments), so the file replays through both
+/// `sgpu-compile --file` and `sgpu-fuzz --replay`.
+bool writeRepro(const FuzzConfig &C, const OracleReport &R,
+                const GraphSpec &Spec, std::string &PathOut,
+                std::string &Err) {
+  StreamPtr S = buildStream(Spec);
+  DslPrintResult P = printStreamDsl(*S);
+  if (!P.Ok) {
+    Err = "printing repro failed: " + P.Error;
+    return false;
+  }
+  std::error_code Ec;
+  std::filesystem::create_directories(C.OutDir, Ec);
+  PathOut = C.OutDir + "/sgpu-fuzz-repro-" + std::to_string(R.Seed) + ".str";
+  std::ofstream Out(PathOut);
+  if (!Out) {
+    Err = "cannot open " + PathOut;
+    return false;
+  }
+  Out << "// sgpu-fuzz repro: seed " << R.Seed << ", oracle \""
+      << R.firstOracle() << "\"\n";
+  for (const OracleFailure &F : R.Failures)
+    Out << "//   [" << F.Oracle << "] " << F.Message << "\n";
+  Out << "// replay: sgpu-fuzz --replay=" << PathOut << " --seed="
+      << R.Seed << "\n";
+  Out << P.Text;
+  return Out.good();
+}
+
+SeedResult runSeed(const FuzzConfig &C, uint64_t Seed) {
+  SeedResult SR;
+  GraphSpec Spec = generateGraphSpec(Seed, C.Gen);
+  SR.Report = runOraclesOnSpec(Spec, C.Oracle);
+  if (C.Both && SR.Report.ok()) {
+    OracleOptions O2 = C.Oracle;
+    O2.Timing = C.Oracle.Timing == TimingModelKind::Analytic
+                    ? TimingModelKind::Cycle
+                    : TimingModelKind::Analytic;
+    OracleReport R2 = runOraclesOnSpec(Spec, O2);
+    SR.Report.ChecksRun += R2.ChecksRun;
+    SR.Report.Failures.insert(SR.Report.Failures.end(), R2.Failures.begin(),
+                              R2.Failures.end());
+  }
+  if (SR.Report.ok() || !C.Minimize)
+    return SR;
+
+  // Shrink while the same oracle keeps firing first; pinning the oracle
+  // name stops the shrink drifting onto an unrelated violation.
+  std::string Key = SR.Report.firstOracle();
+  ReduceResult Red = reduceSpec(
+      Spec,
+      [&](const GraphSpec &Cand) {
+        return runOraclesOnSpec(Cand, C.Oracle).firstOracle() == Key;
+      });
+  std::ostringstream Log;
+  Log << "  minimized: " << countFilters(Spec.Root) << " -> "
+      << countFilters(Red.Spec.Root) << " filters (" << Red.StepsApplied
+      << " steps, " << Red.CandidatesTried << " candidates)\n";
+  std::string Err;
+  if (writeRepro(C, SR.Report, Red.Spec, SR.ReproPath, Err))
+    Log << "  repro: " << SR.ReproPath << "\n";
+  else
+    Log << "  repro: " << Err << "\n";
+  SR.Log = Log.str();
+  return SR;
+}
+
+int runSweep(const FuzzConfig &C) {
+  std::vector<SeedResult> Results(static_cast<size_t>(C.Count));
+  parallelFor(0, C.Count, C.Jobs, [&](int I) {
+    Results[static_cast<size_t>(I)] =
+        runSeed(C, C.Seed + static_cast<uint64_t>(I));
+  });
+
+  int Violations = 0;
+  long ChecksRun = 0;
+  for (const SeedResult &SR : Results) {
+    ChecksRun += SR.Report.ChecksRun;
+    if (SR.Report.ok())
+      continue;
+    ++Violations;
+    std::printf("FAIL %s\n%s%s", SR.Report.Description.c_str(),
+                failureSummary(SR.Report).c_str(), SR.Log.c_str());
+  }
+
+  if (C.Oracle.InjectBug != ScheduleBugKind::None) {
+    // Fault-injection self-test: the corrupted schedules must be caught.
+    // swap-slots is opportunistic — exchanging two same-SM o slots often
+    // yields a different-but-legal schedule — so it only has to land at
+    // least once; the other corruptions are illegal by construction.
+    int Caught = 0;
+    for (const SeedResult &SR : Results)
+      if (!SR.Report.ok())
+        ++Caught;
+    int Need =
+        C.Oracle.InjectBug == ScheduleBugKind::SwapSlots ? 1 : C.Count;
+    std::printf("sgpu-fuzz: inject-bug=%s: %d/%d seeds caught (need %d)\n",
+                scheduleBugKindName(C.Oracle.InjectBug), Caught, C.Count,
+                Need);
+    return Caught >= Need ? 0 : 1;
+  }
+
+  std::printf("sgpu-fuzz: %d seeds (%llu..%llu), %ld checks, %d violations\n",
+              C.Count, static_cast<unsigned long long>(C.Seed),
+              static_cast<unsigned long long>(C.Seed + C.Count - 1),
+              ChecksRun, Violations);
+  return Violations == 0 ? 0 : 1;
+}
+
+int runReplay(const FuzzConfig &C) {
+  std::ifstream In(C.ReplayFile);
+  if (!In) {
+    std::fprintf(stderr, "sgpu-fuzz: cannot open %s\n", C.ReplayFile.c_str());
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  ParseDiagnostic Diag;
+  StreamPtr S = parseStreamProgram(Buf.str(), &Diag);
+  if (!S) {
+    std::fprintf(stderr, "sgpu-fuzz: %s: %s\n", C.ReplayFile.c_str(),
+                 Diag.str().c_str());
+    return 1;
+  }
+  OracleReport R = runOraclesOnStream(*S, C.Seed, C.Oracle);
+  if (!R.ok()) {
+    std::printf("FAIL %s\n%s", C.ReplayFile.c_str(),
+                failureSummary(R).c_str());
+    return 1;
+  }
+  std::printf("sgpu-fuzz: %s: %d checks, no violations\n",
+              C.ReplayFile.c_str(), R.ChecksRun);
+  return 0;
+}
+
+/// Parses \p Source and requires a clean outcome: either a stream or a
+/// diagnostic. A crash here takes the whole process down, which is
+/// exactly the signal --parser mode exists to surface.
+bool parseNeverCrashes(const std::string &Source, bool &Parsed) {
+  ParseDiagnostic Diag;
+  StreamPtr S = parseStreamProgram(Source, &Diag);
+  Parsed = S != nullptr;
+  return Parsed || !Diag.Message.empty();
+}
+
+int runParserMode(const FuzzConfig &C) {
+  int Files = 0, ParsedOk = 0, Diagnosed = 0, Bad = 0;
+
+  // 1. Corpus files: every .str must parse or produce a diagnostic.
+  if (!C.CorpusDir.empty()) {
+    std::error_code Ec;
+    for (const auto &Entry :
+         std::filesystem::directory_iterator(C.CorpusDir, Ec)) {
+      if (Entry.path().extension() != ".str")
+        continue;
+      ++Files;
+      std::ifstream In(Entry.path());
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      bool Parsed = false;
+      if (!parseNeverCrashes(Buf.str(), Parsed)) {
+        std::printf("FAIL %s: no stream and no diagnostic\n",
+                    Entry.path().string().c_str());
+        ++Bad;
+      } else {
+        ++(Parsed ? ParsedOk : Diagnosed);
+      }
+    }
+    if (Ec) {
+      std::fprintf(stderr, "sgpu-fuzz: cannot read corpus %s\n",
+                   C.CorpusDir.c_str());
+      return 1;
+    }
+  }
+
+  // 2. Byte-mutation fuzzing: print a generated program, then corrupt it
+  //    (flip bytes, splice, truncate) and reparse. Any input must either
+  //    parse or diagnose; the interesting failure mode is a crash.
+  int Mutants = 0;
+  for (int I = 0; I < C.Count; ++I) {
+    uint64_t Seed = C.Seed + static_cast<uint64_t>(I);
+    GraphSpec Spec = generateGraphSpec(Seed, C.Gen);
+    StreamPtr S = buildStream(Spec);
+    DslPrintResult P = printStreamDsl(*S);
+    if (!P.Ok)
+      continue;
+    Rng R(Seed ^ 0x9e3779b97f4a7c15ull);
+    for (int M = 0; M < 32; ++M) {
+      std::string Text = P.Text;
+      switch (R.nextInt(4)) {
+      case 0: { // Flip a byte to random junk (including NUL).
+        if (!Text.empty())
+          Text[static_cast<size_t>(R.nextInt(static_cast<int>(Text.size())))] =
+              static_cast<char>(R.nextInt(256));
+        break;
+      }
+      case 1: { // Truncate.
+        Text.resize(static_cast<size_t>(
+            R.nextInt(static_cast<int>(Text.size()) + 1)));
+        break;
+      }
+      case 2: { // Duplicate a random slice somewhere else.
+        if (Text.size() > 2) {
+          size_t A = static_cast<size_t>(
+              R.nextInt(static_cast<int>(Text.size())));
+          size_t Len = static_cast<size_t>(R.nextInt(64) + 1);
+          Len = std::min(Len, Text.size() - A);
+          size_t At = static_cast<size_t>(
+              R.nextInt(static_cast<int>(Text.size())));
+          Text.insert(At, Text.substr(A, Len));
+        }
+        break;
+      }
+      default: { // Delete a random slice.
+        if (!Text.empty()) {
+          size_t A = static_cast<size_t>(
+              R.nextInt(static_cast<int>(Text.size())));
+          size_t Len = static_cast<size_t>(R.nextInt(64) + 1);
+          Len = std::min(Len, Text.size() - A);
+          Text.erase(A, Len);
+        }
+        break;
+      }
+      }
+      ++Mutants;
+      bool Parsed = false;
+      if (!parseNeverCrashes(Text, Parsed)) {
+        std::printf("FAIL mutant (seed %llu, round %d): "
+                    "no stream and no diagnostic\n",
+                    static_cast<unsigned long long>(Seed), M);
+        ++Bad;
+      }
+    }
+  }
+
+  std::printf("sgpu-fuzz --parser: %d corpus files (%d parse, %d diagnose), "
+              "%d mutants, %d failures\n",
+              Files, ParsedOk, Diagnosed, Mutants, Bad);
+  return Bad == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  FuzzConfig C;
+  // Value-taking flags accept both --flag=V and --flag V.
+  std::string Val;
+  auto takesValue = [&](int &I, const char *Flag) -> bool {
+    const char *Arg = argv[I];
+    size_t Len = std::strlen(Flag);
+    if (std::strncmp(Arg, Flag, Len) != 0)
+      return false;
+    if (Arg[Len] == '=') {
+      Val = Arg + Len + 1;
+      return true;
+    }
+    if (Arg[Len] == '\0' && I + 1 < argc) {
+      Val = argv[++I];
+      return true;
+    }
+    return false;
+  };
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (takesValue(I, "--seed")) {
+      C.Seed = std::strtoull(Val.c_str(), nullptr, 10);
+    } else if (takesValue(I, "--count")) {
+      C.Count = std::atoi(Val.c_str());
+    } else if (takesValue(I, "--jobs")) {
+      C.Jobs = std::atoi(Val.c_str());
+    } else if (takesValue(I, "--timing-model")) {
+      if (Val == "analytic") {
+        C.Oracle.Timing = TimingModelKind::Analytic;
+      } else if (Val == "cycle") {
+        C.Oracle.Timing = TimingModelKind::Cycle;
+      } else if (Val == "both") {
+        C.Oracle.Timing = TimingModelKind::Analytic;
+        C.Both = true;
+      } else {
+        std::fprintf(stderr, "sgpu-fuzz: unknown timing model '%s'\n",
+                     Val.c_str());
+        return 2;
+      }
+    } else if (takesValue(I, "--sms")) {
+      C.Oracle.Pmax = std::atoi(Val.c_str());
+    } else if (takesValue(I, "--depth")) {
+      C.Gen.MaxDepth = std::atoi(Val.c_str());
+    } else if (std::strcmp(Arg, "--no-ilp") == 0) {
+      C.Oracle.RunIlp = false;
+    } else if (std::strcmp(Arg, "--no-metamorphic") == 0) {
+      C.Oracle.RunMetamorphic = false;
+      C.Oracle.RunTimingOrdering = false;
+    } else if (std::strcmp(Arg, "--roundrobin") == 0) {
+      C.Gen.AllowRoundRobin = true;
+    } else if (std::strcmp(Arg, "--float") == 0) {
+      C.Gen.AllowFloat = true;
+    } else if (std::strcmp(Arg, "--stateful") == 0) {
+      C.Gen.AllowStateful = true;
+    } else if (takesValue(I, "--inject-bug")) {
+      auto Kind = parseScheduleBugKind(Val);
+      if (!Kind) {
+        std::fprintf(stderr, "sgpu-fuzz: unknown bug kind '%s'\n",
+                     Val.c_str());
+        return 2;
+      }
+      C.Oracle.InjectBug = *Kind;
+    } else if (std::strcmp(Arg, "--no-minimize") == 0) {
+      C.Minimize = false;
+    } else if (takesValue(I, "--out-dir")) {
+      C.OutDir = Val;
+    } else if (takesValue(I, "--replay")) {
+      C.ReplayFile = Val;
+    } else if (std::strcmp(Arg, "--parser") == 0) {
+      C.ParserMode = true;
+    } else if (takesValue(I, "--corpus")) {
+      C.CorpusDir = Val;
+    } else if (std::strcmp(Arg, "--help") == 0 ||
+               std::strcmp(Arg, "-h") == 0) {
+      printUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "sgpu-fuzz: unknown argument '%s'\n", Arg);
+      printUsage();
+      return 2;
+    }
+  }
+  if (C.Count <= 0) {
+    std::fprintf(stderr, "sgpu-fuzz: --count must be positive\n");
+    return 2;
+  }
+
+  if (!C.ReplayFile.empty())
+    return runReplay(C);
+  if (C.ParserMode)
+    return runParserMode(C);
+  return runSweep(C);
+}
