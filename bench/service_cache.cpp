@@ -1,0 +1,84 @@
+//===- bench/service_cache.cpp - Scheduling-service hot-path costs -----------===//
+//
+// The per-request overhead budget of sgpu-served: hashing a request into
+// its cache key (SHA-256 over the canonical graph form) and hitting the
+// in-memory ScheduleCache. Together these are the whole latency of a
+// warm request minus transport, so they bound how far below the CI
+// smoke job's 50 ms p50-hit requirement the daemon actually sits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Registry.h"
+#include "service/GraphHash.h"
+#include "service/ScheduleCache.h"
+#include "support/Sha256.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+using namespace sgpu;
+using namespace sgpu::service;
+
+namespace {
+
+StreamGraph benchGraph(const char *Name) {
+  const bench::BenchmarkSpec *Spec = bench::findBenchmark(Name);
+  return flatten(*Spec->Build());
+}
+
+/// Raw digest throughput, the floor under every key derivation.
+void BM_Sha256Throughput(benchmark::State &State) {
+  std::string Data(static_cast<size_t>(State.range(0)), 'k');
+  for (auto _ : State)
+    benchmark::DoNotOptimize(sha256Hex(Data));
+  State.SetBytesProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_Sha256Throughput)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+/// Full cache-key derivation (canonicalize + hash) for a small and a
+/// large Table I graph.
+void BM_GraphHashKey(benchmark::State &State, const char *Name) {
+  StreamGraph G = benchGraph(Name);
+  CompileOptions Options;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(graphHash(G, Options));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK_CAPTURE(BM_GraphHashKey, dct, "DCT");
+BENCHMARK_CAPTURE(BM_GraphHashKey, fmradio, "FMRadio");
+BENCHMARK_CAPTURE(BM_GraphHashKey, bitonic, "Bitonic");
+
+/// Memory-tier hit latency at a representative fill (the LRU touch
+/// dominates; values are typical report sizes).
+void BM_CacheMemoryHit(benchmark::State &State) {
+  ScheduleCache C({/*MaxBytes=*/256ll << 20, /*Dir=*/""});
+  const std::string Value(16 << 10, 'r'); // ~16 KB of report JSON.
+  const int N = static_cast<int>(State.range(0));
+  for (int I = 0; I < N; ++I)
+    C.insert("key" + std::to_string(I), Value);
+  int I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(C.lookup("key" + std::to_string(I)));
+    I = (I + 1) % N;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_CacheMemoryHit)->Arg(16)->Arg(1024);
+
+/// Insert cost including byte-budget eviction churn: the budget holds
+/// half the working set, so every insert evicts.
+void BM_CacheInsertWithEviction(benchmark::State &State) {
+  const std::string Value(16 << 10, 'r');
+  ScheduleCache C({/*MaxBytes=*/int64_t(64) * (16 << 10), /*Dir=*/""});
+  int64_t I = 0;
+  for (auto _ : State)
+    C.insert("key" + std::to_string(I++ % 128), Value);
+  State.SetItemsProcessed(State.iterations());
+  State.counters["evictions"] = double(C.stats().Evictions);
+}
+BENCHMARK(BM_CacheInsertWithEviction);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -10,6 +10,7 @@
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 
 using namespace sgpu;
@@ -29,6 +30,31 @@ const char *sgpu::strategyName(Strategy S) {
     return "Serial";
   }
   SGPU_UNREACHABLE("unknown strategy");
+}
+
+const char *sgpu::strategyOptionName(Strategy S) {
+  switch (S) {
+  case Strategy::Swp:
+    return "swp";
+  case Strategy::SwpNoCoalesce:
+    return "swpnc";
+  case Strategy::Serial:
+    return "serial";
+  }
+  SGPU_UNREACHABLE("unknown strategy");
+}
+
+std::optional<Strategy> sgpu::parseStrategyName(std::string_view Name) {
+  std::string Lower(Name);
+  for (char &C : Lower)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  if (Lower == "swp")
+    return Strategy::Swp;
+  if (Lower == "swpnc")
+    return Strategy::SwpNoCoalesce;
+  if (Lower == "serial" || Lower == "sas")
+    return Strategy::Serial;
+  return std::nullopt;
 }
 
 namespace {

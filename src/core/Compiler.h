@@ -30,6 +30,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace sgpu {
 
@@ -105,6 +106,19 @@ LayoutKind layoutFor(Strategy S);
 
 /// Human-readable strategy name ("SWP", "SWPNC", "Serial").
 const char *strategyName(Strategy S);
+
+/// Canonical lowercase option spelling ("swp", "swpnc", "serial") — the
+/// spelling `--strategy=` takes and the one the service's cache keys are
+/// derived from (service/GraphHash.h).
+const char *strategyOptionName(Strategy S);
+
+/// Inverse of strategyOptionName, case-insensitive, also accepting the
+/// strategyName() display spellings and the paper's "sas" alias for
+/// Serial. This is the single parsing/canonicalization path shared by
+/// `sgpu-compile --strategy=`, the service protocol, and GraphHash — so
+/// textually different but equivalent spellings ("SWP", "swp") cannot
+/// produce different cache keys. Returns std::nullopt for unknown names.
+std::optional<Strategy> parseStrategyName(std::string_view Name);
 
 } // namespace sgpu
 

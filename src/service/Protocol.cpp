@@ -1,0 +1,162 @@
+//===- service/Protocol.cpp - sgpu-served wire protocol -------------------===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include "gpusim/TimingModel.h"
+#include "support/Json.h"
+
+namespace sgpu {
+namespace service {
+
+namespace {
+
+bool fail(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+/// Applies the "options" object onto \p O. Unknown keys are errors (a
+/// misspelled knob silently defaulting would poison the cache key).
+bool applyOptions(const JsonValue &Obj, CompileOptions &O, std::string *Err) {
+  for (const auto &[Key, Val] : Obj.members()) {
+    if (Key == "strategy") {
+      if (!Val.isString())
+        return fail(Err, "options.strategy must be a string");
+      std::optional<Strategy> S = parseStrategyName(Val.asString());
+      if (!S)
+        return fail(Err, "unknown strategy '" + Val.asString() + "'");
+      O.Strat = *S;
+    } else if (Key == "timing_model") {
+      if (!Val.isString())
+        return fail(Err, "options.timing_model must be a string");
+      std::optional<TimingModelKind> K =
+          parseTimingModelKind(Val.asString());
+      if (!K)
+        return fail(Err, "unknown timing model '" + Val.asString() + "'");
+      O.Timing = *K;
+    } else if (Key == "coarsening") {
+      if (!Val.isNumber() || Val.asNumber() < 1)
+        return fail(Err, "options.coarsening must be a positive number");
+      O.Coarsening = static_cast<int>(Val.asNumber());
+    } else if (Key == "serial_threads") {
+      if (!Val.isNumber() || Val.asNumber() < 1)
+        return fail(Err, "options.serial_threads must be positive");
+      O.SerialThreads = static_cast<int>(Val.asNumber());
+    } else if (Key == "sms") {
+      int Sms = Val.isNumber() ? static_cast<int>(Val.asNumber()) : 0;
+      if (Sms < 1 || Sms > O.Arch.NumSMs)
+        return fail(Err, "options.sms out of range");
+      O.Sched.Pmax = Sms;
+    } else if (Key == "use_ilp") {
+      O.Sched.UseIlp = Val.asBool();
+    } else if (Key == "max_ilp_nodes") {
+      if (!Val.isNumber() || Val.asNumber() < 1)
+        return fail(Err, "options.max_ilp_nodes must be positive");
+      O.Sched.MaxIlpNodes = static_cast<int>(Val.asNumber());
+    } else if (Key == "max_lp_iterations") {
+      if (!Val.isNumber() || Val.asNumber() < 1)
+        return fail(Err, "options.max_lp_iterations must be positive");
+      O.Sched.MaxLpIterations = static_cast<int>(Val.asNumber());
+    } else if (Key == "time_budget_s") {
+      if (!Val.isNumber() || Val.asNumber() < 0)
+        return fail(Err, "options.time_budget_s must be >= 0");
+      O.Sched.TimeBudgetSeconds = Val.asNumber();
+    } else if (Key == "max_ilp_attempts") {
+      if (!Val.isNumber() || Val.asNumber() < 0)
+        return fail(Err, "options.max_ilp_attempts must be >= 0");
+      O.Sched.MaxIlpAttempts = static_cast<int>(Val.asNumber());
+    } else {
+      return fail(Err, "unknown option '" + Key + "'");
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<CompileRequest> parseCompileRequest(const std::string &Line,
+                                                  std::string *Err) {
+  std::string ParseErr;
+  std::optional<JsonValue> Doc = JsonValue::parse(Line, &ParseErr);
+  if (!Doc) {
+    fail(Err, "malformed JSON: " + ParseErr);
+    return std::nullopt;
+  }
+  if (!Doc->isObject()) {
+    fail(Err, "request must be a JSON object");
+    return std::nullopt;
+  }
+
+  CompileRequest Req;
+  if (const JsonValue *Id = Doc->find("id"); Id && Id->isString())
+    Req.Id = Id->asString();
+  if (const JsonValue *B = Doc->find("benchmark"); B && B->isString())
+    Req.Benchmark = B->asString();
+  if (const JsonValue *S = Doc->find("source"); S && S->isString())
+    Req.Source = S->asString();
+  if (const JsonValue *N = Doc->find("no_cache"); N)
+    Req.NoCache = N->asBool();
+
+  if (Req.Benchmark.empty() == Req.Source.empty()) {
+    fail(Err, "request needs exactly one of \"benchmark\" or \"source\"");
+    return std::nullopt;
+  }
+  if (const JsonValue *Opts = Doc->find("options")) {
+    if (!Opts->isObject()) {
+      fail(Err, "\"options\" must be an object");
+      return std::nullopt;
+    }
+    if (!applyOptions(*Opts, Req.Options, Err))
+      return std::nullopt;
+  }
+  return Req;
+}
+
+std::string makeOkResponse(const CompileRequest &Req, const std::string &Key,
+                           bool CacheHit, bool Coalesced, double ElapsedMs,
+                           const std::string &ReportJson) {
+  JsonWriter W;
+  W.beginObject();
+  W.writeString("status", "ok");
+  if (!Req.Id.empty())
+    W.writeString("id", Req.Id);
+  W.writeString("key", Key);
+  W.writeString("cache", CacheHit ? "hit" : "miss");
+  if (Coalesced)
+    W.writeBool("coalesced", true);
+  W.writeDouble("elapsed_ms", ElapsedMs);
+  W.writeRaw("report", ReportJson);
+  W.endObject();
+  return W.str();
+}
+
+std::string makeErrorResponse(const std::string &Id, const std::string &Err) {
+  JsonWriter W;
+  W.beginObject();
+  W.writeString("status", "error");
+  if (!Id.empty())
+    W.writeString("id", Id);
+  W.writeString("error", Err);
+  W.endObject();
+  return W.str();
+}
+
+std::string makeBusyResponse(const std::string &Id, int RetryAfterMs) {
+  JsonWriter W;
+  W.beginObject();
+  W.writeString("status", "busy");
+  if (!Id.empty())
+    W.writeString("id", Id);
+  W.writeInt("retry_after_ms", RetryAfterMs);
+  W.endObject();
+  return W.str();
+}
+
+} // namespace service
+} // namespace sgpu

@@ -1,0 +1,62 @@
+//===- service/Protocol.h - sgpu-served wire protocol -----------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request/response frames `sgpu-served` speaks: newline-delimited
+/// JSON documents, one request per line, one response line per request,
+/// over a TCP or Unix-domain stream (docs/PROTOCOL.md is the normative
+/// spec with worked nc/python examples). Parsing maps the "options"
+/// object onto CompileOptions through the same canonicalizing parsers
+/// the CLI uses (parseStrategyName, parseTimingModelKind), so a request
+/// spelling "SWP" and one spelling "swp" produce identical CompileOptions
+/// and therefore identical cache keys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SERVICE_PROTOCOL_H
+#define SGPU_SERVICE_PROTOCOL_H
+
+#include "core/Compiler.h"
+
+#include <optional>
+#include <string>
+
+namespace sgpu {
+namespace service {
+
+/// One parsed compile request. Exactly one of Benchmark/Source is set.
+struct CompileRequest {
+  std::string Id;        ///< Optional client correlation id, echoed back.
+  std::string Benchmark; ///< A Table I registry name ("DES", "FFT", ...).
+  std::string Source;    ///< Or inline `.str` program text.
+  CompileOptions Options;
+  bool NoCache = false;  ///< Bypass lookup (still fills the cache).
+};
+
+/// Parses one request line. Returns std::nullopt and fills \p Err on
+/// malformed JSON, unknown fields values, or a missing/ambiguous
+/// program payload.
+std::optional<CompileRequest> parseCompileRequest(const std::string &Line,
+                                                  std::string *Err);
+
+/// {"status":"ok","id":...,"key":...,"cache":"hit"|"miss","coalesced":b,
+///  "elapsed_ms":...,"report":{...}} — one line, report spliced verbatim.
+std::string makeOkResponse(const CompileRequest &Req, const std::string &Key,
+                           bool CacheHit, bool Coalesced, double ElapsedMs,
+                           const std::string &ReportJson);
+
+/// {"status":"error","id":...,"error":"..."}
+std::string makeErrorResponse(const std::string &Id, const std::string &Err);
+
+/// {"status":"busy","id":...,"retry_after_ms":N} — admission control
+/// shed the request; the client should back off and resend.
+std::string makeBusyResponse(const std::string &Id, int RetryAfterMs);
+
+} // namespace service
+} // namespace sgpu
+
+#endif // SGPU_SERVICE_PROTOCOL_H

@@ -1,0 +1,171 @@
+//===- service/ScheduleCache.cpp - LRU schedule/report cache --------------===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ScheduleCache.h"
+
+#include "support/Json.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace sgpu {
+namespace service {
+
+ScheduleCache::ScheduleCache(Options O) : Opts(std::move(O)) {}
+
+std::string ScheduleCache::entryPath(const std::string &Key) const {
+  if (Opts.Dir.empty())
+    return "";
+  return (fs::path(Opts.Dir) / (Key + ".json")).string();
+}
+
+std::optional<std::string> ScheduleCache::lookup(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    Lru.splice(Lru.begin(), Lru, It->second);
+    ++Counts.MemHits;
+    return It->second->second;
+  }
+  if (std::optional<std::string> V = readEntryLocked(Key)) {
+    ++Counts.DiskHits;
+    // Promote to the hot tier without rewriting the (valid) disk file.
+    insertLocked(Key, *V);
+    evictOverBudgetLocked();
+    return V;
+  }
+  ++Counts.Misses;
+  return std::nullopt;
+}
+
+void ScheduleCache::insert(const std::string &Key, const std::string &Value) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  insertLocked(Key, Value);
+  evictOverBudgetLocked();
+  if (!Opts.Dir.empty())
+    writeEntryLocked(Key, Value);
+}
+
+void ScheduleCache::insertLocked(const std::string &Key,
+                                 const std::string &Value) {
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    Bytes -= static_cast<int64_t>(It->second->second.size());
+    Bytes += static_cast<int64_t>(Value.size());
+    It->second->second = Value;
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  Lru.emplace_front(Key, Value);
+  Index[Key] = Lru.begin();
+  Bytes += static_cast<int64_t>(Value.size());
+}
+
+void ScheduleCache::evictOverBudgetLocked() {
+  // Keep at least the MRU entry so one oversized report still caches.
+  while (Bytes > Opts.MaxBytes && Lru.size() > 1) {
+    Bytes -= static_cast<int64_t>(Lru.back().second.size());
+    Index.erase(Lru.back().first);
+    Lru.pop_back();
+    ++Counts.Evictions;
+  }
+}
+
+bool ScheduleCache::writeEntryLocked(const std::string &Key,
+                                     const std::string &Value) {
+  std::error_code Ec;
+  fs::create_directories(Opts.Dir, Ec);
+
+  JsonWriter W;
+  W.beginObject();
+  W.writeInt("schema", kCacheSchemaVersion);
+  W.writeString("key", Key);
+  W.writeString("report_text", Value);
+  W.endObject();
+
+  // Atomic publish: write a temp file, then rename over the final path,
+  // so a crashed or concurrent writer can never leave a torn entry.
+  std::string Final = entryPath(Key);
+  std::string Tmp = Final + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out << W.str();
+    if (!Out.flush())
+      return false;
+  }
+  fs::rename(Tmp, Final, Ec);
+  if (Ec) {
+    fs::remove(Tmp, Ec);
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string>
+ScheduleCache::readEntryLocked(const std::string &Key) {
+  if (Opts.Dir.empty())
+    return std::nullopt;
+  std::string Path = entryPath(Key);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  auto Invalidate = [&]() -> std::optional<std::string> {
+    ++Counts.Corrupt;
+    std::error_code Ec;
+    fs::remove(Path, Ec);
+    return std::nullopt;
+  };
+
+  std::optional<JsonValue> Doc = JsonValue::parse(Buf.str());
+  if (!Doc || !Doc->isObject())
+    return Invalidate();
+  const JsonValue *Schema = Doc->find("schema");
+  if (!Schema || !Schema->isNumber() ||
+      static_cast<int>(Schema->asNumber()) != kCacheSchemaVersion)
+    return Invalidate();
+  const JsonValue *K = Doc->find("key");
+  if (!K || !K->isString() || K->asString() != Key)
+    return Invalidate();
+  const JsonValue *Report = Doc->find("report_text");
+  if (!Report || !Report->isString() || Report->asString().empty())
+    return Invalidate();
+  return Report->asString();
+}
+
+void ScheduleCache::dropMemory() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Lru.clear();
+  Index.clear();
+  Bytes = 0;
+}
+
+int64_t ScheduleCache::sizeBytes() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Bytes;
+}
+
+int64_t ScheduleCache::entryCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return static_cast<int64_t>(Lru.size());
+}
+
+ScheduleCache::Stats ScheduleCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counts;
+}
+
+} // namespace service
+} // namespace sgpu

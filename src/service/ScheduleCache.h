@@ -1,0 +1,102 @@
+//===- service/ScheduleCache.h - LRU schedule/report cache ------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The schedule cache behind `sgpu-served`: an in-memory LRU of compile
+/// reports keyed by GraphHash keys, bounded by a byte budget, with
+/// write-through persistence to an on-disk directory. Memory is the hot
+/// tier (eviction never touches disk); disk is the warm tier consulted
+/// on a memory miss, so a restarted daemon re-serves its history without
+/// re-solving. Disk entries are JSON envelopes stamped with
+/// kSchemaVersion and their own key; a version bump, a key mismatch
+/// (renamed/corrupted file) or a parse failure invalidates the entry —
+/// it is deleted and the request falls through to a fresh solve that
+/// rewrites it. Thread-safe; one mutex, I/O done under it (entries are
+/// small — tens of KB of report JSON).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SERVICE_SCHEDULECACHE_H
+#define SGPU_SERVICE_SCHEDULECACHE_H
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace sgpu {
+namespace service {
+
+/// On-disk envelope version. Bump when the envelope layout or the report
+/// JSON schema changes incompatibly; older entries then self-invalidate.
+constexpr int kCacheSchemaVersion = 1;
+
+class ScheduleCache {
+public:
+  struct Options {
+    /// Memory budget over the byte sizes of cached values (keys and
+    /// bookkeeping are not charged). Inserting beyond it evicts from the
+    /// LRU tail. A single value larger than the budget is still cached
+    /// alone (the budget is a high-water mark, not a hard refusal).
+    int64_t MaxBytes = 256ll << 20;
+    /// Persistence directory; empty disables the disk tier. Created on
+    /// first insert.
+    std::string Dir;
+  };
+
+  struct Stats {
+    int64_t MemHits = 0;
+    int64_t DiskHits = 0;   ///< Misses in memory served from disk.
+    int64_t Misses = 0;
+    int64_t Evictions = 0;
+    int64_t Corrupt = 0;    ///< Disk entries dropped: parse/version/key.
+  };
+
+  explicit ScheduleCache(Options O);
+
+  /// Returns the cached value for \p Key, consulting memory then disk;
+  /// a hit from either tier becomes most-recently-used in memory.
+  std::optional<std::string> lookup(const std::string &Key);
+
+  /// Inserts (or replaces) \p Key -> \p Value, evicting LRU entries
+  /// beyond the byte budget, and writes through to disk when enabled.
+  void insert(const std::string &Key, const std::string &Value);
+
+  /// Drops every in-memory entry (disk entries survive — used by tests
+  /// to exercise the disk tier).
+  void dropMemory();
+
+  int64_t sizeBytes() const;
+  int64_t entryCount() const;
+  Stats stats() const;
+
+  /// The disk path an entry for \p Key lives at ("" when no disk tier).
+  std::string entryPath(const std::string &Key) const;
+
+private:
+  /// MRU-first list of (key, value).
+  using LruList = std::list<std::pair<std::string, std::string>>;
+
+  void insertLocked(const std::string &Key, const std::string &Value);
+  void evictOverBudgetLocked();
+  bool writeEntryLocked(const std::string &Key, const std::string &Value);
+  std::optional<std::string> readEntryLocked(const std::string &Key);
+
+  Options Opts;
+  mutable std::mutex Mu;
+  LruList Lru;
+  std::map<std::string, LruList::iterator> Index;
+  int64_t Bytes = 0;
+  Stats Counts;
+};
+
+} // namespace service
+} // namespace sgpu
+
+#endif // SGPU_SERVICE_SCHEDULECACHE_H

@@ -1,0 +1,190 @@
+//===- service/Server.cpp - Socket front end for sgpu-served --------------===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "service/Service.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace sgpu {
+namespace service {
+
+namespace {
+
+bool sendAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+Server::Server(Service &Svc, ServerOptions O) : Svc(Svc), Opts(std::move(O)) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg + ": " + std::strerror(errno);
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    return false;
+  };
+
+  if (!Opts.UnixPath.empty()) {
+    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ListenFd < 0)
+      return Fail("socket");
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    if (Opts.UnixPath.size() >= sizeof(Addr.sun_path))
+      return Fail("unix path too long");
+    std::strncpy(Addr.sun_path, Opts.UnixPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    ::unlink(Opts.UnixPath.c_str()); // Stale socket from a dead daemon.
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) != 0)
+      return Fail("bind " + Opts.UnixPath);
+  } else {
+    ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (ListenFd < 0)
+      return Fail("socket");
+    int One = 1;
+    ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    Addr.sin_port = htons(static_cast<uint16_t>(Opts.Port));
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) != 0)
+      return Fail("bind 127.0.0.1:" + std::to_string(Opts.Port));
+    socklen_t Len = sizeof(Addr);
+    if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) ==
+        0)
+      BoundPort = ntohs(Addr.sin_port);
+  }
+
+  if (::listen(ListenFd, 64) != 0)
+    return Fail("listen");
+
+  Stopping.store(false);
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+std::string Server::endpoint() const {
+  if (!Opts.UnixPath.empty())
+    return "unix:" + Opts.UnixPath;
+  return "127.0.0.1:" + std::to_string(BoundPort);
+}
+
+void Server::acceptLoop() {
+  while (!Stopping.load()) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // Listener closed by stop() (or fatal error): wind down.
+    }
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopping.load()) {
+      ::close(Fd);
+      break;
+    }
+    OpenFds.insert(Fd);
+    Handlers.emplace_back([this, Fd] { connectionLoop(Fd); });
+  }
+}
+
+void Server::connectionLoop(int Fd) {
+  std::string Buf;
+  char Chunk[4096];
+  for (;;) {
+    // Serve every complete line already buffered.
+    size_t Nl;
+    while ((Nl = Buf.find('\n')) != std::string::npos) {
+      std::string Line = Buf.substr(0, Nl);
+      Buf.erase(0, Nl + 1);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (Line.empty())
+        continue;
+      std::string Response = Svc.handleLine(Line);
+      Response.push_back('\n');
+      if (!sendAll(Fd, Response))
+        goto done;
+    }
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      break;
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+done:
+  ::close(Fd);
+  std::lock_guard<std::mutex> Lock(Mu);
+  OpenFds.erase(Fd);
+}
+
+void Server::stop() {
+  if (Stopping.exchange(true))
+    return;
+  if (ListenFd >= 0) {
+    // shutdown() unblocks accept(); close() alone does not on all
+    // platforms.
+    ::shutdown(ListenFd, SHUT_RDWR);
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (int Fd : OpenFds)
+      ::shutdown(Fd, SHUT_RDWR); // Unblocks recv; handler closes the fd.
+  }
+  std::vector<std::thread> ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ToJoin.swap(Handlers);
+  }
+  for (std::thread &T : ToJoin)
+    if (T.joinable())
+      T.join();
+  if (!Opts.UnixPath.empty())
+    ::unlink(Opts.UnixPath.c_str());
+}
+
+} // namespace service
+} // namespace sgpu

@@ -1,0 +1,82 @@
+//===- service/Server.h - Socket front end for sgpu-served ------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport layer of `sgpu-served`: a loopback TCP (or Unix-domain)
+/// stream server speaking the newline-delimited JSON frames of
+/// service/Protocol.h. Each accepted connection gets a handler thread
+/// that reads request lines and answers with Service::handleLine —
+/// connections are cheap (blocked on read), the expensive work is bounded
+/// by the Service's compile pool and admission control, not by the
+/// connection count. stop() closes the listener and every open
+/// connection, then joins all handler threads; the destructor stops too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SERVICE_SERVER_H
+#define SGPU_SERVICE_SERVER_H
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sgpu {
+namespace service {
+
+class Service;
+
+struct ServerOptions {
+  /// TCP mode: bind 127.0.0.1:Port. Port 0 picks a free port (tests).
+  int Port = 4790;
+  /// Unix-domain mode: bind this path instead of TCP when non-empty.
+  std::string UnixPath;
+};
+
+class Server {
+public:
+  Server(Service &Svc, ServerOptions O);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds, listens and starts the accept thread. False + \p Err on
+  /// failure (port in use, bad unix path, ...).
+  bool start(std::string *Err);
+
+  /// Closes the listener and all connections, joins every thread.
+  void stop();
+
+  /// The bound TCP port (resolved when Port was 0); -1 in unix mode.
+  int port() const { return BoundPort; }
+
+  /// "127.0.0.1:4790" or "unix:/path" — for logs.
+  std::string endpoint() const;
+
+private:
+  void acceptLoop();
+  void connectionLoop(int Fd);
+
+  Service &Svc;
+  ServerOptions Opts;
+  int ListenFd = -1;
+  int BoundPort = -1;
+  std::atomic<bool> Stopping{false};
+
+  std::thread AcceptThread;
+  std::mutex Mu;
+  std::vector<std::thread> Handlers;
+  std::set<int> OpenFds;
+};
+
+} // namespace service
+} // namespace sgpu
+
+#endif // SGPU_SERVICE_SERVER_H

@@ -1,0 +1,187 @@
+//===- service/Service.cpp - Scheduling-as-a-service core -----------------===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "benchmarks/Registry.h"
+#include "core/ReportWriter.h"
+#include "parser/Parser.h"
+#include "service/GraphHash.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <chrono>
+
+namespace sgpu {
+namespace service {
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+/// Builds the flattened graph of a request. Returns std::nullopt and
+/// fills \p Err on an unknown benchmark or a parse/flatten failure.
+std::optional<StreamGraph> buildRequestGraph(const CompileRequest &Req,
+                                             std::string *Err) {
+  if (!Req.Benchmark.empty()) {
+    const bench::BenchmarkSpec *Spec = bench::findBenchmark(Req.Benchmark);
+    if (!Spec) {
+      *Err = "unknown benchmark '" + Req.Benchmark + "'";
+      return std::nullopt;
+    }
+    return flatten(*Spec->Build());
+  }
+  ParseDiagnostic Diag;
+  StreamPtr Parsed = parseStreamProgram(Req.Source, &Diag);
+  if (!Parsed) {
+    *Err = "parse error: " + Diag.str();
+    return std::nullopt;
+  }
+  StreamGraph G = flatten(*Parsed);
+  if (std::optional<std::string> Invalid = G.validate()) {
+    *Err = "invalid graph: " + *Invalid;
+    return std::nullopt;
+  }
+  return G;
+}
+
+} // namespace
+
+Service::Service(ServiceOptions O)
+    : Opts(O), Cache(O.Cache), Pool(O.Workers) {}
+
+Service::~Service() { Pool.wait(); }
+
+int Service::pendingSolves() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Pending;
+}
+
+std::string Service::handleLine(const std::string &Line) {
+  auto Start = std::chrono::steady_clock::now();
+  metricCounter("service.requests").add();
+  TraceSpan Span("service.request", "service");
+
+  std::string Err;
+  std::optional<CompileRequest> Req = parseCompileRequest(Line, &Err);
+  if (!Req) {
+    metricCounter("service.errors").add();
+    return makeErrorResponse("", Err);
+  }
+  std::string Response = handleParsed(*Req);
+  metricHistogram("service.request_ms").record(msSince(Start));
+  return Response;
+}
+
+std::string Service::handleParsed(const CompileRequest &Req) {
+  auto Start = std::chrono::steady_clock::now();
+
+  std::string Err;
+  std::optional<StreamGraph> G = buildRequestGraph(Req, &Err);
+  if (!G) {
+    metricCounter("service.errors").add();
+    return makeErrorResponse(Req.Id, Err);
+  }
+  const std::string Key = graphHash(*G, Req.Options);
+  TraceSpan Span("service.handle", "service");
+  Span.argStr("key", Key);
+
+  if (!Req.NoCache) {
+    if (std::optional<std::string> Hit = Cache.lookup(Key)) {
+      metricCounter("service.cache_hits").add();
+      metricHistogram("service.hit_ms").record(msSince(Start));
+      Span.argStr("cache", "hit");
+      return makeOkResponse(Req, Key, /*CacheHit=*/true,
+                            /*Coalesced=*/false, msSince(Start), *Hit);
+    }
+    metricCounter("service.cache_misses").add();
+  }
+  Span.argStr("cache", "miss");
+
+  // Coalesce onto an identical in-flight solve, or become its leader.
+  std::shared_ptr<Inflight> Inf;
+  bool Leader = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = InflightByKey.find(Key);
+    if (It != InflightByKey.end()) {
+      Inf = It->second;
+      metricCounter("service.coalesced").add();
+    } else {
+      if (Pending >= Opts.MaxQueue) {
+        metricCounter("service.shed").add();
+        return makeBusyResponse(Req.Id, Opts.RetryAfterMs);
+      }
+      Inf = std::make_shared<Inflight>();
+      InflightByKey[Key] = Inf;
+      ++Pending;
+      Leader = true;
+    }
+  }
+
+  if (Leader) {
+    // The solve owns the graph; it runs single-worker (request-level
+    // parallelism comes from the pool) and publishes to the cache
+    // before leaving the in-flight map, so a racing identical request
+    // either coalesces or hits.
+    auto Task = [this, Inf, Key,
+                 Options = Req.Options,
+                 Graph = std::make_shared<StreamGraph>(std::move(*G))] {
+      TraceSpan SolveSpan("service.solve", "service");
+      SolveSpan.argStr("key", Key);
+      metricCounter("service.solves").add();
+      CompileOptions SolveOpts = Options;
+      SolveOpts.Sched.NumWorkers = 1;
+      SolveOpts.Sched.IIWindow = 1;
+      std::optional<CompileReport> R = compileForGpu(*Graph, SolveOpts);
+
+      std::string Report;
+      if (R)
+        Report = reportToJson(*Graph, *R);
+      if (R)
+        Cache.insert(Key, Report);
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        InflightByKey.erase(Key);
+        --Pending;
+      }
+      {
+        std::lock_guard<std::mutex> Lock(Inf->Mu);
+        Inf->Done = true;
+        Inf->Ok = R.has_value();
+        if (R)
+          Inf->ReportJson = std::move(Report);
+        else
+          Inf->Error = "compilation failed (infeasible or unsupported)";
+      }
+      Inf->Cv.notify_all();
+    };
+    Pool.submit(std::move(Task));
+  }
+
+  {
+    std::unique_lock<std::mutex> Lock(Inf->Mu);
+    Inf->Cv.wait(Lock, [&] { return Inf->Done; });
+  }
+  metricGauge("service.cache_bytes").set(double(Cache.sizeBytes()));
+  metricGauge("service.cache_entries").set(double(Cache.entryCount()));
+
+  if (!Inf->Ok) {
+    metricCounter("service.errors").add();
+    return makeErrorResponse(Req.Id, Inf->Error);
+  }
+  metricHistogram("service.miss_ms").record(msSince(Start));
+  return makeOkResponse(Req, Key, /*CacheHit=*/false, /*Coalesced=*/!Leader,
+                        msSince(Start), Inf->ReportJson);
+}
+
+} // namespace service
+} // namespace sgpu

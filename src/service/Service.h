@@ -1,0 +1,100 @@
+//===- service/Service.h - Scheduling-as-a-service core ---------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's brain, independent of any transport: `handleLine` takes
+/// one request frame (service/Protocol.h) and returns one response
+/// frame. The socket Server and the tests both drive this class, so
+/// every policy is exercised without a socket in the loop:
+///
+///  - **Cache:** requests are keyed by GraphHash and served from the
+///    ScheduleCache (memory, then disk) when possible.
+///  - **Coalescing:** concurrent identical requests (same key) share one
+///    solve — followers block on the leader's in-flight entry instead of
+///    queueing duplicate MILPs.
+///  - **Admission control:** when the number of queued+running solves
+///    reaches MaxQueue, new *solve-requiring* work is shed with a
+///    `busy`/retry-after response (cache hits and coalesced followers
+///    are never shed — they consume no solver capacity).
+///  - **Observability:** per-request `service.request` trace spans and
+///    `service.*` counters/histograms in the PR 3 metrics registry.
+///
+/// Solves run single-worker on the service's ThreadPool: the engine is
+/// result-deterministic across worker counts, so per-solve parallelism
+/// is traded for request-level parallelism (W independent solves).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SERVICE_SERVICE_H
+#define SGPU_SERVICE_SERVICE_H
+
+#include "service/Protocol.h"
+#include "service/ScheduleCache.h"
+#include "support/ThreadPool.h"
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace sgpu {
+namespace service {
+
+struct ServiceOptions {
+  ScheduleCache::Options Cache;
+  /// Compile workers (0 = SGPU_JOBS, then hardware_concurrency).
+  int Workers = 0;
+  /// Queued+running solves beyond which new solves are shed.
+  int MaxQueue = 16;
+  /// Back-off hint in `busy` responses.
+  int RetryAfterMs = 250;
+};
+
+class Service {
+public:
+  explicit Service(ServiceOptions O);
+  ~Service();
+
+  Service(const Service &) = delete;
+  Service &operator=(const Service &) = delete;
+
+  /// Handles one request frame, returns the response frame (no newline).
+  std::string handleLine(const std::string &Line);
+
+  ScheduleCache &cache() { return Cache; }
+  const ServiceOptions &options() const { return Opts; }
+
+  /// Queued+running solves right now (tests pin shedding with this).
+  int pendingSolves() const;
+
+private:
+  /// One in-flight solve; followers with the same key wait on it.
+  struct Inflight {
+    std::mutex Mu;
+    std::condition_variable Cv;
+    bool Done = false;
+    bool Ok = false;
+    std::string ReportJson; ///< Valid when Ok.
+    std::string Error;      ///< Valid when !Ok.
+  };
+
+  std::string handleParsed(const CompileRequest &Req);
+
+  ServiceOptions Opts;
+  ScheduleCache Cache;
+  ThreadPool Pool;
+
+  mutable std::mutex Mu;
+  std::map<std::string, std::shared_ptr<Inflight>> InflightByKey;
+  int Pending = 0; ///< Queued+running solves.
+};
+
+} // namespace service
+} // namespace sgpu
+
+#endif // SGPU_SERVICE_SERVICE_H

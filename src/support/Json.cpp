@@ -97,6 +97,11 @@ void JsonWriter::writeBool(const std::string &Key, bool Value) {
   Out += Value ? "true" : "false";
 }
 
+void JsonWriter::writeRaw(const std::string &Key, const std::string &Json) {
+  key(Key);
+  Out += Json;
+}
+
 std::string JsonWriter::str() const {
   assert(FirstInScope.size() == 1 && "unclosed scopes at str()");
   return Out;

@@ -44,6 +44,12 @@ public:
   void writeDouble(const std::string &Key, double Value);
   void writeBool(const std::string &Key, bool Value);
 
+  /// Splices \p Json — which must itself be a complete, valid JSON value
+  /// — verbatim as the member value. Lets documents embed sub-documents
+  /// rendered elsewhere (the service responses carry whole compile
+  /// reports) without an escape/unescape round trip.
+  void writeRaw(const std::string &Key, const std::string &Json);
+
   /// Array-element variants (no key).
   void writeString(const std::string &Value) { writeString("", Value); }
   void writeInt(int64_t Value) { writeInt("", Value); }

@@ -1,0 +1,155 @@
+//===- support/Sha256.cpp - SHA-256 message digest ------------------------===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Sha256.h"
+
+#include "support/Check.h"
+
+#include <cstring>
+
+namespace sgpu {
+
+namespace {
+
+constexpr uint32_t kInitialState[8] = {
+    0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+    0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+
+constexpr uint32_t kRoundConstants[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+
+inline uint32_t rotr(uint32_t X, int N) {
+  return (X >> N) | (X << (32 - N));
+}
+
+} // namespace
+
+Sha256::Sha256() { std::memcpy(H, kInitialState, sizeof(H)); }
+
+void Sha256::compress(const uint8_t *Block) {
+  uint32_t W[64];
+  for (int I = 0; I < 16; ++I)
+    W[I] = (uint32_t(Block[4 * I]) << 24) | (uint32_t(Block[4 * I + 1]) << 16) |
+           (uint32_t(Block[4 * I + 2]) << 8) | uint32_t(Block[4 * I + 3]);
+  for (int I = 16; I < 64; ++I) {
+    uint32_t S0 = rotr(W[I - 15], 7) ^ rotr(W[I - 15], 18) ^ (W[I - 15] >> 3);
+    uint32_t S1 = rotr(W[I - 2], 17) ^ rotr(W[I - 2], 19) ^ (W[I - 2] >> 10);
+    W[I] = W[I - 16] + S0 + W[I - 7] + S1;
+  }
+
+  uint32_t A = H[0], B = H[1], C = H[2], D = H[3];
+  uint32_t E = H[4], F = H[5], G = H[6], Hh = H[7];
+  for (int I = 0; I < 64; ++I) {
+    uint32_t S1 = rotr(E, 6) ^ rotr(E, 11) ^ rotr(E, 25);
+    uint32_t Ch = (E & F) ^ (~E & G);
+    uint32_t T1 = Hh + S1 + Ch + kRoundConstants[I] + W[I];
+    uint32_t S0 = rotr(A, 2) ^ rotr(A, 13) ^ rotr(A, 22);
+    uint32_t Maj = (A & B) ^ (A & C) ^ (B & C);
+    uint32_t T2 = S0 + Maj;
+    Hh = G;
+    G = F;
+    F = E;
+    E = D + T1;
+    D = C;
+    C = B;
+    B = A;
+    A = T1 + T2;
+  }
+  H[0] += A;
+  H[1] += B;
+  H[2] += C;
+  H[3] += D;
+  H[4] += E;
+  H[5] += F;
+  H[6] += G;
+  H[7] += Hh;
+}
+
+void Sha256::update(const void *Data, size_t Len) {
+  assert(!Finalized && "update after digest");
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  TotalBytes += Len;
+  while (Len > 0) {
+    size_t Take = 64 - BufLen;
+    if (Take > Len)
+      Take = Len;
+    std::memcpy(Buf + BufLen, P, Take);
+    BufLen += Take;
+    P += Take;
+    Len -= Take;
+    if (BufLen == 64) {
+      compress(Buf);
+      BufLen = 0;
+    }
+  }
+}
+
+void Sha256::update(std::string_view Data) {
+  update(Data.data(), Data.size());
+}
+
+std::array<uint8_t, 32> Sha256::digest() {
+  assert(!Finalized && "digest called twice");
+  Finalized = true;
+
+  // Append 0x80, then zeros until 8 bytes remain in a block, then the
+  // big-endian bit length.
+  uint64_t BitLen = TotalBytes * 8;
+  Buf[BufLen++] = 0x80;
+  if (BufLen > 56) {
+    while (BufLen < 64)
+      Buf[BufLen++] = 0;
+    compress(Buf);
+    BufLen = 0;
+  }
+  while (BufLen < 56)
+    Buf[BufLen++] = 0;
+  for (int I = 7; I >= 0; --I)
+    Buf[BufLen++] = uint8_t(BitLen >> (8 * I));
+  compress(Buf);
+
+  std::array<uint8_t, 32> Out;
+  for (int I = 0; I < 8; ++I) {
+    Out[4 * I] = uint8_t(H[I] >> 24);
+    Out[4 * I + 1] = uint8_t(H[I] >> 16);
+    Out[4 * I + 2] = uint8_t(H[I] >> 8);
+    Out[4 * I + 3] = uint8_t(H[I]);
+  }
+  return Out;
+}
+
+std::string Sha256::digestHex() {
+  static const char *Hex = "0123456789abcdef";
+  std::array<uint8_t, 32> D = digest();
+  std::string S;
+  S.reserve(64);
+  for (uint8_t B : D) {
+    S.push_back(Hex[B >> 4]);
+    S.push_back(Hex[B & 0xf]);
+  }
+  return S;
+}
+
+std::string sha256Hex(std::string_view Data) {
+  Sha256 H;
+  H.update(Data);
+  return H.digestHex();
+}
+
+} // namespace sgpu

@@ -1,0 +1,59 @@
+//===- support/Sha256.h - SHA-256 message digest ----------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch SHA-256 (FIPS 180-4) used by the scheduling service to
+/// derive content-addressed cache keys from canonicalized compile
+/// requests (see service/GraphHash.h). Streaming interface so large
+/// canonical forms need not be concatenated; `sha256Hex` is the one-shot
+/// convenience. No external dependencies, matching the repo's policy of
+/// building everything the paper pipeline needs in-tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_SUPPORT_SHA256_H
+#define SGPU_SUPPORT_SHA256_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sgpu {
+
+/// Incremental SHA-256. update() any number of times, then digestHex()
+/// (which finalizes; further updates assert).
+class Sha256 {
+public:
+  Sha256();
+
+  /// Absorbs \p Data.
+  void update(std::string_view Data);
+  void update(const void *Data, size_t Len);
+
+  /// Finalizes and returns the 32-byte digest.
+  std::array<uint8_t, 32> digest();
+
+  /// Finalizes and returns the digest as 64 lowercase hex characters.
+  std::string digestHex();
+
+private:
+  void compress(const uint8_t *Block);
+
+  uint32_t H[8];
+  uint8_t Buf[64];
+  size_t BufLen = 0;
+  uint64_t TotalBytes = 0;
+  bool Finalized = false;
+};
+
+/// One-shot digest of \p Data as lowercase hex.
+std::string sha256Hex(std::string_view Data);
+
+} // namespace sgpu
+
+#endif // SGPU_SUPPORT_SHA256_H

@@ -1,0 +1,455 @@
+//===- tools/sgpu-bench-load.cpp - Load generator for sgpu-served ------------===//
+//
+// Replays randomized GraphGen stream programs (and, with --table1, the
+// paper's eight benchmarks) against a running sgpu-served daemon and
+// reports client-observed latency percentiles, throughput and cache hit
+// rate, writing the whole run into BENCH_served.json. The second pass of
+// a --passes=2 run re-sends the same programs, so its hit rate and p50
+// measure the schedule cache; CI asserts both (--require-hit-rate,
+// --require-p50-hit-ms).
+//
+// Usage:
+//   sgpu-bench-load [--connect=HOST:PORT | --unix=PATH]
+//                   [--count=N] [--passes=N] [--repeat-ratio=F]
+//                   [--concurrency=N] [--seed=N] [--table1]
+//                   [--force-cold] [--out=FILE]
+//                   [--require-hit-rate=F] [--require-p50-hit-ms=F]
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/StreamGraph.h"
+#include "support/Json.h"
+#include "support/Rng.h"
+#include "testing/DslPrinter.h"
+#include "testing/GraphGen.h"
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace sgpu;
+using namespace sgpu::testing;
+
+namespace {
+
+bool startsWith(const char *Arg, const char *Prefix) {
+  return std::strncmp(Arg, Prefix, std::strlen(Prefix)) == 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Line-framed client connection
+//===----------------------------------------------------------------------===//
+
+class Client {
+public:
+  ~Client() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  bool connectTcp(const std::string &Host, int Port, std::string *Err) {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return fail(Err, "socket");
+    sockaddr_in Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<uint16_t>(Port));
+    if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1)
+      return fail(Err, "bad address " + Host);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+      return fail(Err, "connect " + Host + ":" + std::to_string(Port));
+    return true;
+  }
+
+  bool connectUnix(const std::string &Path, std::string *Err) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return fail(Err, "socket");
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    if (Path.size() >= sizeof(Addr.sun_path))
+      return fail(Err, "unix path too long");
+    std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+      return fail(Err, "connect " + Path);
+    return true;
+  }
+
+  /// Sends \p Line (plus newline) and reads one response line.
+  bool roundTrip(const std::string &Line, std::string *Response) {
+    std::string Framed = Line;
+    Framed.push_back('\n');
+    size_t Off = 0;
+    while (Off < Framed.size()) {
+      ssize_t N = ::send(Fd, Framed.data() + Off, Framed.size() - Off, 0);
+      if (N <= 0) {
+        if (N < 0 && errno == EINTR)
+          continue;
+        return false;
+      }
+      Off += static_cast<size_t>(N);
+    }
+    size_t Nl;
+    while ((Nl = Buf.find('\n')) == std::string::npos) {
+      char Chunk[4096];
+      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        return false;
+      Buf.append(Chunk, static_cast<size_t>(N));
+    }
+    *Response = Buf.substr(0, Nl);
+    Buf.erase(0, Nl + 1);
+    return true;
+  }
+
+private:
+  bool fail(std::string *Err, const std::string &Msg) {
+    if (Err)
+      *Err = Msg + " (" + std::strerror(errno) + ")";
+    return false;
+  }
+
+  int Fd = -1;
+  std::string Buf;
+};
+
+//===----------------------------------------------------------------------===//
+// Run bookkeeping
+//===----------------------------------------------------------------------===//
+
+struct RequestResult {
+  bool Ok = false;
+  bool Hit = false;
+  int BusyRetries = 0;
+  double ClientMs = 0.0;
+  std::string Error;
+};
+
+struct PassStats {
+  int Requests = 0, Ok = 0, Errors = 0, Hits = 0;
+  int64_t BusyRetries = 0;
+  double WallSeconds = 0.0;
+  double P50Ms = 0.0, P99Ms = 0.0, MeanMs = 0.0;
+  double P50HitMs = 0.0, P50MissMs = 0.0;
+
+  double hitRate() const { return Ok > 0 ? double(Hits) / double(Ok) : 0.0; }
+  double throughputRps() const {
+    return WallSeconds > 0 ? double(Requests) / WallSeconds : 0.0;
+  }
+};
+
+double percentile(std::vector<double> V, double P) {
+  if (V.empty())
+    return 0.0;
+  std::sort(V.begin(), V.end());
+  size_t Idx = static_cast<size_t>(P * double(V.size() - 1) + 0.5);
+  return V[std::min(Idx, V.size() - 1)];
+}
+
+PassStats summarize(const std::vector<RequestResult> &Results,
+                    double WallSeconds) {
+  PassStats S;
+  S.Requests = static_cast<int>(Results.size());
+  S.WallSeconds = WallSeconds;
+  std::vector<double> All, Hit, Miss;
+  double Sum = 0.0;
+  for (const RequestResult &R : Results) {
+    S.BusyRetries += R.BusyRetries;
+    if (!R.Ok) {
+      ++S.Errors;
+      continue;
+    }
+    ++S.Ok;
+    if (R.Hit)
+      ++S.Hits;
+    All.push_back(R.ClientMs);
+    (R.Hit ? Hit : Miss).push_back(R.ClientMs);
+    Sum += R.ClientMs;
+  }
+  S.P50Ms = percentile(All, 0.50);
+  S.P99Ms = percentile(All, 0.99);
+  S.MeanMs = S.Ok > 0 ? Sum / double(S.Ok) : 0.0;
+  S.P50HitMs = percentile(Hit, 0.50);
+  S.P50MissMs = percentile(Miss, 0.50);
+  return S;
+}
+
+void writePassJson(JsonWriter &W, const char *Name, const PassStats &S) {
+  W.beginObject(Name);
+  W.writeInt("requests", S.Requests);
+  W.writeInt("ok", S.Ok);
+  W.writeInt("errors", S.Errors);
+  W.writeInt("cache_hits", S.Hits);
+  W.writeDouble("hit_rate", S.hitRate());
+  W.writeInt("busy_retries", S.BusyRetries);
+  W.writeDouble("wall_seconds", S.WallSeconds);
+  W.writeDouble("throughput_rps", S.throughputRps());
+  W.writeDouble("p50_ms", S.P50Ms);
+  W.writeDouble("p99_ms", S.P99Ms);
+  W.writeDouble("mean_ms", S.MeanMs);
+  W.writeDouble("p50_hit_ms", S.P50HitMs);
+  W.writeDouble("p50_miss_ms", S.P50MissMs);
+  W.endObject();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Host = "127.0.0.1";
+  int Port = 4790;
+  std::string UnixPath;
+  int Count = 200;
+  int Passes = 2;
+  double RepeatRatio = 0.0;
+  int Concurrency = 4;
+  uint64_t Seed = 1;
+  bool Table1 = false;
+  bool ForceCold = false;
+  std::string OutFile = "BENCH_served.json";
+  double RequireHitRate = -1.0;
+  double RequireP50HitMs = -1.0;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (startsWith(Arg, "--connect=")) {
+      std::string V = Arg + 10;
+      size_t Colon = V.rfind(':');
+      if (Colon == std::string::npos) {
+        std::fprintf(stderr, "error: --connect needs HOST:PORT\n");
+        return 1;
+      }
+      Host = V.substr(0, Colon);
+      Port = std::atoi(V.c_str() + Colon + 1);
+    } else if (startsWith(Arg, "--unix=")) {
+      UnixPath = Arg + 7;
+    } else if (startsWith(Arg, "--count=")) {
+      Count = std::atoi(Arg + 8);
+    } else if (startsWith(Arg, "--passes=")) {
+      Passes = std::atoi(Arg + 9);
+    } else if (startsWith(Arg, "--repeat-ratio=")) {
+      RepeatRatio = std::atof(Arg + 15);
+    } else if (startsWith(Arg, "--concurrency=")) {
+      Concurrency = std::atoi(Arg + 14);
+    } else if (startsWith(Arg, "--seed=")) {
+      Seed = std::strtoull(Arg + 7, nullptr, 10);
+    } else if (std::strcmp(Arg, "--table1") == 0) {
+      Table1 = true;
+    } else if (std::strcmp(Arg, "--force-cold") == 0) {
+      ForceCold = true;
+    } else if (startsWith(Arg, "--out=")) {
+      OutFile = Arg + 6;
+    } else if (startsWith(Arg, "--require-hit-rate=")) {
+      RequireHitRate = std::atof(Arg + 19);
+    } else if (startsWith(Arg, "--require-p50-hit-ms=")) {
+      RequireP50HitMs = std::atof(Arg + 21);
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
+      return 1;
+    }
+  }
+  if (Count < 1 || Passes < 1 || Concurrency < 1 || RepeatRatio < 0.0 ||
+      RepeatRatio >= 1.0) {
+    std::fprintf(stderr, "error: bad count/passes/concurrency/repeat-ratio\n");
+    return 1;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Build the request corpus.
+  //===--------------------------------------------------------------------===//
+
+  // Unique programs: Table I names, or printable GraphGen draws.
+  std::vector<std::string> RequestBodies; // JSON "payload" member text.
+  if (Table1) {
+    static const char *Names[] = {"Bitonic",    "BitonicRec", "DCT",
+                                  "DES",        "FFT",        "Filterbank",
+                                  "FMRadio",    "MatrixMult"};
+    for (const char *N : Names)
+      RequestBodies.push_back(std::string("\"benchmark\":\"") + N + "\"");
+  } else {
+    int Unique = std::max(1, int(double(Count) * (1.0 - RepeatRatio) + 0.5));
+    uint64_t S = Seed;
+    while (static_cast<int>(RequestBodies.size()) < Unique) {
+      GraphSpec Spec = generateGraphSpec(S++);
+      DslPrintResult P = printStreamDsl(*buildStream(Spec));
+      if (!P.Ok)
+        continue; // Rare: spec uses a DSL-inexpressible construct.
+      RequestBodies.push_back("\"source\":\"" + JsonWriter::escape(P.Text) +
+                              "\"");
+    }
+  }
+  const int Unique = static_cast<int>(RequestBodies.size());
+
+  // The per-pass request sequence: the first Unique requests sweep every
+  // program once; the remainder (the repeat fraction) re-draw uniformly.
+  const int PerPass = Table1 ? Unique : Count;
+  std::vector<int> Sequence(PerPass);
+  Rng PickRng(Seed ^ 0x9e3779b97f4a7c15ull);
+  for (int I = 0; I < PerPass; ++I)
+    Sequence[I] = I < Unique ? I : int(PickRng.nextInt(Unique));
+
+  //===--------------------------------------------------------------------===//
+  // Drive the server, pass by pass.
+  //===--------------------------------------------------------------------===//
+
+  auto MakeLine = [&](int BodyIdx, int ReqNum, bool NoCache) {
+    std::string Line = "{";
+    Line += "\"id\":\"r" + std::to_string(ReqNum) + "\",";
+    if (NoCache)
+      Line += "\"no_cache\":true,";
+    Line += RequestBodies[BodyIdx];
+    Line += "}";
+    return Line;
+  };
+
+  std::vector<PassStats> PassResults;
+  for (int Pass = 0; Pass < Passes; ++Pass) {
+    const bool NoCache = ForceCold && Pass == 0;
+    std::vector<RequestResult> Results(Sequence.size());
+    std::atomic<int> Next{0};
+    std::atomic<bool> ConnectFailed{false};
+    auto PassStart = std::chrono::steady_clock::now();
+
+    auto Worker = [&] {
+      Client C;
+      std::string Err;
+      bool Connected = UnixPath.empty() ? C.connectTcp(Host, Port, &Err)
+                                        : C.connectUnix(UnixPath, &Err);
+      if (!Connected) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        ConnectFailed.store(true);
+        return;
+      }
+      for (;;) {
+        int I = Next.fetch_add(1);
+        if (I >= static_cast<int>(Sequence.size()))
+          return;
+        RequestResult &R = Results[I];
+        auto Start = std::chrono::steady_clock::now();
+        for (;;) {
+          std::string Response;
+          if (!C.roundTrip(MakeLine(Sequence[I], I, NoCache), &Response)) {
+            R.Error = "connection lost";
+            break;
+          }
+          std::optional<JsonValue> Doc = JsonValue::parse(Response);
+          const JsonValue *Status =
+              Doc && Doc->isObject() ? Doc->find("status") : nullptr;
+          if (!Status || !Status->isString()) {
+            R.Error = "malformed response";
+            break;
+          }
+          if (Status->asString() == "busy") {
+            ++R.BusyRetries;
+            int BackoffMs = 50;
+            if (const JsonValue *Retry = Doc->find("retry_after_ms"))
+              BackoffMs = static_cast<int>(Retry->asNumber());
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(BackoffMs));
+            continue;
+          }
+          if (Status->asString() == "ok") {
+            R.Ok = true;
+            if (const JsonValue *Cache = Doc->find("cache"))
+              R.Hit = Cache->asString() == "hit";
+          } else if (const JsonValue *E = Doc->find("error")) {
+            R.Error = E->asString();
+          }
+          break;
+        }
+        R.ClientMs = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+      }
+    };
+
+    std::vector<std::thread> Threads;
+    for (int T = 0; T < Concurrency; ++T)
+      Threads.emplace_back(Worker);
+    for (std::thread &T : Threads)
+      T.join();
+    if (ConnectFailed.load())
+      return 1;
+
+    double Wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - PassStart)
+                      .count();
+    PassStats S = summarize(Results, Wall);
+    PassResults.push_back(S);
+    std::printf("pass %d: %d requests, %d ok, %d errors, hit rate %.1f%%, "
+                "p50 %.2f ms, p99 %.2f ms, %.1f req/s\n",
+                Pass + 1, S.Requests, S.Ok, S.Errors, 100.0 * S.hitRate(),
+                S.P50Ms, S.P99Ms, S.throughputRps());
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Report + assertions.
+  //===--------------------------------------------------------------------===//
+
+  const PassStats &First = PassResults.front();
+  const PassStats &Last = PassResults.back();
+  double P50Improvement =
+      Last.P50Ms > 0.0 ? First.P50Ms / Last.P50Ms : 0.0;
+
+  JsonWriter W;
+  W.beginObject();
+  W.beginObject("config");
+  W.writeString("mode", Table1 ? "table1" : "graphgen");
+  W.writeInt("unique_programs", Unique);
+  W.writeInt("requests_per_pass", PerPass);
+  W.writeInt("passes", Passes);
+  W.writeDouble("repeat_ratio", RepeatRatio);
+  W.writeInt("concurrency", Concurrency);
+  W.writeInt("seed", int64_t(Seed));
+  W.writeBool("force_cold", ForceCold);
+  W.endObject();
+  W.beginArray("pass_stats");
+  for (const PassStats &S : PassResults)
+    writePassJson(W, "", S);
+  W.endArray();
+  writePassJson(W, "first_pass", First);
+  writePassJson(W, "last_pass", Last);
+  W.writeDouble("p50_improvement_last_vs_first", P50Improvement);
+  W.endObject();
+
+  std::ofstream Out(OutFile, std::ios::trunc);
+  Out << W.str() << "\n";
+  if (!Out.flush())
+    std::fprintf(stderr, "warning: cannot write %s\n", OutFile.c_str());
+  else
+    std::printf("wrote %s (p50 improvement last/first: %.1fx)\n",
+                OutFile.c_str(), P50Improvement);
+
+  if (RequireHitRate >= 0.0 && Last.hitRate() < RequireHitRate) {
+    std::fprintf(stderr,
+                 "FAIL: last-pass hit rate %.3f below required %.3f\n",
+                 Last.hitRate(), RequireHitRate);
+    return 2;
+  }
+  if (RequireP50HitMs >= 0.0 &&
+      (Last.Hits == 0 || Last.P50HitMs > RequireP50HitMs)) {
+    std::fprintf(stderr,
+                 "FAIL: last-pass p50 cache-hit latency %.2f ms over "
+                 "required %.2f ms (hits: %d)\n",
+                 Last.P50HitMs, RequireP50HitMs, Last.Hits);
+    return 2;
+  }
+  return 0;
+}

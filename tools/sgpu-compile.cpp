@@ -93,15 +93,11 @@ int main(int argc, char **argv) {
       continue;
     }
     if (startsWith(Arg, "--strategy=")) {
-      std::string V = Arg + 11;
-      if (V == "swp")
-        Strat = Strategy::Swp;
-      else if (V == "swpnc")
-        Strat = Strategy::SwpNoCoalesce;
-      else if (V == "serial")
-        Strat = Strategy::Serial;
-      else {
-        std::fprintf(stderr, "error: unknown strategy '%s'\n", V.c_str());
+      const char *V = Arg + 11;
+      if (std::optional<Strategy> S = parseStrategyName(V)) {
+        Strat = *S;
+      } else {
+        std::fprintf(stderr, "error: unknown strategy '%s'\n", V);
         return 1;
       }
     } else if (startsWith(Arg, "--timing-model=")) {

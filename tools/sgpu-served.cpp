@@ -1,0 +1,165 @@
+//===- tools/sgpu-served.cpp - Scheduling-as-a-service daemon ----------------===//
+//
+// Long-running compile server: accepts newline-delimited JSON compile
+// requests (.str source or a Table I benchmark name, plus options) over
+// a loopback TCP or Unix-domain socket, solves them on a worker pool and
+// serves repeats from a content-addressed schedule cache. The protocol
+// is specified in docs/PROTOCOL.md; DESIGN.md "Scheduling as a service"
+// describes the cache and admission-control policies.
+//
+// Usage:
+//   sgpu-served [--port=N] [--unix=PATH] [--cache-dir=DIR]
+//               [--cache-bytes=N] [--jobs=N] [--max-queue=N]
+//               [--retry-after-ms=N] [--trace-out=FILE] [--metrics]
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+#include "service/Service.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+using namespace sgpu;
+using namespace sgpu::service;
+
+namespace {
+
+std::atomic<bool> GotSignal{false};
+
+void onSignal(int) { GotSignal.store(true); }
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: sgpu-served [options]\n"
+      "  --port=N            TCP port on 127.0.0.1 (default 4790; 0 = any\n"
+      "                      free port, printed on startup)\n"
+      "  --unix=PATH         serve a Unix-domain socket instead of TCP\n"
+      "  --cache-dir=DIR     persist cache entries under DIR (default\n"
+      "                      sgpu-cache; --cache-dir= empty disables disk)\n"
+      "  --cache-bytes=N     in-memory cache budget in bytes\n"
+      "                      (default 268435456)\n"
+      "  --jobs=N            compile workers (default: $SGPU_JOBS or cores)\n"
+      "  --max-queue=N       shed new solves beyond this many queued+running\n"
+      "                      (default 16)\n"
+      "  --retry-after-ms=N  back-off hint in busy responses (default 250)\n"
+      "  --trace-out=FILE    write a Chrome trace on shutdown (also:\n"
+      "                      SGPU_TRACE=FILE)\n"
+      "  --metrics           dump the metrics registry on shutdown\n");
+}
+
+bool startsWith(const char *Arg, const char *Prefix) {
+  return std::strncmp(Arg, Prefix, std::strlen(Prefix)) == 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServiceOptions SvcOpts;
+  SvcOpts.Cache.Dir = "sgpu-cache";
+  ServerOptions SrvOpts;
+  bool DumpMetrics = false;
+  std::string TraceOut;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (startsWith(Arg, "--port=")) {
+      SrvOpts.Port = std::atoi(Arg + 7);
+      if (SrvOpts.Port < 0 || SrvOpts.Port > 65535) {
+        std::fprintf(stderr, "error: bad port\n");
+        return 1;
+      }
+    } else if (startsWith(Arg, "--unix=")) {
+      SrvOpts.UnixPath = Arg + 7;
+    } else if (startsWith(Arg, "--cache-dir=")) {
+      SvcOpts.Cache.Dir = Arg + 12;
+    } else if (startsWith(Arg, "--cache-bytes=")) {
+      SvcOpts.Cache.MaxBytes = std::atoll(Arg + 14);
+      if (SvcOpts.Cache.MaxBytes < 1) {
+        std::fprintf(stderr, "error: cache-bytes must be positive\n");
+        return 1;
+      }
+    } else if (startsWith(Arg, "--jobs=")) {
+      SvcOpts.Workers = std::atoi(Arg + 7);
+      if (SvcOpts.Workers < 0) {
+        std::fprintf(stderr, "error: jobs must be >= 0\n");
+        return 1;
+      }
+    } else if (startsWith(Arg, "--max-queue=")) {
+      SvcOpts.MaxQueue = std::atoi(Arg + 12);
+      if (SvcOpts.MaxQueue < 1) {
+        std::fprintf(stderr, "error: max-queue must be positive\n");
+        return 1;
+      }
+    } else if (startsWith(Arg, "--retry-after-ms=")) {
+      SvcOpts.RetryAfterMs = std::atoi(Arg + 17);
+    } else if (startsWith(Arg, "--trace-out=")) {
+      TraceOut = Arg + 12;
+    } else if (std::strcmp(Arg, "--metrics") == 0) {
+      DumpMetrics = true;
+    } else if (std::strcmp(Arg, "--help") == 0) {
+      printUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
+      printUsage();
+      return 1;
+    }
+  }
+
+  if (TraceOut.empty())
+    traceInitFromEnv(&TraceOut);
+  if (!TraceOut.empty()) {
+    traceSetEnabled(true);
+    traceSetThreadName("main");
+  }
+
+  Service Svc(SvcOpts);
+  Server Srv(Svc, SrvOpts);
+  std::string Err;
+  if (!Srv.start(&Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+#ifdef SIGPIPE
+  std::signal(SIGPIPE, SIG_IGN); // A dropped client must not kill us.
+#endif
+
+  std::printf("sgpu-served listening on %s (cache %s, %d-deep queue)\n",
+              Srv.endpoint().c_str(),
+              SvcOpts.Cache.Dir.empty() ? "memory-only"
+                                        : SvcOpts.Cache.Dir.c_str(),
+              SvcOpts.MaxQueue);
+  std::fflush(stdout);
+
+  while (!GotSignal.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::printf("sgpu-served: shutting down\n");
+  Srv.stop();
+
+  if (DumpMetrics) {
+    JsonWriter W;
+    W.beginObject();
+    MetricsRegistry::global().writeJson(W);
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+  }
+  if (!TraceOut.empty() && !traceWriteFile(TraceOut))
+    std::fprintf(stderr, "warning: cannot write trace file '%s'\n",
+                 TraceOut.c_str());
+  return 0;
+}
