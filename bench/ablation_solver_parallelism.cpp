@@ -28,7 +28,10 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <sstream>
+#include <thread>
 
 using namespace sgpu;
 using namespace sgpu::bench;
@@ -53,6 +56,12 @@ CompileCell compileOnce(const BenchmarkSpec &Spec, int Workers) {
   StreamGraph G = flatten(*Spec.Build());
   CompileOptions O = benchOptions(Strategy::Swp, 8);
   O.Sched.NumWorkers = Workers;
+  // Deterministic effort budgets (mirroring the perf gate): a scaling
+  // sweep must give every worker count the exact same work, and a
+  // wall-clock cut would make the searched tree depend on machine load.
+  O.Sched.TimeBudgetSeconds = 300.0;
+  O.Sched.MaxIlpNodes = 400;
+  O.Sched.MaxLpIterations = 2000;
   // Engine-effort counters come from the pipeline metrics registry,
   // reset around the compile: they count all work the engine performed
   // (including speculative II-window candidates), not the report's
@@ -100,6 +109,7 @@ struct MilpCell {
   double Seconds = 0.0;
   double Objective = 0.0;
   int Nodes = 0;
+  long long Steals = 0;
   double Utilization = 0.0;
 };
 
@@ -117,10 +127,12 @@ MilpCell solveSearchMilp(int Workers) {
   Cell.Objective = R.Objective;
   MetricsRegistry::Snapshot Snap = Reg.snapshot();
   Cell.Nodes = static_cast<int>(Snap.Counters["bnb.nodes_solved"]);
-  double Span = Snap.Histograms["bnb.solve.seconds"].Sum *
-                Snap.Gauges["bnb.workers"];
+  Cell.Steals = R.Steals;
+  // Busy time over summed per-worker drain-loop spans: idle waiting for
+  // work to appear (or be stolen) is charged to the idle worker, so one
+  // worker reads 1.0 and any dip below it is real contention.
   Cell.Utilization =
-      Span > 0 ? Snap.Histograms["bnb.busy.seconds"].Sum / Span : 0.0;
+      R.WorkerSeconds > 0 ? R.BusySeconds / R.WorkerSeconds : 0.0;
   return Cell;
 }
 
@@ -130,13 +142,57 @@ void BM_CompileAll(benchmark::State &State, int Workers) {
       benchmark::DoNotOptimize(compileOnce(Spec, Workers).Seconds);
 }
 
+std::vector<std::string> splitList(const char *Csv) {
+  std::vector<std::string> Out;
+  std::stringstream In(Csv);
+  std::string Item;
+  while (std::getline(In, Item, ','))
+    if (!Item.empty())
+      Out.push_back(Item);
+  return Out;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  const std::vector<int> WorkerCounts = {1, 2, 4, 8};
+  // Default sweep: 1..4 workers plus one deliberately oversubscribed
+  // point. --workers/--benchmarks narrow the sweep (CI runs just
+  // Bitonic+DES at 1 and 4).
+  std::vector<int> WorkerCounts = {1, 2, 4, 8};
+  std::vector<std::string> OnlyBenchmarks;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--workers=", 10) == 0) {
+      WorkerCounts.clear();
+      for (const std::string &S : splitList(argv[I] + 10))
+        if (int W = std::atoi(S.c_str()); W >= 1)
+          WorkerCounts.push_back(W);
+      if (WorkerCounts.empty()) {
+        std::fprintf(stderr, "error: --workers needs a list like 1,2,4\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[I], "--benchmarks=", 13) == 0) {
+      OnlyBenchmarks = splitList(argv[I] + 13);
+    }
+  }
+  auto Wanted = [&](const BenchmarkSpec &Spec) {
+    if (OnlyBenchmarks.empty())
+      return true;
+    for (const std::string &N : OnlyBenchmarks)
+      if (N == Spec.Name)
+        return true;
+    return false;
+  };
+
+  // Record the machine truthfully: hardware_concurrency is what the
+  // silicon offers (not the SGPU_JOBS-resolved worker default), and any
+  // sweep wider than it is flagged as oversubscribed in the JSON so its
+  // timings are read as a contention experiment, not a scaling claim.
+  int Hardware = static_cast<int>(std::thread::hardware_concurrency());
+  if (Hardware <= 0)
+    Hardware = 1;
   std::printf("Scheduling-engine parallelism ablation "
-              "(hardware_concurrency = %d)\n\n",
-              resolveWorkerCount(0));
+              "(hardware_concurrency = %d, default engine workers = %d)\n\n",
+              Hardware, resolveWorkerCount(0));
 
   struct Sweep {
     int Workers;
@@ -147,12 +203,14 @@ int main(int argc, char **argv) {
   std::vector<Sweep> Sweeps;
   bool Deterministic = true;
 
-  std::printf("%8s %14s %14s %12s %14s %14s\n", "workers", "compile_s",
-              "speedup_vs_1", "bnb_obj", "bnb_s", "bnb_util");
+  std::printf("%8s %14s %14s %12s %14s %10s %10s\n", "workers", "compile_s",
+              "speedup_vs_1", "bnb_obj", "bnb_s", "bnb_util", "steals");
   for (int W : WorkerCounts) {
     Sweep S;
     S.Workers = W;
     for (const BenchmarkSpec &Spec : allBenchmarks()) {
+      if (!Wanted(Spec))
+        continue;
       CompileCell Cell = compileOnce(Spec, W);
       S.TotalSeconds += Cell.Seconds;
       S.Cells.push_back(std::move(Cell));
@@ -168,10 +226,10 @@ int main(int argc, char **argv) {
         Deterministic = false;
     if (std::fabs(Cur.Milp.Objective - Base.Milp.Objective) > 1e-6)
       Deterministic = false;
-    std::printf("%8d %14.3f %14.2f %12.1f %14.3f %14.2f\n", W,
+    std::printf("%8d %14.3f %14.2f %12.1f %14.3f %10.2f %10lld\n", W,
                 Cur.TotalSeconds, Base.TotalSeconds / Cur.TotalSeconds,
-                Cur.Milp.Objective, Cur.Milp.Seconds,
-                Cur.Milp.Utilization);
+                Cur.Milp.Objective, Cur.Milp.Seconds, Cur.Milp.Utilization,
+                Cur.Milp.Steals);
   }
   std::printf("\nFinalII and B&B objective identical across worker "
               "counts: %s\n\n",
@@ -179,12 +237,14 @@ int main(int argc, char **argv) {
 
   JsonWriter J;
   J.beginObject();
-  J.writeInt("hardware_concurrency", resolveWorkerCount(0));
+  J.writeInt("hardware_concurrency", Hardware);
+  J.writeInt("default_engine_workers", resolveWorkerCount(0));
   J.writeBool("deterministic_across_workers", Deterministic);
   J.beginArray("sweeps");
   for (const Sweep &S : Sweeps) {
     J.beginObject();
     J.writeInt("workers", S.Workers);
+    J.writeBool("oversubscribed", S.Workers > Hardware);
     J.writeDouble("compile_total_seconds", S.TotalSeconds);
     J.writeDouble("compile_speedup_vs_1",
                   Sweeps.front().TotalSeconds / S.TotalSeconds);
@@ -192,6 +252,7 @@ int main(int argc, char **argv) {
     J.writeDouble("seconds", S.Milp.Seconds);
     J.writeDouble("objective", S.Milp.Objective);
     J.writeInt("nodes", S.Milp.Nodes);
+    J.writeInt("steals", S.Milp.Steals);
     J.writeDouble("worker_utilization", S.Milp.Utilization);
     J.endObject();
     J.beginArray("benchmarks");
@@ -221,7 +282,15 @@ int main(int argc, char **argv) {
         W)
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
-  benchmark::Initialize(&argc, argv);
+  // Hide the sweep's own flags from google-benchmark, which rejects
+  // flags it does not know.
+  std::vector<char *> BenchArgv;
+  for (int I = 0; I < argc; ++I)
+    if (I == 0 || (std::strncmp(argv[I], "--workers=", 10) != 0 &&
+                   std::strncmp(argv[I], "--benchmarks=", 13) != 0))
+      BenchArgv.push_back(argv[I]);
+  int BenchArgc = static_cast<int>(BenchArgv.size());
+  benchmark::Initialize(&BenchArgc, BenchArgv.data());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -31,6 +31,9 @@ struct CandidateOutcome {
   long long SimplexIters = 0;
   long long Pivots = 0;
   double BusySeconds = 0.0;
+  double WorkerSeconds = 0.0;
+  long long Steals = 0;
+  long long WarmStarts = 0;
   double WallSeconds = 0.0;
 };
 
@@ -42,7 +45,8 @@ CandidateOutcome evaluateCandidate(const StreamGraph &G,
                                    const ExecutionConfig &Config,
                                    const GpuSteadyState &GSS,
                                    const SchedulerOptions &Options, double T,
-                                   bool AllowIlp, int MilpWorkers) {
+                                   bool AllowIlp, int MilpWorkers,
+                                   const SimplexBasis *Seed) {
   CandidateOutcome Out;
   TraceSpan Span("ii.candidate", "schedule");
   Span.argNum("ii", T);
@@ -68,6 +72,8 @@ CandidateOutcome evaluateCandidate(const StreamGraph &G,
       MO.MaxNodes = Options.MaxIlpNodes;
       MO.LpIterationLimit = Options.MaxLpIterations;
       MO.NumWorkers = MilpWorkers;
+      if (Seed)
+        MO.WarmBasis = *Seed; // Same LP shape at every candidate II.
       std::optional<std::vector<double>> Incumbent;
       if (Heur)
         Incumbent = M->encode(*Heur);
@@ -78,6 +84,9 @@ CandidateOutcome evaluateCandidate(const StreamGraph &G,
       Out.SimplexIters = MR.SimplexIterations;
       Out.Pivots = MR.Pivots;
       Out.BusySeconds = MR.BusySeconds;
+      Out.WorkerSeconds = MR.WorkerSeconds;
+      Out.Steals = MR.Steals;
+      Out.WarmStarts = MR.WarmLpStarts;
       if (MR.hasSolution()) {
         SwpSchedule S = M->decode(MR.X);
         if (!verifySchedule(G, SS, Config, GSS, S)) {
@@ -113,6 +122,9 @@ void accumulate(ScheduleResult &Res, const CandidateOutcome &Out) {
   Res.SolverSimplexIters += Out.SimplexIters;
   Res.SolverPivots += Out.Pivots;
   Res.SolverBusySeconds += Out.BusySeconds;
+  Res.SolverWorkerSeconds += Out.WorkerSeconds;
+  Res.SolverSteals += Out.Steals;
+  Res.SolverWarmStarts += Out.WarmStarts;
   Res.IIWallSeconds.push_back(Out.WallSeconds);
 }
 
@@ -156,6 +168,30 @@ sgpu::scheduleSwp(const StreamGraph &G, const SteadyState &SS,
   double Limit = Res.MII * Options.MaxRelaxFactor;
   int IlpAttempts = 0;
 
+  // Seed solve: one serial LP relaxation at T = MII whose final basis
+  // warm-starts the root of every candidate's branch & bound — the
+  // candidate LPs differ from the seed only in coefficient values (the
+  // II appears in constraint (8) and the OMax bounds), not in shape, so
+  // one basis serves the whole window. Running it before the window
+  // also keeps the basis identical however many candidates run
+  // concurrently, preserving bit-identical results across --jobs.
+  SimplexBasis SeedBasis;
+  if (Options.UseIlp && GSS.totalInstances() <= Options.MaxIlpInstances) {
+    if (std::optional<IlpModel> M = buildSwpIlp(
+            G, SS, Config, GSS, Options.Pmax, T, Options.MaxStages)) {
+      auto SeedStart = Clock::now();
+      LpResult Seed = solveLpRelaxation(M->LP, Options.MaxLpIterations,
+                                        Options.TimeBudgetSeconds);
+      Res.SolverSeconds +=
+          std::chrono::duration<double>(Clock::now() - SeedStart).count();
+      ++Res.SolverLpSolves;
+      Res.SolverSimplexIters += Seed.Iterations;
+      Res.SolverPivots += Seed.Pivots;
+      SeedBasis = std::move(Seed.Basis); // Usable whatever the status.
+      metricCounter("scheduler.seed_lps").add(1);
+    }
+  }
+
   while (T <= Limit) {
     // Materialize the next window of candidate IIs (window 1 == the
     // paper's serial loop).
@@ -179,7 +215,8 @@ sgpu::scheduleSwp(const StreamGraph &G, const SteadyState &SS,
       Outcomes[I] = evaluateCandidate(G, SS, Config, GSS, Options,
                                       Candidates[I],
                                       IlpAttempts + I < Options.MaxIlpAttempts,
-                                      MilpWorkers);
+                                      MilpWorkers,
+                                      SeedBasis.empty() ? nullptr : &SeedBasis);
     });
 
     // Commit the smallest feasible candidate — "first feasible II wins"

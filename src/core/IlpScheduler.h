@@ -91,6 +91,11 @@ struct ScheduleResult {
   long long SolverSimplexIters = 0;///< Simplex iterations (flips included).
   long long SolverPivots = 0;      ///< Simplex basis changes.
   double SolverBusySeconds = 0.0;  ///< Sum of B&B worker busy time.
+  /// Sum of B&B worker drain-loop wall spans; utilization is
+  /// SolverBusySeconds / SolverWorkerSeconds (1.0 for one worker).
+  double SolverWorkerSeconds = 0.0;
+  long long SolverSteals = 0;      ///< B&B subproblems stolen across deques.
+  long long SolverWarmStarts = 0;  ///< Node LPs resumed from a carried basis.
   int WorkersUsed = 1;             ///< Resolved engine worker count.
   std::vector<double> IIWallSeconds; ///< Wall time per candidate II tried.
 };

@@ -1,0 +1,296 @@
+//===- ilp/BasisFactors.cpp - Factorized simplex basis ----------------------===//
+
+#include "ilp/BasisFactors.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace sgpu;
+
+bool BasisFactorization::factor(int NumRows,
+                                const std::vector<int> &BasisCols,
+                                const ColumnFn &Column) {
+  Factored = false;
+  M = NumRows;
+  FactorEtas.clear();
+  FIdx.clear();
+  FVal.clear();
+  UpdateEtas.clear();
+  UIdx.clear();
+  UVal.clear();
+  PermPos.assign(M, -1);
+  if (static_cast<int>(BasisCols.size()) != M)
+    return false;
+  if (M == 0) {
+    Factored = true;
+    return true;
+  }
+
+  // Working copy of the basis columns, transformed in place by each
+  // Gauss-Jordan step: eta k zeroes pivot column k in every other row,
+  // so each remaining column holds its fully transformed entries —
+  // including scaled entries and fill in already-pivoted rows, which
+  // later etas need. Active* bookkeeping counts only entries in
+  // not-yet-pivoted rows, which is what pivot selection looks at.
+  std::vector<SparseCol> Work(M);
+  std::vector<int> ActiveLen(M, 0);
+  std::vector<char> RowDone(M, 0), ColDone(M, 0);
+  std::vector<int> RowCount(M, 0); ///< Active columns touching the row.
+  // Columns ever holding an entry in row r; entries go stale when a
+  // cancellation removes them, so users re-verify against Work.
+  std::vector<std::vector<int>> RowCols(M);
+  for (int K = 0; K < M; ++K) {
+    Column(BasisCols[K], Work[K]);
+    for (const auto &[R, V] : Work[K]) {
+      if (R < 0 || R >= M)
+        return false;
+      ++RowCount[R];
+      RowCols[R].push_back(K);
+    }
+    ActiveLen[K] = static_cast<int>(Work[K].size());
+    if (ActiveLen[K] == 0)
+      return false; // Empty column: structurally singular.
+  }
+
+  std::vector<int> ColQ, RowQ; // Singleton candidates (lazily verified).
+  for (int K = 0; K < M; ++K)
+    if (ActiveLen[K] == 1)
+      ColQ.push_back(K);
+  for (int R = 0; R < M; ++R)
+    if (RowCount[R] == 1)
+      RowQ.push_back(R);
+
+  auto emitEta = [&](int PivRow, double PivVal, const SparseCol &C) {
+    Eta E;
+    E.Piv = PivRow;
+    E.InvPiv = 1.0 / PivVal;
+    E.Start = static_cast<int>(FIdx.size());
+    for (const auto &[R, V] : C)
+      if (R != PivRow) {
+        FIdx.push_back(R);
+        FVal.push_back(V);
+      }
+    E.End = static_cast<int>(FIdx.size());
+    FactorEtas.push_back(E);
+  };
+
+  // Dense scratch for elimination.
+  std::vector<double> Dense(M, 0.0);
+  std::vector<char> InPiv(M, 0), Merged(M, 0);
+  SparseCol NewCol;
+
+  for (int Done = 0; Done < M; ++Done) {
+    int PivCol = -1, PivRow = -1;
+    double PivVal = 0.0;
+
+    // Pivot selection, cheapest eliminations first: a singleton column
+    // (one active entry) pins the pivot row; a singleton row (one
+    // active column) has no other column to update; the residual bump
+    // picks the shortest active column and, within it, the largest
+    // magnitude for stability.
+    while (!ColQ.empty()) {
+      int K = ColQ.back();
+      ColQ.pop_back();
+      if (!ColDone[K] && ActiveLen[K] == 1) {
+        PivCol = K;
+        break;
+      }
+    }
+    if (PivCol >= 0) {
+      for (const auto &[R, V] : Work[PivCol])
+        if (!RowDone[R]) {
+          PivRow = R;
+          PivVal = V;
+          break;
+        }
+    } else {
+      while (!RowQ.empty()) {
+        int R = RowQ.back();
+        RowQ.pop_back();
+        if (RowDone[R] || RowCount[R] != 1)
+          continue;
+        for (int C : RowCols[R]) {
+          if (ColDone[C])
+            continue;
+          for (const auto &[R2, V2] : Work[C])
+            if (R2 == R) {
+              PivCol = C;
+              PivVal = V2;
+              break;
+            }
+          if (PivCol >= 0)
+            break;
+        }
+        if (PivCol >= 0) {
+          PivRow = R;
+          break;
+        }
+      }
+      if (PivCol < 0) {
+        int BestLen = std::numeric_limits<int>::max();
+        for (int K = 0; K < M; ++K)
+          if (!ColDone[K] && ActiveLen[K] < BestLen) {
+            BestLen = ActiveLen[K];
+            PivCol = K;
+          }
+        if (PivCol < 0)
+          return false;
+        for (const auto &[R, V] : Work[PivCol])
+          if (!RowDone[R] && std::fabs(V) > std::fabs(PivVal)) {
+            PivRow = R;
+            PivVal = V;
+          }
+      }
+    }
+    if (PivRow < 0 || std::fabs(PivVal) < SingTol)
+      return false;
+    emitEta(PivRow, PivVal, Work[PivCol]);
+
+    // Apply the eta to every other active column with a pivot-row
+    // entry CR: its pivot-row entry becomes CR / PivVal and every
+    // other row r gains -(CR / PivVal) * PivColumn[r] — cancellation
+    // in rows the column already touches, fill in rows it does not
+    // (fill lands in pivoted rows too; later etas need it).
+    for (const auto &[R, V] : Work[PivCol]) {
+      Dense[R] = V;
+      InPiv[R] = 1;
+    }
+    for (int C : RowCols[PivRow]) {
+      if (ColDone[C] || C == PivCol)
+        continue;
+      double CR = 0.0;
+      bool Has = false;
+      for (const auto &[R2, V2] : Work[C])
+        if (R2 == PivRow) {
+          CR = V2;
+          Has = true;
+          break;
+        }
+      if (!Has)
+        continue; // Stale RowCols entry.
+      double F = CR / PivVal;
+      NewCol.clear();
+      for (const auto &[R2, V2] : Work[C]) {
+        if (R2 == PivRow) {
+          if (std::fabs(F) > DropTol)
+            NewCol.emplace_back(R2, F);
+          continue;
+        }
+        if (InPiv[R2]) {
+          Merged[R2] = 1;
+          double NV = V2 - F * Dense[R2];
+          if (std::fabs(NV) > DropTol)
+            NewCol.emplace_back(R2, NV);
+          else if (!RowDone[R2] && --RowCount[R2] == 1)
+            RowQ.push_back(R2); // Cancellation removed an active entry.
+        } else {
+          NewCol.emplace_back(R2, V2);
+        }
+      }
+      for (const auto &[R2, V2] : Work[PivCol]) {
+        if (R2 == PivRow || Merged[R2]) {
+          Merged[R2] = 0;
+          continue;
+        }
+        double NV = -F * V2;
+        if (std::fabs(NV) > DropTol) {
+          NewCol.emplace_back(R2, NV);
+          if (!RowDone[R2]) {
+            ++RowCount[R2];
+            RowCols[R2].push_back(C);
+          }
+        }
+      }
+      Work[C].swap(NewCol);
+      int Active = 0;
+      for (const auto &[R2, V2] : Work[C])
+        if (!RowDone[R2] && R2 != PivRow)
+          ++Active;
+      ActiveLen[C] = Active;
+      if (Active == 0)
+        return false; // No pivotable entry left: singular.
+      if (Active == 1)
+        ColQ.push_back(C);
+    }
+    // The pivot column leaves the active set: rows it touched have one
+    // fewer active column.
+    for (const auto &[R, V] : Work[PivCol]) {
+      Dense[R] = 0.0;
+      InPiv[R] = 0;
+      if (R != PivRow && !RowDone[R] && --RowCount[R] == 1)
+        RowQ.push_back(R);
+    }
+
+    RowDone[PivRow] = 1;
+    ColDone[PivCol] = 1;
+    PermPos[PivRow] = PivCol;
+  }
+
+  Factored = true;
+  return true;
+}
+
+void BasisFactorization::ftran(std::vector<double> &X) {
+  assert(Factored && static_cast<int>(X.size()) == M);
+  for (const Eta &E : FactorEtas) {
+    double T = X[E.Piv];
+    if (T == 0.0)
+      continue;
+    T *= E.InvPiv;
+    X[E.Piv] = T;
+    for (int I = E.Start; I < E.End; ++I)
+      X[FIdx[I]] -= FVal[I] * T;
+  }
+  Tmp.resize(M);
+  for (int R = 0; R < M; ++R)
+    Tmp[PermPos[R]] = X[R];
+  X.swap(Tmp);
+  for (const Eta &E : UpdateEtas) {
+    double T = X[E.Piv];
+    if (T == 0.0)
+      continue;
+    T *= E.InvPiv;
+    X[E.Piv] = T;
+    for (int I = E.Start; I < E.End; ++I)
+      X[UIdx[I]] -= UVal[I] * T;
+  }
+}
+
+void BasisFactorization::btran(std::vector<double> &X) {
+  assert(Factored && static_cast<int>(X.size()) == M);
+  for (auto It = UpdateEtas.rbegin(); It != UpdateEtas.rend(); ++It) {
+    double S = X[It->Piv];
+    for (int I = It->Start; I < It->End; ++I)
+      S -= UVal[I] * X[UIdx[I]];
+    X[It->Piv] = S * It->InvPiv;
+  }
+  Tmp.resize(M);
+  for (int R = 0; R < M; ++R)
+    Tmp[R] = X[PermPos[R]];
+  X.swap(Tmp);
+  for (auto It = FactorEtas.rbegin(); It != FactorEtas.rend(); ++It) {
+    double S = X[It->Piv];
+    for (int I = It->Start; I < It->End; ++I)
+      S -= FVal[I] * X[FIdx[I]];
+    X[It->Piv] = S * It->InvPiv;
+  }
+}
+
+bool BasisFactorization::update(const std::vector<double> &W, int PivotPos) {
+  assert(Factored && static_cast<int>(W.size()) == M);
+  if (std::fabs(W[PivotPos]) < SingTol)
+    return false;
+  Eta E;
+  E.Piv = PivotPos;
+  E.InvPiv = 1.0 / W[PivotPos];
+  E.Start = static_cast<int>(UIdx.size());
+  for (int I = 0; I < M; ++I)
+    if (I != PivotPos && std::fabs(W[I]) > DropTol) {
+      UIdx.push_back(I);
+      UVal.push_back(W[I]);
+    }
+  E.End = static_cast<int>(UIdx.size());
+  UpdateEtas.push_back(E);
+  return true;
+}

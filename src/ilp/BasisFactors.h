@@ -1,0 +1,112 @@
+//===- ilp/BasisFactors.h - Factorized simplex basis ------------*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Product-form factorization of a simplex basis as a Gauss-Jordan eta
+/// file, with Forrest-Tomlin-style O(basis sparsity) updates after each
+/// pivot and periodic refactorization for numerical stability. The
+/// revised simplex (Simplex.cpp) represents B^-1 through this class
+/// instead of maintaining an explicit tableau: FTRAN solves B x = a_j
+/// for the entering column, BTRAN solves B^T y = c_B for pricing, and a
+/// basis change appends one eta built from the already-FTRAN'd entering
+/// column instead of touching every tableau row.
+///
+/// Factorization is sparse Gauss-Jordan elimination with a
+/// triangularity-seeking pivot order: singleton columns first (their
+/// etas are cheapest — scheduling bases are dominated by slack
+/// columns), then singleton rows (no other column needs updating), and
+/// only the residual "bump" pays for general elimination with fill.
+/// On a triangular basis no fill occurs at all. See DESIGN.md "Solver
+/// engineering".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_ILP_BASISFACTORS_H
+#define SGPU_ILP_BASISFACTORS_H
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace sgpu {
+
+/// Sparse (row, value) entries of one constraint-matrix column.
+using SparseCol = std::vector<std::pair<int, double>>;
+
+/// Product-form factorization of a square basis matrix B. After a
+/// successful factor(), ftran/btran apply B^-1 / B^-T in time
+/// proportional to the eta file's nonzeros, and update() absorbs one
+/// basis change. Callers refactorize when needsRefactor() turns true
+/// (eta file grew past its budget) or update() rejects a pivot.
+class BasisFactorization {
+public:
+  /// Produces column \p Col of the constraint matrix (row space) into
+  /// \p Out. Entries must carry distinct rows.
+  using ColumnFn = std::function<void(int Col, SparseCol &Out)>;
+
+  /// Factorizes the basis whose position-k column is \p BasisCols[k].
+  /// Returns false when the basis is (numerically) singular; the
+  /// factorization is invalid until the next successful factor().
+  bool factor(int NumRows, const std::vector<int> &BasisCols,
+              const ColumnFn &Column);
+
+  /// Solves B x = rhs in place. \p X enters in row space (size m) and
+  /// leaves in basis-position space: X[k] belongs to BasisCols[k].
+  void ftran(std::vector<double> &X);
+
+  /// Solves B^T y = c in place. \p X enters in basis-position space
+  /// (X[k] is the cost of BasisCols[k]) and leaves in row space.
+  void btran(std::vector<double> &X);
+
+  /// Absorbs the basis change that installs the entering column at
+  /// position \p PivotPos. \p W is that column passed through ftran()
+  /// (so W[PivotPos] is the pivot element). Returns false when the
+  /// pivot is too small to absorb — the caller must refactorize.
+  bool update(const std::vector<double> &W, int PivotPos);
+
+  bool valid() const { return Factored; }
+  /// True once the eta file outgrew its budget; solves stay correct but
+  /// the caller should refactorize at the next convenient point.
+  bool needsRefactor() const {
+    return static_cast<int>(UpdateEtas.size()) >= MaxUpdates;
+  }
+  int numUpdates() const { return static_cast<int>(UpdateEtas.size()); }
+
+private:
+  /// One elimination step: scale the pivot position by InvPiv, then
+  /// subtract the off-diagonal entries in [Start, End) of the pool.
+  struct Eta {
+    int Piv;
+    double InvPiv;
+    int Start, End;
+  };
+
+  /// Pivots below this magnitude make factor()/update() report failure.
+  static constexpr double SingTol = 1e-10;
+  /// Eta off-diagonal entries below this are dropped as exact zeros.
+  static constexpr double DropTol = 1e-12;
+  /// Update-eta budget before needsRefactor() trips.
+  static constexpr int MaxUpdates = 64;
+
+  int M = 0;
+  bool Factored = false;
+  std::vector<Eta> FactorEtas; ///< Row-space etas, applied in order.
+  std::vector<int> FIdx;
+  std::vector<double> FVal;
+  std::vector<Eta> UpdateEtas; ///< Position-space etas, applied after.
+  std::vector<int> UIdx;
+  std::vector<double> UVal;
+  /// PermPos[r] = basis position pivoted at row r: ftran permutes
+  /// row-space results into position space through this map.
+  std::vector<int> PermPos;
+  std::vector<double> Tmp; ///< Permutation scratch.
+};
+
+} // namespace sgpu
+
+#endif // SGPU_ILP_BASISFACTORS_H

@@ -6,17 +6,25 @@
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <deque>
+#include <memory>
 #include <mutex>
+#include <optional>
 
 using namespace sgpu;
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
 
 /// One tightened variable bound relative to the root LP.
 struct BoundsPatch {
@@ -27,10 +35,14 @@ struct BoundsPatch {
 /// A pending node of the search tree. Patches accumulate root-to-node
 /// (later entries override earlier ones for the same variable, and are
 /// always tighter). Path records the branch directions taken from the
-/// root and serves as the node's deterministic id.
+/// root and serves as the node's deterministic id. Warm carries the
+/// parent relaxation's final basis: only bounds changed on the way
+/// down, so it stays dual feasible and the child LP is usually a few
+/// dual pivots (Simplex.h), independent of which worker runs the node.
 struct Subproblem {
   std::vector<BoundsPatch> Patches;
   std::vector<uint8_t> Path;
+  SimplexBasis Warm;
 };
 
 class BnbSearch {
@@ -56,27 +68,29 @@ public:
         return finish(MilpResult::Status::Optimal, Workers);
     }
 
+    Deques.resize(Workers);
+    for (int W = 0; W < Workers; ++W)
+      Deques[W] = std::make_unique<WorkerDeque>();
     {
-      std::lock_guard<std::mutex> Lock(QueueMu);
-      Queue.push_back(Subproblem{});
-      Outstanding = 1;
+      Subproblem RootNode;
+      RootNode.Warm = Opt.WarmBasis;
+      Outstanding.store(1);
+      Queued.store(1);
+      std::lock_guard<std::mutex> Lock(Deques[0]->Mu);
+      Deques[0]->Dq.push_back(std::move(RootNode));
     }
     CEnqueued.add(1);
 
     if (Workers <= 1) {
-      workerLoop();
+      workerLoop(0);
     } else {
       ThreadPool Pool(Workers);
       for (int W = 0; W < Workers; ++W)
-        Pool.submit([this] { workerLoop(); });
+        Pool.submit([this, W] { workerLoop(W); });
       Pool.wait();
     }
 
-    bool Complete;
-    {
-      std::lock_guard<std::mutex> Lock(QueueMu);
-      Complete = Queue.empty() && Outstanding == 0 && !Truncated && !FoundStop;
-    }
+    bool Complete = Outstanding.load() == 0 && !Truncated && !FoundStop;
     if (HaveBest)
       return finish(Complete ? MilpResult::Status::Optimal
                              : MilpResult::Status::Feasible,
@@ -87,44 +101,85 @@ public:
   }
 
 private:
+  struct WorkerDeque {
+    std::mutex Mu;
+    std::deque<Subproblem> Dq; ///< Owner works the back, thieves the front.
+  };
+
+  /// Pops from the worker's own deque (LIFO: the depth-first dive), or
+  /// steals the front — the shallowest node, hence the largest stealable
+  /// subtree — of a sibling's deque, scanning victims round-robin from
+  /// the worker's own index so the scan order is a pure function of the
+  /// worker id.
+  std::optional<Subproblem> takeWork(int Wi, long long &LocalSteals) {
+    {
+      WorkerDeque &D = *Deques[Wi];
+      std::lock_guard<std::mutex> Lock(D.Mu);
+      if (!D.Dq.empty()) {
+        Subproblem Node = std::move(D.Dq.back());
+        D.Dq.pop_back();
+        Queued.fetch_sub(1, std::memory_order_relaxed);
+        return Node;
+      }
+    }
+    int W = static_cast<int>(Deques.size());
+    for (int Off = 1; Off < W; ++Off) {
+      WorkerDeque &V = *Deques[(Wi + Off) % W];
+      std::lock_guard<std::mutex> Lock(V.Mu);
+      if (!V.Dq.empty()) {
+        Subproblem Node = std::move(V.Dq.front());
+        V.Dq.pop_front();
+        Queued.fetch_sub(1, std::memory_order_relaxed);
+        ++LocalSteals;
+        CSteals.add(1);
+        return Node;
+      }
+    }
+    return std::nullopt;
+  }
+
   /// Each worker owns a private copy of the root LP; subproblem bounds
   /// are applied before the relaxation and restored afterwards.
-  void workerLoop() {
+  void workerLoop(int Wi) {
     TraceSpan Span("bnb.worker", "ilp");
+    auto SpanStart = Clock::now();
     LinearProgram LP = Root;
     long long LocalLpSolves = 0, LocalIters = 0, LocalPivots = 0;
-    long long LocalNodes = 0;
-    double LocalBusy = 0.0;
+    long long LocalNodes = 0, LocalSteals = 0, LocalWarm = 0;
+    double LocalIdle = 0.0;
 
-    std::unique_lock<std::mutex> Lock(QueueMu);
     for (;;) {
-      QueueCv.wait(Lock, [this] {
-        return StopAll || !Queue.empty() || Outstanding == 0;
-      });
-      if (Queue.empty()) {
-        if (StopAll || Outstanding == 0)
+      std::optional<Subproblem> Node = takeWork(Wi, LocalSteals);
+      if (!Node) {
+        auto IdleStart = Clock::now();
+        std::unique_lock<std::mutex> Lock(IdleMu);
+        if (StopAll.load() || Outstanding.load() == 0)
           break;
+        IdleCv.wait(Lock, [this] {
+          return StopAll.load() || Outstanding.load() == 0 ||
+                 Queued.load(std::memory_order_relaxed) > 0;
+        });
+        LocalIdle += secondsSince(IdleStart);
         continue;
       }
-      // LIFO: with one worker this reproduces depth-first diving; with
-      // several it keeps the frontier small and memory bounded.
-      Subproblem Node = std::move(Queue.back());
-      Queue.pop_back();
-      Lock.unlock();
 
-      auto NodeStart = Clock::now();
-      processNode(LP, Node, LocalLpSolves, LocalIters, LocalPivots);
+      processNode(LP, *Node, Wi, LocalLpSolves, LocalIters, LocalPivots,
+                  LocalWarm);
       ++LocalNodes;
-      LocalBusy += std::chrono::duration<double>(Clock::now() - NodeStart)
-                       .count();
 
-      Lock.lock();
-      if (--Outstanding == 0 || StopAll)
-        QueueCv.notify_all();
+      if (Outstanding.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> Lock(IdleMu);
+        IdleCv.notify_all();
+      }
     }
-    Lock.unlock();
+    // Busy time is the drain-loop span minus time spent blocked waiting
+    // for work: a worker that never waits — every single-worker search —
+    // reads utilization exactly 1.0, and any dip is genuine starvation.
+    double SpanSeconds = secondsSince(SpanStart);
+    double LocalBusy = std::max(0.0, SpanSeconds - LocalIdle);
 
     Span.argInt("nodes", LocalNodes);
+    Span.argInt("steals", LocalSteals);
     Span.argNum("busy_seconds", LocalBusy);
 
     std::lock_guard<std::mutex> StatsLock(StatsMu);
@@ -132,11 +187,14 @@ private:
     SimplexIters += LocalIters;
     SimplexPivots += LocalPivots;
     BusySeconds += LocalBusy;
+    WorkerSeconds += SpanSeconds;
+    Steals += LocalSteals;
+    WarmLpStarts += LocalWarm;
   }
 
-  void processNode(LinearProgram &LP, const Subproblem &Node,
+  void processNode(LinearProgram &LP, Subproblem &Node, int Wi,
                    long long &LocalLpSolves, long long &LocalIters,
-                   long long &LocalPivots) {
+                   long long &LocalPivots, long long &LocalWarm) {
     if (StopAll)
       return; // Raced with a cut; the caller still decrements Outstanding.
     long long NodeNum = ++Nodes;
@@ -147,25 +205,27 @@ private:
 
     for (const BoundsPatch &P : Node.Patches)
       LP.setBounds(P.Var, P.Lo, P.Hi);
-    evaluate(LP, Node, LocalLpSolves, LocalIters, LocalPivots);
+    evaluate(LP, Node, Wi, LocalLpSolves, LocalIters, LocalPivots, LocalWarm);
     for (const BoundsPatch &P : Node.Patches)
       LP.setBounds(P.Var, Root.lowerBound(P.Var), Root.upperBound(P.Var));
   }
 
-  void evaluate(LinearProgram &LP, const Subproblem &Node,
+  void evaluate(LinearProgram &LP, Subproblem &Node, int Wi,
                 long long &LocalLpSolves, long long &LocalIters,
-                long long &LocalPivots) {
-    double Remaining = Opt.TimeBudgetSeconds -
-                       std::chrono::duration<double>(Clock::now() - Start)
-                           .count();
+                long long &LocalPivots, long long &LocalWarm) {
+    double Remaining = Opt.TimeBudgetSeconds - secondsSince(Start);
     if (Remaining <= 0) {
       cutSearch();
       return;
     }
-    LpResult R = solveLpRelaxation(LP, Opt.LpIterationLimit, Remaining);
+    LpResult R =
+        solveLpRelaxation(LP, Opt.LpIterationLimit, Remaining,
+                          Node.Warm.empty() ? nullptr : &Node.Warm);
     ++LocalLpSolves;
     LocalIters += R.Iterations;
     LocalPivots += R.Pivots;
+    if (!Node.Warm.empty() && R.StartKind != LpResult::Start::Cold)
+      ++LocalWarm;
     CSolved.add(1);
     if (R.Status == LpStatus::Infeasible) {
       CPrunedInfeas.add(1);
@@ -223,39 +283,50 @@ private:
 
     // Branch down (x <= floor) and up (x >= ceil). For 0-1 assignment
     // problems the side nearer the fractional value finds schedules
-    // faster, so it is explored first: pushed last, popped first.
+    // faster, so it is explored first: pushed last, popped first. Both
+    // children inherit this node's final basis as their warm start.
     bool UpFirst = Val - std::floor(Val) >= 0.5;
     int Pushed = 0;
-    std::unique_lock<std::mutex> Lock(QueueMu, std::defer_lock);
+    Subproblem Children[2];
     for (int Side = 1; Side >= 0; --Side) {
       bool Up = (Side == 0) == UpFirst;
       double NewLo = Up ? std::ceil(Val - Opt.IntegralityTol) : Lo;
       double NewHi = Up ? Hi : std::floor(Val + Opt.IntegralityTol);
       if (NewLo > NewHi + 1e-12)
         continue;
-      Subproblem Child;
+      Subproblem &Child = Children[Pushed];
       Child.Patches = Node.Patches;
       Child.Patches.push_back({BranchVar, NewLo, NewHi});
       Child.Path = Node.Path;
       Child.Path.push_back(Up ? 1 : 0);
-      if (!Lock.owns_lock())
-        Lock.lock();
-      Queue.push_back(std::move(Child));
-      ++Outstanding;
       ++Pushed;
     }
-    if (Lock.owns_lock())
-      Lock.unlock();
-    if (Pushed > 0) {
-      CEnqueued.add(Pushed);
-      QueueCv.notify_all();
+    if (Pushed == 0)
+      return;
+    // Reuse the basis without copying where possible.
+    if (Pushed == 2)
+      Children[0].Warm = R.Basis;
+    Children[Pushed - 1].Warm = std::move(R.Basis);
+
+    Outstanding.fetch_add(Pushed);
+    Queued.fetch_add(Pushed, std::memory_order_relaxed);
+    {
+      WorkerDeque &D = *Deques[Wi];
+      std::lock_guard<std::mutex> Lock(D.Mu);
+      for (int I = 0; I < Pushed; ++I)
+        D.Dq.push_back(std::move(Children[I]));
+    }
+    CEnqueued.add(Pushed);
+    if (static_cast<int>(Deques.size()) > 1) {
+      std::lock_guard<std::mutex> Lock(IdleMu);
+      IdleCv.notify_all();
     }
   }
 
   /// Installs a new incumbent under the shared lock. Ties on objective
   /// break towards the lexicographically smallest branch path, so the
   /// reported objective — and, when the search runs to completion, the
-  /// chosen incumbent — do not depend on worker timing.
+  /// chosen incumbent — do not depend on worker timing or steal order.
   void offerIncumbent(std::vector<double> X, double Obj,
                       const std::vector<uint8_t> &Path) {
     std::lock_guard<std::mutex> Lock(IncumbentMu);
@@ -274,37 +345,49 @@ private:
     }
   }
 
-  /// Stops all workers: pending subproblems are dropped (the search is
-  /// recorded as truncated unless the stop came from StopAtFirstFeasible).
+  /// Stops all workers: pending subproblems in every deque are dropped
+  /// (the search is recorded as truncated unless the stop came from
+  /// StopAtFirstFeasible).
   void cutSearch() {
     if (!FoundStop)
       Truncated = true;
-    std::lock_guard<std::mutex> Lock(QueueMu);
-    Outstanding -= static_cast<long long>(Queue.size());
-    Queue.clear();
-    if (!StopAll)
+    bool First = !StopAll.exchange(true);
+    long long Dropped = 0;
+    for (auto &D : Deques) {
+      std::lock_guard<std::mutex> Lock(D->Mu);
+      Dropped += static_cast<long long>(D->Dq.size());
+      D->Dq.clear();
+    }
+    if (Dropped > 0) {
+      Outstanding.fetch_sub(Dropped);
+      Queued.fetch_sub(Dropped, std::memory_order_relaxed);
+    }
+    if (First)
       CCuts.add(1);
-    StopAll = true;
-    QueueCv.notify_all();
+    {
+      std::lock_guard<std::mutex> Lock(IdleMu);
+    }
+    IdleCv.notify_all();
   }
 
-  bool timedOut() const {
-    return std::chrono::duration<double>(Clock::now() - Start).count() >
-           Opt.TimeBudgetSeconds;
-  }
+  bool timedOut() const { return secondsSince(Start) > Opt.TimeBudgetSeconds; }
 
   MilpResult finish(MilpResult::Status S, int Workers) {
     MilpResult Res;
     Res.Outcome = S;
     Res.NodesExplored = static_cast<int>(Nodes.load());
-    Res.Seconds = std::chrono::duration<double>(Clock::now() - Start).count();
+    Res.Seconds = secondsSince(Start);
     Res.LpSolves = static_cast<int>(LpSolves);
     Res.SimplexIterations = SimplexIters;
     Res.Pivots = SimplexPivots;
     Res.WorkersUsed = Workers;
     Res.BusySeconds = BusySeconds;
+    Res.WorkerSeconds = WorkerSeconds;
+    Res.Steals = Steals;
+    Res.WarmLpStarts = WarmLpStarts;
     metricHistogram("bnb.solve.seconds").record(Res.Seconds);
     metricHistogram("bnb.busy.seconds").record(BusySeconds);
+    metricHistogram("bnb.worker.seconds").record(WorkerSeconds);
     if (HaveBest) {
       Res.X = Best;
       Res.Objective = BestObj;
@@ -320,12 +403,14 @@ private:
   bool FeasibilityOnly;
   Clock::time_point Start;
 
-  // Subproblem queue. Outstanding counts queued + in-flight nodes; the
-  // search is drained when it reaches zero.
-  std::mutex QueueMu;
-  std::condition_variable QueueCv;
-  std::vector<Subproblem> Queue;
-  long long Outstanding = 0;
+  // Work-stealing deques, one per worker. Outstanding counts queued +
+  // in-flight nodes across all deques; the search is drained when it
+  // reaches zero. Queued is a wake hint for idle workers.
+  std::vector<std::unique_ptr<WorkerDeque>> Deques;
+  std::atomic<long long> Outstanding{0};
+  std::atomic<long long> Queued{0};
+  std::mutex IdleMu;
+  std::condition_variable IdleCv;
   std::atomic<bool> StopAll{false};
 
   // Shared incumbent.
@@ -341,7 +426,9 @@ private:
 
   std::mutex StatsMu;
   long long LpSolves = 0, SimplexIters = 0, SimplexPivots = 0;
+  long long Steals = 0, WarmLpStarts = 0;
   double BusySeconds = 0.0;
+  double WorkerSeconds = 0.0;
 
   // Node-lifecycle counters in the process-wide registry. Looked up once
   // per search; the references stay valid across MetricsRegistry::reset().
@@ -351,6 +438,7 @@ private:
   Counter &CPrunedBound = metricCounter("bnb.pruned_bound");
   Counter &CIncumbents = metricCounter("bnb.incumbents");
   Counter &CCuts = metricCounter("bnb.budget_cuts");
+  Counter &CSteals = metricCounter("bnb.steals");
 };
 
 } // namespace

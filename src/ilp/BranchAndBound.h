@@ -13,15 +13,22 @@
 /// scheduler) so the search starts with a bound and, for pure
 /// feasibility problems, can return immediately.
 ///
-/// The search is an explicit subproblem queue drained LIFO (so a single
-/// worker reproduces the old depth-first dive order) by a worker pool;
-/// the incumbent is shared under a mutex so bound pruning on any worker
+/// Each worker owns a deque of subproblems drained LIFO (depth-first
+/// dive; a single worker reproduces the serial order exactly) and
+/// steals the shallowest — largest — subtree from a sibling when its
+/// own deque runs dry, so deep dives spawn stealable work instead of
+/// funnelling through one shared queue. Every node carries its parent's
+/// optimal basis: bound changes leave the basis dual feasible, so the
+/// child's relaxation is a few dual simplex pivots instead of a solve
+/// from scratch (Simplex.h).
+///
+/// The incumbent is shared under a mutex so bound pruning on any worker
 /// sees the best objective found anywhere. Every subproblem carries its
 /// branch path as a deterministic node id: among equal-objective
 /// incumbents the lexicographically smallest path wins, making the
 /// reported objective (and, for exhaustive searches, the incumbent
-/// choice) independent of worker timing. Time/node budgets are global
-/// across workers.
+/// choice) independent of worker timing and steal order. Time/node
+/// budgets are global across workers.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,9 +54,13 @@ struct MilpOptions {
   /// formulation "is a constraint problem, rather than an optimization
   /// problem" — Section IV-B).
   bool StopAtFirstFeasible = true;
-  /// Workers draining the subproblem queue. 1 keeps the search on the
+  /// Workers draining the subproblem deques. 1 keeps the search on the
   /// calling thread; 0 resolves via SGPU_JOBS / hardware_concurrency.
   int NumWorkers = 1;
+  /// Warm-start basis for the root relaxation (e.g. the II search's
+  /// seed solve at MII); empty means a cold root. Children always
+  /// inherit their parent's final basis regardless.
+  SimplexBasis WarmBasis;
 };
 
 /// Result of a MILP solve.
@@ -71,10 +82,15 @@ struct MilpResult {
   int LpSolves = 0;               ///< LP relaxations solved.
   long long SimplexIterations = 0; ///< Simplex iterations (flips included).
   long long Pivots = 0;           ///< Simplex basis changes.
-  int WorkersUsed = 1;            ///< Workers that drained the queue.
-  /// Sum over workers of time spent processing subproblems; utilization
-  /// is BusySeconds / (Seconds * WorkersUsed).
+  int WorkersUsed = 1;            ///< Workers that drained the deques.
+  /// Sum over workers of time spent processing subproblems.
   double BusySeconds = 0.0;
+  /// Sum over workers of each worker's wall-clock span inside its drain
+  /// loop (ramp-up/steal/drain idle included); utilization is
+  /// BusySeconds / WorkerSeconds, which reads 1.0 for a single worker.
+  double WorkerSeconds = 0.0;
+  long long Steals = 0;        ///< Subproblems taken from another deque.
+  long long WarmLpStarts = 0;  ///< Node LPs warm-started (incl. repaired).
 
   bool hasSolution() const {
     return Outcome == Status::Optimal || Outcome == Status::Feasible;

@@ -1,11 +1,32 @@
-//===- ilp/Simplex.cpp - Bounded-variable primal simplex --------------------===//
+//===- ilp/Simplex.cpp - Bounded-variable revised simplex -------------------===//
+//
+// Solve paths (see DESIGN.md "Solver engineering"):
+//
+//   warm basis supplied --> refactorize --> primal feasible? --> phase 2
+//                                 |               |
+//                                 | singular      | no: dual simplex repair
+//                                 v               v    (stall -> cold)
+//   cold: all-slack basis --> dual phase 1 --> primal phase 2
+//                                 |
+//                                 | stall (cycling guard)
+//                                 v
+//          artificial-variable primal phase 1 (classical backstop)
+//
+// The dual simplex doubles as phase 1 (zero costs are trivially dual
+// feasible) and as the warm-start repair after branch & bound tightens
+// bounds: bound changes leave reduced costs untouched, so the parent's
+// optimal basis stays dual feasible and a few dual pivots restore primal
+// feasibility — or prove the child infeasible without any phase 1.
+//
+//===----------------------------------------------------------------------===//
 
 #include "ilp/Simplex.h"
 
-#include "support/Check.h"
+#include "ilp/BasisFactors.h"
 #include "support/Metrics.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cmath>
 #include <vector>
@@ -15,10 +36,12 @@ using namespace sgpu;
 namespace {
 
 constexpr double Eps = 1e-7;
+constexpr double FeasTol = 1e-6;
+/// Dual-entering admission tolerance: pivots with |alpha| below this are
+/// never entered, so an "infeasible" verdict is backed by a row whose
+/// every usable column is essentially zero.
+constexpr double AlphaTol = 1e-9;
 constexpr double Inf = LinearProgram::Infinity;
-/// Entries below this magnitude are treated as exact zeros when the
-/// pivot update sweeps the pivot row's support.
-constexpr double DropTol = 1e-12;
 
 /// Column-major sparse copy of the structural part of A. Slack columns
 /// are unit vectors and artificials are created on demand, so only the
@@ -69,14 +92,11 @@ struct SparseColumns {
   }
 };
 
-/// Flat-tableau bounded-variable simplex over rows A x = b with
-/// l <= x <= u. Columns: structural vars, then one slack per row, then
-/// artificials.
-class SimplexSolver {
+class RevisedSimplex {
 public:
-  SimplexSolver(const LinearProgram &LP, int MaxIterations,
-                double TimeLimitSeconds)
-      : LP(LP), MaxIters(MaxIterations),
+  RevisedSimplex(const LinearProgram &LP, int MaxIterations,
+                 double TimeLimitSeconds, const SimplexBasis *Warm)
+      : LP(LP), Warm(Warm), MaxIters(MaxIterations),
         Deadline(std::chrono::steady_clock::now() +
                  std::chrono::duration_cast<
                      std::chrono::steady_clock::duration>(
@@ -84,71 +104,69 @@ public:
                          std::min(TimeLimitSeconds, 1e6)))) {}
 
   LpResult run() {
-    buildStandardForm();
+    buildBase();
+    using Start = LpResult::Start;
 
-    // Phase 1: minimize the sum of artificial variables.
-    if (NumArt > 0) {
-      std::vector<double> Phase1Cost(NumCols, 0.0);
-      for (int J = ArtBase; J < NumCols; ++J)
-        Phase1Cost[J] = 1.0;
-      LpStatus S = optimize(Phase1Cost);
-      if (S == LpStatus::IterLimit)
-        return finish(S);
-      recomputeBasicValues();
-      double ArtSum = 0.0;
-      for (int R = 0; R < NumRows; ++R)
-        if (Basis[R] >= ArtBase)
-          ArtSum += std::fabs(XB[R]);
-      if (ArtSum > 1e-5)
-        return finish(LpStatus::Infeasible);
-      // Pin artificials to zero for phase 2 (nonbasic ones already rest
-      // at their zero lower bound).
-      for (int J = ArtBase; J < NumCols; ++J)
-        Hi[J] = 0.0;
+    if (Warm && !Warm->empty() && installWarmBasis()) {
+      computeXB();
+      if (primalFeasible())
+        return finish(primal(), Start::Warm);
+      bool RealCost = HaveCost && dualFeasible();
+      DualOutcome D = dualRepair(RealCost);
+      if (D == DualOutcome::Infeasible)
+        return finish(LpStatus::Infeasible, Start::WarmRepaired);
+      if (D == DualOutcome::Limit)
+        return finish(LpStatus::IterLimit, Start::WarmRepaired);
+      if (D == DualOutcome::Feasible)
+        return finish(primal(), Start::WarmRepaired);
+      // Stalled: fall through to the cold path below.
     }
 
-    // Phase 2: the real objective.
-    std::vector<double> Cost(NumCols, 0.0);
-    for (const LinTerm &T : LP.objective())
-      Cost[T.Var] += T.Coef;
-    LpStatus S = optimize(Cost);
-    return finish(S);
+    installSlackBasis();
+    if (!refactor())
+      return finish(LpStatus::IterLimit, Start::Cold); // Unreachable: diagonal.
+    computeXB();
+    if (!primalFeasible()) {
+      DualOutcome D = dualRepair(/*UseRealCost=*/false);
+      if (D == DualOutcome::Infeasible)
+        return finish(LpStatus::Infeasible, Start::Cold);
+      if (D == DualOutcome::Limit)
+        return finish(LpStatus::IterLimit, Start::Cold);
+      if (D == DualOutcome::Stalled) {
+        LpStatus S1 = artificialPhase1();
+        if (S1 != LpStatus::Optimal)
+          return finish(S1, Start::Cold);
+      }
+    }
+    return finish(primal(), Start::Cold);
   }
 
 private:
-  double &at(int R, int J) { return Tab[static_cast<size_t>(R) * Stride + J]; }
-  double at(int R, int J) const {
-    return Tab[static_cast<size_t>(R) * Stride + J];
-  }
-  double *rowPtr(int R) { return Tab.data() + static_cast<size_t>(R) * Stride; }
-  const double *rowPtr(int R) const {
-    return Tab.data() + static_cast<size_t>(R) * Stride;
-  }
+  enum class DualOutcome : uint8_t { Feasible, Infeasible, Limit, Stalled };
 
-  /// Builds bounds, the sparse copy of A, decides per row whether the
-  /// slack can be basic or an artificial is needed, and materializes the
-  /// flat tableau in one allocation (the artificial count is known
-  /// before the tableau is laid out, so columns never grow).
-  void buildStandardForm() {
+  /// Bounds, rhs, costs and the sparse copy of A for the standard form
+  /// A x = b over structural-then-slack columns. Artificials appear only
+  /// if the backstop phase 1 runs.
+  void buildBase() {
     NumStruct = LP.numVars();
     NumRows = LP.numConstraints();
-    int SlackBase = NumStruct;
     ArtBase = NumStruct + NumRows;
+    NumCols = ArtBase;
 
     Cols.build(LP);
 
-    Lo.assign(ArtBase, 0.0);
-    Hi.assign(ArtBase, 0.0);
+    Lo.assign(NumCols, 0.0);
+    Hi.assign(NumCols, 0.0);
     for (int V = 0; V < NumStruct; ++V) {
       Lo[V] = LP.lowerBound(V);
       Hi[V] = LP.upperBound(V);
       assert(Lo[V] > -Inf && "variables must be bounded below");
     }
-    B.assign(NumRows, 0.0);
+    Bvec.assign(NumRows, 0.0);
     for (int R = 0; R < NumRows; ++R) {
       const RowConstraint &Row = LP.rows()[R];
-      B[R] = Row.Rhs;
-      int S = SlackBase + R;
+      Bvec[R] = Row.Rhs;
+      int S = NumStruct + R;
       switch (Row.Sense) {
       case RowSense::LE: // a.x + s = rhs, s >= 0.
         Lo[S] = 0.0;
@@ -165,63 +183,57 @@ private:
       }
     }
 
-    // Row residuals with every column at rest. Slacks always rest at
-    // zero, so only structural columns with a nonzero rest value
-    // contribute — walked sparsely through the column-major copy.
-    std::vector<double> Resid = B;
-    for (int V = 0; V < NumStruct; ++V) {
-      double RV = Lo[V]; // Structural vars are bounded below; rest there.
-      if (RV == 0.0)
-        continue;
-      for (int I = Cols.Start[V]; I < Cols.Start[V + 1]; ++I)
-        Resid[Cols.Row[I]] -= Cols.Val[I] * RV;
-    }
-
-    // Decide basic slack vs. artificial per row, so NumCols is final
-    // before the tableau is allocated.
-    AtUpper.assign(ArtBase, false);
-    IsBasic.assign(ArtBase, false);
+    AtUpper.assign(NumCols, 0);
+    IsBasic.assign(NumCols, 0);
     Basis.assign(NumRows, -1);
     XB.assign(NumRows, 0.0);
-    std::vector<int> ArtRow; // Rows receiving an artificial, in order.
-    NumArt = 0;
-    for (int R = 0; R < NumRows; ++R) {
-      int SlackJ = SlackBase + R;
-      if (Resid[R] >= Lo[SlackJ] - Eps && Resid[R] <= Hi[SlackJ] + Eps) {
-        Basis[R] = SlackJ;
-        IsBasic[SlackJ] = true;
-        XB[R] = Resid[R];
-        continue;
-      }
-      // The slack rests at its bound nearest the feasible region; an
-      // artificial with the residual's sign becomes basic.
-      AtUpper[SlackJ] = Lo[SlackJ] == -Inf;
-      ArtRow.push_back(R);
-      ++NumArt;
-    }
 
-    NumCols = ArtBase + NumArt;
-    Stride = NumCols;
-    Tab.assign(static_cast<size_t>(NumRows) * Stride, 0.0);
-    Trhs = B;
-    for (int R = 0; R < NumRows; ++R) {
-      double *Row = rowPtr(R);
-      Row[SlackBase + R] = 1.0;
+    Cost.assign(NumCols, 0.0);
+    for (const LinTerm &T : LP.objective())
+      Cost[T.Var] += T.Coef;
+    HaveCost = false;
+    for (double C : Cost)
+      if (C != 0.0) {
+        HaveCost = true;
+        break;
+      }
+  }
+
+  /// Appends column \p J of the standard-form matrix (row space).
+  void appendColumn(int J, SparseCol &Out) const {
+    Out.clear();
+    if (J < NumStruct) {
+      for (int I = Cols.Start[J]; I < Cols.Start[J + 1]; ++I)
+        Out.emplace_back(Cols.Row[I], Cols.Val[I]);
+    } else if (J < ArtBase) {
+      Out.emplace_back(J - NumStruct, 1.0);
+    } else {
+      Out.emplace_back(ArtRow[J - ArtBase], ArtSign[J - ArtBase]);
     }
-    for (int V = 0; V < NumStruct; ++V)
-      for (int I = Cols.Start[V]; I < Cols.Start[V + 1]; ++I)
-        at(Cols.Row[I], V) += Cols.Val[I];
-    Lo.resize(NumCols, 0.0);
-    Hi.resize(NumCols, Inf);
-    AtUpper.resize(NumCols, false);
-    IsBasic.resize(NumCols, false);
-    for (int K = 0; K < NumArt; ++K) {
-      int R = ArtRow[K];
-      int ArtJ = ArtBase + K;
-      at(R, ArtJ) = Resid[R] >= 0 ? 1.0 : -1.0;
-      Basis[R] = ArtJ;
-      IsBasic[ArtJ] = true;
-      XB[R] = std::fabs(Resid[R]);
+  }
+
+  /// Row-space dot product y . a_J, skipping structural zeros.
+  double colDot(const std::vector<double> &Y, int J) const {
+    if (J < NumStruct) {
+      double S = 0.0;
+      for (int I = Cols.Start[J]; I < Cols.Start[J + 1]; ++I)
+        S += Y[Cols.Row[I]] * Cols.Val[I];
+      return S;
+    }
+    if (J < ArtBase)
+      return Y[J - NumStruct];
+    return Y[ArtRow[J - ArtBase]] * ArtSign[J - ArtBase];
+  }
+
+  /// V += Scale * a_J in row space.
+  void addColTo(std::vector<double> &V, int J, double Scale) const {
+    if (J < NumStruct) {
+      for (int I = Cols.Start[J]; I < Cols.Start[J + 1]; ++I)
+        V[Cols.Row[I]] += Cols.Val[I] * Scale;
+    } else if (J < ArtBase) {
+      V[J - NumStruct] += Scale;
+    } else {
+      V[ArtRow[J - ArtBase]] += ArtSign[J - ArtBase] * Scale;
     }
   }
 
@@ -236,63 +248,147 @@ private:
     return Lo[J];
   }
 
-  /// Recomputes the basic-variable values from scratch: XB = Trhs minus
-  /// the tableau columns of nonbasic variables resting away from zero.
-  /// Used to reset the incrementally-maintained XB (pivot updates drift
-  /// numerically) at phase boundaries and every RefreshInterval pivots.
-  void recomputeBasicValues() {
-    NZRestCols.clear();
+  bool refactor() {
+    ++Refactorizations;
+    return F.factor(NumRows, Basis, [this](int J, SparseCol &Out) {
+      appendColumn(J, Out);
+    });
+  }
+
+  /// Recomputes the basic values XB = B^-1 (b - A_N x_N) from scratch.
+  /// Used after (re)factorization and every RefreshInterval pivots to
+  /// wash out incremental drift.
+  void computeXB() {
+    Rhs = Bvec;
     for (int J = 0; J < NumCols; ++J) {
       if (IsBasic[J])
         continue;
       double RV = restValue(J);
       if (RV != 0.0)
-        NZRestCols.emplace_back(J, RV);
+        addColTo(Rhs, J, -RV);
     }
-    for (int R = 0; R < NumRows; ++R) {
-      const double *Row = rowPtr(R);
-      double V = Trhs[R];
-      for (const auto &[J, RV] : NZRestCols)
-        V -= Row[J] * RV;
-      XB[R] = V;
-    }
+    F.ftran(Rhs);
+    XB.swap(Rhs);
   }
 
-  /// Reduced costs d = c - y^T T, accumulated row-wise: only rows whose
-  /// basic variable carries a nonzero cost contribute, which is the
-  /// sparse common case (feasibility LPs have all-zero phase-2 costs,
-  /// and phase-1 costs vanish as artificials leave the basis).
-  void reducedCosts(const std::vector<double> &Cost) {
-    D = Cost;
-    for (int R = 0; R < NumRows; ++R) {
-      double CB = Cost[Basis[R]];
-      if (CB == 0.0)
+  bool primalFeasible() const {
+    for (int K = 0; K < NumRows; ++K) {
+      int BV = Basis[K];
+      if (XB[K] > Hi[BV] + FeasTol || XB[K] < Lo[BV] - FeasTol)
+        return false;
+    }
+    return true;
+  }
+
+  /// Checks dual feasibility of the real objective at the current basis:
+  /// no nonbasic variable prices as an improving move.
+  bool dualFeasible() {
+    Y.assign(NumRows, 0.0);
+    for (int K = 0; K < NumRows; ++K)
+      Y[K] = Cost[Basis[K]];
+    F.btran(Y);
+    for (int J = 0; J < NumCols; ++J) {
+      if (IsBasic[J] || Lo[J] == Hi[J])
         continue;
-      const double *Row = rowPtr(R);
-      for (int J = 0; J < NumCols; ++J)
-        D[J] -= CB * Row[J];
+      double D = Cost[J] - colDot(Y, J);
+      if (AtUpper[J] ? D > Eps : D < -Eps)
+        return false;
+    }
+    return true;
+  }
+
+  bool installWarmBasis() {
+    int NB = NumStruct + NumRows;
+    if (static_cast<int>(Warm->Basic.size()) != NumRows ||
+        static_cast<int>(Warm->AtUpper.size()) != NB)
+      return false;
+    std::vector<char> Seen(NB, 0);
+    for (int K = 0; K < NumRows; ++K) {
+      int J = Warm->Basic[K];
+      if (J < 0 || J >= NB || Seen[J])
+        return false;
+      Seen[J] = 1;
+    }
+    for (int J = 0; J < NB; ++J) {
+      IsBasic[J] = 0;
+      AtUpper[J] = 0;
+    }
+    for (int K = 0; K < NumRows; ++K) {
+      Basis[K] = Warm->Basic[K];
+      IsBasic[Basis[K]] = 1;
+    }
+    // Rest flags: honour the saved side when it is still representable
+    // under the (possibly tightened) bounds of this solve.
+    for (int J = 0; J < NB; ++J) {
+      if (IsBasic[J])
+        continue;
+      if (Warm->AtUpper[J] && Hi[J] < Inf)
+        AtUpper[J] = 1;
+      else if (Lo[J] > -Inf)
+        AtUpper[J] = 0;
+      else if (Hi[J] < Inf)
+        AtUpper[J] = 1;
+      else
+        return false; // Free nonbasic variable: no rest value.
+    }
+    return refactor();
+  }
+
+  void installSlackBasis() {
+    for (int J = 0; J < NumCols; ++J) {
+      IsBasic[J] = 0;
+      AtUpper[J] = 0;
+    }
+    for (int R = 0; R < NumRows; ++R) {
+      Basis[R] = NumStruct + R;
+      IsBasic[NumStruct + R] = 1;
     }
   }
 
-  LpStatus optimize(const std::vector<double> &Cost) {
-    recomputeBasicValues();
+  /// Primal simplex on the real objective (phase 2). Assumes a primal
+  /// feasible basis; Dantzig pricing with Bland's rule under stalling.
+  LpStatus primal() { return primalWith(Cost); }
+
+  LpStatus primalWith(const std::vector<double> &C) {
+    computeXB();
     int StallCount = 0;
     int SinceRefresh = 0;
     for (; Iters < MaxIters; ++Iters) {
       if ((Iters & 15) == 0 &&
           std::chrono::steady_clock::now() > Deadline)
         return LpStatus::IterLimit;
-      reducedCosts(Cost);
+      if (F.needsRefactor()) {
+        if (!refactor())
+          return LpStatus::IterLimit;
+        computeXB();
+        SinceRefresh = 0;
+      }
 
-      // Entering variable: nonbasic at lower with d < 0, or at upper with
-      // d > 0. Dantzig rule; Bland (lowest index) when stalling.
+      // Pricing: y = B^-T c_B by one BTRAN, then d_J = c_J - y.a_J per
+      // nonbasic column, walked sparsely. Entering variable: nonbasic at
+      // lower with d < 0, or at upper with d > 0. Dantzig rule; Bland
+      // (lowest index) when stalling.
+      bool AnyCost = false;
+      Y.assign(NumRows, 0.0);
+      for (int K = 0; K < NumRows; ++K) {
+        double CB = C[Basis[K]];
+        Y[K] = CB;
+        if (CB != 0.0)
+          AnyCost = true;
+      }
+      if (AnyCost)
+        F.btran(Y);
+
       bool UseBland = StallCount > 2 * (NumRows + 8);
       int Enter = -1;
       double BestScore = Eps;
       for (int J = 0; J < NumCols; ++J) {
         if (IsBasic[J] || Lo[J] == Hi[J])
           continue;
-        double Score = AtUpper[J] ? D[J] : -D[J];
+        double D = C[J];
+        if (AnyCost)
+          D -= colDot(Y, J);
+        double Score = AtUpper[J] ? D : -D;
         if (Score > BestScore) {
           Enter = J;
           if (UseBland)
@@ -307,13 +403,17 @@ private:
       // from upper bound.
       double Dir = AtUpper[Enter] ? -1.0 : 1.0;
 
-      // Ratio test over the entering column, skipping structural zeros.
+      // FTRAN the entering column, then the bounded ratio test over it.
+      W.assign(NumRows, 0.0);
+      addColTo(W, Enter, 1.0);
+      F.ftran(W);
+
       double Limit = Hi[Enter] - Lo[Enter]; // Bound-flip distance.
       bool LimitIsFlip = true;
       int LeaveRow = -1;
       bool LeaveToUpper = false;
       for (int R = 0; R < NumRows; ++R) {
-        double Alpha = at(R, Enter) * Dir;
+        double Alpha = W[R] * Dir;
         if (std::fabs(Alpha) <= Eps)
           continue;
         int BV = Basis[R];
@@ -351,11 +451,9 @@ private:
       // The entering variable moves by Dir * Limit; follow the basic
       // values incrementally down the entering column.
       if (Limit != 0.0)
-        for (int R = 0; R < NumRows; ++R) {
-          double Alpha = at(R, Enter);
-          if (Alpha != 0.0)
-            XB[R] -= Alpha * Dir * Limit;
-        }
+        for (int R = 0; R < NumRows; ++R)
+          if (W[R] != 0.0)
+            XB[R] -= W[R] * Dir * Limit;
 
       if (LimitIsFlip) {
         // Bound flip: the entering variable swaps bounds, no basis change.
@@ -364,64 +462,319 @@ private:
       }
 
       double EnterValue = restValue(Enter) + Dir * Limit;
-      pivot(LeaveRow, Enter, LeaveToUpper);
+      int Leave = Basis[LeaveRow];
+      IsBasic[Leave] = 0;
+      AtUpper[Leave] = LeaveToUpper;
+      IsBasic[Enter] = 1;
+      AtUpper[Enter] = 0;
+      Basis[LeaveRow] = Enter;
       XB[LeaveRow] = EnterValue;
-      if (++SinceRefresh >= RefreshInterval) {
+      ++Pivots;
+      if (F.update(W, LeaveRow)) {
+        ++EtaUpdates;
+        if (++SinceRefresh >= RefreshInterval) {
+          SinceRefresh = 0;
+          computeXB();
+        }
+      } else {
+        if (!refactor())
+          return LpStatus::IterLimit;
+        computeXB();
         SinceRefresh = 0;
-        recomputeBasicValues();
       }
     }
     return LpStatus::IterLimit;
   }
 
-  void pivot(int Row, int Enter, bool LeavingGoesToUpper) {
-    int Leave = Basis[Row];
-    double *PivRow = rowPtr(Row);
-    double Piv = PivRow[Enter];
-    assert(std::fabs(Piv) > 1e-12 && "numerically singular pivot");
+  /// Dual simplex until primal feasibility: picks the most-violated
+  /// basic variable, prices its BTRAN'd row and enters the column that
+  /// keeps the reduced costs dual feasible (zero costs make every ratio
+  /// zero, so the largest |alpha| wins for stability — Bland-ish lowest
+  /// index under stalling as the anti-cycling rule). Doubles as phase 1
+  /// from the all-slack basis and as the warm-start repair after bound
+  /// changes. \p UseRealCost keeps the real objective's dual feasibility
+  /// through the repair so the following phase 2 terminates immediately.
+  DualOutcome dualRepair(bool UseRealCost) {
+    computeXB();
+    int DualIters = 0;
+    int BadPivots = 0;
+    const int Cap = 20 * (NumRows + NumStruct) + 1000;
+    int SinceRefresh = 0;
+    for (; Iters < MaxIters; ++Iters) {
+      if ((Iters & 15) == 0 &&
+          std::chrono::steady_clock::now() > Deadline)
+        return DualOutcome::Limit;
+      if (F.needsRefactor()) {
+        if (!refactor())
+          return DualOutcome::Stalled;
+        computeXB();
+        SinceRefresh = 0;
+      }
 
-    double InvPiv = 1.0 / Piv;
-    // Scale the pivot row and collect its support once; every other
-    // row's update then touches only those columns.
-    PivSupport.clear();
-    for (int J = 0; J < NumCols; ++J) {
-      PivRow[J] *= InvPiv;
-      if (std::fabs(PivRow[J]) > DropTol)
-        PivSupport.push_back(J);
-      else
-        PivRow[J] = 0.0;
-    }
-    PivRow[Enter] = 1.0;
-    Trhs[Row] *= InvPiv;
-    for (int R = 0; R < NumRows; ++R) {
-      if (R == Row)
-        continue;
-      double *Dst = rowPtr(R);
-      double Factor = Dst[Enter];
-      if (Factor == 0.0)
-        continue;
-      for (int J : PivSupport)
-        Dst[J] -= Factor * PivRow[J];
-      Dst[Enter] = 0.0;
-      Trhs[R] -= Factor * Trhs[Row];
-    }
+      // Leaving variable: the basic position with the largest bound
+      // violation.
+      int P = -1;
+      double BestV = FeasTol;
+      bool AboveHi = false;
+      for (int K = 0; K < NumRows; ++K) {
+        int BV = Basis[K];
+        double VHi = XB[K] - Hi[BV];
+        double VLo = Lo[BV] - XB[K];
+        if (VHi > BestV) {
+          BestV = VHi;
+          P = K;
+          AboveHi = true;
+        }
+        if (VLo > BestV) {
+          BestV = VLo;
+          P = K;
+          AboveHi = false;
+        }
+      }
+      if (P < 0)
+        return DualOutcome::Feasible;
+      if (++DualIters > Cap)
+        return DualOutcome::Stalled;
 
-    IsBasic[Leave] = false;
-    AtUpper[Leave] = LeavingGoesToUpper;
-    IsBasic[Enter] = true;
-    AtUpper[Enter] = false;
-    Basis[Row] = Enter;
-    ++Pivots;
+      // Row P of B^-1 A via one BTRAN of the unit vector.
+      Rho.assign(NumRows, 0.0);
+      Rho[P] = 1.0;
+      F.btran(Rho);
+      if (UseRealCost) {
+        Y.assign(NumRows, 0.0);
+        for (int K = 0; K < NumRows; ++K)
+          Y[K] = Cost[Basis[K]];
+        F.btran(Y);
+      }
+
+      // Entering candidates: moving one in its admissible direction
+      // must push XB[P] towards the violated bound; the dual ratio
+      // |d_J| / |alpha_J| orders them so entering preserves dual
+      // feasibility.
+      bool PreferIndex = DualIters > 2 * (NumRows + 8);
+      Cands.clear();
+      for (int J = 0; J < NumCols; ++J) {
+        if (IsBasic[J] || Lo[J] == Hi[J])
+          continue;
+        double Alpha = colDot(Rho, J);
+        double DirJ = AtUpper[J] ? -1.0 : 1.0;
+        double Impact = -Alpha * DirJ; // d XB[P] per unit move of x_J.
+        if (AboveHi ? Impact >= -AlphaTol : Impact <= AlphaTol)
+          continue;
+        double D = 0.0;
+        if (UseRealCost)
+          D = Cost[J] - colDot(Y, J);
+        Cands.push_back({J, Alpha, std::fabs(D) / std::fabs(Alpha)});
+        if (PreferIndex)
+          break; // Bland-ish: the lowest admissible index, no flips.
+      }
+      if (Cands.empty())
+        return DualOutcome::Infeasible;
+      if (!PreferIndex)
+        std::sort(Cands.begin(), Cands.end(),
+                  [](const DualCand &A, const DualCand &B) {
+                    if (A.Ratio != B.Ratio)
+                      return A.Ratio < B.Ratio;
+                    double FA = std::fabs(A.Alpha), FB = std::fabs(B.Alpha);
+                    if (FA != FB)
+                      return FA > FB; // Harris-like stability preference.
+                    return A.J < B.J;
+                  });
+
+      int LeaveVar = Basis[P];
+      double Bound = AboveHi ? Hi[LeaveVar] : Lo[LeaveVar];
+
+      // Bound-flipping ratio test (long-step dual): a candidate whose
+      // full bound-to-bound flip cannot close the violation is flipped
+      // outright — no basis change, no repricing — and the walk moves
+      // to the next candidate; only the one that crosses zero enters.
+      // The II LPs start with violations of the II's magnitude against
+      // unit-range assignment columns, so without this every flip would
+      // cost a full dual iteration. Flipped rest values are folded into
+      // XB with a single accumulated FTRAN.
+      double V = XB[P] - Bound;
+      Acc.assign(NumRows, 0.0);
+      bool AnyFlip = false;
+      int Enter = -1;
+      for (const DualCand &Cd : Cands) {
+        double CDir = AtUpper[Cd.J] ? -1.0 : 1.0;
+        double Impact = -Cd.Alpha * CDir;
+        double Range = Hi[Cd.J] - Lo[Cd.J];
+        if (Range < Inf &&
+            std::fabs(Impact) * Range < std::fabs(V) - FeasTol) {
+          V += Impact * Range;
+          addColTo(Acc, Cd.J, CDir * Range);
+          AtUpper[Cd.J] = !AtUpper[Cd.J];
+          AnyFlip = true;
+          continue;
+        }
+        Enter = Cd.J;
+        break;
+      }
+      if (AnyFlip) {
+        F.ftran(Acc);
+        for (int K = 0; K < NumRows; ++K)
+          if (Acc[K] != 0.0)
+            XB[K] -= Acc[K];
+      }
+      if (Enter < 0)
+        continue; // Violation shrunk by flips alone; re-select a row.
+
+      W.assign(NumRows, 0.0);
+      addColTo(W, Enter, 1.0);
+      F.ftran(W);
+      double AlphaP = W[P]; // Fresher than the Rho-based estimate.
+      double DirJ = AtUpper[Enter] ? -1.0 : 1.0;
+      if (AboveHi ? -AlphaP * DirJ >= 0.0 : -AlphaP * DirJ <= 0.0) {
+        // The FTRAN'd pivot disagrees with the priced row: the eta file
+        // has drifted. Refactorize and retry (bounded; the flips above
+        // remain valid state and keep their progress).
+        if (++BadPivots > 3 || !refactor())
+          return DualOutcome::Stalled;
+        computeXB();
+        continue;
+      }
+      BadPivots = 0;
+      double T = (XB[P] - Bound) / (AlphaP * DirJ); // > 0 by the sign check.
+      double Range = Hi[Enter] - Lo[Enter];
+      if (T > Range + 1e-12) {
+        // The entering variable hits its opposite bound first: flip it,
+        // shrink the violation, and keep the basis unchanged.
+        for (int K = 0; K < NumRows; ++K)
+          if (W[K] != 0.0)
+            XB[K] -= W[K] * DirJ * Range;
+        AtUpper[Enter] = !AtUpper[Enter];
+        continue;
+      }
+
+      double EnterValue = restValue(Enter) + DirJ * T;
+      for (int K = 0; K < NumRows; ++K)
+        if (W[K] != 0.0)
+          XB[K] -= W[K] * DirJ * T;
+      IsBasic[LeaveVar] = 0;
+      AtUpper[LeaveVar] = AboveHi; // Leaves at the bound it violated.
+      IsBasic[Enter] = 1;
+      AtUpper[Enter] = 0;
+      Basis[P] = Enter;
+      XB[P] = EnterValue;
+      ++Pivots;
+      if (F.update(W, P)) {
+        ++EtaUpdates;
+        if (++SinceRefresh >= RefreshInterval) {
+          SinceRefresh = 0;
+          computeXB();
+        }
+      } else {
+        if (!refactor())
+          return DualOutcome::Stalled;
+        computeXB();
+        SinceRefresh = 0;
+      }
+    }
+    return DualOutcome::Limit;
   }
 
-  LpResult finish(LpStatus S) {
+  /// Classical two-phase backstop: artificial variables make the basis
+  /// trivially feasible, a primal pass minimizes their sum, and success
+  /// pins them at zero for phase 2. Only runs when the dual phase 1
+  /// stalls (its anti-cycling guard tripped), which keeps the guarantee
+  /// of the pre-revised solver without paying for artificials in the
+  /// common case.
+  LpStatus artificialPhase1() {
+    // Every column rests at a bound again (structural at lower).
+    installSlackBasis();
+
+    // Row residuals with every column at rest; rows whose slack cannot
+    // absorb the residual receive an artificial.
+    Rhs = Bvec;
+    for (int V = 0; V < NumStruct; ++V) {
+      double RV = Lo[V];
+      if (RV == 0.0)
+        continue;
+      for (int I = Cols.Start[V]; I < Cols.Start[V + 1]; ++I)
+        Rhs[Cols.Row[I]] -= Cols.Val[I] * RV;
+    }
+
+    ArtRow.clear();
+    ArtSign.clear();
+    for (int R = 0; R < NumRows; ++R) {
+      int SlackJ = NumStruct + R;
+      if (Rhs[R] >= Lo[SlackJ] - Eps && Rhs[R] <= Hi[SlackJ] + Eps)
+        continue;
+      // The slack rests at its bound nearest the feasible region; an
+      // artificial with the residual's sign becomes basic.
+      AtUpper[SlackJ] = Lo[SlackJ] == -Inf;
+      IsBasic[SlackJ] = 0;
+      ArtRow.push_back(R);
+      ArtSign.push_back(Rhs[R] >= 0 ? 1.0 : -1.0);
+    }
+    int NumArt = static_cast<int>(ArtRow.size());
+    NumCols = ArtBase + NumArt;
+    Lo.resize(NumCols, 0.0);
+    Hi.resize(NumCols, Inf);
+    AtUpper.resize(NumCols, 0);
+    IsBasic.resize(NumCols, 0);
+    Cost.resize(NumCols, 0.0);
+    for (int K = 0; K < NumArt; ++K) {
+      int ArtJ = ArtBase + K;
+      Basis[ArtRow[K]] = ArtJ;
+      IsBasic[ArtJ] = 1;
+    }
+    if (!refactor())
+      return LpStatus::IterLimit; // Unreachable: diagonal basis.
+
+    if (NumArt > 0) {
+      std::vector<double> Phase1Cost(NumCols, 0.0);
+      for (int J = ArtBase; J < NumCols; ++J)
+        Phase1Cost[J] = 1.0;
+      LpStatus S = primalWith(Phase1Cost);
+      if (S != LpStatus::Optimal)
+        return S == LpStatus::Unbounded ? LpStatus::IterLimit : S;
+      computeXB();
+      double ArtSum = 0.0;
+      for (int R = 0; R < NumRows; ++R)
+        if (Basis[R] >= ArtBase)
+          ArtSum += std::fabs(XB[R]);
+      if (ArtSum > 1e-5)
+        return LpStatus::Infeasible;
+      // Pin artificials to zero for phase 2 (nonbasic ones already rest
+      // at their zero lower bound).
+      for (int J = ArtBase; J < NumCols; ++J)
+        Hi[J] = 0.0;
+    }
+    return LpStatus::Optimal;
+  }
+
+  /// Exports the final basis in struct+slack indices. A basic artificial
+  /// (degenerate at zero) is mapped to its row's slack; if that makes
+  /// the set singular, the next importer's refactorization rejects it
+  /// and falls back to a cold start.
+  void exportBasis(SimplexBasis &Out) const {
+    if (!F.valid())
+      return;
+    int NB = NumStruct + NumRows;
+    Out.Basic.resize(NumRows);
+    for (int K = 0; K < NumRows; ++K) {
+      int J = Basis[K];
+      if (J >= ArtBase)
+        J = NumStruct + ArtRow[J - ArtBase];
+      Out.Basic[K] = J;
+    }
+    Out.AtUpper.assign(AtUpper.begin(), AtUpper.begin() + NB);
+  }
+
+  LpResult finish(LpStatus S, LpResult::Start K) {
     LpResult Res;
     Res.Status = S;
     Res.Iterations = Iters;
     Res.Pivots = Pivots;
+    Res.Refactorizations = Refactorizations;
+    Res.EtaUpdates = EtaUpdates;
+    Res.StartKind = K;
+    exportBasis(Res.Basis);
     if (S != LpStatus::Optimal)
       return Res;
-    recomputeBasicValues();
+    computeXB();
     std::vector<double> X(NumCols, 0.0);
     for (int J = 0; J < NumCols; ++J)
       if (!IsBasic[J])
@@ -443,38 +796,67 @@ private:
   static constexpr int RefreshInterval = 32;
 
   const LinearProgram &LP;
+  const SimplexBasis *Warm;
   int MaxIters;
   std::chrono::steady_clock::time_point Deadline;
   int Iters = 0;
   int Pivots = 0;
+  int Refactorizations = 0;
+  int EtaUpdates = 0;
 
-  int NumStruct = 0, NumRows = 0, NumCols = 0, ArtBase = 0, NumArt = 0;
-  int Stride = 0;
+  int NumStruct = 0, NumRows = 0, NumCols = 0, ArtBase = 0;
   SparseColumns Cols;
-  std::vector<double> Tab; ///< Flat row-major tableau, NumRows x Stride.
-  std::vector<double> B, Trhs;
+  std::vector<int> ArtRow;
+  std::vector<double> ArtSign;
+  std::vector<double> Bvec;
   std::vector<double> Lo, Hi;
-  std::vector<double> XB; ///< Basic values, maintained incrementally.
-  std::vector<double> D;  ///< Reduced-cost workspace.
-  std::vector<std::pair<int, double>> NZRestCols;
-  std::vector<int> PivSupport;
-  std::vector<bool> AtUpper, IsBasic;
+  std::vector<double> Cost;
+  bool HaveCost = false;
+  std::vector<uint8_t> AtUpper, IsBasic;
   std::vector<int> Basis;
+  std::vector<double> XB;
+  BasisFactorization F;
+  std::vector<double> W, Y, Rho, Rhs; ///< FTRAN/BTRAN workspaces.
+
+  /// One admissible entering candidate for the dual ratio test.
+  struct DualCand {
+    int J;
+    double Alpha;
+    double Ratio;
+  };
+  std::vector<DualCand> Cands; ///< Dual ratio-test scratch.
+  std::vector<double> Acc;     ///< Bound-flip accumulator (row space).
 };
 
 } // namespace
 
 LpResult sgpu::solveLpRelaxation(const LinearProgram &LP, int MaxIterations,
-                                 double TimeLimitSeconds) {
+                                 double TimeLimitSeconds,
+                                 const SimplexBasis *Warm) {
   // Hot path: instruments are looked up once (references are stable for
   // the process lifetime) and bumped with one relaxed atomic each.
   static Counter &CSolves = metricCounter("simplex.lp_solves");
   static Counter &CIters = metricCounter("simplex.iterations");
   static Counter &CPivots = metricCounter("simplex.pivots");
-  SimplexSolver S(LP, MaxIterations, TimeLimitSeconds);
+  static Counter &CRefactor = metricCounter("simplex.refactorizations");
+  static Counter &CEtas = metricCounter("simplex.eta_updates");
+  static Counter &CWarm = metricCounter("simplex.warm_starts");
+  static Counter &CRepaired = metricCounter("simplex.warm_repairs");
+  static Counter &CRejected = metricCounter("simplex.warm_rejected");
+  RevisedSimplex S(LP, MaxIterations, TimeLimitSeconds, Warm);
   LpResult R = S.run();
   CSolves.add(1);
   CIters.add(R.Iterations);
   CPivots.add(R.Pivots);
+  CRefactor.add(R.Refactorizations);
+  CEtas.add(R.EtaUpdates);
+  if (Warm && !Warm->empty()) {
+    if (R.StartKind == LpResult::Start::Warm)
+      CWarm.add(1);
+    else if (R.StartKind == LpResult::Start::WarmRepaired)
+      CRepaired.add(1);
+    else
+      CRejected.add(1);
+  }
   return R;
 }

@@ -1,4 +1,4 @@
-//===- ilp/Simplex.h - Bounded-variable primal simplex ----------*- C++ -*-===//
+//===- ilp/Simplex.h - Bounded-variable revised simplex ---------*- C++ -*-===//
 //
 // Part of the streamit-gpu-swp project, reproducing "Software Pipelined
 // Execution of Stream Programs on GPUs" (CGO 2009).
@@ -6,16 +6,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A two-phase primal simplex with bounded variables (nonbasic variables
-/// rest at either bound; upper bounds never become rows). This solves
-/// the LP relaxations inside the branch & bound that replaces CPLEX in
-/// the paper's toolchain. The tableau is stored as one flat row-major
-/// array (contiguous row operations vectorize and stay cache-resident),
-/// and the constraint matrix A is additionally kept as a sparse
-/// column-major copy: the scheduling LPs are overwhelmingly sparse —
-/// constraints (2), (4), (8) each touch a handful of variables — so
-/// standard-form setup, initial residuals, pricing and the pivot update
-/// all skip structural zeros. See DESIGN.md "Solver engineering".
+/// A bounded-variable revised simplex over a factorized basis
+/// (BasisFactors.h). This solves the LP relaxations inside the branch &
+/// bound that replaces CPLEX in the paper's toolchain. Per-pivot cost
+/// scales with basis sparsity — one FTRAN for the entering column, one
+/// BTRAN for pricing, one eta update — instead of the width of a full
+/// tableau, and the constraint matrix A is kept as a sparse column-major
+/// copy (the scheduling LPs are overwhelmingly sparse: constraints (2),
+/// (4), (8) each touch a handful of variables).
+///
+/// Solves can be warm-started from a previously returned basis: the
+/// basis is refactorized against the (possibly re-valued) matrix, and a
+/// dual simplex pass repairs primal feasibility lost to bound changes —
+/// the branch & bound hands each child its parent's optimal basis, and
+/// the II search seeds every candidate from one serial root solve. A
+/// cold solve starts from the all-slack basis with a dual phase 1, with
+/// the classical artificial-variable primal phase 1 as the backstop.
+/// See DESIGN.md "Solver engineering".
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,23 +36,51 @@ namespace sgpu {
 /// Outcome of an LP solve.
 enum class LpStatus : uint8_t { Optimal, Infeasible, Unbounded, IterLimit };
 
+/// A resumable simplex basis in standard-form column indices: structural
+/// variables first, then one slack per row. Valid across LPs with the
+/// same shape (variable and row counts), which is what the II search
+/// exploits — candidate IIs change matrix coefficients, not structure.
+struct SimplexBasis {
+  std::vector<int32_t> Basic;   ///< Basic column per row position.
+  std::vector<uint8_t> AtUpper; ///< Nonbasic-at-upper flag per column.
+
+  bool empty() const { return Basic.empty(); }
+};
+
 /// Solution of an LP relaxation.
 struct LpResult {
+  /// How the solve started (warm-start accounting).
+  enum class Start : uint8_t {
+    Cold,        ///< All-slack (or artificial) start.
+    Warm,        ///< Supplied basis was primal feasible; phase 2 only.
+    WarmRepaired ///< Supplied basis repaired by the dual simplex.
+  };
+
   LpStatus Status = LpStatus::IterLimit;
   std::vector<double> X; ///< Structural variable values (valid if Optimal).
   double Objective = 0.0;
-  /// Simplex iterations across both phases (bound flips included).
+  /// Simplex iterations across all phases (bound flips included).
   int Iterations = 0;
-  /// Basis changes (proper pivots) across both phases; always
+  /// Basis changes (proper pivots) across all phases; always
   /// <= Iterations, the difference being bound flips.
   int Pivots = 0;
+  int Refactorizations = 0; ///< Basis factorizations performed.
+  int EtaUpdates = 0;       ///< Pivots absorbed as eta updates.
+  Start StartKind = Start::Cold;
+  /// Final basis, exported whenever the solve ends holding a valid
+  /// factorization (including IterLimit, so a capped solve can resume).
+  SimplexBasis Basis;
 };
 
 /// Solves the LP relaxation of \p LP (integrality dropped, bounds kept).
 /// \p TimeLimitSeconds bounds wall-clock time (checked periodically);
-/// exceeding either limit yields LpStatus::IterLimit.
+/// exceeding either limit yields LpStatus::IterLimit. \p Warm, when
+/// given and structurally compatible, resumes from that basis instead of
+/// solving from scratch (silently falling back to a cold start when the
+/// basis is stale or singular).
 LpResult solveLpRelaxation(const LinearProgram &LP, int MaxIterations = 50000,
-                           double TimeLimitSeconds = 1e30);
+                           double TimeLimitSeconds = 1e30,
+                           const SimplexBasis *Warm = nullptr);
 
 } // namespace sgpu
 

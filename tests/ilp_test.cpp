@@ -155,6 +155,97 @@ TEST(Simplex, DegeneratePivotsWithDuplicateTerms) {
   EXPECT_NEAR(R.Objective, -16.0, 1e-6); // x = 8, y = 0.
 }
 
+TEST(Simplex, BealeCyclingExampleTerminates) {
+  // Beale's classic cycling example: under naive Dantzig pricing with
+  // fixed tie-breaks the tableau method loops forever at the origin.
+  // The stall guard must kick the solve to Bland's rule and terminate
+  // at the true optimum -0.05 (x1 = 1/25, x3 = 1).
+  LinearProgram LP;
+  int X1 = LP.addContinuousVar("x1", 0, LinearProgram::Infinity);
+  int X2 = LP.addContinuousVar("x2", 0, LinearProgram::Infinity);
+  int X3 = LP.addContinuousVar("x3", 0, LinearProgram::Infinity);
+  int X4 = LP.addContinuousVar("x4", 0, LinearProgram::Infinity);
+  LP.addConstraint({{X1, 0.25}, {X2, -60}, {X3, -0.04}, {X4, 9}},
+                   RowSense::LE, 0);
+  LP.addConstraint({{X1, 0.5}, {X2, -90}, {X3, -0.02}, {X4, 3}},
+                   RowSense::LE, 0);
+  LP.addConstraint({{X3, 1}}, RowSense::LE, 1);
+  LP.setObjective({{X1, -0.75}, {X2, 150}, {X3, -0.02}, {X4, 6}});
+  LpResult R = solveLpRelaxation(LP);
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_NEAR(R.Objective, -0.05, 1e-6);
+  EXPECT_NEAR(R.X[X1], 0.04, 1e-6);
+  EXPECT_NEAR(R.X[X3], 1.0, 1e-6);
+}
+
+TEST(Simplex, LongPivotChainForcesRefactorization) {
+  // x_i >= x_{i-1} + 1 down a 100-link chain: minimizing the last
+  // variable takes a pivot per link, far past the eta-update cap, so
+  // the factorization must be rebuilt mid-solve at least once (the
+  // initial factorization is the first count).
+  LinearProgram LP;
+  const int N = 100;
+  std::vector<int> X(N);
+  for (int I = 0; I < N; ++I)
+    X[I] = LP.addContinuousVar("x" + std::to_string(I), 0,
+                               LinearProgram::Infinity);
+  LP.addConstraint({{X[0], 1}}, RowSense::GE, 1);
+  for (int I = 1; I < N; ++I)
+    LP.addConstraint({{X[I], 1}, {X[I - 1], -1}}, RowSense::GE, 1);
+  LP.setObjective({{X[N - 1], 1}});
+  LpResult R = solveLpRelaxation(LP);
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_NEAR(R.Objective, double(N), 1e-5);
+  EXPECT_GT(R.Pivots, 64); // Past the update cap by construction.
+  EXPECT_GE(R.Refactorizations, 2);
+  EXPECT_GT(R.EtaUpdates, 0);
+}
+
+TEST(Simplex, WarmStartAfterBoundChangeMatchesCold) {
+  // Solve, tighten a bound so the old optimum is cut off, then re-solve
+  // from the exported basis: the dual repair must land on the same
+  // optimum a cold solve finds, without starting from scratch.
+  LinearProgram LP;
+  int X = LP.addContinuousVar("x", 0, 10);
+  int Y = LP.addContinuousVar("y", 0, 10);
+  LP.addConstraint({{X, 1}, {Y, 2}}, RowSense::LE, 4);
+  LP.addConstraint({{X, 3}, {Y, 1}}, RowSense::LE, 6);
+  LP.setObjective({{X, -1}, {Y, -1}});
+  LpResult First = solveLpRelaxation(LP);
+  ASSERT_EQ(First.Status, LpStatus::Optimal);
+  ASSERT_FALSE(First.Basis.empty());
+  EXPECT_NEAR(First.X[X], 1.6, 1e-6); // Optimum about to be cut off.
+
+  LP.setBounds(X, 0, 1); // Branch-style tightening.
+  LpResult Warm = solveLpRelaxation(LP, 50000, 1e30, &First.Basis);
+  LpResult Cold = solveLpRelaxation(LP);
+  ASSERT_EQ(Warm.Status, LpStatus::Optimal);
+  ASSERT_EQ(Cold.Status, LpStatus::Optimal);
+  EXPECT_NE(Warm.StartKind, LpResult::Start::Cold);
+  EXPECT_NEAR(Warm.Objective, Cold.Objective, 1e-9);
+  EXPECT_NEAR(Warm.X[X], 1.0, 1e-6);
+  EXPECT_NEAR(Warm.X[Y], 1.5, 1e-6);
+}
+
+TEST(Simplex, WarmStartStillFeasibleSkipsRepair) {
+  // A bound change that leaves the old optimum feasible: the warm solve
+  // must recognize primal feasibility and go straight to phase 2.
+  LinearProgram LP;
+  int X = LP.addContinuousVar("x", 0, 10);
+  int Y = LP.addContinuousVar("y", 0, 10);
+  LP.addConstraint({{X, 1}, {Y, 2}}, RowSense::LE, 4);
+  LP.addConstraint({{X, 3}, {Y, 1}}, RowSense::LE, 6);
+  LP.setObjective({{X, -1}, {Y, -1}});
+  LpResult First = solveLpRelaxation(LP);
+  ASSERT_EQ(First.Status, LpStatus::Optimal);
+
+  LP.setBounds(X, 0, 5); // Still contains x = 1.6.
+  LpResult Warm = solveLpRelaxation(LP, 50000, 1e30, &First.Basis);
+  ASSERT_EQ(Warm.Status, LpStatus::Optimal);
+  EXPECT_EQ(Warm.StartKind, LpResult::Start::Warm);
+  EXPECT_NEAR(Warm.Objective, First.Objective, 1e-9);
+}
+
 TEST(Milp, BinaryKnapsack) {
   // max 10a + 6b + 4c s.t. a + b + c <= 2 (binary): pick a and b.
   LinearProgram LP;
@@ -265,6 +356,17 @@ LinearProgram makePackingMilp(int Items) {
   return LP;
 }
 
+/// The packing model plus a knapsack budget row: the relaxation's
+/// optimum is fractional, so the branch & bound genuinely branches.
+LinearProgram makeBranchyMilp(int Items) {
+  LinearProgram LP = makePackingMilp(Items);
+  std::vector<LinTerm> Budget;
+  for (int I = 0; I < Items; ++I)
+    Budget.push_back({I, double(5 + (I * 13) % 23)});
+  LP.addConstraint(Budget, RowSense::LE, 6.0 * Items);
+  return LP;
+}
+
 } // namespace
 
 TEST(MilpParallel, MatchesSerialObjective) {
@@ -337,12 +439,39 @@ TEST(MilpParallel, BoundPruneToleranceIsConfigurable) {
 TEST(MilpParallel, SolverTelemetryIsPopulated) {
   MilpOptions MO;
   MO.StopAtFirstFeasible = false;
-  MilpResult R = solveMilp(makePackingMilp(12), MO);
+  MilpResult R = solveMilp(makeBranchyMilp(14), MO);
   ASSERT_TRUE(R.hasSolution());
+  EXPECT_GT(R.NodesExplored, 1); // Fractional relaxation: it branches.
   EXPECT_GE(R.LpSolves, R.NodesExplored / 2); // Most nodes solve an LP.
   EXPECT_GE(R.SimplexIterations, R.Pivots);
   EXPECT_GT(R.BusySeconds, 0.0);
   EXPECT_EQ(R.WorkersUsed, 1);
+  // Per-worker drain-loop spans bound busy time, and every non-root
+  // node carries its parent's basis, so most node LPs warm-start.
+  EXPECT_GE(R.WorkerSeconds, R.BusySeconds);
+  EXPECT_EQ(R.Steals, 0); // One worker has nobody to steal from.
+  EXPECT_GT(R.WarmLpStarts, 0);
+}
+
+TEST(MilpParallel, RootWarmBasisIsAccepted) {
+  // Seed the root with the basis of its own relaxation (the II search
+  // seeds candidates this way): the root LP must warm-start too.
+  LinearProgram LP = makeBranchyMilp(14);
+  LpResult Seed = solveLpRelaxation(LP);
+  ASSERT_EQ(Seed.Status, LpStatus::Optimal);
+  MilpOptions Cold;
+  Cold.StopAtFirstFeasible = false;
+  MilpOptions WarmOpt = Cold;
+  WarmOpt.WarmBasis = Seed.Basis;
+  MilpResult Warm = solveMilp(makeBranchyMilp(14), WarmOpt);
+  MilpResult Bare = solveMilp(makeBranchyMilp(14), Cold);
+  ASSERT_TRUE(Warm.hasSolution());
+  ASSERT_TRUE(Bare.hasSolution());
+  EXPECT_NEAR(Warm.Objective, Bare.Objective, 1e-9);
+  // The warm run's root LP resumes from the seed basis; the bare run's
+  // root is the only cold node either way.
+  EXPECT_GT(Warm.WarmLpStarts, 0);
+  EXPECT_GE(Warm.WarmLpStarts, Bare.WarmLpStarts);
 }
 
 TEST(LinearProgram, FeasibilityChecker) {

@@ -124,10 +124,12 @@ PerfSample measureBenchmark(const BenchmarkSpec &Spec, int Jobs) {
   S.Metrics["speedup"] = R->Speedup;
   S.Metrics["cyclesim.kernel_cycles"] = Sim.TotalCycles;
   S.Metrics["buffer_bytes"] = static_cast<double>(R->BufferBytes);
-  double SolverSpan = R->SchedStats.SolverSeconds *
-                      static_cast<double>(R->SchedStats.WorkersUsed);
+  // Busy time over summed per-worker drain-loop spans (MilpResult
+  // docs): 1.0 for a single-worker solve, dips only for real idling.
   S.Metrics["solver.worker_utilization"] =
-      SolverSpan > 0.0 ? R->SchedStats.SolverBusySeconds / SolverSpan : 0.0;
+      R->SchedStats.SolverWorkerSeconds > 0.0
+          ? R->SchedStats.SolverBusySeconds / R->SchedStats.SolverWorkerSeconds
+          : 0.0;
   return S;
 }
 
