@@ -8,6 +8,11 @@
 // BENCH_cyclesim.json (override with --out=FILE) in addition to the
 // printed table and the registered google benchmarks.
 //
+// With --bands=FILE (a JSON file of per-benchmark ratio bands, see
+// bench/cyclesim_bands.json) the run becomes the CI timing-fidelity
+// gate: every benchmark must compile, be bit-deterministic, have a band,
+// and land its analytic/cycle ratio inside it — otherwise exit 1.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -20,6 +25,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -95,13 +101,90 @@ void BM_CycleSim(benchmark::State &State, const BenchmarkSpec *Spec) {
     benchmark::DoNotOptimize(Model->simulateKernel(Desc).TotalCycles);
 }
 
+/// Gates the rows against the per-benchmark ratio bands of \p BandsPath.
+/// Returns false (after printing every violation) when any benchmark
+/// failed to compile, was non-deterministic, has no band, or has a
+/// cycle/analytic ratio outside its [min, max].
+bool gateAgainstBands(const std::vector<ValidationRow> &Rows,
+                      const std::string &BandsPath) {
+  std::ifstream In(BandsPath, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open bands file '%s'\n",
+                 BandsPath.c_str());
+    return false;
+  }
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  std::string Err;
+  std::optional<JsonValue> Doc = JsonValue::parse(Text, &Err);
+  const JsonValue *Bands = Doc ? Doc->find("bands") : nullptr;
+  if (!Bands || !Bands->isArray()) {
+    std::fprintf(stderr, "error: malformed bands file '%s': %s\n",
+                 BandsPath.c_str(), Err.empty() ? "no 'bands' array"
+                                                : Err.c_str());
+    return false;
+  }
+
+  bool Ok = true;
+  std::printf("Timing-fidelity gate (%s):\n", BandsPath.c_str());
+  for (const ValidationRow &Row : Rows) {
+    if (!Row.Ok) {
+      std::printf("  FAIL %-12s compile failed\n", Row.Name.c_str());
+      Ok = false;
+      continue;
+    }
+    if (!Row.Deterministic) {
+      std::printf("  FAIL %-12s not bit-deterministic\n", Row.Name.c_str());
+      Ok = false;
+      continue;
+    }
+    const JsonValue *Band = nullptr;
+    for (const JsonValue &B : Bands->elements()) {
+      const JsonValue *Name = B.find("name");
+      if (Name && Name->isString() && Name->asString() == Row.Name) {
+        Band = &B;
+        break;
+      }
+    }
+    if (!Band) {
+      std::printf("  FAIL %-12s no band in %s\n", Row.Name.c_str(),
+                  BandsPath.c_str());
+      Ok = false;
+      continue;
+    }
+    const JsonValue *Min = Band->find("min");
+    const JsonValue *Max = Band->find("max");
+    if (!Min || !Max || !Min->isNumber() || !Max->isNumber()) {
+      std::printf("  FAIL %-12s malformed band\n", Row.Name.c_str());
+      Ok = false;
+      continue;
+    }
+    double Ratio =
+        Row.AnalyticCycles > 0.0 ? Row.SimCycles / Row.AnalyticCycles : 0.0;
+    if (Ratio < Min->asNumber() || Ratio > Max->asNumber()) {
+      std::printf("  FAIL %-12s ratio %.3f outside [%.3f, %.3f]\n",
+                  Row.Name.c_str(), Ratio, Min->asNumber(),
+                  Max->asNumber());
+      Ok = false;
+      continue;
+    }
+    std::printf("  ok   %-12s ratio %.3f in [%.3f, %.3f]\n",
+                Row.Name.c_str(), Ratio, Min->asNumber(), Max->asNumber());
+  }
+  return Ok;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   std::string OutPath = "BENCH_cyclesim.json";
-  for (int I = 1; I < argc; ++I)
+  std::string BandsPath;
+  for (int I = 1; I < argc; ++I) {
     if (std::strncmp(argv[I], "--out=", 6) == 0)
       OutPath = argv[I] + 6;
+    else if (std::strncmp(argv[I], "--bands=", 8) == 0)
+      BandsPath = argv[I] + 8;
+  }
 
   std::printf("Cycle simulator validation (SWP8 schedules; cycles per "
               "kernel invocation)\n");
@@ -152,6 +235,11 @@ int main(int argc, char **argv) {
     Out << W.str() << "\n";
   else
     std::fprintf(stderr, "warning: cannot write '%s'\n", OutPath.c_str());
+
+  if (!BandsPath.empty() && !gateAgainstBands(Rows, BandsPath)) {
+    std::fprintf(stderr, "cyclesim validation gate FAILED\n");
+    return 1;
+  }
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -57,6 +57,29 @@ std::optional<Strategy> sgpu::parseStrategyName(std::string_view Name) {
   return std::nullopt;
 }
 
+const char *sgpu::configSelectModeName(ConfigSelectMode M) {
+  switch (M) {
+  case ConfigSelectMode::Auto:
+    return "auto";
+  case ConfigSelectMode::Analytic:
+    return "analytic";
+  case ConfigSelectMode::Cycle:
+    return "cycle";
+  }
+  SGPU_UNREACHABLE("unknown config-select mode");
+}
+
+std::optional<ConfigSelectMode>
+sgpu::parseConfigSelectMode(std::string_view Name) {
+  if (Name == "auto")
+    return ConfigSelectMode::Auto;
+  if (Name == "analytic")
+    return ConfigSelectMode::Analytic;
+  if (Name == "cycle")
+    return ConfigSelectMode::Cycle;
+  return std::nullopt;
+}
+
 namespace {
 
 /// Per-node timing-model instances under a given config.
@@ -98,6 +121,19 @@ std::vector<SimInstance> buildNodeInstances(const GpuArch &Arch,
   return Insts;
 }
 
+/// The model kind the profile sweep / Alg. 7 selection runs under.
+TimingModelKind profileTimingKind(const CompileOptions &Options) {
+  switch (Options.ConfigSelect) {
+  case ConfigSelectMode::Auto:
+    return Options.Timing;
+  case ConfigSelectMode::Analytic:
+    return TimingModelKind::Analytic;
+  case ConfigSelectMode::Cycle:
+    return TimingModelKind::Cycle;
+  }
+  SGPU_UNREACHABLE("unknown config-select mode");
+}
+
 /// Channel-buffer bytes of a software-pipelined schedule: each edge holds
 /// (stage span + 2) coarsened iterations of tokens in flight plus its
 /// initial tokens and peek slack; program I/O buffers hold one kernel
@@ -126,13 +162,21 @@ std::optional<CompileReport> compileSwp(const StreamGraph &G,
                                         const CompileOptions &Options) {
   LayoutKind Layout = layoutFor(Options.Strat);
   std::unique_ptr<TimingModel> Model =
-      createTimingModel(Options.Timing, Options.Arch);
+      createTimingModel(Options.Timing, Options.Arch, Options.WarpSched);
 
   // Fig. 6 profiling under the strategy's layout, then Alg. 7. The
-  // sweep shares the scheduler's worker budget.
+  // sweep shares the scheduler's worker budget; `--config-select` may
+  // pin it to a different model than the invocation timing below.
+  TimingModelKind ProfKind = profileTimingKind(Options);
+  std::unique_ptr<TimingModel> ProfOwned;
+  TimingModel *ProfModel = Model.get();
+  if (ProfKind != Options.Timing) {
+    ProfOwned = createTimingModel(ProfKind, Options.Arch, Options.WarpSched);
+    ProfModel = ProfOwned.get();
+  }
   ProfileTable PT =
       profileGraph(Options.Arch, G, Layout, Options.Sched.NumWorkers,
-                   /*NumFirings=*/0, Model.get());
+                   /*NumFirings=*/0, ProfModel);
   std::optional<ExecutionConfig> Config = selectExecutionConfig(SS, PT);
   if (!Config)
     return std::nullopt;
@@ -164,6 +208,7 @@ std::optional<CompileReport> compileSwp(const StreamGraph &G,
   R.Coarsening = Options.Coarsening;
   R.Layout = Layout;
   R.Timing = Options.Timing;
+  R.WarpSched = Options.WarpSched;
   R.Config = std::move(*Config);
   R.GSS = GSS;
   R.SchedStats = *SR;
@@ -196,10 +241,17 @@ std::optional<CompileReport> compileSerial(const StreamGraph &G,
   // The Serial scheme: every filter runs as its own fully data-parallel
   // kernel in SAS order, NumSMs blocks, coalesced accesses (Section V).
   std::unique_ptr<TimingModel> Model =
-      createTimingModel(Options.Timing, Options.Arch);
+      createTimingModel(Options.Timing, Options.Arch, Options.WarpSched);
+  TimingModelKind ProfKind = profileTimingKind(Options);
+  std::unique_ptr<TimingModel> ProfOwned;
+  TimingModel *ProfModel = Model.get();
+  if (ProfKind != Options.Timing) {
+    ProfOwned = createTimingModel(ProfKind, Options.Arch, Options.WarpSched);
+    ProfModel = ProfOwned.get();
+  }
   ProfileTable PT = profileGraph(Options.Arch, G, LayoutKind::Shuffled,
                                  Options.Sched.NumWorkers,
-                                 /*NumFirings=*/0, Model.get());
+                                 /*NumFirings=*/0, ProfModel);
   std::optional<ExecutionConfig> Config;
   for (int Threads :
        {Options.SerialThreads, 128, 256, 384, 512}) {
@@ -247,6 +299,10 @@ std::optional<CompileReport> compileSerial(const StreamGraph &G,
       Agg.PerSm[S].BusyCycles += Sim.PerSm[S].BusyCycles;
       Agg.PerSm[S].StallCycles += Sim.PerSm[S].StallCycles;
       Agg.PerSm[S].TotalCycles += Sim.PerSm[S].TotalCycles;
+      Agg.PerSm[S].FetchBusyCycles += Sim.PerSm[S].FetchBusyCycles;
+      Agg.PerSm[S].FetchStallCycles += Sim.PerSm[S].FetchStallCycles;
+      Agg.PerSm[S].OperandStallCycles += Sim.PerSm[S].OperandStallCycles;
+      Agg.PerSm[S].MemStallCycles += Sim.PerSm[S].MemStallCycles;
       Agg.PerSm[S].WarpInstrs += Sim.PerSm[S].WarpInstrs;
       Agg.PerSm[S].Transactions += Sim.PerSm[S].Transactions;
     }
@@ -259,6 +315,7 @@ std::optional<CompileReport> compileSerial(const StreamGraph &G,
   R.Coarsening = Options.Coarsening;
   R.Layout = LayoutKind::Shuffled;
   R.Timing = Options.Timing;
+  R.WarpSched = Options.WarpSched;
   R.KernelSim = std::move(Agg);
   R.Config = std::move(*Config);
   R.GSS = GSS;

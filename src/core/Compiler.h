@@ -37,6 +37,23 @@ namespace sgpu {
 /// Execution strategies compared in the paper's Figures 10 and 11.
 enum class Strategy : uint8_t { Swp, SwpNoCoalesce, Serial };
 
+/// Which timing model drives the Fig. 6 profile sweep and Alg. 7
+/// configuration selection (`--config-select`). Kernel invocations are
+/// always timed by CompileOptions::Timing; this only decouples the model
+/// the CONFIG SEARCH trusts, for graphs where the analytic error band is
+/// wide (peek-heavy sliding windows):
+///
+///   auto      follow CompileOptions::Timing (the historical behaviour);
+///   analytic  select configs from the closed-form model, fast;
+///   cycle     select configs from the staged-pipeline cycle simulator.
+enum class ConfigSelectMode : uint8_t { Auto, Analytic, Cycle };
+
+/// Canonical option spelling: "auto" / "analytic" / "cycle".
+const char *configSelectModeName(ConfigSelectMode M);
+
+/// Inverse of configSelectModeName; nullopt for unknown names.
+std::optional<ConfigSelectMode> parseConfigSelectMode(std::string_view Name);
+
 /// Compilation knobs.
 struct CompileOptions {
   GpuArch Arch = GpuArch::geForce8800GTS512();
@@ -50,8 +67,14 @@ struct CompileOptions {
   int SerialThreads = 256;
   /// The timing model costing the profile sweep and the kernel
   /// invocations: the closed-form analytic model (the historical
-  /// default) or the event-driven warp-level cycle simulator.
+  /// default) or the staged-pipeline warp-level cycle simulator.
   TimingModelKind Timing = TimingModelKind::Analytic;
+  /// Warp-scheduler policy of the cycle simulator (`--warp-sched`);
+  /// ignored by the analytic model.
+  WarpSchedPolicy WarpSched = WarpSchedPolicy::RoundRobin;
+  /// Which model the profile sweep / config selection trusts
+  /// (`--config-select`); Auto follows `Timing`.
+  ConfigSelectMode ConfigSelect = ConfigSelectMode::Auto;
 };
 
 /// Everything the benches and tests need about one compiled program.
@@ -60,6 +83,7 @@ struct CompileReport {
   int Coarsening = 1;
   LayoutKind Layout = LayoutKind::Shuffled;
   TimingModelKind Timing = TimingModelKind::Analytic;
+  WarpSchedPolicy WarpSched = WarpSchedPolicy::RoundRobin;
 
   ExecutionConfig Config;
   GpuSteadyState GSS;

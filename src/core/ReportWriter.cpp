@@ -93,12 +93,17 @@ std::string sgpu::reportToJson(const StreamGraph &G,
   W.writeDouble("total_cycles", R.KernelSim.TotalCycles);
   W.writeDouble("fill_cycles", R.KernelSim.FillCycles);
   W.writeDouble("transactions", R.KernelSim.Transactions);
+  W.writeString("warp_sched", warpSchedPolicyName(R.WarpSched));
   W.beginArray("per_sm");
   for (const SmBreakdown &B : R.KernelSim.PerSm) {
     W.beginObject();
     W.writeDouble("busy_cycles", B.BusyCycles);
     W.writeDouble("stall_cycles", B.StallCycles);
     W.writeDouble("total_cycles", B.TotalCycles);
+    W.writeDouble("fetch_busy_cycles", B.FetchBusyCycles);
+    W.writeDouble("fetch_stall_cycles", B.FetchStallCycles);
+    W.writeDouble("operand_stall_cycles", B.OperandStallCycles);
+    W.writeDouble("mem_stall_cycles", B.MemStallCycles);
     W.writeInt("warp_instrs", B.WarpInstrs);
     W.writeInt("transactions", B.Transactions);
     W.endObject();

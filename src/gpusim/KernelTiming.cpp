@@ -16,10 +16,11 @@ double sgpu::instanceTransactions(const InstanceCost &Cost) {
   // lane by the compiler, so it coalesces.
   double SpillTxns = static_cast<double>(Cost.Threads) *
                      static_cast<double>(Cost.SpillAccesses) / 16.0;
-  return ChannelTxns + SpillTxns;
+  return ChannelTxns + SpillTxns + Cost.PeekSerialTxns;
 }
 
-double sgpu::instanceCycles(const GpuArch &Arch, const InstanceCost &Cost) {
+double sgpu::instanceIssueCycles(const GpuArch &Arch,
+                                 const InstanceCost &Cost) {
   assert(Cost.Threads > 0 && "instance with no threads");
   double Warps = std::ceil(static_cast<double>(Cost.Threads) /
                            static_cast<double>(Arch.WarpSize));
@@ -39,13 +40,16 @@ double sgpu::instanceCycles(const GpuArch &Arch, const InstanceCost &Cost) {
   double SWarp = MemInstr * static_cast<double>(Arch.MemLatencyCycles) /
                  Arch.MemoryLevelParallelism;
 
+  double Throughput = Warps * CWarp;
+  double Chain = CWarp + SWarp;
+  return std::max(Throughput, Chain);
+}
+
+double sgpu::instanceCycles(const GpuArch &Arch, const InstanceCost &Cost) {
   // Per-SM memory bandwidth share when all SMs stream concurrently.
   double SmCyclesPerTxn = Arch.ChipCyclesPerTxn * Arch.NumSMs;
   double MemTime = instanceTransactions(Cost) * SmCyclesPerTxn;
-
-  double Throughput = Warps * CWarp;
-  double Chain = CWarp + SWarp;
-  return std::max({Throughput, Chain, MemTime});
+  return std::max(instanceIssueCycles(Arch, Cost), MemTime);
 }
 
 double sgpu::kernelCycles(const GpuArch &Arch, const KernelWork &Work) {

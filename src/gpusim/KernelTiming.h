@@ -46,11 +46,30 @@ struct InstanceCost {
   /// Extra per-thread global traffic due to register spills or local
   /// arrays (already includes both directions).
   int64_t SpillAccesses = 0;
+  /// Peek-serialization surcharge, in transactions for the WHOLE
+  /// instance (not per thread): the excess of the Coalescer's exact
+  /// transaction count for a sliding-window read stream (peek > pop,
+  /// where each thread's window slides into its neighbour's region and
+  /// the half-warp accesses stop lining up) over the TxnsPerAccess-priced
+  /// baseline. Zero for non-peeking filters. Computed by
+  /// core/ExecutionModel from the real buffer addresses.
+  double PeekSerialTxns = 0.0;
 };
 
 /// Cycles for one execution of an instance on one SM with no co-resident
 /// work (the SWP kernel runs its instances back to back on each SM).
+/// Includes the bandwidth-share term — the right notion of time for a
+/// Fig. 6 profile run, where one instance owns an SM and 1/NumSMs of the
+/// bus while every SM streams.
 double instanceCycles(const GpuArch &Arch, const InstanceCost &Cost);
+
+/// Issue-side cycles of one execution: max(W * C_warp, C_warp + S_warp)
+/// WITHOUT the memory-bandwidth term. This is the term to sum serially
+/// per SM inside a kernel invocation — bandwidth is charged once,
+/// chip-wide, by kernelCycles; charging each instance its per-SM
+/// bandwidth share inside the serial sum double-counts it (the FFT
+/// 0.61x underprediction, see EXPERIMENTS.md).
+double instanceIssueCycles(const GpuArch &Arch, const InstanceCost &Cost);
 
 /// Device-memory transactions issued by one execution of the instance
 /// (for the chip-wide bandwidth bound across concurrent SMs).

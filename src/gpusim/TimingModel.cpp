@@ -12,9 +12,10 @@ using namespace sgpu;
 namespace {
 
 /// The closed-form model of KernelTiming.{h,cpp} behind the interface.
-/// Numbers are identical to the historical free-function pipeline: the
-/// per-SM stream cost is the serial sum of instance cycles, the chip is
-/// bounded by max(slowest SM, bandwidth) plus one launch.
+/// The per-SM stream cost is the serial sum of issue-side instance
+/// cycles (instanceIssueCycles — bandwidth deliberately excluded, since
+/// kernelCycles charges the chip-wide transaction stream exactly once);
+/// the chip is bounded by max(slowest SM, bandwidth) plus one launch.
 class AnalyticTimingModel final : public TimingModel {
 public:
   explicit AnalyticTimingModel(const GpuArch &A) : TimingModel(A) {}
@@ -45,7 +46,11 @@ public:
       for (const SmWorkItem &Item : Desc.SmStreams[P]) {
         const SimInstance &Inst = Desc.Instances[Item.Instance];
         double Iter = static_cast<double>(Item.Iterations);
-        SmCycles += instanceCycles(Inst) * Iter;
+        // Issue-side cycles only: summing the full instanceCycles here
+        // would charge each instance its per-SM bandwidth share AND the
+        // chip-wide bandwidth bound below — a double count that showed
+        // up as the FFT 0.61x underprediction of the overall ratio.
+        SmCycles += sgpu::instanceIssueCycles(Arch, Inst.Cost) * Iter;
         SmTxns += instanceTransactions(Inst) * Iter;
       }
       R.PerSm[P].TotalCycles = SmCycles;
@@ -62,13 +67,14 @@ public:
 
 } // namespace
 
-std::unique_ptr<TimingModel> sgpu::createTimingModel(TimingModelKind Kind,
-                                                     const GpuArch &Arch) {
+std::unique_ptr<TimingModel>
+sgpu::createTimingModel(TimingModelKind Kind, const GpuArch &Arch,
+                        WarpSchedPolicy WarpSched) {
   switch (Kind) {
   case TimingModelKind::Analytic:
     return std::make_unique<AnalyticTimingModel>(Arch);
   case TimingModelKind::Cycle:
-    return std::make_unique<CycleTimingModel>(Arch);
+    return std::make_unique<CycleTimingModel>(Arch, WarpSched);
   }
   SGPU_UNREACHABLE("unknown timing model kind");
 }

@@ -29,6 +29,7 @@
 #define SGPU_GPUSIM_TIMINGMODEL_H
 
 #include "gpusim/KernelTiming.h"
+#include "gpusim/cyclesim/WarpScheduler.h"
 #include "layout/BufferLayout.h"
 
 #include <cstdint>
@@ -88,11 +89,25 @@ struct KernelDesc {
   int64_t StageSpan = 0;
 };
 
-/// Per-SM cycle breakdown of one simulated invocation.
+/// Per-SM cycle breakdown of one simulated invocation. The per-stage
+/// fields are populated by the staged pipeline of gpusim/cyclesim
+/// (SmPipeline.{h,cpp}); the analytic model leaves them zero.
 struct SmBreakdown {
-  double BusyCycles = 0.0;  ///< Issue-port occupancy.
+  double BusyCycles = 0.0;  ///< Execute-port occupancy.
   double StallCycles = 0.0; ///< Port idle with work pending (mem stalls).
   double TotalCycles = 0.0; ///< Start of the stream to last drain.
+  /// Fetch-stage latch occupancy: fetch of an op until the operand stage
+  /// accepted it (>= one latch per op).
+  double FetchBusyCycles = 0.0;
+  /// Fetch latch held past its depth because the operand stage was busy —
+  /// back-pressure from downstream structural hazards.
+  double FetchStallCycles = 0.0;
+  /// Operand/scoreboard stage holds: cycles an otherwise fetch-ready op
+  /// waited for outstanding loads (scoreboard full or RAW on a load).
+  double OperandStallCycles = 0.0;
+  /// Writeback/memory latch holds: an executed memory op waiting for the
+  /// memory stage to accept it (DRAM bus saturated).
+  double MemStallCycles = 0.0;
   int64_t WarpInstrs = 0;   ///< Warp instructions issued.
   int64_t Transactions = 0; ///< Device-memory transactions.
 };
@@ -138,9 +153,12 @@ protected:
   GpuArch Arch;
 };
 
-/// Instantiates the model of the given kind for \p Arch.
-std::unique_ptr<TimingModel> createTimingModel(TimingModelKind Kind,
-                                               const GpuArch &Arch);
+/// Instantiates the model of the given kind for \p Arch. \p WarpSched
+/// selects the cycle model's warp-scheduler policy (`--warp-sched`); the
+/// analytic model has no warps to schedule and ignores it.
+std::unique_ptr<TimingModel>
+createTimingModel(TimingModelKind Kind, const GpuArch &Arch,
+                  WarpSchedPolicy WarpSched = WarpSchedPolicy::RoundRobin);
 
 /// "analytic" / "cycle".
 const char *timingModelKindName(TimingModelKind Kind);

@@ -1,263 +1,41 @@
-//===- gpusim/cyclesim/CycleSim.cpp - Event-driven warp simulator ------------===//
+//===- gpusim/cyclesim/CycleSim.cpp - Staged-pipeline warp simulator ---------===//
 
 #include "gpusim/cyclesim/CycleSim.h"
 
+#include "gpusim/cyclesim/SmPipeline.h"
 #include "gpusim/cyclesim/WarpProgram.h"
-#include "support/Check.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <deque>
 #include <vector>
 
 using namespace sgpu;
 
 namespace {
 
-/// One warp's execution state within the current instance.
-struct WarpState {
-  const WarpProgram *Prog = nullptr;
-  size_t PC = 0;
-  int64_t IterationsLeft = 0;
-  double ReadyAt = 0.0;   ///< Earliest next issue.
-  double Completed = 0.0; ///< All issued work drained (loads + stores).
-  std::deque<double> Outstanding; ///< FIFO of load return times.
-
-  bool done() const { return IterationsLeft == 0; }
-  const WarpOp &op() const { return Prog->Ops[PC]; }
-  void advance() {
-    if (++PC == Prog->Ops.size()) {
-      PC = 0;
-      --IterationsLeft;
-    }
-  }
-};
-
-/// One SM: a serial stream of work items, each expanded into concurrent
-/// warps over the single issue port.
-struct SmState {
-  const std::vector<SmWorkItem> *Stream = nullptr;
-  size_t Item = 0;        ///< Next stream entry to start.
-  double StreamClock = 0.0; ///< When the current item started.
-  double PortFree = 0.0;
-  int RRNext = 0; ///< Round-robin scan start.
-  std::vector<WarpState> Warps;
-  SmBreakdown Stats;
-
-  bool warpsDone() const {
-    for (const WarpState &W : Warps)
-      if (!W.done())
-        return false;
-    return true;
-  }
-  double drainTime() const {
-    double T = StreamClock;
-    for (const WarpState &W : Warps)
-      T = std::max(T, W.Completed);
-    return T;
-  }
-};
-
-/// The chip: SMs sharing one FIFO DRAM bus. `BusCyclesPerTxn` is the
-/// service rate seen by the simulated streams — the chip-wide rate for
-/// whole-kernel simulations, scaled by NumSMs for single-SM profile runs
-/// (that SM owns 1/NumSMs of the bandwidth while every SM streams).
-class ChipEngine {
-public:
-  ChipEngine(const GpuArch &Arch, const KernelDesc &Desc,
-             double BusCyclesPerTxn)
-      : Arch(Arch), Desc(Desc), BusCyclesPerTxn(BusCyclesPerTxn),
-        MlpCap(std::max(1, static_cast<int>(Arch.MemoryLevelParallelism))) {
-    Programs.resize(Desc.Instances.size());
-    Sms.resize(Desc.SmStreams.size());
-    for (size_t P = 0; P < Sms.size(); ++P) {
-      Sms[P].Stream = &Desc.SmStreams[P];
-      startNextItem(Sms[P], 0.0);
-    }
-  }
-
-  KernelSimResult run();
-
-private:
-  const GpuArch &Arch;
-  const KernelDesc &Desc;
-  double BusCyclesPerTxn;
-  int MlpCap;
-  double BusFree = 0.0;
-  std::vector<SmState> Sms;
-  /// Warp programs, built lazily once per distinct instance.
-  std::vector<std::vector<WarpProgram>> Programs;
-
-  const std::vector<WarpProgram> &programsFor(int Instance) {
-    std::vector<WarpProgram> &P = Programs[Instance];
-    if (P.empty())
-      P = buildWarpPrograms(Arch, Desc.Instances[Instance]);
-    return P;
-  }
-
-  /// Installs the next stream item's warps; skips empty programs. When
-  /// the stream is exhausted, StreamClock keeps \p Now (the final drain
-  /// time), which is what drainTime() reports once no warps remain.
-  void startNextItem(SmState &Sm, double Now) {
-    Sm.Warps.clear();
-    Sm.RRNext = 0;
-    Sm.StreamClock = Now;
-    Sm.PortFree = Now;
-    while (Sm.Item < Sm.Stream->size()) {
-      const SmWorkItem &Item = (*Sm.Stream)[Sm.Item++];
-      const std::vector<WarpProgram> &Progs = programsFor(Item.Instance);
-      for (const WarpProgram &P : Progs) {
-        if (P.Ops.empty())
-          continue;
-        WarpState W;
-        W.Prog = &P;
-        W.IterationsLeft = Item.Iterations;
-        W.ReadyAt = Now;
-        W.Completed = Now;
-        Sm.Warps.push_back(W);
-      }
-      if (!Sm.Warps.empty())
-        return;
-    }
-  }
-
-  /// Earliest cycle warp \p W could issue its next op.
-  double candidateTime(const SmState &Sm, const WarpState &W) const {
-    const WarpOp &Op = W.op();
-    double T = std::max(W.ReadyAt, Sm.PortFree);
-    switch (Op.K) {
-    case WarpOp::Kind::Load:
-      // Scoreboard full: the oldest load must return and free its slot.
-      if (static_cast<int>(W.Outstanding.size()) >= MlpCap)
-        T = std::max(T, W.Outstanding.front());
-      break;
-    case WarpOp::Kind::Compute:
-      // Consumes every outstanding load; returns are FIFO-monotonic, so
-      // the last one is the latest.
-      if (!W.Outstanding.empty())
-        T = std::max(T, W.Outstanding.back());
-      break;
-    case WarpOp::Kind::Store:
-      break;
-    }
-    return T;
-  }
-
-  void execute(SmState &Sm, WarpState &W, double Start) {
-    const WarpOp Op = W.op();
-    // Port idle time with this instance resident is a memory stall.
-    double Idle = Start - std::max(Sm.PortFree, Sm.StreamClock);
-    if (Idle > 0.0)
-      Sm.Stats.StallCycles += Idle;
-
-    double IssueEnd = Start + Op.IssueCycles;
-    Sm.PortFree = IssueEnd;
-    W.ReadyAt = IssueEnd;
-    W.Completed = std::max(W.Completed, IssueEnd);
-    Sm.Stats.BusyCycles += Op.IssueCycles;
-    Sm.Stats.WarpInstrs += 1;
-
-    switch (Op.K) {
-    case WarpOp::Kind::Load: {
-      if (static_cast<int>(W.Outstanding.size()) >= MlpCap)
-        W.Outstanding.pop_front();
-      double BusStart = std::max(IssueEnd, BusFree);
-      double BusEnd =
-          BusStart + static_cast<double>(Op.Transactions) * BusCyclesPerTxn;
-      BusFree = BusEnd;
-      double Return = BusEnd + static_cast<double>(Arch.MemLatencyCycles);
-      W.Outstanding.push_back(Return);
-      W.Completed = std::max(W.Completed, Return);
-      Sm.Stats.Transactions += Op.Transactions;
-      break;
-    }
-    case WarpOp::Kind::Store: {
-      double BusStart = std::max(IssueEnd, BusFree);
-      double BusEnd =
-          BusStart + static_cast<double>(Op.Transactions) * BusCyclesPerTxn;
-      BusFree = BusEnd;
-      W.Completed = std::max(W.Completed, BusEnd);
-      Sm.Stats.Transactions += Op.Transactions;
-      break;
-    }
-    case WarpOp::Kind::Compute:
-      W.Outstanding.clear();
-      break;
-    }
-    W.advance();
-  }
-};
-
-KernelSimResult ChipEngine::run() {
-  // Greedy discrete-event loop: always issue the globally earliest
-  // possible warp instruction. Ties resolve by SM index, then by each
-  // SM's round-robin order, so the simulation is fully deterministic.
-  for (;;) {
-    SmState *BestSm = nullptr;
-    WarpState *BestWarp = nullptr;
-    int BestWarpIdx = 0;
-    double BestTime = 0.0;
-    for (SmState &Sm : Sms) {
-      if (Sm.Warps.empty())
-        continue;
-      int N = static_cast<int>(Sm.Warps.size());
-      for (int I = 0; I < N; ++I) {
-        int Idx = (Sm.RRNext + I) % N;
-        WarpState &W = Sm.Warps[Idx];
-        if (W.done())
-          continue;
-        double T = candidateTime(Sm, W);
-        if (!BestWarp || T < BestTime) {
-          BestSm = &Sm;
-          BestWarp = &W;
-          BestWarpIdx = Idx;
-          BestTime = T;
-        }
-      }
-    }
-    if (!BestWarp)
-      break;
-    execute(*BestSm, *BestWarp, BestTime);
-    BestSm->RRNext =
-        (BestWarpIdx + 1) % static_cast<int>(BestSm->Warps.size());
-    if (BestSm->warpsDone())
-      startNextItem(*BestSm, BestSm->drainTime());
-  }
-
-  KernelSimResult R;
-  R.PerSm.reserve(Sms.size());
-  double End = 0.0;
-  for (SmState &Sm : Sms) {
-    Sm.Stats.TotalCycles = Sm.drainTime();
-    End = std::max(End, Sm.Stats.TotalCycles);
-    R.Transactions += static_cast<double>(Sm.Stats.Transactions);
-    R.PerSm.push_back(Sm.Stats);
-  }
-  R.TotalCycles = End + static_cast<double>(Arch.KernelLaunchCycles);
-  R.FillCycles = static_cast<double>(Desc.StageSpan) * R.TotalCycles;
-  return R;
-}
-
 /// Single-SM run of one instance repeated \p Iterations times, with the
 /// SM's bandwidth share (every SM streams during a profile run).
 KernelSimResult simulateSingleSm(const GpuArch &Arch,
                                  const SimInstance &Inst,
-                                 int64_t Iterations) {
+                                 int64_t Iterations,
+                                 WarpSchedPolicy Policy) {
   KernelDesc Desc;
   Desc.Instances.push_back(Inst);
   Desc.SmStreams.push_back({SmWorkItem{0, Iterations}});
-  double SmShareCyclesPerTxn =
+  PipelineOptions Opts;
+  Opts.BusCyclesPerTxn =
       Arch.ChipCyclesPerTxn * static_cast<double>(Arch.NumSMs);
-  return ChipEngine(Arch, Desc, SmShareCyclesPerTxn).run();
+  Opts.Policy = Policy;
+  return runChipPipeline(Arch, Desc, Opts);
 }
 
 } // namespace
 
 double CycleTimingModel::instanceCycles(const SimInstance &Inst) const {
-  KernelSimResult R = simulateSingleSm(Arch, Inst, 1);
+  KernelSimResult R = simulateSingleSm(Arch, Inst, 1, WarpSched);
   return R.TotalCycles - static_cast<double>(Arch.KernelLaunchCycles);
 }
 
@@ -279,13 +57,14 @@ double CycleTimingModel::profileRunCycles(const SimInstance &Inst,
   int64_t SimIters = std::min(Iterations, MaxSimulatedProfileIterations);
   double Launch = static_cast<double>(Arch.KernelLaunchCycles);
   double Sim =
-      simulateSingleSm(Arch, Inst, SimIters).TotalCycles - Launch;
+      simulateSingleSm(Arch, Inst, SimIters, WarpSched).TotalCycles - Launch;
   if (SimIters == Iterations)
     return Launch + Sim;
   // Steady marginal cost of one more back-to-back firing; the warmup
   // transient is entirely inside the simulated prefix.
   double Prev =
-      simulateSingleSm(Arch, Inst, SimIters - 1).TotalCycles - Launch;
+      simulateSingleSm(Arch, Inst, SimIters - 1, WarpSched).TotalCycles -
+      Launch;
   double PerIter = std::max(Sim - Prev, 0.0);
   return Launch + Sim +
          static_cast<double>(Iterations - SimIters) * PerIter;
@@ -294,16 +73,21 @@ double CycleTimingModel::profileRunCycles(const SimInstance &Inst,
 KernelSimResult
 CycleTimingModel::simulateKernel(const KernelDesc &Desc) const {
   TraceSpan Span("cyclesim.kernel", "gpusim");
-  KernelSimResult R = ChipEngine(Arch, Desc, Arch.ChipCyclesPerTxn).run();
+  PipelineOptions Opts;
+  Opts.BusCyclesPerTxn = Arch.ChipCyclesPerTxn;
+  Opts.Policy = WarpSched;
+  KernelSimResult R = runChipPipeline(Arch, Desc, Opts);
 
   int64_t Instances = 0;
   for (const std::vector<SmWorkItem> &S : Desc.SmStreams)
     Instances += static_cast<int64_t>(S.size());
   int64_t WarpInstrs = 0;
   double Stalls = 0.0;
+  double FetchStalls = 0.0;
   for (const SmBreakdown &B : R.PerSm) {
     WarpInstrs += B.WarpInstrs;
     Stalls += B.StallCycles;
+    FetchStalls += B.FetchStallCycles;
   }
   metricCounter("cyclesim.kernels").add(1);
   metricCounter("cyclesim.instances").add(Instances);
@@ -312,9 +96,12 @@ CycleTimingModel::simulateKernel(const KernelDesc &Desc) const {
       .add(static_cast<int64_t>(R.Transactions));
   metricCounter("cyclesim.stall_cycles")
       .add(static_cast<int64_t>(std::llround(Stalls)));
+  metricCounter("cyclesim.fetch_stall_cycles")
+      .add(static_cast<int64_t>(std::llround(FetchStalls)));
   Span.argNum("total_cycles", R.TotalCycles);
   Span.argNum("fill_cycles", R.FillCycles);
   Span.argInt("warp_instrs", WarpInstrs);
   Span.argInt("transactions", static_cast<int64_t>(R.Transactions));
+  Span.argStr("warp_sched", warpSchedPolicyName(WarpSched));
   return R;
 }

@@ -1,4 +1,4 @@
-//===- gpusim/cyclesim/CycleSim.h - Event-driven warp simulator -*- C++ -*-===//
+//===- gpusim/cyclesim/CycleSim.h - Staged-pipeline warp simulator -*- C++ -*-===//
 //
 // Part of the streamit-gpu-swp project, reproducing "Software Pipelined
 // Execution of Stream Programs on GPUs" (CGO 2009).
@@ -6,22 +6,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A cycle-approximate, event-driven simulator of one kernel invocation
-/// on the GeForce-8800-class chip of GpuArch: per-SM round-robin warp
-/// schedulers over a single issue port, a scoreboard capping outstanding
-/// loads per warp at MemoryLevelParallelism, a memory stage whose
-/// transaction counts come from the actual buffer addresses (Coalescer),
-/// and one chip-wide FIFO DRAM bus of finite bandwidth shared by every
-/// SM. Instances of an SM's stream run back to back (the SWP kernel's
-/// structure); the SWP prologue/epilogue drain is surfaced per II as
-/// KernelSimResult::FillCycles.
+/// The cycle-approximate TimingModel backed by the staged SM pipeline of
+/// SmPipeline.{h,cpp}: per SM, fetch -> operand/scoreboard -> execute ->
+/// writeback stages joined by capacity-one latches, a pluggable warp
+/// scheduler (round-robin or greedy-then-oldest, `--warp-sched`) feeding
+/// fetch, a scoreboard capping outstanding loads per warp at
+/// MemoryLevelParallelism, memory transaction counts from the actual
+/// buffer addresses (Coalescer), and one chip-wide FIFO DRAM bus of
+/// finite bandwidth shared by every SM. Instances of an SM's stream run
+/// back to back (the SWP kernel's structure); the SWP prologue/epilogue
+/// drain is surfaced per II as KernelSimResult::FillCycles.
 ///
 /// The paper's headline mechanisms *emerge* here instead of being
-/// asserted by formula: SMT latency hiding saturates once the issue port
-/// is busy, uncoalesced access collapses against the bus, and launch
-/// overhead is amortized by coarsening. Everything is a pure function of
-/// the inputs — bit-deterministic run to run and across `--jobs` worker
-/// counts (asserted by tests/cyclesim_test.cpp).
+/// asserted by formula: SMT latency hiding saturates once the execute
+/// port is busy, uncoalesced access collapses against the bus and
+/// back-pressures through the latches into fetch, and launch overhead is
+/// amortized by coarsening. Everything is a pure function of the inputs
+/// — bit-deterministic run to run and across `--jobs` worker counts
+/// (asserted by tests/cyclesim_test.cpp).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,16 +31,22 @@
 #define SGPU_GPUSIM_CYCLESIM_CYCLESIM_H
 
 #include "gpusim/TimingModel.h"
+#include "gpusim/cyclesim/WarpScheduler.h"
 
 namespace sgpu {
 
-/// The event-driven implementation of the TimingModel interface.
+/// The staged-pipeline implementation of the TimingModel interface.
 class CycleTimingModel final : public TimingModel {
 public:
-  explicit CycleTimingModel(const GpuArch &A) : TimingModel(A) {}
+  explicit CycleTimingModel(
+      const GpuArch &A,
+      WarpSchedPolicy WarpSched = WarpSchedPolicy::RoundRobin)
+      : TimingModel(A), WarpSched(WarpSched) {}
 
   const char *name() const override { return "cycle"; }
   TimingModelKind kind() const override { return TimingModelKind::Cycle; }
+
+  WarpSchedPolicy warpSchedPolicy() const { return WarpSched; }
 
   double instanceCycles(const SimInstance &Inst) const override;
   double instanceTransactions(const SimInstance &Inst) const override;
@@ -52,6 +60,9 @@ public:
   /// is constant after the pipeline warms up (see DESIGN.md
   /// "Cycle-approximate timing").
   static constexpr int64_t MaxSimulatedProfileIterations = 4;
+
+private:
+  WarpSchedPolicy WarpSched;
 };
 
 } // namespace sgpu

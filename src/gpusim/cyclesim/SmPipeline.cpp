@@ -1,0 +1,324 @@
+//===- gpusim/cyclesim/SmPipeline.cpp - Staged SM pipeline engine ------------===//
+
+#include "gpusim/cyclesim/SmPipeline.h"
+
+#include "support/Check.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+using namespace sgpu;
+
+namespace {
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+
+/// One warp's execution state within the current work item.
+struct WarpState {
+  const WarpProgram *Prog = nullptr;
+  size_t PC = 0;
+  int64_t IterationsLeft = 0;
+  double ReadyAt = 0.0;   ///< Earliest next fetch (in-order per warp).
+  double Completed = 0.0; ///< All issued work drained (loads + stores).
+  std::deque<double> Outstanding; ///< FIFO of load return times.
+
+  bool done() const { return IterationsLeft == 0; }
+  const WarpOp &op() const { return Prog->Ops[PC]; }
+  void advance() {
+    if (++PC == Prog->Ops.size()) {
+      PC = 0;
+      --IterationsLeft;
+    }
+  }
+};
+
+/// One stream entry with its warp programs already resolved.
+struct ResolvedItem {
+  const std::vector<WarpProgram> *Progs = nullptr;
+  int64_t Iterations = 1;
+};
+
+/// One SM: the four stage latches as free-times on the cycle axis, a
+/// warp scheduler feeding fetch, and a serial stream of work items each
+/// expanded into concurrent warps.
+struct SmState {
+  std::vector<ResolvedItem> Stream;
+  size_t Item = 0;          ///< Next stream entry to start.
+  double StreamClock = 0.0; ///< When the current item started.
+  double FetchFree = 0.0;   ///< Fetch latch free (next fetch may start).
+  double OperandFree = 0.0; ///< Operand latch free.
+  double PortFree = 0.0;    ///< Execute port free.
+  double MemFree = 0.0;     ///< Writeback/memory latch free.
+  WarpScheduler Sched;
+  std::vector<WarpState> Warps;
+  std::vector<double> Cands; ///< Per-warp candidate times (scratch).
+  SmBreakdown Stats;
+
+  bool warpsDone() const {
+    for (const WarpState &W : Warps)
+      if (!W.done())
+        return false;
+    return true;
+  }
+  double drainTime() const {
+    double T = StreamClock;
+    for (const WarpState &W : Warps)
+      T = std::max(T, W.Completed);
+    return T;
+  }
+};
+
+/// The chip: SMs sharing one FIFO DRAM bus.
+class ChipPipeline {
+public:
+  ChipPipeline(const GpuArch &Arch, const PipelineOptions &Opts,
+               size_t NumSms)
+      : Arch(Arch), Opts(Opts),
+        MlpCap(std::max(1, static_cast<int>(Arch.MemoryLevelParallelism))) {
+    Sms.resize(NumSms);
+    for (SmState &Sm : Sms)
+      Sm.Sched = WarpScheduler(Opts.Policy);
+  }
+
+  std::vector<ResolvedItem> &stream(size_t Sm) { return Sms[Sm].Stream; }
+
+  /// Runs every SM stream to completion. TotalCycles of the result is
+  /// the chip-wide drain time, with NO launch overhead and FillCycles
+  /// unset — the callers layer those on.
+  KernelSimResult run();
+
+private:
+  const GpuArch &Arch;
+  PipelineOptions Opts;
+  int MlpCap;
+  double BusFree = 0.0;
+  std::vector<SmState> Sms;
+
+  void startNextItem(SmState &Sm, double Now);
+  double candidateTime(const SmState &Sm, const WarpState &W) const;
+  void issue(SmState &Sm, WarpState &W, double FetchStart);
+};
+
+/// Installs the next stream item's warps; skips empty programs. When the
+/// stream is exhausted, StreamClock keeps \p Now (the final drain time),
+/// which is what drainTime() reports once no warps remain.
+void ChipPipeline::startNextItem(SmState &Sm, double Now) {
+  Sm.Warps.clear();
+  Sm.Sched.reset();
+  Sm.StreamClock = Now;
+  Sm.FetchFree = Now;
+  Sm.OperandFree = Now;
+  Sm.PortFree = Now;
+  Sm.MemFree = Now;
+  while (Sm.Item < Sm.Stream.size()) {
+    const ResolvedItem &Item = Sm.Stream[Sm.Item++];
+    for (const WarpProgram &P : *Item.Progs) {
+      if (P.Ops.empty())
+        continue;
+      WarpState W;
+      W.Prog = &P;
+      W.IterationsLeft = Item.Iterations;
+      W.ReadyAt = Now;
+      W.Completed = Now;
+      Sm.Warps.push_back(W);
+    }
+    if (!Sm.Warps.empty())
+      return;
+  }
+}
+
+/// Earliest cycle warp \p W's next op could enter the fetch latch. The
+/// warp is in-order (fetch waits for its previous op to leave execute)
+/// and the operand scoreboard holds are folded in here so the scheduler
+/// never picks a warp that would only sit in the operand latch.
+double ChipPipeline::candidateTime(const SmState &Sm,
+                                   const WarpState &W) const {
+  const WarpOp &Op = W.op();
+  double T = std::max(W.ReadyAt, Sm.FetchFree);
+  switch (Op.K) {
+  case WarpOp::Kind::Load:
+    // Scoreboard full: the oldest load must return and free its slot.
+    if (static_cast<int>(W.Outstanding.size()) >= MlpCap)
+      T = std::max(T, W.Outstanding.front());
+    break;
+  case WarpOp::Kind::Compute:
+    // Consumes every outstanding load; returns are FIFO-monotonic, so
+    // the last one is the latest.
+    if (!W.Outstanding.empty())
+      T = std::max(T, W.Outstanding.back());
+    break;
+  case WarpOp::Kind::Store:
+    break;
+  }
+  return T;
+}
+
+/// Advances one instruction of warp \p W through the four stages,
+/// starting its fetch at \p FetchStart (the candidate time the scheduler
+/// selected). Each stage holds its latch until the next stage accepts,
+/// so downstream congestion back-pressures here automatically.
+void ChipPipeline::issue(SmState &Sm, WarpState &W, double FetchStart) {
+  const WarpOp Op = W.op();
+
+  // Scoreboard holds beyond plain fetch availability are operand-stage
+  // waits (the warp sat on a load dependence, not on a latch).
+  double FetchReady = std::max(W.ReadyAt, Sm.FetchFree);
+  Sm.Stats.OperandStallCycles += FetchStart - FetchReady;
+
+  // Fetch: one latch, then hand to the operand stage once it frees.
+  double FetchDone = FetchStart + PipelineLatchCycles;
+  double OperandStart = std::max(FetchDone, Sm.OperandFree);
+  Sm.Stats.FetchBusyCycles += OperandStart - FetchStart;
+  Sm.Stats.FetchStallCycles += OperandStart - FetchDone;
+  Sm.FetchFree = OperandStart;
+
+  // Operand/scoreboard: one latch, then wait for the execute port. The
+  // operand latch stays occupied until execute accepts the op.
+  double OperandDone = OperandStart + PipelineLatchCycles;
+  double ExecStart = std::max(OperandDone, Sm.PortFree);
+  Sm.OperandFree = ExecStart;
+
+  // Execute-port idle time with this item resident is a memory stall.
+  double Idle = ExecStart - std::max(Sm.PortFree, Sm.StreamClock);
+  if (Idle > 0.0)
+    Sm.Stats.StallCycles += Idle;
+
+  double ExecEnd = ExecStart + Op.IssueCycles;
+  Sm.Stats.BusyCycles += Op.IssueCycles;
+  Sm.Stats.WarpInstrs += 1;
+  W.ReadyAt = ExecEnd;
+  W.Completed = std::max(W.Completed, ExecEnd);
+
+  switch (Op.K) {
+  case WarpOp::Kind::Load: {
+    if (static_cast<int>(W.Outstanding.size()) >= MlpCap)
+      W.Outstanding.pop_front();
+    // Writeback: the executed load occupies the memory latch until the
+    // DRAM bus accepts its request; a saturated bus therefore keeps the
+    // execute port busy (PortFree = MemStart), which is the structural
+    // hazard the latch tests pin down.
+    double MemStart = std::max(ExecEnd, Sm.MemFree);
+    Sm.Stats.MemStallCycles += MemStart - ExecEnd;
+    Sm.PortFree = MemStart;
+    double BusStart = std::max(MemStart, BusFree);
+    double BusEnd = BusStart + static_cast<double>(Op.Transactions) *
+                                   Opts.BusCyclesPerTxn;
+    BusFree = BusEnd;
+    Sm.MemFree = BusStart;
+    double Return = BusEnd + static_cast<double>(Arch.MemLatencyCycles);
+    W.Outstanding.push_back(Return);
+    W.Completed = std::max(W.Completed, Return);
+    Sm.Stats.Transactions += Op.Transactions;
+    break;
+  }
+  case WarpOp::Kind::Store: {
+    double MemStart = std::max(ExecEnd, Sm.MemFree);
+    Sm.Stats.MemStallCycles += MemStart - ExecEnd;
+    Sm.PortFree = MemStart;
+    double BusStart = std::max(MemStart, BusFree);
+    double BusEnd = BusStart + static_cast<double>(Op.Transactions) *
+                                   Opts.BusCyclesPerTxn;
+    BusFree = BusEnd;
+    Sm.MemFree = BusStart;
+    W.Completed = std::max(W.Completed, BusEnd);
+    Sm.Stats.Transactions += Op.Transactions;
+    break;
+  }
+  case WarpOp::Kind::Compute:
+    Sm.PortFree = ExecEnd;
+    W.Outstanding.clear();
+    break;
+  }
+  W.advance();
+}
+
+KernelSimResult ChipPipeline::run() {
+  for (SmState &Sm : Sms)
+    startNextItem(Sm, 0.0);
+
+  // Greedy discrete-event loop: always issue the globally earliest
+  // fetchable warp instruction. Each SM's WarpScheduler breaks ties
+  // among its own equally-early warps; cross-SM ties resolve by SM
+  // index, so the simulation is fully deterministic.
+  for (;;) {
+    SmState *BestSm = nullptr;
+    int BestWarp = -1;
+    double BestTime = Inf;
+    for (SmState &Sm : Sms) {
+      if (Sm.Warps.empty())
+        continue;
+      size_t N = Sm.Warps.size();
+      Sm.Cands.resize(N);
+      for (size_t I = 0; I < N; ++I) {
+        const WarpState &W = Sm.Warps[I];
+        Sm.Cands[I] = W.done() ? Inf : candidateTime(Sm, W);
+      }
+      int Pick = Sm.Sched.pick(Sm.Cands);
+      if (Pick < 0)
+        SGPU_UNREACHABLE("SM with live warps has no candidate");
+      if (!BestSm || Sm.Cands[Pick] < BestTime) {
+        BestSm = &Sm;
+        BestWarp = Pick;
+        BestTime = Sm.Cands[Pick];
+      }
+    }
+    if (!BestSm)
+      break;
+    issue(*BestSm, BestSm->Warps[BestWarp], BestTime);
+    BestSm->Sched.issued(BestWarp, static_cast<int>(BestSm->Warps.size()));
+    if (BestSm->warpsDone())
+      startNextItem(*BestSm, BestSm->drainTime());
+  }
+
+  KernelSimResult R;
+  R.PerSm.reserve(Sms.size());
+  double End = 0.0;
+  for (SmState &Sm : Sms) {
+    Sm.Stats.TotalCycles = Sm.drainTime();
+    End = std::max(End, Sm.Stats.TotalCycles);
+    R.Transactions += static_cast<double>(Sm.Stats.Transactions);
+    R.PerSm.push_back(Sm.Stats);
+  }
+  R.TotalCycles = End;
+  return R;
+}
+
+} // namespace
+
+KernelSimResult sgpu::runChipPipeline(const GpuArch &Arch,
+                                      const KernelDesc &Desc,
+                                      const PipelineOptions &Opts) {
+  // Resolve every referenced instance's warp programs once up front.
+  std::vector<std::vector<WarpProgram>> Programs(Desc.Instances.size());
+  std::vector<char> Built(Desc.Instances.size(), 0);
+  ChipPipeline Chip(Arch, Opts, Desc.SmStreams.size());
+  for (size_t S = 0; S < Desc.SmStreams.size(); ++S) {
+    std::vector<ResolvedItem> &Stream = Chip.stream(S);
+    Stream.reserve(Desc.SmStreams[S].size());
+    for (const SmWorkItem &Item : Desc.SmStreams[S]) {
+      if (!Built[Item.Instance]) {
+        Programs[Item.Instance] =
+            buildWarpPrograms(Arch, Desc.Instances[Item.Instance]);
+        Built[Item.Instance] = 1;
+      }
+      Stream.push_back({&Programs[Item.Instance], Item.Iterations});
+    }
+  }
+  KernelSimResult Out = Chip.run();
+  Out.TotalCycles += static_cast<double>(Arch.KernelLaunchCycles);
+  Out.FillCycles = static_cast<double>(Desc.StageSpan) * Out.TotalCycles;
+  return Out;
+}
+
+SmBreakdown sgpu::simulateSmPipeline(const GpuArch &Arch,
+                                     const std::vector<WarpProgram> &Warps,
+                                     int64_t Iterations,
+                                     const PipelineOptions &Opts) {
+  ChipPipeline Chip(Arch, Opts, 1);
+  Chip.stream(0).push_back({&Warps, Iterations});
+  KernelSimResult R = Chip.run();
+  assert(R.PerSm.size() == 1 && "single-SM run produced no breakdown");
+  return R.PerSm[0];
+}

@@ -1,0 +1,78 @@
+//===- gpusim/cyclesim/SmPipeline.h - Staged SM pipeline engine -*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The staged SM pipeline at the heart of the cycle-approximate timing
+/// model (Cyclesim v2). Each SM models four stages joined by capacity-one
+/// latches:
+///
+///   fetch -> operand/scoreboard -> execute -> writeback/memory
+///
+/// A warp instruction occupies the fetch latch for PipelineLatchCycles,
+/// then advances one latch per stage. A stage that cannot drain — the
+/// execute port busy, or a memory op waiting for the chip-wide DRAM bus —
+/// holds its latch, and the hold back-pressures upstream: a saturated bus
+/// keeps the memory latch full, which keeps the execute port occupied,
+/// which stalls the operand latch, which freezes fetch within the latch
+/// depth (asserted by tests/cyclesim_pipeline_test.cpp). Which resident
+/// warp fetches next is a pluggable WarpScheduler policy.
+///
+/// The engine is event-driven, not clocked: every latch is a free-time on
+/// the continuous cycle axis and each instruction's traversal is computed
+/// as a max-cascade over them, so whole SWP kernels (millions of cycles)
+/// simulate in milliseconds while latch occupancy, back-pressure and the
+/// per-stage stall attribution of SmBreakdown remain exact. Everything is
+/// a pure function of the inputs — bit-deterministic run to run and
+/// across `--jobs` worker counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_GPUSIM_CYCLESIM_SMPIPELINE_H
+#define SGPU_GPUSIM_CYCLESIM_SMPIPELINE_H
+
+#include "gpusim/TimingModel.h"
+#include "gpusim/cyclesim/WarpProgram.h"
+#include "gpusim/cyclesim/WarpScheduler.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sgpu {
+
+/// Depth of one pipeline latch, in cycles. Fetch and operand each hold an
+/// instruction for (at least) one latch before handing it downstream.
+constexpr double PipelineLatchCycles = 1.0;
+
+/// Knobs of one pipeline simulation.
+struct PipelineOptions {
+  /// DRAM bus service rate seen by the simulated streams: the chip-wide
+  /// rate (GpuArch::ChipCyclesPerTxn) for whole-kernel runs, scaled by
+  /// NumSMs for single-SM profile runs (that SM owns 1/NumSMs of the
+  /// bandwidth while every SM streams).
+  double BusCyclesPerTxn = 0.0;
+  /// Warp-selection policy of every SM's fetch stage (`--warp-sched`).
+  WarpSchedPolicy Policy = WarpSchedPolicy::RoundRobin;
+};
+
+/// Simulates one whole kernel invocation over \p Desc's per-SM streams.
+/// TotalCycles includes the kernel launch overhead; FillCycles is the
+/// SWP prologue/epilogue drain (StageSpan invocations' worth).
+KernelSimResult runChipPipeline(const GpuArch &Arch, const KernelDesc &Desc,
+                                const PipelineOptions &Opts);
+
+/// Runs hand-built warp programs back to back \p Iterations times on one
+/// otherwise idle SM — the unit-test entry point for latch/back-pressure
+/// behaviour. TotalCycles of the returned breakdown is the drain time of
+/// the stream (no launch overhead).
+SmBreakdown simulateSmPipeline(const GpuArch &Arch,
+                               const std::vector<WarpProgram> &Warps,
+                               int64_t Iterations,
+                               const PipelineOptions &Opts);
+
+} // namespace sgpu
+
+#endif // SGPU_GPUSIM_CYCLESIM_SMPIPELINE_H

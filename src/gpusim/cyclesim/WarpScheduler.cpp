@@ -1,0 +1,59 @@
+//===- gpusim/cyclesim/WarpScheduler.cpp - Warp selection policies -----------===//
+
+#include "gpusim/cyclesim/WarpScheduler.h"
+
+#include "support/Check.h"
+
+#include <limits>
+
+using namespace sgpu;
+
+const char *sgpu::warpSchedPolicyName(WarpSchedPolicy P) {
+  switch (P) {
+  case WarpSchedPolicy::RoundRobin:
+    return "rr";
+  case WarpSchedPolicy::GreedyThenOldest:
+    return "gto";
+  }
+  SGPU_UNREACHABLE("unknown warp scheduler policy");
+}
+
+std::optional<WarpSchedPolicy>
+sgpu::parseWarpSchedPolicy(std::string_view Name) {
+  if (Name == "rr" || Name == "round-robin")
+    return WarpSchedPolicy::RoundRobin;
+  if (Name == "gto" || Name == "greedy-then-oldest")
+    return WarpSchedPolicy::GreedyThenOldest;
+  return std::nullopt;
+}
+
+int WarpScheduler::pick(const std::vector<double> &CandidateTimes) const {
+  int N = static_cast<int>(CandidateTimes.size());
+  double MinTime = std::numeric_limits<double>::infinity();
+  for (double T : CandidateTimes)
+    MinTime = T < MinTime ? T : MinTime;
+  if (MinTime == std::numeric_limits<double>::infinity())
+    return -1;
+
+  switch (Policy) {
+  case WarpSchedPolicy::RoundRobin:
+    // First warp at the minimum, scanning from one past the last issue.
+    for (int I = 0; I < N; ++I) {
+      int Idx = (RRNext + I) % N;
+      if (CandidateTimes[Idx] == MinTime)
+        return Idx;
+    }
+    break;
+  case WarpSchedPolicy::GreedyThenOldest:
+    // Stick with the last warp while it stays among the earliest-ready;
+    // once it stalls (or retires), fall back to the oldest ready warp.
+    // Warps of one work item all start together, so age is index order.
+    if (Last >= 0 && Last < N && CandidateTimes[Last] == MinTime)
+      return Last;
+    for (int Idx = 0; Idx < N; ++Idx)
+      if (CandidateTimes[Idx] == MinTime)
+        return Idx;
+    break;
+  }
+  SGPU_UNREACHABLE("minimum candidate not found");
+}

@@ -1,0 +1,84 @@
+//===- gpusim/cyclesim/WarpScheduler.h - Warp selection policies -*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pluggable warp-selection policy of the staged SM pipeline
+/// (SmPipeline.{h,cpp}). Each SM owns one WarpScheduler; every time the
+/// fetch stage has a free slot the engine asks it which resident warp to
+/// fetch from, given the earliest cycle each warp could issue.
+///
+///   rr   round-robin: rotate through the warps, starting one past the
+///        last warp issued (the G80's fair scheduler and the historical
+///        behaviour of the event engine);
+///   gto  greedy-then-oldest: keep issuing from the last warp as long as
+///        it is among the earliest-ready, otherwise fall back to the
+///        oldest (lowest-index) ready warp — the classic GTO policy of
+///        the sim literature, which trades fairness for locality.
+///
+/// Policies only break ties between equally-ready warps, so both are
+/// work-conserving and bit-deterministic: selection is a pure function
+/// of the candidate times and the scheduler's own issue history.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_GPUSIM_CYCLESIM_WARPSCHEDULER_H
+#define SGPU_GPUSIM_CYCLESIM_WARPSCHEDULER_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace sgpu {
+
+/// Which warp the staged pipeline fetches next (`--warp-sched`).
+enum class WarpSchedPolicy : uint8_t { RoundRobin, GreedyThenOldest };
+
+/// Canonical option spelling: "rr" / "gto".
+const char *warpSchedPolicyName(WarpSchedPolicy P);
+
+/// Inverse of warpSchedPolicyName, also accepting the long spellings
+/// "round-robin" and "greedy-then-oldest"; nullopt for unknown names.
+std::optional<WarpSchedPolicy> parseWarpSchedPolicy(std::string_view Name);
+
+/// Per-SM warp-selection state. `pick` chooses among the warps whose
+/// candidate time equals the minimum (the engine never skips ahead of a
+/// strictly earlier warp — policies are tie-breakers, not reorderers).
+class WarpScheduler {
+public:
+  explicit WarpScheduler(WarpSchedPolicy P = WarpSchedPolicy::RoundRobin)
+      : Policy(P) {}
+
+  WarpSchedPolicy policy() const { return Policy; }
+
+  /// Forgets the issue history (a new work item installs new warps).
+  void reset() {
+    RRNext = 0;
+    Last = -1;
+  }
+
+  /// Picks the warp to fetch next. \p CandidateTimes holds, per resident
+  /// warp, the earliest cycle its next op could start fetching — or
+  /// +infinity for warps that have retired. Returns -1 when every warp
+  /// has retired.
+  int pick(const std::vector<double> &CandidateTimes) const;
+
+  /// Records that \p WarpIdx (of \p NumWarps resident) was issued.
+  void issued(int WarpIdx, int NumWarps) {
+    RRNext = (WarpIdx + 1) % NumWarps;
+    Last = WarpIdx;
+  }
+
+private:
+  WarpSchedPolicy Policy;
+  int RRNext = 0; ///< Round-robin scan start.
+  int Last = -1;  ///< Last warp issued (GTO greediness).
+};
+
+} // namespace sgpu
+
+#endif // SGPU_GPUSIM_CYCLESIM_WARPSCHEDULER_H

@@ -114,6 +114,8 @@ std::string canonicalizeOptions(const CompileOptions &O) {
   Out += "options\n";
   appendf(Out, "strategy=%s\n", strategyOptionName(O.Strat));
   appendf(Out, "timing=%s\n", timingModelKindName(O.Timing));
+  appendf(Out, "warp_sched=%s\n", warpSchedPolicyName(O.WarpSched));
+  appendf(Out, "config_select=%s\n", configSelectModeName(O.ConfigSelect));
   appendf(Out, "coarsening=%d\n", O.Coarsening);
   appendf(Out, "serial_threads=%d\n", O.SerialThreads);
 

@@ -45,7 +45,8 @@ namespace service {
 
 /// Version of the canonical form below. Bump whenever canonicalization
 /// output changes; old cache entries then miss by key and are replaced.
-constexpr int kCanonicalFormVersion = 1;
+/// v2: warp_sched= and config_select= joined the canonical options.
+constexpr int kCanonicalFormVersion = 2;
 
 /// Renders \p G in the canonical name-free text form described above.
 std::string canonicalizeGraph(const StreamGraph &G);

@@ -364,7 +364,7 @@ void checkCrossVariant(Ctx &C, const std::vector<SwpVariant> &Variants) {
 
 void checkCoarseningTiming(Ctx &C, const StreamGraph &G,
                            const SwpVariant &V) {
-  auto Model = createTimingModel(C.O.Timing, C.O.Arch);
+  auto Model = createTimingModel(C.O.Timing, C.O.Arch, C.O.WarpSched);
   KernelDesc K1 =
       buildSwpKernelDesc(C.O.Arch, G, V.Config, V.Schedule, V.Layout, 1);
   KernelDesc Kk = buildSwpKernelDesc(C.O.Arch, G, V.Config, V.Schedule,
@@ -430,7 +430,8 @@ void checkCoarseningFunctional(Ctx &C, const StreamGraph &G,
 
 void checkTimingOrdering(Ctx &C, const StreamGraph &G, const SwpVariant &V) {
   auto Analytic = createTimingModel(TimingModelKind::Analytic, C.O.Arch);
-  auto Cycle = createTimingModel(TimingModelKind::Cycle, C.O.Arch);
+  auto Cycle =
+      createTimingModel(TimingModelKind::Cycle, C.O.Arch, C.O.WarpSched);
 
   KernelDesc Shuf = buildSwpKernelDesc(C.O.Arch, G, V.Config, V.Schedule,
                                        LayoutKind::Shuffled, 1);

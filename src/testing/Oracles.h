@@ -87,6 +87,8 @@ struct OracleOptions {
   bool RunTimingOrdering = true;
   /// Timing model the kernel-level checks run against.
   TimingModelKind Timing = TimingModelKind::Analytic;
+  /// Warp-scheduler policy for every cycle model the oracles build.
+  WarpSchedPolicy WarpSched = WarpSchedPolicy::RoundRobin;
   /// Skip functional execution when one GPU iteration covers more base
   /// firings than this (keeps degenerate steady states bounded).
   int64_t MaxFunctionalBaseFirings = 40000;

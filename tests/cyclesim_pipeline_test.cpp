@@ -1,0 +1,236 @@
+//===- tests/cyclesim_pipeline_test.cpp - Staged SM pipeline tests -----------===//
+//
+// Unit coverage for the staged-pipeline engine (Cyclesim v2) and its
+// feedback into the analytic model:
+//
+//   - latch back-pressure: a writeback stalled on the saturated DRAM
+//     bus must freeze fetch within the latch depth;
+//   - warp-scheduler policies: selectable, deterministic across worker
+//     counts, and round-trippable through their option spellings;
+//   - timing fidelity: the analytic model (with its peek-serialization
+//     term) lands within 2x of the cycle simulator on the two
+//     peek-heavy Table I graphs, and agrees exactly with it on FFT's
+//     transaction count (the 0.61x regression was a bandwidth double
+//     count, not a coalescing error).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Registry.h"
+#include "core/Compiler.h"
+#include "gpusim/cyclesim/SmPipeline.h"
+#include "gpusim/cyclesim/WarpScheduler.h"
+
+#include <gtest/gtest.h>
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+const GpuArch Arch = GpuArch::geForce8800GTS512();
+
+/// Eight one-store warps; \p Txns per store. With heavy stores the bus
+/// saturates and each writeback holds the memory latch.
+std::vector<WarpProgram> storeWarps(int64_t Txns) {
+  std::vector<WarpProgram> Warps(8);
+  for (WarpProgram &P : Warps)
+    P.Ops.push_back({WarpOp::Kind::Store, 4.0, Txns});
+  return Warps;
+}
+
+PipelineOptions singleSmOptions(WarpSchedPolicy Policy) {
+  PipelineOptions Opts;
+  Opts.BusCyclesPerTxn =
+      Arch.ChipCyclesPerTxn * static_cast<double>(Arch.NumSMs);
+  Opts.Policy = Policy;
+  return Opts;
+}
+
+CompileOptions fastOptions(Strategy S, TimingModelKind Timing) {
+  CompileOptions O;
+  O.Strat = S;
+  O.Timing = Timing;
+  O.Coarsening = 8;
+  // The heuristic scheduler orders and places exactly as deterministically
+  // as the ILP at a fraction of this suite's runtime.
+  O.Sched.UseIlp = false;
+  return O;
+}
+
+} // namespace
+
+TEST(SmPipeline, LatchBackPressureFreezesFetch) {
+  // 100-transaction stores saturate the bus: once the first writebacks
+  // occupy the memory latch, the execute port, operand latch and fetch
+  // latch fill behind it, so fetch freezes within the latch depth and
+  // the wait shows up as fetch-stall cycles. The same instruction mix
+  // with zero-transaction stores never touches the bus and must show
+  // (almost) none.
+  PipelineOptions Opts = singleSmOptions(WarpSchedPolicy::RoundRobin);
+  SmBreakdown Heavy = simulateSmPipeline(Arch, storeWarps(100), 1, Opts);
+  SmBreakdown Idle = simulateSmPipeline(Arch, storeWarps(0), 1, Opts);
+
+  // Same instruction count either way — only the stalls differ.
+  EXPECT_EQ(Heavy.WarpInstrs, Idle.WarpInstrs);
+  EXPECT_EQ(Heavy.Transactions, 8 * 100);
+
+  // The memory latch blocks on the bus...
+  double BusServiceCycles = 100.0 * Opts.BusCyclesPerTxn;
+  EXPECT_GT(Heavy.MemStallCycles, BusServiceCycles);
+  EXPECT_DOUBLE_EQ(Idle.MemStallCycles, 0.0);
+
+  // ...and the block propagates all the way into fetch: at least one
+  // full bus service of fetch-stall beyond the idle variant's pipeline
+  // warmup jitter.
+  EXPECT_GT(Heavy.FetchStallCycles - Idle.FetchStallCycles,
+            BusServiceCycles);
+
+  // The drain is bus-bound: all eight stores serialized.
+  EXPECT_GE(Heavy.TotalCycles, 8.0 * BusServiceCycles);
+}
+
+TEST(SmPipeline, GreedyThenOldestSticksWithTheRunningWarp) {
+  // Two warps of back-to-back compute: GTO keeps reissuing warp 0 while
+  // it stays ready, so warp 1's completion trails warp 0's by the whole
+  // program; round-robin interleaves them to near-simultaneous finish.
+  // Both policies do the same work — total busy cycles agree.
+  std::vector<WarpProgram> Warps(2);
+  for (WarpProgram &P : Warps)
+    for (int I = 0; I < 16; ++I)
+      P.Ops.push_back({WarpOp::Kind::Compute, 4.0, 0});
+
+  SmBreakdown Rr = simulateSmPipeline(
+      Arch, Warps, 1, singleSmOptions(WarpSchedPolicy::RoundRobin));
+  SmBreakdown Gto = simulateSmPipeline(
+      Arch, Warps, 1, singleSmOptions(WarpSchedPolicy::GreedyThenOldest));
+  EXPECT_DOUBLE_EQ(Rr.BusyCycles, Gto.BusyCycles);
+  EXPECT_EQ(Rr.WarpInstrs, Gto.WarpInstrs);
+  // The execute port is the bottleneck either way; the policies may
+  // only differ in ordering, not throughput.
+  EXPECT_NEAR(Rr.TotalCycles, Gto.TotalCycles, 16.0);
+}
+
+TEST(WarpScheduler, ParseRoundTripsAndRejectsUnknown) {
+  for (WarpSchedPolicy P :
+       {WarpSchedPolicy::RoundRobin, WarpSchedPolicy::GreedyThenOldest})
+    EXPECT_EQ(parseWarpSchedPolicy(warpSchedPolicyName(P)), P);
+  EXPECT_EQ(parseWarpSchedPolicy("round-robin"),
+            WarpSchedPolicy::RoundRobin);
+  EXPECT_EQ(parseWarpSchedPolicy("greedy-then-oldest"),
+            WarpSchedPolicy::GreedyThenOldest);
+  EXPECT_FALSE(parseWarpSchedPolicy("").has_value());
+  EXPECT_FALSE(parseWarpSchedPolicy("RR").has_value());
+  EXPECT_FALSE(parseWarpSchedPolicy("oldest").has_value());
+}
+
+TEST(ConfigSelect, ParseRoundTripsAndRejectsUnknown) {
+  for (ConfigSelectMode M :
+       {ConfigSelectMode::Auto, ConfigSelectMode::Analytic,
+        ConfigSelectMode::Cycle})
+    EXPECT_EQ(parseConfigSelectMode(configSelectModeName(M)), M);
+  EXPECT_FALSE(parseConfigSelectMode("").has_value());
+  EXPECT_FALSE(parseConfigSelectMode("Auto").has_value());
+  EXPECT_FALSE(parseConfigSelectMode("simulator").has_value());
+}
+
+TEST(WarpScheduler, PolicyCompilesAreBitDeterministicAcrossJobs) {
+  // A full cycle-model compile under each policy must be bit-identical
+  // across scheduler/profiler worker counts (the CI determinism gate).
+  const BenchmarkSpec *Spec = findBenchmark("FFT");
+  ASSERT_TRUE(Spec);
+  for (WarpSchedPolicy Policy :
+       {WarpSchedPolicy::RoundRobin, WarpSchedPolicy::GreedyThenOldest}) {
+    std::optional<CompileReport> Base;
+    for (int Workers : {1, 4}) {
+      CompileOptions O = fastOptions(Strategy::Swp, TimingModelKind::Cycle);
+      O.WarpSched = Policy;
+      O.Sched.NumWorkers = Workers;
+      StreamGraph G = flatten(*Spec->Build());
+      std::optional<CompileReport> R = compileForGpu(G, O);
+      ASSERT_TRUE(R) << "workers=" << Workers;
+      EXPECT_EQ(R->WarpSched, Policy);
+      if (!Base) {
+        Base = std::move(R);
+        continue;
+      }
+      EXPECT_DOUBLE_EQ(R->KernelSim.TotalCycles,
+                       Base->KernelSim.TotalCycles)
+          << "workers=" << Workers;
+      EXPECT_DOUBLE_EQ(R->KernelSim.FillCycles, Base->KernelSim.FillCycles);
+      EXPECT_DOUBLE_EQ(R->KernelSim.Transactions,
+                       Base->KernelSim.Transactions);
+      EXPECT_DOUBLE_EQ(R->GpuCyclesPerBaseIteration,
+                       Base->GpuCyclesPerBaseIteration);
+    }
+  }
+}
+
+TEST(TimingFidelity, PeekHeavyGraphsWithinTwoX) {
+  // Filterbank and FMRadio are the peek-heavy graphs whose sliding
+  // windows serialized 12.0x / 8.5x away from the analytic model before
+  // the peek-serialization term; both must now land within 2x.
+  for (const char *Name : {"Filterbank", "FMRadio"}) {
+    const BenchmarkSpec *Spec = findBenchmark(Name);
+    ASSERT_TRUE(Spec) << Name;
+    StreamGraph G = flatten(*Spec->Build());
+    std::optional<CompileReport> Ana =
+        compileForGpu(G, fastOptions(Strategy::Swp,
+                                     TimingModelKind::Analytic));
+    ASSERT_TRUE(Ana) << Name;
+
+    auto Cycle = createTimingModel(TimingModelKind::Cycle, Arch);
+    KernelDesc Desc = buildSwpKernelDesc(Arch, G, Ana->Config,
+                                         Ana->Schedule, Ana->Layout,
+                                         Ana->Coarsening);
+    KernelSimResult Sim = Cycle->simulateKernel(Desc);
+    ASSERT_GT(Ana->KernelSim.TotalCycles, 0.0) << Name;
+    double Ratio = Sim.TotalCycles / Ana->KernelSim.TotalCycles;
+    EXPECT_GE(Ratio, 0.5) << Name;
+    EXPECT_LE(Ratio, 2.0) << Name;
+  }
+}
+
+TEST(TimingFidelity, FftTransactionCountsAgreeExactly) {
+  // The FFT 0.61x underprediction was suspected to be a Coalescer
+  // over-credit of coalesced wrap re-reads; it is not — the two models
+  // count FFT's transactions identically (pinned here), and the error
+  // was the analytic per-SM sums charging bandwidth the chip-wide bound
+  // already charges. With that fixed the ratio sits inside the band.
+  const BenchmarkSpec *Spec = findBenchmark("FFT");
+  ASSERT_TRUE(Spec);
+  StreamGraph G = flatten(*Spec->Build());
+  std::optional<CompileReport> Ana = compileForGpu(
+      G, fastOptions(Strategy::Swp, TimingModelKind::Analytic));
+  ASSERT_TRUE(Ana);
+
+  auto Cycle = createTimingModel(TimingModelKind::Cycle, Arch);
+  KernelDesc Desc = buildSwpKernelDesc(Arch, G, Ana->Config, Ana->Schedule,
+                                       Ana->Layout, Ana->Coarsening);
+  KernelSimResult Sim = Cycle->simulateKernel(Desc);
+  EXPECT_DOUBLE_EQ(Sim.Transactions, Ana->KernelSim.Transactions);
+  double Ratio = Sim.TotalCycles / Ana->KernelSim.TotalCycles;
+  EXPECT_GE(Ratio, 0.5);
+  EXPECT_LE(Ratio, 2.0);
+}
+
+TEST(SmPipeline, StageBreakdownReachesTheReport) {
+  // A cycle-model compile must populate the per-stage fields the report
+  // JSON exposes (fetch busy/stall, operand stall, memory stall).
+  const BenchmarkSpec *Spec = findBenchmark("Bitonic");
+  ASSERT_TRUE(Spec);
+  StreamGraph G = flatten(*Spec->Build());
+  std::optional<CompileReport> R =
+      compileForGpu(G, fastOptions(Strategy::Swp, TimingModelKind::Cycle));
+  ASSERT_TRUE(R);
+  double FetchBusy = 0.0;
+  int64_t Instrs = 0;
+  for (const SmBreakdown &B : R->KernelSim.PerSm) {
+    FetchBusy += B.FetchBusyCycles;
+    Instrs += B.WarpInstrs;
+  }
+  ASSERT_GT(Instrs, 0);
+  // Every instruction occupies the fetch latch for at least one latch
+  // depth.
+  EXPECT_GE(FetchBusy,
+            PipelineLatchCycles * static_cast<double>(Instrs));
+}

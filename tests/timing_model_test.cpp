@@ -94,8 +94,10 @@ TEST(AnalyticModel, SimulateKernelMatchesHandComputation) {
   Desc.SmStreams = {{{0, 3}, {1, 1}}, {{1, 2}}};
   Desc.StageSpan = 4;
 
-  double CycA = instanceCycles(Arch, A.Cost);
-  double CycB = instanceCycles(Arch, B.Cost);
+  // Per-SM serial sums use the issue-side cost only; the chip-wide
+  // bandwidth bound inside kernelCycles charges the transactions once.
+  double CycA = instanceIssueCycles(Arch, A.Cost);
+  double CycB = instanceIssueCycles(Arch, B.Cost);
   double TxnA = instanceTransactions(A.Cost);
   double TxnB = instanceTransactions(B.Cost);
   KernelWork Work;

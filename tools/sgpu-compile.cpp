@@ -37,8 +37,15 @@ void printUsage() {
       "usage: sgpu-compile <benchmark>|--file <prog.str> [options]\n"
       "  --strategy=swp|swpnc|serial   execution strategy (default swp)\n"
       "  --timing-model=analytic|cycle kernel timing model (default\n"
-      "                                analytic; cycle runs the warp-level\n"
-      "                                event simulator)\n"
+      "                                analytic; cycle runs the staged\n"
+      "                                warp-level pipeline simulator)\n"
+      "  --warp-sched=rr|gto           cycle-sim warp scheduler policy\n"
+      "                                (default rr round-robin; gto is\n"
+      "                                greedy-then-oldest)\n"
+      "  --config-select=auto|analytic|cycle\n"
+      "                                which model drives Alg. 7 config\n"
+      "                                selection (default auto = follow\n"
+      "                                --timing-model)\n"
       "  --coarsening=N                SWPn factor (default 8)\n"
       "  --sms=N                       SMs to target (default 16)\n"
       "  --jobs=N                      scheduling-engine workers\n"
@@ -70,6 +77,8 @@ int main(int argc, char **argv) {
   std::string SourceFile;
   Strategy Strat = Strategy::Swp;
   TimingModelKind Timing = TimingModelKind::Analytic;
+  WarpSchedPolicy WarpSched = WarpSchedPolicy::RoundRobin;
+  ConfigSelectMode ConfigSelect = ConfigSelectMode::Auto;
   int Coarsening = 8;
   int Sms = 16;
   int Jobs = 0; // 0 = auto ($SGPU_JOBS, then hardware_concurrency).
@@ -106,6 +115,22 @@ int main(int argc, char **argv) {
         Timing = *K;
       } else {
         std::fprintf(stderr, "error: unknown timing model '%s'\n", V);
+        return 1;
+      }
+    } else if (startsWith(Arg, "--warp-sched=")) {
+      const char *V = Arg + 13;
+      if (std::optional<WarpSchedPolicy> P = parseWarpSchedPolicy(V)) {
+        WarpSched = *P;
+      } else {
+        std::fprintf(stderr, "error: unknown warp scheduler '%s'\n", V);
+        return 1;
+      }
+    } else if (startsWith(Arg, "--config-select=")) {
+      const char *V = Arg + 16;
+      if (std::optional<ConfigSelectMode> M = parseConfigSelectMode(V)) {
+        ConfigSelect = *M;
+      } else {
+        std::fprintf(stderr, "error: unknown config-select mode '%s'\n", V);
         return 1;
       }
     } else if (startsWith(Arg, "--coarsening=")) {
@@ -210,6 +235,8 @@ int main(int argc, char **argv) {
   CompileOptions Options;
   Options.Strat = Strat;
   Options.Timing = Timing;
+  Options.WarpSched = WarpSched;
+  Options.ConfigSelect = ConfigSelect;
   Options.Coarsening = Coarsening;
   Options.Sched.Pmax = Sms;
   Options.Sched.NumWorkers = Jobs;

@@ -10,7 +10,8 @@
 //
 // Usage:
 //   sgpu-fuzz [--seed=N] [--count=N] [--jobs=N]
-//             [--timing-model=analytic|cycle|both] [--sms=N] [--depth=N]
+//             [--timing-model=analytic|cycle|both] [--warp-sched=rr|gto]
+//             [--sms=N] [--depth=N]
 //             [--no-ilp] [--no-metamorphic] [--roundrobin] [--float]
 //             [--stateful] [--inject-bug=KIND] [--no-minimize]
 //             [--out-dir=DIR] [--replay=FILE]
@@ -52,6 +53,8 @@ void printUsage() {
       "  --timing-model=analytic|cycle|both\n"
       "                                timing model for the kernel-level\n"
       "                                oracles (default analytic)\n"
+      "  --warp-sched=rr|gto           warp-scheduler policy for the cycle\n"
+      "                                model oracles (default rr)\n"
       "  --sms=N                       SMs to schedule onto (default 4)\n"
       "  --depth=N                     max nesting depth (default 2)\n"
       "  --no-ilp                      heuristic-only variants\n"
@@ -385,6 +388,14 @@ int main(int argc, char **argv) {
                      Val.c_str());
         return 2;
       }
+    } else if (takesValue(I, "--warp-sched")) {
+      auto Policy = parseWarpSchedPolicy(Val);
+      if (!Policy) {
+        std::fprintf(stderr, "sgpu-fuzz: unknown warp scheduler '%s'\n",
+                     Val.c_str());
+        return 2;
+      }
+      C.Oracle.WarpSched = *Policy;
     } else if (takesValue(I, "--sms")) {
       C.Oracle.Pmax = std::atoi(Val.c_str());
     } else if (takesValue(I, "--depth")) {
