@@ -1,0 +1,146 @@
+//===- bench/schema_comparison.cpp - Kernel schema cost comparison -----------===//
+//
+// Compiles the eight Table I benchmarks under every kernel schema mode —
+// the paper's global-channel kernel, the warp-specialized persistent
+// kernel with shared-memory ring queues, and Auto (compile both, keep
+// the faster) — and reports, per benchmark and mode, the schedule II,
+// the predicted cycles of one SWP8 kernel invocation, the device
+// transactions, and the queue-admission outcome (edges, shared bytes).
+// Writes BENCH_schema.json (override with --out=FILE); CI archives it as
+// the record of where the warp schema pays off and by how much.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Json.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace sgpu;
+using namespace sgpu::bench;
+
+namespace {
+
+struct ModeResult {
+  bool Ok = false;
+  double II = 0.0;
+  double Cycles = 0.0;
+  double Transactions = 0.0;
+  int QueueEdges = 0;
+  int64_t SharedQueueBytes = 0;
+  SchemaKind Selected = SchemaKind::GlobalChannel;
+};
+
+struct ComparisonRow {
+  std::string Name;
+  ModeResult Global, Warp, Auto_;
+};
+
+ModeResult compileUnder(const BenchmarkSpec &Spec, SchemaMode Mode) {
+  ModeResult M;
+  StreamGraph G = flatten(*Spec.Build());
+  CompileOptions O = benchOptions(Strategy::Swp, /*Coarsening=*/8);
+  O.Schema = Mode;
+  std::optional<CompileReport> R = compileForGpu(G, O);
+  if (!R)
+    return M;
+  M.Ok = true;
+  M.II = R->Schedule.II;
+  M.Cycles = R->KernelSim.TotalCycles;
+  M.Transactions = R->KernelSim.Transactions;
+  M.QueueEdges = R->Schema.numQueueEdges();
+  M.SharedQueueBytes = R->Schema.SharedQueueBytes;
+  M.Selected = R->Schema.Kind;
+  return M;
+}
+
+void writeMode(JsonWriter &W, const char *Key, const ModeResult &M) {
+  W.beginObject(Key);
+  W.writeBool("ok", M.Ok);
+  W.writeDouble("ii", M.II);
+  W.writeDouble("predicted_cycles", M.Cycles);
+  W.writeDouble("transactions", M.Transactions);
+  W.writeInt("queue_edges", M.QueueEdges);
+  W.writeInt("shared_queue_bytes", M.SharedQueueBytes);
+  W.writeString("selected", schemaKindName(M.Selected));
+  W.endObject();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string OutPath = "BENCH_schema.json";
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], "--out=", 6) == 0)
+      OutPath = argv[I] + 6;
+
+  std::printf("Kernel schema comparison (SWP8, 16 SMs; cycles per kernel "
+              "invocation)\n");
+  std::printf("%-12s %12s %12s %12s %6s %8s %6s %8s\n", "Benchmark",
+              "Global", "Warp", "AutoPick", "QEdges", "ShBytes", "Auto",
+              "Gain%");
+
+  std::vector<ComparisonRow> Rows;
+  int AutoWarpWins = 0;
+  for (const BenchmarkSpec &Spec : allBenchmarks()) {
+    ComparisonRow Row;
+    Row.Name = Spec.Name;
+    Row.Global = compileUnder(Spec, SchemaMode::Global);
+    Row.Warp = compileUnder(Spec, SchemaMode::Warp);
+    Row.Auto_ = compileUnder(Spec, SchemaMode::Auto);
+    if (Row.Global.Ok && Row.Warp.Ok && Row.Auto_.Ok) {
+      const bool WarpWon = Row.Auto_.Selected == SchemaKind::WarpSpecialized;
+      AutoWarpWins += WarpWon ? 1 : 0;
+      const double Gain =
+          Row.Global.Cycles > 0.0
+              ? 100.0 * (Row.Global.Cycles - Row.Auto_.Cycles) /
+                    Row.Global.Cycles
+              : 0.0;
+      std::printf("%-12s %12.0f %12.0f %12.0f %6d %8lld %6s %7.2f%%\n",
+                  Row.Name.c_str(), Row.Global.Cycles, Row.Warp.Cycles,
+                  Row.Auto_.Cycles, Row.Warp.QueueEdges,
+                  static_cast<long long>(Row.Warp.SharedQueueBytes),
+                  schemaKindName(Row.Auto_.Selected), Gain);
+    } else {
+      std::printf("%-12s  compile failed\n", Row.Name.c_str());
+    }
+    Rows.push_back(std::move(Row));
+  }
+  std::printf("\nAuto picked the warp schema on %d of %zu benchmarks\n",
+              AutoWarpWins, Rows.size());
+
+  JsonWriter W;
+  W.beginObject();
+  W.beginArray("benchmarks");
+  for (const ComparisonRow &Row : Rows) {
+    W.beginObject();
+    W.writeString("name", Row.Name);
+    writeMode(W, "global", Row.Global);
+    writeMode(W, "warp", Row.Warp);
+    writeMode(W, "auto", Row.Auto_);
+    const bool Comparable = Row.Global.Ok && Row.Auto_.Ok;
+    W.writeString("auto_pick",
+                  Comparable ? schemaKindName(Row.Auto_.Selected) : "");
+    W.writeDouble("auto_gain_percent",
+                  Comparable && Row.Global.Cycles > 0.0
+                      ? 100.0 * (Row.Global.Cycles - Row.Auto_.Cycles) /
+                            Row.Global.Cycles
+                      : 0.0);
+    W.endObject();
+  }
+  W.endArray();
+  W.writeInt("auto_warp_wins", AutoWarpWins);
+  W.endObject();
+  std::ofstream Out(OutPath, std::ios::binary);
+  if (Out)
+    Out << W.str() << "\n";
+  else
+    std::fprintf(stderr, "warning: cannot write '%s'\n", OutPath.c_str());
+  return 0;
+}

@@ -2,299 +2,18 @@
 
 #include "codegen/CudaEmitter.h"
 
-#include "ir/AstPrinter.h"
-#include "support/Check.h"
-#include "support/Metrics.h"
-#include "support/Trace.h"
-
-#include <map>
-#include <sstream>
+#include "codegen/schema/GlobalChannelSchema.h"
 
 using namespace sgpu;
-
-namespace {
-
-/// Everything the emitter needs about one edge's device buffer.
-struct BufferInfo {
-  std::string Name;
-  int64_t TokensPerIter = 0; ///< Tokens per coarsened GPU iteration.
-  int64_t Slots = 0;         ///< Ring slots (stage span + 2).
-  int64_t InitTokens = 0;
-};
-
-std::string indexMacroName(int Edge) {
-  return "IDX_E" + std::to_string(Edge);
-}
-
-/// Emits the device index function mapping an absolute token index to a
-/// ring-buffer position: the iteration block picks the slot, the paper's
-/// cluster shuffle (Eq. 10/11) orders tokens within the block.
-void emitIndexFn(std::ostringstream &OS, const BufferInfo &B, int Edge,
-                 int64_t Rate, LayoutKind Layout) {
-  OS << "__device__ __forceinline__ long " << indexMacroName(Edge)
-     << "(long q) {\n"
-     << "  long slot = (q / " << B.TokensPerIter << "L) % " << B.Slots
-     << "L;\n"
-     << "  long r = q % " << B.TokensPerIter << "L;\n";
-  if (Layout == LayoutKind::Shuffled && Rate > 0)
-    OS << "  long t = r / " << Rate << "L, n = r % " << Rate << "L;\n"
-       << "  r = 128L * n + (t / 128L) * 128L * " << Rate
-       << "L + (t % 128L);\n";
-  OS << "  return slot * " << B.TokensPerIter << "L + r;\n"
-     << "}\n\n";
-}
-
-} // namespace
 
 std::string sgpu::emitCudaSource(const StreamGraph &G, const SteadyState &SS,
                                  const ExecutionConfig &Config,
                                  const GpuSteadyState &GSS,
                                  const SwpSchedule &Sched,
                                  const CudaEmitOptions &Options) {
-  StageTimer Timer("codegen.emit");
-  metricCounter("codegen.kernels").add(1);
-  std::ostringstream OS;
-  OS << "// Auto-generated software-pipelined StreamIt kernel\n"
-     << "// schema: switch over blockIdx.x, instances in o-order,\n"
-     << "// staging predicates per pipeline stage (kernel-only modulo\n"
-     << "// schedule). Buffer indices follow the cluster-shuffle layout.\n"
-     << "#include <cuda_runtime.h>\n\n";
-
-  // --- Per-edge buffers.
-  std::vector<BufferInfo> Buffers(G.numEdges());
-  int64_t Slots = Sched.stageSpan() + 2;
-  for (const ChannelEdge &E : G.edges()) {
-    BufferInfo &B = Buffers[E.Id];
-    B.Name = "buf_e" + std::to_string(E.Id);
-    B.TokensPerIter = GSS.Instances[E.Src] * E.ProdRate *
-                      Config.Threads[E.Src] * Options.Coarsening;
-    B.Slots = Slots;
-    B.InitTokens = E.InitTokens;
-    int64_t ConsRate = E.ConsRate * Config.Threads[E.Dst];
-    (void)ConsRate;
-    emitIndexFn(OS, B, E.Id, E.ConsRate, Options.Layout);
-  }
-
-  // --- Field constants.
-  for (const GraphNode &N : G.nodes())
-    if (N.isFilter())
-      OS << printFieldConstants(*N.TheFilter,
-                                "f" + std::to_string(N.Id) + "_");
-  OS << "\n";
-
-  // --- Work functions.
-  for (const GraphNode &N : G.nodes()) {
-    if (N.isFilter()) {
-      const Filter &F = *N.TheFilter;
-      const char *InTy = tokenTypeName(F.inputType());
-      const char *OutTy = tokenTypeName(F.outputType());
-      OS << "__device__ void work_" << N.Id << "_" << F.name() << "(";
-      bool NeedComma = false;
-      if (F.popRate() > 0) {
-        OS << "const " << InTy << " *__in, long __in_q0";
-        NeedComma = true;
-      }
-      if (F.pushRate() > 0) {
-        if (NeedComma)
-          OS << ", ";
-        OS << OutTy << " *__out, long __out_q0";
-      }
-      OS << ") {\n";
-      OS << "  int __pop_idx = 0;\n  int __push_idx = 0;\n";
-      OS << "  (void)__pop_idx; (void)__push_idx;\n";
-
-      // Lower the channel primitives. The in/out q0 values are the
-      // absolute indices of this firing's first pop/push; the per-edge
-      // ring+shuffle function turns them into addresses.
-      int InEdge = N.InEdges.empty() ? -1 : N.InEdges[0];
-      int OutEdge = N.OutEdges.empty() ? -1 : N.OutEdges[0];
-      std::string InFn = InEdge >= 0 ? indexMacroName(InEdge) : "IDX_IN";
-      std::string OutFn = OutEdge >= 0 ? indexMacroName(OutEdge) : "IDX_OUT";
-      ChannelLowering L;
-      L.Pop = [&InFn](const std::string &Ord) {
-        return "__in[" + InFn + "(__in_q0 + (" + Ord + "))]";
-      };
-      L.Peek = [&InFn](const std::string &Depth) {
-        return "__in[" + InFn + "(__in_q0 + __pop_idx + (" + Depth + "))]";
-      };
-      L.Push = [&OutFn](const std::string &Ord, const std::string &V) {
-        return "__out[" + OutFn + "(__out_q0 + (" + Ord + "))] = " + V;
-      };
-      // Fields are referenced with their emitted constant prefix by
-      // textual rename: the printer uses the bare name, so emit aliases.
-      for (const auto &Fld : F.work().fields())
-        OS << "  #define " << Fld->name() << " f" << N.Id << "_"
-           << Fld->name() << "\n";
-      OS << printWorkBody(F, L, /*Indent=*/2);
-      for (const auto &Fld : F.work().fields())
-        OS << "  #undef " << Fld->name() << "\n";
-      OS << "}\n\n";
-      continue;
-    }
-    // Splitters and joiners: plain copy loops in weight order, one
-    // pointer + first-token index parameter per port.
-    const char *Ty = tokenTypeName(N.Ty);
-    OS << "__device__ void move_" << N.Id << "_" << N.Name << "(";
-    for (size_t P = 0; P < N.InEdges.size(); ++P)
-      OS << (P ? ", " : "") << "const " << Ty << " *__in" << P
-         << ", long __iq" << P;
-    for (size_t P = 0; P < N.OutEdges.size(); ++P)
-      OS << ", " << Ty << " *__out" << P << ", long __oq" << P;
-    OS << ") {\n";
-    if (N.isSplitter() && N.SplitKind == SplitterKind::Duplicate) {
-      OS << "  " << Ty << " v = __in0[" << indexMacroName(N.InEdges[0])
-         << "(__iq0)];\n";
-      for (size_t P = 0; P < N.OutEdges.size(); ++P)
-        OS << "  __out" << P << "[" << indexMacroName(N.OutEdges[P])
-           << "(__oq" << P << ")] = v;\n";
-    } else if (N.isSplitter()) {
-      int64_t Off = 0;
-      for (size_t P = 0; P < N.OutEdges.size(); ++P) {
-        OS << "  for (int i = 0; i < " << N.Weights[P] << "; ++i)\n"
-           << "    __out" << P << "[" << indexMacroName(N.OutEdges[P])
-           << "(__oq" << P << " + i)] = __in0["
-           << indexMacroName(N.InEdges[0]) << "(__iq0 + " << Off
-           << " + i)];\n";
-        Off += N.Weights[P];
-      }
-    } else {
-      int64_t Off = 0;
-      for (size_t P = 0; P < N.InEdges.size(); ++P) {
-        OS << "  for (int i = 0; i < " << N.Weights[P] << "; ++i)\n"
-           << "    __out0[" << indexMacroName(N.OutEdges[0]) << "(__oq0 + "
-           << Off << " + i)] = __in" << P << "["
-           << indexMacroName(N.InEdges[P]) << "(__iq" << P << " + i)];\n";
-        Off += N.Weights[P];
-      }
-    }
-    OS << "}\n\n";
-  }
-
-  // --- The software-pipelined kernel.
-  OS << "// Staging predicate: instance with stage f runs the work of\n"
-     << "// logical iteration (it - f); negative means prologue idle.\n";
-  OS << "__global__ void streamit_swp_kernel(";
-  {
-    bool First = true;
-    for (const ChannelEdge &E : G.edges()) {
-      if (!First)
-        OS << ", ";
-      OS << tokenTypeName(E.Ty) << " *" << Buffers[E.Id].Name;
-      First = false;
-    }
-    if (G.entryNode() >= 0)
-      OS << (G.numEdges() ? ", " : "") << "const "
-         << tokenTypeName(G.node(G.entryNode()).TheFilter->inputType())
-         << " *buf_in";
-    if (G.exitNode() >= 0)
-      OS << ", "
-         << tokenTypeName(G.node(G.exitNode()).TheFilter->outputType())
-         << " *buf_out";
-    OS << ", int it) {\n";
-  }
-  OS << "  const int tid = threadIdx.x;\n";
-  OS << "  switch (blockIdx.x) {\n";
-  for (int P = 0; P < Sched.Pmax; ++P) {
-    OS << "  case " << P << ": {\n";
-    for (const ScheduledInstance *SI : Sched.smOrder(P)) {
-      const GraphNode &N = G.node(SI->Node);
-      int64_t Threads = Config.Threads[SI->Node];
-      OS << "    // o=" << SI->O << " f=" << SI->F << " " << N.Name
-         << " instance " << SI->K << "\n";
-      OS << "    { int j = it - " << SI->F << ";\n"
-         << "      if (j >= 0 && tid < " << Threads << ") {\n"
-         << "        for (int c = 0; c < " << Options.Coarsening
-         << "; ++c) {\n"
-         << "          long b = " << SS.initFirings()[SI->Node]
-         << "L + (((long)j * " << Options.Coarsening << " + c) * "
-         << GSS.Instances[SI->Node] << "L + " << SI->K << "L) * "
-         << Threads << "L + tid;\n";
-      if (N.isFilter()) {
-        const Filter &F = *N.TheFilter;
-        OS << "          work_" << N.Id << "_" << F.name() << "(";
-        bool NeedComma = false;
-        if (F.popRate() > 0) {
-          std::string Buf = SI->Node == G.entryNode()
-                                ? "buf_in"
-                                : Buffers[N.InEdges[0]].Name;
-          OS << Buf << ", b * " << F.popRate() << "L";
-          NeedComma = true;
-        }
-        if (F.pushRate() > 0) {
-          if (NeedComma)
-            OS << ", ";
-          std::string Buf = SI->Node == G.exitNode()
-                                ? "buf_out"
-                                : Buffers[N.OutEdges[0]].Name;
-          OS << Buf << ", b * " << F.pushRate() << "L";
-        }
-        OS << ");\n";
-      } else {
-        OS << "          move_" << N.Id << "_" << N.Name << "(";
-        for (size_t Port = 0; Port < N.InEdges.size(); ++Port) {
-          const ChannelEdge &E = G.edge(N.InEdges[Port]);
-          OS << (Port ? ", " : "") << Buffers[E.Id].Name << ", b * "
-             << E.ConsRate << "L";
-        }
-        for (size_t Port = 0; Port < N.OutEdges.size(); ++Port) {
-          const ChannelEdge &E = G.edge(N.OutEdges[Port]);
-          OS << ", " << Buffers[E.Id].Name << ", " << E.InitTokens
-             << "L + b * " << E.ProdRate << "L";
-        }
-        OS << ");\n";
-      }
-      OS << "        }\n      }\n    }\n";
-    }
-    OS << "    break;\n  }\n";
-  }
-  OS << "  default: break;\n  }\n";
-  OS << "  __syncthreads();\n";
-  OS << "}\n\n";
-
-  if (!Options.EmitHostDriver) {
-    std::string Src = OS.str();
-    metricCounter("codegen.bytes").add(static_cast<int64_t>(Src.size()));
-    return Src;
-  }
-
-  // --- Host driver skeleton with the Eq. 9 input shuffle.
-  OS << "// Host driver: allocates ring buffers, shuffles the program\n"
-     << "// input per Eq. 9 and launches one grid per steady iteration.\n";
-  OS << "void run_streamit_program(int iterations) {\n";
-  for (const ChannelEdge &E : G.edges())
-    OS << "  " << tokenTypeName(E.Ty) << " *" << Buffers[E.Id].Name
-       << "; cudaMalloc(&" << Buffers[E.Id].Name << ", "
-       << (Buffers[E.Id].TokensPerIter * Buffers[E.Id].Slots +
-           Buffers[E.Id].InitTokens) *
-              4
-       << "L);\n";
-  if (G.entryNode() >= 0) {
-    const Filter &F = *G.node(G.entryNode()).TheFilter;
-    OS << "  // shuffle_input: host[i] -> dev[128*(i%" << F.popRate()
-       << ") + (i/(128*" << F.popRate() << "))*(128*" << F.popRate()
-       << ") + ((i/" << F.popRate() << ")%128)]\n";
-  }
-  OS << "  dim3 grid(" << Sched.Pmax << "), block(" << Config.NumThreads
-     << ");\n";
-  OS << "  for (int it = 0; it < iterations + " << Sched.stageSpan()
-     << "; ++it)\n    streamit_swp_kernel<<<grid, block>>>(";
-  {
-    bool First = true;
-    for (const ChannelEdge &E : G.edges()) {
-      if (!First)
-        OS << ", ";
-      OS << Buffers[E.Id].Name;
-      First = false;
-    }
-    if (G.entryNode() >= 0)
-      OS << (G.numEdges() ? ", " : "") << "buf_in";
-    if (G.exitNode() >= 0)
-      OS << ", buf_out";
-    OS << ", it);\n";
-  }
-  OS << "  cudaDeviceSynchronize();\n";
-  OS << "}\n";
-  std::string Src = OS.str();
-  metricCounter("codegen.bytes").add(static_cast<int64_t>(Src.size()));
-  return Src;
+  SchemaAssignment AllGlobal;
+  AllGlobal.Edges.assign(G.numEdges(), EdgeSchema::GlobalChannel);
+  AllGlobal.QueueCapTokens.assign(G.numEdges(), 0);
+  return GlobalChannelSchema().emit(G, SS, Config, GSS, Sched, AllGlobal,
+                                    Options);
 }

@@ -6,14 +6,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Emits the software-pipelined CUDA kernel of the paper's Section IV-C:
-/// one __device__ work function per node (channel primitives lowered to
-/// the Eq. 10/11 shuffled-buffer index arithmetic, or natural FIFO order
-/// for the non-coalesced build), and a single __global__ kernel whose
-/// body is a switch over blockIdx.x — one case per SM — executing that
-/// SM's instances in increasing o_{k,v} order behind staging predicates
-/// (Rau's kernel-only schema [18], predicates as arrays as in [11]).
-/// A host driver with Eq. 9 input shuffling is emitted alongside.
+/// The historical single-emitter entry point, now a thin veneer over the
+/// kernel-schema subsystem (codegen/schema/): emitCudaSource renders the
+/// paper's Section IV-C kernel through GlobalChannelSchema with an
+/// all-global edge assignment — byte-identical to the pre-schema
+/// emitter, as pinned by the golden files. Schema-aware callers should
+/// use createKernelSchema()/KernelSchema::emit directly.
 ///
 /// The generated text is what the paper would hand to nvcc; in this
 /// reproduction it is verified structurally by tests while execution
@@ -24,20 +22,15 @@
 #ifndef SGPU_CODEGEN_CUDAEMITTER_H
 #define SGPU_CODEGEN_CUDAEMITTER_H
 
-#include "core/ExecutionModel.h"
+#include "codegen/schema/KernelSchema.h"
 
 #include <string>
 
 namespace sgpu {
 
-/// Codegen knobs.
-struct CudaEmitOptions {
-  LayoutKind Layout = LayoutKind::Shuffled;
-  int Coarsening = 1; ///< SWPn: iterate each instance n times per launch.
-  bool EmitHostDriver = true;
-};
-
-/// Renders the complete .cu translation unit for \p Sched.
+/// Renders the complete .cu translation unit for \p Sched under the
+/// paper's global-channel schema (CudaEmitOptions lives in
+/// codegen/schema/KernelSchema.h alongside the schema interface).
 std::string emitCudaSource(const StreamGraph &G, const SteadyState &SS,
                            const ExecutionConfig &Config,
                            const GpuSteadyState &GSS,

@@ -1,0 +1,181 @@
+//===- codegen/schema/GlobalChannelSchema.cpp - Paper's kernel ---------------===//
+
+#include "codegen/schema/GlobalChannelSchema.h"
+
+#include "codegen/schema/SchemaCommon.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <sstream>
+
+using namespace sgpu;
+using namespace sgpu::codegen;
+
+std::string GlobalChannelSchema::emit(const StreamGraph &G,
+                                      const SteadyState &SS,
+                                      const ExecutionConfig &Config,
+                                      const GpuSteadyState &GSS,
+                                      const SwpSchedule &Sched,
+                                      const SchemaAssignment &Schema,
+                                      const CudaEmitOptions &Options) const {
+  StageTimer Timer("codegen.emit");
+  metricCounter("codegen.kernels").add(1);
+  metricCounter("codegen.schema.global_kernels").add(1);
+  (void)Schema; // All channels are global rings here.
+  std::ostringstream OS;
+  OS << "// Auto-generated software-pipelined StreamIt kernel\n"
+     << "// schema: switch over blockIdx.x, instances in o-order,\n"
+     << "// staging predicates per pipeline stage (kernel-only modulo\n"
+     << "// schedule). Buffer indices follow the cluster-shuffle layout.\n"
+     << "#include <cuda_runtime.h>\n\n";
+
+  // --- Per-edge buffers.
+  std::vector<BufferInfo> Buffers(G.numEdges());
+  int64_t Slots = Sched.stageSpan() + 2;
+  for (const ChannelEdge &E : G.edges()) {
+    BufferInfo &B = Buffers[E.Id];
+    B.Name = "buf_e" + std::to_string(E.Id);
+    B.TokensPerIter = GSS.Instances[E.Src] * E.ProdRate *
+                      Config.Threads[E.Src] * Options.Coarsening;
+    B.Slots = Slots;
+    B.InitTokens = E.InitTokens;
+    int64_t ConsRate = E.ConsRate * Config.Threads[E.Dst];
+    (void)ConsRate;
+    emitGlobalIndexFn(OS, B, E.Id, E.ConsRate, Options.Layout);
+  }
+
+  // --- Field constants.
+  emitFieldConstants(OS, G);
+
+  // --- Work functions.
+  for (const GraphNode &N : G.nodes())
+    emitNodeFunction(OS, G, N, allGlobalIndexFns());
+
+  // --- The software-pipelined kernel.
+  OS << "// Staging predicate: instance with stage f runs the work of\n"
+     << "// logical iteration (it - f); negative means prologue idle.\n";
+  OS << "__global__ void streamit_swp_kernel(";
+  {
+    bool First = true;
+    for (const ChannelEdge &E : G.edges()) {
+      if (!First)
+        OS << ", ";
+      OS << tokenTypeName(E.Ty) << " *" << Buffers[E.Id].Name;
+      First = false;
+    }
+    if (G.entryNode() >= 0)
+      OS << (G.numEdges() ? ", " : "") << "const "
+         << tokenTypeName(G.node(G.entryNode()).TheFilter->inputType())
+         << " *buf_in";
+    if (G.exitNode() >= 0)
+      OS << ", "
+         << tokenTypeName(G.node(G.exitNode()).TheFilter->outputType())
+         << " *buf_out";
+    OS << ", int it) {\n";
+  }
+  OS << "  const int tid = threadIdx.x;\n";
+  OS << "  switch (blockIdx.x) {\n";
+  for (int P = 0; P < Sched.Pmax; ++P) {
+    OS << "  case " << P << ": {\n";
+    for (const ScheduledInstance *SI : Sched.smOrder(P)) {
+      const GraphNode &N = G.node(SI->Node);
+      int64_t Threads = Config.Threads[SI->Node];
+      OS << "    // o=" << SI->O << " f=" << SI->F << " " << N.Name
+         << " instance " << SI->K << "\n";
+      OS << "    { int j = it - " << SI->F << ";\n"
+         << "      if (j >= 0 && tid < " << Threads << ") {\n"
+         << "        for (int c = 0; c < " << Options.Coarsening
+         << "; ++c) {\n"
+         << "          long b = " << SS.initFirings()[SI->Node]
+         << "L + (((long)j * " << Options.Coarsening << " + c) * "
+         << GSS.Instances[SI->Node] << "L + " << SI->K << "L) * "
+         << Threads << "L + tid;\n";
+      if (N.isFilter()) {
+        const Filter &F = *N.TheFilter;
+        OS << "          work_" << N.Id << "_" << F.name() << "(";
+        bool NeedComma = false;
+        if (F.popRate() > 0) {
+          std::string Buf = SI->Node == G.entryNode()
+                                ? "buf_in"
+                                : Buffers[N.InEdges[0]].Name;
+          OS << Buf << ", b * " << F.popRate() << "L";
+          NeedComma = true;
+        }
+        if (F.pushRate() > 0) {
+          if (NeedComma)
+            OS << ", ";
+          std::string Buf = SI->Node == G.exitNode()
+                                ? "buf_out"
+                                : Buffers[N.OutEdges[0]].Name;
+          OS << Buf << ", b * " << F.pushRate() << "L";
+        }
+        OS << ");\n";
+      } else {
+        OS << "          move_" << N.Id << "_" << N.Name << "(";
+        for (size_t Port = 0; Port < N.InEdges.size(); ++Port) {
+          const ChannelEdge &E = G.edge(N.InEdges[Port]);
+          OS << (Port ? ", " : "") << Buffers[E.Id].Name << ", b * "
+             << E.ConsRate << "L";
+        }
+        for (size_t Port = 0; Port < N.OutEdges.size(); ++Port) {
+          const ChannelEdge &E = G.edge(N.OutEdges[Port]);
+          OS << ", " << Buffers[E.Id].Name << ", " << E.InitTokens
+             << "L + b * " << E.ProdRate << "L";
+        }
+        OS << ");\n";
+      }
+      OS << "        }\n      }\n    }\n";
+    }
+    OS << "    break;\n  }\n";
+  }
+  OS << "  default: break;\n  }\n";
+  OS << "  __syncthreads();\n";
+  OS << "}\n\n";
+
+  if (!Options.EmitHostDriver) {
+    std::string Src = OS.str();
+    metricCounter("codegen.bytes").add(static_cast<int64_t>(Src.size()));
+    return Src;
+  }
+
+  // --- Host driver skeleton with the Eq. 9 input shuffle.
+  OS << "// Host driver: allocates ring buffers, shuffles the program\n"
+     << "// input per Eq. 9 and launches one grid per steady iteration.\n";
+  OS << "void run_streamit_program(int iterations) {\n";
+  for (const ChannelEdge &E : G.edges())
+    OS << "  " << tokenTypeName(E.Ty) << " *" << Buffers[E.Id].Name
+       << "; cudaMalloc(&" << Buffers[E.Id].Name << ", "
+       << (Buffers[E.Id].TokensPerIter * Buffers[E.Id].Slots +
+           Buffers[E.Id].InitTokens) *
+              4
+       << "L);\n";
+  if (G.entryNode() >= 0) {
+    const Filter &F = *G.node(G.entryNode()).TheFilter;
+    OS << "  // shuffle_input: host[i] -> dev[128*(i%" << F.popRate()
+       << ") + (i/(128*" << F.popRate() << "))*(128*" << F.popRate()
+       << ") + ((i/" << F.popRate() << ")%128)]\n";
+  }
+  OS << "  dim3 grid(" << Sched.Pmax << "), block(" << Config.NumThreads
+     << ");\n";
+  OS << "  for (int it = 0; it < iterations + " << Sched.stageSpan()
+     << "; ++it)\n    streamit_swp_kernel<<<grid, block>>>(";
+  {
+    bool First = true;
+    for (const ChannelEdge &E : G.edges()) {
+      if (!First)
+        OS << ", ";
+      OS << Buffers[E.Id].Name;
+      First = false;
+    }
+    if (G.entryNode() >= 0)
+      OS << (G.numEdges() ? ", " : "") << "buf_in";
+    if (G.exitNode() >= 0)
+      OS << ", buf_out";
+    OS << ", it);\n";
+  }
+  OS << "  cudaDeviceSynchronize();\n";
+  OS << "}\n";
+  std::string Src = OS.str();
+  metricCounter("codegen.bytes").add(static_cast<int64_t>(Src.size()));
+  return Src;
+}

@@ -1,0 +1,46 @@
+//===- codegen/schema/GlobalChannelSchema.h - Paper's kernel ----*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section IV-C kernel shape behind the KernelSchema
+/// interface: one __device__ work function per node (channel primitives
+/// lowered to the Eq. 10/11 shuffled-buffer index arithmetic, or natural
+/// FIFO order for the non-coalesced build), and a single __global__
+/// kernel whose body is a switch over blockIdx.x — one case per SM —
+/// executing that SM's instances in increasing o_{k,v} order behind
+/// staging predicates (Rau's kernel-only schema [18], predicates as
+/// arrays as in [11]). A host driver with Eq. 9 input shuffling is
+/// emitted alongside. Every channel is a global-memory ring; the
+/// SchemaAssignment is ignored (this schema has no queues).
+///
+/// The emitted text is pinned byte for byte by the golden files of
+/// tests/golden/ — this is the refactored body of the original
+/// codegen/CudaEmitter.cpp, and emitCudaSource() still routes here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_CODEGEN_SCHEMA_GLOBALCHANNELSCHEMA_H
+#define SGPU_CODEGEN_SCHEMA_GLOBALCHANNELSCHEMA_H
+
+#include "codegen/schema/KernelSchema.h"
+
+namespace sgpu {
+
+class GlobalChannelSchema final : public KernelSchema {
+public:
+  SchemaKind kind() const override { return SchemaKind::GlobalChannel; }
+  const char *name() const override { return "global"; }
+
+  std::string emit(const StreamGraph &G, const SteadyState &SS,
+                   const ExecutionConfig &Config, const GpuSteadyState &GSS,
+                   const SwpSchedule &Sched, const SchemaAssignment &Schema,
+                   const CudaEmitOptions &Options) const override;
+};
+
+} // namespace sgpu
+
+#endif // SGPU_CODEGEN_SCHEMA_GLOBALCHANNELSCHEMA_H

@@ -1,0 +1,66 @@
+//===- codegen/schema/KernelSchema.cpp - Kernel schema interface -------------===//
+
+#include "codegen/schema/KernelSchema.h"
+
+#include "codegen/schema/GlobalChannelSchema.h"
+#include "codegen/schema/WarpSpecializedSchema.h"
+#include "support/Check.h"
+
+#include <cctype>
+
+using namespace sgpu;
+
+std::unique_ptr<KernelSchema> sgpu::createKernelSchema(SchemaKind Kind) {
+  switch (Kind) {
+  case SchemaKind::GlobalChannel:
+    return std::make_unique<GlobalChannelSchema>();
+  case SchemaKind::WarpSpecialized:
+    return std::make_unique<WarpSpecializedSchema>();
+  }
+  SGPU_UNREACHABLE("unknown schema kind");
+}
+
+const char *sgpu::schemaModeName(SchemaMode M) {
+  switch (M) {
+  case SchemaMode::Global:
+    return "global";
+  case SchemaMode::Warp:
+    return "warp";
+  case SchemaMode::Auto:
+    return "auto";
+  }
+  SGPU_UNREACHABLE("unknown schema mode");
+}
+
+std::optional<SchemaMode> sgpu::parseSchemaMode(std::string_view Name) {
+  std::string Lower(Name);
+  for (char &C : Lower)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  if (Lower == "global")
+    return SchemaMode::Global;
+  if (Lower == "warp")
+    return SchemaMode::Warp;
+  if (Lower == "auto")
+    return SchemaMode::Auto;
+  return std::nullopt;
+}
+
+const char *sgpu::schemaKindName(SchemaKind K) {
+  switch (K) {
+  case SchemaKind::GlobalChannel:
+    return "global";
+  case SchemaKind::WarpSpecialized:
+    return "warp";
+  }
+  SGPU_UNREACHABLE("unknown schema kind");
+}
+
+const char *sgpu::edgeSchemaName(EdgeSchema E) {
+  switch (E) {
+  case EdgeSchema::GlobalChannel:
+    return "global";
+  case EdgeSchema::SharedQueue:
+    return "queue";
+  }
+  SGPU_UNREACHABLE("unknown edge schema");
+}

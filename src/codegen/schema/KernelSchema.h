@@ -1,0 +1,137 @@
+//===- codegen/schema/KernelSchema.h - Kernel schema interface --*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel-schema abstraction of the codegen subsystem: a schema is a
+/// complete shape for the generated CUDA translation unit, deciding how
+/// inter-filter channels are materialized and how the SWP schedule's
+/// instances share the machine. Two schemas exist:
+///
+///   GlobalChannel    the paper's Section IV-C kernel — a switch over
+///                    blockIdx.x, instances serial in o-order, every
+///                    channel a global-memory ring with the Eq. 9-11
+///                    shuffled layout, one launch per steady iteration.
+///
+///   WarpSpecialized  the modern SWP style ("Optimal Software Pipelining
+///                    and Warp Specialization for Tensor Core GPUs"): one
+///                    persistent block per SM, each scheduled instance
+///                    owning a dedicated warp group, and intra-SM channels
+///                    replaced by bounded shared-memory ring queues with
+///                    ticket-based push/pop. Cross-SM channels stay in
+///                    global memory behind a software iteration barrier.
+///
+/// The schema decision is per EDGE, not just per kernel: a
+/// `SchemaAssignment` records, for every channel edge, whether it stays a
+/// global-memory ring or becomes a shared-memory queue (SchemaSelect.h
+/// computes the assignment under the shared-memory budget constraint).
+/// The choice is plumbed through the machine model (queue edges cost
+/// zero global-memory transactions), both timing models, the functional
+/// simulator, the compile report, and the service cache key.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_CODEGEN_SCHEMA_KERNELSCHEMA_H
+#define SGPU_CODEGEN_SCHEMA_KERNELSCHEMA_H
+
+#include "core/ExecutionModel.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgpu {
+
+/// The `--schema=` request: which kernel schema to compile under. Auto
+/// compiles both assignments and keeps the one the timing model predicts
+/// fewer cycles for (ties go to the paper's global schema).
+enum class SchemaMode : uint8_t { Global, Warp, Auto };
+
+/// A concrete schema implementation (what Auto resolves to).
+enum class SchemaKind : uint8_t { GlobalChannel, WarpSpecialized };
+
+/// Per-edge channel materialization.
+enum class EdgeSchema : uint8_t { GlobalChannel, SharedQueue };
+
+/// The per-edge schema decision for one compiled program.
+struct SchemaAssignment {
+  SchemaKind Kind = SchemaKind::GlobalChannel;
+  /// Indexed by edge id; empty means "all global" (a default-constructed
+  /// assignment is valid for any graph).
+  std::vector<EdgeSchema> Edges;
+  /// Ring capacity in tokens of each shared queue (0 for global edges).
+  std::vector<int64_t> QueueCapTokens;
+  /// Shared-memory bytes all queues occupy together. Every block of the
+  /// emitted kernel allocates every queue (one translation unit, static
+  /// __shared__ arrays), so the budget constraint is chip-wide, not
+  /// per-SM: the sum must fit one block's shared memory.
+  int64_t SharedQueueBytes = 0;
+
+  bool isQueue(int Edge) const {
+    return Edge >= 0 && static_cast<size_t>(Edge) < Edges.size() &&
+           Edges[Edge] == EdgeSchema::SharedQueue;
+  }
+  int numQueueEdges() const {
+    int N = 0;
+    for (EdgeSchema E : Edges)
+      if (E == EdgeSchema::SharedQueue)
+        ++N;
+    return N;
+  }
+};
+
+/// Codegen knobs (kept spelling-compatible with the original
+/// codegen/CudaEmitter.h entry point).
+struct CudaEmitOptions {
+  LayoutKind Layout = LayoutKind::Shuffled;
+  int Coarsening = 1; ///< SWPn: iterate each instance n times per launch.
+  bool EmitHostDriver = true;
+};
+
+/// A kernel schema renders the complete .cu translation unit for one
+/// scheduled program under its per-edge assignment.
+class KernelSchema {
+public:
+  virtual ~KernelSchema() = default;
+
+  virtual SchemaKind kind() const = 0;
+  virtual const char *name() const = 0;
+
+  /// Renders the translation unit. \p Schema must either be empty (all
+  /// global) or sized to G.numEdges(); GlobalChannelSchema ignores queue
+  /// entries (it has no queues), WarpSpecializedSchema honours them.
+  virtual std::string emit(const StreamGraph &G, const SteadyState &SS,
+                           const ExecutionConfig &Config,
+                           const GpuSteadyState &GSS,
+                           const SwpSchedule &Sched,
+                           const SchemaAssignment &Schema,
+                           const CudaEmitOptions &Options) const = 0;
+};
+
+/// Instantiates the schema implementation of the given kind.
+std::unique_ptr<KernelSchema> createKernelSchema(SchemaKind Kind);
+
+/// Canonical option spellings: "global" / "warp" / "auto". The mode
+/// spelling is what `--schema=` takes and what the service cache key is
+/// derived from (service/GraphHash.h).
+const char *schemaModeName(SchemaMode M);
+
+/// Inverse of schemaModeName, case-insensitive. Returns std::nullopt for
+/// unknown names.
+std::optional<SchemaMode> parseSchemaMode(std::string_view Name);
+
+/// "global" / "warp".
+const char *schemaKindName(SchemaKind K);
+
+/// "global" / "queue".
+const char *edgeSchemaName(EdgeSchema E);
+
+} // namespace sgpu
+
+#endif // SGPU_CODEGEN_SCHEMA_KERNELSCHEMA_H

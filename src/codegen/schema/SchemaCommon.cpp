@@ -1,0 +1,134 @@
+//===- codegen/schema/SchemaCommon.cpp - Shared emission helpers -------------===//
+
+#include "codegen/schema/SchemaCommon.h"
+
+#include "ir/AstPrinter.h"
+
+using namespace sgpu;
+using namespace sgpu::codegen;
+
+std::string sgpu::codegen::globalIndexFnName(int Edge) {
+  return "IDX_E" + std::to_string(Edge);
+}
+
+std::string sgpu::codegen::queueIndexFnName(int Edge) {
+  return "IDX_Q_E" + std::to_string(Edge);
+}
+
+std::function<std::string(int)> sgpu::codegen::allGlobalIndexFns() {
+  return [](int Edge) { return globalIndexFnName(Edge); };
+}
+
+void sgpu::codegen::emitGlobalIndexFn(std::ostringstream &OS,
+                                      const BufferInfo &B, int Edge,
+                                      int64_t Rate, LayoutKind Layout) {
+  OS << "__device__ __forceinline__ long " << globalIndexFnName(Edge)
+     << "(long q) {\n"
+     << "  long slot = (q / " << B.TokensPerIter << "L) % " << B.Slots
+     << "L;\n"
+     << "  long r = q % " << B.TokensPerIter << "L;\n";
+  if (Layout == LayoutKind::Shuffled && Rate > 0)
+    OS << "  long t = r / " << Rate << "L, n = r % " << Rate << "L;\n"
+       << "  r = 128L * n + (t / 128L) * 128L * " << Rate
+       << "L + (t % 128L);\n";
+  OS << "  return slot * " << B.TokensPerIter << "L + r;\n"
+     << "}\n\n";
+}
+
+void sgpu::codegen::emitFieldConstants(std::ostringstream &OS,
+                                       const StreamGraph &G) {
+  for (const GraphNode &N : G.nodes())
+    if (N.isFilter())
+      OS << printFieldConstants(*N.TheFilter,
+                                "f" + std::to_string(N.Id) + "_");
+  OS << "\n";
+}
+
+void sgpu::codegen::emitNodeFunction(
+    std::ostringstream &OS, const StreamGraph &G, const GraphNode &N,
+    const std::function<std::string(int)> &IndexFn) {
+  if (N.isFilter()) {
+    const Filter &F = *N.TheFilter;
+    const char *InTy = tokenTypeName(F.inputType());
+    const char *OutTy = tokenTypeName(F.outputType());
+    OS << "__device__ void work_" << N.Id << "_" << F.name() << "(";
+    bool NeedComma = false;
+    if (F.popRate() > 0) {
+      OS << "const " << InTy << " *__in, long __in_q0";
+      NeedComma = true;
+    }
+    if (F.pushRate() > 0) {
+      if (NeedComma)
+        OS << ", ";
+      OS << OutTy << " *__out, long __out_q0";
+    }
+    OS << ") {\n";
+    OS << "  int __pop_idx = 0;\n  int __push_idx = 0;\n";
+    OS << "  (void)__pop_idx; (void)__push_idx;\n";
+
+    // Lower the channel primitives. The in/out q0 values are the
+    // absolute indices of this firing's first pop/push; the per-edge
+    // ring+shuffle function turns them into addresses.
+    int InEdge = N.InEdges.empty() ? -1 : N.InEdges[0];
+    int OutEdge = N.OutEdges.empty() ? -1 : N.OutEdges[0];
+    std::string InFn = InEdge >= 0 ? IndexFn(InEdge) : "IDX_IN";
+    std::string OutFn = OutEdge >= 0 ? IndexFn(OutEdge) : "IDX_OUT";
+    ChannelLowering L;
+    L.Pop = [&InFn](const std::string &Ord) {
+      return "__in[" + InFn + "(__in_q0 + (" + Ord + "))]";
+    };
+    L.Peek = [&InFn](const std::string &Depth) {
+      return "__in[" + InFn + "(__in_q0 + __pop_idx + (" + Depth + "))]";
+    };
+    L.Push = [&OutFn](const std::string &Ord, const std::string &V) {
+      return "__out[" + OutFn + "(__out_q0 + (" + Ord + "))] = " + V;
+    };
+    // Fields are referenced with their emitted constant prefix by
+    // textual rename: the printer uses the bare name, so emit aliases.
+    for (const auto &Fld : F.work().fields())
+      OS << "  #define " << Fld->name() << " f" << N.Id << "_"
+         << Fld->name() << "\n";
+    OS << printWorkBody(F, L, /*Indent=*/2);
+    for (const auto &Fld : F.work().fields())
+      OS << "  #undef " << Fld->name() << "\n";
+    OS << "}\n\n";
+    return;
+  }
+  // Splitters and joiners: plain copy loops in weight order, one
+  // pointer + first-token index parameter per port.
+  const char *Ty = tokenTypeName(N.Ty);
+  OS << "__device__ void move_" << N.Id << "_" << N.Name << "(";
+  for (size_t P = 0; P < N.InEdges.size(); ++P)
+    OS << (P ? ", " : "") << "const " << Ty << " *__in" << P
+       << ", long __iq" << P;
+  for (size_t P = 0; P < N.OutEdges.size(); ++P)
+    OS << ", " << Ty << " *__out" << P << ", long __oq" << P;
+  OS << ") {\n";
+  if (N.isSplitter() && N.SplitKind == SplitterKind::Duplicate) {
+    OS << "  " << Ty << " v = __in0[" << IndexFn(N.InEdges[0])
+       << "(__iq0)];\n";
+    for (size_t P = 0; P < N.OutEdges.size(); ++P)
+      OS << "  __out" << P << "[" << IndexFn(N.OutEdges[P]) << "(__oq" << P
+         << ")] = v;\n";
+  } else if (N.isSplitter()) {
+    int64_t Off = 0;
+    for (size_t P = 0; P < N.OutEdges.size(); ++P) {
+      OS << "  for (int i = 0; i < " << N.Weights[P] << "; ++i)\n"
+         << "    __out" << P << "[" << IndexFn(N.OutEdges[P]) << "(__oq" << P
+         << " + i)] = __in0[" << IndexFn(N.InEdges[0]) << "(__iq0 + " << Off
+         << " + i)];\n";
+      Off += N.Weights[P];
+    }
+  } else {
+    int64_t Off = 0;
+    for (size_t P = 0; P < N.InEdges.size(); ++P) {
+      OS << "  for (int i = 0; i < " << N.Weights[P] << "; ++i)\n"
+         << "    __out0[" << IndexFn(N.OutEdges[0]) << "(__oq0 + " << Off
+         << " + i)] = __in" << P << "[" << IndexFn(N.InEdges[P]) << "(__iq"
+         << P << " + i)];\n";
+      Off += N.Weights[P];
+    }
+  }
+  OS << "}\n\n";
+  (void)G;
+}

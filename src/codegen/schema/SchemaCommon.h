@@ -1,0 +1,69 @@
+//===- codegen/schema/SchemaCommon.h - Shared emission helpers --*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emission machinery shared by the kernel schemas: per-edge buffer
+/// bookkeeping, the ring+shuffle index functions, and the per-node
+/// work/move device functions. The work-function emitter is
+/// parameterized by an edge -> index-function-name mapping so the
+/// warp-specialized schema can route queue edges through their
+/// shared-memory ring indexers while everything else keeps the global
+/// Eq. 10/11 form byte for byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_CODEGEN_SCHEMA_SCHEMACOMMON_H
+#define SGPU_CODEGEN_SCHEMA_SCHEMACOMMON_H
+
+#include "codegen/schema/KernelSchema.h"
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sgpu {
+namespace codegen {
+
+/// Everything the emitters need about one edge's device buffer.
+struct BufferInfo {
+  std::string Name;
+  int64_t TokensPerIter = 0; ///< Tokens per coarsened GPU iteration.
+  int64_t Slots = 0;         ///< Ring slots (stage span + 2).
+  int64_t InitTokens = 0;
+};
+
+/// "IDX_E<edge>": the global ring+shuffle index function.
+std::string globalIndexFnName(int Edge);
+
+/// "IDX_Q_E<edge>": the shared-memory queue ring index function.
+std::string queueIndexFnName(int Edge);
+
+/// Maps every edge to its global index function (the GlobalChannel
+/// schema's routing).
+std::function<std::string(int)> allGlobalIndexFns();
+
+/// Emits the device index function mapping an absolute token index to a
+/// ring-buffer position: the iteration block picks the slot, the paper's
+/// cluster shuffle (Eq. 10/11) orders tokens within the block.
+void emitGlobalIndexFn(std::ostringstream &OS, const BufferInfo &B, int Edge,
+                       int64_t Rate, LayoutKind Layout);
+
+/// Emits the field constants of every filter node ("f<id>_" prefixed).
+void emitFieldConstants(std::ostringstream &OS, const StreamGraph &G);
+
+/// Emits the __device__ work function of filter node \p N (channel
+/// primitives lowered through IndexFn(edge)) or the move function of a
+/// splitter/joiner node.
+void emitNodeFunction(std::ostringstream &OS, const StreamGraph &G,
+                      const GraphNode &N,
+                      const std::function<std::string(int)> &IndexFn);
+
+} // namespace codegen
+} // namespace sgpu
+
+#endif // SGPU_CODEGEN_SCHEMA_SCHEMACOMMON_H

@@ -1,0 +1,147 @@
+//===- codegen/schema/SchemaSelect.cpp - Per-edge schema decision ------------===//
+
+#include "codegen/schema/SchemaSelect.h"
+
+#include "layout/AccessAnalyzer.h"
+#include "support/Check.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace sgpu;
+
+namespace {
+
+/// One edge that passed the structural eligibility tests, priced for the
+/// greedy budget admission.
+struct QueueCandidate {
+  int Edge = -1;
+  int64_t CapTokens = 0;
+  int64_t Bytes = 0;
+  double SavedTxns = 0.0; ///< Global transactions saved per invocation.
+};
+
+/// Stage distance of edge \p E under \p Sched: how many pipeline
+/// iterations of backlog the ring must retain. Negative (consumer stage
+/// earlier than producer) disqualifies the edge.
+int64_t stageDistance(const ChannelEdge &E, const SwpSchedule &Sched) {
+  int64_t MinSrcF = std::numeric_limits<int64_t>::max();
+  int64_t MaxDstF = std::numeric_limits<int64_t>::min();
+  for (const ScheduledInstance &SI : Sched.Instances) {
+    if (SI.Node == E.Src)
+      MinSrcF = std::min(MinSrcF, SI.F);
+    if (SI.Node == E.Dst)
+      MaxDstF = std::max(MaxDstF, SI.F);
+  }
+  return MaxDstF - MinSrcF;
+}
+
+/// The single SM hosting every instance of \p Node, or -1 when the
+/// instances are spread across SMs.
+int soleSm(int Node, const SwpSchedule &Sched) {
+  int Sm = -1;
+  for (const ScheduledInstance &SI : Sched.Instances) {
+    if (SI.Node != Node)
+      continue;
+    if (Sm < 0)
+      Sm = SI.Sm;
+    else if (Sm != SI.Sm)
+      return -1;
+  }
+  return Sm;
+}
+
+} // namespace
+
+SchemaAssignment sgpu::selectSchemaAssignment(
+    const GpuArch &Arch, const StreamGraph &G, const SteadyState &SS,
+    const ExecutionConfig &Config, const GpuSteadyState &GSS,
+    const SwpSchedule &Sched, SchemaKind Kind, int Coarsening) {
+  SchemaAssignment A;
+  A.Kind = Kind;
+  A.Edges.assign(G.numEdges(), EdgeSchema::GlobalChannel);
+  A.QueueCapTokens.assign(G.numEdges(), 0);
+  if (Kind == SchemaKind::GlobalChannel)
+    return A;
+
+  std::vector<QueueCandidate> Candidates;
+  for (const ChannelEdge &E : G.edges()) {
+    // The ring cannot be pre-seeded from the host: no initial tokens, no
+    // peek slack (a sliding window reads back into drained ring slots),
+    // no init-phase firings on either endpoint.
+    if (E.InitTokens != 0 || E.PeekRate != E.ConsRate)
+      continue;
+    if (SS.initFirings()[E.Src] != 0 || SS.initFirings()[E.Dst] != 0)
+      continue;
+    // Block-local shared memory: both endpoints wholly on one SM.
+    int SrcSm = soleSm(E.Src, Sched);
+    if (SrcSm < 0 || SrcSm != soleSm(E.Dst, Sched))
+      continue;
+    int64_t Dist = stageDistance(E, Sched);
+    if (Dist < 0)
+      continue;
+
+    // Ring capacity: the stage-distance backlog (tokens of `Dist` whole
+    // coarsened iterations coexist in the ring) plus a double-buffered
+    // coarsening step for the producer/consumer overlap.
+    int64_t TokensPerStep =
+        GSS.Instances[E.Src] * E.ProdRate * Config.Threads[E.Src];
+    int64_t TokensPerIter = TokensPerStep * Coarsening;
+    if (TokensPerStep <= 0)
+      continue;
+    QueueCandidate C;
+    C.Edge = E.Id;
+    C.CapTokens = Dist * TokensPerIter + 2 * TokensPerStep;
+    C.Bytes = C.CapTokens * tokenSizeBytes(E.Ty) + QueueTicketBytes;
+    // One coalesced write + one coalesced read per token per invocation
+    // would have hit the bus: credit both half-warp transaction shares.
+    C.SavedTxns =
+        2.0 * static_cast<double>(TokensPerIter) / HalfWarpSize;
+    Candidates.push_back(C);
+  }
+
+  // Greedy admission: best saved-transactions-per-byte first, edge id
+  // breaking ties, under the chip-wide budget (every block of the single
+  // translation unit allocates every __shared__ ring).
+  std::sort(Candidates.begin(), Candidates.end(),
+            [](const QueueCandidate &A, const QueueCandidate &B) {
+              double Ra = A.SavedTxns / static_cast<double>(A.Bytes);
+              double Rb = B.SavedTxns / static_cast<double>(B.Bytes);
+              if (Ra != Rb)
+                return Ra > Rb;
+              return A.Edge < B.Edge;
+            });
+  int64_t Budget = Arch.SharedMemPerSM - SchemaSharedReserveBytes;
+  for (const QueueCandidate &C : Candidates) {
+    if (A.SharedQueueBytes + C.Bytes > Budget)
+      continue;
+    A.Edges[C.Edge] = EdgeSchema::SharedQueue;
+    A.QueueCapTokens[C.Edge] = C.CapTokens;
+    A.SharedQueueBytes += C.Bytes;
+  }
+  return A;
+}
+
+QueueTraffic sgpu::nodeQueueTraffic(const StreamGraph &G, const GraphNode &N,
+                                    const WorkEstimate &WE,
+                                    const SchemaAssignment &Schema) {
+  QueueTraffic Q;
+  if (N.isFilter()) {
+    // A filter's channel ops all follow its single in/out edge, so a
+    // queued edge reroutes the whole side (re-reads included).
+    if (!N.InEdges.empty() && Schema.isQueue(N.InEdges[0]))
+      Q.Reads = WE.ChannelReads;
+    if (!N.OutEdges.empty() && Schema.isQueue(N.OutEdges[0]))
+      Q.Writes = WE.ChannelWrites;
+    return Q;
+  }
+  // Splitters/joiners move one token per channel op: count the queued
+  // ports' rates.
+  for (int EId : N.InEdges)
+    if (Schema.isQueue(EId))
+      Q.Reads += G.edge(EId).ConsRate;
+  for (int EId : N.OutEdges)
+    if (Schema.isQueue(EId))
+      Q.Writes += G.edge(EId).ProdRate;
+  return Q;
+}

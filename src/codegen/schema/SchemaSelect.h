@@ -1,0 +1,70 @@
+//===- codegen/schema/SchemaSelect.h - Per-edge schema decision -*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the per-edge schema assignment for a scheduled program, in
+/// the spirit of the memory-constrained mapping decisions of
+/// "Memory-constrained Vectorization and Scheduling of Dataflow Graphs
+/// for Hybrid CPU-GPU Platforms": after the ILP has pinned every
+/// instance to an SM and a stage, a channel edge may trade its
+/// global-memory ring for a bounded shared-memory queue when
+///
+///   - every scheduled instance of both endpoints lives on ONE SM (the
+///     queue is block-local shared memory),
+///   - the edge carries no initial tokens, no peek slack, and neither
+///     endpoint fires in the init phase (the ring cannot be pre-seeded
+///     from the host),
+///   - the consumer's stage is not earlier than the producer's, and
+///   - the ring fits the shared-memory budget: capacity is the
+///     stage-distance backlog plus a double-buffered coarsening step,
+///     and the sum over all queues (every block allocates every queue)
+///     must fit SharedMemPerSM minus a fixed staging reservation.
+///
+/// Queue edges are credited with ZERO global-memory transactions; the
+/// greedy admission maximizes saved transactions per shared byte, with
+/// edge-id order breaking ties so the assignment is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_CODEGEN_SCHEMA_SCHEMASELECT_H
+#define SGPU_CODEGEN_SCHEMA_SCHEMASELECT_H
+
+#include "codegen/schema/KernelSchema.h"
+
+namespace sgpu {
+
+/// Shared-memory bytes withheld from the queue budget: staging buffers,
+/// kernel parameters and the ticket spill the emitted kernel needs
+/// outside the rings themselves.
+inline constexpr int64_t SchemaSharedReserveBytes = 2048;
+
+/// Shared bytes per queue for its head/tail ticket pair.
+inline constexpr int64_t QueueTicketBytes = 16;
+
+/// Computes the per-edge assignment for \p Kind. GlobalChannel returns
+/// the all-global assignment; WarpSpecialized admits eligible edges
+/// greedily under the shared-memory budget as described above. The
+/// result is a pure function of its inputs (bit-deterministic).
+SchemaAssignment selectSchemaAssignment(const GpuArch &Arch,
+                                        const StreamGraph &G,
+                                        const SteadyState &SS,
+                                        const ExecutionConfig &Config,
+                                        const GpuSteadyState &GSS,
+                                        const SwpSchedule &Sched,
+                                        SchemaKind Kind, int Coarsening);
+
+/// Per-firing channel tokens of node \p N that \p Schema reroutes
+/// through shared-memory queues: for a filter, all of its channel ops
+/// follow its single in/out edge; for splitters and joiners, the queued
+/// ports' rates. Feeds core/ExecutionModel's QueueTraffic cost rebate.
+QueueTraffic nodeQueueTraffic(const StreamGraph &G, const GraphNode &N,
+                              const WorkEstimate &WE,
+                              const SchemaAssignment &Schema);
+
+} // namespace sgpu
+
+#endif // SGPU_CODEGEN_SCHEMA_SCHEMASELECT_H

@@ -1,0 +1,379 @@
+//===- codegen/schema/WarpSpecializedSchema.cpp - Warp SWP kernel ------------===//
+
+#include "codegen/schema/WarpSpecializedSchema.h"
+
+#include "codegen/schema/SchemaCommon.h"
+#include "support/Check.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <map>
+#include <sstream>
+
+using namespace sgpu;
+using namespace sgpu::codegen;
+
+namespace {
+
+/// Warp-group placement of one scheduled instance inside its SM's block.
+struct WarpRange {
+  int FirstWarp = 0;
+  int NumWarps = 0;
+};
+
+std::string ticketName(int Edge, const char *Side) {
+  return "qt_e" + std::to_string(Edge) + "_" + Side;
+}
+
+std::string queueBufName(int Edge) { return "q_e" + std::to_string(Edge); }
+
+} // namespace
+
+std::string WarpSpecializedSchema::emit(const StreamGraph &G,
+                                        const SteadyState &SS,
+                                        const ExecutionConfig &Config,
+                                        const GpuSteadyState &GSS,
+                                        const SwpSchedule &Sched,
+                                        const SchemaAssignment &Schema,
+                                        const CudaEmitOptions &Options) const {
+  StageTimer Timer("codegen.emit");
+  metricCounter("codegen.kernels").add(1);
+  metricCounter("codegen.schema.warp_kernels").add(1);
+  metricCounter("codegen.schema.queue_edges").add(Schema.numQueueEdges());
+  std::ostringstream OS;
+  OS << "// Auto-generated warp-specialized software-pipelined StreamIt "
+        "kernel\n"
+     << "// schema: one persistent block per SM; each scheduled instance\n"
+     << "// owns a dedicated warp group, so producers and consumers run\n"
+     << "// concurrently. Intra-SM channels are bounded shared-memory ring\n"
+     << "// queues with ticket-based push/pop (zero global-memory\n"
+     << "// transactions); cross-SM channels keep the global\n"
+     << "// cluster-shuffle rings, separated per pipeline iteration by a\n"
+     << "// software grid barrier.\n"
+     << "#include <cuda_runtime.h>\n\n";
+
+  // --- Per-edge buffers. Global edges keep the ring+shuffle indexers;
+  // queue edges index their shared ring directly (shared memory needs no
+  // coalescing, so no Eq. 10/11 shuffle).
+  std::vector<BufferInfo> Buffers(G.numEdges());
+  int64_t Slots = Sched.stageSpan() + 2;
+  bool AnyQueue = false;
+  for (const ChannelEdge &E : G.edges()) {
+    BufferInfo &B = Buffers[E.Id];
+    B.TokensPerIter = GSS.Instances[E.Src] * E.ProdRate *
+                      Config.Threads[E.Src] * Options.Coarsening;
+    B.Slots = Slots;
+    B.InitTokens = E.InitTokens;
+    if (Schema.isQueue(E.Id)) {
+      AnyQueue = true;
+      B.Name = queueBufName(E.Id);
+      int64_t Cap = Schema.QueueCapTokens[E.Id];
+      assert(Cap > 0 && "shared-queue edge without a ring capacity");
+      OS << "__device__ __forceinline__ long " << queueIndexFnName(E.Id)
+         << "(long q) {\n"
+         << "  return q % " << Cap << "L; // shared ring, shuffle-free\n"
+         << "}\n\n";
+    } else {
+      B.Name = "buf_e" + std::to_string(E.Id);
+      emitGlobalIndexFn(OS, B, E.Id, E.ConsRate, Options.Layout);
+    }
+  }
+
+  // --- Queue ticket primitives.
+  if (AnyQueue)
+    OS << "// Bounded ring queue tickets: monotonic 64-bit token counts.\n"
+       << "// A producer spins until the consumer's head ticket frees ring\n"
+       << "// space, writes its tokens, then publishes a new tail; a\n"
+       << "// consumer spins on the tail, reads, then releases the head.\n"
+       << "// Warps of a group publish in warp order (lane 31 carries the\n"
+       << "// group's highest token index); atomicMax keeps tickets\n"
+       << "// monotonic under concurrent publishers.\n"
+       << "__device__ __forceinline__ void q_wait(volatile long long "
+          "*ticket, long long need) {\n"
+       << "  while (*ticket < need) { }\n"
+       << "}\n"
+       << "__device__ __forceinline__ void q_publish(long long *ticket, "
+          "long long to) {\n"
+       << "  atomicMax((unsigned long long *)ticket, (unsigned long long)"
+          "to);\n"
+       << "}\n\n";
+
+  // --- Software grid barrier separating pipeline iterations (the
+  // persistent kernel replaces the paper's per-iteration launches).
+  OS << "// Software grid barrier: block 0..gridDim-1 arrive, everyone\n"
+     << "// spins until the arrival count reaches the per-iteration goal.\n"
+     << "__device__ unsigned int swp_barrier_arrived = 0u;\n"
+     << "__device__ void global_barrier(unsigned int goal) {\n"
+     << "  __syncthreads();\n"
+     << "  if (threadIdx.x == 0) {\n"
+     << "    __threadfence();\n"
+     << "    atomicAdd(&swp_barrier_arrived, 1u);\n"
+     << "    while (((volatile unsigned int *)&swp_barrier_arrived)[0] < "
+        "goal) { }\n"
+     << "  }\n"
+     << "  __syncthreads();\n"
+     << "}\n\n";
+
+  // --- Field constants.
+  emitFieldConstants(OS, G);
+
+  // --- Work functions: queue edges route through their shared-ring
+  // indexer, everything else through the global ring+shuffle form.
+  auto IndexFn = [&Schema](int Edge) {
+    return Schema.isQueue(Edge) ? queueIndexFnName(Edge)
+                                : globalIndexFnName(Edge);
+  };
+  for (const GraphNode &N : G.nodes())
+    emitNodeFunction(OS, G, N, IndexFn);
+
+  // --- Warp-group placement: walk each SM's o-order and hand every
+  // instance ceil(threads/32) consecutive warps. Block size is the
+  // widest SM's total.
+  std::map<const ScheduledInstance *, WarpRange> Ranges;
+  int BlockWarps = 1;
+  for (int P = 0; P < Sched.Pmax; ++P) {
+    int Cursor = 0;
+    for (const ScheduledInstance *SI : Sched.smOrder(P)) {
+      WarpRange R;
+      R.FirstWarp = Cursor;
+      R.NumWarps =
+          static_cast<int>((Config.Threads[SI->Node] + 31) / 32);
+      Cursor += R.NumWarps;
+      Ranges[SI] = R;
+    }
+    BlockWarps = std::max(BlockWarps, Cursor);
+  }
+  int BlockThreads = BlockWarps * 32;
+
+  // --- The persistent warp-specialized kernel.
+  OS << "// Staging predicate: instance with stage f runs the work of\n"
+     << "// logical iteration (it - f); negative means prologue idle.\n";
+  OS << "__global__ void streamit_swp_kernel(";
+  {
+    bool First = true;
+    for (const ChannelEdge &E : G.edges()) {
+      if (Schema.isQueue(E.Id))
+        continue; // Lives in shared memory below.
+      if (!First)
+        OS << ", ";
+      OS << tokenTypeName(E.Ty) << " *" << Buffers[E.Id].Name;
+      First = false;
+    }
+    if (G.entryNode() >= 0)
+      OS << (First ? "" : ", ") << "const "
+         << tokenTypeName(G.node(G.entryNode()).TheFilter->inputType())
+         << " *buf_in";
+    if (G.exitNode() >= 0)
+      OS << ", "
+         << tokenTypeName(G.node(G.exitNode()).TheFilter->outputType())
+         << " *buf_out";
+    OS << ", int iterations) {\n";
+  }
+  for (const ChannelEdge &E : G.edges()) {
+    if (!Schema.isQueue(E.Id))
+      continue;
+    OS << "  __shared__ " << tokenTypeName(E.Ty) << " "
+       << queueBufName(E.Id) << "[" << Schema.QueueCapTokens[E.Id]
+       << "];\n"
+       << "  __shared__ long long " << ticketName(E.Id, "head") << ", "
+       << ticketName(E.Id, "tail") << ";\n";
+  }
+  if (AnyQueue) {
+    OS << "  if (threadIdx.x == 0) {\n";
+    for (const ChannelEdge &E : G.edges())
+      if (Schema.isQueue(E.Id))
+        OS << "    " << ticketName(E.Id, "head") << " = 0LL; "
+           << ticketName(E.Id, "tail") << " = 0LL;\n";
+    OS << "  }\n  __syncthreads();\n";
+  }
+  OS << "  for (int it = 0; it < iterations; ++it) {\n";
+  OS << "  switch (blockIdx.x) {\n";
+  for (int P = 0; P < Sched.Pmax; ++P) {
+    OS << "  case " << P << ": {\n";
+    std::vector<const ScheduledInstance *> Order = Sched.smOrder(P);
+    for (const ScheduledInstance *SI : Order) {
+      const GraphNode &N = G.node(SI->Node);
+      int64_t Threads = Config.Threads[SI->Node];
+      const WarpRange &WR = Ranges[SI];
+      OS << "    // o=" << SI->O << " f=" << SI->F << " " << N.Name
+         << " instance " << SI->K << "  warps [" << WR.FirstWarp << ", "
+         << WR.FirstWarp + WR.NumWarps << ")\n";
+      OS << "    { int j = it - " << SI->F << ";\n"
+         << "      int tid = (int)threadIdx.x - " << WR.FirstWarp * 32
+         << ";\n"
+         << "      if (j >= 0 && tid >= 0 && tid < " << Threads
+         << ") {\n"
+         << "        for (int c = 0; c < " << Options.Coarsening
+         << "; ++c) {\n"
+         << "          long b = " << SS.initFirings()[SI->Node]
+         << "L + (((long)j * " << Options.Coarsening << " + c) * "
+         << GSS.Instances[SI->Node] << "L + " << SI->K << "L) * "
+         << Threads << "L + tid;\n";
+
+      // Ticket flow control: reserve ring space on queue out-edges,
+      // wait for published tokens on queue in-edges.
+      auto EmitWaits = [&]() {
+        for (int EId : N.InEdges) {
+          const ChannelEdge &E = G.edge(EId);
+          if (!Schema.isQueue(EId))
+            continue;
+          OS << "          q_wait(&" << ticketName(EId, "tail")
+             << ", (b + 1L) * " << E.ConsRate << "L);\n";
+        }
+        for (int EId : N.OutEdges) {
+          const ChannelEdge &E = G.edge(EId);
+          if (!Schema.isQueue(EId))
+            continue;
+          OS << "          q_wait(&" << ticketName(EId, "head")
+             << ", (b + 1L) * " << E.ProdRate << "L - "
+             << Schema.QueueCapTokens[EId] << "L);\n";
+        }
+      };
+      auto EmitPublishes = [&]() {
+        bool NeedFence = false;
+        for (int EId : N.OutEdges)
+          if (Schema.isQueue(EId))
+            NeedFence = true;
+        if (NeedFence)
+          OS << "          __threadfence_block(); __syncwarp();\n";
+        else if (!N.InEdges.empty()) {
+          for (int EId : N.InEdges)
+            if (Schema.isQueue(EId)) {
+              OS << "          __syncwarp();\n";
+              break;
+            }
+        }
+        for (int EId : N.OutEdges) {
+          const ChannelEdge &E = G.edge(EId);
+          if (!Schema.isQueue(EId))
+            continue;
+          OS << "          if ((threadIdx.x & 31) == 31 || tid == "
+             << Threads - 1 << ") q_publish(&" << ticketName(EId, "tail")
+             << ", (b + 1L) * " << E.ProdRate << "L);\n";
+        }
+        for (int EId : N.InEdges) {
+          const ChannelEdge &E = G.edge(EId);
+          if (!Schema.isQueue(EId))
+            continue;
+          OS << "          if ((threadIdx.x & 31) == 31 || tid == "
+             << Threads - 1 << ") q_publish(&" << ticketName(EId, "head")
+             << ", (b + 1L) * " << E.ConsRate << "L);\n";
+        }
+      };
+      EmitWaits();
+
+      if (N.isFilter()) {
+        const Filter &F = *N.TheFilter;
+        OS << "          work_" << N.Id << "_" << F.name() << "(";
+        bool NeedComma = false;
+        if (F.popRate() > 0) {
+          std::string Buf = SI->Node == G.entryNode()
+                                ? "buf_in"
+                                : Buffers[N.InEdges[0]].Name;
+          OS << Buf << ", b * " << F.popRate() << "L";
+          NeedComma = true;
+        }
+        if (F.pushRate() > 0) {
+          if (NeedComma)
+            OS << ", ";
+          std::string Buf = SI->Node == G.exitNode()
+                                ? "buf_out"
+                                : Buffers[N.OutEdges[0]].Name;
+          OS << Buf << ", b * " << F.pushRate() << "L";
+        }
+        OS << ");\n";
+      } else {
+        OS << "          move_" << N.Id << "_" << N.Name << "(";
+        for (size_t Port = 0; Port < N.InEdges.size(); ++Port) {
+          const ChannelEdge &E = G.edge(N.InEdges[Port]);
+          OS << (Port ? ", " : "") << Buffers[E.Id].Name << ", b * "
+             << E.ConsRate << "L";
+        }
+        for (size_t Port = 0; Port < N.OutEdges.size(); ++Port) {
+          const ChannelEdge &E = G.edge(N.OutEdges[Port]);
+          OS << ", " << Buffers[E.Id].Name << ", " << E.InitTokens
+             << "L + b * " << E.ProdRate << "L";
+        }
+        OS << ");\n";
+      }
+      EmitPublishes();
+      OS << "        }\n      }\n    }\n";
+
+      // Same-stage global edges consumed on this SM still rely on
+      // o-order; warp groups run concurrently, so pin the order with a
+      // block barrier exactly where the dependency exists.
+      bool NeedsOrderBarrier = false;
+      for (int EId : N.OutEdges) {
+        if (Schema.isQueue(EId))
+          continue;
+        const ChannelEdge &E = G.edge(EId);
+        for (const ScheduledInstance *SJ : Order)
+          if (SJ->Node == E.Dst && SJ->F == SI->F)
+            NeedsOrderBarrier = true;
+      }
+      if (NeedsOrderBarrier)
+        OS << "    // o-order: a global edge is consumed at this stage "
+              "on this SM\n"
+           << "    __syncthreads();\n";
+    }
+    OS << "    break;\n  }\n";
+  }
+  OS << "  default: break;\n  }\n";
+  OS << "  global_barrier(" << Sched.Pmax
+     << "u * (unsigned int)(it + 1));\n";
+  OS << "  }\n";
+  OS << "}\n\n";
+
+  if (!Options.EmitHostDriver) {
+    std::string Src = OS.str();
+    metricCounter("codegen.bytes").add(static_cast<int64_t>(Src.size()));
+    return Src;
+  }
+
+  // --- Host driver: global rings only (queues live in shared memory);
+  // one persistent launch, iterations advance behind the grid barrier.
+  OS << "// Host driver: allocates the global ring buffers (queue edges\n"
+     << "// live in shared memory), shuffles the program input per Eq. 9\n"
+     << "// and launches the persistent kernel once.\n";
+  OS << "void run_streamit_program(int iterations) {\n";
+  for (const ChannelEdge &E : G.edges()) {
+    if (Schema.isQueue(E.Id))
+      continue;
+    OS << "  " << tokenTypeName(E.Ty) << " *" << Buffers[E.Id].Name
+       << "; cudaMalloc(&" << Buffers[E.Id].Name << ", "
+       << (Buffers[E.Id].TokensPerIter * Buffers[E.Id].Slots +
+           Buffers[E.Id].InitTokens) *
+              4
+       << "L);\n";
+  }
+  if (G.entryNode() >= 0) {
+    const Filter &F = *G.node(G.entryNode()).TheFilter;
+    OS << "  // shuffle_input: host[i] -> dev[128*(i%" << F.popRate()
+       << ") + (i/(128*" << F.popRate() << "))*(128*" << F.popRate()
+       << ") + ((i/" << F.popRate() << ")%128)]\n";
+  }
+  OS << "  dim3 grid(" << Sched.Pmax << "), block(" << BlockThreads
+     << ");\n";
+  OS << "  streamit_swp_kernel<<<grid, block>>>(";
+  {
+    bool First = true;
+    for (const ChannelEdge &E : G.edges()) {
+      if (Schema.isQueue(E.Id))
+        continue;
+      if (!First)
+        OS << ", ";
+      OS << Buffers[E.Id].Name;
+      First = false;
+    }
+    if (G.entryNode() >= 0)
+      OS << (First ? "" : ", ") << "buf_in";
+    if (G.exitNode() >= 0)
+      OS << ", buf_out";
+    OS << ", iterations + " << Sched.stageSpan() << ");\n";
+  }
+  OS << "  cudaDeviceSynchronize();\n";
+  OS << "}\n";
+  std::string Src = OS.str();
+  metricCounter("codegen.bytes").add(static_cast<int64_t>(Src.size()));
+  return Src;
+}

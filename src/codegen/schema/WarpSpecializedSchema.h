@@ -1,0 +1,46 @@
+//===- codegen/schema/WarpSpecializedSchema.h - Warp SWP kernel -*- C++ -*-===//
+//
+// Part of the streamit-gpu-swp project, reproducing "Software Pipelined
+// Execution of Stream Programs on GPUs" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The warp-specialized kernel schema: one persistent block per SM for
+/// the whole run, each scheduled instance owning a dedicated warp group,
+/// so producer and consumer filter groups execute concurrently the way
+/// modern SWP kernels do ("Optimal Software Pipelining and Warp
+/// Specialization for Tensor Core GPUs"). Channel edges whose endpoints
+/// are wholly co-resident on one SM become bounded shared-memory ring
+/// queues with ticket-based push/pop — a producer reserves ring space by
+/// spinning until the consumer's head ticket frees capacity, then
+/// publishes a new tail; tickets are monotonic 64-bit token counts, so
+/// the ring never wraps ambiguously. Queue traffic never touches the
+/// DRAM bus. Cross-SM channels keep the global-memory cluster-shuffle
+/// rings of the paper's schema, separated per pipeline iteration by a
+/// software grid barrier (the persistent kernel replaces the paper's
+/// one-launch-per-iteration global barrier).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGPU_CODEGEN_SCHEMA_WARPSPECIALIZEDSCHEMA_H
+#define SGPU_CODEGEN_SCHEMA_WARPSPECIALIZEDSCHEMA_H
+
+#include "codegen/schema/KernelSchema.h"
+
+namespace sgpu {
+
+class WarpSpecializedSchema final : public KernelSchema {
+public:
+  SchemaKind kind() const override { return SchemaKind::WarpSpecialized; }
+  const char *name() const override { return "warp"; }
+
+  std::string emit(const StreamGraph &G, const SteadyState &SS,
+                   const ExecutionConfig &Config, const GpuSteadyState &GSS,
+                   const SwpSchedule &Sched, const SchemaAssignment &Schema,
+                   const CudaEmitOptions &Options) const override;
+};
+
+} // namespace sgpu
+
+#endif // SGPU_CODEGEN_SCHEMA_WARPSPECIALIZEDSCHEMA_H

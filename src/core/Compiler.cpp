@@ -2,6 +2,7 @@
 
 #include "core/Compiler.h"
 
+#include "codegen/schema/SchemaSelect.h"
 #include "gpusim/Occupancy.h"
 #include "profile/Profiler.h"
 #include "sdf/Schedules.h"
@@ -82,20 +83,23 @@ sgpu::parseConfigSelectMode(std::string_view Name) {
 
 namespace {
 
-/// Per-node timing-model instances under a given config.
+/// Per-node timing-model instances under a given config; a non-null
+/// \p Schema splits queue-routed channel traffic into ViaQueue streams.
 std::vector<SimInstance> buildNodeInstances(const GpuArch &Arch,
                                             const StreamGraph &G,
                                             const ExecutionConfig &Config,
-                                            LayoutKind Layout);
+                                            LayoutKind Layout,
+                                            const SchemaAssignment *Schema);
 
 } // namespace
 
 KernelDesc sgpu::buildSwpKernelDesc(const GpuArch &Arch, const StreamGraph &G,
                                     const ExecutionConfig &Config,
                                     const SwpSchedule &Schedule,
-                                    LayoutKind Layout, int Coarsening) {
+                                    LayoutKind Layout, int Coarsening,
+                                    const SchemaAssignment *Schema) {
   KernelDesc Desc;
-  Desc.Instances = buildNodeInstances(Arch, G, Config, Layout);
+  Desc.Instances = buildNodeInstances(Arch, G, Config, Layout, Schema);
   Desc.StageSpan = Schedule.stageSpan();
   Desc.SmStreams.resize(Schedule.Pmax);
   for (int P = 0; P < Schedule.Pmax; ++P)
@@ -107,17 +111,23 @@ KernelDesc sgpu::buildSwpKernelDesc(const GpuArch &Arch, const StreamGraph &G,
 
 namespace {
 
-/// Per-node timing-model instances under a given config.
+/// Per-node timing-model instances under a given config; a non-null
+/// \p Schema splits queue-routed channel traffic into ViaQueue streams.
 std::vector<SimInstance> buildNodeInstances(const GpuArch &Arch,
                                             const StreamGraph &G,
                                             const ExecutionConfig &Config,
-                                            LayoutKind Layout) {
+                                            LayoutKind Layout,
+                                            const SchemaAssignment *Schema) {
   std::vector<SimInstance> Insts;
   Insts.reserve(G.numNodes());
-  for (const GraphNode &N : G.nodes())
-    Insts.push_back(buildSimInstance(Arch, N, nodeWorkEstimate(N),
-                                     Config.Threads[N.Id], Config.RegLimit,
-                                     Layout));
+  for (const GraphNode &N : G.nodes()) {
+    WorkEstimate WE = nodeWorkEstimate(N);
+    QueueTraffic Q;
+    if (Schema)
+      Q = nodeQueueTraffic(G, N, WE, *Schema);
+    Insts.push_back(buildSimInstance(Arch, N, WE, Config.Threads[N.Id],
+                                     Config.RegLimit, Layout, Q));
+  }
   return Insts;
 }
 
@@ -141,10 +151,14 @@ TimingModelKind profileTimingKind(const CompileOptions &Options) {
 int64_t swpBufferBytes(const StreamGraph &G, const SteadyState &SS,
                        const ExecutionConfig &Config,
                        const GpuSteadyState &GSS, const SwpSchedule &Sched,
-                       int Coarsening) {
+                       int Coarsening, const SchemaAssignment &Schema) {
   int64_t SlotsInFlight = Sched.stageSpan() + 2;
   int64_t Bytes = 0;
   for (const ChannelEdge &E : G.edges()) {
+    // Queue-assigned edges live in on-chip shared memory
+    // (SchemaAssignment::SharedQueueBytes), not device channel buffers.
+    if (Schema.isQueue(E.Id))
+      continue;
     int64_t TokensPerGpuIter = GSS.Instances[E.Src] * E.ProdRate *
                                Config.Threads[E.Src] * Coarsening;
     int64_t Slack = E.InitTokens + (E.PeekRate - E.ConsRate);
@@ -191,12 +205,47 @@ std::optional<CompileReport> compileSwp(const StreamGraph &G,
   if (!SR)
     return std::nullopt;
 
+  // Per-edge kernel-schema decision (codegen/schema/): which channels
+  // the emitted kernel keeps in shared-memory ring queues. The schedule
+  // is fixed first — the schema only changes how the channels are
+  // realized, never the II. Auto simulates both realizations and keeps
+  // the faster one, global winning ties.
+  SchemaAssignment Schema;
+  Schema.Edges.assign(G.numEdges(), EdgeSchema::GlobalChannel);
+  Schema.QueueCapTokens.assign(G.numEdges(), 0);
+  if (Options.Schema != SchemaMode::Global) {
+    metricCounter("codegen.schema.requests").add(1);
+    SchemaAssignment Warp = selectSchemaAssignment(
+        Options.Arch, G, SS, *Config, GSS, SR->Schedule,
+        SchemaKind::WarpSpecialized, Options.Coarsening);
+    if (Options.Schema == SchemaMode::Warp) {
+      Schema = std::move(Warp);
+    } else if (Warp.numQueueEdges() > 0) {
+      KernelDesc GlobalDesc =
+          buildSwpKernelDesc(Options.Arch, G, *Config, SR->Schedule, Layout,
+                             Options.Coarsening, /*Schema=*/nullptr);
+      KernelDesc WarpDesc =
+          buildSwpKernelDesc(Options.Arch, G, *Config, SR->Schedule, Layout,
+                             Options.Coarsening, &Warp);
+      double GlobalCycles = Model->simulateKernel(GlobalDesc).TotalCycles;
+      double WarpCycles = Model->simulateKernel(WarpDesc).TotalCycles;
+      if (WarpCycles < GlobalCycles)
+        Schema = std::move(Warp);
+    }
+    if (Schema.Kind == SchemaKind::WarpSpecialized) {
+      metricCounter("codegen.schema.warp_selected").add(1);
+      metricCounter("codegen.schema.queue_edges").add(Schema.numQueueEdges());
+      metricGauge("codegen.schema.shared_queue_bytes")
+          .set(static_cast<double>(Schema.SharedQueueBytes));
+    }
+  }
+
   // Time one kernel invocation: each SM executes its instances serially,
   // each instance iterated `Coarsening` times (the SWPn schemes); the
   // whole grid shares the memory bus; one launch per invocation.
   KernelDesc Desc = buildSwpKernelDesc(Options.Arch, G, *Config,
                                        SR->Schedule, Layout,
-                                       Options.Coarsening);
+                                       Options.Coarsening, &Schema);
   KernelSimResult Sim = Model->simulateKernel(Desc);
   double Kernel = Sim.TotalCycles;
   double BatchBaseIters =
@@ -213,6 +262,8 @@ std::optional<CompileReport> compileSwp(const StreamGraph &G,
   R.GSS = GSS;
   R.SchedStats = *SR;
   R.Schedule = std::move(SR->Schedule);
+  R.RequestedSchema = Options.Schema;
+  R.Schema = std::move(Schema);
   R.GpuCyclesPerBaseIteration = Kernel / BatchBaseIters;
   R.CpuCyclesPerBaseIteration = cpuCyclesPerBaseIteration(SS, Options.Cpu);
   R.Speedup = speedupOverCpu(R.CpuCyclesPerBaseIteration,
@@ -220,7 +271,7 @@ std::optional<CompileReport> compileSwp(const StreamGraph &G,
                              R.GpuCyclesPerBaseIteration,
                              Options.Arch.CoreClockGHz);
   R.BufferBytes = swpBufferBytes(G, SS, R.Config, GSS, R.Schedule,
-                                 Options.Coarsening);
+                                 Options.Coarsening, R.Schema);
   // Fill + drain: the pipeline holds stageSpan() extra invocations in
   // flight, so first-token latency is the kernel plus the fill cost the
   // timing model reports.
@@ -268,8 +319,8 @@ std::optional<CompileReport> compileSerial(const StreamGraph &G,
 
   GpuSteadyState GSS = computeGpuSteadyState(SS.repetitions(),
                                              Config->Threads);
-  std::vector<SimInstance> Insts =
-      buildNodeInstances(Options.Arch, G, *Config, LayoutKind::Shuffled);
+  std::vector<SimInstance> Insts = buildNodeInstances(
+      Options.Arch, G, *Config, LayoutKind::Shuffled, /*Schema=*/nullptr);
 
   // One kernel per node per batch; blocks spread across the SMs in
   // waves (firings balanced, leftovers to the lowest SM indices). Batch
@@ -319,6 +370,11 @@ std::optional<CompileReport> compileSerial(const StreamGraph &G,
   R.KernelSim = std::move(Agg);
   R.Config = std::move(*Config);
   R.GSS = GSS;
+  // Serial has no pipeline to specialize: record the request, keep the
+  // all-global assignment.
+  R.RequestedSchema = Options.Schema;
+  R.Schema.Edges.assign(G.numEdges(), EdgeSchema::GlobalChannel);
+  R.Schema.QueueCapTokens.assign(G.numEdges(), 0);
   R.GpuCyclesPerBaseIteration = TotalCycles / BatchBaseIters;
   R.CpuCyclesPerBaseIteration = cpuCyclesPerBaseIteration(SS, Options.Cpu);
   R.Speedup = speedupOverCpu(R.CpuCyclesPerBaseIteration,

@@ -23,6 +23,7 @@
 #ifndef SGPU_CORE_COMPILER_H
 #define SGPU_CORE_COMPILER_H
 
+#include "codegen/schema/KernelSchema.h"
 #include "core/CpuBaseline.h"
 #include "core/IlpScheduler.h"
 #include "gpusim/TimingModel.h"
@@ -75,6 +76,12 @@ struct CompileOptions {
   /// Which model the profile sweep / config selection trusts
   /// (`--config-select`); Auto follows `Timing`.
   ConfigSelectMode ConfigSelect = ConfigSelectMode::Auto;
+  /// Which kernel schema the SWP strategies emit (`--schema`): the
+  /// paper's global-channel kernel, the warp-specialized persistent
+  /// kernel with shared-memory ring queues on eligible same-SM edges,
+  /// or Auto — simulate both and keep the faster one (tie: global).
+  /// The Serial strategy has no pipeline to specialize and ignores it.
+  SchemaMode Schema = SchemaMode::Global;
 };
 
 /// Everything the benches and tests need about one compiled program.
@@ -89,6 +96,12 @@ struct CompileReport {
   GpuSteadyState GSS;
   SwpSchedule Schedule;     ///< Meaningful for the SWP strategies.
   ScheduleResult SchedStats;
+
+  /// The schema mode the caller asked for (CompileOptions::Schema).
+  SchemaMode RequestedSchema = SchemaMode::Global;
+  /// The per-edge schema decision actually taken (all-global unless the
+  /// warp-specialized schema was requested or won the Auto comparison).
+  SchemaAssignment Schema;
 
   double GpuCyclesPerBaseIteration = 0.0;
   double CpuCyclesPerBaseIteration = 0.0;
@@ -119,11 +132,14 @@ std::optional<CompileReport> compileForGpu(const StreamGraph &G,
 /// under \p Schedule: each SM runs its scheduled instances in slot
 /// order, each iterated \p Coarsening times (SWPn). StageSpan comes
 /// from the schedule, so simulateKernel can surface the
-/// prologue/epilogue fill cost.
+/// prologue/epilogue fill cost. A non-null \p Schema reroutes the
+/// queue-assigned edges' traffic off the DRAM bus (ViaQueue streams,
+/// ticket overhead in the compute budget).
 KernelDesc buildSwpKernelDesc(const GpuArch &Arch, const StreamGraph &G,
                               const ExecutionConfig &Config,
                               const SwpSchedule &Schedule, LayoutKind Layout,
-                              int Coarsening);
+                              int Coarsening,
+                              const SchemaAssignment *Schema = nullptr);
 
 /// The layout a strategy uses.
 LayoutKind layoutFor(Strategy S);

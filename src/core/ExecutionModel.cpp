@@ -83,12 +83,25 @@ int64_t sgpu::nodeChannelTraffic(const GraphNode &N) {
 InstanceCost sgpu::buildInstanceCost(const GpuArch &Arch, const GraphNode &N,
                                      const WorkEstimate &WE, int64_t Threads,
                                      int RegLimit, LayoutKind Layout,
-                                     double TxnsPerAccess) {
+                                     double TxnsPerAccess,
+                                     const QueueTraffic &Queue) {
+  // Channel ops rerouted through shared-memory queues by the schema
+  // assignment never touch the DRAM bus: price them as shared accesses
+  // plus the ticket handshake, and keep them out of the global side.
+  int64_t QueueOps = Queue.Reads + Queue.Writes;
+  assert(QueueOps <= WE.ChannelReads + WE.ChannelWrites &&
+         "queue traffic exceeds the node's channel ops");
   InstanceCost C;
   C.Threads = Threads;
   C.ComputeOps = WE.IntOps + WE.FloatOps + WE.LocalArrayAccesses;
+  if (Queue.Reads > 0)
+    C.ComputeOps += QueueTicketOpsPerSide;
+  if (Queue.Writes > 0)
+    C.ComputeOps += QueueTicketOpsPerSide;
   C.SfuOps = WE.TranscOps;
-  C.GlobalAccesses = WE.ChannelReads + WE.ChannelWrites;
+  C.GlobalAccesses =
+      std::max<int64_t>(0, WE.ChannelReads + WE.ChannelWrites - QueueOps);
+  C.SharedAccesses = QueueOps;
 
   // Register pressure beyond the compile-time limit spills (the paper's
   // profiling compiles each filter under {16,20,32,64}-register limits
@@ -120,7 +133,7 @@ InstanceCost sgpu::buildInstanceCost(const GpuArch &Arch, const GraphNode &N,
       C.TxnsPerAccess = 1.0 / HalfWarpSize;
       // Every channel element also crosses shared memory; strided shared
       // accesses conflict, but a conflict costs ~1 cycle per extra lane.
-      C.SharedAccesses = C.GlobalAccesses;
+      C.SharedAccesses += C.GlobalAccesses;
       std::vector<int64_t> Addrs;
       int64_t R = std::max<int64_t>(PopR, 1);
       for (int Lane = 0; Lane < HalfWarpSize; ++Lane)
@@ -154,7 +167,7 @@ InstanceCost sgpu::buildInstanceCost(const GpuArch &Arch, const GraphNode &N,
   // the Coalescer over the real buffer addresses — this is what closed
   // the Filterbank 12x / FMRadio 8.5x analytic-vs-cycle gaps. Staged
   // streams are exempt (the global side coalesces by construction).
-  if (!Staged && PeekR > PopR && WE.ChannelReads > 0) {
+  if (!Staged && PeekR > PopR && WE.ChannelReads > 0 && Queue.Reads == 0) {
     MemStream R;
     R.Count = WE.ChannelReads;
     R.KeyRate = std::max<int64_t>(PopR, 1);
@@ -170,10 +183,12 @@ InstanceCost sgpu::buildInstanceCost(const GpuArch &Arch, const GraphNode &N,
 
 SimInstance sgpu::buildSimInstance(const GpuArch &Arch, const GraphNode &N,
                                    const WorkEstimate &WE, int64_t Threads,
-                                   int RegLimit, LayoutKind Layout) {
+                                   int RegLimit, LayoutKind Layout,
+                                   const QueueTraffic &Queue) {
   SimInstance Inst;
   Inst.Node = N.Id;
-  Inst.Cost = buildInstanceCost(Arch, N, WE, Threads, RegLimit, Layout);
+  Inst.Cost =
+      buildInstanceCost(Arch, N, WE, Threads, RegLimit, Layout, -1.0, Queue);
 
   int64_t PopR = N.totalPopPerFiring();
   int64_t PushR = N.totalPushPerFiring();
@@ -188,9 +203,14 @@ SimInstance sgpu::buildSimInstance(const GpuArch &Arch, const GraphNode &N,
     Staged = WorkingSetBytes > 0 && WorkingSetBytes <= Arch.SharedMemPerSM;
   }
 
-  if (WE.ChannelReads > 0) {
+  // Queue-routed portions split off into ViaQueue streams: the cycle
+  // simulator keeps them off the DRAM bus and coalescer (their issue
+  // cost already sits in the shared-access compute budget of the cost).
+  int64_t GlobalReads = std::max<int64_t>(0, WE.ChannelReads - Queue.Reads);
+  int64_t GlobalWrites = std::max<int64_t>(0, WE.ChannelWrites - Queue.Writes);
+  if (GlobalReads > 0) {
     MemStream R;
-    R.Count = WE.ChannelReads;
+    R.Count = GlobalReads;
     R.KeyRate = std::max<int64_t>(PopR, 1);
     // A thread addresses its peek window (at least its popped tokens);
     // reads beyond that re-load the same buffer positions.
@@ -199,13 +219,32 @@ SimInstance sgpu::buildSimInstance(const GpuArch &Arch, const GraphNode &N,
     R.ViaShared = Staged;
     Inst.Streams.push_back(R);
   }
-  if (WE.ChannelWrites > 0) {
+  if (Queue.Reads > 0) {
+    MemStream R;
+    R.Count = Queue.Reads;
+    R.KeyRate = std::max<int64_t>(PopR, 1);
+    R.Window = std::max<int64_t>(PopR, 1);
+    R.Layout = Layout;
+    R.ViaQueue = true;
+    Inst.Streams.push_back(R);
+  }
+  if (GlobalWrites > 0) {
     MemStream W;
-    W.Count = WE.ChannelWrites;
+    W.Count = GlobalWrites;
     W.KeyRate = std::max<int64_t>(PushR, 1);
     W.Window = std::max<int64_t>(PushR, 1);
     W.Layout = Layout;
     W.ViaShared = Staged;
+    W.IsWrite = true;
+    Inst.Streams.push_back(W);
+  }
+  if (Queue.Writes > 0) {
+    MemStream W;
+    W.Count = Queue.Writes;
+    W.KeyRate = std::max<int64_t>(PushR, 1);
+    W.Window = std::max<int64_t>(PushR, 1);
+    W.Layout = Layout;
+    W.ViaQueue = true;
     W.IsWrite = true;
     Inst.Streams.push_back(W);
   }

@@ -101,6 +101,20 @@ struct SwpSchedule {
 /// statically; splitters/joiners are pure data movers).
 WorkEstimate nodeWorkEstimate(const GraphNode &N);
 
+/// Per-firing channel tokens a warp-specialized schema assignment
+/// (codegen/schema/) reroutes through shared-memory ring queues. Queue
+/// tokens never touch the DRAM bus: they are subtracted from the
+/// instance's global accesses and priced as shared-memory accesses plus
+/// the ticket bookkeeping below.
+struct QueueTraffic {
+  int64_t Reads = 0;  ///< Queue-consumed channel ops per base firing.
+  int64_t Writes = 0; ///< Queue-produced channel ops per base firing.
+};
+
+/// Integer ops per firing per queued side for the ticket handshake (the
+/// emitted q_wait/q_publish pair: compare, branch, add, atomicMax).
+inline constexpr int64_t QueueTicketOpsPerSide = 4;
+
 /// Channel tokens read + written by one base firing of node \p N.
 int64_t nodeChannelTraffic(const GraphNode &N);
 
@@ -110,20 +124,25 @@ int64_t nodeChannelTraffic(const GraphNode &N);
 /// negative value to derive it from the layout (coalesced for Shuffled,
 /// strided analysis for Sequential, shared-memory staging when the
 /// working set fits, per the paper's SWPNC description).
+/// \p Queue reroutes that many channel ops through shared-memory queues
+/// (zero global transactions, ticket overhead added to the compute ops).
 InstanceCost buildInstanceCost(const GpuArch &Arch, const GraphNode &N,
                                const WorkEstimate &WE, int64_t Threads,
                                int RegLimit, LayoutKind Layout,
-                               double TxnsPerAccess = -1.0);
+                               double TxnsPerAccess = -1.0,
+                               const QueueTraffic &Queue = {});
 
 /// Builds the full timing-model instance of one GPU instance of \p N:
 /// the analytic cost of buildInstanceCost plus the per-thread memory
 /// streams the cycle simulator replays against the actual buffer
 /// layouts (read stream keyed by the pop rate, write stream by the push
 /// rate; both flagged ViaShared when the SWPNC shared-memory staging
-/// escape applies).
+/// escape applies). \p Queue splits the streams: queue-routed ops become
+/// ViaQueue streams the cycle simulator keeps off the DRAM bus.
 SimInstance buildSimInstance(const GpuArch &Arch, const GraphNode &N,
                              const WorkEstimate &WE, int64_t Threads,
-                             int RegLimit, LayoutKind Layout);
+                             int RegLimit, LayoutKind Layout,
+                             const QueueTraffic &Queue = {});
 
 } // namespace sgpu
 

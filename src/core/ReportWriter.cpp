@@ -17,6 +17,25 @@ std::string sgpu::reportToJson(const StreamGraph &G,
                                                            : "sequential");
   W.writeString("timing_model", timingModelKindName(R.Timing));
 
+  // Kernel-schema decision (codegen/schema/): what was requested, what
+  // was chosen, and which edges became shared-memory queues.
+  W.beginObject("schema");
+  W.writeString("requested", schemaModeName(R.RequestedSchema));
+  W.writeString("selected", schemaKindName(R.Schema.Kind));
+  W.writeInt("queue_edges", R.Schema.numQueueEdges());
+  W.writeInt("shared_queue_bytes", R.Schema.SharedQueueBytes);
+  W.beginArray("edges");
+  for (size_t E = 0; E < R.Schema.Edges.size(); ++E) {
+    W.beginObject();
+    W.writeInt("edge", static_cast<int64_t>(E));
+    W.writeString("schema", edgeSchemaName(R.Schema.Edges[E]));
+    if (R.Schema.isQueue(static_cast<int>(E)))
+      W.writeInt("cap_tokens", R.Schema.QueueCapTokens[E]);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+
   W.beginObject("graph");
   W.writeInt("nodes", G.numNodes());
   W.writeInt("edges", G.numEdges());

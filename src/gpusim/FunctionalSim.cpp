@@ -2,11 +2,13 @@
 
 #include "gpusim/FunctionalSim.h"
 
+#include "codegen/schema/KernelSchema.h"
 #include "support/Check.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 using namespace sgpu;
@@ -58,8 +60,9 @@ SwpFunctionalSim::SwpFunctionalSim(const StreamGraph &G,
                                    const SteadyState &SS,
                                    const ExecutionConfig &Config,
                                    const GpuSteadyState &GSS,
-                                   const SwpSchedule &Sched)
-    : G(G), SS(SS), Config(Config), GSS(GSS), Sched(Sched) {}
+                                   const SwpSchedule &Sched,
+                                   const SchemaAssignment *Schema)
+    : G(G), SS(SS), Config(Config), GSS(GSS), Sched(Sched), Schema(Schema) {}
 
 int64_t SwpFunctionalSim::inputTokensNeeded(int64_t Iterations) const {
   int Entry = G.entryNode();
@@ -92,11 +95,79 @@ FunctionalRunResult SwpFunctionalSim::run(const std::vector<Scalar> &Input,
     TotalFirings[V] = SS.initFirings()[V] +
                       Iterations * GSS.Instances[V] * Config.Threads[V];
 
+  // Names an edge's assigned schema for diagnostics.
+  auto EdgeSchemaStr = [&](int EId) -> const char * {
+    return Schema && Schema->isQueue(EId)
+               ? edgeSchemaName(EdgeSchema::SharedQueue)
+               : edgeSchemaName(EdgeSchema::GlobalChannel);
+  };
+
+  // Queue-assigned edges must satisfy the structural eligibility rules
+  // before any token moves: a violation is a schema-selection bug, and
+  // replaying it would mis-attribute the failure to data visibility.
+  if (Schema)
+    for (const ChannelEdge &E : G.edges()) {
+      if (!Schema->isQueue(E.Id))
+        continue;
+      std::ostringstream OS;
+      OS << "edge " << E.Id << " (schema '" << EdgeSchemaStr(E.Id) << "') ";
+      if (E.InitTokens != 0 || E.PeekRate != E.ConsRate) {
+        OS << "carries init tokens or peek slack; a shared ring cannot be "
+              "pre-seeded";
+        Res.Error = OS.str();
+        return Res;
+      }
+      if (SS.initFirings()[E.Src] != 0 || SS.initFirings()[E.Dst] != 0) {
+        OS << "has init-phase firings on an endpoint; the ring does not "
+              "exist before the persistent kernel launches";
+        Res.Error = OS.str();
+        return Res;
+      }
+      int Sm = -1;
+      bool Spread = false;
+      for (const ScheduledInstance &SI : Sched.Instances) {
+        if (SI.Node != E.Src && SI.Node != E.Dst)
+          continue;
+        if (Sm < 0)
+          Sm = SI.Sm;
+        else if (SI.Sm != Sm)
+          Spread = true;
+      }
+      if (Spread) {
+        OS << "spans multiple SMs; shared-memory queues are block-local";
+        Res.Error = OS.str();
+        return Res;
+      }
+      int64_t MinSrcF = std::numeric_limits<int64_t>::max();
+      int64_t MaxDstF = std::numeric_limits<int64_t>::min();
+      for (const ScheduledInstance &SI : Sched.Instances) {
+        if (SI.Node == E.Src)
+          MinSrcF = std::min(MinSrcF, SI.F);
+        if (SI.Node == E.Dst)
+          MaxDstF = std::max(MaxDstF, SI.F);
+      }
+      if (MaxDstF < MinSrcF) {
+        OS << "has its consumer staged before its producer";
+        Res.Error = OS.str();
+        return Res;
+      }
+      if (Schema->QueueCapTokens[E.Id] <= 0) {
+        OS << "has no ring capacity";
+        Res.Error = OS.str();
+        return Res;
+      }
+    }
+
   // Materialize every edge's token stream.
   std::vector<EdgeTokens> Edges(G.numEdges());
+  // FIFO high-water marks for the ring-capacity check: tokens produced
+  // into / freed from each edge so far.
+  std::vector<int64_t> Produced(G.numEdges(), 0);
+  std::vector<int64_t> Consumed(G.numEdges(), 0);
   for (const ChannelEdge &E : G.edges()) {
     int64_t Count = E.InitTokens + TotalFirings[E.Src] * E.ProdRate;
     Edges[E.Id].resizeFor(Count, E.Ty);
+    Produced[E.Id] = E.InitTokens;
     for (int64_t I = 0; I < E.InitTokens; ++I) {
       Edges[E.Id].Tags[I].Written = true;
       Edges[E.Id].Tags[I].Iter = -1;
@@ -145,6 +216,9 @@ FunctionalRunResult SwpFunctionalSim::run(const std::vector<Scalar> &Input,
         }
         InBufs.back().push(Edges[E.Id].Tokens[Idx]);
       }
+      // Firing B frees the popped portion of the window (peek re-reads
+      // keep earlier tokens resident, but queue edges have no slack).
+      Consumed[E.Id] = std::max(Consumed[E.Id], (B + 1) * E.ConsRate);
       return true;
     };
 
@@ -178,7 +252,14 @@ FunctionalRunResult SwpFunctionalSim::run(const std::vector<Scalar> &Input,
         if (V == G.exitNode()) {
           int64_t Base = B * F.pushRate();
           for (int64_t M = 0; !OutBuf.empty(); ++M) {
-            assert(Base + M < OutCount && "output overflow");
+            if (Base + M >= OutCount) {
+              std::ostringstream OS;
+              OS << "node '" << Node.Name << "' firing " << B
+                 << " writes program-output token " << (Base + M)
+                 << " past the " << OutCount << "-token output capacity";
+              Error = OS.str();
+              return false;
+            }
             Res.Output[Base + M] = OutBuf.pop();
             OutWritten[Base + M] = true;
           }
@@ -186,12 +267,23 @@ FunctionalRunResult SwpFunctionalSim::run(const std::vector<Scalar> &Input,
           const ChannelEdge &E = G.edge(Node.OutEdges[0]);
           int64_t Base = E.InitTokens + B * E.ProdRate;
           for (int64_t M = 0; !OutBuf.empty(); ++M) {
+            if (Base + M >=
+                static_cast<int64_t>(Edges[E.Id].Tokens.size())) {
+              std::ostringstream OS;
+              OS << "node '" << Node.Name << "' firing " << B
+                 << " writes token " << (Base + M) << " past the "
+                 << Edges[E.Id].Tokens.size() << "-token capacity of edge "
+                 << E.Id << " (schema '" << EdgeSchemaStr(E.Id) << "')";
+              Error = OS.str();
+              return false;
+            }
             Edges[E.Id].Tokens[Base + M] = OutBuf.pop();
             WriteTag &Tag = Edges[E.Id].Tags[Base + M];
             Tag.Written = true;
             Tag.Iter = Ctx.Iter;
             Tag.Sm = Ctx.Sm;
             Tag.Seq = Ctx.Seq;
+            Produced[E.Id] = std::max(Produced[E.Id], Base + M + 1);
           }
         }
       }
@@ -217,12 +309,22 @@ FunctionalRunResult SwpFunctionalSim::run(const std::vector<Scalar> &Input,
       const ChannelEdge &E = G.edge(Node.OutEdges[P]);
       int64_t Base = E.InitTokens + B * E.ProdRate;
       for (int64_t M = 0; !OutBufs[P].empty(); ++M) {
+        if (Base + M >= static_cast<int64_t>(Edges[E.Id].Tokens.size())) {
+          std::ostringstream OS;
+          OS << "node '" << Node.Name << "' firing " << B
+             << " writes token " << (Base + M) << " past the "
+             << Edges[E.Id].Tokens.size() << "-token capacity of edge "
+             << E.Id << " (schema '" << EdgeSchemaStr(E.Id) << "')";
+          Error = OS.str();
+          return false;
+        }
         Edges[E.Id].Tokens[Base + M] = OutBufs[P].pop();
         WriteTag &Tag = Edges[E.Id].Tags[Base + M];
         Tag.Written = true;
         Tag.Iter = Ctx.Iter;
         Tag.Sm = Ctx.Sm;
         Tag.Seq = Ctx.Seq;
+        Produced[E.Id] = std::max(Produced[E.Id], Base + M + 1);
       }
     }
     return true;
@@ -272,6 +374,27 @@ FunctionalRunResult SwpFunctionalSim::run(const std::vector<Scalar> &Input,
         ++Seq;
       }
     }
+
+    // Ring-capacity check at the invocation boundary: the sequential
+    // replay overshoots transiently inside an invocation (real warps
+    // back-pressure each other through the tickets), but at the barrier
+    // every ring's resident tokens must fit its declared capacity.
+    if (Schema)
+      for (const ChannelEdge &E : G.edges()) {
+        if (!Schema->isQueue(E.Id))
+          continue;
+        int64_t InFlight = Produced[E.Id] - Consumed[E.Id];
+        if (InFlight > Schema->QueueCapTokens[E.Id]) {
+          std::ostringstream OS;
+          OS << "shared queue on edge " << E.Id << " (schema '"
+             << EdgeSchemaStr(E.Id) << "') holds " << InFlight
+             << " tokens at the end of invocation " << T
+             << ", exceeding its " << Schema->QueueCapTokens[E.Id]
+             << "-token ring capacity";
+          Res.Error = OS.str();
+          return Res;
+        }
+      }
   }
 
   for (int64_t I = 0; I < OutCount; ++I)
@@ -288,8 +411,8 @@ std::optional<std::string> sgpu::checkScheduleAgainstReference(
     const StreamGraph &G, const SteadyState &SS,
     const ExecutionConfig &Config, const GpuSteadyState &GSS,
     const SwpSchedule &Sched, const std::vector<Scalar> &Input,
-    int64_t Iterations) {
-  SwpFunctionalSim Sim(G, SS, Config, GSS, Sched);
+    int64_t Iterations, const SchemaAssignment *Schema) {
+  SwpFunctionalSim Sim(G, SS, Config, GSS, Sched, Schema);
   FunctionalRunResult R = Sim.run(Input, Iterations);
   if (!R.Ok)
     return "functional run failed: " + R.Error;

@@ -33,6 +33,8 @@
 
 namespace sgpu {
 
+struct SchemaAssignment;
+
 /// Result of a functional run.
 struct FunctionalRunResult {
   bool Ok = false;
@@ -43,11 +45,19 @@ struct FunctionalRunResult {
 /// Runs \p Iterations GPU steady-state iterations of \p Sched over
 /// \p Input. The input must cover the init phase plus all iterations
 /// (see SwpFunctionalSim::inputTokensNeeded).
+///
+/// A non-null \p Schema additionally validates the warp-specialized
+/// queue semantics: every queue-assigned edge must satisfy the
+/// structural eligibility rules (codegen/schema/SchemaSelect.h), and at
+/// every invocation boundary the tokens resident in each ring must fit
+/// its declared capacity — violations are reported with the offending
+/// edge and its schema, never asserted.
 class SwpFunctionalSim {
 public:
   SwpFunctionalSim(const StreamGraph &G, const SteadyState &SS,
                    const ExecutionConfig &Config, const GpuSteadyState &GSS,
-                   const SwpSchedule &Sched);
+                   const SwpSchedule &Sched,
+                   const SchemaAssignment *Schema = nullptr);
 
   /// Program input tokens needed for \p Iterations GPU iterations.
   int64_t inputTokensNeeded(int64_t Iterations) const;
@@ -70,18 +80,21 @@ private:
   const ExecutionConfig &Config;
   const GpuSteadyState &GSS;
   const SwpSchedule &Sched;
+  const SchemaAssignment *Schema = nullptr;
 };
 
 /// Convenience: compare a functional SWP run against the sequential
 /// GraphInterpreter reference on the same input. Returns std::nullopt on
-/// success or a mismatch description.
+/// success or a mismatch description. A non-null \p Schema enables the
+/// queue-semantics validation described on SwpFunctionalSim.
 std::optional<std::string>
 checkScheduleAgainstReference(const StreamGraph &G, const SteadyState &SS,
                               const ExecutionConfig &Config,
                               const GpuSteadyState &GSS,
                               const SwpSchedule &Sched,
                               const std::vector<Scalar> &Input,
-                              int64_t Iterations);
+                              int64_t Iterations,
+                              const SchemaAssignment *Schema = nullptr);
 
 } // namespace sgpu
 

@@ -62,6 +62,11 @@ struct MemStream {
   /// side coalesces; the bank-conflict replays are already in
   /// InstanceCost::SharedAccesses.
   bool ViaShared = false;
+  /// Routed through a shared-memory ring queue by the warp-specialized
+  /// schema: zero device-memory transactions, and the issue cost already
+  /// sits in InstanceCost::SharedAccesses/ComputeOps — the cycle
+  /// simulator must not also replay it as load/store ops.
+  bool ViaQueue = false;
   bool IsWrite = false;
 };
 

@@ -13,6 +13,10 @@ using namespace sgpu;
 int64_t sgpu::warpAccessTransactions(const MemStream &S, int64_t BaseThread,
                                      int64_t Lanes, int64_t N) {
   assert(Lanes > 0 && N >= 0 && S.KeyRate > 0 && "bad access");
+  // Ring-queue traffic lives entirely in shared memory: no device
+  // transactions at all.
+  if (S.ViaQueue)
+    return 0;
   // Shared-memory staging: the global side streams through coalesced
   // half-warp transactions regardless of the logical channel pattern.
   if (S.ViaShared)

@@ -42,6 +42,10 @@ std::vector<WarpProgram> sgpu::buildWarpPrograms(const GpuArch &Arch,
 
     std::vector<WarpOp> Loads, Stores;
     for (const MemStream &S : Inst.Streams) {
+      // Queue-routed streams never become load/store ops: their issue
+      // cost is already in the shared-access compute budget below.
+      if (S.ViaQueue)
+        continue;
       for (int64_t N = 0; N < S.Count; ++N) {
         WarpOp Op;
         Op.K = S.IsWrite ? WarpOp::Kind::Store : WarpOp::Kind::Load;

@@ -116,6 +116,7 @@ std::string canonicalizeOptions(const CompileOptions &O) {
   appendf(Out, "timing=%s\n", timingModelKindName(O.Timing));
   appendf(Out, "warp_sched=%s\n", warpSchedPolicyName(O.WarpSched));
   appendf(Out, "config_select=%s\n", configSelectModeName(O.ConfigSelect));
+  appendf(Out, "schema=%s\n", schemaModeName(O.Schema));
   appendf(Out, "coarsening=%d\n", O.Coarsening);
   appendf(Out, "serial_threads=%d\n", O.SerialThreads);
 

@@ -46,7 +46,10 @@ namespace service {
 /// Version of the canonical form below. Bump whenever canonicalization
 /// output changes; old cache entries then miss by key and are replaced.
 /// v2: warp_sched= and config_select= joined the canonical options.
-constexpr int kCanonicalFormVersion = 2;
+/// v3: schema= (the kernel-schema mode, codegen/schema/) joined the
+/// canonical options — a warp-specialized compile produces a different
+/// schedule report than a global one, so v2 keys must not alias it.
+constexpr int kCanonicalFormVersion = 3;
 
 /// Renders \p G in the canonical name-free text form described above.
 std::string canonicalizeGraph(const StreamGraph &G);

@@ -40,6 +40,13 @@ bool applyOptions(const JsonValue &Obj, CompileOptions &O, std::string *Err) {
       if (!K)
         return fail(Err, "unknown timing model '" + Val.asString() + "'");
       O.Timing = *K;
+    } else if (Key == "schema") {
+      if (!Val.isString())
+        return fail(Err, "options.schema must be a string");
+      std::optional<SchemaMode> M = parseSchemaMode(Val.asString());
+      if (!M)
+        return fail(Err, "unknown schema '" + Val.asString() + "'");
+      O.Schema = *M;
     } else if (Key == "coarsening") {
       if (!Val.isNumber() || Val.asNumber() < 1)
         return fail(Err, "options.coarsening must be a positive number");

@@ -7,6 +7,7 @@
 
 #include "testing/Oracles.h"
 
+#include "codegen/schema/SchemaSelect.h"
 #include "core/ScheduleVerifier.h"
 #include "gpusim/FunctionalSim.h"
 #include "ir/Analyzer.h"
@@ -334,6 +335,24 @@ void compileVariant(Ctx &C, const StreamGraph &G, const SteadyState &SS,
   V.FunctionalRan = true;
   V.BaseItersRun = BaseIters;
   V.Output = std::move(FR.Output);
+
+  // Schema differential: the same schedule re-run under the
+  // warp-specialized per-edge assignment must still reproduce the
+  // interpreter reference, with the ring-queue eligibility and capacity
+  // rules validated along the way (the run above already covered the
+  // all-global assignment).
+  if (C.O.Schema != SchemaMode::Global) {
+    SchemaAssignment Warp = selectSchemaAssignment(
+        C.O.Arch, G, SS, V.Config, V.GSS, V.Schedule,
+        SchemaKind::WarpSpecialized, /*Coarsening=*/1);
+    C.check();
+    if (auto Err =
+            checkScheduleAgainstReference(G, SS, V.Config, V.GSS, V.Schedule,
+                                          Input, C.O.Iterations, &Warp))
+      C.fail("schema-functional",
+             V.Name + " [warp, " + std::to_string(Warp.numQueueEdges()) +
+                 " queue edges]: " + *Err);
+  }
 }
 
 /// Every pair of variants must agree bit for bit on the output prefix

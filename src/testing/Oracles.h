@@ -87,6 +87,12 @@ struct OracleOptions {
   bool RunTimingOrdering = true;
   /// Timing model the kernel-level checks run against.
   TimingModelKind Timing = TimingModelKind::Analytic;
+  /// Kernel schema under differential test (`--schema`): when not
+  /// Global, every compiled schedule also gets the warp-specialized
+  /// per-edge assignment computed and its functional run repeated with
+  /// the queue semantics validated — both schemas against the same
+  /// interpreter reference.
+  SchemaMode Schema = SchemaMode::Global;
   /// Warp-scheduler policy for every cycle model the oracles build.
   WarpSchedPolicy WarpSched = WarpSchedPolicy::RoundRobin;
   /// Skip functional execution when one GPU iteration covers more base

@@ -1,0 +1,1350 @@
+// Auto-generated warp-specialized software-pipelined StreamIt kernel
+// schema: one persistent block per SM; each scheduled instance
+// owns a dedicated warp group, so producers and consumers run
+// concurrently. Intra-SM channels are bounded shared-memory ring
+// queues with ticket-based push/pop (zero global-memory
+// transactions); cross-SM channels keep the global
+// cluster-shuffle rings, separated per pipeline iteration by a
+// software grid barrier.
+#include <cuda_runtime.h>
+
+__device__ __forceinline__ long IDX_E0(long q) {
+  long slot = (q / 16384L) % 10L;
+  long r = q % 16384L;
+  long t = r / 16L, n = r % 16L;
+  r = 128L * n + (t / 128L) * 128L * 16L + (t % 128L);
+  return slot * 16384L + r;
+}
+
+__device__ __forceinline__ long IDX_E1(long q) {
+  long slot = (q / 65536L) % 10L;
+  long r = q % 65536L;
+  long t = r / 4L, n = r % 4L;
+  r = 128L * n + (t / 128L) * 128L * 4L + (t % 128L);
+  return slot * 65536L + r;
+}
+
+__device__ __forceinline__ long IDX_E2(long q) {
+  long slot = (q / 16384L) % 10L;
+  long r = q % 16384L;
+  long t = r / 16L, n = r % 16L;
+  r = 128L * n + (t / 128L) * 128L * 16L + (t % 128L);
+  return slot * 16384L + r;
+}
+
+__device__ __forceinline__ long IDX_E3(long q) {
+  long slot = (q / 16384L) % 10L;
+  long r = q % 16384L;
+  long t = r / 16L, n = r % 16L;
+  r = 128L * n + (t / 128L) * 128L * 16L + (t % 128L);
+  return slot * 16384L + r;
+}
+
+__device__ __forceinline__ long IDX_E4(long q) {
+  long slot = (q / 65536L) % 10L;
+  long r = q % 65536L;
+  long t = r / 4L, n = r % 4L;
+  r = 128L * n + (t / 128L) * 128L * 4L + (t % 128L);
+  return slot * 65536L + r;
+}
+
+__device__ __forceinline__ long IDX_E5(long q) {
+  long slot = (q / 32768L) % 10L;
+  long r = q % 32768L;
+  long t = r / 8L, n = r % 8L;
+  r = 128L * n + (t / 128L) * 128L * 8L + (t % 128L);
+  return slot * 32768L + r;
+}
+
+__device__ __forceinline__ long IDX_E6(long q) {
+  long slot = (q / 4096L) % 10L;
+  long r = q % 4096L;
+  long t = r / 1L, n = r % 1L;
+  r = 128L * n + (t / 128L) * 128L * 1L + (t % 128L);
+  return slot * 4096L + r;
+}
+
+__device__ __forceinline__ long IDX_E7(long q) {
+  long slot = (q / 32768L) % 10L;
+  long r = q % 32768L;
+  long t = r / 8L, n = r % 8L;
+  r = 128L * n + (t / 128L) * 128L * 8L + (t % 128L);
+  return slot * 32768L + r;
+}
+
+__device__ __forceinline__ long IDX_E8(long q) {
+  long slot = (q / 4096L) % 10L;
+  long r = q % 4096L;
+  long t = r / 1L, n = r % 1L;
+  r = 128L * n + (t / 128L) * 128L * 1L + (t % 128L);
+  return slot * 4096L + r;
+}
+
+__device__ __forceinline__ long IDX_E9(long q) {
+  long slot = (q / 32768L) % 10L;
+  long r = q % 32768L;
+  long t = r / 8L, n = r % 8L;
+  r = 128L * n + (t / 128L) * 128L * 8L + (t % 128L);
+  return slot * 32768L + r;
+}
+
+__device__ __forceinline__ long IDX_E10(long q) {
+  long slot = (q / 4096L) % 10L;
+  long r = q % 4096L;
+  long t = r / 1L, n = r % 1L;
+  r = 128L * n + (t / 128L) * 128L * 1L + (t % 128L);
+  return slot * 4096L + r;
+}
+
+__device__ __forceinline__ long IDX_E11(long q) {
+  long slot = (q / 32768L) % 10L;
+  long r = q % 32768L;
+  long t = r / 8L, n = r % 8L;
+  r = 128L * n + (t / 128L) * 128L * 8L + (t % 128L);
+  return slot * 32768L + r;
+}
+
+__device__ __forceinline__ long IDX_E12(long q) {
+  long slot = (q / 4096L) % 10L;
+  long r = q % 4096L;
+  long t = r / 1L, n = r % 1L;
+  r = 128L * n + (t / 128L) * 128L * 1L + (t % 128L);
+  return slot * 4096L + r;
+}
+
+__device__ __forceinline__ long IDX_E13(long q) {
+  long slot = (q / 131072L) % 10L;
+  long r = q % 131072L;
+  long t = r / 32L, n = r % 32L;
+  r = 128L * n + (t / 128L) * 128L * 32L + (t % 128L);
+  return slot * 131072L + r;
+}
+
+__device__ __forceinline__ long IDX_E14(long q) {
+  long slot = (q / 32768L) % 10L;
+  long r = q % 32768L;
+  long t = r / 32L, n = r % 32L;
+  r = 128L * n + (t / 128L) * 128L * 32L + (t % 128L);
+  return slot * 32768L + r;
+}
+
+__device__ __forceinline__ long IDX_E15(long q) {
+  long slot = (q / 16384L) % 10L;
+  long r = q % 16384L;
+  long t = r / 1L, n = r % 1L;
+  r = 128L * n + (t / 128L) * 128L * 1L + (t % 128L);
+  return slot * 16384L + r;
+}
+
+// Software grid barrier: block 0..gridDim-1 arrive, everyone
+// spins until the arrival count reaches the per-iteration goal.
+__device__ unsigned int swp_barrier_arrived = 0u;
+__device__ void global_barrier(unsigned int goal) {
+  __syncthreads();
+  if (threadIdx.x == 0) {
+    __threadfence();
+    atomicAdd(&swp_barrier_arrived, 1u);
+    while (((volatile unsigned int *)&swp_barrier_arrived)[0] < goal) { }
+  }
+  __syncthreads();
+}
+
+__device__ const int f3_perm[16] = {0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15};
+
+__device__ void move_0_split#0(const float *__in0, long __iq0, float *__out0, long __oq0, float *__out1, long __oq1) {
+  for (int i = 0; i < 16; ++i)
+    __out0[IDX_E0(__oq0 + i)] = __in0[IDX_E14(__iq0 + 0 + i)];
+  for (int i = 0; i < 16; ++i)
+    __out1[IDX_E3(__oq1 + i)] = __in0[IDX_E14(__iq0 + 16 + i)];
+}
+
+__device__ void move_1_join#1(const float *__in0, long __iq0, const float *__in1, long __iq1, float *__out0, long __oq0) {
+  for (int i = 0; i < 4; ++i)
+    __out0[IDX_E13(__oq0 + 0 + i)] = __in0[IDX_E1(__iq0 + i)];
+  for (int i = 0; i < 4; ++i)
+    __out0[IDX_E13(__oq0 + 4 + i)] = __in1[IDX_E4(__iq1 + i)];
+}
+
+__device__ void work_2_DuplicateRows(const float *__in, long __in_q0, float *__out, long __out_q0) {
+  int __pop_idx = 0;
+  int __push_idx = 0;
+  (void)__pop_idx; (void)__push_idx;
+  for (int r = 0; r < 4; r += 1) {
+    for (int c = 0; c < 4; c += 1) {
+      for (int i = 0; i < 4; i += 1) {
+        __out[IDX_E1(__out_q0 + (__push_idx++))] = __in[IDX_E0(__in_q0 + __pop_idx + (r * 4 + i))];
+      }
+    }
+  }
+  __in[IDX_E0(__in_q0 + (__pop_idx++))];
+  __in[IDX_E0(__in_q0 + (__pop_idx++))];
+  __in[IDX_E0(__in_q0 + (__pop_idx++))];
+  __in[IDX_E0(__in_q0 + (__pop_idx++))];
+  __in[IDX_E0(__in_q0 + (__pop_idx++))];
+  __in[IDX_E0(__in_q0 + (__pop_idx++))];
+  __in[IDX_E0(__in_q0 + (__pop_idx++))];
+  __in[IDX_E0(__in_q0 + (__pop_idx++))];
+  __in[IDX_E0(__in_q0 + (__pop_idx++))];
+  __in[IDX_E0(__in_q0 + (__pop_idx++))];
+  __in[IDX_E0(__in_q0 + (__pop_idx++))];
+  __in[IDX_E0(__in_q0 + (__pop_idx++))];
+  __in[IDX_E0(__in_q0 + (__pop_idx++))];
+  __in[IDX_E0(__in_q0 + (__pop_idx++))];
+  __in[IDX_E0(__in_q0 + (__pop_idx++))];
+  __in[IDX_E0(__in_q0 + (__pop_idx++))];
+}
+
+__device__ void work_3_TransposeB(const float *__in, long __in_q0, float *__out, long __out_q0) {
+  int __pop_idx = 0;
+  int __push_idx = 0;
+  (void)__pop_idx; (void)__push_idx;
+  #define perm f3_perm
+  for (int i = 0; i < 16; i += 1) {
+    __out[IDX_E2(__out_q0 + (__push_idx++))] = __in[IDX_E3(__in_q0 + __pop_idx + (perm[i]))];
+  }
+  __in[IDX_E3(__in_q0 + (__pop_idx++))];
+  __in[IDX_E3(__in_q0 + (__pop_idx++))];
+  __in[IDX_E3(__in_q0 + (__pop_idx++))];
+  __in[IDX_E3(__in_q0 + (__pop_idx++))];
+  __in[IDX_E3(__in_q0 + (__pop_idx++))];
+  __in[IDX_E3(__in_q0 + (__pop_idx++))];
+  __in[IDX_E3(__in_q0 + (__pop_idx++))];
+  __in[IDX_E3(__in_q0 + (__pop_idx++))];
+  __in[IDX_E3(__in_q0 + (__pop_idx++))];
+  __in[IDX_E3(__in_q0 + (__pop_idx++))];
+  __in[IDX_E3(__in_q0 + (__pop_idx++))];
+  __in[IDX_E3(__in_q0 + (__pop_idx++))];
+  __in[IDX_E3(__in_q0 + (__pop_idx++))];
+  __in[IDX_E3(__in_q0 + (__pop_idx++))];
+  __in[IDX_E3(__in_q0 + (__pop_idx++))];
+  __in[IDX_E3(__in_q0 + (__pop_idx++))];
+  #undef perm
+}
+
+__device__ void work_4_DuplicateBlock(const float *__in, long __in_q0, float *__out, long __out_q0) {
+  int __pop_idx = 0;
+  int __push_idx = 0;
+  (void)__pop_idx; (void)__push_idx;
+  for (int r = 0; r < 4; r += 1) {
+    for (int i = 0; i < 16; i += 1) {
+      __out[IDX_E4(__out_q0 + (__push_idx++))] = __in[IDX_E2(__in_q0 + __pop_idx + (i))];
+    }
+  }
+  __in[IDX_E2(__in_q0 + (__pop_idx++))];
+  __in[IDX_E2(__in_q0 + (__pop_idx++))];
+  __in[IDX_E2(__in_q0 + (__pop_idx++))];
+  __in[IDX_E2(__in_q0 + (__pop_idx++))];
+  __in[IDX_E2(__in_q0 + (__pop_idx++))];
+  __in[IDX_E2(__in_q0 + (__pop_idx++))];
+  __in[IDX_E2(__in_q0 + (__pop_idx++))];
+  __in[IDX_E2(__in_q0 + (__pop_idx++))];
+  __in[IDX_E2(__in_q0 + (__pop_idx++))];
+  __in[IDX_E2(__in_q0 + (__pop_idx++))];
+  __in[IDX_E2(__in_q0 + (__pop_idx++))];
+  __in[IDX_E2(__in_q0 + (__pop_idx++))];
+  __in[IDX_E2(__in_q0 + (__pop_idx++))];
+  __in[IDX_E2(__in_q0 + (__pop_idx++))];
+  __in[IDX_E2(__in_q0 + (__pop_idx++))];
+  __in[IDX_E2(__in_q0 + (__pop_idx++))];
+}
+
+__device__ void move_5_split#5(const float *__in0, long __iq0, float *__out0, long __oq0, float *__out1, long __oq1, float *__out2, long __oq2, float *__out3, long __oq3) {
+  for (int i = 0; i < 8; ++i)
+    __out0[IDX_E5(__oq0 + i)] = __in0[IDX_E13(__iq0 + 0 + i)];
+  for (int i = 0; i < 8; ++i)
+    __out1[IDX_E7(__oq1 + i)] = __in0[IDX_E13(__iq0 + 8 + i)];
+  for (int i = 0; i < 8; ++i)
+    __out2[IDX_E9(__oq2 + i)] = __in0[IDX_E13(__iq0 + 16 + i)];
+  for (int i = 0; i < 8; ++i)
+    __out3[IDX_E11(__oq3 + i)] = __in0[IDX_E13(__iq0 + 24 + i)];
+}
+
+__device__ void move_6_join#6(const float *__in0, long __iq0, const float *__in1, long __iq1, const float *__in2, long __iq2, const float *__in3, long __iq3, float *__out0, long __oq0) {
+  for (int i = 0; i < 1; ++i)
+    __out0[IDX_E15(__oq0 + 0 + i)] = __in0[IDX_E6(__iq0 + i)];
+  for (int i = 0; i < 1; ++i)
+    __out0[IDX_E15(__oq0 + 1 + i)] = __in1[IDX_E8(__iq1 + i)];
+  for (int i = 0; i < 1; ++i)
+    __out0[IDX_E15(__oq0 + 2 + i)] = __in2[IDX_E10(__iq2 + i)];
+  for (int i = 0; i < 1; ++i)
+    __out0[IDX_E15(__oq0 + 3 + i)] = __in3[IDX_E12(__iq3 + i)];
+}
+
+__device__ void work_7_Dot_0(const float *__in, long __in_q0, float *__out, long __out_q0) {
+  int __pop_idx = 0;
+  int __push_idx = 0;
+  (void)__pop_idx; (void)__push_idx;
+  float sum;
+  sum = 0.0f;
+  for (int i = 0; i < 4; i += 1) {
+    sum = sum + __in[IDX_E5(__in_q0 + __pop_idx + (i))] * __in[IDX_E5(__in_q0 + __pop_idx + (i + 4))];
+  }
+  __out[IDX_E6(__out_q0 + (__push_idx++))] = sum;
+  __in[IDX_E5(__in_q0 + (__pop_idx++))];
+  __in[IDX_E5(__in_q0 + (__pop_idx++))];
+  __in[IDX_E5(__in_q0 + (__pop_idx++))];
+  __in[IDX_E5(__in_q0 + (__pop_idx++))];
+  __in[IDX_E5(__in_q0 + (__pop_idx++))];
+  __in[IDX_E5(__in_q0 + (__pop_idx++))];
+  __in[IDX_E5(__in_q0 + (__pop_idx++))];
+  __in[IDX_E5(__in_q0 + (__pop_idx++))];
+}
+
+__device__ void work_8_Dot_1(const float *__in, long __in_q0, float *__out, long __out_q0) {
+  int __pop_idx = 0;
+  int __push_idx = 0;
+  (void)__pop_idx; (void)__push_idx;
+  float sum;
+  sum = 0.0f;
+  for (int i = 0; i < 4; i += 1) {
+    sum = sum + __in[IDX_E7(__in_q0 + __pop_idx + (i))] * __in[IDX_E7(__in_q0 + __pop_idx + (i + 4))];
+  }
+  __out[IDX_E8(__out_q0 + (__push_idx++))] = sum;
+  __in[IDX_E7(__in_q0 + (__pop_idx++))];
+  __in[IDX_E7(__in_q0 + (__pop_idx++))];
+  __in[IDX_E7(__in_q0 + (__pop_idx++))];
+  __in[IDX_E7(__in_q0 + (__pop_idx++))];
+  __in[IDX_E7(__in_q0 + (__pop_idx++))];
+  __in[IDX_E7(__in_q0 + (__pop_idx++))];
+  __in[IDX_E7(__in_q0 + (__pop_idx++))];
+  __in[IDX_E7(__in_q0 + (__pop_idx++))];
+}
+
+__device__ void work_9_Dot_2(const float *__in, long __in_q0, float *__out, long __out_q0) {
+  int __pop_idx = 0;
+  int __push_idx = 0;
+  (void)__pop_idx; (void)__push_idx;
+  float sum;
+  sum = 0.0f;
+  for (int i = 0; i < 4; i += 1) {
+    sum = sum + __in[IDX_E9(__in_q0 + __pop_idx + (i))] * __in[IDX_E9(__in_q0 + __pop_idx + (i + 4))];
+  }
+  __out[IDX_E10(__out_q0 + (__push_idx++))] = sum;
+  __in[IDX_E9(__in_q0 + (__pop_idx++))];
+  __in[IDX_E9(__in_q0 + (__pop_idx++))];
+  __in[IDX_E9(__in_q0 + (__pop_idx++))];
+  __in[IDX_E9(__in_q0 + (__pop_idx++))];
+  __in[IDX_E9(__in_q0 + (__pop_idx++))];
+  __in[IDX_E9(__in_q0 + (__pop_idx++))];
+  __in[IDX_E9(__in_q0 + (__pop_idx++))];
+  __in[IDX_E9(__in_q0 + (__pop_idx++))];
+}
+
+__device__ void work_10_Dot_3(const float *__in, long __in_q0, float *__out, long __out_q0) {
+  int __pop_idx = 0;
+  int __push_idx = 0;
+  (void)__pop_idx; (void)__push_idx;
+  float sum;
+  sum = 0.0f;
+  for (int i = 0; i < 4; i += 1) {
+    sum = sum + __in[IDX_E11(__in_q0 + __pop_idx + (i))] * __in[IDX_E11(__in_q0 + __pop_idx + (i + 4))];
+  }
+  __out[IDX_E12(__out_q0 + (__push_idx++))] = sum;
+  __in[IDX_E11(__in_q0 + (__pop_idx++))];
+  __in[IDX_E11(__in_q0 + (__pop_idx++))];
+  __in[IDX_E11(__in_q0 + (__pop_idx++))];
+  __in[IDX_E11(__in_q0 + (__pop_idx++))];
+  __in[IDX_E11(__in_q0 + (__pop_idx++))];
+  __in[IDX_E11(__in_q0 + (__pop_idx++))];
+  __in[IDX_E11(__in_q0 + (__pop_idx++))];
+  __in[IDX_E11(__in_q0 + (__pop_idx++))];
+}
+
+__device__ void work_11___input(const float *__in, long __in_q0, float *__out, long __out_q0) {
+  int __pop_idx = 0;
+  int __push_idx = 0;
+  (void)__pop_idx; (void)__push_idx;
+  __out[IDX_E14(__out_q0 + (__push_idx++))] = __in[IDX_IN(__in_q0 + (__pop_idx++))];
+}
+
+__device__ void work_12___output(const float *__in, long __in_q0, float *__out, long __out_q0) {
+  int __pop_idx = 0;
+  int __push_idx = 0;
+  (void)__pop_idx; (void)__push_idx;
+  __out[IDX_OUT(__out_q0 + (__push_idx++))] = __in[IDX_E15(__in_q0 + (__pop_idx++))];
+}
+
+// Staging predicate: instance with stage f runs the work of
+// logical iteration (it - f); negative means prologue idle.
+__global__ void streamit_swp_kernel(float *buf_e0, float *buf_e1, float *buf_e2, float *buf_e3, float *buf_e4, float *buf_e5, float *buf_e6, float *buf_e7, float *buf_e8, float *buf_e9, float *buf_e10, float *buf_e11, float *buf_e12, float *buf_e13, float *buf_e14, float *buf_e15, const float *buf_in, float *buf_out, int iterations) {
+  for (int it = 0; it < iterations; ++it) {
+  switch (blockIdx.x) {
+  case 0: {
+    // o=0 f=4 join#1 instance 2  warps [0, 4)
+    { int j = it - 4;
+      int tid = (int)threadIdx.x - 0;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 2L) * 128L + tid;
+          move_1_join#1(buf_e1, b * 4L, buf_e4, b * 4L, buf_e13, 0L + b * 8L);
+        }
+      }
+    }
+    // o=0 f=4 join#1 instance 4  warps [4, 8)
+    { int j = it - 4;
+      int tid = (int)threadIdx.x - 128;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 4L) * 128L + tid;
+          move_1_join#1(buf_e1, b * 4L, buf_e4, b * 4L, buf_e13, 0L + b * 8L);
+        }
+      }
+    }
+    // o=0 f=4 join#1 instance 6  warps [8, 12)
+    { int j = it - 4;
+      int tid = (int)threadIdx.x - 256;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 6L) * 128L + tid;
+          move_1_join#1(buf_e1, b * 4L, buf_e4, b * 4L, buf_e13, 0L + b * 8L);
+        }
+      }
+    }
+    // o=0 f=4 join#1 instance 8  warps [12, 16)
+    { int j = it - 4;
+      int tid = (int)threadIdx.x - 384;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 8L) * 128L + tid;
+          move_1_join#1(buf_e1, b * 4L, buf_e4, b * 4L, buf_e13, 0L + b * 8L);
+        }
+      }
+    }
+    // o=0 f=4 join#1 instance 12  warps [16, 20)
+    { int j = it - 4;
+      int tid = (int)threadIdx.x - 512;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 12L) * 128L + tid;
+          move_1_join#1(buf_e1, b * 4L, buf_e4, b * 4L, buf_e13, 0L + b * 8L);
+        }
+      }
+    }
+    // o=0 f=2 DuplicateRows#2 instance 0  warps [20, 24)
+    { int j = it - 2;
+      int tid = (int)threadIdx.x - 640;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 1L + 0L) * 128L + tid;
+          work_2_DuplicateRows(buf_e0, b * 16L, buf_e1, b * 64L);
+        }
+      }
+    }
+    // o=0 f=6 Dot_0#7 instance 0  warps [24, 28)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 768;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 0L) * 128L + tid;
+          work_7_Dot_0(buf_e5, b * 8L, buf_e6, b * 1L);
+        }
+      }
+    }
+    // o=0 f=6 Dot_1#8 instance 0  warps [28, 32)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 896;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 0L) * 128L + tid;
+          work_8_Dot_1(buf_e7, b * 8L, buf_e8, b * 1L);
+        }
+      }
+    }
+    // o=0 f=6 Dot_2#9 instance 0  warps [32, 36)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 1024;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 0L) * 128L + tid;
+          work_9_Dot_2(buf_e9, b * 8L, buf_e10, b * 1L);
+        }
+      }
+    }
+    // o=0 f=6 Dot_3#10 instance 0  warps [36, 40)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 1152;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 0L) * 128L + tid;
+          work_10_Dot_3(buf_e11, b * 8L, buf_e12, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 1  warps [40, 44)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1280;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 1L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 3  warps [44, 48)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1408;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 3L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 5  warps [48, 52)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1536;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 5L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 7  warps [52, 56)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1664;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 7L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 9  warps [56, 60)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1792;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 9L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 11  warps [60, 64)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1920;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 11L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 13  warps [64, 68)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 2048;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 13L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 16  warps [68, 72)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 2176;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 16L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 19  warps [72, 76)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 2304;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 19L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 22  warps [76, 80)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 2432;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 22L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 25  warps [80, 84)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 2560;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 25L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 28  warps [84, 88)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 2688;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 28L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=8 __output instance 4  warps [88, 92)
+    { int j = it - 8;
+      int tid = (int)threadIdx.x - 2816;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 4L) * 128L + tid;
+          work_12___output(buf_e15, b * 1L, buf_out, b * 1L);
+        }
+      }
+    }
+    // o=0 f=8 __output instance 7  warps [92, 96)
+    { int j = it - 8;
+      int tid = (int)threadIdx.x - 2944;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 7L) * 128L + tid;
+          work_12___output(buf_e15, b * 1L, buf_out, b * 1L);
+        }
+      }
+    }
+    // o=0 f=8 __output instance 10  warps [96, 100)
+    { int j = it - 8;
+      int tid = (int)threadIdx.x - 3072;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 10L) * 128L + tid;
+          work_12___output(buf_e15, b * 1L, buf_out, b * 1L);
+        }
+      }
+    }
+    // o=0 f=7 __output instance 13  warps [100, 104)
+    { int j = it - 7;
+      int tid = (int)threadIdx.x - 3200;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 13L) * 128L + tid;
+          work_12___output(buf_e15, b * 1L, buf_out, b * 1L);
+        }
+      }
+    }
+    break;
+  }
+  case 1: {
+    // o=0 f=3 DuplicateBlock#4 instance 0  warps [0, 4)
+    { int j = it - 3;
+      int tid = (int)threadIdx.x - 0;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 1L + 0L) * 128L + tid;
+          work_4_DuplicateBlock(buf_e2, b * 16L, buf_e4, b * 64L);
+        }
+      }
+    }
+    // o-order: a global edge is consumed at this stage on this SM
+    __syncthreads();
+    // o=0 f=6 Dot_0#7 instance 1  warps [4, 8)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 128;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 1L) * 128L + tid;
+          work_7_Dot_0(buf_e5, b * 8L, buf_e6, b * 1L);
+        }
+      }
+    }
+    // o=0 f=6 Dot_1#8 instance 1  warps [8, 12)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 256;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 1L) * 128L + tid;
+          work_8_Dot_1(buf_e7, b * 8L, buf_e8, b * 1L);
+        }
+      }
+    }
+    // o=0 f=6 Dot_2#9 instance 1  warps [12, 16)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 384;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 1L) * 128L + tid;
+          work_9_Dot_2(buf_e9, b * 8L, buf_e10, b * 1L);
+        }
+      }
+    }
+    // o=0 f=6 Dot_3#10 instance 1  warps [16, 20)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 512;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 1L) * 128L + tid;
+          work_10_Dot_3(buf_e11, b * 8L, buf_e12, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 31  warps [20, 24)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 640;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 31L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=8 __output instance 6  warps [24, 28)
+    { int j = it - 8;
+      int tid = (int)threadIdx.x - 768;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 6L) * 128L + tid;
+          work_12___output(buf_e15, b * 1L, buf_out, b * 1L);
+        }
+      }
+    }
+    // o=0 f=8 __output instance 9  warps [28, 32)
+    { int j = it - 8;
+      int tid = (int)threadIdx.x - 896;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 9L) * 128L + tid;
+          work_12___output(buf_e15, b * 1L, buf_out, b * 1L);
+        }
+      }
+    }
+    // o=0 f=7 __output instance 12  warps [32, 36)
+    { int j = it - 7;
+      int tid = (int)threadIdx.x - 1024;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 12L) * 128L + tid;
+          work_12___output(buf_e15, b * 1L, buf_out, b * 1L);
+        }
+      }
+    }
+    // o=0 f=7 __output instance 15  warps [36, 40)
+    { int j = it - 7;
+      int tid = (int)threadIdx.x - 1152;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 15L) * 128L + tid;
+          work_12___output(buf_e15, b * 1L, buf_out, b * 1L);
+        }
+      }
+    }
+    // o=31521.9 f=3 join#1 instance 0  warps [40, 44)
+    { int j = it - 3;
+      int tid = (int)threadIdx.x - 1280;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 0L) * 128L + tid;
+          move_1_join#1(buf_e1, b * 4L, buf_e4, b * 4L, buf_e13, 0L + b * 8L);
+        }
+      }
+    }
+    // o=31521.9 f=3 join#1 instance 1  warps [44, 48)
+    { int j = it - 3;
+      int tid = (int)threadIdx.x - 1408;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 1L) * 128L + tid;
+          move_1_join#1(buf_e1, b * 4L, buf_e4, b * 4L, buf_e13, 0L + b * 8L);
+        }
+      }
+    }
+    // o=31521.9 f=3 join#1 instance 3  warps [48, 52)
+    { int j = it - 3;
+      int tid = (int)threadIdx.x - 1536;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 3L) * 128L + tid;
+          move_1_join#1(buf_e1, b * 4L, buf_e4, b * 4L, buf_e13, 0L + b * 8L);
+        }
+      }
+    }
+    // o=31521.9 f=3 join#1 instance 5  warps [52, 56)
+    { int j = it - 3;
+      int tid = (int)threadIdx.x - 1664;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 5L) * 128L + tid;
+          move_1_join#1(buf_e1, b * 4L, buf_e4, b * 4L, buf_e13, 0L + b * 8L);
+        }
+      }
+    }
+    // o=31521.9 f=3 join#1 instance 7  warps [56, 60)
+    { int j = it - 3;
+      int tid = (int)threadIdx.x - 1792;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 7L) * 128L + tid;
+          move_1_join#1(buf_e1, b * 4L, buf_e4, b * 4L, buf_e13, 0L + b * 8L);
+        }
+      }
+    }
+    // o=31521.9 f=3 join#1 instance 11  warps [60, 64)
+    { int j = it - 3;
+      int tid = (int)threadIdx.x - 1920;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 11L) * 128L + tid;
+          move_1_join#1(buf_e1, b * 4L, buf_e4, b * 4L, buf_e13, 0L + b * 8L);
+        }
+      }
+    }
+    // o=31521.9 f=3 join#1 instance 15  warps [64, 68)
+    { int j = it - 3;
+      int tid = (int)threadIdx.x - 2048;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 15L) * 128L + tid;
+          move_1_join#1(buf_e1, b * 4L, buf_e4, b * 4L, buf_e13, 0L + b * 8L);
+        }
+      }
+    }
+    break;
+  }
+  case 2: {
+    // o=0 f=1 split#0 instance 0  warps [0, 4)
+    { int j = it - 1;
+      int tid = (int)threadIdx.x - 0;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 1L + 0L) * 128L + tid;
+          move_0_split#0(buf_e14, b * 32L, buf_e0, 0L + b * 16L, buf_e3, 0L + b * 16L);
+        }
+      }
+    }
+    // o=0 f=4 join#1 instance 10  warps [4, 8)
+    { int j = it - 4;
+      int tid = (int)threadIdx.x - 128;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 10L) * 128L + tid;
+          move_1_join#1(buf_e1, b * 4L, buf_e4, b * 4L, buf_e13, 0L + b * 8L);
+        }
+      }
+    }
+    // o=0 f=4 join#1 instance 14  warps [8, 12)
+    { int j = it - 4;
+      int tid = (int)threadIdx.x - 256;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 14L) * 128L + tid;
+          move_1_join#1(buf_e1, b * 4L, buf_e4, b * 4L, buf_e13, 0L + b * 8L);
+        }
+      }
+    }
+    // o=0 f=5 split#5 instance 1  warps [12, 16)
+    { int j = it - 5;
+      int tid = (int)threadIdx.x - 384;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 1L) * 128L + tid;
+          move_5_split#5(buf_e13, b * 32L, buf_e5, 0L + b * 8L, buf_e7, 0L + b * 8L, buf_e9, 0L + b * 8L, buf_e11, 0L + b * 8L);
+        }
+      }
+    }
+    // o=0 f=5 split#5 instance 3  warps [16, 20)
+    { int j = it - 5;
+      int tid = (int)threadIdx.x - 512;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 3L) * 128L + tid;
+          move_5_split#5(buf_e13, b * 32L, buf_e5, 0L + b * 8L, buf_e7, 0L + b * 8L, buf_e9, 0L + b * 8L, buf_e11, 0L + b * 8L);
+        }
+      }
+    }
+    // o=0 f=6 Dot_0#7 instance 2  warps [20, 24)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 640;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 2L) * 128L + tid;
+          work_7_Dot_0(buf_e5, b * 8L, buf_e6, b * 1L);
+        }
+      }
+    }
+    // o=0 f=6 Dot_1#8 instance 2  warps [24, 28)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 768;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 2L) * 128L + tid;
+          work_8_Dot_1(buf_e7, b * 8L, buf_e8, b * 1L);
+        }
+      }
+    }
+    // o=0 f=6 Dot_2#9 instance 2  warps [28, 32)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 896;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 2L) * 128L + tid;
+          work_9_Dot_2(buf_e9, b * 8L, buf_e10, b * 1L);
+        }
+      }
+    }
+    // o=0 f=6 Dot_3#10 instance 2  warps [32, 36)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 1024;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 2L) * 128L + tid;
+          work_10_Dot_3(buf_e11, b * 8L, buf_e12, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 0  warps [36, 40)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1152;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 0L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 2  warps [40, 44)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1280;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 2L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 4  warps [44, 48)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1408;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 4L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 6  warps [48, 52)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1536;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 6L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 8  warps [52, 56)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1664;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 8L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 10  warps [56, 60)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1792;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 10L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 12  warps [60, 64)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1920;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 12L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 15  warps [64, 68)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 2048;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 15L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 18  warps [68, 72)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 2176;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 18L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 21  warps [72, 76)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 2304;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 21L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 24  warps [76, 80)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 2432;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 24L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 27  warps [80, 84)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 2560;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 27L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 30  warps [84, 88)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 2688;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 30L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=8 __output instance 5  warps [88, 92)
+    { int j = it - 8;
+      int tid = (int)threadIdx.x - 2816;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 5L) * 128L + tid;
+          work_12___output(buf_e15, b * 1L, buf_out, b * 1L);
+        }
+      }
+    }
+    // o=0 f=8 __output instance 8  warps [92, 96)
+    { int j = it - 8;
+      int tid = (int)threadIdx.x - 2944;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 8L) * 128L + tid;
+          work_12___output(buf_e15, b * 1L, buf_out, b * 1L);
+        }
+      }
+    }
+    // o=0 f=8 __output instance 11  warps [96, 100)
+    { int j = it - 8;
+      int tid = (int)threadIdx.x - 3072;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 11L) * 128L + tid;
+          work_12___output(buf_e15, b * 1L, buf_out, b * 1L);
+        }
+      }
+    }
+    // o=0 f=7 __output instance 14  warps [100, 104)
+    { int j = it - 7;
+      int tid = (int)threadIdx.x - 3200;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 14L) * 128L + tid;
+          work_12___output(buf_e15, b * 1L, buf_out, b * 1L);
+        }
+      }
+    }
+    break;
+  }
+  case 3: {
+    // o=0 f=4 join#1 instance 9  warps [0, 4)
+    { int j = it - 4;
+      int tid = (int)threadIdx.x - 0;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 9L) * 128L + tid;
+          move_1_join#1(buf_e1, b * 4L, buf_e4, b * 4L, buf_e13, 0L + b * 8L);
+        }
+      }
+    }
+    // o=0 f=4 join#1 instance 13  warps [4, 8)
+    { int j = it - 4;
+      int tid = (int)threadIdx.x - 128;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 13L) * 128L + tid;
+          move_1_join#1(buf_e1, b * 4L, buf_e4, b * 4L, buf_e13, 0L + b * 8L);
+        }
+      }
+    }
+    // o=0 f=2 TransposeB#3 instance 0  warps [8, 12)
+    { int j = it - 2;
+      int tid = (int)threadIdx.x - 256;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 1L + 0L) * 128L + tid;
+          work_3_TransposeB(buf_e3, b * 16L, buf_e2, b * 16L);
+        }
+      }
+    }
+    // o=0 f=5 split#5 instance 0  warps [12, 16)
+    { int j = it - 5;
+      int tid = (int)threadIdx.x - 384;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 0L) * 128L + tid;
+          move_5_split#5(buf_e13, b * 32L, buf_e5, 0L + b * 8L, buf_e7, 0L + b * 8L, buf_e9, 0L + b * 8L, buf_e11, 0L + b * 8L);
+        }
+      }
+    }
+    // o=0 f=5 split#5 instance 2  warps [16, 20)
+    { int j = it - 5;
+      int tid = (int)threadIdx.x - 512;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 2L) * 128L + tid;
+          move_5_split#5(buf_e13, b * 32L, buf_e5, 0L + b * 8L, buf_e7, 0L + b * 8L, buf_e9, 0L + b * 8L, buf_e11, 0L + b * 8L);
+        }
+      }
+    }
+    // o=0 f=7 join#6 instance 0  warps [20, 24)
+    { int j = it - 7;
+      int tid = (int)threadIdx.x - 640;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 0L) * 128L + tid;
+          move_6_join#6(buf_e6, b * 1L, buf_e8, b * 1L, buf_e10, b * 1L, buf_e12, b * 1L, buf_e15, 0L + b * 4L);
+        }
+      }
+    }
+    // o-order: a global edge is consumed at this stage on this SM
+    __syncthreads();
+    // o=0 f=7 join#6 instance 1  warps [24, 28)
+    { int j = it - 7;
+      int tid = (int)threadIdx.x - 768;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 1L) * 128L + tid;
+          move_6_join#6(buf_e6, b * 1L, buf_e8, b * 1L, buf_e10, b * 1L, buf_e12, b * 1L, buf_e15, 0L + b * 4L);
+        }
+      }
+    }
+    // o-order: a global edge is consumed at this stage on this SM
+    __syncthreads();
+    // o=0 f=7 join#6 instance 2  warps [28, 32)
+    { int j = it - 7;
+      int tid = (int)threadIdx.x - 896;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 2L) * 128L + tid;
+          move_6_join#6(buf_e6, b * 1L, buf_e8, b * 1L, buf_e10, b * 1L, buf_e12, b * 1L, buf_e15, 0L + b * 4L);
+        }
+      }
+    }
+    // o-order: a global edge is consumed at this stage on this SM
+    __syncthreads();
+    // o=0 f=6 Dot_0#7 instance 3  warps [32, 36)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 1024;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 3L) * 128L + tid;
+          work_7_Dot_0(buf_e5, b * 8L, buf_e6, b * 1L);
+        }
+      }
+    }
+    // o-order: a global edge is consumed at this stage on this SM
+    __syncthreads();
+    // o=0 f=6 Dot_1#8 instance 3  warps [36, 40)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 1152;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 3L) * 128L + tid;
+          work_8_Dot_1(buf_e7, b * 8L, buf_e8, b * 1L);
+        }
+      }
+    }
+    // o-order: a global edge is consumed at this stage on this SM
+    __syncthreads();
+    // o=0 f=6 Dot_2#9 instance 3  warps [40, 44)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 1280;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 3L) * 128L + tid;
+          work_9_Dot_2(buf_e9, b * 8L, buf_e10, b * 1L);
+        }
+      }
+    }
+    // o-order: a global edge is consumed at this stage on this SM
+    __syncthreads();
+    // o=0 f=6 Dot_3#10 instance 3  warps [44, 48)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 1408;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 3L) * 128L + tid;
+          work_10_Dot_3(buf_e11, b * 8L, buf_e12, b * 1L);
+        }
+      }
+    }
+    // o-order: a global edge is consumed at this stage on this SM
+    __syncthreads();
+    // o=0 f=0 __input instance 14  warps [48, 52)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1536;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 14L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 17  warps [52, 56)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1664;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 17L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 20  warps [56, 60)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1792;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 20L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 23  warps [60, 64)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 1920;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 23L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 26  warps [64, 68)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 2048;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 26L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=0 f=0 __input instance 29  warps [68, 72)
+    { int j = it - 0;
+      int tid = (int)threadIdx.x - 2176;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 32L + 29L) * 128L + tid;
+          work_11___input(buf_in, b * 1L, buf_e14, b * 1L);
+        }
+      }
+    }
+    // o=1928.3 f=7 __output instance 0  warps [72, 76)
+    { int j = it - 7;
+      int tid = (int)threadIdx.x - 2304;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 0L) * 128L + tid;
+          work_12___output(buf_e15, b * 1L, buf_out, b * 1L);
+        }
+      }
+    }
+    // o=1928.3 f=7 __output instance 1  warps [76, 80)
+    { int j = it - 7;
+      int tid = (int)threadIdx.x - 2432;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 1L) * 128L + tid;
+          work_12___output(buf_e15, b * 1L, buf_out, b * 1L);
+        }
+      }
+    }
+    // o=1928.3 f=7 __output instance 2  warps [80, 84)
+    { int j = it - 7;
+      int tid = (int)threadIdx.x - 2560;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 2L) * 128L + tid;
+          work_12___output(buf_e15, b * 1L, buf_out, b * 1L);
+        }
+      }
+    }
+    // o=1928.3 f=7 __output instance 3  warps [84, 88)
+    { int j = it - 7;
+      int tid = (int)threadIdx.x - 2688;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 16L + 3L) * 128L + tid;
+          work_12___output(buf_e15, b * 1L, buf_out, b * 1L);
+        }
+      }
+    }
+    // o=3886.7 f=6 join#6 instance 3  warps [88, 92)
+    { int j = it - 6;
+      int tid = (int)threadIdx.x - 2816;
+      if (j >= 0 && tid >= 0 && tid < 128) {
+        for (int c = 0; c < 8; ++c) {
+          long b = 0L + (((long)j * 8 + c) * 4L + 3L) * 128L + tid;
+          move_6_join#6(buf_e6, b * 1L, buf_e8, b * 1L, buf_e10, b * 1L, buf_e12, b * 1L, buf_e15, 0L + b * 4L);
+        }
+      }
+    }
+    break;
+  }
+  default: break;
+  }
+  global_barrier(4u * (unsigned int)(it + 1));
+  }
+}
+
+// Host driver: allocates the global ring buffers (queue edges
+// live in shared memory), shuffles the program input per Eq. 9
+// and launches the persistent kernel once.
+void run_streamit_program(int iterations) {
+  float *buf_e0; cudaMalloc(&buf_e0, 655360L);
+  float *buf_e1; cudaMalloc(&buf_e1, 2621440L);
+  float *buf_e2; cudaMalloc(&buf_e2, 655360L);
+  float *buf_e3; cudaMalloc(&buf_e3, 655360L);
+  float *buf_e4; cudaMalloc(&buf_e4, 2621440L);
+  float *buf_e5; cudaMalloc(&buf_e5, 1310720L);
+  float *buf_e6; cudaMalloc(&buf_e6, 163840L);
+  float *buf_e7; cudaMalloc(&buf_e7, 1310720L);
+  float *buf_e8; cudaMalloc(&buf_e8, 163840L);
+  float *buf_e9; cudaMalloc(&buf_e9, 1310720L);
+  float *buf_e10; cudaMalloc(&buf_e10, 163840L);
+  float *buf_e11; cudaMalloc(&buf_e11, 1310720L);
+  float *buf_e12; cudaMalloc(&buf_e12, 163840L);
+  float *buf_e13; cudaMalloc(&buf_e13, 5242880L);
+  float *buf_e14; cudaMalloc(&buf_e14, 1310720L);
+  float *buf_e15; cudaMalloc(&buf_e15, 655360L);
+  // shuffle_input: host[i] -> dev[128*(i%1) + (i/(128*1))*(128*1) + ((i/1)%128)]
+  dim3 grid(4), block(3328);
+  streamit_swp_kernel<<<grid, block>>>(buf_e0, buf_e1, buf_e2, buf_e3, buf_e4, buf_e5, buf_e6, buf_e7, buf_e8, buf_e9, buf_e10, buf_e11, buf_e12, buf_e13, buf_e14, buf_e15, buf_in, buf_out, iterations + 8);
+  cudaDeviceSynchronize();
+}

@@ -14,6 +14,7 @@
 
 #include "benchmarks/Registry.h"
 #include "codegen/CudaEmitter.h"
+#include "codegen/schema/SchemaSelect.h"
 #include "core/IlpScheduler.h"
 #include "profile/ConfigSelection.h"
 #include "profile/Profiler.h"
@@ -30,8 +31,12 @@ namespace {
 
 /// Emits the benchmark's .cu through the deterministic heuristic
 /// scheduler (no ILP, one worker, node budgets instead of wall clock) so
-/// the golden text is machine-independent.
-std::string emitBenchmark(const std::string &Name) {
+/// the golden text is machine-independent. \p Kind picks the kernel
+/// schema; WarpSpecialized also runs the budgeted per-edge queue
+/// selection so the golden pins the ring-queue emission, not just the
+/// persistent-kernel scaffolding.
+std::string emitBenchmark(const std::string &Name,
+                          SchemaKind Kind = SchemaKind::GlobalChannel) {
   const bench::BenchmarkSpec *Spec = bench::findBenchmark(Name);
   EXPECT_NE(Spec, nullptr) << Name << " missing from the registry";
   if (!Spec)
@@ -40,8 +45,8 @@ std::string emitBenchmark(const std::string &Name) {
   StreamGraph G = flatten(*S);
   auto SS = SteadyState::compute(G);
   EXPECT_TRUE(SS.has_value());
-  ProfileTable PT =
-      profileGraph(GpuArch::geForce8800GTS512(), G, LayoutKind::Shuffled);
+  const GpuArch Arch = GpuArch::geForce8800GTS512();
+  ProfileTable PT = profileGraph(Arch, G, LayoutKind::Shuffled);
   auto Config = selectExecutionConfig(*SS, PT);
   EXPECT_TRUE(Config.has_value());
   GpuSteadyState GSS =
@@ -58,7 +63,10 @@ std::string emitBenchmark(const std::string &Name) {
   CudaEmitOptions EO;
   EO.Layout = LayoutKind::Shuffled;
   EO.Coarsening = 8; // the SWP8 headline configuration
-  return emitCudaSource(G, *SS, *Config, GSS, Sched->Schedule, EO);
+  SchemaAssignment Schema = selectSchemaAssignment(
+      Arch, G, *SS, *Config, GSS, Sched->Schedule, Kind, EO.Coarsening);
+  return createKernelSchema(Kind)->emit(G, *SS, *Config, GSS,
+                                        Sched->Schedule, Schema, EO);
 }
 
 /// Collapses every whitespace run to one space and trims line ends, so
@@ -80,15 +88,17 @@ std::string normalize(const std::string &Text) {
   return Out;
 }
 
-std::string goldenPath(const std::string &Name) {
-  return std::string(SGPU_SOURCE_DIR) + "/tests/golden/" + Name + ".cu";
+std::string goldenPath(const std::string &Name, SchemaKind Kind) {
+  return std::string(SGPU_SOURCE_DIR) + "/tests/golden/" + Name +
+         (Kind == SchemaKind::WarpSpecialized ? ".warp.cu" : ".cu");
 }
 
-void checkGolden(const std::string &Name) {
-  std::string Src = emitBenchmark(Name);
+void checkGolden(const std::string &Name,
+                 SchemaKind Kind = SchemaKind::GlobalChannel) {
+  std::string Src = emitBenchmark(Name, Kind);
   ASSERT_FALSE(Src.empty());
 
-  const std::string Path = goldenPath(Name);
+  const std::string Path = goldenPath(Name, Kind);
   if (std::getenv("SGPU_UPDATE_GOLDEN")) {
     std::ofstream Out(Path);
     ASSERT_TRUE(Out.good()) << "cannot write " << Path;
@@ -117,7 +127,7 @@ void checkGolden(const std::string &Name) {
     if (!HasA && !HasB)
       break;
     if (normalize(HasA ? LineA : "") != normalize(HasB ? LineB : "")) {
-      FAIL() << Name << ".cu diverges from the golden at line " << LineNo
+      FAIL() << Path << " diverges from the golden at line " << LineNo
              << "\n  golden:  " << (HasA ? LineA : "<eof>")
              << "\n  emitted: " << (HasB ? LineB : "<eof>")
              << "\nIf the change is intentional, regenerate with "
@@ -125,8 +135,8 @@ void checkGolden(const std::string &Name) {
     }
     ++LineNo;
   }
-  FAIL() << Name
-         << ".cu diverges from the golden only in token spacing across "
+  FAIL() << Path
+         << " diverges from the golden only in token spacing across "
             "lines; regenerate with SGPU_UPDATE_GOLDEN=1";
 }
 
@@ -136,8 +146,54 @@ TEST(GoldenCodegen, Dct) { checkGolden("DCT"); }
 
 TEST(GoldenCodegen, MatrixMult) { checkGolden("MatrixMult"); }
 
+// Warp-specialized schema goldens for the same two benchmarks: the
+// persistent kernel, the warp-group dispatch, and (where the budgeted
+// selection admits same-SM edges) the shared-memory ring queues are all
+// pinned as full text. Reblessable the same way as the global goldens.
+TEST(GoldenCodegen, DctWarp) {
+  checkGolden("DCT", SchemaKind::WarpSpecialized);
+}
+
+TEST(GoldenCodegen, MatrixMultWarp) {
+  checkGolden("MatrixMult", SchemaKind::WarpSpecialized);
+}
+
 // The golden contract only holds if emission is deterministic in the
 // first place: two independent compiles must render identical text.
 TEST(GoldenCodegen, EmissionIsDeterministic) {
   EXPECT_EQ(emitBenchmark("DCT"), emitBenchmark("DCT"));
+  EXPECT_EQ(emitBenchmark("DCT", SchemaKind::WarpSpecialized),
+            emitBenchmark("DCT", SchemaKind::WarpSpecialized));
+}
+
+// The schema interface's GlobalChannel implementation must render the
+// same bytes as the original emitCudaSource entry point — the refactor
+// behind KernelSchema is not allowed to move the text at all.
+TEST(GoldenCodegen, GlobalSchemaMatchesLegacyEmitter) {
+  const bench::BenchmarkSpec *Spec = bench::findBenchmark("DCT");
+  ASSERT_NE(Spec, nullptr);
+  StreamPtr S = Spec->Build();
+  StreamGraph G = flatten(*S);
+  auto SS = SteadyState::compute(G);
+  ASSERT_TRUE(SS.has_value());
+  ProfileTable PT =
+      profileGraph(GpuArch::geForce8800GTS512(), G, LayoutKind::Shuffled);
+  auto Config = selectExecutionConfig(*SS, PT);
+  ASSERT_TRUE(Config.has_value());
+  GpuSteadyState GSS =
+      computeGpuSteadyState(SS->repetitions(), Config->Threads);
+  SchedulerOptions SO;
+  SO.Pmax = 4;
+  SO.UseIlp = false;
+  SO.NumWorkers = 1;
+  SO.TimeBudgetSeconds = 1e9;
+  auto Sched = scheduleSwp(G, *SS, *Config, GSS, SO);
+  ASSERT_TRUE(Sched.has_value());
+  CudaEmitOptions EO;
+  EO.Layout = LayoutKind::Shuffled;
+  EO.Coarsening = 8;
+  SchemaAssignment AllGlobal;
+  EXPECT_EQ(createKernelSchema(SchemaKind::GlobalChannel)
+                ->emit(G, *SS, *Config, GSS, Sched->Schedule, AllGlobal, EO),
+            emitCudaSource(G, *SS, *Config, GSS, Sched->Schedule, EO));
 }

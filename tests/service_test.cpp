@@ -165,6 +165,54 @@ TEST(GraphHash, ExecutionKnobsAreExcludedSemanticOptionsIncluded) {
       << "the machine model is part of the key";
 }
 
+// Canonical form v3 added the `schema=` line. The schema mode must split
+// the key space, and every v2-era envelope (same payload, no schema
+// line, "v2" header) must miss cleanly against a v3-populated cache —
+// a stale warp-less entry aliasing a warp compile would hand back the
+// wrong schedule report.
+TEST(GraphHash, SchemaModeSplitsTheKeyAndV2EnvelopesInvalidate) {
+  StreamGraph G = graphFromSource(tinyProgram());
+
+  CompileOptions Global;
+  CompileOptions Warp;
+  Warp.Schema = SchemaMode::Warp;
+  CompileOptions Auto;
+  Auto.Schema = SchemaMode::Auto;
+  EXPECT_NE(graphHash(G, Global), graphHash(G, Warp));
+  EXPECT_NE(graphHash(G, Global), graphHash(G, Auto));
+  EXPECT_NE(graphHash(G, Warp), graphHash(G, Auto));
+
+  // The canonical options carry the new line for every mode (including
+  // the default — an absent line would make global hash like v2).
+  EXPECT_NE(canonicalizeOptions(Global).find("schema=global\n"),
+            std::string::npos);
+  EXPECT_NE(canonicalizeOptions(Warp).find("schema=warp\n"),
+            std::string::npos);
+
+  // Reconstruct the v2 envelope of the same request: the v2 canonical
+  // payload is today's minus the schema line, hashed under the old
+  // version header.
+  std::string V2Options = canonicalizeOptions(Global);
+  const size_t Line = V2Options.find("schema=global\n");
+  ASSERT_NE(Line, std::string::npos);
+  V2Options.erase(Line, std::string("schema=global\n").size());
+  Sha256 V2;
+  V2.update("sgpu-canon v2\n");
+  V2.update(canonicalizeGraph(G));
+  V2.update(V2Options);
+  const std::string V2Key = V2.digestHex();
+  const std::string V3Key = graphHash(G, Global);
+  EXPECT_NE(V2Key, V3Key);
+
+  // End to end: a cache freshly populated under v3 keys must miss for
+  // the v2 key — the old entry is unreachable, never silently reused.
+  ScheduleCache C({/*MaxBytes=*/1 << 20, /*Dir=*/""});
+  C.insert(V3Key, "v3-schedule-report");
+  EXPECT_TRUE(C.lookup(V3Key).has_value());
+  EXPECT_FALSE(C.lookup(V2Key).has_value())
+      << "a v2-era envelope aliased a v3 entry";
+}
+
 TEST(GraphHash, OptionSpellingsCanonicalizeThroughTheCliParser) {
   // The CLI and the protocol share parseStrategyName, so case variants
   // resolve to the same Strategy before any canonicalization happens.
@@ -330,7 +378,8 @@ TEST(Protocol, ParsesOptionsAndFlags) {
   std::string Err;
   std::optional<CompileRequest> R = parseCompileRequest(
       R"({"id":"q7","benchmark":"DES","no_cache":true,)"
-      R"("options":{"coarsening":4,"sms":2,"timing_model":"cycle"}})",
+      R"("options":{"coarsening":4,"sms":2,"timing_model":"cycle",)"
+      R"("schema":"auto"}})",
       &Err);
   ASSERT_TRUE(R.has_value()) << Err;
   EXPECT_EQ(R->Id, "q7");
@@ -339,6 +388,13 @@ TEST(Protocol, ParsesOptionsAndFlags) {
   EXPECT_EQ(R->Options.Coarsening, 4);
   EXPECT_EQ(R->Options.Sched.Pmax, 2);
   EXPECT_EQ(R->Options.Timing, TimingModelKind::Cycle);
+  EXPECT_EQ(R->Options.Schema, SchemaMode::Auto);
+
+  // Unknown schema spellings are rejected like every other enum.
+  EXPECT_FALSE(parseCompileRequest(
+                   R"({"source":"x","options":{"schema":"queues"}})", &Err)
+                   .has_value());
+  EXPECT_NE(Err.find("queues"), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//

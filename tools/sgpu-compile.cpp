@@ -46,6 +46,10 @@ void printUsage() {
       "                                which model drives Alg. 7 config\n"
       "                                selection (default auto = follow\n"
       "                                --timing-model)\n"
+      "  --schema=global|warp|auto     kernel schema (default global;\n"
+      "                                warp puts eligible same-SM edges\n"
+      "                                in shared-memory ring queues; auto\n"
+      "                                keeps whichever simulates faster)\n"
       "  --coarsening=N                SWPn factor (default 8)\n"
       "  --sms=N                       SMs to target (default 16)\n"
       "  --jobs=N                      scheduling-engine workers\n"
@@ -79,6 +83,7 @@ int main(int argc, char **argv) {
   TimingModelKind Timing = TimingModelKind::Analytic;
   WarpSchedPolicy WarpSched = WarpSchedPolicy::RoundRobin;
   ConfigSelectMode ConfigSelect = ConfigSelectMode::Auto;
+  SchemaMode Schema = SchemaMode::Global;
   int Coarsening = 8;
   int Sms = 16;
   int Jobs = 0; // 0 = auto ($SGPU_JOBS, then hardware_concurrency).
@@ -131,6 +136,14 @@ int main(int argc, char **argv) {
         ConfigSelect = *M;
       } else {
         std::fprintf(stderr, "error: unknown config-select mode '%s'\n", V);
+        return 1;
+      }
+    } else if (startsWith(Arg, "--schema=")) {
+      const char *V = Arg + 9;
+      if (std::optional<SchemaMode> M = parseSchemaMode(V)) {
+        Schema = *M;
+      } else {
+        std::fprintf(stderr, "error: unknown schema '%s'\n", V);
         return 1;
       }
     } else if (startsWith(Arg, "--coarsening=")) {
@@ -237,6 +250,7 @@ int main(int argc, char **argv) {
   Options.Timing = Timing;
   Options.WarpSched = WarpSched;
   Options.ConfigSelect = ConfigSelect;
+  Options.Schema = Schema;
   Options.Coarsening = Coarsening;
   Options.Sched.Pmax = Sms;
   Options.Sched.NumWorkers = Jobs;
@@ -277,6 +291,12 @@ int main(int argc, char **argv) {
                 static_cast<long long>(R->SchedStats.SolverPivots),
                 R->SchedStats.WorkersUsed, R->SchedStats.SolverSeconds);
   }
+  if (Strat != Strategy::Serial)
+    std::printf("  schema           : %s requested, %s selected "
+                "(%d queue edges, %lld shared bytes)\n",
+                schemaModeName(R->RequestedSchema),
+                schemaKindName(R->Schema.Kind), R->Schema.numQueueEdges(),
+                static_cast<long long>(R->Schema.SharedQueueBytes));
   std::printf("  buffers          : %lld bytes\n",
               static_cast<long long>(R->BufferBytes));
   std::printf("  kernel sim       : %.0f cycles/invocation, "
@@ -320,8 +340,9 @@ int main(int argc, char **argv) {
     CudaEmitOptions EmitOpts;
     EmitOpts.Layout = R->Layout;
     EmitOpts.Coarsening = Coarsening;
-    std::fputs(emitCudaSource(G, *SS, R->Config, R->GSS, R->Schedule,
-                              EmitOpts)
+    std::fputs(createKernelSchema(R->Schema.Kind)
+                   ->emit(G, *SS, R->Config, R->GSS, R->Schedule, R->Schema,
+                          EmitOpts)
                    .c_str(),
                stdout);
   }

@@ -55,6 +55,11 @@ void printUsage() {
       "                                oracles (default analytic)\n"
       "  --warp-sched=rr|gto           warp-scheduler policy for the cycle\n"
       "                                model oracles (default rr)\n"
+      "  --schema=global|warp|auto     kernel schema under differential\n"
+      "                                test (default global; warp/auto\n"
+      "                                re-run every schedule with the\n"
+      "                                warp-specialized queue assignment\n"
+      "                                against the interpreter)\n"
       "  --sms=N                       SMs to schedule onto (default 4)\n"
       "  --depth=N                     max nesting depth (default 2)\n"
       "  --no-ilp                      heuristic-only variants\n"
@@ -396,6 +401,14 @@ int main(int argc, char **argv) {
         return 2;
       }
       C.Oracle.WarpSched = *Policy;
+    } else if (takesValue(I, "--schema")) {
+      auto Mode = parseSchemaMode(Val);
+      if (!Mode) {
+        std::fprintf(stderr, "sgpu-fuzz: unknown schema '%s'\n",
+                     Val.c_str());
+        return 2;
+      }
+      C.Oracle.Schema = *Mode;
     } else if (takesValue(I, "--sms")) {
       C.Oracle.Pmax = std::atoi(Val.c_str());
     } else if (takesValue(I, "--depth")) {
