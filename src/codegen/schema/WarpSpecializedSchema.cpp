@@ -85,15 +85,23 @@ std::string WarpSpecializedSchema::emit(const StreamGraph &G,
        << "// A producer spins until the consumer's head ticket frees ring\n"
        << "// space, writes its tokens, then publishes a new tail; a\n"
        << "// consumer spins on the tail, reads, then releases the head.\n"
-       << "// Warps of a group publish in warp order (lane 31 carries the\n"
-       << "// group's highest token index); atomicMax keeps tickets\n"
-       << "// monotonic under concurrent publishers.\n"
+       << "// Publication is chained in token order: each publishing lane\n"
+       << "// first spins until the ticket reaches its own warp's base\n"
+       << "// token index, so warps (and concurrent node instances) of\n"
+       << "// unordered warp groups cannot publish a tail that covers\n"
+       << "// another warp's not-yet-written ring slots. A ticket value t\n"
+       << "// therefore proves every token below t is resident.\n"
+       << "// q_wait ends with a block fence (acquire) pairing with the\n"
+       << "// publisher's pre-publish __threadfence_block (release), so\n"
+       << "// ring accesses cannot be reordered above the observed spin.\n"
        << "__device__ __forceinline__ void q_wait(volatile long long "
           "*ticket, long long need) {\n"
        << "  while (*ticket < need) { }\n"
+       << "  __threadfence_block();\n"
        << "}\n"
        << "__device__ __forceinline__ void q_publish(long long *ticket, "
-          "long long to) {\n"
+          "long long from, long long to) {\n"
+       << "  while (*(volatile long long *)ticket < from) { }\n"
        << "  atomicMax((unsigned long long *)ticket, (unsigned long long)"
           "to);\n"
        << "}\n\n";
@@ -102,6 +110,10 @@ std::string WarpSpecializedSchema::emit(const StreamGraph &G,
   // persistent kernel replaces the paper's per-iteration launches).
   OS << "// Software grid barrier: block 0..gridDim-1 arrive, everyone\n"
      << "// spins until the arrival count reaches the per-iteration goal.\n"
+     << "// Release/acquire pair: the fence before the arrival add\n"
+     << "// publishes this SM's ring writes; the fence after the spin\n"
+     << "// keeps the next iteration's cross-SM ring reads from seeing\n"
+     << "// stale pre-barrier data in a non-coherent L1.\n"
      << "__device__ unsigned int swp_barrier_arrived = 0u;\n"
      << "__device__ void global_barrier(unsigned int goal) {\n"
      << "  __syncthreads();\n"
@@ -110,6 +122,7 @@ std::string WarpSpecializedSchema::emit(const StreamGraph &G,
      << "    atomicAdd(&swp_barrier_arrived, 1u);\n"
      << "    while (((volatile unsigned int *)&swp_barrier_arrived)[0] < "
         "goal) { }\n"
+     << "    __threadfence();\n"
      << "  }\n"
      << "  __syncthreads();\n"
      << "}\n\n";
@@ -230,26 +243,29 @@ std::string WarpSpecializedSchema::emit(const StreamGraph &G,
         }
       };
       auto EmitPublishes = [&]() {
-        bool NeedFence = false;
+        bool AnyPub = false;
         for (int EId : N.OutEdges)
           if (Schema.isQueue(EId))
-            NeedFence = true;
-        if (NeedFence)
-          OS << "          __threadfence_block(); __syncwarp();\n";
-        else if (!N.InEdges.empty()) {
-          for (int EId : N.InEdges)
-            if (Schema.isQueue(EId)) {
-              OS << "          __syncwarp();\n";
-              break;
-            }
-        }
+            AnyPub = true;
+        for (int EId : N.InEdges)
+          if (Schema.isQueue(EId))
+            AnyPub = true;
+        if (!AnyPub)
+          return;
+        // Release the warp's ring accesses (writes on out-edges, reads
+        // on in-edges) to the block before lane 31 moves any ticket.
+        OS << "          __threadfence_block(); __syncwarp();\n";
+        // Chained publish: the warp's base token index (b - lane) gates
+        // each publish, so tickets advance strictly in token order even
+        // though warps and concurrent node instances run unordered.
         for (int EId : N.OutEdges) {
           const ChannelEdge &E = G.edge(EId);
           if (!Schema.isQueue(EId))
             continue;
           OS << "          if ((threadIdx.x & 31) == 31 || tid == "
              << Threads - 1 << ") q_publish(&" << ticketName(EId, "tail")
-             << ", (b + 1L) * " << E.ProdRate << "L);\n";
+             << ", (b - (tid & 31)) * " << E.ProdRate << "L, (b + 1L) * "
+             << E.ProdRate << "L);\n";
         }
         for (int EId : N.InEdges) {
           const ChannelEdge &E = G.edge(EId);
@@ -257,7 +273,8 @@ std::string WarpSpecializedSchema::emit(const StreamGraph &G,
             continue;
           OS << "          if ((threadIdx.x & 31) == 31 || tid == "
              << Threads - 1 << ") q_publish(&" << ticketName(EId, "head")
-             << ", (b + 1L) * " << E.ConsRate << "L);\n";
+             << ", (b - (tid & 31)) * " << E.ConsRate << "L, (b + 1L) * "
+             << E.ConsRate << "L);\n";
         }
       };
       EmitWaits();

@@ -112,7 +112,9 @@ struct QueueTraffic {
 };
 
 /// Integer ops per firing per queued side for the ticket handshake (the
-/// emitted q_wait/q_publish pair: compare, branch, add, atomicMax).
+/// emitted q_wait/q_publish pair: compare, branch, add, atomicMax). The
+/// publisher's in-order chain spin and the block fences run on one lane
+/// per warp, amortized below an op per firing, and are not charged.
 inline constexpr int64_t QueueTicketOpsPerSide = 4;
 
 /// Channel tokens read + written by one base firing of node \p N.

@@ -296,18 +296,30 @@ __device__ __forceinline__ long IDX_E35(long q) {
 // A producer spins until the consumer's head ticket frees ring
 // space, writes its tokens, then publishes a new tail; a
 // consumer spins on the tail, reads, then releases the head.
-// Warps of a group publish in warp order (lane 31 carries the
-// group's highest token index); atomicMax keeps tickets
-// monotonic under concurrent publishers.
+// Publication is chained in token order: each publishing lane
+// first spins until the ticket reaches its own warp's base
+// token index, so warps (and concurrent node instances) of
+// unordered warp groups cannot publish a tail that covers
+// another warp's not-yet-written ring slots. A ticket value t
+// therefore proves every token below t is resident.
+// q_wait ends with a block fence (acquire) pairing with the
+// publisher's pre-publish __threadfence_block (release), so
+// ring accesses cannot be reordered above the observed spin.
 __device__ __forceinline__ void q_wait(volatile long long *ticket, long long need) {
   while (*ticket < need) { }
+  __threadfence_block();
 }
-__device__ __forceinline__ void q_publish(long long *ticket, long long to) {
+__device__ __forceinline__ void q_publish(long long *ticket, long long from, long long to) {
+  while (*(volatile long long *)ticket < from) { }
   atomicMax((unsigned long long *)ticket, (unsigned long long)to);
 }
 
 // Software grid barrier: block 0..gridDim-1 arrive, everyone
 // spins until the arrival count reaches the per-iteration goal.
+// Release/acquire pair: the fence before the arrival add
+// publishes this SM's ring writes; the fence after the spin
+// keeps the next iteration's cross-SM ring reads from seeing
+// stale pre-barrier data in a non-coherent L1.
 __device__ unsigned int swp_barrier_arrived = 0u;
 __device__ void global_barrier(unsigned int goal) {
   __syncthreads();
@@ -315,6 +327,7 @@ __device__ void global_barrier(unsigned int goal) {
     __threadfence();
     atomicAdd(&swp_barrier_arrived, 1u);
     while (((volatile unsigned int *)&swp_barrier_arrived)[0] < goal) { }
+    __threadfence();
   }
   __syncthreads();
 }
@@ -1622,7 +1635,7 @@ __global__ void streamit_swp_kernel(float *buf_e0, float *buf_e1, float *buf_e2,
           q_wait(&qt_e4_head, (b + 1L) * 8L - 2048L);
           move_0_split#0(buf_e35, b * 64L, buf_e0, 0L + b * 8L, buf_e2, 0L + b * 8L, q_e4, 0L + b * 8L, buf_e6, 0L + b * 8L, buf_e8, 0L + b * 8L, buf_e10, 0L + b * 8L, buf_e12, 0L + b * 8L, buf_e14, 0L + b * 8L);
           __threadfence_block(); __syncwarp();
-          if ((threadIdx.x & 31) == 31 || tid == 127) q_publish(&qt_e4_tail, (b + 1L) * 8L);
+          if ((threadIdx.x & 31) == 31 || tid == 127) q_publish(&qt_e4_tail, (b - (tid & 31)) * 8L, (b + 1L) * 8L);
         }
       }
     }
@@ -1698,8 +1711,8 @@ __global__ void streamit_swp_kernel(float *buf_e0, float *buf_e1, float *buf_e2,
           long b = 0L + (((long)j * 8 + c) * 1L + 0L) * 128L + tid;
           q_wait(&qt_e4_tail, (b + 1L) * 8L);
           work_4_DCT1D_rows_2(q_e4, b * 8L, buf_e5, b * 8L);
-          __syncwarp();
-          if ((threadIdx.x & 31) == 31 || tid == 127) q_publish(&qt_e4_head, (b + 1L) * 8L);
+          __threadfence_block(); __syncwarp();
+          if ((threadIdx.x & 31) == 31 || tid == 127) q_publish(&qt_e4_head, (b - (tid & 31)) * 8L, (b + 1L) * 8L);
         }
       }
     }

@@ -138,6 +138,10 @@ __device__ __forceinline__ long IDX_E15(long q) {
 
 // Software grid barrier: block 0..gridDim-1 arrive, everyone
 // spins until the arrival count reaches the per-iteration goal.
+// Release/acquire pair: the fence before the arrival add
+// publishes this SM's ring writes; the fence after the spin
+// keeps the next iteration's cross-SM ring reads from seeing
+// stale pre-barrier data in a non-coherent L1.
 __device__ unsigned int swp_barrier_arrived = 0u;
 __device__ void global_barrier(unsigned int goal) {
   __syncthreads();
@@ -145,6 +149,7 @@ __device__ void global_barrier(unsigned int goal) {
     __threadfence();
     atomicAdd(&swp_barrier_arrived, 1u);
     while (((volatile unsigned int *)&swp_barrier_arrived)[0] < goal) { }
+    __threadfence();
   }
   __syncthreads();
 }
