@@ -56,7 +56,8 @@ int soleSm(int Node, const SwpSchedule &Sched) {
 SchemaAssignment sgpu::selectSchemaAssignment(
     const GpuArch &Arch, const StreamGraph &G, const SteadyState &SS,
     const ExecutionConfig &Config, const GpuSteadyState &GSS,
-    const SwpSchedule &Sched, SchemaKind Kind, int Coarsening) {
+    const SwpSchedule &Sched, SchemaKind Kind, int Coarsening,
+    const MachineModel *Machine) {
   SchemaAssignment A;
   A.Kind = Kind;
   A.Edges.assign(G.numEdges(), EdgeSchema::GlobalChannel);
@@ -76,6 +77,10 @@ SchemaAssignment sgpu::selectSchemaAssignment(
     // Block-local shared memory: both endpoints wholly on one SM.
     int SrcSm = soleSm(E.Src, Sched);
     if (SrcSm < 0 || SrcSm != soleSm(E.Dst, Sched))
+      continue;
+    // Hybrid machines: a CPU core has no shared-memory ring — edges
+    // resident on the host side are never queue candidates.
+    if (Machine && SrcSm >= Machine->numGpuSms())
       continue;
     int64_t Dist = stageDistance(E, Sched);
     if (Dist < 0)

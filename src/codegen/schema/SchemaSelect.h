@@ -49,13 +49,17 @@ inline constexpr int64_t QueueTicketBytes = 16;
 /// the all-global assignment; WarpSpecialized admits eligible edges
 /// greedily under the shared-memory budget as described above. The
 /// result is a pure function of its inputs (bit-deterministic).
+/// A hybrid \p Machine excludes CPU-resident endpoints: shared-memory
+/// ring queues only exist inside an SM's thread block, so an edge whose
+/// nodes live on a CPU core can never be a queue candidate.
 SchemaAssignment selectSchemaAssignment(const GpuArch &Arch,
                                         const StreamGraph &G,
                                         const SteadyState &SS,
                                         const ExecutionConfig &Config,
                                         const GpuSteadyState &GSS,
                                         const SwpSchedule &Sched,
-                                        SchemaKind Kind, int Coarsening);
+                                        SchemaKind Kind, int Coarsening,
+                                        const MachineModel *Machine = nullptr);
 
 /// Per-firing channel tokens of node \p N that \p Schema reroutes
 /// through shared-memory queues: for a filter, all of its channel ops

@@ -97,15 +97,29 @@ KernelDesc sgpu::buildSwpKernelDesc(const GpuArch &Arch, const StreamGraph &G,
                                     const ExecutionConfig &Config,
                                     const SwpSchedule &Schedule,
                                     LayoutKind Layout, int Coarsening,
-                                    const SchemaAssignment *Schema) {
+                                    const SchemaAssignment *Schema,
+                                    const MachineModel *Machine) {
+  const bool Hybrid = Machine && Machine->hasCpu();
+  const int NumGpuSms = Hybrid ? Machine->numGpuSms() : Schedule.Pmax;
   KernelDesc Desc;
   Desc.Instances = buildNodeInstances(Arch, G, Config, Layout, Schema);
   Desc.StageSpan = Schedule.stageSpan();
-  Desc.SmStreams.resize(Schedule.Pmax);
+  Desc.SmStreams.resize(NumGpuSms);
+  if (Hybrid) {
+    Desc.HostStreams.resize(Schedule.Pmax - NumGpuSms);
+    for (size_t V = 0; V < Desc.Instances.size() &&
+                       V < Config.CpuDelay.size();
+         ++V)
+      Desc.Instances[V].HostCycles = Config.CpuDelay[V];
+  }
   for (int P = 0; P < Schedule.Pmax; ++P)
-    for (const ScheduledInstance *SI : Schedule.smOrder(P))
-      Desc.SmStreams[P].push_back(
-          {SI->Node, static_cast<int64_t>(Coarsening)});
+    for (const ScheduledInstance *SI : Schedule.smOrder(P)) {
+      SmWorkItem Item{SI->Node, static_cast<int64_t>(Coarsening)};
+      if (P < NumGpuSms)
+        Desc.SmStreams[P].push_back(Item);
+      else
+        Desc.HostStreams[P - NumGpuSms].push_back(Item);
+    }
   return Desc;
 }
 
@@ -200,10 +214,37 @@ std::optional<CompileReport> compileSwp(const StreamGraph &G,
 
   SchedulerOptions SO = Options.Sched;
   SO.Pmax = std::min(SO.Pmax, Options.Arch.NumSMs);
+
+  // Hybrid machine: the SM array plus the CPU cores of Options.Cpu, the
+  // flat processor space covering both. CPU delays land in the config
+  // (GPU clock domain) and the requested coarsening becomes the cap of
+  // the per-class memory-bounded decision variable.
+  const bool Hybrid = Options.Machine == MachineMode::Hybrid;
+  MachineModel Machine;
+  const MachineModel *MachinePtr = nullptr;
+  if (Hybrid) {
+    Machine = MachineModel::hybrid(Options.Arch, SO.Pmax, Options.Cpu,
+                                   Options.Coarsening);
+    computeCpuDelays(*Config, G, Options.Cpu, Options.Arch);
+    SO.Pmax = Machine.totalProcs();
+    MachinePtr = &Machine;
+  }
+
   std::optional<ScheduleResult> SR =
-      scheduleSwp(G, SS, *Config, GSS, SO);
+      scheduleSwp(G, SS, *Config, GSS, SO, MachinePtr);
   if (!SR)
     return std::nullopt;
+
+  // Deployed SWPn factor: the solved per-class coarsening values, taken
+  // at their min — the SDF rates force one uniform batch per invocation
+  // across classes. GPU mode keeps the requested factor untouched.
+  int Coarsening = Options.Coarsening;
+  if (Hybrid && !SR->Schedule.ClassCoarsening.empty()) {
+    int64_t C = SR->Schedule.ClassCoarsening[0];
+    for (int64_t V : SR->Schedule.ClassCoarsening)
+      C = std::min(C, V);
+    Coarsening = static_cast<int>(std::max<int64_t>(1, C));
+  }
 
   // Per-edge kernel-schema decision (codegen/schema/): which channels
   // the emitted kernel keeps in shared-memory ring queues. The schedule
@@ -217,16 +258,16 @@ std::optional<CompileReport> compileSwp(const StreamGraph &G,
     metricCounter("codegen.schema.requests").add(1);
     SchemaAssignment Warp = selectSchemaAssignment(
         Options.Arch, G, SS, *Config, GSS, SR->Schedule,
-        SchemaKind::WarpSpecialized, Options.Coarsening);
+        SchemaKind::WarpSpecialized, Coarsening, MachinePtr);
     if (Options.Schema == SchemaMode::Warp) {
       Schema = std::move(Warp);
     } else if (Warp.numQueueEdges() > 0) {
       KernelDesc GlobalDesc =
           buildSwpKernelDesc(Options.Arch, G, *Config, SR->Schedule, Layout,
-                             Options.Coarsening, /*Schema=*/nullptr);
+                             Coarsening, /*Schema=*/nullptr, MachinePtr);
       KernelDesc WarpDesc =
           buildSwpKernelDesc(Options.Arch, G, *Config, SR->Schedule, Layout,
-                             Options.Coarsening, &Warp);
+                             Coarsening, &Warp, MachinePtr);
       double GlobalCycles = Model->simulateKernel(GlobalDesc).TotalCycles;
       double WarpCycles = Model->simulateKernel(WarpDesc).TotalCycles;
       if (WarpCycles < GlobalCycles)
@@ -245,16 +286,23 @@ std::optional<CompileReport> compileSwp(const StreamGraph &G,
   // whole grid shares the memory bus; one launch per invocation.
   KernelDesc Desc = buildSwpKernelDesc(Options.Arch, G, *Config,
                                        SR->Schedule, Layout,
-                                       Options.Coarsening, &Schema);
+                                       Coarsening, &Schema, MachinePtr);
   KernelSimResult Sim = Model->simulateKernel(Desc);
   double Kernel = Sim.TotalCycles;
   double BatchBaseIters =
       static_cast<double>(GSS.Multiplier) *
-      static_cast<double>(Options.Coarsening);
+      static_cast<double>(Coarsening);
 
   CompileReport R;
   R.Strat = Options.Strat;
-  R.Coarsening = Options.Coarsening;
+  R.Coarsening = Coarsening;
+  R.Machine = Options.Machine;
+  if (Hybrid) {
+    R.MachineDesc = Machine;
+    for (const ScheduledInstance &SI : SR->Schedule.Instances)
+      if (Machine.isCpu(SI.Sm))
+        ++R.CpuResidentInstances;
+  }
   R.Layout = Layout;
   R.Timing = Options.Timing;
   R.WarpSched = Options.WarpSched;
@@ -271,7 +319,7 @@ std::optional<CompileReport> compileSwp(const StreamGraph &G,
                              R.GpuCyclesPerBaseIteration,
                              Options.Arch.CoreClockGHz);
   R.BufferBytes = swpBufferBytes(G, SS, R.Config, GSS, R.Schedule,
-                                 Options.Coarsening, R.Schema);
+                                 Coarsening, R.Schema);
   // Fill + drain: the pipeline holds stageSpan() extra invocations in
   // flight, so first-token latency is the kernel plus the fill cost the
   // timing model reports.

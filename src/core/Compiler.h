@@ -61,8 +61,16 @@ struct CompileOptions {
   SchedulerOptions Sched;
   CpuModel Cpu;
   Strategy Strat = Strategy::Swp;
+  /// Which machine the SWP strategies schedule onto (`--machine`): the
+  /// paper's homogeneous SM array (the default, bit-identical to the
+  /// historical pipeline) or the hybrid CPU+GPU processor set, where
+  /// `Cpu` supplies the host cores and the coarsening below becomes the
+  /// cap of a per-class memory-bounded decision variable.
+  MachineMode Machine = MachineMode::Gpu;
   /// The SWPn coarsening factor: each instance iterates n times inside
   /// the kernel (paper Figure 11; SWP8 is the headline configuration).
+  /// Hybrid machines treat it as MachineModel::MaxCoarsen and deploy
+  /// the solved per-class values instead.
   int Coarsening = 8;
   /// Threads per block for the Serial scheme (blocks fixed at NumSMs).
   int SerialThreads = 256;
@@ -87,10 +95,19 @@ struct CompileOptions {
 /// Everything the benches and tests need about one compiled program.
 struct CompileReport {
   Strategy Strat = Strategy::Swp;
+  /// Deployed SWPn factor. GPU mode echoes CompileOptions::Coarsening;
+  /// hybrid mode deploys min over the solved per-class values (the SDF
+  /// rates force one uniform batch across classes).
   int Coarsening = 1;
   LayoutKind Layout = LayoutKind::Shuffled;
   TimingModelKind Timing = TimingModelKind::Analytic;
   WarpSchedPolicy WarpSched = WarpSchedPolicy::RoundRobin;
+
+  /// The machine the schedule targets; MachineDesc is meaningful (and
+  /// CpuResidentInstances possibly non-zero) only for Hybrid.
+  MachineMode Machine = MachineMode::Gpu;
+  MachineModel MachineDesc;
+  int CpuResidentInstances = 0; ///< Scheduled instances on CPU cores.
 
   ExecutionConfig Config;
   GpuSteadyState GSS;
@@ -134,12 +151,16 @@ std::optional<CompileReport> compileForGpu(const StreamGraph &G,
 /// from the schedule, so simulateKernel can surface the
 /// prologue/epilogue fill cost. A non-null \p Schema reroutes the
 /// queue-assigned edges' traffic off the DRAM bus (ViaQueue streams,
-/// ticket overhead in the compute budget).
+/// ticket overhead in the compute budget). A hybrid \p Machine splits
+/// the schedule's processors: SMs fill SmStreams, CPU cores fill
+/// HostStreams timed from ExecutionConfig::CpuDelay (no coalescer, no
+/// DRAM-bus share).
 KernelDesc buildSwpKernelDesc(const GpuArch &Arch, const StreamGraph &G,
                               const ExecutionConfig &Config,
                               const SwpSchedule &Schedule, LayoutKind Layout,
                               int Coarsening,
-                              const SchemaAssignment *Schema = nullptr);
+                              const SchemaAssignment *Schema = nullptr,
+                              const MachineModel *Machine = nullptr);
 
 /// The layout a strategy uses.
 LayoutKind layoutFor(Strategy S);

@@ -6,22 +6,24 @@
 
 using namespace sgpu;
 
+double sgpu::cpuCyclesPerFiring(const GraphNode &N, const CpuModel &Model) {
+  WorkEstimate WE = nodeWorkEstimate(N);
+  return Model.CyclesPerAluOp *
+             static_cast<double>(WE.IntOps + WE.FloatOps +
+                                 WE.LocalArrayAccesses) +
+         Model.CyclesPerTransc * static_cast<double>(WE.TranscOps) +
+         Model.CyclesPerChannelOp *
+             static_cast<double>(WE.ChannelReads + WE.ChannelWrites) +
+         Model.CyclesPerFiring;
+}
+
 double sgpu::cpuCyclesPerBaseIteration(const SteadyState &SS,
                                        const CpuModel &Model) {
   const StreamGraph &G = SS.graph();
   double Total = 0.0;
-  for (const GraphNode &N : G.nodes()) {
-    WorkEstimate WE = nodeWorkEstimate(N);
-    double PerFiring =
-        Model.CyclesPerAluOp *
-            static_cast<double>(WE.IntOps + WE.FloatOps +
-                                WE.LocalArrayAccesses) +
-        Model.CyclesPerTransc * static_cast<double>(WE.TranscOps) +
-        Model.CyclesPerChannelOp *
-            static_cast<double>(WE.ChannelReads + WE.ChannelWrites) +
-        Model.CyclesPerFiring;
-    Total += PerFiring * static_cast<double>(SS.repetitionsOf(N.Id));
-  }
+  for (const GraphNode &N : G.nodes())
+    Total += cpuCyclesPerFiring(N, Model) *
+             static_cast<double>(SS.repetitionsOf(N.Id));
   return Total;
 }
 

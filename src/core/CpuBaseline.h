@@ -23,13 +23,28 @@
 namespace sgpu {
 
 /// Parameters of the scalar CPU model (defaults: the paper's Xeon).
+/// Besides the single-threaded baseline, the same rates seed the hybrid
+/// machine model (core/ExecutionModel MachineModel): each CPU core runs
+/// scheduled instances at these per-op costs.
 struct CpuModel {
   double ClockGHz = 2.83;
   double CyclesPerAluOp = 1.0;
   double CyclesPerTransc = 30.0;
   double CyclesPerChannelOp = 2.0;
   double CyclesPerFiring = 12.0; ///< Call/dispatch overhead per firing.
+  /// Cores the hybrid machine model may schedule onto (the paper-era
+  /// Xeon host). Ignored by the single-threaded baseline.
+  int NumCores = 8;
+  /// Per-core cache slice bounding a CPU-resident instance's working
+  /// set — the hybrid coarsening variable's memory budget on this class.
+  int64_t CacheBytesPerCore = 2 * 1024 * 1024;
 };
+
+/// CPU cycles for one firing of node \p N under \p Model: the per-op
+/// costs over the node's work estimate plus the dispatch overhead. The
+/// per-node building block of both the serial baseline below and the
+/// hybrid machine model's CPU-class delays.
+double cpuCyclesPerFiring(const GraphNode &N, const CpuModel &Model);
 
 /// CPU cycles to execute one base steady-state iteration of \p SS.
 double cpuCyclesPerBaseIteration(const SteadyState &SS,

@@ -10,6 +10,73 @@
 
 using namespace sgpu;
 
+const char *sgpu::machineModeName(MachineMode M) {
+  switch (M) {
+  case MachineMode::Gpu:
+    return "gpu";
+  case MachineMode::Hybrid:
+    return "hybrid";
+  }
+  SGPU_UNREACHABLE("unknown machine mode");
+}
+
+std::optional<MachineMode> sgpu::parseMachineMode(std::string_view Name) {
+  if (Name == "gpu")
+    return MachineMode::Gpu;
+  if (Name == "hybrid")
+    return MachineMode::Hybrid;
+  return std::nullopt;
+}
+
+const char *sgpu::procClassKindName(ProcClassKind K) {
+  switch (K) {
+  case ProcClassKind::GpuSm:
+    return "sm";
+  case ProcClassKind::CpuCore:
+    return "cpu";
+  }
+  SGPU_UNREACHABLE("unknown processor class kind");
+}
+
+MachineModel MachineModel::gpuOnly(const GpuArch &Arch, int Pmax) {
+  MachineModel M;
+  M.Classes.push_back(
+      {ProcClassKind::GpuSm, Pmax, Arch.DramBytes / Arch.NumSMs});
+  return M;
+}
+
+MachineModel MachineModel::hybrid(const GpuArch &Arch, int Pmax,
+                                  const CpuModel &Cpu, int64_t MaxCoarsen) {
+  MachineModel M;
+  // SM channels stream through device memory (the paper's DRAM-resident
+  // buffers), so an SM's working-set budget is its DRAM share; host
+  // cores are bounded by their cache so coarsening never thrashes it.
+  M.Classes.push_back(
+      {ProcClassKind::GpuSm, Pmax, Arch.DramBytes / Arch.NumSMs});
+  M.Classes.push_back(
+      {ProcClassKind::CpuCore, Cpu.NumCores, Cpu.CacheBytesPerCore});
+  M.MaxCoarsen = std::max<int64_t>(1, MaxCoarsen);
+  return M;
+}
+
+double sgpu::procDelay(const ExecutionConfig &Config,
+                       const MachineModel *Machine, int Node, int Proc) {
+  if (Machine && Proc >= Machine->numGpuSms() &&
+      static_cast<size_t>(Node) < Config.CpuDelay.size())
+    return Config.CpuDelay[Node];
+  return Config.Delay[Node];
+}
+
+void sgpu::computeCpuDelays(ExecutionConfig &Config, const StreamGraph &G,
+                            const CpuModel &Cpu, const GpuArch &Arch) {
+  double ClockRatio = Arch.CoreClockGHz / Cpu.ClockGHz;
+  Config.CpuDelay.resize(G.numNodes());
+  for (const GraphNode &N : G.nodes())
+    Config.CpuDelay[N.Id] = cpuCyclesPerFiring(N, Cpu) *
+                            static_cast<double>(Config.Threads[N.Id]) *
+                            ClockRatio;
+}
+
 GpuSteadyState
 sgpu::computeGpuSteadyState(const std::vector<int64_t> &BaseReps,
                             const std::vector<int64_t> &Threads) {

@@ -17,6 +17,7 @@
 #ifndef SGPU_CORE_EXECUTIONMODEL_H
 #define SGPU_CORE_EXECUTIONMODEL_H
 
+#include "core/CpuBaseline.h"
 #include "gpusim/GpuArch.h"
 #include "gpusim/KernelTiming.h"
 #include "gpusim/TimingModel.h"
@@ -25,6 +26,8 @@
 #include "layout/AccessAnalyzer.h"
 #include "sdf/SteadyState.h"
 
+#include <optional>
+#include <string_view>
 #include <vector>
 
 namespace sgpu {
@@ -42,7 +45,109 @@ struct ExecutionConfig {
   int NumThreads = 256;
   std::vector<int64_t> Threads; ///< Active threads per graph node.
   std::vector<double> Delay;    ///< d(v): cycles per GPU instance firing.
+  /// d_cpu(v): GPU-clock cycles for one *coarsened* instance of v
+  /// (Threads[v] base firings, run serially) on one CPU core. Empty in
+  /// GPU-only mode; filled by computeCpuDelays for hybrid machines.
+  std::vector<double> CpuDelay;
 };
+
+//===----------------------------------------------------------------------===//
+// Heterogeneous machine model (hybrid CPU+GPU scheduling)
+//===----------------------------------------------------------------------===//
+
+/// Which machine the compile targets (`--machine=`): the paper's
+/// homogeneous SM array, or the hybrid CPU+GPU processor set of the
+/// memory-constrained vectorization formulation (arXiv 1711.11154).
+enum class MachineMode : uint8_t { Gpu, Hybrid };
+
+/// Canonical option spelling: "gpu" / "hybrid".
+const char *machineModeName(MachineMode M);
+
+/// Inverse of machineModeName; nullopt for unknown names.
+std::optional<MachineMode> parseMachineMode(std::string_view Name);
+
+/// The processor classes a schedule may assign instances to.
+enum class ProcClassKind : uint8_t { GpuSm, CpuCore };
+
+/// "sm" / "cpu" — used in verifier diagnostics and report JSON.
+const char *procClassKindName(ProcClassKind K);
+
+/// One class of identical processors with a per-processor memory
+/// budget (an SM's share of the DRAM-resident channel store, a cache
+/// slice for a CPU core). The budget bounds the class's coarsening
+/// decision variable.
+struct ProcessorClass {
+  ProcClassKind Kind = ProcClassKind::GpuSm;
+  int Count = 0;
+  int64_t MemBytes = 0;
+};
+
+/// The machine the scheduler targets: an ordered list of processor
+/// classes flattened into one processor index space. GPU SMs always come
+/// first, so a GPU-only machine's indices coincide with the paper's SM
+/// numbering and ScheduledInstance::Sm keeps its meaning (it is simply a
+/// flat processor index now).
+struct MachineModel {
+  std::vector<ProcessorClass> Classes;
+  /// Upper bound on every class's coarsening decision variable (the SWPn
+  /// sweep cap the variable replaces).
+  int64_t MaxCoarsen = 1;
+
+  int totalProcs() const {
+    int N = 0;
+    for (const ProcessorClass &C : Classes)
+      N += C.Count;
+    return N;
+  }
+  int numGpuSms() const {
+    int N = 0;
+    for (const ProcessorClass &C : Classes)
+      if (C.Kind == ProcClassKind::GpuSm)
+        N += C.Count;
+    return N;
+  }
+  bool hasCpu() const {
+    for (const ProcessorClass &C : Classes)
+      if (C.Kind == ProcClassKind::CpuCore && C.Count > 0)
+        return true;
+    return false;
+  }
+  /// Class of flat processor \p Proc.
+  int classIndexOf(int Proc) const {
+    for (size_t I = 0; I < Classes.size(); ++I) {
+      if (Proc < Classes[I].Count)
+        return static_cast<int>(I);
+      Proc -= Classes[I].Count;
+    }
+    return -1;
+  }
+  const ProcessorClass &classOf(int Proc) const {
+    return Classes[static_cast<size_t>(classIndexOf(Proc))];
+  }
+  bool isCpu(int Proc) const {
+    return classOf(Proc).Kind == ProcClassKind::CpuCore;
+  }
+
+  /// The paper's machine: \p Pmax identical SMs, DRAM-share budget.
+  static MachineModel gpuOnly(const GpuArch &Arch, int Pmax);
+  /// \p Pmax SMs plus \p Cpu.NumCores CPU cores with per-core cache
+  /// budgets; \p MaxCoarsen caps the coarsening decision variable.
+  static MachineModel hybrid(const GpuArch &Arch, int Pmax,
+                             const CpuModel &Cpu, int64_t MaxCoarsen);
+};
+
+/// Delay of one coarsened instance of \p Node on flat processor \p Proc:
+/// the profiled GPU delay on an SM, the CPU-class delay on a core.
+/// \p Machine may be null (GPU-only), in which case the GPU delay rules.
+double procDelay(const ExecutionConfig &Config, const MachineModel *Machine,
+                 int Node, int Proc);
+
+/// Fills \p Config.CpuDelay: per coarsened instance, Threads[v] serial
+/// base firings at the CpuModel rates, converted into GPU shader cycles
+/// (cpu_cycles * GpuClock / CpuClock) so both classes share one clock
+/// domain in the schedule arithmetic.
+void computeCpuDelays(ExecutionConfig &Config, const StreamGraph &G,
+                      const CpuModel &Cpu, const GpuArch &Arch);
 
 /// The coarsened steady state: one GPU firing of node v covers
 /// Threads[v] base firings, so the instance counts shrink accordingly
@@ -78,10 +183,15 @@ struct ScheduledInstance {
 };
 
 /// A complete software-pipelined schedule at initiation interval II.
+/// Pmax counts *all* processors of the machine (flat index space); for
+/// the paper's GPU-only machine that is exactly the SM count.
 struct SwpSchedule {
   double II = 0.0;
   int Pmax = 0;
   std::vector<ScheduledInstance> Instances;
+  /// Hybrid machines only: the per-class coarsening decision variable's
+  /// solved value (memory-bounded SWPn factor). Empty in GPU-only mode.
+  std::vector<int64_t> ClassCoarsening;
 
   /// sigma = II*F + O, the linear-form start time (paper Eq. 3 at j=0).
   static double sigma(double II, const ScheduledInstance &SI) {

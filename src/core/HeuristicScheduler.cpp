@@ -11,7 +11,11 @@ std::optional<SwpSchedule>
 sgpu::buildHeuristicSchedule(const StreamGraph &G, const SteadyState &SS,
                              const ExecutionConfig &Config,
                              const GpuSteadyState &GSS, int Pmax, double T,
-                             int64_t MaxStages) {
+                             int64_t MaxStages,
+                             const MachineModel *Machine) {
+  const bool Hyb = Machine && Machine->hasCpu();
+  const int NumGpuSms = Hyb ? Machine->numGpuSms() : Pmax;
+
   int N = G.numNodes();
   std::vector<int64_t> Base(N);
   int64_t Count = 0;
@@ -23,15 +27,26 @@ sgpu::buildHeuristicSchedule(const StreamGraph &G, const SteadyState &SS,
   std::vector<int> InstNode(Count);
   std::vector<int64_t> InstK(Count);
   std::vector<double> Delay(Count);
+  std::vector<double> CpuD;
+  if (Hyb)
+    CpuD.resize(Count);
   for (int V = 0; V < N; ++V)
     for (int64_t K = 0; K < GSS.Instances[V]; ++K) {
       int64_t I = Base[V] + K;
       InstNode[I] = V;
       InstK[I] = K;
       Delay[I] = Config.Delay[V];
-      if (Delay[I] >= T)
+      if (Hyb)
+        CpuD[I] = Config.CpuDelay[V];
+      double MinD = Hyb ? std::min(Delay[I], CpuD[I]) : Delay[I];
+      if (MinD >= T)
         return std::nullopt; // No slot can hold this instance.
     }
+
+  // d_{i,p} on flat processor P (SMs first, then CPU cores).
+  auto DelayAt = [&](int64_t I, int P) {
+    return Hyb && P >= NumGpuSms ? CpuD[I] : Delay[I];
+  };
 
   // --- Assignment: longest processing time first onto the least loaded
   // SM, with a producer-affinity tie-break that keeps communicating
@@ -52,22 +67,45 @@ sgpu::buildHeuristicSchedule(const StreamGraph &G, const SteadyState &SS,
     Producers[E.Dst].push_back(E.Src);
 
   for (int64_t I : ByDelay) {
-    // Least-loaded SM.
     int BestP = 0;
-    for (int P = 1; P < Pmax; ++P)
-      if (Load[P] < Load[BestP])
-        BestP = P;
-    // Affinity: an SM already hosting one of this node's producers wins
-    // when its load stays within 105% of the least load.
-    for (int V : Producers[InstNode[I]])
-      for (int64_t K = 0; K < GSS.Instances[V]; ++K) {
-        int P = Sm[Base[V] + K];
-        if (P >= 0 && Load[P] + Delay[I] <= T &&
-            Load[P] <= Load[BestP] + 0.05 * T)
+    if (!Hyb) {
+      // Least-loaded SM.
+      for (int P = 1; P < Pmax; ++P)
+        if (Load[P] < Load[BestP])
+          BestP = P;
+      // Affinity: an SM already hosting one of this node's producers
+      // wins when its load stays within 105% of the least load.
+      for (int V : Producers[InstNode[I]])
+        for (int64_t K = 0; K < GSS.Instances[V]; ++K) {
+          int P = Sm[Base[V] + K];
+          if (P >= 0 && Load[P] + Delay[I] <= T &&
+              Load[P] <= Load[BestP] + 0.05 * T)
+            BestP = P;
+        }
+    } else {
+      // Hybrid: earliest completion over eligible processors — the
+      // class-indexed delay folds straight into the packing metric.
+      BestP = -1;
+      for (int P = 0; P < Pmax; ++P) {
+        if (DelayAt(I, P) >= T)
+          continue;
+        if (BestP < 0 ||
+            Load[P] + DelayAt(I, P) < Load[BestP] + DelayAt(I, BestP))
           BestP = P;
       }
+      if (BestP < 0)
+        return std::nullopt;
+      for (int V : Producers[InstNode[I]])
+        for (int64_t K = 0; K < GSS.Instances[V]; ++K) {
+          int P = Sm[Base[V] + K];
+          if (P >= 0 && DelayAt(I, P) < T && Load[P] + DelayAt(I, P) <= T &&
+              Load[P] + DelayAt(I, P) <=
+                  Load[BestP] + DelayAt(I, BestP) + 0.05 * T)
+            BestP = P;
+        }
+    }
     Sm[I] = BestP;
-    Load[BestP] += Delay[I];
+    Load[BestP] += DelayAt(I, BestP);
   }
 
   // Local improvement: migrate instances off the most loaded SM while it
@@ -85,10 +123,12 @@ sgpu::buildHeuristicSchedule(const StreamGraph &G, const SteadyState &SS,
     for (int64_t I = 0; I < Count && !Moved; ++I) {
       if (Sm[I] != Max)
         continue;
-      if (Load[Min] + Delay[I] < Load[Max] - 1e-9) {
+      if (Hyb && DelayAt(I, Min) >= T)
+        continue; // The instance cannot run on the target class at all.
+      if (Load[Min] + DelayAt(I, Min) < Load[Max] - 1e-9) {
+        Load[Max] -= DelayAt(I, Max);
+        Load[Min] += DelayAt(I, Min);
         Sm[I] = Min;
-        Load[Max] -= Delay[I];
-        Load[Min] += Delay[I];
         Moved = true;
       }
     }
@@ -99,7 +139,8 @@ sgpu::buildHeuristicSchedule(const StreamGraph &G, const SteadyState &SS,
     if (Load[P] > T + 1e-9)
       return std::nullopt; // Packing failed at this II (constraint 2).
 
-  // --- Start times: monotone fixpoint over (8a)/(8b).
+  // --- Start times: monotone fixpoint over (8a)/(8b). The producer
+  // delay is priced at the class its assignment landed on.
   struct Dep {
     int64_t Cons, Prod;
     int64_t JLag;
@@ -111,9 +152,11 @@ sgpu::buildHeuristicSchedule(const StreamGraph &G, const SteadyState &SS,
     int64_t Kv = GSS.Instances[E.Dst];
     for (int64_t K = 0; K < Kv; ++K)
       for (const InstanceDep &D :
-           computeInstanceDeps(E.Iuv, E.Peek, E.Ouv, E.Muv, Ku, K))
-        Deps.push_back({Base[E.Dst] + K, Base[E.Src] + D.KProd, D.JLag,
-                        Config.Delay[E.Src]});
+           computeInstanceDeps(E.Iuv, E.Peek, E.Ouv, E.Muv, Ku, K)) {
+        int64_t Prod = Base[E.Src] + D.KProd;
+        Deps.push_back({Base[E.Dst] + K, Prod, D.JLag,
+                        DelayAt(Prod, Sm[Prod])});
+      }
   }
 
   std::vector<double> Sigma(Count, 0.0);
@@ -126,7 +169,7 @@ sgpu::buildHeuristicSchedule(const StreamGraph &G, const SteadyState &SS,
   auto Normalize = [&](int64_t I) {
     int64_t F = StageOf(I);
     double O = Sigma[I] - static_cast<double>(F) * T;
-    if (O + Delay[I] > T + 1e-9)
+    if (O + DelayAt(I, Sm[I]) > T + 1e-9)
       Sigma[I] = static_cast<double>(F + 1) * T;
   };
 
@@ -171,6 +214,14 @@ sgpu::buildHeuristicSchedule(const StreamGraph &G, const SteadyState &SS,
     if (SI.O < 0)
       SI.O = 0;
     S.Instances.push_back(SI);
+  }
+  // Hybrid: the heuristic takes each class's memory-optimal coarsening
+  // (exactly what the ILP's objective drives C_c to).
+  if (Hyb) {
+    auto Bounds = computeClassCoarsening(G, Config, *Machine);
+    if (!Bounds)
+      return std::nullopt; // Some class cannot hold one unit.
+    S.ClassCoarsening = std::move(*Bounds);
   }
   return S;
 }

@@ -29,11 +29,19 @@ namespace sgpu {
 /// Attempts to build a valid schedule at initiation interval \p T.
 /// Returns std::nullopt when the LPT packing exceeds T on some SM or the
 /// dependence fixpoint needs more than \p MaxStages pipeline stages.
+///
+/// A hybrid \p Machine (CPU cores after the SMs, Pmax ==
+/// Machine->totalProcs()) switches the packing to class-indexed delays:
+/// each instance lands on the processor minimizing its completed load,
+/// and the dependence fixpoint prices producers at their assigned
+/// class. Null or GPU-only machines reproduce the paper's behavior
+/// exactly.
 std::optional<SwpSchedule>
 buildHeuristicSchedule(const StreamGraph &G, const SteadyState &SS,
                        const ExecutionConfig &Config,
                        const GpuSteadyState &GSS, int Pmax, double T,
-                       int64_t MaxStages);
+                       int64_t MaxStages,
+                       const MachineModel *Machine = nullptr);
 
 } // namespace sgpu
 

@@ -13,6 +13,26 @@
 
 using namespace sgpu;
 
+namespace {
+
+/// True when \p Machine switches on the class-indexed hybrid model.
+bool hybridMachine(const MachineModel *Machine) {
+  return Machine && Machine->hasCpu();
+}
+
+/// The cheapest class delay of node \p V — what the MII lower bounds and
+/// the II-infeasibility early-outs may assume.
+double minClassDelay(const ExecutionConfig &Config,
+                     const MachineModel *Machine, int V) {
+  double D = Config.Delay[V];
+  if (hybridMachine(Machine) &&
+      static_cast<size_t>(V) < Config.CpuDelay.size())
+    D = std::min(D, Config.CpuDelay[V]);
+  return D;
+}
+
+} // namespace
+
 std::vector<CoarsenedEdge> sgpu::coarsenEdges(const StreamGraph &G,
                                               const SteadyState &SS,
                                               const ExecutionConfig &Config) {
@@ -36,12 +56,14 @@ std::vector<CoarsenedEdge> sgpu::coarsenEdges(const StreamGraph &G,
 }
 
 double sgpu::computeResMII(const ExecutionConfig &Config,
-                           const GpuSteadyState &GSS, int Pmax) {
+                           const GpuSteadyState &GSS, int Pmax,
+                           const MachineModel *Machine) {
   double Total = 0.0;
   double MaxDelay = 0.0;
   for (size_t V = 0; V < Config.Delay.size(); ++V) {
-    Total += Config.Delay[V] * static_cast<double>(GSS.Instances[V]);
-    MaxDelay = std::max(MaxDelay, Config.Delay[V]);
+    double D = minClassDelay(Config, Machine, static_cast<int>(V));
+    Total += D * static_cast<double>(GSS.Instances[V]);
+    MaxDelay = std::max(MaxDelay, D);
   }
   return std::max(Total / static_cast<double>(Pmax), MaxDelay);
 }
@@ -49,7 +71,8 @@ double sgpu::computeResMII(const ExecutionConfig &Config,
 double sgpu::computeCoarsenedRecMII(const StreamGraph &G,
                                     const SteadyState &SS,
                                     const ExecutionConfig &Config,
-                                    const GpuSteadyState &GSS) {
+                                    const GpuSteadyState &GSS,
+                                    const MachineModel *Machine) {
   // Build the coarsened instance dependence graph and run the cycle-ratio
   // search directly (mirrors sdf::computeRecMII but over GPU instances).
   std::vector<CoarsenedEdge> Edges = coarsenEdges(G, SS, Config);
@@ -69,11 +92,12 @@ double sgpu::computeCoarsenedRecMII(const StreamGraph &G,
   for (const CoarsenedEdge &E : Edges) {
     int64_t Ku = GSS.Instances[E.Src];
     int64_t Kv = GSS.Instances[E.Dst];
+    double SrcDelay = minClassDelay(Config, Machine, E.Src);
     for (int64_t K = 0; K < Kv; ++K)
       for (const InstanceDep &D :
            computeInstanceDeps(E.Iuv, E.Peek, E.Ouv, E.Muv, Ku, K))
         Arcs.push_back({Base[E.Src] + D.KProd, Base[E.Dst] + K,
-                        Config.Delay[E.Src], -D.JLag});
+                        SrcDelay, -D.JLag});
   }
 
   auto HasPositiveCycle = [&](double R) {
@@ -108,6 +132,27 @@ double sgpu::computeCoarsenedRecMII(const StreamGraph &G,
   return Hi;
 }
 
+std::optional<std::vector<int64_t>>
+sgpu::computeClassCoarsening(const StreamGraph &G,
+                             const ExecutionConfig &Config,
+                             const MachineModel &Machine) {
+  // One coarsening unit's working set: the largest per-instance channel
+  // footprint (tokens touched by one coarsened firing, 4 bytes each).
+  int64_t WsBytes = 0;
+  for (const GraphNode &N : G.nodes())
+    WsBytes = std::max(WsBytes,
+                       nodeChannelTraffic(N) * Config.Threads[N.Id] * 4);
+  std::vector<int64_t> Bounds;
+  Bounds.reserve(Machine.Classes.size());
+  for (const ProcessorClass &C : Machine.Classes) {
+    int64_t Cap = WsBytes > 0 ? C.MemBytes / WsBytes : Machine.MaxCoarsen;
+    if (Cap < 1)
+      return std::nullopt; // Class cannot hold even one unit.
+    Bounds.push_back(std::min(Cap, Machine.MaxCoarsen));
+  }
+  return Bounds;
+}
+
 SwpSchedule IlpModel::decode(const std::vector<double> &X) const {
   SwpSchedule S;
   S.II = T;
@@ -127,6 +172,8 @@ SwpSchedule IlpModel::decode(const std::vector<double> &X) const {
     SI.F = static_cast<int64_t>(std::llround(X[FVar[I]]));
     S.Instances.push_back(SI);
   }
+  for (int V : CoarsenVar)
+    S.ClassCoarsening.push_back(static_cast<int64_t>(std::llround(X[V])));
   return S;
 }
 
@@ -151,6 +198,12 @@ std::vector<double> IlpModel::encode(const SwpSchedule &S) const {
     X[P.SVar] = SmOf[P.InstA] == SmOf[P.InstB] ? 1.0 : 0.0;
     X[P.YVar] = X[OVar[P.InstA]] <= X[OVar[P.InstB]] ? 1.0 : 0.0;
   }
+  // Coarsening decision variables: the incumbent schedule's value when
+  // it carries one, otherwise the memory bound (their optimum).
+  for (size_t C = 0; C < CoarsenVar.size(); ++C)
+    X[CoarsenVar[C]] = static_cast<double>(
+        C < S.ClassCoarsening.size() ? S.ClassCoarsening[C]
+                                     : CoarsenBound[C]);
   return X;
 }
 
@@ -158,7 +211,7 @@ std::optional<IlpModel>
 sgpu::buildSwpIlp(const StreamGraph &G, const SteadyState &SS,
                   const ExecutionConfig &Config, const GpuSteadyState &GSS,
                   int Pmax, double T, int64_t MaxStages,
-                  bool StrictIntraSm) {
+                  bool StrictIntraSm, const MachineModel *Machine) {
   assert(Pmax > 0 && T > 0 && "bad scheduling parameters");
   StageTimer Timer("ilp.formulate");
   metricCounter("ilp.models").add(1);
@@ -167,6 +220,19 @@ sgpu::buildSwpIlp(const StreamGraph &G, const SteadyState &SS,
   M.Pmax = Pmax;
   M.MaxStages = MaxStages;
   M.StrictIntraSm = StrictIntraSm;
+  M.Hybrid = hybridMachine(Machine);
+  M.NumGpuSms = M.Hybrid ? Machine->numGpuSms() : Pmax;
+  assert((!M.Hybrid || Machine->totalProcs() == Pmax) &&
+         "hybrid Pmax must cover the whole machine");
+
+  // The hybrid coarsening decision variable's memory bounds; a class
+  // that cannot hold one unit makes every II infeasible.
+  if (M.Hybrid) {
+    auto Bounds = computeClassCoarsening(G, Config, *Machine);
+    if (!Bounds)
+      return std::nullopt;
+    M.CoarsenBound = std::move(*Bounds);
+  }
 
   int N = G.numNodes();
   M.InstBase.resize(N);
@@ -179,13 +245,17 @@ sgpu::buildSwpIlp(const StreamGraph &G, const SteadyState &SS,
   M.InstNode.resize(Count);
   M.InstK.resize(Count);
   M.InstDelay.resize(Count);
+  if (M.Hybrid)
+    M.InstCpuDelay.resize(Count);
   for (int V = 0; V < N; ++V)
     for (int64_t K = 0; K < GSS.Instances[V]; ++K) {
       int I = M.instanceId(V, K);
       M.InstNode[I] = V;
       M.InstK[I] = K;
       M.InstDelay[I] = Config.Delay[V];
-      if (Config.Delay[V] >= T)
+      if (M.Hybrid)
+        M.InstCpuDelay[I] = Config.CpuDelay[V];
+      if (minClassDelay(Config, Machine, V) >= T)
         return std::nullopt; // (4) is unsatisfiable at this II.
     }
 
@@ -200,11 +270,22 @@ sgpu::buildSwpIlp(const StreamGraph &G, const SteadyState &SS,
     for (int P = 0; P < Pmax; ++P)
       M.LP.addBinaryVar("w_" + Tag + "_p" + std::to_string(P));
     // (4): o + d < T as a bound. A hair below T - d keeps it strict.
-    double OMax = T - M.InstDelay[I];
+    // Under the hybrid model only the cheapest class fits the bound;
+    // the assignment-dependent row (4') below supplies the rest.
+    double OMax =
+        T - (M.Hybrid ? std::min(M.InstDelay[I], M.InstCpuDelay[I])
+                      : M.InstDelay[I]);
     M.OVar[I] = M.LP.addContinuousVar("o_" + Tag, 0.0, OMax);
     M.FVar[I] = M.LP.addIntVar("f_" + Tag, 0.0,
                                static_cast<double>(MaxStages));
   }
+  // Hybrid: one integer coarsening variable per class, maximized by the
+  // objective within its memory bound (ws * C_c <= MemBytes_c).
+  if (M.Hybrid)
+    for (size_t C = 0; C < M.CoarsenBound.size(); ++C)
+      M.CoarsenVar.push_back(
+          M.LP.addIntVar("coarsen_c" + std::to_string(C), 1.0,
+                         static_cast<double>(M.CoarsenBound[C])));
 
   // (1): each instance on exactly one SM.
   for (int I = 0; I < M.NumInstances; ++I) {
@@ -215,14 +296,29 @@ sgpu::buildSwpIlp(const StreamGraph &G, const SteadyState &SS,
                        "assign_i" + std::to_string(I));
   }
 
-  // (2): per-SM work fits within the II.
+  // (2): per-SM work fits within the II (class-indexed delays when
+  // hybrid: an instance costs d_{v,p} on the processor that hosts it).
   for (int P = 0; P < Pmax; ++P) {
     std::vector<LinTerm> Terms;
     for (int I = 0; I < M.NumInstances; ++I)
-      Terms.push_back({M.wVar(I, P), M.InstDelay[I]});
+      Terms.push_back({M.wVar(I, P), M.delayAt(I, P)});
     M.LP.addConstraint(std::move(Terms), RowSense::LE, T,
                        "res_p" + std::to_string(P));
   }
+
+  // (4') hybrid only: o_i + sum_p d_{i,p} w_{i,p} <= T closes the gap
+  // the min-delay OMax bound leaves for the costlier class.
+  if (M.Hybrid)
+    for (int I = 0; I < M.NumInstances; ++I) {
+      if (M.InstCpuDelay[I] == M.InstDelay[I])
+        continue; // The bound already covers both classes.
+      std::vector<LinTerm> Terms;
+      Terms.push_back({M.OVar[I], 1.0});
+      for (int P = 0; P < Pmax; ++P)
+        Terms.push_back({M.wVar(I, P), M.delayAt(I, P)});
+      M.LP.addConstraint(std::move(Terms), RowSense::LE, T,
+                         "slot_i" + std::to_string(I));
+    }
 
   // Dependences: one g per distinct (consumer inst, producer inst, lag).
   std::vector<CoarsenedEdge> Edges = coarsenEdges(G, SS, Config);
@@ -266,11 +362,24 @@ sgpu::buildSwpIlp(const StreamGraph &G, const SteadyState &SS,
     }
     double Lag = static_cast<double>(D.JLag);
     // (8a): T f_v + o_v - T f_u - o_u >= T jlag + d(u).
-    M.LP.addConstraint({{M.FVar[D.ConsInst], T},
-                        {M.OVar[D.ConsInst], 1.0},
-                        {M.FVar[D.ProdInst], -T},
-                        {M.OVar[D.ProdInst], -1.0}},
-                       RowSense::GE, T * Lag + D.ProdDelay);
+    // (8a') hybrid: the producer delay is class-dependent, so it moves
+    // into the LHS through the assignment (exact because sum_p w = 1):
+    //   T f_v + o_v - T f_u - o_u - sum_p d_{u,p} w_{u,p} >= T jlag.
+    if (M.Hybrid) {
+      std::vector<LinTerm> Terms = {{M.FVar[D.ConsInst], T},
+                                    {M.OVar[D.ConsInst], 1.0},
+                                    {M.FVar[D.ProdInst], -T},
+                                    {M.OVar[D.ProdInst], -1.0}};
+      for (int P = 0; P < Pmax; ++P)
+        Terms.push_back({M.wVar(D.ProdInst, P), -M.delayAt(D.ProdInst, P)});
+      M.LP.addConstraint(std::move(Terms), RowSense::GE, T * Lag);
+    } else {
+      M.LP.addConstraint({{M.FVar[D.ConsInst], T},
+                          {M.OVar[D.ConsInst], 1.0},
+                          {M.FVar[D.ProdInst], -T},
+                          {M.OVar[D.ProdInst], -1.0}},
+                         RowSense::GE, T * Lag + D.ProdDelay);
+    }
     // (8b): T f_v + o_v - T f_u - T g >= T jlag.
     M.LP.addConstraint({{M.FVar[D.ConsInst], T},
                         {M.OVar[D.ConsInst], 1.0},
@@ -300,17 +409,25 @@ sgpu::buildSwpIlp(const StreamGraph &G, const SteadyState &SS,
         //   o_A + d_A <= o_B + 2T(1 - y) + 2T(1 - s)
         //   o_B + d_B <= o_A + 2T y     + 2T(1 - s)
         double BigM = 2.0 * T;
+        // Hybrid: the window width depends on the host class; the max
+        // over classes keeps the disjunction sound for either host.
+        double DelayA =
+            M.Hybrid ? std::max(M.InstDelay[A], M.InstCpuDelay[A])
+                     : M.InstDelay[A];
+        double DelayB =
+            M.Hybrid ? std::max(M.InstDelay[B], M.InstCpuDelay[B])
+                     : M.InstDelay[B];
         M.LP.addConstraint({{M.OVar[A], 1.0},
                             {M.OVar[B], -1.0},
                             {P.YVar, BigM},
                             {P.SVar, BigM}},
                            RowSense::LE,
-                           2.0 * BigM - M.InstDelay[A]);
+                           2.0 * BigM - DelayA);
         M.LP.addConstraint({{M.OVar[B], 1.0},
                             {M.OVar[A], -1.0},
                             {P.YVar, -BigM},
                             {P.SVar, BigM}},
-                           RowSense::LE, BigM - M.InstDelay[B]);
+                           RowSense::LE, BigM - DelayB);
         M.SeqPairs.push_back(P);
       }
   }
@@ -320,6 +437,10 @@ sgpu::buildSwpIlp(const StreamGraph &G, const SteadyState &SS,
   std::vector<LinTerm> Obj;
   for (int I = 0; I < M.NumInstances; ++I)
     Obj.push_back({M.FVar[I], 1.0});
+  // Hybrid: maximize the coarsening decision variables within their
+  // memory bounds (small weight so stages still dominate).
+  for (int C : M.CoarsenVar)
+    Obj.push_back({C, -1e-3});
   M.LP.setObjective(std::move(Obj));
 
   metricCounter("ilp.vars").add(M.LP.numVars());

@@ -22,6 +22,25 @@
 /// o's integrality never matters for feasibility since all other terms
 /// are integer multiples of cycles.
 ///
+/// Hybrid extension (arXiv 1711.11154, `--machine=hybrid`): with a
+/// MachineModel carrying CPU cores, the processor index p ranges over
+/// the flat CPU+GPU processor set and the delay becomes class-indexed,
+/// d_{v,p} (the profiled GPU delay on SMs, ExecutionConfig::CpuDelay on
+/// cores). Constraints (2)/(4)/(8a) pick the delay through the
+/// assignment:
+///
+///  (2')  sum_{k,v} w_{k,v,p} d_{v,p} <= T
+///  (4')  o_{k,v} + sum_p d_{v,p} w_{k,v,p} <= T   (explicit row; the
+///        bound encoding keeps only the min-class delay)
+///  (8a') T f_v + o_v - T f_u - o_u - sum_p d_{u,p} w_{k',u,p} >= T jlag
+///
+/// plus one *coarsening decision variable* C_c per class, bounded by the
+/// class's per-processor memory budget over the graph's largest
+/// per-coarsening-unit working set: ws * C_c <= MemBytes_c, 1 <= C_c <=
+/// MaxCoarsen, with a small negative objective weight so the solver
+/// maximizes it (the memory-bounded replacement for the fixed SWPn
+/// sweep). GPU-only builds emit byte-identical models to before.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SGPU_CORE_ILPFORMULATION_H
@@ -79,6 +98,15 @@ struct IlpModel {
   int64_t MaxStages = 0;
   bool StrictIntraSm = false;
 
+  /// Hybrid extension: processors [0, NumGpuSms) are SMs, the rest CPU
+  /// cores with the per-instance delays of InstCpuDelay. GPU-only models
+  /// leave Hybrid false and NumGpuSms == Pmax.
+  bool Hybrid = false;
+  int NumGpuSms = 0;
+  std::vector<double> InstCpuDelay;  ///< Empty unless Hybrid.
+  std::vector<int> CoarsenVar;       ///< C_c per class (hybrid only).
+  std::vector<int64_t> CoarsenBound; ///< Memory-derived C_c upper bounds.
+
   /// Dense instance ids: instance (Node, K) is InstBase[Node] + K.
   std::vector<int64_t> InstBase;
   int NumInstances = 0;
@@ -97,6 +125,11 @@ struct IlpModel {
   int instanceId(int Node, int64_t K) const {
     return static_cast<int>(InstBase[Node] + K);
   }
+  /// d_{i,p}: the instance's delay on flat processor \p Proc.
+  double delayAt(int Inst, int Proc) const {
+    return Hybrid && Proc >= NumGpuSms ? InstCpuDelay[Inst]
+                                       : InstDelay[Inst];
+  }
 
   /// Decodes an LP solution vector into a schedule.
   SwpSchedule decode(const std::vector<double> &X) const;
@@ -114,21 +147,39 @@ struct IlpModel {
 /// stretching past the o the solver assumed). With the flag, disjunctive
 /// big-M rows force co-located windows apart, making o exact at the
 /// cost of O(instances^2) extra binaries.
+/// A hybrid \p Machine (with CPU cores) switches the model to the
+/// class-indexed formulation above; \p Pmax must then equal
+/// Machine->totalProcs(). A null or GPU-only machine reproduces the
+/// paper's model bit for bit.
 std::optional<IlpModel>
 buildSwpIlp(const StreamGraph &G, const SteadyState &SS,
             const ExecutionConfig &Config, const GpuSteadyState &GSS,
             int Pmax, double T, int64_t MaxStages,
-            bool StrictIntraSm = false);
+            bool StrictIntraSm = false,
+            const MachineModel *Machine = nullptr);
+
+/// The memory bound of the hybrid coarsening decision variable: per
+/// class, the largest C with ws * C <= MemBytes (capped at
+/// Machine.MaxCoarsen), where ws is the graph's largest per-instance
+/// channel working set for one coarsening unit. Returns nullopt when
+/// some class cannot hold even one unit (class-capacity infeasibility).
+std::optional<std::vector<int64_t>>
+computeClassCoarsening(const StreamGraph &G, const ExecutionConfig &Config,
+                       const MachineModel &Machine);
 
 /// Resource-constrained minimum II: total instance work spread over the
-/// SMs, and no instance shorter than its own delay.
+/// SMs, and no instance shorter than its own delay. A hybrid \p Machine
+/// uses each instance's cheapest class (a valid lower bound).
 double computeResMII(const ExecutionConfig &Config,
-                     const GpuSteadyState &GSS, int Pmax);
+                     const GpuSteadyState &GSS, int Pmax,
+                     const MachineModel *Machine = nullptr);
 
 /// Recurrence-constrained minimum II over the coarsened instance graph.
+/// A hybrid \p Machine prices each producer at its cheapest class.
 double computeCoarsenedRecMII(const StreamGraph &G, const SteadyState &SS,
                               const ExecutionConfig &Config,
-                              const GpuSteadyState &GSS);
+                              const GpuSteadyState &GSS,
+                              const MachineModel *Machine = nullptr);
 
 } // namespace sgpu
 

@@ -46,7 +46,8 @@ CandidateOutcome evaluateCandidate(const StreamGraph &G,
                                    const GpuSteadyState &GSS,
                                    const SchedulerOptions &Options, double T,
                                    bool AllowIlp, int MilpWorkers,
-                                   const SimplexBasis *Seed) {
+                                   const SimplexBasis *Seed,
+                                   const MachineModel *Machine) {
   CandidateOutcome Out;
   TraceSpan Span("ii.candidate", "schedule");
   Span.argNum("ii", T);
@@ -54,8 +55,8 @@ CandidateOutcome evaluateCandidate(const StreamGraph &G,
   auto WallStart = Clock::now();
 
   std::optional<SwpSchedule> Heur = buildHeuristicSchedule(
-      G, SS, Config, GSS, Options.Pmax, T, Options.MaxStages);
-  if (Heur && verifySchedule(G, SS, Config, GSS, *Heur))
+      G, SS, Config, GSS, Options.Pmax, T, Options.MaxStages, Machine);
+  if (Heur && verifySchedule(G, SS, Config, GSS, *Heur, Machine))
     Heur.reset(); // The verifier rejected it; treat as absent.
 
   bool WantIlp = AllowIlp && Options.UseIlp &&
@@ -65,8 +66,9 @@ CandidateOutcome evaluateCandidate(const StreamGraph &G,
   if (WantIlp) {
     Out.DidIlp = true; // Counts against MaxIlpAttempts even if the
                        // model below fails to build.
-    if (std::optional<IlpModel> M = buildSwpIlp(
-            G, SS, Config, GSS, Options.Pmax, T, Options.MaxStages)) {
+    if (std::optional<IlpModel> M =
+            buildSwpIlp(G, SS, Config, GSS, Options.Pmax, T,
+                        Options.MaxStages, false, Machine)) {
       MilpOptions MO;
       MO.TimeBudgetSeconds = Options.TimeBudgetSeconds;
       MO.MaxNodes = Options.MaxIlpNodes;
@@ -89,7 +91,7 @@ CandidateOutcome evaluateCandidate(const StreamGraph &G,
       Out.WarmStarts = MR.WarmLpStarts;
       if (MR.hasSolution()) {
         SwpSchedule S = M->decode(MR.X);
-        if (!verifySchedule(G, SS, Config, GSS, S)) {
+        if (!verifySchedule(G, SS, Config, GSS, S, Machine)) {
           Out.Schedule = std::move(S);
           Out.UsedIlp = true;
           Out.Feasible = true;
@@ -148,12 +150,13 @@ void commit(ScheduleResult &Res, CandidateOutcome &&Out, double T) {
 std::optional<ScheduleResult>
 sgpu::scheduleSwp(const StreamGraph &G, const SteadyState &SS,
                   const ExecutionConfig &Config, const GpuSteadyState &GSS,
-                  const SchedulerOptions &Options) {
+                  const SchedulerOptions &Options,
+                  const MachineModel *Machine) {
   StageTimer Timer("core.schedule");
   metricCounter("scheduler.runs").add(1);
   ScheduleResult Res;
-  Res.ResMII = computeResMII(Config, GSS, Options.Pmax);
-  Res.RecMII = computeCoarsenedRecMII(G, SS, Config, GSS);
+  Res.ResMII = computeResMII(Config, GSS, Options.Pmax, Machine);
+  Res.RecMII = computeCoarsenedRecMII(G, SS, Config, GSS, Machine);
   Res.MII = std::max(Res.ResMII, Res.RecMII);
   if (Res.MII <= 0.0)
     return std::nullopt;
@@ -177,8 +180,9 @@ sgpu::scheduleSwp(const StreamGraph &G, const SteadyState &SS,
   // concurrently, preserving bit-identical results across --jobs.
   SimplexBasis SeedBasis;
   if (Options.UseIlp && GSS.totalInstances() <= Options.MaxIlpInstances) {
-    if (std::optional<IlpModel> M = buildSwpIlp(
-            G, SS, Config, GSS, Options.Pmax, T, Options.MaxStages)) {
+    if (std::optional<IlpModel> M =
+            buildSwpIlp(G, SS, Config, GSS, Options.Pmax, T,
+                        Options.MaxStages, false, Machine)) {
       auto SeedStart = Clock::now();
       LpResult Seed = solveLpRelaxation(M->LP, Options.MaxLpIterations,
                                         Options.TimeBudgetSeconds);
@@ -216,7 +220,8 @@ sgpu::scheduleSwp(const StreamGraph &G, const SteadyState &SS,
                                       Candidates[I],
                                       IlpAttempts + I < Options.MaxIlpAttempts,
                                       MilpWorkers,
-                                      SeedBasis.empty() ? nullptr : &SeedBasis);
+                                      SeedBasis.empty() ? nullptr : &SeedBasis,
+                                      Machine);
     });
 
     // Commit the smallest feasible candidate — "first feasible II wins"

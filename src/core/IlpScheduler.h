@@ -102,10 +102,16 @@ struct ScheduleResult {
 
 /// Runs the II search. Returns std::nullopt when no schedule exists up to
 /// MaxRelaxFactor * MII (e.g. an instance's delay exceeds every tried II).
+///
+/// A hybrid \p Machine (with Options.Pmax == Machine->totalProcs())
+/// switches every layer — MII bounds, heuristic, ILP, verifier — to the
+/// class-indexed hybrid formulation. A null machine is the paper's
+/// GPU-only search, bit for bit.
 std::optional<ScheduleResult>
 scheduleSwp(const StreamGraph &G, const SteadyState &SS,
             const ExecutionConfig &Config, const GpuSteadyState &GSS,
-            const SchedulerOptions &Options = {});
+            const SchedulerOptions &Options = {},
+            const MachineModel *Machine = nullptr);
 
 } // namespace sgpu
 

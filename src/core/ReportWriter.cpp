@@ -17,6 +17,28 @@ std::string sgpu::reportToJson(const StreamGraph &G,
                                                            : "sequential");
   W.writeString("timing_model", timingModelKindName(R.Timing));
 
+  // Machine model: which processor set the schedule targets. Hybrid
+  // compiles additionally surface the class layout, the solved per-class
+  // coarsening values and how many instances landed on the host.
+  W.beginObject("machine");
+  W.writeString("mode", machineModeName(R.Machine));
+  if (R.Machine == MachineMode::Hybrid) {
+    W.beginArray("classes");
+    for (size_t C = 0; C < R.MachineDesc.Classes.size(); ++C) {
+      const ProcessorClass &PC = R.MachineDesc.Classes[C];
+      W.beginObject();
+      W.writeString("kind", procClassKindName(PC.Kind));
+      W.writeInt("count", PC.Count);
+      W.writeInt("mem_bytes", PC.MemBytes);
+      if (C < R.Schedule.ClassCoarsening.size())
+        W.writeInt("coarsening", R.Schedule.ClassCoarsening[C]);
+      W.endObject();
+    }
+    W.endArray();
+    W.writeInt("cpu_resident_instances", R.CpuResidentInstances);
+  }
+  W.endObject();
+
   // Kernel-schema decision (codegen/schema/): what was requested, what
   // was chosen, and which edges became shared-memory queues.
   W.beginObject("schema");
@@ -93,6 +115,9 @@ std::string sgpu::reportToJson(const StreamGraph &G,
     W.writeString("node", G.node(SI.Node).Name);
     W.writeInt("k", SI.K);
     W.writeInt("sm", SI.Sm);
+    if (R.Machine == MachineMode::Hybrid)
+      W.writeString("class",
+                    procClassKindName(R.MachineDesc.classOf(SI.Sm).Kind));
     W.writeDouble("o", SI.O);
     W.writeInt("f", SI.F);
     W.endObject();

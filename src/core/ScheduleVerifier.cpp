@@ -10,10 +10,28 @@ using namespace sgpu;
 std::optional<std::string>
 sgpu::verifySchedule(const StreamGraph &G, const SteadyState &SS,
                      const ExecutionConfig &Config,
-                     const GpuSteadyState &GSS, const SwpSchedule &S) {
+                     const GpuSteadyState &GSS, const SwpSchedule &S,
+                     const MachineModel *Machine) {
   constexpr double Tol = 1e-6;
   double T = S.II;
   int N = G.numNodes();
+  const bool Hyb = Machine && Machine->hasCpu();
+
+  // "SM 3 (class sm)" / "cpu core 1 (class cpu)" for hybrid diagnostics.
+  auto ProcDesc = [&](int Proc) {
+    std::ostringstream OS;
+    int Cls = Machine->classIndexOf(Proc);
+    const ProcessorClass &PC = Machine->Classes[Cls];
+    int Local = Proc;
+    for (int C = 0; C < Cls; ++C)
+      Local -= Machine->Classes[C].Count;
+    if (PC.Kind == ProcClassKind::CpuCore)
+      OS << "cpu core " << Local;
+    else
+      OS << "SM " << Local;
+    OS << " (class " << procClassKindName(PC.Kind) << ")";
+    return OS.str();
+  };
 
   // Index instances densely and check completeness / uniqueness.
   std::vector<int64_t> Base(N);
@@ -38,16 +56,41 @@ sgpu::verifySchedule(const StreamGraph &G, const SteadyState &SS,
     if (!ById[I])
       return "schedule is missing instances";
 
+  // Hybrid: the machine and schedule must agree on the processor count,
+  // and the per-class coarsening values must respect the memory bounds.
+  if (Hyb) {
+    if (S.Pmax != Machine->totalProcs())
+      return "hybrid schedule Pmax does not cover the machine's "
+             "processor set";
+    auto Bounds = computeClassCoarsening(G, Config, *Machine);
+    if (!Bounds)
+      return "some machine class cannot hold one coarsening unit of the "
+             "graph's working set";
+    if (S.ClassCoarsening.size() != Bounds->size())
+      return "hybrid schedule is missing per-class coarsening values";
+    for (size_t C = 0; C < Bounds->size(); ++C)
+      if (S.ClassCoarsening[C] < 1 || S.ClassCoarsening[C] > (*Bounds)[C]) {
+        std::ostringstream OS;
+        OS << "coarsening value " << S.ClassCoarsening[C] << " for class "
+           << procClassKindName(Machine->Classes[C].Kind)
+           << " outside its memory bound [1, " << (*Bounds)[C] << "]";
+        return OS.str();
+      }
+  }
+
   // (1) SM range, (4) o bounds, f sanity.
   std::vector<double> SmLoad(S.Pmax, 0.0);
   for (const ScheduledInstance &SI : S.Instances) {
     if (SI.Sm < 0 || SI.Sm >= S.Pmax)
       return "instance assigned outside [0, Pmax)";
-    double D = Config.Delay[SI.Node];
+    double D = Hyb ? procDelay(Config, Machine, SI.Node, SI.Sm)
+                   : Config.Delay[SI.Node];
     if (SI.O < -Tol || SI.O + D > T + Tol) {
       std::ostringstream OS;
       OS << "constraint (4) violated: o=" << SI.O << " d=" << D
          << " II=" << T << " at " << G.node(SI.Node).Name;
+      if (Hyb)
+        OS << " (instance k=" << SI.K << " on " << ProcDesc(SI.Sm) << ")";
       return OS.str();
     }
     if (SI.F < 0)
@@ -55,12 +98,16 @@ sgpu::verifySchedule(const StreamGraph &G, const SteadyState &SS,
     SmLoad[SI.Sm] += D;
   }
 
-  // (2) per-SM resource fit.
+  // (2) per-processor resource fit.
   for (int P = 0; P < S.Pmax; ++P)
     if (SmLoad[P] > T + Tol) {
       std::ostringstream OS;
-      OS << "constraint (2) violated: SM " << P << " load " << SmLoad[P]
-         << " > II " << T;
+      if (Hyb)
+        OS << "constraint (2) violated: " << ProcDesc(P) << " load "
+           << SmLoad[P] << " > II " << T;
+      else
+        OS << "constraint (2) violated: SM " << P << " load " << SmLoad[P]
+           << " > II " << T;
       return OS.str();
     }
 
@@ -76,13 +123,17 @@ sgpu::verifySchedule(const StreamGraph &G, const SteadyState &SS,
         double SigmaC = SwpSchedule::sigma(T, Cons);
         double SigmaP = SwpSchedule::sigma(T, Prod);
         double Lag = static_cast<double>(D.JLag);
-        if (SigmaC + Tol <
-            SigmaP + Config.Delay[E.Src] + T * Lag) {
+        double ProdDelay = Hyb
+                               ? procDelay(Config, Machine, E.Src, Prod.Sm)
+                               : Config.Delay[E.Src];
+        if (SigmaC + Tol < SigmaP + ProdDelay + T * Lag) {
           std::ostringstream OS;
           OS << "constraint (8a) violated on edge "
              << G.node(E.Src).Name << " -> " << G.node(E.Dst).Name
              << " (k=" << K << ", k'=" << D.KProd << ", jlag=" << D.JLag
              << ")";
+          if (Hyb)
+            OS << " with producer on " << ProcDesc(Prod.Sm);
           return OS.str();
         }
         if (Cons.Sm != Prod.Sm &&

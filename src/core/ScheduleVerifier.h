@@ -33,10 +33,17 @@ namespace sgpu {
 
 /// Verifies \p S against the coarsened dependence structure. Returns an
 /// error description, or std::nullopt when the schedule is valid.
+///
+/// A hybrid \p Machine makes the check class-aware: instance delays are
+/// priced at the hosting processor's class, constraint (2) is checked
+/// per flat processor, the per-class coarsening values must sit within
+/// their memory bounds, and diagnostics name the offending instance and
+/// processor class. A null machine reproduces the paper's GPU-only
+/// check (and its exact messages) unchanged.
 std::optional<std::string>
 verifySchedule(const StreamGraph &G, const SteadyState &SS,
                const ExecutionConfig &Config, const GpuSteadyState &GSS,
-               const SwpSchedule &S);
+               const SwpSchedule &S, const MachineModel *Machine = nullptr);
 
 } // namespace sgpu
 

@@ -32,6 +32,11 @@ struct GpuArch {
   int RegistersPerSM = 8192;
   int64_t SharedMemPerSM = 16384;
 
+  /// Device memory (8800 GTS 512: 512 MiB GDDR3). Channel buffers are
+  /// DRAM-resident, so one SM's share of this bounds the working set a
+  /// hybrid machine lets the coarsening variable grow to.
+  int64_t DramBytes = 512ll << 20;
+
   /// Shader clock, used only to convert cycle ratios into CPU-relative
   /// speedups (8800 GTS 512 shader domain: 1.625 GHz).
   double CoreClockGHz = 1.625;

@@ -61,11 +61,28 @@ public:
     R.TotalCycles = kernelCycles(Arch, Work);
     R.Transactions = Work.TotalTxns;
     R.FillCycles = static_cast<double>(Desc.StageSpan) * R.TotalCycles;
+    applyHostStreams(Desc, R);
     return R;
   }
 };
 
 } // namespace
+
+void sgpu::applyHostStreams(const KernelDesc &Desc, KernelSimResult &R) {
+  if (Desc.HostStreams.empty())
+    return;
+  double HostMax = 0.0;
+  for (const std::vector<SmWorkItem> &Stream : Desc.HostStreams) {
+    double Cycles = 0.0;
+    for (const SmWorkItem &Item : Stream)
+      Cycles += Desc.Instances[Item.Instance].HostCycles *
+                static_cast<double>(Item.Iterations);
+    HostMax = std::max(HostMax, Cycles);
+  }
+  if (HostMax > R.TotalCycles)
+    R.TotalCycles = HostMax;
+  R.FillCycles = static_cast<double>(Desc.StageSpan) * R.TotalCycles;
+}
 
 std::unique_ptr<TimingModel>
 sgpu::createTimingModel(TimingModelKind Kind, const GpuArch &Arch,

@@ -76,6 +76,10 @@ struct SimInstance {
   InstanceCost Cost;              ///< Aggregate per-thread op counts.
   std::vector<MemStream> Streams; ///< Channel traffic, reads then writes.
   int Node = -1;                  ///< Graph node id, for attribution.
+  /// Hybrid machines only: GPU-clock cycles of one execution of this
+  /// instance on a CPU core (serial base firings at the CpuModel rates).
+  /// Host-resident instances never touch the coalescer or the DRAM bus.
+  double HostCycles = 0.0;
 };
 
 /// One entry of an SM's serial instance stream.
@@ -88,6 +92,11 @@ struct SmWorkItem {
 struct KernelDesc {
   std::vector<SimInstance> Instances;
   std::vector<std::vector<SmWorkItem>> SmStreams;
+  /// Hybrid machines only: per-CPU-core serial streams running
+  /// concurrently with the device. Host work is timed from
+  /// SimInstance::HostCycles, shares no DRAM-bus bandwidth with the SMs,
+  /// and stretches the invocation only when it outlasts the device side.
+  std::vector<std::vector<SmWorkItem>> HostStreams;
   /// SWP stage span of the schedule; the pipeline needs this many extra
   /// invocations to fill (prologue) and drain (epilogue), surfaced as
   /// KernelSimResult::FillCycles.
@@ -157,6 +166,13 @@ protected:
   explicit TimingModel(const GpuArch &A) : Arch(A) {}
   GpuArch Arch;
 };
+
+/// Folds \p Desc's host-side streams (hybrid machines) into a device
+/// result: the invocation lasts max(device, slowest core) and the fill
+/// cost rescales accordingly. Host work adds no memory transactions.
+/// A no-op when HostStreams is empty, so both timing models call it
+/// unconditionally.
+void applyHostStreams(const KernelDesc &Desc, KernelSimResult &R);
 
 /// Instantiates the model of the given kind for \p Arch. \p WarpSched
 /// selects the cycle model's warp-scheduler policy (`--warp-sched`); the

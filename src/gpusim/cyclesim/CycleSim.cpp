@@ -77,6 +77,7 @@ CycleTimingModel::simulateKernel(const KernelDesc &Desc) const {
   Opts.BusCyclesPerTxn = Arch.ChipCyclesPerTxn;
   Opts.Policy = WarpSched;
   KernelSimResult R = runChipPipeline(Arch, Desc, Opts);
+  applyHostStreams(Desc, R);
 
   int64_t Instances = 0;
   for (const std::vector<SmWorkItem> &S : Desc.SmStreams)

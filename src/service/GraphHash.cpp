@@ -113,6 +113,7 @@ std::string canonicalizeOptions(const CompileOptions &O) {
   std::string Out;
   Out += "options\n";
   appendf(Out, "strategy=%s\n", strategyOptionName(O.Strat));
+  appendf(Out, "machine=%s\n", machineModeName(O.Machine));
   appendf(Out, "timing=%s\n", timingModelKindName(O.Timing));
   appendf(Out, "warp_sched=%s\n", warpSchedPolicyName(O.WarpSched));
   appendf(Out, "config_select=%s\n", configSelectModeName(O.ConfigSelect));
@@ -142,9 +143,12 @@ std::string canonicalizeOptions(const CompileOptions &O) {
           S.IlpEvenIfHeuristicSucceeds ? 1 : 0);
 
   const CpuModel &C = O.Cpu;
-  appendf(Out, "cpu clk=%a alu=%a transc=%a chan=%a firing=%a\n", C.ClockGHz,
-          C.CyclesPerAluOp, C.CyclesPerTransc, C.CyclesPerChannelOp,
-          C.CyclesPerFiring);
+  appendf(Out,
+          "cpu clk=%a alu=%a transc=%a chan=%a firing=%a cores=%d "
+          "cache=%" PRId64 "\n",
+          C.ClockGHz, C.CyclesPerAluOp, C.CyclesPerTransc,
+          C.CyclesPerChannelOp, C.CyclesPerFiring, C.NumCores,
+          C.CacheBytesPerCore);
   // NumWorkers and IIWindow are intentionally absent: the engine is
   // result-deterministic across worker counts (solver_parallel_test,
   // cyclesim determinism tests), so they must not split the key space.

@@ -49,7 +49,10 @@ namespace service {
 /// v3: schema= (the kernel-schema mode, codegen/schema/) joined the
 /// canonical options — a warp-specialized compile produces a different
 /// schedule report than a global one, so v2 keys must not alias it.
-constexpr int kCanonicalFormVersion = 3;
+/// v4: machine= (gpu/hybrid) plus the CPU core count and per-core cache
+/// budget joined the canonical options — hybrid schedules assign
+/// instances to CPU cores, so gpu-mode keys must not alias them.
+constexpr int kCanonicalFormVersion = 4;
 
 /// Renders \p G in the canonical name-free text form described above.
 std::string canonicalizeGraph(const StreamGraph &G);

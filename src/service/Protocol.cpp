@@ -47,6 +47,13 @@ bool applyOptions(const JsonValue &Obj, CompileOptions &O, std::string *Err) {
       if (!M)
         return fail(Err, "unknown schema '" + Val.asString() + "'");
       O.Schema = *M;
+    } else if (Key == "machine") {
+      if (!Val.isString())
+        return fail(Err, "options.machine must be a string");
+      std::optional<MachineMode> M = parseMachineMode(Val.asString());
+      if (!M)
+        return fail(Err, "unknown machine '" + Val.asString() + "'");
+      O.Machine = *M;
     } else if (Key == "coarsening") {
       if (!Val.isNumber() || Val.asNumber() < 1)
         return fail(Err, "options.coarsening must be a positive number");

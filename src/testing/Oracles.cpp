@@ -34,6 +34,14 @@ namespace {
 struct Ctx {
   const OracleOptions &O;
   OracleReport &R;
+  /// Hybrid machine under test; engaged when O.Machine == Hybrid.
+  std::optional<MachineModel> Machine;
+
+  /// The machine pointer every scheduling/verification call threads
+  /// through (null for the paper's GPU-only mode).
+  const MachineModel *machine() const {
+    return Machine ? &*Machine : nullptr;
+  }
 
   void check() { ++R.ChecksRun; }
   void fail(const std::string &Oracle, const std::string &Message) {
@@ -271,8 +279,15 @@ void compileVariant(Ctx &C, const StreamGraph &G, const SteadyState &SS,
     SO.MaxIlpAttempts = 2;
   }
 
+  // Hybrid: CPU cores join the flat processor set; delays for the CPU
+  // class land in the config before any scheduling math runs.
+  if (C.machine()) {
+    computeCpuDelays(*Config, G, C.O.Cpu, C.O.Arch);
+    SO.Pmax = C.machine()->totalProcs();
+  }
+
   C.check();
-  auto Sched = scheduleSwp(G, SS, *Config, GSS, SO);
+  auto Sched = scheduleSwp(G, SS, *Config, GSS, SO, C.machine());
   if (!Sched) {
     C.fail("schedule", V.Name + ": no schedule found");
     return;
@@ -282,7 +297,8 @@ void compileVariant(Ctx &C, const StreamGraph &G, const SteadyState &SS,
     injectScheduleBug(Sched->Schedule, C.O.InjectBug);
 
   C.check();
-  if (auto Err = verifySchedule(G, SS, *Config, GSS, Sched->Schedule)) {
+  if (auto Err = verifySchedule(G, SS, *Config, GSS, Sched->Schedule,
+                                C.machine())) {
     C.fail("verifier", V.Name + ": " + *Err);
     return;
   }
@@ -344,8 +360,23 @@ void compileVariant(Ctx &C, const StreamGraph &G, const SteadyState &SS,
   if (C.O.Schema != SchemaMode::Global) {
     SchemaAssignment Warp = selectSchemaAssignment(
         C.O.Arch, G, SS, V.Config, V.GSS, V.Schedule,
-        SchemaKind::WarpSpecialized, /*Coarsening=*/1);
+        SchemaKind::WarpSpecialized, /*Coarsening=*/1, C.machine());
     C.check();
+    // Hybrid invariant: a CPU-resident instance must never sit on a
+    // shared-memory queue edge — there is no shared memory on the host
+    // side of the machine.
+    if (C.machine()) {
+      int NumGpuSms = C.machine()->numGpuSms();
+      for (const ChannelEdge &E : G.edges()) {
+        if (!Warp.isQueue(E.Id))
+          continue;
+        for (const ScheduledInstance &SI : V.Schedule.Instances)
+          if ((SI.Node == E.Src || SI.Node == E.Dst) && SI.Sm >= NumGpuSms)
+            C.fail("schema-hybrid",
+                   V.Name + ": queue edge " + std::to_string(E.Id) +
+                       " touches CPU-resident node " + G.node(SI.Node).Name);
+      }
+    }
     if (auto Err =
             checkScheduleAgainstReference(G, SS, V.Config, V.GSS, V.Schedule,
                                           Input, C.O.Iterations, &Warp))
@@ -385,9 +416,12 @@ void checkCoarseningTiming(Ctx &C, const StreamGraph &G,
                            const SwpVariant &V) {
   auto Model = createTimingModel(C.O.Timing, C.O.Arch, C.O.WarpSched);
   KernelDesc K1 =
-      buildSwpKernelDesc(C.O.Arch, G, V.Config, V.Schedule, V.Layout, 1);
-  KernelDesc Kk = buildSwpKernelDesc(C.O.Arch, G, V.Config, V.Schedule,
-                                     V.Layout, static_cast<int>(C.O.CoarseningK));
+      buildSwpKernelDesc(C.O.Arch, G, V.Config, V.Schedule, V.Layout, 1,
+                         /*Schema=*/nullptr, C.machine());
+  KernelDesc Kk =
+      buildSwpKernelDesc(C.O.Arch, G, V.Config, V.Schedule, V.Layout,
+                         static_cast<int>(C.O.CoarseningK),
+                         /*Schema=*/nullptr, C.machine());
   KernelSimResult R1 = Model->simulateKernel(K1);
   KernelSimResult Rk = Model->simulateKernel(Kk);
 
@@ -452,10 +486,14 @@ void checkTimingOrdering(Ctx &C, const StreamGraph &G, const SwpVariant &V) {
   auto Cycle =
       createTimingModel(TimingModelKind::Cycle, C.O.Arch, C.O.WarpSched);
 
-  KernelDesc Shuf = buildSwpKernelDesc(C.O.Arch, G, V.Config, V.Schedule,
-                                       LayoutKind::Shuffled, 1);
-  KernelDesc Seq = buildSwpKernelDesc(C.O.Arch, G, V.Config, V.Schedule,
-                                      LayoutKind::Sequential, 1);
+  KernelDesc Shuf =
+      buildSwpKernelDesc(C.O.Arch, G, V.Config, V.Schedule,
+                         LayoutKind::Shuffled, 1, /*Schema=*/nullptr,
+                         C.machine());
+  KernelDesc Seq =
+      buildSwpKernelDesc(C.O.Arch, G, V.Config, V.Schedule,
+                         LayoutKind::Sequential, 1, /*Schema=*/nullptr,
+                         C.machine());
 
   KernelSimResult AS = Analytic->simulateKernel(Shuf);
   KernelSimResult AQ = Analytic->simulateKernel(Seq);
@@ -699,7 +737,10 @@ OracleReport runOraclesOnStream(const Stream &Root, uint64_t Seed,
                                 const OracleOptions &O) {
   OracleReport R;
   R.Seed = Seed;
-  Ctx C{O, R};
+  Ctx C{O, R, std::nullopt};
+  if (O.Machine == MachineMode::Hybrid)
+    C.Machine = MachineModel::hybrid(O.Arch, O.Pmax, O.Cpu,
+                                     /*MaxCoarsen=*/8);
 
   StreamGraph G = flatten(Root);
   auto SS = SteadyState::compute(G);
@@ -756,7 +797,7 @@ OracleReport runOraclesOnSpec(const GraphSpec &Spec, const OracleOptions &O) {
   OracleReport R = runOraclesOnStream(*S, Spec.Seed, O);
   R.Description = describeSpec(Spec);
 
-  Ctx C{O, R};
+  Ctx C{O, R, std::nullopt};
   checkRoundTrip(C, Spec);
   if (O.RunMetamorphic)
     checkRateScaling(C, Spec);

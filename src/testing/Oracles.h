@@ -80,6 +80,14 @@ std::optional<ScheduleBugKind> parseScheduleBugKind(std::string_view Name);
 struct OracleOptions {
   GpuArch Arch = GpuArch::geForce8800GTS512();
   int Pmax = 4;
+  /// Machine under differential test (`--machine`): Hybrid adds
+  /// Cpu.NumCores host cores to the processor set and runs the whole
+  /// compile trajectory through the class-indexed hybrid formulation —
+  /// still against the same interpreter reference (the assignment moves
+  /// work between classes, never changes the program's outputs).
+  MachineMode Machine = MachineMode::Gpu;
+  /// CPU classes of the hybrid machine (cores, cache, clock).
+  CpuModel Cpu;
   double TimeBudgetSeconds = 0.25;
   /// Also compile through the exact ILP solver (doubles the variants).
   bool RunIlp = true;

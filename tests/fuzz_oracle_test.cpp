@@ -166,3 +166,63 @@ TEST(FuzzReducer, MinimizedReproReplaysThroughTheCompiler) {
   EXPECT_TRUE(Result.has_value())
       << "minimized repro no longer compiles:\n" << P.Text;
 }
+
+//===----------------------------------------------------------------------===//
+// Hybrid machine slice
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzOracles, HybridSeedsPassEveryOracle) {
+  // The hybrid trajectory — class-indexed scheduling, host-side
+  // channel costs, CPU-aware schema selection — against the same
+  // interpreter reference as the GPU mode.
+  OracleOptions O;
+  O.Machine = MachineMode::Hybrid;
+  O.Schema = SchemaMode::Warp;
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    OracleReport R = runOracles(Seed, {}, O);
+    EXPECT_TRUE(R.ok()) << reportStr(R);
+    EXPECT_GT(R.ChecksRun, 0);
+  }
+}
+
+TEST(FuzzOracles, HybridInjectedBugsAreStillCaught) {
+  OracleOptions O;
+  O.Machine = MachineMode::Hybrid;
+  O.InjectBug = ScheduleBugKind::ExceedII;
+  int Caught = 0;
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed)
+    if (!runOracles(Seed, {}, O).ok())
+      ++Caught;
+  EXPECT_GT(Caught, 0) << "no hybrid seed caught an injected II overrun";
+}
+
+TEST(FuzzOracles, CpuInstanceNeverReceivesQueueEdge) {
+  // Pin the codegen invariant directly: squeeze a deep pipeline onto 2
+  // SMs of a hybrid machine so work spills to the host, request the
+  // warp-specialized schema, and require every shared-memory queue edge
+  // to have both endpoints GPU-resident (the host has no shared memory
+  // to ring-buffer in).
+  CompileOptions Options;
+  Options.Machine = MachineMode::Hybrid;
+  Options.Schema = SchemaMode::Warp;
+  Options.Sched.Pmax = 2;
+  StreamGraph G = makeDeepScalePipeline(12);
+  auto R = compileForGpu(G, Options);
+  ASSERT_TRUE(R.has_value());
+  ASSERT_EQ(R->Machine, MachineMode::Hybrid);
+  // Non-vacuity: this compile really does spill work to the host AND
+  // still finds at least one eligible same-SM queue edge.
+  EXPECT_GT(R->CpuResidentInstances, 0);
+  EXPECT_GT(R->Schema.numQueueEdges(), 0);
+  int NumGpuSms = R->MachineDesc.numGpuSms();
+  for (int E = 0; E < G.numEdges(); ++E) {
+    if (!R->Schema.isQueue(E))
+      continue;
+    const ChannelEdge &Edge = G.edge(E);
+    for (const ScheduledInstance &SI : R->Schedule.Instances)
+      if (SI.Node == Edge.Src || SI.Node == Edge.Dst)
+        EXPECT_LT(SI.Sm, NumGpuSms)
+            << "queue edge " << E << " touches CPU-resident instance of "
+            << G.node(SI.Node).Name;
+  }
+}

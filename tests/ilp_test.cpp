@@ -484,3 +484,142 @@ TEST(LinearProgram, FeasibilityChecker) {
   EXPECT_FALSE(LP.isFeasible({5.0, 2.0})); // Row violated.
   EXPECT_FALSE(LP.isFeasible({6.0, 0.0})); // Bound violated.
 }
+
+//===----------------------------------------------------------------------===//
+// Hybrid (CPU+GPU) SWP formulation
+//===----------------------------------------------------------------------===//
+
+#include "core/IlpFormulation.h"
+
+#include "TestGraphs.h"
+
+namespace {
+
+using namespace sgpu;
+using namespace sgpu::testing;
+
+/// A three-filter chain (S2 -> S3 -> S5, all rate 1->1) with
+/// hand-written per-class delays: one instance per node, so every
+/// ILP row is small enough to reason about by hand.
+struct HybridToy {
+  StreamGraph G;
+  std::optional<SteadyState> SS;
+  ExecutionConfig Config;
+  GpuSteadyState GSS;
+  MachineModel Machine;
+
+  int id(const std::string &Name) const {
+    for (const GraphNode &N : G.nodes())
+      if (N.Name == Name)
+        return N.Id;
+    ADD_FAILURE() << "no node named " << Name;
+    return -1;
+  }
+};
+
+HybridToy makeHybridToy() {
+  HybridToy T;
+  T.G = makeScalePipeline();
+  T.SS = SteadyState::compute(T.G);
+  EXPECT_TRUE(T.SS.has_value());
+  size_t N = static_cast<size_t>(T.G.numNodes());
+  T.Config.Threads.assign(N, 1);
+  T.GSS = computeGpuSteadyState(T.SS->repetitions(), T.Config.Threads);
+  // S3 is 10x too slow for the GPU but cheap on the host; the other two
+  // filters prefer the GPU.
+  T.Config.Delay.assign(N, 10.0);
+  T.Config.CpuDelay.assign(N, 50.0);
+  T.Config.Delay[static_cast<size_t>(T.id("S3#1"))] = 100.0;
+  T.Config.CpuDelay[static_cast<size_t>(T.id("S3#1"))] = 20.0;
+  // Two SMs (16 KiB shared each) plus one CPU core with a 2 MiB cache.
+  T.Machine.Classes.push_back({ProcClassKind::GpuSm, 2, 16384});
+  T.Machine.Classes.push_back({ProcClassKind::CpuCore, 1, 2 << 20});
+  T.Machine.MaxCoarsen = 8;
+  return T;
+}
+
+} // namespace
+
+TEST(HybridIlp, HandComputedOptimalAssignment) {
+  HybridToy T = makeHybridToy();
+  // At II = 60 the GPU cannot run S3 at all (delay 100 > 60, rows 2/4'),
+  // and the core cannot take a second filter on top of it (20 + 50 > 60,
+  // row 2'). The only feasible class split is S3 on the host, S2/S5 on
+  // SMs — any feasible MILP point must reproduce it.
+  auto M = buildSwpIlp(T.G, *T.SS, T.Config, T.GSS,
+                       /*Pmax=*/T.Machine.totalProcs(), /*T=*/60.0,
+                       /*MaxStages=*/8, /*StrictIntraSm=*/false,
+                       &T.Machine);
+  ASSERT_TRUE(M.has_value());
+  MilpResult MR = solveMilp(M->LP);
+  ASSERT_TRUE(MR.hasSolution());
+  SwpSchedule S = M->decode(MR.X);
+  int NumGpuSms = T.Machine.numGpuSms();
+  for (const ScheduledInstance &SI : S.Instances) {
+    if (SI.Node == T.id("S3#1"))
+      EXPECT_GE(SI.Sm, NumGpuSms) << "S3 must land on the CPU core";
+    else
+      EXPECT_LT(SI.Sm, NumGpuSms)
+          << T.G.node(SI.Node).Name << " must stay on an SM";
+  }
+}
+
+TEST(HybridIlp, CpuCoreExpandsFeasibility) {
+  HybridToy T = makeHybridToy();
+  // GPU-only at the same II is infeasible: S3's 100-cycle delay alone
+  // exceeds T = 60 on every SM.
+  EXPECT_FALSE(buildSwpIlp(T.G, *T.SS, T.Config, T.GSS, /*Pmax=*/2,
+                           /*T=*/60.0, 8)
+                   .has_value());
+  EXPECT_TRUE(buildSwpIlp(T.G, *T.SS, T.Config, T.GSS,
+                          T.Machine.totalProcs(), /*T=*/60.0, 8,
+                          /*StrictIntraSm=*/false, &T.Machine)
+                  .has_value());
+}
+
+TEST(HybridIlp, ClassCapacityInfeasibilityDetected) {
+  HybridToy T = makeHybridToy();
+  // One coarsening unit's working set here is 8 bytes (2 tokens x 4
+  // bytes, one thread). A 4-byte CPU cache cannot hold even one unit:
+  // the coarsening bound is undefined and the whole model infeasible.
+  T.Machine.Classes[1].MemBytes = 4;
+  EXPECT_FALSE(computeClassCoarsening(T.G, T.Config, T.Machine)
+                   .has_value());
+  EXPECT_FALSE(buildSwpIlp(T.G, *T.SS, T.Config, T.GSS,
+                           T.Machine.totalProcs(), /*T=*/1e9, 8,
+                           /*StrictIntraSm=*/false, &T.Machine)
+                   .has_value());
+}
+
+TEST(HybridIlp, CoarseningVariableObeysMemoryBound) {
+  HybridToy T = makeHybridToy();
+  // ws = 8 bytes: a 64-byte SM budget caps the class at 8 units (also
+  // the MaxCoarsen cap), a 24-byte cache at 3.
+  T.Machine.Classes[0].MemBytes = 64;
+  T.Machine.Classes[1].MemBytes = 24;
+  auto Bounds = computeClassCoarsening(T.G, T.Config, T.Machine);
+  ASSERT_TRUE(Bounds.has_value());
+  ASSERT_EQ(Bounds->size(), 2u);
+  EXPECT_EQ((*Bounds)[0], 8);
+  EXPECT_EQ((*Bounds)[1], 3);
+
+  auto M = buildSwpIlp(T.G, *T.SS, T.Config, T.GSS,
+                       T.Machine.totalProcs(), /*T=*/400.0, 8,
+                       /*StrictIntraSm=*/false, &T.Machine);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->CoarsenBound, *Bounds);
+  MilpOptions MO;
+  MO.StopAtFirstFeasible = false; // Solve to proven optimality.
+  MilpResult MR = solveMilp(M->LP, MO);
+  ASSERT_TRUE(MR.hasSolution());
+  SwpSchedule S = M->decode(MR.X);
+  ASSERT_EQ(S.ClassCoarsening.size(), 2u);
+  for (size_t C = 0; C < 2; ++C) {
+    EXPECT_GE(S.ClassCoarsening[C], 1);
+    EXPECT_LE(S.ClassCoarsening[C], (*Bounds)[C]);
+  }
+  // The objective's -1e-3 coarsening reward drives every class to its
+  // memory bound at optimality.
+  EXPECT_EQ(S.ClassCoarsening[0], 8);
+  EXPECT_EQ(S.ClassCoarsening[1], 3);
+}

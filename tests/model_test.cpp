@@ -174,3 +174,71 @@ TEST(AccessAnalyzerCrossKey, MismatchedKeySerializesUnderStrictRule) {
       analyzeStridedAccess(LayoutKind::Shuffled, 256, 2, 2);
   EXPECT_DOUBLE_EQ(Matched.transactionsPerAccess(), 1.0 / 16.0);
 }
+
+//===----------------------------------------------------------------------===//
+// Hybrid machine model
+//===----------------------------------------------------------------------===//
+
+TEST(MachineModel, ClassLayoutAndFlatIndexing) {
+  CpuModel Cpu;
+  Cpu.NumCores = 2;
+  MachineModel M = MachineModel::hybrid(Arch, /*Pmax=*/4, Cpu,
+                                        /*MaxCoarsen=*/8);
+  EXPECT_EQ(M.numGpuSms(), 4);
+  EXPECT_EQ(M.totalProcs(), 6);
+  EXPECT_TRUE(M.hasCpu());
+  // SMs occupy the low flat indices, cores follow.
+  EXPECT_FALSE(M.isCpu(3));
+  EXPECT_TRUE(M.isCpu(4));
+  EXPECT_EQ(M.classOf(0).Kind, ProcClassKind::GpuSm);
+  EXPECT_EQ(M.classOf(5).Kind, ProcClassKind::CpuCore);
+  // Memory budgets come from the class: the SM's share of the
+  // DRAM-resident channel store, the core's cache.
+  EXPECT_EQ(M.classOf(0).MemBytes, Arch.DramBytes / Arch.NumSMs);
+  EXPECT_EQ(M.classOf(4).MemBytes, Cpu.CacheBytesPerCore);
+
+  MachineModel G = MachineModel::gpuOnly(Arch, 4);
+  EXPECT_FALSE(G.hasCpu());
+  EXPECT_EQ(G.totalProcs(), 4);
+  EXPECT_EQ(G.numGpuSms(), 4);
+}
+
+TEST(MachineModel, CpuDelayLandsInGpuClockDomain) {
+  StreamGraph G = makeScalePipeline();
+  ExecutionConfig Config;
+  Config.Threads.assign(static_cast<size_t>(G.numNodes()), 4);
+
+  CpuModel Slow;
+  CpuModel Fast = Slow;
+  Fast.ClockGHz = 2.0 * Slow.ClockGHz;
+  ExecutionConfig CSlow = Config, CFast = Config;
+  computeCpuDelays(CSlow, G, Slow, Arch);
+  computeCpuDelays(CFast, G, Fast, Arch);
+  ASSERT_EQ(CSlow.CpuDelay.size(), static_cast<size_t>(G.numNodes()));
+  for (const GraphNode &N : G.nodes()) {
+    EXPECT_GT(CSlow.CpuDelay[N.Id], 0.0);
+    // Twice the host clock halves the delay expressed in GPU cycles.
+    EXPECT_NEAR(CSlow.CpuDelay[N.Id], 2.0 * CFast.CpuDelay[N.Id], 1e-9);
+    // Exact form: host cycles per firing x threads serialized on the
+    // core, converted through the clock ratio.
+    EXPECT_NEAR(CSlow.CpuDelay[N.Id],
+                cpuCyclesPerFiring(N, Slow) * 4.0 *
+                    (Arch.CoreClockGHz / Slow.ClockGHz),
+                1e-9);
+  }
+}
+
+TEST(MachineModel, ProcDelayDispatchesByClass) {
+  ExecutionConfig Config;
+  Config.Delay = {10.0, 100.0};
+  Config.CpuDelay = {50.0, 20.0};
+  CpuModel Cpu;
+  Cpu.NumCores = 1;
+  MachineModel M = MachineModel::hybrid(Arch, /*Pmax=*/2, Cpu, 8);
+  EXPECT_DOUBLE_EQ(procDelay(Config, &M, 0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(procDelay(Config, &M, 0, 2), 50.0);
+  EXPECT_DOUBLE_EQ(procDelay(Config, &M, 1, 1), 100.0);
+  EXPECT_DOUBLE_EQ(procDelay(Config, &M, 1, 2), 20.0);
+  // Null machine: the homogeneous GPU delay, always.
+  EXPECT_DOUBLE_EQ(procDelay(Config, nullptr, 1, 2), 100.0);
+}

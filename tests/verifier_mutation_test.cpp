@@ -139,3 +139,95 @@ TEST(VerifierMutation, InjectorReportsWhenItCannotCorrupt) {
   EXPECT_FALSE(injectScheduleBug(Empty, ScheduleBugKind::DropInstance));
   EXPECT_FALSE(injectScheduleBug(Empty, ScheduleBugKind::SwapSlots));
 }
+
+//===----------------------------------------------------------------------===//
+// Hybrid (CPU+GPU) mutations
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct HybridCompiled {
+  CompiledGraph C;
+  MachineModel Machine;
+};
+
+/// Compiles Fig. 4 onto a hybrid machine (4 SMs + 2 CPU cores) and
+/// verifies the schedule clean before handing it over for corruption.
+HybridCompiled compileFig4Hybrid() {
+  StreamGraph G = makeFig4Graph();
+  auto SS = SteadyState::compute(G);
+  EXPECT_TRUE(SS.has_value());
+  const GpuArch Arch = GpuArch::geForce8800GTS512();
+  ProfileTable PT = profileGraph(Arch, G, LayoutKind::Shuffled);
+  auto Config = selectExecutionConfig(*SS, PT);
+  EXPECT_TRUE(Config.has_value());
+  GpuSteadyState GSS =
+      computeGpuSteadyState(SS->repetitions(), Config->Threads);
+  CpuModel Cpu;
+  Cpu.NumCores = 2;
+  MachineModel Machine = MachineModel::hybrid(Arch, 4, Cpu, 8);
+  computeCpuDelays(*Config, G, Cpu, Arch);
+  SchedulerOptions SO;
+  SO.Pmax = Machine.totalProcs();
+  SO.TimeBudgetSeconds = 0.25;
+  auto Sched = scheduleSwp(G, *SS, *Config, GSS, SO, &Machine);
+  EXPECT_TRUE(Sched.has_value());
+  auto Err =
+      verifySchedule(G, *SS, *Config, GSS, Sched->Schedule, &Machine);
+  EXPECT_FALSE(Err.has_value()) << *Err;
+  return {{std::move(G), std::move(*SS), std::move(*Config),
+           std::move(GSS), std::move(Sched->Schedule)},
+          std::move(Machine)};
+}
+
+} // namespace
+
+TEST(VerifierMutation, CorruptedClassAssignmentIsRejectedWithClassDiag) {
+  HybridCompiled H = compileFig4Hybrid();
+  // Corrupt one processor-class assignment: move a GPU-resident
+  // instance onto a CPU core whose class-priced delay we inflate past
+  // the II. The verifier must reject naming both the instance and the
+  // class it was moved to.
+  ScheduledInstance *Victim = nullptr;
+  for (ScheduledInstance &SI : H.C.Schedule.Instances)
+    if (SI.Sm < H.Machine.numGpuSms()) {
+      Victim = &SI;
+      break;
+    }
+  ASSERT_NE(Victim, nullptr);
+  H.C.Config.CpuDelay[Victim->Node] = 10.0 * H.C.Schedule.II;
+  Victim->Sm = H.Machine.numGpuSms(); // First CPU core.
+
+  auto Err = verifySchedule(H.C.G, H.C.SS, H.C.Config, H.C.GSS,
+                            H.C.Schedule, &H.Machine);
+  ASSERT_TRUE(Err.has_value())
+      << "verifier accepted a corrupted class assignment";
+  EXPECT_NE(Err->find("constraint"), std::string::npos) << *Err;
+  // Diagnostic names the instance...
+  EXPECT_NE(Err->find(H.C.G.node(Victim->Node).Name), std::string::npos)
+      << *Err;
+  EXPECT_NE(Err->find("instance k=" + std::to_string(Victim->K)),
+            std::string::npos)
+      << *Err;
+  // ...and the processor class it was illegally moved to.
+  EXPECT_NE(Err->find("cpu core 0 (class cpu)"), std::string::npos) << *Err;
+}
+
+TEST(VerifierMutation, HybridPmaxMismatchIsRejected) {
+  HybridCompiled H = compileFig4Hybrid();
+  H.C.Schedule.Pmax = H.Machine.numGpuSms(); // Drop the CPU cores.
+  auto Err = verifySchedule(H.C.G, H.C.SS, H.C.Config, H.C.GSS,
+                            H.C.Schedule, &H.Machine);
+  ASSERT_TRUE(Err.has_value());
+}
+
+TEST(VerifierMutation, CoarseningOutsideMemoryBoundIsRejected) {
+  HybridCompiled H = compileFig4Hybrid();
+  ASSERT_FALSE(H.C.Schedule.ClassCoarsening.empty());
+  H.C.Schedule.ClassCoarsening[0] = 1 << 20; // No SM holds this.
+  auto Err = verifySchedule(H.C.G, H.C.SS, H.C.Config, H.C.GSS,
+                            H.C.Schedule, &H.Machine);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("outside its memory bound"), std::string::npos)
+      << *Err;
+}

@@ -50,6 +50,13 @@ void printUsage() {
       "                                warp puts eligible same-SM edges\n"
       "                                in shared-memory ring queues; auto\n"
       "                                keeps whichever simulates faster)\n"
+      "  --machine=gpu|hybrid          processor set to schedule onto\n"
+      "                                (default gpu, the paper's SM\n"
+      "                                array; hybrid adds the model\n"
+      "                                CPU's cores, prices each node per\n"
+      "                                class, and turns --coarsening\n"
+      "                                into a per-class memory-bounded\n"
+      "                                decision variable)\n"
       "  --coarsening=N                SWPn factor (default 8)\n"
       "  --sms=N                       SMs to target (default 16)\n"
       "  --jobs=N                      scheduling-engine workers\n"
@@ -84,6 +91,7 @@ int main(int argc, char **argv) {
   WarpSchedPolicy WarpSched = WarpSchedPolicy::RoundRobin;
   ConfigSelectMode ConfigSelect = ConfigSelectMode::Auto;
   SchemaMode Schema = SchemaMode::Global;
+  MachineMode Machine = MachineMode::Gpu;
   int Coarsening = 8;
   int Sms = 16;
   int Jobs = 0; // 0 = auto ($SGPU_JOBS, then hardware_concurrency).
@@ -144,6 +152,14 @@ int main(int argc, char **argv) {
         Schema = *M;
       } else {
         std::fprintf(stderr, "error: unknown schema '%s'\n", V);
+        return 1;
+      }
+    } else if (startsWith(Arg, "--machine=")) {
+      const char *V = Arg + 10;
+      if (std::optional<MachineMode> M = parseMachineMode(V)) {
+        Machine = *M;
+      } else {
+        std::fprintf(stderr, "error: unknown machine '%s'\n", V);
         return 1;
       }
     } else if (startsWith(Arg, "--coarsening=")) {
@@ -251,6 +267,7 @@ int main(int argc, char **argv) {
   Options.WarpSched = WarpSched;
   Options.ConfigSelect = ConfigSelect;
   Options.Schema = Schema;
+  Options.Machine = Machine;
   Options.Coarsening = Coarsening;
   Options.Sched.Pmax = Sms;
   Options.Sched.NumWorkers = Jobs;
@@ -268,9 +285,16 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  std::printf("%s under %s (coarsening %d, %d SMs, %s timing)\n",
-              ProgramName.c_str(), strategyName(Strat), Coarsening, Sms,
-              timingModelKindName(Timing));
+  std::printf("%s under %s (coarsening %d, %d SMs, %s machine, "
+              "%s timing)\n",
+              ProgramName.c_str(), strategyName(Strat), R->Coarsening, Sms,
+              machineModeName(Machine), timingModelKindName(Timing));
+  if (Machine == MachineMode::Hybrid)
+    std::printf("  machine          : %d SMs + %d CPU cores, "
+                "%d instances host-resident\n",
+                R->MachineDesc.numGpuSms(),
+                R->MachineDesc.totalProcs() - R->MachineDesc.numGpuSms(),
+                R->CpuResidentInstances);
   std::printf("  graph            : %d nodes, %d edges, %d peeking\n",
               G.numNodes(), G.numEdges(), G.numPeekingFilters());
   std::printf("  execution config : regs<=%d, %d-thread blocks\n",

@@ -60,6 +60,10 @@ void printUsage() {
       "                                re-run every schedule with the\n"
       "                                warp-specialized queue assignment\n"
       "                                against the interpreter)\n"
+      "  --machine=gpu|hybrid          processor set under differential\n"
+      "                                test (default gpu; hybrid adds the\n"
+      "                                model CPU's cores and runs the\n"
+      "                                class-indexed formulation)\n"
       "  --sms=N                       SMs to schedule onto (default 4)\n"
       "  --depth=N                     max nesting depth (default 2)\n"
       "  --no-ilp                      heuristic-only variants\n"
@@ -409,6 +413,14 @@ int main(int argc, char **argv) {
         return 2;
       }
       C.Oracle.Schema = *Mode;
+    } else if (takesValue(I, "--machine")) {
+      auto Mode = parseMachineMode(Val);
+      if (!Mode) {
+        std::fprintf(stderr, "sgpu-fuzz: unknown machine '%s'\n",
+                     Val.c_str());
+        return 2;
+      }
+      C.Oracle.Machine = *Mode;
     } else if (takesValue(I, "--sms")) {
       C.Oracle.Pmax = std::atoi(Val.c_str());
     } else if (takesValue(I, "--depth")) {
